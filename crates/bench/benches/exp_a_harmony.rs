@@ -1,0 +1,55 @@
+//! EXP-A as a benchmark: end-to-end adaptive runs (Harmony vs the static
+//! baselines) on a scaled-down Grid'5000-like platform. Criterion reports the
+//! wall-clock cost of simulating each policy's run; the printed RunReports of
+//! `exp_harmony` carry the scientific results, this bench guards that the
+//! whole loop (workload → cluster → monitor → policy) stays fast enough to
+//! reproduce the paper's 3–5 M-operation runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use concord::prelude::*;
+use concord::PolicySpec;
+
+fn experiment() -> Experiment {
+    let platform = concord::platforms::grid5000_harmony(0.1);
+    let mut workload = presets::paper_heavy_read_update(2_000, 6_000);
+    workload.field_count = 1;
+    workload.field_length = 1_000;
+    Experiment::new(platform, workload)
+        .with_clients(16)
+        .with_adaptation_interval(SimDuration::from_millis(100))
+        .with_seed(2013)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_a/run_6k_ops");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(6_000));
+    for (name, spec) in [
+        ("eventual", PolicySpec::Eventual),
+        ("strong", PolicySpec::Strong),
+        ("harmony_20pct", PolicySpec::Harmony { tolerance: 0.20 }),
+        ("harmony_40pct", PolicySpec::Harmony { tolerance: 0.40 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            let exp = experiment();
+            b.iter(|| black_box(exp.run_spec(spec)))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_policies
+}
+criterion_main!(benches);

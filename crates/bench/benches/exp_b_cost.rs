@@ -1,0 +1,91 @@
+//! EXP-B as a benchmark: the per-level cost sweep and the Bismar run on a
+//! scaled-down EC2-like two-availability-zone platform (RF 5). As with
+//! `exp_a_harmony`, the scientific numbers come from the `exp_cost_breakdown`
+//! and `exp_bismar` binaries; this bench tracks the simulation cost of the
+//! cost experiments and of Bismar's per-step level evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use concord::prelude::*;
+use concord::PolicySpec;
+use concord_core::{BismarConfig, BismarPolicy, ClusterProfile, PolicyContext};
+use concord_monitor::AccessMonitor;
+
+fn experiment() -> Experiment {
+    let platform = concord::platforms::ec2_cost(0.35);
+    let mut workload = presets::cost_workload(0.0006);
+    workload.field_count = 1;
+    workload.field_length = 1_000;
+    Experiment::new(platform, workload)
+        .with_clients(16)
+        .with_adaptation_interval(SimDuration::from_millis(250))
+        .with_seed(2013)
+}
+
+fn bench_level_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_b/per_level_run");
+    group.sample_size(10);
+    for level in [1u32, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &l| {
+            let exp = experiment();
+            b.iter(|| black_box(exp.run_spec(&PolicySpec::FixedReadReplicas(l))))
+        });
+    }
+    group.bench_function("bismar", |b| {
+        let exp = experiment();
+        b.iter(|| black_box(exp.run_spec(&PolicySpec::Bismar)))
+    });
+    group.finish();
+}
+
+fn bench_bismar_decision(c: &mut Criterion) {
+    // The cost of one Bismar adaptation step (evaluate every level, pick the
+    // most efficient) — this is what runs inside the control loop.
+    let mut group = c.benchmark_group("exp_b/bismar_decision");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("evaluate_and_choose", |b| {
+        let mut bismar = BismarPolicy::new(BismarConfig::default());
+        let mut monitor = AccessMonitor::default();
+        let mut snapshot = monitor.snapshot(SimTime::from_secs(1));
+        snapshot.read_rate = 3_000.0;
+        snapshot.write_rate = 600.0;
+        snapshot.propagation_time_ms = 20.0;
+        snapshot.first_write_time_ms = 1.0;
+        snapshot.total_reads = 30_000;
+        snapshot.total_writes = 6_000;
+        let ctx = PolicyContext {
+            now: SimTime::from_secs(1),
+            snapshot,
+            profile: ClusterProfile {
+                replication_factor: 5,
+                dc_count: 2,
+                replicas_in_local_dc: 3,
+                intra_dc_latency_ms: 0.5,
+                inter_dc_latency_ms: 1.6,
+                node_count: 18,
+                record_size_bytes: 1_000,
+                storage_service_ms: 0.3,
+            },
+        };
+        b.iter(|| {
+            use concord_core::ConsistencyPolicy;
+            black_box(bismar.decide(black_box(&ctx)))
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_level_sweep, bench_bismar_decision
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! FIG1 bench: cost of evaluating the stale-read window model.
+//!
+//! Harmony evaluates the analytic estimator (and the level solver) at every
+//! adaptation step, so its cost matters for how frequently the controller can
+//! run; the Monte-Carlo estimator is the offline validation path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use concord_staleness::{
+    AnalyticEstimator, LevelSolver, MonteCarloEstimator, PropagationModel, StaleReadEstimator,
+    StalenessParams,
+};
+
+fn params(read_level: u32) -> StalenessParams {
+    StalenessParams::basic(5, read_level, 1, 2_000.0, 300.0, 1.0, 40.0)
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let estimator = AnalyticEstimator::new();
+    let mut group = c.benchmark_group("fig1/analytic");
+    for level in [1u32, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("closed_form", level), &level, |b, &r| {
+            let p = params(r);
+            b.iter(|| estimator.estimate(black_box(&p)))
+        });
+    }
+    // The quadrature path (general propagation-delay distribution).
+    let general = StalenessParams {
+        propagation: PropagationModel::General {
+            delay: concord_sim::DelayDistribution::wan(10.0, 8.0),
+        },
+        ..params(2)
+    };
+    group.bench_function("quadrature", |b| {
+        b.iter(|| estimator.estimate(black_box(&general)))
+    });
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let solver = LevelSolver::new();
+    c.bench_function("fig1/level_solver", |b| {
+        let p = params(1);
+        b.iter(|| solver.solve(black_box(&p), black_box(0.05)))
+    });
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1/monte_carlo");
+    group.sample_size(10);
+    for reads in [10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(reads), &reads, |b, &n| {
+            let estimator = MonteCarloEstimator::new(n, 7);
+            let p = params(1);
+            b.iter(|| estimator.estimate(black_box(&p)))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_analytic, bench_solver, bench_montecarlo
+}
+criterion_main!(benches);

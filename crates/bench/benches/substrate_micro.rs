@@ -1,0 +1,107 @@
+//! Micro-benchmarks of the substrates the experiments run on: the event
+//! queue, the consistent-hash ring, the YCSB key generators and the
+//! end-to-end simulated cluster. These are not results from the paper; they
+//! guard the performance of the simulator itself (a slow substrate would make
+//! the full-scale paper experiments impractical to reproduce).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use concord_cluster::{Cluster, ClusterConfig, ConsistencyLevel, Key, ReplicationStrategy, Ring};
+use concord_sim::{EventQueue, SimDuration, SimRng, SimTime, Topology};
+use concord_workload::generators::{ItemGenerator, ScrambledZipfianGenerator, UniformGenerator};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(1);
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule_at(SimTime::from_micros(rng.next_bounded(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let topo = Topology::single_dc(50);
+    let ring = Ring::new(&topo, 5, ReplicationStrategy::Simple, 32);
+    let mut group = c.benchmark_group("substrate/ring");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("replica_lookup", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            black_box(ring.replicas(Key(key)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/keygen");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("uniform", |b| {
+        let mut gen = UniformGenerator::new(25_000_000);
+        let mut rng = SimRng::new(2);
+        b.iter(|| black_box(gen.next(&mut rng)))
+    });
+    group.bench_function("scrambled_zipfian", |b| {
+        let mut gen = ScrambledZipfianGenerator::new(25_000_000);
+        let mut rng = SimRng::new(3);
+        b.iter(|| black_box(gen.next(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_cluster_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/cluster");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_000));
+    for level in [ConsistencyLevel::One, ConsistencyLevel::Quorum] {
+        group.bench_with_input(
+            BenchmarkId::new("ops_2k", level.to_string()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let mut cluster = Cluster::new(ClusterConfig::lan_test(8, 3), 11);
+                    cluster.load_records((0..500u64).map(|k| (k, 1_000)));
+                    cluster.set_levels(level, ConsistencyLevel::One);
+                    let mut at = SimTime::ZERO;
+                    for i in 0..2_000u64 {
+                        at = at + SimDuration::from_micros(100);
+                        if i % 2 == 0 {
+                            cluster.submit_write_at(i % 500, 1_000, at);
+                        } else {
+                            cluster.submit_read_at(i % 500, at);
+                        }
+                    }
+                    black_box(cluster.run_to_completion(10_000_000).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_event_queue, bench_ring, bench_generators, bench_cluster_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! EXP-B2b — Bismar evaluation (§IV-B, second experiment).
+//!
+//! Compares Bismar against the static consistency levels on the cost platform
+//! (RF 5, two datacenters). The paper's findings to reproduce in shape:
+//! only level ONE costs less than Bismar, but it tolerates up to 61% stale
+//! reads; Bismar cuts the bill by up to 31% compared to the static QUORUM
+//! level while keeping stale reads around 3.5%.
+//!
+//! ```text
+//! cargo run --release -p concord-bench --bin exp_bismar
+//! ```
+
+use concord::prelude::*;
+use concord::PolicySpec;
+use concord_bench::{compare_line, parse_platform, parse_scale, slim};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = parse_scale(&args);
+    let platform_name = parse_platform(&args);
+    let platform = if platform_name.starts_with("ec2") {
+        concord::platforms::ec2_cost(scale.cluster)
+    } else {
+        concord::platforms::grid5000_cost(scale.cluster)
+    };
+    let workload = slim(presets::cost_workload(scale.workload));
+    println!(
+        "EXP-B2b: platform = {}, {} records, {} operations",
+        platform.name, workload.record_count, workload.operation_count
+    );
+
+    let experiment = Experiment::new(platform, workload)
+        .with_clients(32)
+        .with_adaptation_interval(SimDuration::from_millis(250))
+        .with_seed(2013);
+
+    let reports = experiment.compare(&[
+        PolicySpec::FixedReadReplicas(1),
+        PolicySpec::Quorum,
+        PolicySpec::Strong,
+        PolicySpec::Bismar,
+    ]);
+    println!("{}", render_table("EXP-B2b: Bismar vs static levels", &reports));
+
+    let one = &reports[0];
+    let quorum = &reports[1];
+    let bismar = &reports[3];
+
+    println!("paper-vs-measured:");
+    compare_line(
+        "levels cheaper than Bismar",
+        "only ONE",
+        reports
+            .iter()
+            .filter(|r| r.policy != "bismar" && r.total_cost_usd() < bismar.total_cost_usd())
+            .map(|r| r.policy.clone())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    compare_line(
+        "stale reads tolerated by level ONE",
+        "up to 61%",
+        format!("{:.1}%", one.stale_read_rate * 100.0),
+    );
+    compare_line(
+        "Bismar cost vs static QUORUM",
+        "up to −31%",
+        format!(
+            "{:+.1}%",
+            (bismar.total_cost_usd() / quorum.total_cost_usd() - 1.0) * 100.0
+        ),
+    );
+    compare_line(
+        "Bismar stale reads",
+        "≈3.5%",
+        format!("{:.2}%", bismar.stale_read_rate * 100.0),
+    );
+    println!(
+        "\nBismar level timeline: {} changes, mean read fan-out {:.2} replicas",
+        bismar.level_timeline.len(),
+        bismar.mean_read_replicas
+    );
+}

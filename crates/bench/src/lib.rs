@@ -1,0 +1,124 @@
+//! # concord-bench — benchmark harness and experiment binaries
+//!
+//! This crate regenerates every result of the paper's evaluation section
+//! (see `DESIGN.md` and `EXPERIMENTS.md` at the workspace root):
+//!
+//! | Binary | Experiment |
+//! |---|---|
+//! | `exp_fig1` | FIG1 — the stale-read window model (analytic vs Monte-Carlo) |
+//! | `exp_harmony` | EXP-A1/A2 — Harmony vs static eventual/strong on Grid'5000-like and EC2-like platforms |
+//! | `exp_cost_breakdown` | EXP-B1 — consistency impact on the monetary bill (per-level sweep) |
+//! | `exp_efficiency_samples` | EXP-B2a — consistency-cost efficiency under different access patterns |
+//! | `exp_bismar` | EXP-B2b — Bismar vs static levels |
+//! | `exp_behavior` | EXP-C — application behavior modeling |
+//!
+//! Criterion micro-benchmarks (`cargo bench -p concord-bench`) cover the
+//! substrates (ring lookup, zipfian sampling, event queue, estimator) and
+//! small end-to-end runs of the A/B experiments.
+//!
+//! Every binary accepts `--scale <f64>` (default 0.002 for the workload and
+//! ~0.2 for the cluster) so the full-size paper setups can also be simulated
+//! when time allows: `--scale 1.0` reproduces the paper's operation counts.
+
+use concord_workload::WorkloadConfig;
+
+/// Workload/cluster scale parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Fraction of the paper's operation/record counts to run.
+    pub workload: f64,
+    /// Fraction of the paper's node counts to simulate.
+    pub cluster: f64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            workload: 0.002,
+            cluster: 0.25,
+        }
+    }
+}
+
+/// Parse `--scale <f>` and `--cluster-scale <f>` from raw process arguments;
+/// everything else is left to the individual binary.
+pub fn parse_scale(args: &[String]) -> Scale {
+    let mut scale = Scale::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                if let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) {
+                    scale.workload = v.clamp(1e-5, 1.0);
+                }
+            }
+            "--cluster-scale" => {
+                if let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) {
+                    scale.cluster = v.clamp(0.01, 1.0);
+                }
+            }
+            _ => {}
+        }
+    }
+    scale
+}
+
+/// Parse a `--platform <name>` argument (defaults to `g5k`).
+pub fn parse_platform(args: &[String]) -> String {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--platform" {
+            if let Some(v) = it.next() {
+                return v.clone();
+            }
+        }
+    }
+    "g5k".to_string()
+}
+
+/// Make a paper workload lighter-weight for simulation: single 1 KB field
+/// (the record size YCSB uses by default) instead of ten 100 B fields.
+pub fn slim(mut cfg: WorkloadConfig) -> WorkloadConfig {
+    cfg.field_count = 1;
+    cfg.field_length = 1_000;
+    cfg
+}
+
+/// Print a labelled paper-vs-measured comparison line.
+pub fn compare_line(label: &str, paper: &str, measured: String) {
+    println!("  {label:<58} paper: {paper:<22} measured: {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_defaults_and_overrides() {
+        assert_eq!(parse_scale(&[]), Scale::default());
+        let args: Vec<String> = ["--scale", "0.01", "--cluster-scale", "0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let s = parse_scale(&args);
+        assert!((s.workload - 0.01).abs() < 1e-12);
+        assert!((s.cluster - 0.5).abs() < 1e-12);
+        // Bad values fall back to defaults / clamp.
+        let args: Vec<String> = ["--scale", "oops"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_scale(&args).workload, Scale::default().workload);
+    }
+
+    #[test]
+    fn platform_parsing() {
+        assert_eq!(parse_platform(&[]), "g5k");
+        let args: Vec<String> = ["--platform", "ec2"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_platform(&args), "ec2");
+    }
+
+    #[test]
+    fn slim_keeps_record_size_at_1kb() {
+        let cfg = slim(concord_workload::presets::ycsb_a());
+        assert_eq!(cfg.record_size(), 1_000);
+        assert!(cfg.validate().is_ok());
+    }
+}

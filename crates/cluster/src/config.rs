@@ -1,0 +1,142 @@
+//! Cluster configuration.
+
+use crate::consistency::ConsistencyLevel;
+use crate::ring::ReplicationStrategy;
+use concord_sim::{DelayDistribution, NetworkModel, SimDuration, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Complete configuration of a simulated storage cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Node placement into datacenters/regions.
+    pub topology: Topology,
+    /// Network latency model between nodes.
+    pub network: NetworkModel,
+    /// Replication factor.
+    pub replication_factor: u32,
+    /// Replica placement strategy.
+    pub strategy: ReplicationStrategy,
+    /// Virtual nodes per physical node on the ring.
+    pub vnodes: u32,
+    /// Default read consistency level (can be changed at runtime).
+    pub read_level: ConsistencyLevel,
+    /// Default write consistency level (can be changed at runtime).
+    pub write_level: ConsistencyLevel,
+    /// Local storage service time for a read on a replica.
+    pub storage_read_latency: DelayDistribution,
+    /// Local storage service time for a write on a replica.
+    pub storage_write_latency: DelayDistribution,
+    /// Number of storage operations a node can service concurrently;
+    /// additional requests queue FIFO (this is what creates saturation and
+    /// the throughput differences between consistency levels).
+    pub node_concurrency: u32,
+    /// Coordinator-side timeout for gathering the required replica responses.
+    pub op_timeout: SimDuration,
+    /// Whether coordinators send the full data request to every replica and
+    /// repair stale replicas in the background (Cassandra's read repair).
+    pub read_repair: bool,
+    /// Protocol overhead added to every replica message, in bytes.
+    pub message_overhead_bytes: u32,
+    /// Size of a read request / ack message payload in bytes.
+    pub small_message_bytes: u32,
+}
+
+impl ClusterConfig {
+    /// A small single-datacenter cluster with LAN latencies — the default for
+    /// unit tests.
+    pub fn lan_test(nodes: usize, replication_factor: u32) -> Self {
+        ClusterConfig {
+            topology: Topology::single_dc(nodes),
+            network: NetworkModel::lan(),
+            replication_factor,
+            strategy: ReplicationStrategy::Simple,
+            vnodes: 16,
+            read_level: ConsistencyLevel::One,
+            write_level: ConsistencyLevel::One,
+            storage_read_latency: DelayDistribution::LogNormal {
+                median_ms: 0.35,
+                sigma: 0.4,
+            },
+            storage_write_latency: DelayDistribution::LogNormal {
+                median_ms: 0.25,
+                sigma: 0.4,
+            },
+            node_concurrency: 32,
+            op_timeout: SimDuration::from_secs(10),
+            read_repair: false,
+            message_overhead_bytes: 60,
+            small_message_bytes: 40,
+        }
+    }
+
+    /// Validate structural constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.topology.node_count() == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.replication_factor == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
+        if self.replication_factor as usize > self.topology.node_count() {
+            return Err(format!(
+                "replication factor {} exceeds node count {}",
+                self.replication_factor,
+                self.topology.node_count()
+            ));
+        }
+        if self.node_concurrency == 0 {
+            return Err("node concurrency must be at least 1".into());
+        }
+        if self.vnodes == 0 {
+            return Err("vnodes must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Number of datacenters in the topology.
+    pub fn dc_count(&self) -> u32 {
+        self.topology.dc_count() as u32
+    }
+
+    /// Replica responses required for the given level under this config.
+    pub fn required_acks(&self, level: ConsistencyLevel) -> u32 {
+        level.required_acks(self.replication_factor, self.dc_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_test_config_is_valid() {
+        let cfg = ClusterConfig::lan_test(5, 3);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.dc_count(), 1);
+        assert_eq!(cfg.required_acks(ConsistencyLevel::Quorum), 2);
+        assert_eq!(cfg.required_acks(ConsistencyLevel::All), 3);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = ClusterConfig::lan_test(2, 3);
+        assert!(cfg.validate().is_err(), "rf > nodes");
+        cfg = ClusterConfig::lan_test(3, 0);
+        assert!(cfg.validate().is_err(), "rf 0");
+        cfg = ClusterConfig::lan_test(3, 2);
+        cfg.node_concurrency = 0;
+        assert!(cfg.validate().is_err());
+        cfg = ClusterConfig::lan_test(3, 2);
+        cfg.vnodes = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = ClusterConfig::lan_test(4, 3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.replication_factor, 3);
+        assert_eq!(back.topology.node_count(), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! # concord-cluster — geo-replicated quorum key-value store simulator
+//!
+//! The paper evaluates Harmony and Bismar on Apache Cassandra clusters
+//! deployed on Amazon EC2 and Grid'5000. This crate is the from-scratch
+//! substitute substrate: a discrete-event simulation of a Cassandra-like
+//! storage cluster with
+//!
+//! * a consistent-hash ring with virtual nodes and `SimpleStrategy` /
+//!   `NetworkTopologyStrategy` replica placement ([`Ring`]),
+//! * per-operation tunable consistency levels ONE / TWO / THREE / QUORUM /
+//!   LOCAL_QUORUM / EACH_QUORUM / ALL / EXACT(n) ([`ConsistencyLevel`]),
+//! * coordinator-based write and read paths with asynchronous propagation to
+//!   the replicas not required by the consistency level — the source of the
+//!   staleness window the paper's Figure 1 describes ([`Cluster`]),
+//! * last-write-wins versioned replica storage ([`ReplicaStore`]),
+//! * optional read repair and node-failure injection,
+//! * a ground-truth staleness oracle ([`StalenessOracle`]) so measured stale
+//!   rates can be compared against Harmony's estimates,
+//! * full metering of latency, stale reads, network traffic per link class
+//!   and storage I/O for the cost model ([`ClusterMetrics`]).
+//!
+//! ```
+//! use concord_cluster::{Cluster, ClusterConfig, ConsistencyLevel};
+//! use concord_sim::SimTime;
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::lan_test(5, 3), 42);
+//! cluster.load_records((0..100u64).map(|k| (k, 1_000)));
+//! cluster.submit_write_with(7, 1_000, ConsistencyLevel::Quorum, SimTime::ZERO);
+//! cluster.submit_read_with(7, ConsistencyLevel::One, SimTime::from_millis(5));
+//! let completed = cluster.run_to_completion(1_000_000);
+//! assert_eq!(completed.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod consistency;
+pub mod metrics;
+pub mod oracle;
+pub mod ring;
+pub mod storage;
+pub mod types;
+
+pub use cluster::{Cluster, ClusterOutput, ReplicaSelection};
+pub use config::ClusterConfig;
+pub use consistency::ConsistencyLevel;
+pub use metrics::{ClusterMetrics, LatencyReservoir, TrafficBytes};
+pub use oracle::StalenessOracle;
+pub use ring::{ReplicationStrategy, Ring};
+pub use storage::ReplicaStore;
+pub use types::{CompletedOp, Key, OpId, OpKind, OpStatus, StoredValue, Version};

@@ -1,0 +1,272 @@
+//! Cluster-wide metering.
+//!
+//! Everything the cost model (`concord-cost`) and the experiment reports need
+//! is metered here: operation counts and latencies, ground-truth stale reads,
+//! network bytes per link class (the paper's network-cost component), and
+//! storage I/O (the paper's storage-cost component).
+
+use crate::types::OpKind;
+use concord_sim::{LinkClass, RunningStats, SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Size of the latency reservoir kept for percentile reporting.
+const RESERVOIR_SIZE: usize = 65_536;
+
+/// Reservoir-sampled latency collection (exact mean, approximate quantiles).
+#[derive(Debug, Clone)]
+pub struct LatencyReservoir {
+    stats: RunningStats,
+    samples: Vec<f64>,
+    seen: u64,
+    rng: SimRng,
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyReservoir {
+    /// An empty reservoir.
+    pub fn new() -> Self {
+        LatencyReservoir {
+            stats: RunningStats::new(),
+            samples: Vec::new(),
+            seen: 0,
+            rng: SimRng::new(0x5EED_5EED),
+        }
+    }
+
+    /// Record a latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        let ms = latency.as_millis_f64();
+        self.stats.push(ms);
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR_SIZE {
+            self.samples.push(ms);
+        } else {
+            // Vitter's algorithm R.
+            let j = self.rng.next_bounded(self.seen) as usize;
+            if j < RESERVOIR_SIZE {
+                self.samples[j] = ms;
+            }
+        }
+    }
+
+    /// Number of recorded latencies.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Approximate `q`-quantile in milliseconds (`None` if empty).
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        concord_sim::percentile(&self.samples, q)
+    }
+
+    /// Largest recorded latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.stats.max().unwrap_or(0.0)
+    }
+}
+
+/// Bytes transferred per network link class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficBytes {
+    /// Same-node (loopback) bytes — free in every pricing model.
+    pub local: u64,
+    /// Bytes between nodes of the same datacenter.
+    pub intra_dc: u64,
+    /// Bytes between datacenters of the same region (billed inter-AZ on EC2).
+    pub inter_dc: u64,
+    /// Bytes between regions (billed as regional transfer / egress).
+    pub inter_region: u64,
+}
+
+impl TrafficBytes {
+    /// Add `bytes` on a link of class `class`.
+    pub fn add(&mut self, class: LinkClass, bytes: u64) {
+        match class {
+            LinkClass::Local => self.local += bytes,
+            LinkClass::IntraDc => self.intra_dc += bytes,
+            LinkClass::InterDc => self.inter_dc += bytes,
+            LinkClass::InterRegion => self.inter_region += bytes,
+        }
+    }
+
+    /// Total bytes that crossed a datacenter boundary (inter-DC + inter-region).
+    pub fn cross_dc_total(&self) -> u64 {
+        self.inter_dc + self.inter_region
+    }
+
+    /// Total bytes over all link classes.
+    pub fn total(&self) -> u64 {
+        self.local + self.intra_dc + self.inter_dc + self.inter_region
+    }
+}
+
+/// Aggregate metrics of a cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// Completed read operations.
+    pub reads_completed: u64,
+    /// Completed write operations.
+    pub writes_completed: u64,
+    /// Operations that timed out before meeting their consistency level.
+    pub timeouts: u64,
+    /// Ground-truth stale reads (mirrors the oracle's counter).
+    pub stale_reads: u64,
+    /// Read latencies.
+    pub read_latency: LatencyReservoir,
+    /// Write latencies.
+    pub write_latency: LatencyReservoir,
+    /// Time for writes to reach *all* replicas.
+    pub propagation: LatencyReservoir,
+    /// Network traffic per link class.
+    pub traffic: TrafficBytes,
+    /// Replica-level storage read operations.
+    pub storage_read_ops: u64,
+    /// Replica-level storage write operations.
+    pub storage_write_ops: u64,
+    /// Replica messages sent (requests + responses + propagation).
+    pub messages: u64,
+    /// Sum over reads of the number of replicas contacted.
+    pub read_replicas_contacted: u64,
+    /// Sum over writes of the number of replica acks awaited.
+    pub write_acks_awaited: u64,
+}
+
+impl ClusterMetrics {
+    /// New empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed client operation.
+    pub fn record_completion(&mut self, kind: OpKind, latency: SimDuration, stale: bool) {
+        match kind {
+            OpKind::Read => {
+                self.reads_completed += 1;
+                self.read_latency.record(latency);
+                if stale {
+                    self.stale_reads += 1;
+                }
+            }
+            OpKind::Write => {
+                self.writes_completed += 1;
+                self.write_latency.record(latency);
+            }
+        }
+    }
+
+    /// Total completed operations.
+    pub fn ops_completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// Ground-truth stale-read rate.
+    pub fn stale_read_rate(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.stale_reads as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Throughput in operations per second over a run of length `makespan`.
+    pub fn throughput(&self, makespan: SimDuration) -> f64 {
+        let secs = makespan.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops_completed() as f64 / secs
+        }
+    }
+
+    /// Mean number of replicas contacted per read.
+    pub fn mean_read_fanout(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_replicas_contacted as f64 / self.reads_completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_mean_and_quantiles() {
+        let mut r = LatencyReservoir::new();
+        for i in 1..=1000u64 {
+            r.record(SimDuration::from_millis(i));
+        }
+        assert_eq!(r.count(), 1000);
+        assert!((r.mean_ms() - 500.5).abs() < 1e-9);
+        let p50 = r.quantile_ms(0.5).unwrap();
+        assert!((p50 - 500.0).abs() < 20.0);
+        assert_eq!(r.max_ms(), 1000.0);
+    }
+
+    #[test]
+    fn reservoir_handles_more_than_capacity() {
+        let mut r = LatencyReservoir::new();
+        for i in 0..200_000u64 {
+            r.record(SimDuration::from_micros(i % 1000));
+        }
+        assert_eq!(r.count(), 200_000);
+        let p50 = r.quantile_ms(0.5).unwrap();
+        assert!((p50 - 0.5).abs() < 0.05, "p50={p50}");
+    }
+
+    #[test]
+    fn traffic_accumulates_by_class() {
+        let mut t = TrafficBytes::default();
+        t.add(LinkClass::IntraDc, 100);
+        t.add(LinkClass::InterDc, 50);
+        t.add(LinkClass::InterRegion, 25);
+        t.add(LinkClass::Local, 10);
+        assert_eq!(t.total(), 185);
+        assert_eq!(t.cross_dc_total(), 75);
+        assert_eq!(t.intra_dc, 100);
+    }
+
+    #[test]
+    fn completion_recording_updates_counters() {
+        let mut m = ClusterMetrics::new();
+        m.record_completion(OpKind::Read, SimDuration::from_millis(2), false);
+        m.record_completion(OpKind::Read, SimDuration::from_millis(4), true);
+        m.record_completion(OpKind::Write, SimDuration::from_millis(8), false);
+        assert_eq!(m.ops_completed(), 3);
+        assert_eq!(m.reads_completed, 2);
+        assert_eq!(m.stale_reads, 1);
+        assert!((m.stale_read_rate() - 0.5).abs() < 1e-12);
+        assert!((m.read_latency.mean_ms() - 3.0).abs() < 1e-9);
+        assert!((m.write_latency.mean_ms() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_uses_makespan() {
+        let mut m = ClusterMetrics::new();
+        for _ in 0..100 {
+            m.record_completion(OpKind::Read, SimDuration::from_millis(1), false);
+        }
+        assert!((m.throughput(SimDuration::from_secs(10)) - 10.0).abs() < 1e-9);
+        assert_eq!(m.throughput(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn fanout_mean() {
+        let mut m = ClusterMetrics::new();
+        m.reads_completed = 4;
+        m.read_replicas_contacted = 10;
+        assert!((m.mean_read_fanout() - 2.5).abs() < 1e-12);
+    }
+}

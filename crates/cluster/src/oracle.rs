@@ -1,0 +1,252 @@
+//! Ground-truth staleness oracle.
+//!
+//! The simulation can do something the paper's real deployments cannot: know
+//! *exactly* which reads were stale. The oracle tracks, per key, the sequence
+//! of write versions in the order their consistency level was satisfied
+//! (acknowledged to the client). A read issued at time `t` is stale if it
+//! returns a version older than the newest version acknowledged before `t`.
+//! This is the same definition the Monte-Carlo staleness estimator and the
+//! Harmony model use, so measured and estimated rates are directly
+//! comparable (as they are in the paper's Harmony evaluation).
+
+use crate::types::{Key, Version};
+use std::collections::{HashMap, VecDeque};
+
+/// How many recent acknowledged versions are kept per key for computing the
+/// staleness *depth*. Older history is dropped (the depth saturates), which
+/// bounds the oracle's memory for long runs.
+const DEPTH_HISTORY: usize = 64;
+
+/// Per-key acknowledged-write bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct KeyHistory {
+    /// Latest acknowledged version.
+    latest_acked: Version,
+    /// Number of acknowledged writes so far (used for staleness depth).
+    acked_writes: u64,
+    /// Recent (version, ack index) pairs, newest at the back; bounded to
+    /// [`DEPTH_HISTORY`] entries.
+    version_order: VecDeque<(Version, u64)>,
+}
+
+impl KeyHistory {
+    fn push_version(&mut self, version: Version, index: u64) {
+        self.version_order.push_back((version, index));
+        if self.version_order.len() > DEPTH_HISTORY {
+            self.version_order.pop_front();
+        }
+    }
+
+    fn index_of(&self, version: Version) -> Option<u64> {
+        self.version_order
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == version)
+            .map(|(_, i)| *i)
+    }
+}
+
+/// The staleness oracle.
+#[derive(Debug, Clone, Default)]
+pub struct StalenessOracle {
+    keys: HashMap<Key, KeyHistory>,
+    stale_reads: u64,
+    fresh_reads: u64,
+    /// Sum of staleness depths over stale reads (for the average).
+    stale_depth_sum: u64,
+}
+
+/// Classification of one read by the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadClassification {
+    /// Whether the read returned a value older than the latest version
+    /// acknowledged before the read was issued.
+    pub stale: bool,
+    /// How many acknowledged writes the returned value lags behind.
+    pub depth: u32,
+}
+
+impl StalenessOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `version` of `key` was just preloaded (bulk load before
+    /// the measured run): it becomes the acknowledged baseline.
+    pub fn preload(&mut self, key: Key, version: Version) {
+        let h = self.keys.entry(key).or_default();
+        h.latest_acked = h.latest_acked.max(version);
+        h.acked_writes += 1;
+        let idx = h.acked_writes;
+        h.push_version(version, idx);
+    }
+
+    /// Record that a write of `version` to `key` satisfied its consistency
+    /// level (i.e. was acknowledged to the client) at the current time.
+    /// Acknowledgements arrive in simulation-time order.
+    pub fn record_ack(&mut self, key: Key, version: Version) {
+        let h = self.keys.entry(key).or_default();
+        h.acked_writes += 1;
+        let idx = h.acked_writes;
+        h.push_version(version, idx);
+        if version > h.latest_acked {
+            h.latest_acked = version;
+        }
+    }
+
+    /// The latest acknowledged version of `key` right now. A read captures
+    /// this at issue time as its freshness requirement.
+    pub fn expected_version(&self, key: Key) -> Version {
+        self.keys
+            .get(&key)
+            .map(|h| h.latest_acked)
+            .unwrap_or(Version::NONE)
+    }
+
+    /// Classify a completed read: it was issued when `expected` was the
+    /// newest acknowledged version and returned `returned`.
+    pub fn classify_read(&mut self, key: Key, expected: Version, returned: Version) -> ReadClassification {
+        let stale = returned < expected;
+        let depth = if !stale {
+            0
+        } else {
+            let h = self.keys.get(&key);
+            match h {
+                None => 1,
+                Some(h) => {
+                    let expected_idx = h.index_of(expected).unwrap_or(0);
+                    let returned_idx = h.index_of(returned).unwrap_or(0);
+                    expected_idx.saturating_sub(returned_idx).max(1) as u32
+                }
+            }
+        };
+        if stale {
+            self.stale_reads += 1;
+            self.stale_depth_sum += depth as u64;
+        } else {
+            self.fresh_reads += 1;
+        }
+        ReadClassification { stale, depth }
+    }
+
+    /// Number of reads classified as stale.
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads
+    }
+
+    /// Number of reads classified as fresh.
+    pub fn fresh_reads(&self) -> u64 {
+        self.fresh_reads
+    }
+
+    /// Fraction of reads that were stale (0 if no reads were classified).
+    pub fn stale_rate(&self) -> f64 {
+        let total = self.stale_reads + self.fresh_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.stale_reads as f64 / total as f64
+        }
+    }
+
+    /// Mean number of acknowledged writes a stale read lagged behind.
+    pub fn mean_staleness_depth(&self) -> f64 {
+        if self.stale_reads == 0 {
+            0.0
+        } else {
+            self.stale_depth_sum as f64 / self.stale_reads as f64
+        }
+    }
+
+    /// Number of keys the oracle has seen.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_reads_are_not_stale() {
+        let mut o = StalenessOracle::new();
+        o.record_ack(Key(1), Version(5));
+        let expected = o.expected_version(Key(1));
+        let c = o.classify_read(Key(1), expected, Version(5));
+        assert!(!c.stale);
+        assert_eq!(c.depth, 0);
+        assert_eq!(o.stale_rate(), 0.0);
+    }
+
+    #[test]
+    fn returning_an_old_version_is_stale() {
+        let mut o = StalenessOracle::new();
+        o.record_ack(Key(1), Version(5));
+        o.record_ack(Key(1), Version(9));
+        let expected = o.expected_version(Key(1));
+        assert_eq!(expected, Version(9));
+        let c = o.classify_read(Key(1), expected, Version(5));
+        assert!(c.stale);
+        assert_eq!(c.depth, 1, "one acknowledged write behind");
+        assert_eq!(o.stale_reads(), 1);
+        assert!(o.stale_rate() > 0.99);
+    }
+
+    #[test]
+    fn depth_counts_missed_writes() {
+        let mut o = StalenessOracle::new();
+        for v in 1..=5u64 {
+            o.record_ack(Key(1), Version(v));
+        }
+        let c = o.classify_read(Key(1), Version(5), Version(2));
+        assert!(c.stale);
+        assert_eq!(c.depth, 3);
+        assert_eq!(o.mean_staleness_depth(), 3.0);
+    }
+
+    #[test]
+    fn reads_newer_than_expected_are_fresh() {
+        // A read may see a write that was acknowledged *after* the read was
+        // issued; that is not stale.
+        let mut o = StalenessOracle::new();
+        o.record_ack(Key(1), Version(3));
+        let expected = o.expected_version(Key(1));
+        o.record_ack(Key(1), Version(7));
+        let c = o.classify_read(Key(1), expected, Version(7));
+        assert!(!c.stale);
+    }
+
+    #[test]
+    fn unknown_keys_have_no_expectation() {
+        let mut o = StalenessOracle::new();
+        assert_eq!(o.expected_version(Key(99)), Version::NONE);
+        let c = o.classify_read(Key(99), Version::NONE, Version::NONE);
+        assert!(!c.stale);
+        assert_eq!(o.fresh_reads(), 1);
+    }
+
+    #[test]
+    fn preload_sets_baseline() {
+        let mut o = StalenessOracle::new();
+        o.preload(Key(1), Version(1));
+        assert_eq!(o.expected_version(Key(1)), Version(1));
+        assert_eq!(o.key_count(), 1);
+        // Reading the preloaded version is fresh; missing it is stale.
+        let c = o.classify_read(Key(1), Version(1), Version::NONE);
+        assert!(c.stale);
+    }
+
+    #[test]
+    fn rate_mixes_stale_and_fresh() {
+        let mut o = StalenessOracle::new();
+        o.record_ack(Key(1), Version(1));
+        o.record_ack(Key(1), Version(2));
+        for _ in 0..3 {
+            o.classify_read(Key(1), Version(2), Version(2));
+        }
+        o.classify_read(Key(1), Version(2), Version(1));
+        assert!((o.stale_rate() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! Consistent-hash ring partitioner and replica placement.
+//!
+//! Like Cassandra, keys are hashed onto a token ring; each node owns a set of
+//! virtual-node tokens, and the replicas of a key are the owners of the first
+//! distinct nodes encountered walking the ring clockwise from the key's
+//! token. Two placement strategies are provided:
+//!
+//! * [`ReplicationStrategy::Simple`] — the next `RF` distinct nodes on the
+//!   ring, regardless of datacenter (Cassandra's `SimpleStrategy`);
+//! * [`ReplicationStrategy::NetworkTopology`] — replicas spread over
+//!   datacenters as evenly as possible (Cassandra's
+//!   `NetworkTopologyStrategy`), which is how the paper deploys Cassandra
+//!   over two availability zones / two Grid'5000 sites.
+
+use crate::types::Key;
+use concord_sim::{DcId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How replicas are placed across the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationStrategy {
+    /// Next `RF` distinct nodes on the ring.
+    Simple,
+    /// Replicas balanced across datacenters (round-robin over DCs while
+    /// walking the ring).
+    NetworkTopology,
+}
+
+/// 64-bit mixer used as the ring hash (SplitMix64 finalizer — well-spread,
+/// deterministic, dependency-free).
+#[inline]
+fn ring_hash(value: u64) -> u64 {
+    let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The token ring.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// token → owning node, sorted by token.
+    tokens: BTreeMap<u64, NodeId>,
+    replication_factor: u32,
+    strategy: ReplicationStrategy,
+    /// Node → datacenter, copied from the topology for placement decisions.
+    node_dc: Vec<DcId>,
+    dc_count: usize,
+}
+
+impl Ring {
+    /// Build a ring for all nodes of `topology` with `vnodes` virtual nodes
+    /// per physical node.
+    pub fn new(
+        topology: &Topology,
+        replication_factor: u32,
+        strategy: ReplicationStrategy,
+        vnodes: u32,
+    ) -> Self {
+        assert!(replication_factor >= 1, "replication factor must be ≥ 1");
+        assert!(
+            replication_factor as usize <= topology.node_count(),
+            "replication factor {replication_factor} exceeds node count {}",
+            topology.node_count()
+        );
+        assert!(vnodes >= 1);
+        let mut tokens = BTreeMap::new();
+        for node in topology.nodes() {
+            for v in 0..vnodes {
+                // Derive deterministic, well-spread tokens per (node, vnode).
+                let token = ring_hash(((node.0 as u64) << 32) ^ (v as u64) ^ 0xA5A5_5A5A);
+                tokens.insert(token, node);
+            }
+        }
+        let node_dc = topology.nodes().map(|n| topology.dc_of(n)).collect();
+        Ring {
+            tokens,
+            replication_factor,
+            strategy,
+            node_dc,
+            dc_count: topology.dc_count(),
+        }
+    }
+
+    /// The replication factor.
+    pub fn replication_factor(&self) -> u32 {
+        self.replication_factor
+    }
+
+    /// The placement strategy.
+    pub fn strategy(&self) -> ReplicationStrategy {
+        self.strategy
+    }
+
+    /// The token a key hashes to.
+    pub fn token_of(&self, key: Key) -> u64 {
+        ring_hash(key.0 ^ 0x5117_BEEF_0000_0001)
+    }
+
+    /// The ordered list of replica nodes for `key` (primary first).
+    pub fn replicas(&self, key: Key) -> Vec<NodeId> {
+        let token = self.token_of(key);
+        let rf = self.replication_factor as usize;
+        let mut replicas: Vec<NodeId> = Vec::with_capacity(rf);
+
+        // Walk the ring clockwise starting at the key's token, wrapping.
+        let walk = self
+            .tokens
+            .range(token..)
+            .chain(self.tokens.range(..token))
+            .map(|(_, &node)| node);
+
+        match self.strategy {
+            ReplicationStrategy::Simple => {
+                for node in walk {
+                    if !replicas.contains(&node) {
+                        replicas.push(node);
+                        if replicas.len() == rf {
+                            break;
+                        }
+                    }
+                }
+            }
+            ReplicationStrategy::NetworkTopology => {
+                // Spread replicas over DCs: allow a DC to take another
+                // replica only when its share is below its even allotment.
+                let dc_quota = {
+                    let per_dc = (rf + self.dc_count - 1) / self.dc_count;
+                    per_dc
+                };
+                let mut per_dc_count: BTreeMap<DcId, usize> = BTreeMap::new();
+                let mut skipped: Vec<NodeId> = Vec::new();
+                for node in walk {
+                    if replicas.len() == rf {
+                        break;
+                    }
+                    if replicas.contains(&node) {
+                        continue;
+                    }
+                    let dc = self.node_dc[node.0 as usize];
+                    let count = per_dc_count.entry(dc).or_insert(0);
+                    if *count < dc_quota {
+                        *count += 1;
+                        replicas.push(node);
+                    } else if !skipped.contains(&node) {
+                        skipped.push(node);
+                    }
+                }
+                // If quotas could not be met (e.g. a tiny DC), fill from the
+                // skipped nodes in ring order.
+                for node in skipped {
+                    if replicas.len() == rf {
+                        break;
+                    }
+                    if !replicas.contains(&node) {
+                        replicas.push(node);
+                    }
+                }
+            }
+        }
+        replicas
+    }
+
+    /// The primary replica for `key`.
+    pub fn primary(&self, key: Key) -> NodeId {
+        self.replicas(key)[0]
+    }
+
+    /// Approximate ownership fraction of each node (share of sampled keys for
+    /// which the node is a replica). Used by tests and capacity planning.
+    pub fn ownership(&self, sample_keys: u64) -> BTreeMap<NodeId, f64> {
+        let mut counts: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for k in 0..sample_keys {
+            for node in self.replicas(Key(k)) {
+                *counts.entry(node).or_insert(0) += 1;
+            }
+        }
+        let total = (sample_keys * self.replication_factor as u64).max(1) as f64;
+        counts
+            .into_iter()
+            .map(|(n, c)| (n, c as f64 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_sim::RegionId;
+
+    fn topo_2dc(nodes: usize) -> Topology {
+        Topology::spread(nodes, &[("dc-a", RegionId(0)), ("dc-b", RegionId(0))])
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_match_rf() {
+        let topo = Topology::single_dc(10);
+        let ring = Ring::new(&topo, 3, ReplicationStrategy::Simple, 8);
+        for k in 0..1000 {
+            let reps = ring.replicas(Key(k));
+            assert_eq!(reps.len(), 3);
+            let mut sorted = reps.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let topo = topo_2dc(8);
+        let ring1 = Ring::new(&topo, 3, ReplicationStrategy::NetworkTopology, 16);
+        let ring2 = Ring::new(&topo, 3, ReplicationStrategy::NetworkTopology, 16);
+        for k in 0..500 {
+            assert_eq!(ring1.replicas(Key(k)), ring2.replicas(Key(k)));
+        }
+    }
+
+    #[test]
+    fn network_topology_spreads_over_dcs() {
+        let topo = topo_2dc(10);
+        let ring = Ring::new(&topo, 4, ReplicationStrategy::NetworkTopology, 16);
+        for k in 0..500 {
+            let reps = ring.replicas(Key(k));
+            let dc_a = reps.iter().filter(|n| n.0 % 2 == 0).count();
+            let dc_b = reps.len() - dc_a;
+            assert_eq!(dc_a, 2, "key {k}: replicas {reps:?} must be 2+2 over the DCs");
+            assert_eq!(dc_b, 2);
+        }
+    }
+
+    #[test]
+    fn network_topology_with_odd_rf() {
+        let topo = topo_2dc(10);
+        let ring = Ring::new(&topo, 5, ReplicationStrategy::NetworkTopology, 16);
+        for k in 0..200 {
+            let reps = ring.replicas(Key(k));
+            assert_eq!(reps.len(), 5);
+            let dc_a = reps.iter().filter(|n| n.0 % 2 == 0).count();
+            // Even allotment of 5 over 2 DCs is 3 + 2 (either way round).
+            assert!((2..=3).contains(&dc_a), "key {k}: {reps:?}");
+        }
+    }
+
+    #[test]
+    fn ownership_is_roughly_balanced() {
+        let topo = Topology::single_dc(8);
+        let ring = Ring::new(&topo, 3, ReplicationStrategy::Simple, 64);
+        let ownership = ring.ownership(20_000);
+        assert_eq!(ownership.len(), 8, "every node should own part of the ring");
+        let ideal = 1.0 / 8.0;
+        for (node, share) in ownership {
+            assert!(
+                (share - ideal).abs() < ideal * 0.5,
+                "{node} owns {share:.3}, ideal {ideal:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn rf_one_gives_single_replica() {
+        let topo = Topology::single_dc(4);
+        let ring = Ring::new(&topo, 1, ReplicationStrategy::Simple, 8);
+        for k in 0..100 {
+            assert_eq!(ring.replicas(Key(k)).len(), 1);
+            assert_eq!(ring.primary(Key(k)), ring.replicas(Key(k))[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds node count")]
+    fn rf_larger_than_cluster_rejected() {
+        let topo = Topology::single_dc(2);
+        Ring::new(&topo, 3, ReplicationStrategy::Simple, 8);
+    }
+
+    #[test]
+    fn different_keys_map_to_different_primaries() {
+        let topo = Topology::single_dc(16);
+        let ring = Ring::new(&topo, 3, ReplicationStrategy::Simple, 32);
+        let primaries: std::collections::HashSet<NodeId> =
+            (0..2000).map(|k| ring.primary(Key(k))).collect();
+        assert!(primaries.len() > 10, "keys should spread over many primaries");
+    }
+}

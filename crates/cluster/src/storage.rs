@@ -1,0 +1,158 @@
+//! Per-replica local storage.
+//!
+//! Each simulated node owns a [`ReplicaStore`]: a versioned key-value map
+//! with last-write-wins reconciliation plus the counters needed for the cost
+//! model (bytes stored, storage I/O operations performed).
+
+use crate::types::{Key, StoredValue, Version};
+use concord_sim::SimTime;
+use std::collections::HashMap;
+
+/// The local storage of one replica node.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaStore {
+    data: HashMap<Key, StoredValue>,
+    bytes_stored: u64,
+    write_ops: u64,
+    read_ops: u64,
+    /// Writes ignored because a newer version was already present
+    /// (late-arriving propagation after a concurrent overwrite).
+    superseded_writes: u64,
+}
+
+impl ReplicaStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a write. Returns `true` if the value was installed, `false` if a
+    /// newer version was already present (last-write-wins).
+    pub fn apply_write(&mut self, key: Key, version: Version, size: u32, at: SimTime) -> bool {
+        self.write_ops += 1;
+        match self.data.get_mut(&key) {
+            Some(existing) if existing.version >= version => {
+                self.superseded_writes += 1;
+                false
+            }
+            Some(existing) => {
+                self.bytes_stored = self.bytes_stored - existing.size as u64 + size as u64;
+                *existing = StoredValue {
+                    version,
+                    size,
+                    applied_at: at,
+                };
+                true
+            }
+            None => {
+                self.bytes_stored += size as u64;
+                self.data.insert(
+                    key,
+                    StoredValue {
+                        version,
+                        size,
+                        applied_at: at,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Load a record directly (bulk load path: no I/O accounting, used to
+    /// pre-populate the data set before the measured run).
+    pub fn preload(&mut self, key: Key, version: Version, size: u32) {
+        self.bytes_stored += size as u64;
+        self.data.insert(
+            key,
+            StoredValue {
+                version,
+                size,
+                applied_at: SimTime::ZERO,
+            },
+        );
+    }
+
+    /// Read the current value of a key (counts as one storage read).
+    pub fn read(&mut self, key: Key) -> Option<StoredValue> {
+        self.read_ops += 1;
+        self.data.get(&key).copied()
+    }
+
+    /// Peek without accounting (used by the staleness oracle and tests).
+    pub fn peek(&self, key: Key) -> Option<StoredValue> {
+        self.data.get(&key).copied()
+    }
+
+    /// Number of distinct keys stored.
+    pub fn key_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total payload bytes currently stored on this replica.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Number of storage write operations performed (including superseded).
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops
+    }
+
+    /// Number of storage read operations performed.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops
+    }
+
+    /// Number of writes that lost the last-write-wins race.
+    pub fn superseded_writes(&self) -> u64 {
+        self.superseded_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_install_newest_version() {
+        let mut s = ReplicaStore::new();
+        assert!(s.apply_write(Key(1), Version(1), 100, SimTime::from_secs(1)));
+        assert!(s.apply_write(Key(1), Version(3), 100, SimTime::from_secs(2)));
+        // An older (late) version must not overwrite a newer one.
+        assert!(!s.apply_write(Key(1), Version(2), 100, SimTime::from_secs(3)));
+        assert_eq!(s.peek(Key(1)).unwrap().version, Version(3));
+        assert_eq!(s.superseded_writes(), 1);
+        assert_eq!(s.write_ops(), 3);
+    }
+
+    #[test]
+    fn bytes_stored_tracks_value_sizes() {
+        let mut s = ReplicaStore::new();
+        s.apply_write(Key(1), Version(1), 100, SimTime::ZERO);
+        s.apply_write(Key(2), Version(2), 50, SimTime::ZERO);
+        assert_eq!(s.bytes_stored(), 150);
+        // Overwriting key 1 with a larger value adjusts the total.
+        s.apply_write(Key(1), Version(3), 300, SimTime::ZERO);
+        assert_eq!(s.bytes_stored(), 350);
+        assert_eq!(s.key_count(), 2);
+    }
+
+    #[test]
+    fn reads_are_counted_and_return_values() {
+        let mut s = ReplicaStore::new();
+        s.preload(Key(7), Version(1), 10);
+        assert_eq!(s.read(Key(7)).unwrap().version, Version(1));
+        assert!(s.read(Key(8)).is_none());
+        assert_eq!(s.read_ops(), 2);
+        // preload does not count as a write op.
+        assert_eq!(s.write_ops(), 0);
+    }
+
+    #[test]
+    fn equal_version_does_not_reinstall() {
+        let mut s = ReplicaStore::new();
+        assert!(s.apply_write(Key(1), Version(5), 10, SimTime::ZERO));
+        assert!(!s.apply_write(Key(1), Version(5), 10, SimTime::ZERO));
+    }
+}

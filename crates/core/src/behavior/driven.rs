@@ -1,0 +1,176 @@
+//! The runtime side of behavior modeling: a [`ConsistencyPolicy`] that
+//! classifies the application's current state with the offline-built
+//! [`BehaviorModel`] and delegates the decision to the policy associated
+//! with that state.
+
+use super::features::PeriodFeatures;
+use super::model::BehaviorModel;
+use crate::policy::{ConsistencyPolicy, LevelDecision, PolicyContext};
+use std::collections::HashMap;
+
+/// A policy driven by an application behavior model.
+///
+/// At every adaptation step the live monitor snapshot is converted into the
+/// model's feature space, the nearest application state is found, and the
+/// decision is delegated to the consistency policy that the offline rules
+/// associated with that state (instantiated lazily and kept across steps so
+/// that adaptive inner policies like Harmony retain their history).
+pub struct BehaviorDrivenPolicy {
+    model: BehaviorModel,
+    instantiated: HashMap<usize, Box<dyn ConsistencyPolicy>>,
+    last_state: Option<usize>,
+    state_switches: u64,
+}
+
+impl BehaviorDrivenPolicy {
+    /// Create the policy from an offline-fitted model.
+    pub fn new(model: BehaviorModel) -> Self {
+        BehaviorDrivenPolicy {
+            model,
+            instantiated: HashMap::new(),
+            last_state: None,
+            state_switches: 0,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &BehaviorModel {
+        &self.model
+    }
+
+    /// The state selected at the last decision.
+    pub fn current_state(&self) -> Option<usize> {
+        self.last_state
+    }
+
+    /// How many times the classified state changed between decisions.
+    pub fn state_switches(&self) -> u64 {
+        self.state_switches
+    }
+
+    /// Build the live feature observation from the monitor snapshot.
+    fn observation(ctx: &PolicyContext) -> PeriodFeatures {
+        let snapshot = &ctx.snapshot;
+        let ops = snapshot.read_rate + snapshot.write_rate;
+        let write_ratio = if ops > 0.0 {
+            snapshot.write_rate / ops
+        } else {
+            0.0
+        };
+        PeriodFeatures {
+            period: 0,
+            ops_per_sec: ops,
+            read_rate: snapshot.read_rate,
+            write_rate: snapshot.write_rate,
+            write_ratio,
+            mean_value_size: ctx.profile.record_size_bytes as f64,
+            // The monitor does not track per-key popularity; use a neutral
+            // value (the classifier normalizes it against the training mean).
+            hot_key_concentration: f64::NAN,
+            distinct_keys: 0,
+        }
+    }
+}
+
+impl ConsistencyPolicy for BehaviorDrivenPolicy {
+    fn name(&self) -> String {
+        format!("behavior-model({} states)", self.model.state_count())
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext) -> LevelDecision {
+        let mut obs = Self::observation(ctx);
+        // Replace the unknown skew dimension with the classifier-neutral
+        // training mean so it does not influence the nearest-centroid search.
+        obs.hot_key_concentration = self.model.neutral_hot_key_concentration();
+
+        let state = self.model.classify(&obs);
+        let state_id = state.id;
+        let policy_kind = state.policy;
+        if self.last_state != Some(state_id) {
+            if self.last_state.is_some() {
+                self.state_switches += 1;
+            }
+            self.last_state = Some(state_id);
+        }
+        let inner = self
+            .instantiated
+            .entry(state_id)
+            .or_insert_with(|| policy_kind.instantiate());
+        inner.decide(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::model::BehaviorModelBuilder;
+    use crate::policy::tests::test_context;
+    use concord_cluster::ConsistencyLevel;
+    use concord_sim::{SimDuration, SimRng};
+    use concord_workload::{presets, SyntheticTraceBuilder};
+
+    fn webshop_model() -> BehaviorModel {
+        let mut rng = SimRng::new(21);
+        let browse = presets::ycsb_b();
+        let checkout = presets::ycsb_a();
+        let trace = SyntheticTraceBuilder::new()
+            .add("browse", SimDuration::from_secs(300), 60.0, browse.clone())
+            .add("checkout", SimDuration::from_secs(120), 400.0, checkout.clone())
+            .add("browse2", SimDuration::from_secs(300), 60.0, browse)
+            .add("checkout2", SimDuration::from_secs(120), 400.0, checkout)
+            .build(&mut rng);
+        BehaviorModelBuilder::new(SimDuration::from_secs(60))
+            .with_state_bounds(2, 3)
+            .fit(&trace, &mut rng)
+    }
+
+    #[test]
+    fn delegates_to_the_state_policy() {
+        let mut policy = BehaviorDrivenPolicy::new(webshop_model());
+        assert!(policy.current_state().is_none());
+
+        // Browse-like load: read mostly, light → a weak/cheap decision.
+        let browse_ctx = test_context(60.0, 3.0, 2.0);
+        let browse_decision = policy.decide(&browse_ctx);
+        let browse_state = policy.current_state().unwrap();
+
+        // Checkout-like load: heavy, write-rich → a stronger decision.
+        let checkout_ctx = test_context(200.0, 200.0, 10.0);
+        let checkout_decision = policy.decide(&checkout_ctx);
+        let checkout_state = policy.current_state().unwrap();
+
+        assert_ne!(browse_state, checkout_state);
+        assert_eq!(policy.state_switches(), 1);
+        // The checkout state must read at least as strongly as browsing.
+        let rf = checkout_ctx.profile.replication_factor;
+        let dcs = checkout_ctx.profile.dc_count;
+        assert!(
+            checkout_decision.read.required_acks(rf, dcs)
+                >= browse_decision.read.required_acks(rf, dcs),
+            "browse={browse_decision:?} checkout={checkout_decision:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_same_state_does_not_count_as_switch() {
+        let mut policy = BehaviorDrivenPolicy::new(webshop_model());
+        let ctx = test_context(60.0, 3.0, 2.0);
+        policy.decide(&ctx);
+        policy.decide(&ctx);
+        policy.decide(&ctx);
+        assert_eq!(policy.state_switches(), 0);
+        assert!(policy.name().contains("behavior-model"));
+        assert!(policy.model().state_count() >= 2);
+    }
+
+    #[test]
+    fn zero_traffic_is_classified_without_panicking() {
+        let mut policy = BehaviorDrivenPolicy::new(webshop_model());
+        let ctx = test_context(0.0, 0.0, 0.0);
+        let d = policy.decide(&ctx);
+        // Any valid level is acceptable; it must simply not blow up.
+        let acks = d.read.required_acks(5, 2);
+        assert!((1..=5).contains(&acks));
+        assert_ne!(d.write, ConsistencyLevel::Exact(0));
+    }
+}

@@ -1,0 +1,315 @@
+//! k-means clustering (with k-means++ seeding and silhouette-based model
+//! selection), used to identify the application *states* in the timeline.
+//!
+//! The paper: *"This timeline is further processed by machine learning
+//! techniques in order to identify the different states and states
+//! evolvements of the application during its lifetime."* k-means over the
+//! normalized per-period feature vectors is the canonical unsupervised choice
+//! for this step; it is implemented from scratch here to keep the dependency
+//! set minimal.
+
+use concord_sim::SimRng;
+
+/// The result of a k-means fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansFit {
+    /// Cluster centroids (k × dims).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index assigned to every input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid (inertia).
+    pub inertia: f64,
+}
+
+/// Squared Euclidean distance.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the nearest centroid.
+fn nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(point, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ initialization: the first centroid is a random point, each
+/// subsequent centroid is sampled proportionally to its squared distance from
+/// the nearest already-chosen centroid.
+fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.index(points.len())].clone());
+    while centroids.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| nearest(p, &centroids).1)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.index(points.len())].clone());
+            continue;
+        }
+        let mut target = rng.next_f64() * total;
+        let mut chosen = points.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Run k-means (Lloyd's algorithm) on `points`.
+///
+/// # Panics
+/// Panics if `points` is empty, `k` is zero, or `k > points.len()`.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut SimRng) -> KMeansFit {
+    assert!(!points.is_empty(), "cannot cluster an empty set");
+    assert!(k >= 1 && k <= points.len(), "k must be in 1..=len");
+    let dims = points[0].len();
+    let mut centroids = init_plus_plus(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+
+    for _ in 0..max_iters.max(1) {
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (c, _) = nearest(p, &centroids);
+            if assignments[i] != c {
+                assignments[i] = c;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for d in 0..dims {
+                sums[a][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster on the farthest point.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        nearest(a, &centroids)
+                            .1
+                            .partial_cmp(&nearest(b, &centroids).1)
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[c] = points[far].clone();
+            } else {
+                for d in 0..dims {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(assignments.iter())
+        .map(|(p, &a)| dist2(p, &centroids[a]))
+        .sum();
+    KMeansFit {
+        centroids,
+        assignments,
+        inertia,
+    }
+}
+
+/// Mean silhouette coefficient of a clustering (−1 … 1, higher is better).
+/// Returns 0 for degenerate clusterings (a single cluster or singleton data).
+pub fn silhouette(points: &[Vec<f64>], fit: &KMeansFit) -> f64 {
+    let k = fit.centroids.len();
+    if k < 2 || points.len() < 3 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (i, p) in points.iter().enumerate() {
+        let own = fit.assignments[i];
+        // Mean distance to own cluster (a) and to the best other cluster (b).
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            sums[fit.assignments[j]] += dist2(p, q).sqrt();
+            counts[fit.assignments[j]] += 1;
+        }
+        if counts[own] == 0 {
+            continue; // singleton cluster: silhouette undefined for the point
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        total += (b - a) / a.max(b).max(1e-12);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Fit k-means for every k in `k_range` and return the fit with the best
+/// silhouette score (ties favour fewer clusters).
+pub fn select_k(
+    points: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    max_iters: usize,
+    rng: &mut SimRng,
+) -> (usize, KMeansFit) {
+    let mut best: Option<(usize, KMeansFit, f64)> = None;
+    for k in k_range {
+        if k > points.len() || k == 0 {
+            continue;
+        }
+        let fit = kmeans(points, k, max_iters, rng);
+        let score = silhouette(points, &fit);
+        let better = match &best {
+            None => true,
+            Some((_, _, best_score)) => score > *best_score + 1e-9,
+        };
+        if better {
+            best = Some((k, fit, score));
+        }
+    }
+    let (k, fit, _) = best.expect("k_range must contain at least one feasible k");
+    (k, fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs(rng: &mut SimRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)];
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (label, (cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                points.push(vec![
+                    cx + rng.next_f64() - 0.5,
+                    cy + rng.next_f64() - 0.5,
+                ]);
+                labels.push(label);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut rng = SimRng::new(1);
+        let (points, labels) = blobs(&mut rng);
+        let fit = kmeans(&points, 3, 100, &mut rng);
+        assert_eq!(fit.centroids.len(), 3);
+        // Every ground-truth cluster must map to exactly one k-means cluster.
+        for label in 0..3 {
+            let assigned: std::collections::HashSet<usize> = points
+                .iter()
+                .zip(labels.iter())
+                .zip(fit.assignments.iter())
+                .filter(|((_, l), _)| **l == label)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(assigned.len(), 1, "cluster {label} split across centroids");
+        }
+        assert!(fit.inertia < 100.0);
+    }
+
+    #[test]
+    fn single_cluster_is_the_mean() {
+        let points = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let mut rng = SimRng::new(2);
+        let fit = kmeans(&points, 1, 50, &mut rng);
+        assert!((fit.centroids[0][0] - 3.0).abs() < 1e-9);
+        assert!((fit.centroids[0][1] - 4.0).abs() < 1e-9);
+        assert!(fit.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let mut rng = SimRng::new(3);
+        let fit = kmeans(&points, 3, 50, &mut rng);
+        assert!(fit.inertia < 1e-9);
+    }
+
+    #[test]
+    fn silhouette_prefers_the_true_k() {
+        let mut rng = SimRng::new(4);
+        let (points, _) = blobs(&mut rng);
+        let fit2 = kmeans(&points, 2, 100, &mut rng);
+        let fit3 = kmeans(&points, 3, 100, &mut rng);
+        assert!(silhouette(&points, &fit3) > silhouette(&points, &fit2));
+    }
+
+    #[test]
+    fn select_k_finds_three_blobs() {
+        let mut rng = SimRng::new(5);
+        let (points, _) = blobs(&mut rng);
+        let (k, fit) = select_k(&points, 2..=6, 100, &mut rng);
+        assert_eq!(k, 3, "silhouette should select the true number of blobs");
+        assert_eq!(fit.centroids.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut rng1 = SimRng::new(7);
+        let mut rng2 = SimRng::new(7);
+        let (points, _) = blobs(&mut rng1);
+        let (points2, _) = blobs(&mut rng2);
+        let fit1 = kmeans(&points, 3, 100, &mut rng1);
+        let fit2 = kmeans(&points2, 3, 100, &mut rng2);
+        assert_eq!(fit1.assignments, fit2.assignments);
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let points = vec![vec![1.0, 1.0]; 10];
+        let mut rng = SimRng::new(8);
+        let fit = kmeans(&points, 3, 100, &mut rng);
+        assert_eq!(fit.assignments.len(), 10);
+        assert!(fit.inertia < 1e-9);
+        assert_eq!(silhouette(&points, &fit), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_larger_than_points_is_rejected() {
+        let mut rng = SimRng::new(9);
+        kmeans(&[vec![1.0]], 2, 10, &mut rng);
+    }
+}

@@ -1,0 +1,365 @@
+//! The offline application behavior model and the runtime state classifier.
+//!
+//! Putting the pieces of §III-C together:
+//!
+//! 1. **offline** — [`BehaviorModelBuilder::fit`] extracts the per-period
+//!    timeline from an access trace, normalizes it, clusters it with k-means
+//!    (selecting `k` by silhouette), and associates every discovered state
+//!    with a consistency policy through the [`RuleSet`];
+//! 2. **runtime** — [`BehaviorModel::classify`] maps the live period's
+//!    features to the nearest state centroid and returns the policy
+//!    associated with that state, which the adaptive runtime then applies.
+
+use super::features::{extract_timeline, normalize, normalize_with, PeriodFeatures};
+use super::kmeans::{kmeans, select_k, KMeansFit};
+use super::rules::{PolicyKind, RuleSet};
+use concord_sim::{SimDuration, SimRng};
+use concord_workload::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A discovered application state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationState {
+    /// State index.
+    pub id: usize,
+    /// Centroid expressed back in raw (un-normalized) feature units.
+    pub centroid: PeriodFeatures,
+    /// The consistency policy assigned to the state.
+    pub policy: PolicyKind,
+    /// The name of the rule that made the assignment.
+    pub assigned_by: String,
+    /// How many timeline periods belong to this state.
+    pub periods: usize,
+}
+
+/// The fitted behavior model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorModel {
+    states: Vec<ApplicationState>,
+    /// Normalized centroids used for nearest-centroid classification.
+    normalized_centroids: Vec<Vec<f64>>,
+    /// Per-dimension (mean, std) used to normalize observations.
+    feature_stats: Vec<(f64, f64)>,
+    /// The period length the model was built with.
+    period: SimDuration,
+    /// The state assigned to every period of the training timeline.
+    timeline_states: Vec<usize>,
+}
+
+impl BehaviorModel {
+    /// The discovered states.
+    pub fn states(&self) -> &[ApplicationState] {
+        &self.states
+    }
+
+    /// Number of discovered states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The period length used to build (and expected when classifying).
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The training timeline's state sequence.
+    pub fn timeline_states(&self) -> &[usize] {
+        &self.timeline_states
+    }
+
+    /// The training mean of the hot-key-concentration feature. Runtime
+    /// classification uses this as a neutral value when the live monitor
+    /// cannot observe per-key popularity.
+    pub fn neutral_hot_key_concentration(&self) -> f64 {
+        // Dimension order is documented in `PeriodFeatures::vector`.
+        self.feature_stats.get(3).map(|(mean, _)| *mean).unwrap_or(0.0)
+    }
+
+    /// Classify a live period into one of the discovered states and return
+    /// the state plus the policy to apply.
+    pub fn classify(&self, features: &PeriodFeatures) -> &ApplicationState {
+        let v = normalize_with(&features.vector(), &self.feature_stats);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.normalized_centroids.iter().enumerate() {
+            let d: f64 = v.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        &self.states[best]
+    }
+
+    /// Serialize the model to JSON (for storing alongside the application).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model serialization cannot fail")
+    }
+
+    /// Load a model from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Configuration of the offline modeling process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorModelBuilder {
+    /// Length of one timeline period.
+    pub period: SimDuration,
+    /// Candidate numbers of states (k) to try; the silhouette score decides.
+    pub min_states: usize,
+    /// Upper bound of the state-count search.
+    pub max_states: usize,
+    /// k-means iteration cap.
+    pub max_iterations: usize,
+    /// The rule set used to assign policies to states.
+    pub rules: RuleSet,
+}
+
+impl Default for BehaviorModelBuilder {
+    fn default() -> Self {
+        BehaviorModelBuilder {
+            period: SimDuration::from_secs(60),
+            min_states: 2,
+            max_states: 6,
+            max_iterations: 100,
+            rules: RuleSet::generic(),
+        }
+    }
+}
+
+impl BehaviorModelBuilder {
+    /// Create a builder with a given timeline period.
+    pub fn new(period: SimDuration) -> Self {
+        BehaviorModelBuilder {
+            period,
+            ..Default::default()
+        }
+    }
+
+    /// Replace the rule set (e.g. to add administrator-specific rules).
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Bound the number of states to search over.
+    pub fn with_state_bounds(mut self, min_states: usize, max_states: usize) -> Self {
+        assert!(min_states >= 1 && max_states >= min_states);
+        self.min_states = min_states;
+        self.max_states = max_states;
+        self
+    }
+
+    /// Fit the behavior model on an access trace.
+    ///
+    /// # Panics
+    /// Panics if the trace produces fewer than two timeline periods (there is
+    /// nothing to model).
+    pub fn fit(&self, trace: &Trace, rng: &mut SimRng) -> BehaviorModel {
+        let timeline = extract_timeline(trace, self.period);
+        assert!(
+            timeline.len() >= 2,
+            "behavior modeling needs at least two timeline periods, got {}",
+            timeline.len()
+        );
+        let vectors: Vec<Vec<f64>> = timeline.iter().map(|f| f.vector()).collect();
+        let (normalized, stats) = normalize(&vectors);
+
+        let max_k = self.max_states.min(normalized.len());
+        let min_k = self.min_states.min(max_k);
+        let (_, fit): (usize, KMeansFit) = if min_k == max_k {
+            (min_k, kmeans(&normalized, min_k, self.max_iterations, rng))
+        } else {
+            select_k(&normalized, min_k..=max_k, self.max_iterations, rng)
+        };
+
+        // Re-express centroids in raw feature units by averaging the member
+        // periods (more interpretable than de-normalizing).
+        let k = fit.centroids.len();
+        let mut states = Vec::with_capacity(k);
+        for state_id in 0..k {
+            let members: Vec<&PeriodFeatures> = timeline
+                .iter()
+                .zip(fit.assignments.iter())
+                .filter(|(_, &a)| a == state_id)
+                .map(|(f, _)| f)
+                .collect();
+            let centroid = mean_features(state_id, &members);
+            let (policy, assigned_by) = self.rules.assign(&centroid);
+            states.push(ApplicationState {
+                id: state_id,
+                centroid,
+                policy,
+                assigned_by,
+                periods: members.len(),
+            });
+        }
+
+        BehaviorModel {
+            states,
+            normalized_centroids: fit.centroids,
+            feature_stats: stats,
+            period: self.period,
+            timeline_states: fit.assignments,
+        }
+    }
+}
+
+/// Mean of a set of period features (used as the human-readable centroid).
+fn mean_features(id: usize, members: &[&PeriodFeatures]) -> PeriodFeatures {
+    if members.is_empty() {
+        return PeriodFeatures {
+            period: id,
+            ops_per_sec: 0.0,
+            read_rate: 0.0,
+            write_rate: 0.0,
+            write_ratio: 0.0,
+            mean_value_size: 0.0,
+            hot_key_concentration: 0.0,
+            distinct_keys: 0,
+        };
+    }
+    let n = members.len() as f64;
+    PeriodFeatures {
+        period: id,
+        ops_per_sec: members.iter().map(|f| f.ops_per_sec).sum::<f64>() / n,
+        read_rate: members.iter().map(|f| f.read_rate).sum::<f64>() / n,
+        write_rate: members.iter().map(|f| f.write_rate).sum::<f64>() / n,
+        write_ratio: members.iter().map(|f| f.write_ratio).sum::<f64>() / n,
+        mean_value_size: members.iter().map(|f| f.mean_value_size).sum::<f64>() / n,
+        hot_key_concentration: members.iter().map(|f| f.hot_key_concentration).sum::<f64>() / n,
+        distinct_keys: (members.iter().map(|f| f.distinct_keys).sum::<u64>() as f64 / n) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_workload::{presets, SyntheticTraceBuilder};
+
+    /// A webshop-like trace: long quiet browsing phases, short write-heavy
+    /// checkout bursts.
+    fn webshop_trace(rng: &mut SimRng) -> Trace {
+        let browse = presets::ycsb_b(); // 95% reads
+        let mut checkout = presets::ycsb_a(); // 50% writes
+        checkout.record_count = 2_000;
+        let builder = SyntheticTraceBuilder::new()
+            .add("browse-1", SimDuration::from_secs(300), 60.0, browse.clone())
+            .add("checkout-1", SimDuration::from_secs(120), 400.0, checkout.clone())
+            .add("browse-2", SimDuration::from_secs(300), 55.0, browse.clone())
+            .add("checkout-2", SimDuration::from_secs(120), 420.0, checkout)
+            .add("browse-3", SimDuration::from_secs(300), 65.0, browse);
+        builder.build(rng)
+    }
+
+    #[test]
+    fn fit_discovers_browse_and_checkout_states() {
+        let mut rng = SimRng::new(42);
+        let trace = webshop_trace(&mut rng);
+        let model = BehaviorModelBuilder::new(SimDuration::from_secs(60))
+            .with_state_bounds(2, 4)
+            .fit(&trace, &mut rng);
+        assert!(model.state_count() >= 2);
+        // There must be a write-heavy state mapped to strong/quorum and a
+        // read-mostly state mapped to something weaker.
+        let has_strong_state = model.states().iter().any(|s| {
+            s.centroid.write_ratio > 0.3 && matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong)
+        });
+        let has_weak_state = model
+            .states()
+            .iter()
+            .any(|s| s.centroid.write_ratio < 0.2 && !matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong));
+        assert!(has_strong_state, "states: {:?}", model.states());
+        assert!(has_weak_state, "states: {:?}", model.states());
+    }
+
+    #[test]
+    fn classification_routes_periods_to_the_right_state() {
+        let mut rng = SimRng::new(7);
+        let trace = webshop_trace(&mut rng);
+        let model = BehaviorModelBuilder::new(SimDuration::from_secs(60))
+            .with_state_bounds(2, 4)
+            .fit(&trace, &mut rng);
+
+        // Synthetic observations: rate and write ratio differ; the skew
+        // dimension is set to the training mean (a live monitor cannot
+        // observe it, see `BehaviorDrivenPolicy`).
+        let neutral_skew = model.neutral_hot_key_concentration();
+        let checkout_like = PeriodFeatures {
+            period: 0,
+            ops_per_sec: 400.0,
+            read_rate: 200.0,
+            write_rate: 200.0,
+            write_ratio: 0.5,
+            mean_value_size: 1_000.0,
+            hot_key_concentration: neutral_skew,
+            distinct_keys: 500,
+        };
+        let browse_like = PeriodFeatures {
+            period: 0,
+            ops_per_sec: 60.0,
+            read_rate: 57.0,
+            write_rate: 3.0,
+            write_ratio: 0.05,
+            mean_value_size: 1_000.0,
+            hot_key_concentration: neutral_skew,
+            distinct_keys: 300,
+        };
+        let checkout_state = model.classify(&checkout_like);
+        let browse_state = model.classify(&browse_like);
+        assert_ne!(checkout_state.id, browse_state.id);
+        assert!(checkout_state.centroid.write_ratio > browse_state.centroid.write_ratio);
+    }
+
+    #[test]
+    fn timeline_states_cover_every_period() {
+        let mut rng = SimRng::new(3);
+        let trace = webshop_trace(&mut rng);
+        let builder = BehaviorModelBuilder::new(SimDuration::from_secs(60));
+        let model = builder.fit(&trace, &mut rng);
+        // ~1140 s of trace at 60 s periods → 19 periods.
+        assert!(model.timeline_states().len() >= 18);
+        assert!(model
+            .timeline_states()
+            .iter()
+            .all(|&s| s < model.state_count()));
+        let total_members: usize = model.states().iter().map(|s| s.periods).sum();
+        assert_eq!(total_members, model.timeline_states().len());
+        assert_eq!(model.period(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn model_round_trips_through_json() {
+        let mut rng = SimRng::new(5);
+        let trace = webshop_trace(&mut rng);
+        let model = BehaviorModelBuilder::default().fit(&trace, &mut rng);
+        let json = model.to_json();
+        let back = BehaviorModel::from_json(&json).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two timeline periods")]
+    fn tiny_traces_are_rejected() {
+        let mut rng = SimRng::new(1);
+        let trace = Trace::new();
+        BehaviorModelBuilder::default().fit(&trace, &mut rng);
+    }
+
+    #[test]
+    fn custom_rules_flow_through_to_states() {
+        let mut rng = SimRng::new(11);
+        let trace = webshop_trace(&mut rng);
+        let rules = RuleSet::empty().with_fallback_rule(super::super::rules::PolicyRule {
+            name: "everything bismar".into(),
+            condition: super::super::rules::RuleCondition::default(),
+            policy: PolicyKind::Bismar,
+        });
+        let model = BehaviorModelBuilder::new(SimDuration::from_secs(60))
+            .with_rules(rules)
+            .fit(&trace, &mut rng);
+        assert!(model.states().iter().all(|s| s.policy == PolicyKind::Bismar));
+    }
+}

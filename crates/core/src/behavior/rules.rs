@@ -1,0 +1,327 @@
+//! State → consistency-policy assignment rules.
+//!
+//! The paper: *"Each state is then automatically associated with a
+//! consistency policy (policies include geographical policies, Harmony, and
+//! static eventual and strong policies) based on a set of both generic
+//! predefined rules and customized rules (integrated by application'
+//! administrator) specific for the application."*
+//!
+//! A rule is a declarative predicate over a state's centroid features plus
+//! the policy to assign when it matches. Rules are evaluated in order:
+//! custom rules first, then the generic defaults, so an administrator can
+//! always override the defaults.
+
+use super::features::PeriodFeatures;
+use crate::bismar::{BismarConfig, BismarPolicy};
+use crate::harmony::HarmonyPolicy;
+use crate::policy::{ConsistencyPolicy, GeographicPolicy, StaticPolicy};
+use serde::{Deserialize, Serialize};
+
+/// A serializable description of a consistency policy that a rule can assign
+/// to a state (instantiated into a live [`ConsistencyPolicy`] on demand).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Static eventual consistency (ONE/ONE) — cheapest, weakest.
+    Eventual,
+    /// Static strong consistency (read ALL).
+    Strong,
+    /// Static quorum reads and writes.
+    Quorum,
+    /// The Harmony adaptive controller with the given tolerated stale rate.
+    Harmony {
+        /// Tolerated stale-read rate.
+        tolerance: f64,
+    },
+    /// The Bismar cost-efficient controller (default pricing).
+    Bismar,
+    /// DC-local quorums (a geographical policy).
+    Geographic,
+}
+
+impl PolicyKind {
+    /// Instantiate a live policy object.
+    pub fn instantiate(self) -> Box<dyn ConsistencyPolicy> {
+        match self {
+            PolicyKind::Eventual => Box::new(StaticPolicy::eventual()),
+            PolicyKind::Strong => Box::new(StaticPolicy::strong()),
+            PolicyKind::Quorum => Box::new(StaticPolicy::quorum()),
+            PolicyKind::Harmony { tolerance } => Box::new(HarmonyPolicy::with_tolerance(tolerance)),
+            PolicyKind::Bismar => Box::new(BismarPolicy::new(BismarConfig::default())),
+            PolicyKind::Geographic => Box::new(GeographicPolicy),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Eventual => "eventual".into(),
+            PolicyKind::Strong => "strong".into(),
+            PolicyKind::Quorum => "quorum".into(),
+            PolicyKind::Harmony { tolerance } => format!("harmony({:.0}%)", tolerance * 100.0),
+            PolicyKind::Bismar => "bismar".into(),
+            PolicyKind::Geographic => "geographic".into(),
+        }
+    }
+}
+
+/// A declarative predicate over a state's (centroid) features.
+///
+/// Every bound is optional; a rule matches when all its specified bounds do.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RuleCondition {
+    /// Minimum write ratio (fraction of writes).
+    pub min_write_ratio: Option<f64>,
+    /// Maximum write ratio.
+    pub max_write_ratio: Option<f64>,
+    /// Minimum operation rate (ops/s).
+    pub min_ops_per_sec: Option<f64>,
+    /// Maximum operation rate (ops/s).
+    pub max_ops_per_sec: Option<f64>,
+    /// Minimum hot-key concentration.
+    pub min_hot_key_concentration: Option<f64>,
+}
+
+impl RuleCondition {
+    /// Does this condition match the given state features?
+    pub fn matches(&self, f: &PeriodFeatures) -> bool {
+        self.min_write_ratio.map_or(true, |v| f.write_ratio >= v)
+            && self.max_write_ratio.map_or(true, |v| f.write_ratio <= v)
+            && self.min_ops_per_sec.map_or(true, |v| f.ops_per_sec >= v)
+            && self.max_ops_per_sec.map_or(true, |v| f.ops_per_sec <= v)
+            && self
+                .min_hot_key_concentration
+                .map_or(true, |v| f.hot_key_concentration >= v)
+    }
+}
+
+/// A rule: a condition plus the policy to assign and a label explaining why.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Human-readable explanation (shown in reports).
+    pub name: String,
+    /// When the rule applies.
+    pub condition: RuleCondition,
+    /// What it assigns.
+    pub policy: PolicyKind,
+}
+
+/// The ordered rule set (custom rules first, generic rules last).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<PolicyRule>,
+}
+
+impl RuleSet {
+    /// The paper's generic predefined rules:
+    ///
+    /// 1. write-heavy, contended states need strong consistency (a webshop
+    ///    checkout / payment phase);
+    /// 2. highly skewed, busy states benefit from Harmony with a tight
+    ///    tolerance (hot items must stay fresh without paying ALL);
+    /// 3. read-mostly quiet states tolerate eventual consistency (browsing /
+    ///    social-network timelines);
+    /// 4. anything else falls back to Harmony with a moderate tolerance.
+    pub fn generic() -> Self {
+        RuleSet {
+            rules: vec![
+                PolicyRule {
+                    name: "write-heavy state → strong consistency".into(),
+                    condition: RuleCondition {
+                        min_write_ratio: Some(0.4),
+                        ..Default::default()
+                    },
+                    policy: PolicyKind::Quorum,
+                },
+                PolicyRule {
+                    name: "busy, skewed state → Harmony (5% tolerance)".into(),
+                    condition: RuleCondition {
+                        min_ops_per_sec: Some(500.0),
+                        min_hot_key_concentration: Some(0.5),
+                        ..Default::default()
+                    },
+                    policy: PolicyKind::Harmony { tolerance: 0.05 },
+                },
+                PolicyRule {
+                    name: "read-mostly quiet state → eventual consistency".into(),
+                    condition: RuleCondition {
+                        max_write_ratio: Some(0.1),
+                        ..Default::default()
+                    },
+                    policy: PolicyKind::Eventual,
+                },
+                PolicyRule {
+                    name: "default → Harmony (20% tolerance)".into(),
+                    condition: RuleCondition::default(),
+                    policy: PolicyKind::Harmony { tolerance: 0.20 },
+                },
+            ],
+        }
+    }
+
+    /// An empty rule set (useful as a base for fully custom rules).
+    pub fn empty() -> Self {
+        RuleSet { rules: Vec::new() }
+    }
+
+    /// Prepend a custom (administrator-provided) rule; custom rules take
+    /// precedence over the generic ones.
+    pub fn with_custom_rule(mut self, rule: PolicyRule) -> Self {
+        self.rules.insert(0, rule);
+        self
+    }
+
+    /// Append a rule at the lowest priority.
+    pub fn with_fallback_rule(mut self, rule: PolicyRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The rules, in evaluation order.
+    pub fn rules(&self) -> &[PolicyRule] {
+        &self.rules
+    }
+
+    /// Assign a policy to a state described by its (centroid) features.
+    /// Returns the chosen policy and the name of the rule that matched.
+    pub fn assign(&self, state: &PeriodFeatures) -> (PolicyKind, String) {
+        for rule in &self.rules {
+            if rule.condition.matches(state) {
+                return (rule.policy, rule.name.clone());
+            }
+        }
+        // Safety net when no rule matches (e.g. an empty custom rule set).
+        (
+            PolicyKind::Harmony { tolerance: 0.20 },
+            "implicit default → Harmony (20% tolerance)".into(),
+        )
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        Self::generic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(ops: f64, write_ratio: f64, hot: f64) -> PeriodFeatures {
+        PeriodFeatures {
+            period: 0,
+            ops_per_sec: ops,
+            read_rate: ops * (1.0 - write_ratio),
+            write_rate: ops * write_ratio,
+            write_ratio,
+            mean_value_size: 1_000.0,
+            hot_key_concentration: hot,
+            distinct_keys: 100,
+        }
+    }
+
+    #[test]
+    fn generic_rules_cover_the_canonical_states() {
+        let rules = RuleSet::generic();
+        // Checkout-like: write heavy → quorum.
+        let (p, why) = rules.assign(&state(800.0, 0.5, 0.3));
+        assert_eq!(p, PolicyKind::Quorum);
+        assert!(why.contains("write-heavy"));
+        // Flash-sale-like: busy and skewed → tight Harmony.
+        let (p, _) = rules.assign(&state(2_000.0, 0.2, 0.8));
+        assert_eq!(p, PolicyKind::Harmony { tolerance: 0.05 });
+        // Browsing: read mostly → eventual.
+        let (p, _) = rules.assign(&state(100.0, 0.02, 0.2));
+        assert_eq!(p, PolicyKind::Eventual);
+        // Something in between → default Harmony.
+        let (p, _) = rules.assign(&state(100.0, 0.2, 0.2));
+        assert_eq!(p, PolicyKind::Harmony { tolerance: 0.20 });
+    }
+
+    #[test]
+    fn custom_rules_take_precedence() {
+        let rules = RuleSet::generic().with_custom_rule(PolicyRule {
+            name: "custom: payments always strong".into(),
+            condition: RuleCondition {
+                min_write_ratio: Some(0.3),
+                ..Default::default()
+            },
+            policy: PolicyKind::Strong,
+        });
+        let (p, why) = rules.assign(&state(800.0, 0.5, 0.3));
+        assert_eq!(p, PolicyKind::Strong);
+        assert!(why.contains("custom"));
+        assert_eq!(rules.rules().len(), 5);
+    }
+
+    #[test]
+    fn empty_rule_set_falls_back_to_harmony() {
+        let rules = RuleSet::empty();
+        let (p, why) = rules.assign(&state(10.0, 0.5, 0.5));
+        assert_eq!(p, PolicyKind::Harmony { tolerance: 0.20 });
+        assert!(why.contains("implicit"));
+    }
+
+    #[test]
+    fn fallback_rules_are_lowest_priority() {
+        let rules = RuleSet::empty()
+            .with_fallback_rule(PolicyRule {
+                name: "everything geographic".into(),
+                condition: RuleCondition::default(),
+                policy: PolicyKind::Geographic,
+            })
+            .with_custom_rule(PolicyRule {
+                name: "busy is bismar".into(),
+                condition: RuleCondition {
+                    min_ops_per_sec: Some(1_000.0),
+                    ..Default::default()
+                },
+                policy: PolicyKind::Bismar,
+            });
+        assert_eq!(rules.assign(&state(2_000.0, 0.1, 0.1)).0, PolicyKind::Bismar);
+        assert_eq!(
+            rules.assign(&state(10.0, 0.1, 0.1)).0,
+            PolicyKind::Geographic
+        );
+    }
+
+    #[test]
+    fn conditions_respect_all_bounds() {
+        let cond = RuleCondition {
+            min_write_ratio: Some(0.1),
+            max_write_ratio: Some(0.5),
+            min_ops_per_sec: Some(100.0),
+            max_ops_per_sec: Some(1_000.0),
+            min_hot_key_concentration: Some(0.3),
+        };
+        assert!(cond.matches(&state(500.0, 0.3, 0.5)));
+        assert!(!cond.matches(&state(50.0, 0.3, 0.5)), "rate too low");
+        assert!(!cond.matches(&state(500.0, 0.6, 0.5)), "too write heavy");
+        assert!(!cond.matches(&state(500.0, 0.3, 0.1)), "not skewed enough");
+    }
+
+    #[test]
+    fn policy_kinds_instantiate_and_label() {
+        for kind in [
+            PolicyKind::Eventual,
+            PolicyKind::Strong,
+            PolicyKind::Quorum,
+            PolicyKind::Harmony { tolerance: 0.1 },
+            PolicyKind::Bismar,
+            PolicyKind::Geographic,
+        ] {
+            let policy = kind.instantiate();
+            assert!(!policy.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(PolicyKind::Harmony { tolerance: 0.4 }.label(), "harmony(40%)");
+    }
+
+    #[test]
+    fn rules_serialize() {
+        let rules = RuleSet::generic();
+        let json = serde_json::to_string(&rules).unwrap();
+        let back: RuleSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(rules, back);
+    }
+}

@@ -1,0 +1,325 @@
+//! Harmony: automated self-adaptive consistency (§III-A of the paper).
+//!
+//! Harmony *"monitors the storage system and data accesses in order to
+//! estimate the stale reads rate in the system. Accordingly, it scales
+//! up/down the consistency level to preserve a stale rate tolerated by the
+//! application. Meanwhile, performance and availability are favored as long
+//! as the application requirements are not violated."*
+//!
+//! The controller is the paper's "adaptive consistency module": at every
+//! adaptation step it
+//!
+//! 1. reads the monitor snapshot (read rate λr, write rate λw, time to write
+//!    the first replica `T`, total propagation time `Tp`),
+//! 2. estimates the stale-read rate at consistency level ONE using the
+//!    probabilistic model of `concord-staleness`,
+//! 3. if the estimate is within the application's tolerated stale-read rate,
+//!    selects the basic level ONE (best performance/availability);
+//!    otherwise computes the **smallest** number of involved replicas that
+//!    brings the estimate back under the tolerance.
+
+use crate::policy::{ConsistencyPolicy, LevelDecision, PolicyContext};
+use concord_cluster::ConsistencyLevel;
+use concord_monitor::MonitorSnapshot;
+use concord_staleness::{LevelSolver, PropagationModel, StalenessParams};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Harmony controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HarmonyConfig {
+    /// The application's tolerated stale-read rate (fraction of reads, e.g.
+    /// 0.2 for the paper's "20%" Grid'5000 experiment).
+    pub tolerated_stale_rate: f64,
+    /// The write consistency level Harmony keeps while tuning reads
+    /// (the paper's Cassandra experiments write at ONE and tune reads).
+    pub write_level: ConsistencyLevel,
+    /// Floor applied to the propagation-time estimate, in ms, so that a cold
+    /// monitor (no samples yet) does not make Harmony overly optimistic.
+    pub min_propagation_ms: f64,
+    /// When `true`, Harmony falls back to the deterministic propagation model
+    /// of the paper's Figure 1; when `false` it uses the exponential model
+    /// (heavier tail, slightly more conservative levels).
+    pub deterministic_propagation: bool,
+}
+
+impl Default for HarmonyConfig {
+    fn default() -> Self {
+        HarmonyConfig {
+            tolerated_stale_rate: 0.05,
+            write_level: ConsistencyLevel::One,
+            min_propagation_ms: 0.1,
+            deterministic_propagation: true,
+        }
+    }
+}
+
+impl HarmonyConfig {
+    /// A Harmony configuration with the given tolerated stale-read rate.
+    pub fn with_tolerance(tolerated_stale_rate: f64) -> Self {
+        HarmonyConfig {
+            tolerated_stale_rate,
+            ..Default::default()
+        }
+    }
+}
+
+/// One decision made by Harmony, kept for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HarmonyDecision {
+    /// The number of replicas reads will involve.
+    pub read_replicas: u32,
+    /// The estimated stale-read rate at that level.
+    pub estimated_stale_rate: f64,
+    /// The estimated stale-read rate if level ONE had been kept.
+    pub estimated_stale_rate_at_one: f64,
+}
+
+/// The Harmony adaptive consistency controller.
+#[derive(Debug, Clone)]
+pub struct HarmonyPolicy {
+    config: HarmonyConfig,
+    solver: LevelSolver,
+    last_decision: Option<HarmonyDecision>,
+    decisions: Vec<HarmonyDecision>,
+}
+
+impl HarmonyPolicy {
+    /// Create a Harmony controller.
+    pub fn new(config: HarmonyConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.tolerated_stale_rate),
+            "tolerated stale rate must be a fraction"
+        );
+        HarmonyPolicy {
+            config,
+            solver: LevelSolver::new(),
+            last_decision: None,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Shorthand: Harmony with a tolerated stale-read rate.
+    pub fn with_tolerance(tolerated_stale_rate: f64) -> Self {
+        Self::new(HarmonyConfig::with_tolerance(tolerated_stale_rate))
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &HarmonyConfig {
+        &self.config
+    }
+
+    /// The most recent decision (if any).
+    pub fn last_decision(&self) -> Option<HarmonyDecision> {
+        self.last_decision
+    }
+
+    /// Every decision made so far (one per adaptation step).
+    pub fn decisions(&self) -> &[HarmonyDecision] {
+        &self.decisions
+    }
+
+    /// Build the staleness-model parameters from a monitor snapshot.
+    pub fn staleness_params(&self, ctx: &PolicyContext) -> StalenessParams {
+        let snapshot: &MonitorSnapshot = &ctx.snapshot;
+        let prop_ms = snapshot
+            .propagation_time_ms
+            .max(self.config.min_propagation_ms);
+        let first_ms = snapshot.first_write_time_ms.max(0.0).min(prop_ms);
+        let propagation = if self.config.deterministic_propagation {
+            PropagationModel::Deterministic { total_ms: prop_ms }
+        } else {
+            PropagationModel::Exponential { mean_ms: prop_ms }
+        };
+        StalenessParams {
+            n_replicas: ctx.profile.replication_factor,
+            read_level: 1,
+            write_level: ctx
+                .profile
+                .replication_factor
+                .min(self.required_write_acks(ctx)),
+            read_rate: snapshot.read_rate,
+            write_rate: snapshot.write_rate,
+            first_write_ms: first_ms,
+            propagation,
+        }
+    }
+
+    fn required_write_acks(&self, ctx: &PolicyContext) -> u32 {
+        self.config
+            .write_level
+            .required_acks(ctx.profile.replication_factor, ctx.profile.dc_count)
+    }
+}
+
+impl ConsistencyPolicy for HarmonyPolicy {
+    fn name(&self) -> String {
+        format!(
+            "harmony(tolerance={:.0}%)",
+            self.config.tolerated_stale_rate * 100.0
+        )
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext) -> LevelDecision {
+        // Cold start: before the monitor has observed any traffic there is no
+        // basis for an estimate, so Harmony starts from a conservative quorum
+        // read level and relaxes as soon as measurements arrive (performance
+        // is favoured only once it is known not to violate the requirement).
+        if ctx.snapshot.total_reads == 0 && ctx.snapshot.total_writes == 0 {
+            let quorum = ctx.profile.replication_factor / 2 + 1;
+            let decision = HarmonyDecision {
+                read_replicas: quorum,
+                estimated_stale_rate: 0.0,
+                estimated_stale_rate_at_one: 0.0,
+            };
+            self.last_decision = Some(decision);
+            self.decisions.push(decision);
+            return LevelDecision {
+                read: ConsistencyLevel::from_replica_count(
+                    quorum,
+                    ctx.profile.replication_factor,
+                ),
+                write: self.config.write_level,
+            };
+        }
+        let params = self.staleness_params(ctx);
+        let estimates = self.solver.estimate_all_levels(&params);
+        let solution = self
+            .solver
+            .solve(&params, self.config.tolerated_stale_rate);
+        let decision = HarmonyDecision {
+            read_replicas: solution.read_level,
+            estimated_stale_rate: solution.estimated_stale_rate,
+            estimated_stale_rate_at_one: estimates.first().copied().unwrap_or(0.0),
+        };
+        self.last_decision = Some(decision);
+        self.decisions.push(decision);
+
+        let read = if solution.read_level == 1 {
+            ConsistencyLevel::One
+        } else {
+            ConsistencyLevel::from_replica_count(solution.read_level, ctx.profile.replication_factor)
+        };
+        LevelDecision {
+            read,
+            write: self.config.write_level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::tests::test_context;
+
+    #[test]
+    fn light_write_load_keeps_level_one() {
+        // Few writes, fast propagation → even a tight tolerance allows ONE.
+        let mut h = HarmonyPolicy::with_tolerance(0.10);
+        let ctx = test_context(1_000.0, 2.0, 2.0);
+        let d = h.decide(&ctx);
+        assert_eq!(d.read, ConsistencyLevel::One);
+        assert_eq!(d.write, ConsistencyLevel::One);
+        let dec = h.last_decision().unwrap();
+        assert!(dec.estimated_stale_rate <= 0.10);
+        assert_eq!(dec.read_replicas, 1);
+    }
+
+    #[test]
+    fn heavy_writes_scale_the_level_up() {
+        let mut h = HarmonyPolicy::with_tolerance(0.05);
+        // 2000 writes/s with 40 ms propagation: almost every read would be stale at ONE.
+        let ctx = test_context(4_000.0, 2_000.0, 40.0);
+        let d = h.decide(&ctx);
+        let dec = h.last_decision().unwrap();
+        assert!(
+            dec.read_replicas > 1,
+            "expected more than one replica, got {dec:?}"
+        );
+        assert!(dec.estimated_stale_rate_at_one > 0.5);
+        assert_ne!(d.read, ConsistencyLevel::One);
+    }
+
+    #[test]
+    fn looser_tolerance_never_needs_more_replicas() {
+        let ctx = test_context(4_000.0, 800.0, 30.0);
+        let mut strict = HarmonyPolicy::with_tolerance(0.05);
+        let mut loose = HarmonyPolicy::with_tolerance(0.40);
+        strict.decide(&ctx);
+        loose.decide(&ctx);
+        assert!(
+            loose.last_decision().unwrap().read_replicas
+                <= strict.last_decision().unwrap().read_replicas
+        );
+    }
+
+    #[test]
+    fn decisions_adapt_to_changing_conditions() {
+        let mut h = HarmonyPolicy::with_tolerance(0.10);
+        // Quiet phase → ONE.
+        let quiet = h.decide(&test_context(500.0, 5.0, 5.0));
+        // Burst of writes → stronger.
+        let busy = h.decide(&test_context(4_000.0, 2_000.0, 50.0));
+        // Back to quiet → ONE again (Harmony scales *down* too).
+        let calm = h.decide(&test_context(500.0, 5.0, 5.0));
+        assert_eq!(quiet.read, ConsistencyLevel::One);
+        assert_ne!(busy.read, ConsistencyLevel::One);
+        assert_eq!(calm.read, ConsistencyLevel::One);
+        assert_eq!(h.decisions().len(), 3);
+    }
+
+    #[test]
+    fn cold_monitor_starts_conservatively() {
+        let mut h = HarmonyPolicy::with_tolerance(0.01);
+        let ctx = test_context(0.0, 0.0, 0.0);
+        let d = h.decide(&ctx);
+        // No measurements yet → quorum reads until the monitor warms up.
+        assert_eq!(d.read, ConsistencyLevel::Quorum);
+        assert_eq!(h.last_decision().unwrap().read_replicas, 3);
+    }
+
+    #[test]
+    fn name_mentions_the_tolerance() {
+        assert_eq!(
+            HarmonyPolicy::with_tolerance(0.4).name(),
+            "harmony(tolerance=40%)"
+        );
+    }
+
+    #[test]
+    fn zero_tolerance_reads_strongly() {
+        let mut h = HarmonyPolicy::with_tolerance(0.0);
+        let ctx = test_context(1_000.0, 500.0, 30.0);
+        let d = h.decide(&ctx);
+        // With RF 5 and writes at ONE, only reading every replica guarantees
+        // zero staleness under the model.
+        assert_eq!(d.read, ConsistencyLevel::All);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_tolerance_rejected() {
+        HarmonyPolicy::with_tolerance(1.5);
+    }
+
+    #[test]
+    fn both_propagation_models_scale_up_under_pressure() {
+        let ctx = test_context(2_000.0, 300.0, 25.0);
+        let mut det = HarmonyPolicy::new(HarmonyConfig {
+            tolerated_stale_rate: 0.10,
+            deterministic_propagation: true,
+            ..Default::default()
+        });
+        let mut exp = HarmonyPolicy::new(HarmonyConfig {
+            tolerated_stale_rate: 0.10,
+            deterministic_propagation: false,
+            ..Default::default()
+        });
+        det.decide(&ctx);
+        exp.decide(&ctx);
+        let det_level = det.last_decision().unwrap().read_replicas;
+        let exp_level = exp.last_decision().unwrap().read_replicas;
+        assert!(det_level > 1, "deterministic model: {det_level}");
+        assert!(exp_level > 1, "exponential model: {exp_level}");
+        assert!((1..=5).contains(&det_level) && (1..=5).contains(&exp_level));
+    }
+}

@@ -1,0 +1,223 @@
+//! Run reports: everything an experiment needs to print the paper's tables.
+
+use concord_cost::{Bill, ResourceUsage};
+use concord_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Latency summary statistics, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Build from a latency reservoir.
+    pub fn from_reservoir(reservoir: &concord_cluster::LatencyReservoir) -> Self {
+        LatencySummary {
+            mean: reservoir.mean_ms(),
+            p50: reservoir.quantile_ms(0.50).unwrap_or(0.0),
+            p95: reservoir.quantile_ms(0.95).unwrap_or(0.0),
+            p99: reservoir.quantile_ms(0.99).unwrap_or(0.0),
+            max: reservoir.max_ms(),
+        }
+    }
+}
+
+/// One consistency-level change applied by the adaptive runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelChange {
+    /// When the change took effect (seconds of simulated time).
+    pub at_secs: f64,
+    /// Read-level replica count after the change.
+    pub read_replicas: u32,
+    /// Write-level replica count after the change.
+    pub write_replicas: u32,
+}
+
+/// The complete result of one adaptive (or static) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the policy that drove the run.
+    pub policy: String,
+    /// Total client operations completed.
+    pub total_ops: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Operations that timed out.
+    pub timeouts: u64,
+    /// Simulated duration of the run.
+    pub makespan: SimDuration,
+    /// Operations per second of simulated time.
+    pub throughput_ops_per_sec: f64,
+    /// Read-latency summary.
+    pub read_latency_ms: LatencySummary,
+    /// Write-latency summary.
+    pub write_latency_ms: LatencySummary,
+    /// Ground-truth stale reads (oracle).
+    pub stale_reads: u64,
+    /// Ground-truth stale-read rate.
+    pub stale_read_rate: f64,
+    /// Mean number of acknowledged writes a stale read lagged behind.
+    pub mean_staleness_depth: f64,
+    /// Mean number of replicas contacted per read.
+    pub mean_read_replicas: f64,
+    /// Number of adaptation steps the policy performed.
+    pub adaptation_steps: u64,
+    /// Consistency-level changes over time.
+    pub level_timeline: Vec<LevelChange>,
+    /// Resources consumed (instances, storage, traffic).
+    pub usage: ResourceUsage,
+    /// The bill, when a pricing model was supplied.
+    pub bill: Option<Bill>,
+}
+
+impl RunReport {
+    /// Total bill in USD (0 when no pricing model was supplied).
+    pub fn total_cost_usd(&self) -> f64 {
+        self.bill.map(|b| b.total()).unwrap_or(0.0)
+    }
+
+    /// Fraction of reads that returned fresh data.
+    pub fn fresh_read_fraction(&self) -> f64 {
+        1.0 - self.stale_read_rate
+    }
+
+    /// A compact single-line summary (used by the experiment binaries).
+    pub fn one_line(&self) -> String {
+        format!(
+            "{:<28} thr={:>9.1} ops/s  read p95={:>7.2} ms  stale={:>6.2}%  cost=${:.4}",
+            self.policy,
+            self.throughput_ops_per_sec,
+            self.read_latency_ms.p95,
+            self.stale_read_rate * 100.0,
+            self.total_cost_usd()
+        )
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+/// Render a set of reports as an aligned text table (one row per report),
+/// the format the experiment binaries print.
+pub fn render_table(title: &str, reports: &[RunReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12}\n",
+        "policy",
+        "thr (ops/s)",
+        "r-lat p50",
+        "r-lat p95",
+        "w-lat p95",
+        "stale %",
+        "fanout",
+        "cost ($)"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<28} {:>12.1} {:>12.3} {:>12.3} {:>12.3} {:>10.2} {:>10.2} {:>12.4}\n",
+            r.policy,
+            r.throughput_ops_per_sec,
+            r.read_latency_ms.p50,
+            r.read_latency_ms.p95,
+            r.write_latency_ms.p95,
+            r.stale_read_rate * 100.0,
+            r.mean_read_replicas,
+            r.total_cost_usd(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concord_cluster::TrafficBytes;
+
+    fn report(policy: &str, stale: f64, cost: f64) -> RunReport {
+        RunReport {
+            policy: policy.to_string(),
+            total_ops: 1000,
+            reads: 500,
+            writes: 500,
+            timeouts: 0,
+            makespan: SimDuration::from_secs(10),
+            throughput_ops_per_sec: 100.0,
+            read_latency_ms: LatencySummary {
+                mean: 1.0,
+                p50: 0.9,
+                p95: 2.0,
+                p99: 3.0,
+                max: 5.0,
+            },
+            write_latency_ms: LatencySummary::default(),
+            stale_reads: (stale * 500.0) as u64,
+            stale_read_rate: stale,
+            mean_staleness_depth: 1.0,
+            mean_read_replicas: 1.0,
+            adaptation_steps: 3,
+            level_timeline: vec![LevelChange {
+                at_secs: 0.0,
+                read_replicas: 1,
+                write_replicas: 1,
+            }],
+            usage: ResourceUsage {
+                vm_count: 4,
+                runtime: SimDuration::from_secs(10),
+                stored_bytes: 1_000,
+                storage_io_ops: 10,
+                traffic: TrafficBytes::default(),
+            },
+            bill: Some(Bill {
+                instances_usd: cost,
+                storage_usd: 0.0,
+                network_usd: 0.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn cost_and_freshness_helpers() {
+        let r = report("x", 0.2, 1.5);
+        assert!((r.total_cost_usd() - 1.5).abs() < 1e-12);
+        assert!((r.fresh_read_fraction() - 0.8).abs() < 1e-12);
+        let mut no_bill = r.clone();
+        no_bill.bill = None;
+        assert_eq!(no_bill.total_cost_usd(), 0.0);
+    }
+
+    #[test]
+    fn one_line_and_table_contain_key_numbers() {
+        let reports = vec![report("static-eventual(ONE)", 0.3, 0.5), report("harmony", 0.05, 0.6)];
+        let line = reports[0].one_line();
+        assert!(line.contains("static-eventual"));
+        assert!(line.contains("30.00%"));
+        let table = render_table("EXP-A1", &reports);
+        assert!(table.contains("EXP-A1"));
+        assert!(table.contains("harmony"));
+        assert!(table.contains("policy"));
+        assert_eq!(table.lines().count(), 5, "title + header + 2 rows + blank");
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = report("quorum", 0.0, 2.0);
+        let json = r.to_json();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

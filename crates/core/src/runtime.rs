@@ -1,0 +1,368 @@
+//! The adaptive runtime: closes the loop between the storage cluster, the
+//! workload, the monitoring module and a consistency policy.
+//!
+//! This is the component that corresponds to running "YCSB against Cassandra
+//! with Harmony attached" in the paper's evaluation: a closed loop of client
+//! threads drives the cluster, every completed operation feeds the monitor,
+//! and at every adaptation interval the policy is consulted and the cluster's
+//! consistency levels are retuned.
+
+use crate::policy::{ClusterProfile, ConsistencyPolicy, PolicyContext};
+use crate::report::{LatencySummary, LevelChange, RunReport};
+use concord_cluster::{Cluster, ClusterOutput, OpKind};
+use concord_cost::{Bill, PricingModel, ResourceUsage};
+use concord_monitor::{AccessMonitor, MonitorConfig};
+use concord_sim::{SimDuration, SimRng, SimTime};
+use concord_workload::{CoreWorkload, OperationType, WorkloadOp};
+
+/// Configuration of an adaptive run.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Number of concurrent closed-loop clients (YCSB threads).
+    pub clients: u32,
+    /// Per-client pause between a completion and the next request.
+    pub think_time: SimDuration,
+    /// How often the policy is consulted (the adaptation interval).
+    pub adaptation_interval: SimDuration,
+    /// Monitor configuration (rate window, smoothing factors).
+    pub monitor: MonitorConfig,
+    /// Pricing model used to compute the run's bill (optional).
+    pub pricing: Option<PricingModel>,
+    /// Safety cap on processed outputs (guards against run-away loops).
+    pub max_outputs: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            clients: 32,
+            think_time: SimDuration::ZERO,
+            adaptation_interval: SimDuration::from_secs(5),
+            monitor: MonitorConfig::default(),
+            pricing: Some(PricingModel::ec2_2013()),
+            max_outputs: u64::MAX,
+        }
+    }
+}
+
+/// The adaptive runtime.
+pub struct AdaptiveRuntime {
+    config: RuntimeConfig,
+    rng: SimRng,
+}
+
+impl AdaptiveRuntime {
+    /// Create a runtime with the given configuration and RNG seed.
+    pub fn new(config: RuntimeConfig, seed: u64) -> Self {
+        assert!(config.clients >= 1, "at least one client is required");
+        assert!(
+            !config.adaptation_interval.is_zero(),
+            "the adaptation interval must be positive"
+        );
+        AdaptiveRuntime {
+            config,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    fn submit(cluster: &mut Cluster, op: &WorkloadOp, at: SimTime) {
+        match op.op {
+            OperationType::Read | OperationType::Scan => {
+                cluster.submit_read_at(op.key, at);
+            }
+            OperationType::Update | OperationType::Insert | OperationType::ReadModifyWrite => {
+                cluster.submit_write_at(op.key, op.value_size, at);
+            }
+        }
+    }
+
+    /// Drive `workload` against `cluster` under `policy` until every
+    /// operation of the workload has completed, and return the run report.
+    ///
+    /// The cluster should already be loaded with the workload's records
+    /// (see [`Cluster::load_records`]).
+    pub fn run(
+        &mut self,
+        cluster: &mut Cluster,
+        workload: &mut CoreWorkload,
+        policy: &mut dyn ConsistencyPolicy,
+    ) -> RunReport {
+        let profile = ClusterProfile::from_cluster(cluster, workload.config().record_size());
+        let mut monitor = AccessMonitor::new(self.config.monitor);
+        let start = cluster.now();
+
+        // Initial decision from a cold monitor, then the first tick.
+        let mut adaptation_steps = 0u64;
+        let mut level_timeline: Vec<LevelChange> = Vec::new();
+        let initial = policy.decide(&PolicyContext {
+            now: start,
+            snapshot: monitor.snapshot(start),
+            profile,
+        });
+        initial.apply(cluster);
+        adaptation_steps += 1;
+        level_timeline.push(LevelChange {
+            at_secs: start.as_secs_f64(),
+            read_replicas: cluster.config().required_acks(initial.read),
+            write_replicas: cluster.config().required_acks(initial.write),
+        });
+
+        // Prime the closed loop: one outstanding operation per client,
+        // staggered by a few microseconds to avoid an artificial burst.
+        let total_ops = workload.config().operation_count;
+        let mut submitted = 0u64;
+        let initial_clients = (self.config.clients as u64).min(total_ops);
+        for i in 0..initial_clients {
+            let op = workload.next_op(&mut self.rng);
+            Self::submit(cluster, &op, start + SimDuration::from_micros(i * 13));
+            submitted += 1;
+        }
+
+        let mut tick_id = 0u64;
+        cluster.schedule_tick(start + self.config.adaptation_interval, tick_id);
+
+        let mut completed = 0u64;
+        let mut outputs = 0u64;
+        while completed < submitted.max(1) && outputs < self.config.max_outputs {
+            let Some(output) = cluster.advance() else {
+                break;
+            };
+            outputs += 1;
+            match output {
+                ClusterOutput::Completed(op) => {
+                    completed += 1;
+                    // Completions arrive in time order of `completed_at`; use
+                    // that timestamp for the rate windows (at steady state the
+                    // completion rate equals the arrival rate).
+                    match op.kind {
+                        OpKind::Read => monitor.record_read(op.completed_at, op.latency()),
+                        OpKind::Write => monitor.record_write(op.completed_at, op.latency()),
+                    }
+                    // Closed loop: this client immediately issues its next
+                    // operation (after the optional think time).
+                    if submitted < total_ops && !workload.is_exhausted() {
+                        let next = workload.next_op(&mut self.rng);
+                        Self::submit(cluster, &next, op.completed_at + self.config.think_time);
+                        submitted += 1;
+                    }
+                }
+                ClusterOutput::Tick { at, .. } => {
+                    // Feed the monitor with the propagation measurements the
+                    // cluster collected since the last tick.
+                    for sample in cluster.drain_propagation_samples() {
+                        monitor.record_propagation(sample);
+                    }
+                    if policy.is_adaptive() {
+                        let ctx = PolicyContext {
+                            now: at,
+                            snapshot: monitor.snapshot(at),
+                            profile,
+                        };
+                        let decision = policy.decide(&ctx);
+                        decision.apply(cluster);
+                        adaptation_steps += 1;
+                        let read_replicas = cluster.config().required_acks(decision.read);
+                        let write_replicas = cluster.config().required_acks(decision.write);
+                        if level_timeline.last().map_or(true, |last| {
+                            last.read_replicas != read_replicas
+                                || last.write_replicas != write_replicas
+                        }) {
+                            level_timeline.push(LevelChange {
+                                at_secs: at.as_secs_f64(),
+                                read_replicas,
+                                write_replicas,
+                            });
+                        }
+                    }
+                    // Keep ticking while work remains.
+                    if completed < total_ops {
+                        tick_id += 1;
+                        cluster.schedule_tick(at + self.config.adaptation_interval, tick_id);
+                    }
+                }
+            }
+        }
+
+        let makespan = cluster.now() - start;
+        let metrics = cluster.metrics();
+        let usage = ResourceUsage::from_cluster(cluster, makespan);
+        let bill = self.config.pricing.map(|p| Bill::compute(&p, &usage));
+
+        RunReport {
+            policy: policy.name(),
+            total_ops: metrics.ops_completed(),
+            reads: metrics.reads_completed,
+            writes: metrics.writes_completed,
+            timeouts: metrics.timeouts,
+            makespan,
+            throughput_ops_per_sec: metrics.throughput(makespan),
+            read_latency_ms: LatencySummary::from_reservoir(&metrics.read_latency),
+            write_latency_ms: LatencySummary::from_reservoir(&metrics.write_latency),
+            stale_reads: metrics.stale_reads,
+            stale_read_rate: metrics.stale_read_rate(),
+            mean_staleness_depth: cluster.oracle().mean_staleness_depth(),
+            mean_read_replicas: metrics.mean_read_fanout(),
+            adaptation_steps,
+            level_timeline,
+            usage,
+            bill,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harmony::HarmonyPolicy;
+    use crate::policy::StaticPolicy;
+    use concord_cluster::{ClusterConfig, ReplicationStrategy};
+    use concord_sim::{NetworkModel, RegionId, Topology};
+    use concord_workload::presets;
+
+    /// A small two-site cluster and a scaled-down heavy read-update workload.
+    fn setup(seed: u64) -> (Cluster, CoreWorkload) {
+        let mut cfg = ClusterConfig::lan_test(8, 5);
+        cfg.topology = Topology::spread(
+            8,
+            &[("site-a", RegionId(0)), ("site-b", RegionId(0))],
+        );
+        cfg.network = NetworkModel::grid5000_like();
+        cfg.strategy = ReplicationStrategy::NetworkTopology;
+        let mut cluster = Cluster::new(cfg, seed);
+
+        let mut wl_cfg = presets::paper_heavy_read_update(2_000, 6_000);
+        wl_cfg.field_count = 1;
+        wl_cfg.field_length = 256;
+        let workload = CoreWorkload::new(wl_cfg.clone());
+        cluster.load_records((0..wl_cfg.record_count).map(|k| (k, wl_cfg.record_size())));
+        (cluster, workload)
+    }
+
+    fn quick_runtime(seed: u64) -> AdaptiveRuntime {
+        AdaptiveRuntime::new(
+            RuntimeConfig {
+                clients: 16,
+                // Short interval so even fast (level-ONE) runs see several
+                // adaptation steps.
+                adaptation_interval: SimDuration::from_millis(100),
+                ..Default::default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn static_run_completes_every_operation() {
+        let (mut cluster, mut workload) = setup(1);
+        let mut policy = StaticPolicy::eventual();
+        let report = quick_runtime(1).run(&mut cluster, &mut workload, &mut policy);
+        assert_eq!(report.total_ops, 6_000);
+        assert_eq!(report.reads + report.writes, 6_000);
+        assert!(report.throughput_ops_per_sec > 0.0);
+        assert!(report.makespan > SimDuration::ZERO);
+        assert!(report.read_latency_ms.p95 >= report.read_latency_ms.p50);
+        assert!(report.bill.is_some());
+        assert!(report.total_cost_usd() > 0.0);
+        assert_eq!(report.policy, "static-eventual(ONE)");
+    }
+
+    #[test]
+    fn eventual_is_faster_but_staler_than_strong() {
+        let run_with = |mut policy: StaticPolicy, seed: u64| {
+            let (mut cluster, mut workload) = setup(seed);
+            quick_runtime(seed).run(&mut cluster, &mut workload, &mut policy)
+        };
+        let eventual = run_with(StaticPolicy::eventual(), 3);
+        let strong = run_with(StaticPolicy::strong(), 3);
+        assert!(
+            eventual.throughput_ops_per_sec > strong.throughput_ops_per_sec,
+            "eventual {} vs strong {}",
+            eventual.throughput_ops_per_sec,
+            strong.throughput_ops_per_sec
+        );
+        assert!(eventual.stale_read_rate > strong.stale_read_rate);
+        assert_eq!(strong.stale_reads, 0, "read-ALL can never be stale");
+        assert!(eventual.mean_read_replicas < strong.mean_read_replicas);
+    }
+
+    #[test]
+    fn harmony_respects_its_tolerance_and_beats_strong_throughput() {
+        let (mut cluster, mut workload) = setup(5);
+        let mut harmony = HarmonyPolicy::with_tolerance(0.20);
+        let harmony_report = quick_runtime(5).run(&mut cluster, &mut workload, &mut harmony);
+
+        let (mut cluster2, mut workload2) = setup(5);
+        let mut strong = StaticPolicy::strong();
+        let strong_report = quick_runtime(5).run(&mut cluster2, &mut workload2, &mut strong);
+
+        // The measured stale rate must stay at or below the tolerance
+        // (small numerical slack for the finite run).
+        assert!(
+            harmony_report.stale_read_rate <= 0.20 + 0.03,
+            "harmony stale rate {} exceeds tolerance",
+            harmony_report.stale_read_rate
+        );
+        // And Harmony must not be slower than static strong consistency.
+        assert!(
+            harmony_report.throughput_ops_per_sec >= strong_report.throughput_ops_per_sec * 0.95,
+            "harmony {} vs strong {}",
+            harmony_report.throughput_ops_per_sec,
+            strong_report.throughput_ops_per_sec
+        );
+        assert!(harmony_report.adaptation_steps > 1);
+    }
+
+    #[test]
+    fn adaptive_runs_record_a_level_timeline() {
+        let (mut cluster, mut workload) = setup(7);
+        let mut harmony = HarmonyPolicy::with_tolerance(0.05);
+        let report = quick_runtime(7).run(&mut cluster, &mut workload, &mut harmony);
+        assert!(!report.level_timeline.is_empty());
+        assert!(report
+            .level_timeline
+            .iter()
+            .all(|c| (1..=5).contains(&c.read_replicas)));
+        // The JSON round trip used by the experiment binaries works.
+        let json = report.to_json();
+        assert!(json.contains("level_timeline"));
+    }
+
+    #[test]
+    fn think_time_slows_the_offered_load() {
+        let run_with_think = |think: SimDuration| {
+            let (mut cluster, mut workload) = setup(11);
+            let mut rt = AdaptiveRuntime::new(
+                RuntimeConfig {
+                    clients: 8,
+                    think_time: think,
+                    adaptation_interval: SimDuration::from_millis(500),
+                    ..Default::default()
+                },
+                11,
+            );
+            let mut policy = StaticPolicy::eventual();
+            rt.run(&mut cluster, &mut workload, &mut policy)
+                .throughput_ops_per_sec
+        };
+        let fast = run_with_think(SimDuration::ZERO);
+        let slow = run_with_think(SimDuration::from_millis(5));
+        assert!(fast > slow * 1.5, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_rejected() {
+        AdaptiveRuntime::new(
+            RuntimeConfig {
+                clients: 0,
+                ..Default::default()
+            },
+            1,
+        );
+    }
+}

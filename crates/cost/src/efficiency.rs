@@ -1,0 +1,167 @@
+//! The consistency-cost efficiency metric (the heart of Bismar).
+//!
+//! The paper introduces *"a new metric, consistency-cost efficiency, to
+//! evaluate consistency in the cloud from an economical point of view"*
+//! (§III-B). A consistency level is efficient when it delivers a high
+//! fraction of consistent (fresh) reads per unit of relative monetary cost:
+//!
+//! ```text
+//! efficiency(cl) = consistency(cl) / relative_cost(cl)
+//!               = (1 − stale_rate(cl)) / (cost(cl) / cost(reference))
+//! ```
+//!
+//! The reference is usually the strongest level under consideration (ALL or
+//! QUORUM), so `relative_cost ≤ 1` for weaker levels. A weak level only wins
+//! when the consistency it sacrifices is smaller than the cost it saves —
+//! which is exactly the behaviour the paper reports: *"the most efficient
+//! consistency levels are the ones that provide a staleness rate smaller
+//! than 20%"*.
+
+use serde::{Deserialize, Serialize};
+
+/// One consistency level's measured consistency and cost, plus the derived
+/// efficiency value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencySample {
+    /// Fraction of reads that were fresh (1 − stale rate), in `[0, 1]`.
+    pub consistency: f64,
+    /// Absolute cost of running the workload at this level, in USD.
+    pub cost_usd: f64,
+    /// Cost of the reference level the sample is normalized against, in USD.
+    pub reference_cost_usd: f64,
+    /// The consistency-cost efficiency value.
+    pub efficiency: f64,
+}
+
+/// Compute the consistency-cost efficiency of a level.
+///
+/// * `stale_rate` — measured or estimated fraction of stale reads at the level;
+/// * `cost_usd` — bill of running the workload at the level;
+/// * `reference_cost_usd` — bill at the reference (strongest) level.
+pub fn consistency_cost_efficiency(
+    stale_rate: f64,
+    cost_usd: f64,
+    reference_cost_usd: f64,
+) -> EfficiencySample {
+    let consistency = (1.0 - stale_rate).clamp(0.0, 1.0);
+    let relative_cost = if reference_cost_usd > 0.0 && cost_usd > 0.0 {
+        cost_usd / reference_cost_usd
+    } else {
+        1.0
+    };
+    let efficiency = if relative_cost > 0.0 {
+        consistency / relative_cost
+    } else {
+        0.0
+    };
+    EfficiencySample {
+        consistency,
+        cost_usd,
+        reference_cost_usd,
+        efficiency,
+    }
+}
+
+/// Pick the index of the most efficient sample (highest efficiency; ties go
+/// to the cheaper level). Returns `None` for an empty slice.
+pub fn most_efficient(samples: &[EfficiencySample]) -> Option<usize> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, s) in samples.iter().enumerate().skip(1) {
+        let b = &samples[best];
+        if s.efficiency > b.efficiency
+            || (s.efficiency == b.efficiency && s.cost_usd < b.cost_usd)
+        {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_consistency_at_reference_cost_has_efficiency_one() {
+        let s = consistency_cost_efficiency(0.0, 100.0, 100.0);
+        assert!((s.efficiency - 1.0).abs() < 1e-12);
+        assert_eq!(s.consistency, 1.0);
+    }
+
+    #[test]
+    fn cheap_but_very_stale_levels_are_inefficient() {
+        // ONE: half the cost but 61% stale reads (paper's observation).
+        let one = consistency_cost_efficiency(0.61, 52.0, 100.0);
+        // QUORUM: full reference cost, no stale reads.
+        let quorum = consistency_cost_efficiency(0.0, 100.0, 100.0);
+        assert!(
+            quorum.efficiency > one.efficiency,
+            "a 61%-stale level must not beat quorum: {} vs {}",
+            one.efficiency,
+            quorum.efficiency
+        );
+    }
+
+    #[test]
+    fn cheap_and_barely_stale_levels_are_efficient() {
+        // A level that halves the cost while staying 96% fresh wins.
+        let cheap = consistency_cost_efficiency(0.04, 50.0, 100.0);
+        let strong = consistency_cost_efficiency(0.0, 100.0, 100.0);
+        assert!(cheap.efficiency > strong.efficiency);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_stale_rate_at_fixed_cost() {
+        let mut last = f64::INFINITY;
+        for stale in [0.0, 0.1, 0.3, 0.6, 0.9] {
+            let e = consistency_cost_efficiency(stale, 80.0, 100.0).efficiency;
+            assert!(e <= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn efficiency_increases_as_cost_decreases_at_fixed_consistency() {
+        let mut last = 0.0;
+        for cost in [100.0, 80.0, 60.0, 40.0] {
+            let e = consistency_cost_efficiency(0.1, cost, 100.0).efficiency;
+            assert!(e >= last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let s = consistency_cost_efficiency(2.0, 0.0, 0.0);
+        assert_eq!(s.consistency, 0.0);
+        assert!(s.efficiency.is_finite());
+        let s = consistency_cost_efficiency(-1.0, 10.0, 0.0);
+        assert_eq!(s.consistency, 1.0);
+    }
+
+    #[test]
+    fn most_efficient_selection() {
+        let samples = vec![
+            consistency_cost_efficiency(0.61, 52.0, 100.0), // ONE
+            consistency_cost_efficiency(0.10, 75.0, 100.0), // TWO
+            consistency_cost_efficiency(0.00, 87.0, 100.0), // QUORUM
+            consistency_cost_efficiency(0.00, 100.0, 100.0), // ALL
+        ];
+        let best = most_efficient(&samples).unwrap();
+        assert_eq!(best, 1, "the 90%-fresh level at 75% cost wins: {samples:?}");
+        assert_eq!(most_efficient(&[]), None);
+    }
+
+    #[test]
+    fn ties_prefer_cheaper_level() {
+        let a = consistency_cost_efficiency(0.0, 100.0, 100.0);
+        let b = consistency_cost_efficiency(0.0, 100.0, 100.0);
+        let mut cheaper = b;
+        cheaper.cost_usd = 90.0;
+        cheaper.efficiency = a.efficiency;
+        assert_eq!(most_efficient(&[a, cheaper]), Some(1));
+    }
+}

@@ -1,0 +1,241 @@
+//! Latency histograms with logarithmic buckets.
+//!
+//! A compact, HdrHistogram-inspired structure: values are bucketed on a
+//! log scale so that the histogram covers microseconds to minutes with
+//! bounded relative error and O(1) insertion, which is what we need to report
+//! the latency percentiles of millions of simulated operations without
+//! keeping every sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets give
+/// a worst-case relative quantile error of ~3%.
+const SUB_BUCKETS: usize = 32;
+
+/// A log-bucketed histogram of non-negative `u64` values (e.g. microseconds).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        // 64 powers of two × SUB_BUCKETS sub-buckets covers the full u64 range.
+        LatencyHistogram {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize;
+        let shift = msb - SUB_BUCKETS.trailing_zeros() as usize;
+        let sub = (value >> shift) as usize - SUB_BUCKETS + SUB_BUCKETS;
+        // `sub` is in [SUB_BUCKETS, 2*SUB_BUCKETS); place it in the block for
+        // this power of two.
+        (shift + 1) * SUB_BUCKETS + (sub - SUB_BUCKETS)
+    }
+
+    /// Representative (midpoint-ish) value for a bucket index: the lowest
+    /// value mapping to that bucket.
+    fn bucket_low(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let shift = index / SUB_BUCKETS - 1;
+        let sub = index % SUB_BUCKETS;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) of the recorded values.
+    /// Returns `None` if the histogram is empty. The relative error is
+    /// bounded by the sub-bucket resolution (≈3%).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // Clamp to observed extrema so tiny histograms stay exact-ish.
+                return Some(Self::bucket_low(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(5));
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let exact = (q * 100_000.0) as u64;
+            let approx = h.quantile(q).unwrap();
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.05, "q={q} exact={exact} approx={approx} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut last = 0usize;
+        for v in (0..1_000_000u64).step_by(997) {
+            let idx = LatencyHistogram::bucket_index(v);
+            assert!(idx >= last, "bucket index must not decrease");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert!(h.quantile(0.99).is_some());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for v in 0..1_000u64 {
+            if v % 2 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+            all.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = LatencyHistogram::new();
+        h.record(123);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! # concord-monitor — runtime monitoring of the storage system
+//!
+//! Harmony (§III-A of the paper) consists of two modules: a *monitoring
+//! module* that collects read rates, write rates and network latencies from
+//! the storage system, and an *adaptive consistency module* that turns those
+//! measurements into a consistency level. This crate implements the
+//! monitoring half:
+//!
+//! * [`SlidingWindowRate`] — read/write arrival-rate estimation (λr, λw);
+//! * [`Ewma`] / [`TimeDecayEwma`] — smoothing of propagation delays and
+//!   latencies;
+//! * [`LatencyHistogram`] — log-bucketed latency percentiles;
+//! * [`AccessMonitor`] / [`MonitorSnapshot`] — the aggregate monitor fed by
+//!   the cluster and consumed by the adaptive policies in `concord-core`.
+
+#![warn(missing_docs)]
+
+pub mod ewma;
+pub mod histogram;
+pub mod registry;
+pub mod window;
+
+pub use ewma::{Ewma, TimeDecayEwma};
+pub use histogram::LatencyHistogram;
+pub use registry::{AccessMonitor, MonitorConfig, MonitorSnapshot};
+pub use window::SlidingWindowRate;

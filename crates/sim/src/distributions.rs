@@ -1,0 +1,292 @@
+//! Latency / delay distributions used throughout the simulator.
+//!
+//! Network links, disk accesses and replica propagation delays are all
+//! described by a [`DelayDistribution`], a serializable, deterministic
+//! description of a positive random variable. Sampling draws from a
+//! [`SimRng`], so a fixed seed reproduces the exact same delays.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A distribution over non-negative delays, in milliseconds.
+///
+/// All parameters are expressed in **milliseconds** because that is the
+/// natural unit for WAN latencies; samples are converted to [`SimDuration`]
+/// (microsecond resolution) on draw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant field names are self-describing (ms units)
+pub enum DelayDistribution {
+    /// Always exactly `ms`.
+    Constant { ms: f64 },
+    /// Uniform between `lo_ms` and `hi_ms`.
+    Uniform { lo_ms: f64, hi_ms: f64 },
+    /// Exponential with the given mean (common model for queueing delays).
+    Exponential { mean_ms: f64 },
+    /// `base_ms` plus an exponential tail of mean `tail_mean_ms` — a good
+    /// model for a WAN link: a propagation floor plus congestion jitter.
+    ShiftedExponential { base_ms: f64, tail_mean_ms: f64 },
+    /// Normal distribution truncated at zero.
+    Normal { mean_ms: f64, std_ms: f64 },
+    /// Log-normal parameterized by the *median* and the multiplicative
+    /// spread `sigma` (σ of the underlying normal) — the classic heavy-tailed
+    /// latency model.
+    LogNormal { median_ms: f64, sigma: f64 },
+    /// Resample uniformly from an empirical set of observations.
+    Empirical { samples_ms: Vec<f64> },
+}
+
+impl DelayDistribution {
+    /// A constant delay of `ms` milliseconds.
+    pub fn constant(ms: f64) -> Self {
+        DelayDistribution::Constant { ms }
+    }
+
+    /// Shifted-exponential WAN model: `base + Exp(tail_mean)`.
+    pub fn wan(base_ms: f64, tail_mean_ms: f64) -> Self {
+        DelayDistribution::ShiftedExponential {
+            base_ms,
+            tail_mean_ms,
+        }
+    }
+
+    /// Draw one delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_millis_f64(self.sample_ms(rng))
+    }
+
+    /// Draw one delay as fractional milliseconds.
+    pub fn sample_ms(&self, rng: &mut SimRng) -> f64 {
+        let v = match self {
+            DelayDistribution::Constant { ms } => *ms,
+            DelayDistribution::Uniform { lo_ms, hi_ms } => {
+                debug_assert!(hi_ms >= lo_ms);
+                lo_ms + rng.next_f64() * (hi_ms - lo_ms)
+            }
+            DelayDistribution::Exponential { mean_ms } => {
+                if *mean_ms <= 0.0 {
+                    0.0
+                } else {
+                    rng.exponential(1.0 / mean_ms)
+                }
+            }
+            DelayDistribution::ShiftedExponential {
+                base_ms,
+                tail_mean_ms,
+            } => {
+                let tail = if *tail_mean_ms <= 0.0 {
+                    0.0
+                } else {
+                    rng.exponential(1.0 / tail_mean_ms)
+                };
+                base_ms + tail
+            }
+            DelayDistribution::Normal { mean_ms, std_ms } => {
+                if *std_ms <= 0.0 {
+                    *mean_ms
+                } else {
+                    let n = Normal::new(*mean_ms, *std_ms).expect("valid normal params");
+                    n.sample(rng)
+                }
+            }
+            DelayDistribution::LogNormal { median_ms, sigma } => {
+                if *median_ms <= 0.0 {
+                    0.0
+                } else if *sigma <= 0.0 {
+                    *median_ms
+                } else {
+                    let ln = LogNormal::new(median_ms.ln(), *sigma).expect("valid lognormal");
+                    ln.sample(rng)
+                }
+            }
+            DelayDistribution::Empirical { samples_ms } => {
+                if samples_ms.is_empty() {
+                    0.0
+                } else {
+                    samples_ms[rng.index(samples_ms.len())]
+                }
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// The analytical mean of the distribution, in milliseconds.
+    ///
+    /// For the truncated normal this returns the untruncated mean — the
+    /// truncation error is negligible for the mean≫std latency settings the
+    /// simulator uses, and tests tolerate the difference.
+    pub fn mean_ms(&self) -> f64 {
+        match self {
+            DelayDistribution::Constant { ms } => *ms,
+            DelayDistribution::Uniform { lo_ms, hi_ms } => (lo_ms + hi_ms) / 2.0,
+            DelayDistribution::Exponential { mean_ms } => *mean_ms,
+            DelayDistribution::ShiftedExponential {
+                base_ms,
+                tail_mean_ms,
+            } => base_ms + tail_mean_ms,
+            DelayDistribution::Normal { mean_ms, .. } => *mean_ms,
+            DelayDistribution::LogNormal { median_ms, sigma } => {
+                median_ms * (sigma * sigma / 2.0).exp()
+            }
+            DelayDistribution::Empirical { samples_ms } => {
+                if samples_ms.is_empty() {
+                    0.0
+                } else {
+                    samples_ms.iter().sum::<f64>() / samples_ms.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Scale every delay by a positive factor, returning a new distribution.
+    /// Useful to derive "slow network" variants of a baseline topology.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let f = factor.max(0.0);
+        match self {
+            DelayDistribution::Constant { ms } => DelayDistribution::Constant { ms: ms * f },
+            DelayDistribution::Uniform { lo_ms, hi_ms } => DelayDistribution::Uniform {
+                lo_ms: lo_ms * f,
+                hi_ms: hi_ms * f,
+            },
+            DelayDistribution::Exponential { mean_ms } => DelayDistribution::Exponential {
+                mean_ms: mean_ms * f,
+            },
+            DelayDistribution::ShiftedExponential {
+                base_ms,
+                tail_mean_ms,
+            } => DelayDistribution::ShiftedExponential {
+                base_ms: base_ms * f,
+                tail_mean_ms: tail_mean_ms * f,
+            },
+            DelayDistribution::Normal { mean_ms, std_ms } => DelayDistribution::Normal {
+                mean_ms: mean_ms * f,
+                std_ms: std_ms * f,
+            },
+            DelayDistribution::LogNormal { median_ms, sigma } => DelayDistribution::LogNormal {
+                median_ms: median_ms * f,
+                sigma: *sigma,
+            },
+            DelayDistribution::Empirical { samples_ms } => DelayDistribution::Empirical {
+                samples_ms: samples_ms.iter().map(|s| s * f).collect(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &DelayDistribution, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample_ms(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = DelayDistribution::constant(7.5);
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample_ms(&mut rng), 7.5);
+        }
+        assert_eq!(d.mean_ms(), 7.5);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let d = DelayDistribution::Uniform {
+            lo_ms: 2.0,
+            hi_ms: 4.0,
+        };
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            let s = d.sample_ms(&mut rng);
+            assert!((2.0..4.0).contains(&s));
+        }
+        assert!((empirical_mean(&d, 50_000, 3) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_and_shifted_means() {
+        let exp = DelayDistribution::Exponential { mean_ms: 10.0 };
+        assert!((empirical_mean(&exp, 100_000, 4) - 10.0).abs() < 0.3);
+
+        let wan = DelayDistribution::wan(50.0, 5.0);
+        assert_eq!(wan.mean_ms(), 55.0);
+        let m = empirical_mean(&wan, 100_000, 5);
+        assert!((m - 55.0).abs() < 0.5, "mean={m}");
+        // All samples must respect the base floor.
+        let mut rng = SimRng::new(6);
+        for _ in 0..1_000 {
+            assert!(wan.sample_ms(&mut rng) >= 50.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let d = DelayDistribution::LogNormal {
+            median_ms: 20.0,
+            sigma: 0.5,
+        };
+        let analytic = d.mean_ms();
+        let measured = empirical_mean(&d, 200_000, 7);
+        assert!(
+            (measured - analytic).abs() / analytic < 0.03,
+            "measured={measured} analytic={analytic}"
+        );
+    }
+
+    #[test]
+    fn normal_truncated_at_zero() {
+        let d = DelayDistribution::Normal {
+            mean_ms: 1.0,
+            std_ms: 2.0,
+        };
+        let mut rng = SimRng::new(8);
+        for _ in 0..10_000 {
+            assert!(d.sample_ms(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_resamples_observations() {
+        let d = DelayDistribution::Empirical {
+            samples_ms: vec![1.0, 2.0, 3.0],
+        };
+        let mut rng = SimRng::new(9);
+        for _ in 0..100 {
+            let s = d.sample_ms(&mut rng);
+            assert!([1.0, 2.0, 3.0].contains(&s));
+        }
+        assert_eq!(d.mean_ms(), 2.0);
+        let empty = DelayDistribution::Empirical { samples_ms: vec![] };
+        assert_eq!(empty.sample_ms(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn scaling_scales_mean() {
+        let d = DelayDistribution::wan(10.0, 2.0).scaled(3.0);
+        assert!((d.mean_ms() - 36.0).abs() < 1e-9);
+        let c = DelayDistribution::constant(4.0).scaled(0.5);
+        assert_eq!(c.mean_ms(), 2.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = DelayDistribution::LogNormal {
+            median_ms: 12.0,
+            sigma: 0.4,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DelayDistribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn samples_convert_to_duration() {
+        let d = DelayDistribution::constant(1.5);
+        let mut rng = SimRng::new(10);
+        assert_eq!(d.sample(&mut rng), SimDuration::from_micros(1_500));
+    }
+}

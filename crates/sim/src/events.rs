@@ -1,0 +1,343 @@
+//! Event queue and simulation clock.
+//!
+//! The engine is a classic calendar/priority-queue discrete-event simulator:
+//! events carry a firing time, the queue pops them in time order (FIFO within
+//! the same instant thanks to a monotonically increasing sequence number) and
+//! the clock jumps to each event's timestamp.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue: a user event `E` scheduled at `time`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, breaking ties by insertion order (stable / deterministic).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue with an embedded virtual clock.
+///
+/// The queue guarantees:
+/// * events are delivered in non-decreasing time order;
+/// * events scheduled for the same instant are delivered in the order they
+///   were scheduled (FIFO), which keeps simulations deterministic;
+/// * scheduling an event in the past is clamped to "now" (a common and safe
+///   convention for zero-latency local interactions).
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` to fire at absolute time `at`. Times in the past are
+    /// clamped to the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedule `event` to fire `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` to fire immediately (at the current clock, after any
+    /// events already scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "time must be monotonic");
+        self.now = s.time;
+        self.processed += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Pop the next event only if it fires at or before `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advance the clock to `at` without processing events. Panics in debug
+    /// builds if events earlier than `at` are still pending (that would break
+    /// causality).
+    pub fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(
+            self.peek_time().map_or(true, |t| t >= at),
+            "cannot skip over pending events"
+        );
+        if at > self.now {
+            self.now = at;
+        }
+    }
+
+    /// Drop all pending events (the clock is left untouched).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Outcome of driving a queue with [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained completely.
+    Drained,
+    /// The time limit was reached with events still pending.
+    DeadlineReached,
+    /// The event-count limit was reached with events still pending.
+    EventLimitReached,
+    /// The handler requested an early stop.
+    Stopped,
+}
+
+/// Control value returned by an event handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Control {
+    /// Keep processing events.
+    #[default]
+    Continue,
+    /// Stop the run after this event.
+    Stop,
+}
+
+/// Drive `queue` by repeatedly popping events and passing them to `handler`
+/// until the queue drains, `deadline` is passed, `max_events` are processed,
+/// or the handler returns [`Control::Stop`].
+///
+/// The handler receives the queue itself so it can schedule follow-up events.
+pub fn run<E, F>(
+    queue: &mut EventQueue<E>,
+    deadline: SimTime,
+    max_events: u64,
+    mut handler: F,
+) -> RunOutcome
+where
+    F: FnMut(&mut EventQueue<E>, SimTime, E) -> Control,
+{
+    let mut count = 0u64;
+    loop {
+        if count >= max_events {
+            return RunOutcome::EventLimitReached;
+        }
+        match queue.peek_time() {
+            None => return RunOutcome::Drained,
+            Some(t) if t > deadline => return RunOutcome::DeadlineReached,
+            Some(_) => {}
+        }
+        let (t, ev) = queue.pop().expect("peeked event must exist");
+        count += 1;
+        if handler(queue, t, ev) == Control::Stop {
+            return RunOutcome::Stopped;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn past_schedules_are_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "later");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), "past");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(t, SimTime::from_secs(10), "clamped to now");
+    }
+
+    #[test]
+    fn schedule_in_uses_relative_delay() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(2), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(3), "second");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at(SimTime::from_secs(5), 2);
+        assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, 1);
+        assert!(q.pop_before(SimTime::from_secs(2)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn run_until_drained() {
+        let mut q = EventQueue::new();
+        for i in 0..5u32 {
+            q.schedule_at(SimTime::from_secs(i as u64), i);
+        }
+        let mut seen = vec![];
+        let outcome = run(&mut q, SimTime::MAX, u64::MAX, |_, _, e| {
+            seen.push(e);
+            Control::Continue
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_respects_deadline_and_limit() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule_at(SimTime::from_secs(i), i);
+        }
+        let outcome = run(&mut q, SimTime::from_secs(4), u64::MAX, |_, _, _| Control::Continue);
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(q.len(), 5);
+
+        let mut q2: EventQueue<u64> = EventQueue::new();
+        for i in 0..10u64 {
+            q2.schedule_at(SimTime::from_secs(i), i);
+        }
+        let outcome = run(&mut q2, SimTime::MAX, 3, |_, _, _| Control::Continue);
+        assert_eq!(outcome, RunOutcome::EventLimitReached);
+        assert_eq!(q2.len(), 7);
+    }
+
+    #[test]
+    fn handler_can_schedule_followups_and_stop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), 0u32);
+        let mut count = 0;
+        let outcome = run(&mut q, SimTime::MAX, u64::MAX, |q, t, e| {
+            count += 1;
+            if e < 4 {
+                q.schedule_at(t + SimDuration::from_secs(1), e + 1);
+                Control::Continue
+            } else {
+                Control::Stop
+            }
+        });
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn many_events_stay_sorted() {
+        let mut rng = crate::rng::SimRng::new(1);
+        let mut q = EventQueue::new();
+        for _ in 0..10_000 {
+            q.schedule_at(SimTime::from_micros(rng.next_bounded(1_000_000)), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.processed(), 10_000);
+    }
+}

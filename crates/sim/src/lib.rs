@@ -1,0 +1,58 @@
+//! # concord-sim — deterministic discrete-event simulation substrate
+//!
+//! This crate provides the simulation substrate on which the Concord
+//! geo-replicated storage simulator (`concord-cluster`) and the adaptive
+//! consistency controllers (`concord-core`) run:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a virtual clock with microsecond
+//!   resolution;
+//! * [`EventQueue`] — a deterministic calendar queue (priority queue +
+//!   monotonic sequence numbers for FIFO tie-breaking);
+//! * [`SimRng`] — a fast, splittable, seedable PRNG so every experiment is
+//!   exactly reproducible;
+//! * [`DelayDistribution`] — serializable latency models (constant, uniform,
+//!   exponential, shifted-exponential WAN, normal, log-normal, empirical);
+//! * [`Topology`] / [`NetworkModel`] — node placement into datacenters and
+//!   regions plus per-link-class latency distributions (EC2-like and
+//!   Grid'5000-like presets);
+//! * [`RunningStats`] / [`percentile`] — one-pass statistics helpers.
+//!
+//! The paper's experiments ran on Amazon EC2 and Grid'5000; this crate is the
+//! substitute testbed: a virtual-time cluster whose WAN behaviour is
+//! parameterized by the same quantities that drive the paper's trade-offs
+//! (propagation latency between replicas, intra- vs. inter-datacenter paths).
+//!
+//! ## Example
+//!
+//! ```
+//! use concord_sim::{EventQueue, SimDuration, SimTime, SimRng, NetworkModel, Topology, RegionId, NodeId};
+//!
+//! // A two-availability-zone topology like the paper's EC2 deployment.
+//! let topo = Topology::spread(6, &[("us-east-1a", RegionId(0)), ("us-east-1b", RegionId(0))]);
+//! let net = NetworkModel::ec2_like();
+//! let mut rng = SimRng::new(42);
+//!
+//! // Schedule a message between two replicas and run the event loop.
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! let delay = net.sample(&topo, NodeId(0), NodeId(1), &mut rng);
+//! queue.schedule_in(delay, "replica-update");
+//! let (arrival, event) = queue.pop().unwrap();
+//! assert_eq!(event, "replica-update");
+//! assert!(arrival > SimTime::ZERO && arrival < SimTime::ZERO + SimDuration::from_secs(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use distributions::DelayDistribution;
+pub use events::{run, Control, EventQueue, RunOutcome};
+pub use rng::SimRng;
+pub use stats::{mean, percentile, percentile_sorted, RunningStats};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Datacenter, DcId, LinkClass, NetworkModel, NodeId, RegionId, Topology};

@@ -1,0 +1,164 @@
+//! The inverse problem Harmony solves at every adaptation step: given the
+//! application's tolerated stale-read rate, find the *smallest* number of
+//! replicas a read must involve so that the estimated stale-read rate stays
+//! below the tolerance (smaller read sets mean lower latency and higher
+//! throughput, which is why Harmony always picks the minimum).
+
+use crate::analytic::{AnalyticEstimator, StaleReadEstimator};
+use crate::params::StalenessParams;
+
+/// Result of a level computation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LevelSolution {
+    /// The chosen number of replicas to involve in reads.
+    pub read_level: u32,
+    /// The estimated stale-read probability at that level.
+    pub estimated_stale_rate: f64,
+    /// The tolerance the solution was computed against.
+    pub tolerated_stale_rate: f64,
+}
+
+/// Computes the minimal read consistency level meeting a staleness tolerance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LevelSolver {
+    estimator: AnalyticEstimator,
+}
+
+impl LevelSolver {
+    /// Create a solver backed by the analytic estimator.
+    pub fn new() -> Self {
+        LevelSolver {
+            estimator: AnalyticEstimator::new(),
+        }
+    }
+
+    /// Estimate the stale-read probability for every possible read level
+    /// `1..=N`, in order.
+    pub fn estimate_all_levels(&self, params: &StalenessParams) -> Vec<f64> {
+        (1..=params.n_replicas)
+            .map(|r| {
+                self.estimator
+                    .estimate(&params.with_read_level(r))
+                    .stale_read_probability
+            })
+            .collect()
+    }
+
+    /// The smallest read level whose estimated stale-read probability is at
+    /// most `tolerated_stale_rate` (a fraction in `[0, 1]`).
+    ///
+    /// Falls back to the full replication factor if even `N − 1` replicas are
+    /// not enough (reading all replicas can never return stale data under the
+    /// model, so the solver always terminates with a valid level).
+    pub fn solve(&self, params: &StalenessParams, tolerated_stale_rate: f64) -> LevelSolution {
+        let tol = tolerated_stale_rate.clamp(0.0, 1.0);
+        let mut chosen = params.n_replicas;
+        let mut estimate_at_chosen = 0.0;
+        for r in 1..=params.n_replicas {
+            let est = self
+                .estimator
+                .estimate(&params.with_read_level(r))
+                .stale_read_probability;
+            if est <= tol {
+                chosen = r;
+                estimate_at_chosen = est;
+                break;
+            }
+            if r == params.n_replicas {
+                estimate_at_chosen = est;
+            }
+        }
+        LevelSolution {
+            read_level: chosen,
+            estimated_stale_rate: estimate_at_chosen,
+            tolerated_stale_rate: tol,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(write_rate: f64, propagation_ms: f64) -> StalenessParams {
+        StalenessParams::basic(5, 1, 1, 1000.0, write_rate, 0.5, propagation_ms)
+    }
+
+    #[test]
+    fn tolerant_applications_get_level_one() {
+        let solver = LevelSolver::new();
+        // Light writes, fast propagation: even ONE is fine for a 40% tolerance.
+        let sol = solver.solve(&params(5.0, 5.0), 0.40);
+        assert_eq!(sol.read_level, 1);
+        assert!(sol.estimated_stale_rate <= 0.40);
+    }
+
+    #[test]
+    fn strict_applications_need_more_replicas() {
+        let solver = LevelSolver::new();
+        // Heavy writes and slow propagation with a tight 1% tolerance.
+        let sol = solver.solve(&params(500.0, 80.0), 0.01);
+        assert!(sol.read_level > 1, "got level {}", sol.read_level);
+        assert!(sol.estimated_stale_rate <= 0.01 || sol.read_level == 5);
+    }
+
+    #[test]
+    fn zero_tolerance_returns_a_safe_level() {
+        let solver = LevelSolver::new();
+        let sol = solver.solve(&params(200.0, 50.0), 0.0);
+        // Reading all replicas is always safe under the model.
+        assert!(sol.read_level >= 1 && sol.read_level <= 5);
+        assert_eq!(sol.estimated_stale_rate, 0.0);
+    }
+
+    #[test]
+    fn chosen_level_is_minimal() {
+        let solver = LevelSolver::new();
+        let p = params(200.0, 50.0);
+        let tol = 0.20;
+        let sol = solver.solve(&p, tol);
+        let all = solver.estimate_all_levels(&p);
+        // Every level below the chosen one must violate the tolerance.
+        for r in 1..sol.read_level {
+            assert!(
+                all[(r - 1) as usize] > tol,
+                "level {r} would already satisfy the tolerance"
+            );
+        }
+        assert!(all[(sol.read_level - 1) as usize] <= tol);
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_level() {
+        let solver = LevelSolver::new();
+        let all = solver.estimate_all_levels(&params(300.0, 60.0));
+        for pair in all.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12, "{all:?}");
+        }
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn tolerance_is_clamped() {
+        let solver = LevelSolver::new();
+        let sol = solver.solve(&params(100.0, 20.0), 5.0);
+        assert_eq!(sol.tolerated_stale_rate, 1.0);
+        assert_eq!(sol.read_level, 1, "any level satisfies a 100% tolerance");
+    }
+
+    #[test]
+    fn tighter_tolerance_never_lowers_the_level() {
+        let solver = LevelSolver::new();
+        let p = params(400.0, 60.0);
+        let mut last_level = 0;
+        for tol in [0.6, 0.4, 0.2, 0.1, 0.05, 0.01] {
+            let sol = solver.solve(&p, tol);
+            assert!(
+                sol.read_level >= last_level,
+                "tolerance {tol} gave level {} after {last_level}",
+                sol.read_level
+            );
+            last_level = sol.read_level;
+        }
+    }
+}

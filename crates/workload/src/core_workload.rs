@@ -1,0 +1,553 @@
+//! The YCSB "core workload": a configurable mix of reads, updates, inserts,
+//! scans and read-modify-writes over a synthetic record space.
+
+use crate::generators::{
+    CounterGenerator, DiscreteGenerator, ExponentialGenerator, HotspotGenerator, ItemGenerator,
+    LatestGenerator, RequestDistribution, ScrambledZipfianGenerator, SequentialGenerator,
+    UniformGenerator, ZipfianGenerator,
+};
+use concord_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The type of a single client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperationType {
+    /// Read one record.
+    Read,
+    /// Overwrite one field of an existing record.
+    Update,
+    /// Insert a new record.
+    Insert,
+    /// Read a contiguous range of records.
+    Scan,
+    /// Read one record, then write it back.
+    ReadModifyWrite,
+}
+
+impl OperationType {
+    /// Does this operation perform a write at the storage layer?
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            OperationType::Update | OperationType::Insert | OperationType::ReadModifyWrite
+        )
+    }
+
+    /// Does this operation perform a read at the storage layer?
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            OperationType::Read | OperationType::Scan | OperationType::ReadModifyWrite
+        )
+    }
+}
+
+/// One generated client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadOp {
+    /// The kind of operation.
+    pub op: OperationType,
+    /// The primary record the operation targets.
+    pub key: u64,
+    /// Number of records touched for scans (1 otherwise).
+    pub scan_length: u32,
+    /// Bytes read or written by the operation payload.
+    pub value_size: u32,
+}
+
+/// Configuration of the core workload, mirroring YCSB's
+/// `workloads/workload*` property files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of records loaded before the run.
+    pub record_count: u64,
+    /// Number of operations in the run phase.
+    pub operation_count: u64,
+    /// Proportion of reads (0..=1).
+    pub read_proportion: f64,
+    /// Proportion of updates.
+    pub update_proportion: f64,
+    /// Proportion of inserts.
+    pub insert_proportion: f64,
+    /// Proportion of scans.
+    pub scan_proportion: f64,
+    /// Proportion of read-modify-writes.
+    pub read_modify_write_proportion: f64,
+    /// Distribution of record popularity.
+    pub request_distribution: RequestDistribution,
+    /// Zipfian constant used when `request_distribution` is `Zipfian`.
+    pub zipfian_constant: f64,
+    /// Fraction of the key space forming the hot set (hotspot distribution).
+    pub hotspot_data_fraction: f64,
+    /// Fraction of operations hitting the hot set (hotspot distribution).
+    pub hotspot_opn_fraction: f64,
+    /// Number of fields per record.
+    pub field_count: u32,
+    /// Bytes per field.
+    pub field_length: u32,
+    /// Maximum scan length (uniformly chosen in `1..=max_scan_length`).
+    pub max_scan_length: u32,
+    /// When true updates write all fields; otherwise a single field.
+    pub write_all_fields: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        // YCSB defaults: 1000-byte records (10 × 100 B), zipfian requests.
+        WorkloadConfig {
+            record_count: 1_000,
+            operation_count: 1_000,
+            read_proportion: 0.95,
+            update_proportion: 0.05,
+            insert_proportion: 0.0,
+            scan_proportion: 0.0,
+            read_modify_write_proportion: 0.0,
+            request_distribution: RequestDistribution::Zipfian,
+            zipfian_constant: 0.99,
+            hotspot_data_fraction: 0.2,
+            hotspot_opn_fraction: 0.8,
+            field_count: 10,
+            field_length: 100,
+            max_scan_length: 100,
+            write_all_fields: false,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Total bytes of one full record.
+    pub fn record_size(&self) -> u32 {
+        self.field_count * self.field_length
+    }
+
+    /// Total size of the loaded data set in bytes.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.record_count * self.record_size() as u64
+    }
+
+    /// Fraction of operations that issue a storage write.
+    pub fn write_fraction(&self) -> f64 {
+        self.update_proportion + self.insert_proportion + self.read_modify_write_proportion
+    }
+
+    /// Fraction of operations that issue a storage read.
+    pub fn read_fraction(&self) -> f64 {
+        self.read_proportion + self.scan_proportion + self.read_modify_write_proportion
+    }
+
+    /// Validate that the proportions form a sensible mix.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.read_proportion
+            + self.update_proportion
+            + self.insert_proportion
+            + self.scan_proportion
+            + self.read_modify_write_proportion;
+        if !(0.999..=1.001).contains(&sum) {
+            return Err(format!("operation proportions must sum to 1.0, got {sum}"));
+        }
+        if self.record_count == 0 {
+            return Err("record_count must be positive".into());
+        }
+        if self.field_count == 0 || self.field_length == 0 {
+            return Err("record fields must be non-empty".into());
+        }
+        if !(0.0..1.0).contains(&self.zipfian_constant) {
+            return Err("zipfian constant must be in (0,1)".into());
+        }
+        Ok(())
+    }
+}
+
+enum KeyChooser {
+    Uniform(UniformGenerator),
+    Zipfian(ScrambledZipfianGenerator),
+    RawZipfian(ZipfianGenerator),
+    Latest(LatestGenerator),
+    Hotspot(HotspotGenerator),
+    Exponential(ExponentialGenerator),
+    Sequential(SequentialGenerator),
+}
+
+impl KeyChooser {
+    fn next(&mut self, rng: &mut SimRng) -> u64 {
+        match self {
+            KeyChooser::Uniform(g) => g.next(rng),
+            KeyChooser::Zipfian(g) => g.next(rng),
+            KeyChooser::RawZipfian(g) => g.next(rng),
+            KeyChooser::Latest(g) => g.next(rng),
+            KeyChooser::Hotspot(g) => g.next(rng),
+            KeyChooser::Exponential(g) => g.next(rng),
+            KeyChooser::Sequential(g) => g.next(rng),
+        }
+    }
+
+    fn grow(&mut self, new_count: u64) {
+        match self {
+            KeyChooser::Uniform(g) => g.set_item_count(new_count),
+            KeyChooser::Zipfian(g) => g.set_item_count(new_count),
+            KeyChooser::RawZipfian(g) => g.set_item_count(new_count),
+            KeyChooser::Latest(g) => g.record_insert(new_count - 1),
+            // Hotspot / exponential / sequential keep their original range —
+            // same behaviour as YCSB, where insert growth only affects the
+            // uniform/zipfian/latest choosers.
+            KeyChooser::Hotspot(_) | KeyChooser::Exponential(_) | KeyChooser::Sequential(_) => {}
+        }
+    }
+}
+
+/// The runtime generator of client operations for a [`WorkloadConfig`].
+pub struct CoreWorkload {
+    config: WorkloadConfig,
+    op_chooser: DiscreteGenerator<OperationType>,
+    key_chooser: KeyChooser,
+    scan_len_chooser: UniformGenerator,
+    insert_keys: CounterGenerator,
+    record_count: u64,
+    generated: u64,
+}
+
+impl CoreWorkload {
+    /// Build the workload from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`WorkloadConfig::validate`].
+    pub fn new(config: WorkloadConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid workload configuration: {e}");
+        }
+        let mut op_chooser = DiscreteGenerator::new();
+        op_chooser
+            .add(OperationType::Read, config.read_proportion)
+            .add(OperationType::Update, config.update_proportion)
+            .add(OperationType::Insert, config.insert_proportion)
+            .add(OperationType::Scan, config.scan_proportion)
+            .add(
+                OperationType::ReadModifyWrite,
+                config.read_modify_write_proportion,
+            );
+
+        let key_chooser = match config.request_distribution {
+            RequestDistribution::Uniform => {
+                KeyChooser::Uniform(UniformGenerator::new(config.record_count))
+            }
+            RequestDistribution::Zipfian => {
+                if (config.zipfian_constant - 0.99).abs() < 1e-9 {
+                    KeyChooser::Zipfian(ScrambledZipfianGenerator::new(config.record_count))
+                } else {
+                    KeyChooser::RawZipfian(ZipfianGenerator::with_constant(
+                        config.record_count,
+                        config.zipfian_constant,
+                    ))
+                }
+            }
+            RequestDistribution::Latest => {
+                KeyChooser::Latest(LatestGenerator::new(config.record_count))
+            }
+            RequestDistribution::Hotspot => KeyChooser::Hotspot(HotspotGenerator::new(
+                config.record_count,
+                config.hotspot_data_fraction,
+                config.hotspot_opn_fraction,
+            )),
+            RequestDistribution::Exponential => KeyChooser::Exponential(
+                ExponentialGenerator::percentile(config.record_count, 0.95, 0.8571),
+            ),
+            RequestDistribution::Sequential => {
+                KeyChooser::Sequential(SequentialGenerator::new(config.record_count))
+            }
+        };
+
+        let scan_len_chooser = UniformGenerator::new(config.max_scan_length.max(1) as u64);
+        let insert_keys = CounterGenerator::new(config.record_count);
+        let record_count = config.record_count;
+        CoreWorkload {
+            config,
+            op_chooser,
+            key_chooser,
+            scan_len_chooser,
+            insert_keys,
+            record_count,
+            generated: 0,
+        }
+    }
+
+    /// The configuration this workload was built from.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Number of operations generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Current number of records (grows with inserts).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// True once `operation_count` operations have been generated.
+    pub fn is_exhausted(&self) -> bool {
+        self.generated >= self.config.operation_count
+    }
+
+    /// The sequence of operations needed to load the initial data set
+    /// (one insert per record, sequential keys, full record payloads).
+    pub fn load_ops(&self) -> impl Iterator<Item = WorkloadOp> + '_ {
+        let size = self.config.record_size();
+        (0..self.config.record_count).map(move |key| WorkloadOp {
+            op: OperationType::Insert,
+            key,
+            scan_length: 1,
+            value_size: size,
+        })
+    }
+
+    /// Generate the next operation of the run phase.
+    pub fn next_op(&mut self, rng: &mut SimRng) -> WorkloadOp {
+        self.generated += 1;
+        let op = self.op_chooser.next(rng);
+        match op {
+            OperationType::Insert => {
+                let key = self.insert_keys.next(rng);
+                self.record_count = key + 1;
+                self.key_chooser.grow(self.record_count);
+                WorkloadOp {
+                    op,
+                    key,
+                    scan_length: 1,
+                    value_size: self.config.record_size(),
+                }
+            }
+            OperationType::Scan => {
+                let key = self.next_existing_key(rng);
+                let len = 1 + self.scan_len_chooser.next(rng) as u32;
+                WorkloadOp {
+                    op,
+                    key,
+                    scan_length: len.min(self.config.max_scan_length.max(1)),
+                    value_size: self.config.record_size(),
+                }
+            }
+            OperationType::Read => WorkloadOp {
+                op,
+                key: self.next_existing_key(rng),
+                scan_length: 1,
+                value_size: self.config.record_size(),
+            },
+            OperationType::Update => WorkloadOp {
+                op,
+                key: self.next_existing_key(rng),
+                scan_length: 1,
+                value_size: self.update_size(),
+            },
+            OperationType::ReadModifyWrite => WorkloadOp {
+                op,
+                key: self.next_existing_key(rng),
+                scan_length: 1,
+                value_size: self.config.record_size() + self.update_size(),
+            },
+        }
+    }
+
+    fn update_size(&self) -> u32 {
+        if self.config.write_all_fields {
+            self.config.record_size()
+        } else {
+            self.config.field_length
+        }
+    }
+
+    fn next_existing_key(&mut self, rng: &mut SimRng) -> u64 {
+        // The chooser may briefly overshoot right after growth; clamp like
+        // YCSB's `nextKeynum` loop does.
+        loop {
+            let k = self.key_chooser.next(rng);
+            if k < self.record_count {
+                return k;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CoreWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreWorkload")
+            .field("config", &self.config)
+            .field("generated", &self.generated)
+            .field("record_count", &self.record_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heavy_read_update() -> WorkloadConfig {
+        WorkloadConfig {
+            record_count: 10_000,
+            operation_count: 50_000,
+            read_proportion: 0.5,
+            update_proportion: 0.5,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn proportions_are_respected() {
+        let mut w = CoreWorkload::new(heavy_read_update());
+        let mut rng = SimRng::new(1);
+        let n = 50_000;
+        let mut reads = 0;
+        for _ in 0..n {
+            if w.next_op(&mut rng).op == OperationType::Read {
+                reads += 1;
+            }
+        }
+        let share = reads as f64 / n as f64;
+        assert!((share - 0.5).abs() < 0.02, "read share={share}");
+        assert!(w.is_exhausted());
+    }
+
+    #[test]
+    fn keys_stay_in_record_space() {
+        let mut w = CoreWorkload::new(heavy_read_update());
+        let mut rng = SimRng::new(2);
+        for _ in 0..20_000 {
+            let op = w.next_op(&mut rng);
+            assert!(op.key < w.record_count());
+        }
+    }
+
+    #[test]
+    fn inserts_extend_the_key_space() {
+        let cfg = WorkloadConfig {
+            record_count: 100,
+            operation_count: 1_000,
+            read_proportion: 0.5,
+            update_proportion: 0.0,
+            insert_proportion: 0.5,
+            request_distribution: RequestDistribution::Latest,
+            ..WorkloadConfig::default()
+        };
+        let mut w = CoreWorkload::new(cfg);
+        let mut rng = SimRng::new(3);
+        let mut max_insert_key = 0;
+        for _ in 0..1_000 {
+            let op = w.next_op(&mut rng);
+            if op.op == OperationType::Insert {
+                assert!(op.key >= 100, "inserts allocate new keys");
+                max_insert_key = max_insert_key.max(op.key);
+            }
+        }
+        assert!(w.record_count() > 100);
+        assert_eq!(w.record_count(), max_insert_key + 1);
+    }
+
+    #[test]
+    fn load_ops_cover_every_record_once() {
+        let w = CoreWorkload::new(WorkloadConfig {
+            record_count: 500,
+            ..WorkloadConfig::default()
+        });
+        let keys: Vec<u64> = w.load_ops().map(|o| o.key).collect();
+        assert_eq!(keys.len(), 500);
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+        assert!(w.load_ops().all(|o| o.op == OperationType::Insert));
+        assert!(w.load_ops().all(|o| o.value_size == 1000));
+    }
+
+    #[test]
+    fn scan_lengths_respect_bound() {
+        let cfg = WorkloadConfig {
+            record_count: 1_000,
+            operation_count: 10_000,
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            scan_proportion: 1.0,
+            max_scan_length: 50,
+            ..WorkloadConfig::default()
+        };
+        let mut w = CoreWorkload::new(cfg);
+        let mut rng = SimRng::new(4);
+        for _ in 0..5_000 {
+            let op = w.next_op(&mut rng);
+            assert_eq!(op.op, OperationType::Scan);
+            assert!((1..=50).contains(&op.scan_length));
+        }
+    }
+
+    #[test]
+    fn update_payload_depends_on_write_all_fields() {
+        let mut cfg = heavy_read_update();
+        cfg.write_all_fields = false;
+        let mut w = CoreWorkload::new(cfg.clone());
+        let mut rng = SimRng::new(5);
+        let update = std::iter::from_fn(|| Some(w.next_op(&mut rng)))
+            .find(|o| o.op == OperationType::Update)
+            .unwrap();
+        assert_eq!(update.value_size, cfg.field_length);
+
+        cfg.write_all_fields = true;
+        let mut w = CoreWorkload::new(cfg.clone());
+        let update = std::iter::from_fn(|| Some(w.next_op(&mut rng)))
+            .find(|o| o.op == OperationType::Update)
+            .unwrap();
+        assert_eq!(update.value_size, cfg.record_size());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut bad = WorkloadConfig::default();
+        bad.read_proportion = 0.5;
+        bad.update_proportion = 0.1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = WorkloadConfig::default();
+        bad.record_count = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = WorkloadConfig::default();
+        bad.zipfian_constant = 1.5;
+        assert!(bad.validate().is_err());
+
+        assert!(WorkloadConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn dataset_size_and_fractions() {
+        let cfg = heavy_read_update();
+        assert_eq!(cfg.record_size(), 1_000);
+        assert_eq!(cfg.dataset_bytes(), 10_000_000);
+        assert!((cfg.write_fraction() - 0.5).abs() < 1e-12);
+        assert!((cfg.read_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_type_classification() {
+        assert!(OperationType::Update.is_write());
+        assert!(OperationType::Insert.is_write());
+        assert!(!OperationType::Read.is_write());
+        assert!(OperationType::Read.is_read());
+        assert!(OperationType::ReadModifyWrite.is_read());
+        assert!(OperationType::ReadModifyWrite.is_write());
+        assert!(OperationType::Scan.is_read());
+    }
+
+    #[test]
+    fn uniform_and_hotspot_distributions_work_end_to_end() {
+        for dist in [RequestDistribution::Uniform, RequestDistribution::Hotspot] {
+            let cfg = WorkloadConfig {
+                request_distribution: dist,
+                record_count: 1_000,
+                operation_count: 5_000,
+                ..heavy_read_update()
+            };
+            let mut w = CoreWorkload::new(cfg);
+            let mut rng = SimRng::new(6);
+            for _ in 0..5_000 {
+                assert!(w.next_op(&mut rng).key < 1_000);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Sequential and counter generators (data loading, insert key allocation).
+
+use super::ItemGenerator;
+use concord_sim::SimRng;
+
+/// Cycles through `0, 1, …, item_count-1, 0, …` deterministically.
+#[derive(Debug, Clone)]
+pub struct SequentialGenerator {
+    items: u64,
+    next: u64,
+    last: Option<u64>,
+}
+
+impl SequentialGenerator {
+    /// Create a generator over `item_count` items.
+    pub fn new(item_count: u64) -> Self {
+        assert!(item_count > 0);
+        SequentialGenerator {
+            items: item_count,
+            next: 0,
+            last: None,
+        }
+    }
+}
+
+impl ItemGenerator for SequentialGenerator {
+    fn next(&mut self, _rng: &mut SimRng) -> u64 {
+        let v = self.next;
+        self.next = (self.next + 1) % self.items;
+        self.last = Some(v);
+        v
+    }
+
+    fn last(&self) -> Option<u64> {
+        self.last
+    }
+}
+
+/// Monotonically increasing counter starting at `start` — YCSB uses this to
+/// allocate the key of each newly inserted record.
+#[derive(Debug, Clone)]
+pub struct CounterGenerator {
+    next: u64,
+    last: Option<u64>,
+}
+
+impl CounterGenerator {
+    /// Create a counter whose first value is `start`.
+    pub fn new(start: u64) -> Self {
+        CounterGenerator {
+            next: start,
+            last: None,
+        }
+    }
+
+    /// The value the next call to `next` will return.
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+}
+
+impl ItemGenerator for CounterGenerator {
+    fn next(&mut self, _rng: &mut SimRng) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        self.last = Some(v);
+        v
+    }
+
+    fn last(&self) -> Option<u64> {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps_around() {
+        let mut g = SequentialGenerator::new(3);
+        let mut rng = SimRng::new(1);
+        let vals: Vec<u64> = (0..7).map(|_| g.next(&mut rng)).collect();
+        assert_eq!(vals, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(g.last(), Some(0));
+    }
+
+    #[test]
+    fn counter_is_monotonic() {
+        let mut g = CounterGenerator::new(100);
+        let mut rng = SimRng::new(1);
+        assert_eq!(g.peek(), 100);
+        assert_eq!(g.next(&mut rng), 100);
+        assert_eq!(g.next(&mut rng), 101);
+        assert_eq!(g.last(), Some(101));
+        assert_eq!(g.peek(), 102);
+    }
+}

@@ -1,0 +1,168 @@
+//! Standard workload presets: YCSB core workloads A–F and the
+//! "heavy read-update" workloads used in the paper's evaluation.
+
+use crate::core_workload::WorkloadConfig;
+use crate::generators::RequestDistribution;
+
+/// YCSB Workload A — update heavy: 50% reads, 50% updates, zipfian.
+pub fn ycsb_a() -> WorkloadConfig {
+    WorkloadConfig {
+        read_proportion: 0.5,
+        update_proportion: 0.5,
+        insert_proportion: 0.0,
+        scan_proportion: 0.0,
+        read_modify_write_proportion: 0.0,
+        request_distribution: RequestDistribution::Zipfian,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// YCSB Workload B — read mostly: 95% reads, 5% updates, zipfian.
+pub fn ycsb_b() -> WorkloadConfig {
+    WorkloadConfig {
+        read_proportion: 0.95,
+        update_proportion: 0.05,
+        request_distribution: RequestDistribution::Zipfian,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// YCSB Workload C — read only: 100% reads, zipfian.
+pub fn ycsb_c() -> WorkloadConfig {
+    WorkloadConfig {
+        read_proportion: 1.0,
+        update_proportion: 0.0,
+        request_distribution: RequestDistribution::Zipfian,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// YCSB Workload D — read latest: 95% reads, 5% inserts, latest distribution.
+pub fn ycsb_d() -> WorkloadConfig {
+    WorkloadConfig {
+        read_proportion: 0.95,
+        update_proportion: 0.0,
+        insert_proportion: 0.05,
+        request_distribution: RequestDistribution::Latest,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// YCSB Workload E — short ranges: 95% scans, 5% inserts, zipfian.
+pub fn ycsb_e() -> WorkloadConfig {
+    WorkloadConfig {
+        read_proportion: 0.0,
+        update_proportion: 0.0,
+        insert_proportion: 0.05,
+        scan_proportion: 0.95,
+        request_distribution: RequestDistribution::Zipfian,
+        max_scan_length: 100,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// YCSB Workload F — read-modify-write: 50% reads, 50% RMW, zipfian.
+pub fn ycsb_f() -> WorkloadConfig {
+    WorkloadConfig {
+        read_proportion: 0.5,
+        update_proportion: 0.0,
+        read_modify_write_proportion: 0.5,
+        request_distribution: RequestDistribution::Zipfian,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// The paper's "heavy read-update workload from YCSB" scaled to the
+/// requested record and operation counts.
+///
+/// §IV of the paper uses a heavy read-update mix (a YCSB workload-A-style
+/// 50/50 mix) with the data-set size and operation count varying per
+/// experiment; this helper fills those two knobs.
+pub fn paper_heavy_read_update(record_count: u64, operation_count: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        record_count,
+        operation_count,
+        ..ycsb_a()
+    }
+}
+
+/// Harmony Grid'5000 experiment workload (§IV-A): 14.3 GB data set,
+/// 3 million operations. With YCSB's 1 KB records, 14.3 GB ≈ 15 M records.
+/// `scale` in (0, 1] shrinks both counts proportionally so the experiment can
+/// run quickly on a laptop while preserving the rates that drive Harmony.
+pub fn harmony_grid5000_workload(scale: f64) -> WorkloadConfig {
+    scaled(15_000_000, 3_000_000, scale)
+}
+
+/// Harmony EC2 experiment workload (§IV-A): 23.85 GB ≈ 25 M records,
+/// 5 million operations.
+pub fn harmony_ec2_workload(scale: f64) -> WorkloadConfig {
+    scaled(25_000_000, 5_000_000, scale)
+}
+
+/// Cost experiments workload (§IV-B): 23.84 GB ≈ 25 M records, 10 million
+/// operations.
+pub fn cost_workload(scale: f64) -> WorkloadConfig {
+    scaled(25_000_000, 10_000_000, scale)
+}
+
+fn scaled(records: u64, ops: u64, scale: f64) -> WorkloadConfig {
+    let scale = scale.clamp(1e-6, 1.0);
+    paper_heavy_read_update(
+        ((records as f64 * scale) as u64).max(100),
+        ((ops as f64 * scale) as u64).max(100),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_are_valid() {
+        for cfg in [ycsb_a(), ycsb_b(), ycsb_c(), ycsb_d(), ycsb_e(), ycsb_f()] {
+            assert!(cfg.validate().is_ok(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn preset_mixes_match_ycsb_definitions() {
+        assert_eq!(ycsb_a().read_proportion, 0.5);
+        assert_eq!(ycsb_a().update_proportion, 0.5);
+        assert_eq!(ycsb_b().read_proportion, 0.95);
+        assert_eq!(ycsb_c().read_proportion, 1.0);
+        assert_eq!(ycsb_d().insert_proportion, 0.05);
+        assert_eq!(
+            ycsb_d().request_distribution,
+            RequestDistribution::Latest
+        );
+        assert_eq!(ycsb_e().scan_proportion, 0.95);
+        assert_eq!(ycsb_f().read_modify_write_proportion, 0.5);
+    }
+
+    #[test]
+    fn paper_workloads_scale() {
+        let full = harmony_ec2_workload(1.0);
+        assert_eq!(full.record_count, 25_000_000);
+        assert_eq!(full.operation_count, 5_000_000);
+        // 25 M × 1 KB ≈ 23.8 GB, matching the paper's 23.85 GB data set.
+        assert!((full.dataset_bytes() as f64 / 1e9 - 25.0).abs() < 0.5);
+
+        let small = harmony_ec2_workload(0.001);
+        assert_eq!(small.record_count, 25_000);
+        assert_eq!(small.operation_count, 5_000);
+        assert!(small.validate().is_ok());
+
+        let g5k = harmony_grid5000_workload(1.0);
+        assert_eq!(g5k.operation_count, 3_000_000);
+        let cost = cost_workload(1.0);
+        assert_eq!(cost.operation_count, 10_000_000);
+    }
+
+    #[test]
+    fn scale_is_clamped() {
+        let tiny = cost_workload(0.0);
+        assert!(tiny.record_count >= 100);
+        assert!(tiny.validate().is_ok());
+    }
+}

@@ -1,0 +1,84 @@
+//! Cost-aware consistency (the Bismar side of the paper): sweep the static
+//! consistency levels on an EC2-like two-availability-zone deployment,
+//! decompose each bill into instances / storage / network, compute the
+//! consistency-cost efficiency of every level, and compare against the
+//! Bismar controller.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cost_aware_deployment
+//! ```
+
+use concord::prelude::*;
+use concord_cost::consistency_cost_efficiency;
+
+fn main() {
+    // §IV-B setup scaled down: 2 AZs, RF 5.
+    let platform = concord::platforms::ec2_cost(0.5);
+    println!("platform: {}", platform.name);
+
+    let mut workload = presets::cost_workload(0.002); // ~20k ops, 50k records
+    workload.field_count = 1;
+    workload.field_length = 1_000;
+
+    let experiment = Experiment::new(platform.clone(), workload)
+        .with_clients(32)
+        .with_seed(2013);
+
+    // Per-level sweep ONE → ALL plus Bismar, run in parallel.
+    let rf = platform.cluster.replication_factor;
+    let mut specs: Vec<PolicySpec> = (1..=rf).map(PolicySpec::FixedReadReplicas).collect();
+    specs.push(PolicySpec::Bismar);
+    let reports = experiment.compare(&specs);
+
+    println!("{}", render_table("per-level cost sweep (EC2, 2 AZ, RF 5)", &reports));
+
+    // Bill decomposition per level (the paper's three-part bill).
+    println!("\n== bill decomposition ==");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "policy", "instances $", "storage $", "network $", "total $"
+    );
+    for report in &reports {
+        if let Some(bill) = report.bill {
+            println!(
+                "{:<16} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+                report.policy,
+                bill.instances_usd,
+                bill.storage_usd,
+                bill.network_usd,
+                bill.total()
+            );
+        }
+    }
+
+    // Consistency-cost efficiency relative to the strongest level.
+    let reference_cost = reports[(rf - 1) as usize].total_cost_usd();
+    println!("\n== consistency-cost efficiency (reference: read ALL) ==");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "policy", "stale %", "rel. cost", "efficiency"
+    );
+    for report in &reports {
+        let sample = consistency_cost_efficiency(
+            report.stale_read_rate,
+            report.total_cost_usd(),
+            reference_cost,
+        );
+        println!(
+            "{:<16} {:>10.2} {:>12.3} {:>12.3}",
+            report.policy,
+            report.stale_read_rate * 100.0,
+            report.total_cost_usd() / reference_cost,
+            sample.efficiency
+        );
+    }
+
+    let bismar = reports.last().unwrap();
+    let quorum = &reports[2]; // read-level(3) == QUORUM for RF 5
+    println!(
+        "\nBismar cost vs static QUORUM: {:+.1}% (stale reads: {:.2}%)",
+        (bismar.total_cost_usd() / quorum.total_cost_usd() - 1.0) * 100.0,
+        bismar.stale_read_rate * 100.0
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: compare static consistency baselines against Harmony on a
+//! scaled-down version of the paper's Grid'5000 platform.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use concord::prelude::*;
+
+fn main() {
+    // A two-site Grid'5000-like cluster at ~15% of the paper's node count so
+    // the example finishes in a few seconds.
+    let platform = concord::platforms::grid5000_cost(0.15);
+    println!("platform: {}", platform.name);
+
+    // The paper's heavy read-update workload (YCSB-A-style 50/50 mix),
+    // scaled down to 60k operations over 5k records.
+    let mut workload = presets::paper_heavy_read_update(5_000, 60_000);
+    workload.field_count = 1;
+    workload.field_length = 1_000; // 1 KB records, like YCSB's default
+
+    let experiment = Experiment::new(platform, workload)
+        .with_clients(32)
+        .with_adaptation_interval(SimDuration::from_millis(100))
+        .with_seed(42);
+
+    // Static eventual, static strong, quorum, and Harmony at two tolerances —
+    // the comparison of the paper's §IV-A, all runs executed in parallel.
+    let reports = experiment.compare(&[
+        PolicySpec::Eventual,
+        PolicySpec::Strong,
+        PolicySpec::Quorum,
+        PolicySpec::Harmony { tolerance: 0.40 },
+        PolicySpec::Harmony { tolerance: 0.05 },
+    ]);
+
+    println!("{}", render_table("quickstart: heavy read-update workload", &reports));
+
+    // A few derived observations, in the spirit of the paper's claims.
+    let eventual = &reports[0];
+    let strong = &reports[1];
+    let harmony40 = &reports[3];
+    println!(
+        "Harmony(40%) throughput vs strong consistency: {:+.1}%",
+        (harmony40.throughput_ops_per_sec / strong.throughput_ops_per_sec - 1.0) * 100.0
+    );
+    println!(
+        "Harmony(40%) stale reads vs eventual consistency: {:.1}% vs {:.1}%",
+        harmony40.stale_read_rate * 100.0,
+        eventual.stale_read_rate * 100.0
+    );
+    println!(
+        "Harmony adapted the read level {} times over {:.1} simulated seconds",
+        harmony40.level_timeline.len(),
+        harmony40.makespan.as_secs_f64()
+    );
+}

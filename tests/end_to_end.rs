@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: full experiments exercising the public API
+//! the way the paper's evaluation does (workload → cluster → monitor →
+//! adaptive policy → report), asserting the qualitative shapes the paper
+//! reports rather than absolute numbers.
+
+use concord::prelude::*;
+use concord::PolicySpec;
+
+/// A small but non-trivial experiment on the Grid'5000-like cost platform.
+fn experiment(seed: u64, ops: u64) -> Experiment {
+    let platform = concord::platforms::grid5000_cost(0.15);
+    let mut workload = presets::paper_heavy_read_update(2_000, ops);
+    workload.field_count = 1;
+    workload.field_length = 1_000;
+    Experiment::new(platform, workload)
+        .with_clients(16)
+        .with_adaptation_interval(SimDuration::from_millis(100))
+        .with_seed(seed)
+}
+
+#[test]
+fn consistency_performance_staleness_tradeoff_holds() {
+    let exp = experiment(1, 10_000);
+    let reports = exp.compare(&[
+        PolicySpec::Eventual,
+        PolicySpec::Quorum,
+        PolicySpec::Strong,
+    ]);
+    let (eventual, quorum, strong) = (&reports[0], &reports[1], &reports[2]);
+
+    // Throughput: weaker consistency is faster.
+    assert!(eventual.throughput_ops_per_sec > quorum.throughput_ops_per_sec);
+    assert!(eventual.throughput_ops_per_sec > strong.throughput_ops_per_sec);
+
+    // Staleness: only the weak level shows stale reads; strong and quorum
+    // (R+W>N) never do.
+    assert!(eventual.stale_read_rate > 0.0);
+    assert_eq!(quorum.stale_reads, 0);
+    assert_eq!(strong.stale_reads, 0);
+
+    // Latency: reading every replica costs more than reading one.
+    assert!(strong.read_latency_ms.p50 > eventual.read_latency_ms.p50);
+
+    // Every run completed the full workload.
+    for r in &reports {
+        assert_eq!(r.total_ops, 10_000, "{}", r.policy);
+        assert_eq!(r.timeouts, 0, "{}", r.policy);
+    }
+}
+
+#[test]
+fn harmony_keeps_staleness_under_tolerance_while_outperforming_strong() {
+    let exp = experiment(2, 12_000);
+    let reports = exp.compare(&[
+        PolicySpec::Eventual,
+        PolicySpec::Strong,
+        PolicySpec::Harmony { tolerance: 0.40 },
+        PolicySpec::Harmony { tolerance: 0.05 },
+    ]);
+    let eventual = &reports[0];
+    let strong = &reports[1];
+    let harmony40 = &reports[2];
+    let harmony5 = &reports[3];
+
+    // The tolerance is honoured (ground-truth oracle measurement).
+    assert!(
+        harmony40.stale_read_rate <= 0.40 + 0.02,
+        "harmony(40%) measured {}",
+        harmony40.stale_read_rate
+    );
+    assert!(
+        harmony5.stale_read_rate <= 0.05 + 0.02,
+        "harmony(5%) measured {}",
+        harmony5.stale_read_rate
+    );
+
+    // Harmony reduces stale reads dramatically compared to eventual
+    // consistency (the paper reports ~80%).
+    assert!(
+        harmony40.stale_read_rate < eventual.stale_read_rate * 0.5,
+        "harmony {} vs eventual {}",
+        harmony40.stale_read_rate,
+        eventual.stale_read_rate
+    );
+
+    // And improves throughput over static strong consistency.
+    assert!(
+        harmony40.throughput_ops_per_sec > strong.throughput_ops_per_sec,
+        "harmony {} vs strong {}",
+        harmony40.throughput_ops_per_sec,
+        strong.throughput_ops_per_sec
+    );
+
+    // Harmony actually adapted (it is not a static policy in disguise).
+    assert!(harmony40.adaptation_steps > 2);
+    assert!(harmony40.mean_read_replicas > 1.0);
+    assert!(harmony40.mean_read_replicas < 5.0);
+}
+
+#[test]
+fn cost_decreases_as_consistency_weakens() {
+    let exp = experiment(3, 10_000);
+    let rf = exp.platform.cluster.replication_factor;
+    let specs: Vec<PolicySpec> = (1..=rf).map(PolicySpec::FixedReadReplicas).collect();
+    let reports = exp.compare(&specs);
+
+    // Total cost is non-decreasing in the read level, and the gap between
+    // ONE and ALL is substantial (the paper reports up to 48%).
+    let costs: Vec<f64> = reports.iter().map(|r| r.total_cost_usd()).collect();
+    for pair in costs.windows(2) {
+        assert!(
+            pair[1] >= pair[0] * 0.95,
+            "cost should not drop when the level rises: {costs:?}"
+        );
+    }
+    let reduction = 1.0 - costs[0] / costs[(rf - 1) as usize];
+    assert!(
+        reduction > 0.20,
+        "weakest level should cut the bill substantially, got {:.1}% ({costs:?})",
+        reduction * 100.0
+    );
+
+    // Staleness decreases as the level rises; the strongest level is clean.
+    let stale: Vec<f64> = reports.iter().map(|r| r.stale_read_rate).collect();
+    assert!(stale[0] > 0.0);
+    assert_eq!(reports[(rf - 1) as usize].stale_reads, 0);
+    for pair in stale.windows(2) {
+        assert!(pair[1] <= pair[0] + 0.02, "staleness must shrink: {stale:?}");
+    }
+
+    // Every bill decomposes into the paper's three parts.
+    for r in &reports {
+        let bill = r.bill.expect("pricing was supplied");
+        assert!(bill.instances_usd > 0.0);
+        assert!(bill.storage_usd > 0.0);
+        assert!(bill.total() >= bill.instances_usd);
+    }
+}
+
+#[test]
+fn bismar_is_cheaper_than_quorum_with_low_staleness() {
+    let exp = experiment(4, 12_000);
+    let reports = exp.compare(&[
+        PolicySpec::FixedReadReplicas(1),
+        PolicySpec::Quorum,
+        PolicySpec::Bismar,
+    ]);
+    let one = &reports[0];
+    let quorum = &reports[1];
+    let bismar = &reports[2];
+
+    // Bismar undercuts the static quorum bill…
+    assert!(
+        bismar.total_cost_usd() < quorum.total_cost_usd(),
+        "bismar ${} vs quorum ${}",
+        bismar.total_cost_usd(),
+        quorum.total_cost_usd()
+    );
+    // …while keeping staleness far below the weakest level's.
+    assert!(
+        bismar.stale_read_rate <= 0.20 + 0.02,
+        "bismar stale rate {}",
+        bismar.stale_read_rate
+    );
+    assert!(bismar.stale_read_rate <= one.stale_read_rate);
+}
+
+#[test]
+fn estimator_is_consistent_with_the_measured_oracle() {
+    // Run static ONE and compare the oracle-measured stale rate with what the
+    // analytic model predicts from the same observed rates: the estimate must
+    // be an upper bound of the same order of magnitude (the model is built to
+    // be conservative), not wildly off.
+    use concord_staleness::{AnalyticEstimator, StaleReadEstimator, StalenessParams};
+
+    let exp = experiment(5, 10_000);
+    let report = exp.run_spec(&PolicySpec::Eventual);
+    let measured = report.stale_read_rate;
+    assert!(measured > 0.0);
+
+    // Reconstruct the model inputs from the run report.
+    let ops_per_sec = report.throughput_ops_per_sec;
+    let write_rate = ops_per_sec * (report.writes as f64 / report.total_ops as f64);
+    let read_rate = ops_per_sec - write_rate;
+    let params = StalenessParams::basic(
+        exp.platform.cluster.replication_factor,
+        1,
+        1,
+        read_rate,
+        write_rate,
+        report.write_latency_ms.p50,
+        // The propagation time to the remote site dominates.
+        exp.platform.cluster.network.inter_dc.mean_ms() + report.write_latency_ms.p50,
+    );
+    let estimate = AnalyticEstimator::new()
+        .estimate(&params)
+        .stale_read_probability;
+
+    assert!(
+        estimate >= measured * 0.5,
+        "the estimate ({estimate:.3}) should not underestimate the measured rate ({measured:.3}) by more than 2×"
+    );
+    assert!(estimate <= 1.0);
+}
+
+#[test]
+fn reports_serialize_for_downstream_tooling() {
+    let exp = experiment(6, 4_000);
+    let report = exp.run_spec(&PolicySpec::Harmony { tolerance: 0.2 });
+    let json = report.to_json();
+    let parsed: concord_core::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed, report);
+    let table = render_table("integration", &[report]);
+    assert!(table.contains("harmony"));
+}
