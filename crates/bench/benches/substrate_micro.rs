@@ -77,7 +77,7 @@ fn bench_cluster_ops(c: &mut Criterion) {
                     cluster.set_levels(level, ConsistencyLevel::One);
                     let mut at = SimTime::ZERO;
                     for i in 0..2_000u64 {
-                        at = at + SimDuration::from_micros(100);
+                        at += SimDuration::from_micros(100);
                         if i % 2 == 0 {
                             cluster.submit_write_at(i % 500, 1_000, at);
                         } else {

@@ -34,7 +34,11 @@ fn main() {
     let mut builder = SyntheticTraceBuilder::new();
     let mut truth: Vec<&str> = Vec::new();
     for (name, secs, rate) in phases {
-        let wl = if name == "browse" { browse.clone() } else { checkout.clone() };
+        let wl = if name == "browse" {
+            browse.clone()
+        } else {
+            checkout.clone()
+        };
         builder = builder.add(name, SimDuration::from_secs(secs), rate, wl);
         for _ in 0..secs / 60 {
             truth.push(name);
@@ -70,7 +74,8 @@ fn main() {
     // the ground-truth label it most often covers, then score the timeline.
     let assignments = model.timeline_states();
     let n = assignments.len().min(truth.len());
-    let mut votes: std::collections::HashMap<(usize, &str), usize> = std::collections::HashMap::new();
+    let mut votes: std::collections::HashMap<(usize, &str), usize> =
+        std::collections::HashMap::new();
     for i in 0..n {
         *votes.entry((assignments[i], truth[i])).or_insert(0) += 1;
     }
@@ -104,5 +109,8 @@ fn main() {
     let behavior_report = experiment.run_behavior_policy(BehaviorDrivenPolicy::new(model));
     let mut reports = experiment.compare(&[PolicySpec::Eventual, PolicySpec::Strong]);
     reports.push(behavior_report);
-    println!("{}", render_table("EXP-C: behavior-driven run vs baselines", &reports));
+    println!(
+        "{}",
+        render_table("EXP-C: behavior-driven run vs baselines", &reports)
+    );
 }

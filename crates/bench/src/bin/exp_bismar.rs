@@ -40,7 +40,10 @@ fn main() {
         PolicySpec::Strong,
         PolicySpec::Bismar,
     ]);
-    println!("{}", render_table("EXP-B2b: Bismar vs static levels", &reports));
+    println!(
+        "{}",
+        render_table("EXP-B2b: Bismar vs static levels", &reports)
+    );
 
     let one = &reports[0];
     let quorum = &reports[1];

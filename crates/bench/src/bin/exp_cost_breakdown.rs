@@ -89,7 +89,10 @@ fn main() {
     compare_line(
         "total cost reduction, weakest level vs strongest",
         "down to −48%",
-        format!("{:+.0}%", (one.total_cost_usd() / all.total_cost_usd() - 1.0) * 100.0),
+        format!(
+            "{:+.0}%",
+            (one.total_cost_usd() / all.total_cost_usd() - 1.0) * 100.0
+        ),
     );
     compare_line(
         "up-to-date reads at level ONE",

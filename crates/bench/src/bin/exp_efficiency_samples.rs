@@ -98,7 +98,9 @@ fn main() {
         }
         println!(
             "{:<36} → most efficient: {} (stale {:.2}%)\n",
-            "", best.policy, best.stale_read_rate * 100.0
+            "",
+            best.policy,
+            best.stale_read_rate * 100.0
         );
     }
 

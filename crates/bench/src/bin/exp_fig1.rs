@@ -29,8 +29,7 @@ fn main() {
     let mut worst_gap = 0.0f64;
     for write_rate in [5.0, 25.0, 100.0, 400.0, 1_600.0] {
         for read_level in 1..=5u32 {
-            let params =
-                StalenessParams::basic(5, read_level, 1, 1_000.0, write_rate, 1.0, 40.0);
+            let params = StalenessParams::basic(5, read_level, 1, 1_000.0, write_rate, 1.0, 40.0);
             let a = analytic.estimate(&params).stale_read_probability;
             let m = montecarlo.estimate(&params).stale_read_probability;
             let gap = (a - m).abs();

@@ -19,6 +19,49 @@
 //! Every binary accepts `--scale <f64>` (default 0.002 for the workload and
 //! ~0.2 for the cluster) so the full-size paper setups can also be simulated
 //! when time allows: `--scale 1.0` reproduces the paper's operation counts.
+//!
+//! ## Hot-path architecture and benchmark methodology
+//!
+//! Paper-sized runs replay millions of timed operations through the cluster
+//! simulator, so the per-event cost of the substrate bounds every experiment
+//! above it. The hot path is engineered to be allocation-free and
+//! hash-cheap; the load-bearing pieces are:
+//!
+//! * **Event queue** (`concord_sim::EventQueue`): a binary heap of 32-byte
+//!   `(packed time‖seq key, payload slot)` entries over a side slab of event
+//!   payloads — sifts move small fixed-size keys, payloads are written once.
+//!   Constant-delay streams (operation timeouts) take a separate O(1) FIFO
+//!   lane (`schedule_fifo`), keeping one-pending-timeout-per-op out of the
+//!   heap; both lanes share one sequence counter so same-instant ordering
+//!   stays exact FIFO.
+//! * **Operation state** (`concord_cluster::OpSlab`): a generation-checked
+//!   slab addressed directly by `OpId = generation << 32 | slot` replaces
+//!   three `HashMap<OpId, _>` tables; stale ids from already-completed
+//!   operations (late timeouts, straggler responses) miss on the generation
+//!   compare, exactly as a map lookup of a removed key would.
+//! * **Per-operation work**: replica sets are written into reusable scratch
+//!   buffers (`Ring::replicas_into` walks a flat sorted token array);
+//!   read-replica selection ranks candidates via a precomputed
+//!   coordinator→node mean-latency table; link classes come from a
+//!   precomputed `n × n` table; message and storage delays are drawn through
+//!   `CompiledDelay` samplers (validation and derived constants resolved
+//!   once, bit-identical draws); the contacted-replica list lives inline in
+//!   the read state (`InlineVec`). Key-indexed maps (`ReplicaStore`,
+//!   `StalenessOracle`) use `FxHashMap`. Latency metrics stream into
+//!   log-bucketed histograms — bounded memory, no sort per quantile.
+//!
+//! The `exp_throughput` binary measures this substrate end to end (wall-clock
+//! events/sec and ns/op, best-of-N runs because shared machines are noisy)
+//! and `BENCH_hotpath.json` at the workspace root records the before/after
+//! baseline of the hot-path overhaul (hand-assembled from two
+//! `exp_throughput` runs; the binary itself emits one measurement object
+//! per run). Future performance PRs should re-run `exp_throughput --scale
+//! 0.25 --repeat 5` under the same release profile, compare against the
+//! recorded `after` block, and append a new dated entry rather than
+//! overwriting history. Fixed-seed behaviour is pinned by
+//! `crates/cluster/tests/golden_determinism.rs`: any hot-path change must
+//! keep those digests byte-identical (or consciously re-capture them with
+//! `GOLDEN_PRINT=1` and explain why the simulation's outputs changed).
 
 use concord_workload::WorkloadConfig;
 
@@ -111,7 +154,10 @@ mod tests {
     #[test]
     fn platform_parsing() {
         assert_eq!(parse_platform(&[]), "g5k");
-        let args: Vec<String> = ["--platform", "ec2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--platform", "ec2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(parse_platform(&args), "ec2");
     }
 

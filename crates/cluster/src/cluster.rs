@@ -27,10 +27,13 @@ use crate::consistency::ConsistencyLevel;
 use crate::metrics::ClusterMetrics;
 use crate::oracle::StalenessOracle;
 use crate::ring::Ring;
+use crate::slab::OpSlab;
 use crate::storage::ReplicaStore;
 use crate::types::{CompletedOp, Key, OpId, OpKind, OpStatus, Version};
-use concord_sim::{EventQueue, NodeId, SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, VecDeque};
+use concord_sim::{
+    CompiledDelay, EventQueue, InlineVec, LinkClass, NodeId, SimDuration, SimRng, SimTime,
+};
+use std::collections::VecDeque;
 
 /// How a coordinator picks which replicas a read contacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,8 +145,19 @@ struct ReadState {
     best_size: u32,
     min_version: Version,
     expected_version: Version,
-    contacted: Vec<NodeId>,
-    completed: bool,
+    /// The replicas this read contacted (for read repair). Inline up to 8
+    /// nodes, so issuing a read does not allocate.
+    contacted: InlineVec<NodeId>,
+}
+
+/// Lifecycle state of one in-flight operation, stored in the op slab: a
+/// submitted-but-not-arrived operation, then a write or read in progress.
+/// (A single slab replaces the former three `HashMap<OpId, _>` tables.)
+#[derive(Debug)]
+enum OpState {
+    Pending(Submission),
+    Write(WriteState),
+    Read(ReadState),
 }
 
 #[derive(Debug, Default)]
@@ -168,13 +182,45 @@ pub struct Cluster {
     read_level: ConsistencyLevel,
     write_level: ConsistencyLevel,
 
-    next_op: u64,
     next_version: u64,
-    submissions: HashMap<OpId, Submission>,
-    writes: HashMap<OpId, WriteState>,
-    reads: HashMap<OpId, ReadState>,
+    /// All in-flight operation state, addressed by generation-checked OpId.
+    ops: OpSlab<OpState>,
     outputs: VecDeque<ClusterOutput>,
     propagation_samples: Vec<SimDuration>,
+
+    // ---- hot-path acceleration state (no observable behaviour) ----
+    /// Number of nodes currently marked down (fast path: pick a coordinator
+    /// without materializing the up-node list).
+    down_count: u32,
+    /// Scratch buffer for replica lists; reused across operations.
+    replica_scratch: Vec<NodeId>,
+    /// Scratch buffer for the up-node list when nodes are down.
+    up_scratch: Vec<NodeId>,
+    /// Precomputed mean one-way latency in ms for every (from, to) node
+    /// pair, row-major: `mean_lat[from * n + to]`. Replica selection ranks
+    /// candidates through this table instead of recomputing distribution
+    /// means per comparison.
+    mean_lat: Vec<f64>,
+    /// Precomputed link class per (from, to) node pair, row-major — avoids
+    /// re-deriving datacenter/region membership on every message.
+    link_class: Vec<LinkClass>,
+    /// Compiled per-link-class delay samplers, indexed by [`class_index`].
+    link_samplers: [CompiledDelay; 4],
+    /// Compiled storage service-time samplers.
+    storage_read_sampler: CompiledDelay,
+    storage_write_sampler: CompiledDelay,
+    node_count: usize,
+}
+
+/// Dense index of a [`LinkClass`] into the sampler table.
+#[inline]
+const fn class_index(class: LinkClass) -> usize {
+    match class {
+        LinkClass::Local => 0,
+        LinkClass::IntraDc => 1,
+        LinkClass::InterDc => 2,
+        LinkClass::InterRegion => 3,
+    }
 }
 
 impl Cluster {
@@ -195,6 +241,25 @@ impl Cluster {
         let n = config.topology.node_count();
         let read_level = config.read_level;
         let write_level = config.write_level;
+        // Precompute the coordinator→replica latency ranking and link-class
+        // tables once; the network model and topology are immutable for the
+        // cluster's life.
+        let mut mean_lat = Vec::with_capacity(n * n);
+        let mut link_class = Vec::with_capacity(n * n);
+        for from in config.topology.nodes() {
+            for to in config.topology.nodes() {
+                mean_lat.push(config.network.mean_ms(&config.topology, from, to));
+                link_class.push(config.topology.link_class(from, to));
+            }
+        }
+        let link_samplers = [
+            config.network.local.compiled(),
+            config.network.intra_dc.compiled(),
+            config.network.inter_dc.compiled(),
+            config.network.inter_region.compiled(),
+        ];
+        let storage_read_sampler = config.storage_read_latency.compiled();
+        let storage_write_sampler = config.storage_write_latency.compiled();
         Cluster {
             ring,
             stores: (0..n).map(|_| ReplicaStore::new()).collect(),
@@ -206,13 +271,19 @@ impl Cluster {
             selection: ReplicaSelection::Closest,
             read_level,
             write_level,
-            next_op: 0,
             next_version: 0,
-            submissions: HashMap::new(),
-            writes: HashMap::new(),
-            reads: HashMap::new(),
+            ops: OpSlab::new(),
             outputs: VecDeque::new(),
             propagation_samples: Vec::new(),
+            down_count: 0,
+            replica_scratch: Vec::with_capacity(config.replication_factor as usize),
+            up_scratch: Vec::with_capacity(n),
+            mean_lat,
+            link_class,
+            link_samplers,
+            storage_read_sampler,
+            storage_write_sampler,
+            node_count: n,
             config,
         }
     }
@@ -225,6 +296,18 @@ impl Cluster {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Total number of simulation events processed so far (the denominator of
+    /// the hot-path throughput benchmarks).
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Number of operations whose state is still held in the op slab
+    /// (submitted-but-unfinished work, for leak diagnostics and tests).
+    pub fn inflight_ops(&self) -> usize {
+        self.ops.len()
     }
 
     /// Current default read consistency level.
@@ -290,13 +373,21 @@ impl Cluster {
 
     /// Mark a node as down: it no longer applies writes nor answers reads.
     pub fn set_node_down(&mut self, node: NodeId) {
-        self.nodes[node.0 as usize].down = true;
+        let n = &mut self.nodes[node.0 as usize];
+        if !n.down {
+            n.down = true;
+            self.down_count += 1;
+        }
     }
 
     /// Bring a node back up (it missed the writes that happened while down;
     /// they are repaired lazily by read repair if enabled).
     pub fn set_node_up(&mut self, node: NodeId) {
-        self.nodes[node.0 as usize].down = false;
+        let n = &mut self.nodes[node.0 as usize];
+        if n.down {
+            n.down = false;
+            self.down_count -= 1;
+        }
     }
 
     /// Whether a node is currently down.
@@ -316,11 +407,6 @@ impl Cluster {
             }
             self.oracle.preload(key, version);
         }
-    }
-
-    fn alloc_op(&mut self) -> OpId {
-        self.next_op += 1;
-        OpId(self.next_op)
     }
 
     /// Submit a read arriving at time `at` using the default read level.
@@ -358,16 +444,12 @@ impl Cluster {
         level: Option<ConsistencyLevel>,
         at: SimTime,
     ) -> OpId {
-        let op_id = self.alloc_op();
-        self.submissions.insert(
-            op_id,
-            Submission {
-                kind,
-                key: Key(key),
-                size,
-                level,
-            },
-        );
+        let op_id = self.ops.insert(OpState::Pending(Submission {
+            kind,
+            key: Key(key),
+            size,
+            level,
+        }));
         self.queue.schedule_at(at, Event::ClientArrive { op_id });
         op_id
     }
@@ -430,34 +512,41 @@ impl Cluster {
     fn pick_coordinator(&mut self) -> NodeId {
         // Clients connect to a random live node (YCSB spreads connections
         // round-robin; with many clients the effect is uniform).
-        let up: Vec<NodeId> = self
-            .config
-            .topology
-            .nodes()
-            .filter(|n| !self.nodes[n.0 as usize].down)
-            .collect();
-        if up.is_empty() {
+        if self.down_count == 0 {
+            // Fast path: every node is up, so the up-node list is the
+            // identity — draw the index directly (same RNG consumption).
+            return NodeId(self.rng.index(self.node_count) as u32);
+        }
+        let mut up = std::mem::take(&mut self.up_scratch);
+        up.clear();
+        up.extend(
+            self.config
+                .topology
+                .nodes()
+                .filter(|n| !self.nodes[n.0 as usize].down),
+        );
+        let pick = if up.is_empty() {
             NodeId(0)
         } else {
             up[self.rng.index(up.len())]
-        }
+        };
+        self.up_scratch = up;
+        pick
     }
 
     /// Account a message of `bytes` payload travelling `from → to`.
     fn account_message(&mut self, from: NodeId, to: NodeId, bytes: u32) -> SimDuration {
-        let class = self.config.topology.link_class(from, to);
+        let class = self.link_class[from.0 as usize * self.node_count + to.0 as usize];
         let total = bytes as u64 + self.config.message_overhead_bytes as u64;
         self.metrics.traffic.add(class, total);
         self.metrics.messages += 1;
-        self.config
-            .network
-            .for_class(class)
-            .sample(&mut self.rng)
+        self.link_samplers[class_index(class)].sample(&mut self.rng)
     }
 
     fn on_client_arrive(&mut self, now: SimTime, op_id: OpId) {
-        let Some(sub) = self.submissions.remove(&op_id) else {
-            return;
+        let sub = match self.ops.get(op_id) {
+            Some(&OpState::Pending(sub)) => sub,
+            _ => return,
         };
         match sub.kind {
             OpKind::Write => self.start_write(now, op_id, sub),
@@ -471,7 +560,8 @@ impl Cluster {
         let required_acks = self.config.required_acks(level);
         self.next_version += 1;
         let version = Version(self.next_version);
-        let replicas = self.ring.replicas(sub.key);
+        let mut replicas = std::mem::take(&mut self.replica_scratch);
+        self.ring.replicas_into(sub.key, &mut replicas);
         let mut targeted = 0u32;
 
         for &replica in &replicas {
@@ -495,11 +585,11 @@ impl Cluster {
                 },
             );
         }
+        self.replica_scratch = replicas;
 
         self.metrics.write_acks_awaited += required_acks as u64;
-        self.writes.insert(
-            op_id,
-            WriteState {
+        if let Some(state) = self.ops.get_mut(op_id) {
+            *state = OpState::Write(WriteState {
                 key: sub.key,
                 version,
                 coordinator,
@@ -510,21 +600,26 @@ impl Cluster {
                 targeted,
                 completed: false,
                 level_used: required_acks,
-            },
-        );
+            });
+        }
+        // Timeouts use a constant delay from a monotone clock, so they are
+        // born time-ordered: the queue's O(1) FIFO lane keeps them out of
+        // the heap (one pending timeout per in-flight op would otherwise
+        // dominate the heap's size).
         self.queue
-            .schedule_at(now + self.config.op_timeout, Event::OpTimeout { op_id });
+            .schedule_fifo(now + self.config.op_timeout, Event::OpTimeout { op_id });
     }
 
     fn start_read(&mut self, now: SimTime, op_id: OpId, sub: Submission) {
         let coordinator = self.pick_coordinator();
         let level = sub.level.unwrap_or(self.read_level);
         let required = self.config.required_acks(level);
-        let replicas = self.ring.replicas(sub.key);
-        let contacted = self.select_read_replicas(coordinator, &replicas, required as usize);
+        let mut replicas = std::mem::take(&mut self.replica_scratch);
+        self.ring.replicas_into(sub.key, &mut replicas);
+        self.select_read_replicas(coordinator, &mut replicas, required as usize);
         let expected_version = self.oracle.expected_version(sub.key);
 
-        for (i, &replica) in contacted.iter().enumerate() {
+        for (i, &replica) in replicas.iter().enumerate() {
             let delay = self.account_message(coordinator, replica, self.config.small_message_bytes);
             if self.nodes[replica.0 as usize].down {
                 continue;
@@ -542,10 +637,11 @@ impl Cluster {
             );
         }
 
-        self.metrics.read_replicas_contacted += contacted.len() as u64;
-        self.reads.insert(
-            op_id,
-            ReadState {
+        self.metrics.read_replicas_contacted += replicas.len() as u64;
+        let contacted: InlineVec<NodeId> = replicas.iter().copied().collect();
+        self.replica_scratch = replicas;
+        if let Some(state) = self.ops.get_mut(op_id) {
+            *state = OpState::Read(ReadState {
                 key: sub.key,
                 coordinator,
                 issued_at: now,
@@ -556,46 +652,51 @@ impl Cluster {
                 min_version: Version(u64::MAX),
                 expected_version,
                 contacted,
-                completed: false,
-            },
-        );
+            });
+        }
+        // Timeouts use a constant delay from a monotone clock, so they are
+        // born time-ordered: the queue's O(1) FIFO lane keeps them out of
+        // the heap (one pending timeout per in-flight op would otherwise
+        // dominate the heap's size).
         self.queue
-            .schedule_at(now + self.config.op_timeout, Event::OpTimeout { op_id });
+            .schedule_fifo(now + self.config.op_timeout, Event::OpTimeout { op_id });
     }
 
-    /// Pick which replicas a read contacts.
+    /// Pick which replicas a read contacts: shuffle (random tie-break), rank
+    /// by the precomputed coordinator→replica mean latency, truncate. Works
+    /// in place on the caller's buffer — no allocation, no distribution-mean
+    /// recomputation per comparison.
     fn select_read_replicas(
         &mut self,
         coordinator: NodeId,
-        replicas: &[NodeId],
+        candidates: &mut Vec<NodeId>,
         count: usize,
-    ) -> Vec<NodeId> {
-        let count = count.min(replicas.len());
-        let mut candidates: Vec<NodeId> = replicas.to_vec();
+    ) {
+        let count = count.min(candidates.len());
         match self.selection {
             ReplicaSelection::Random => {
-                self.rng.shuffle(&mut candidates);
+                self.rng.shuffle(candidates);
             }
             ReplicaSelection::Closest => {
                 // Shuffle first so equal-latency replicas are tie-broken
                 // randomly, then order by expected latency from the coordinator.
-                self.rng.shuffle(&mut candidates);
-                let topo = &self.config.topology;
-                let net = &self.config.network;
+                self.rng.shuffle(candidates);
+                let row =
+                    &self.mean_lat[coordinator.0 as usize * self.node_count..][..self.node_count];
                 candidates.sort_by(|a, b| {
-                    let la = net.mean_ms(topo, coordinator, *a);
-                    let lb = net.mean_ms(topo, coordinator, *b);
+                    let la = row[a.0 as usize];
+                    let lb = row[b.0 as usize];
                     la.partial_cmp(&lb).expect("latencies are finite")
                 });
             }
         }
         candidates.truncate(count);
-        candidates
     }
 
     fn on_replica_arrive(&mut self, now: SimTime, node: NodeId, task: ReplicaTask) {
         let idx = node.0 as usize;
         if self.nodes[idx].down {
+            self.drop_dead_task(task);
             return;
         }
         if self.nodes[idx].active < self.config.node_concurrency {
@@ -606,10 +707,33 @@ impl Cluster {
         }
     }
 
+    /// A replica task was dropped because its node is down. The write it
+    /// belonged to will never receive this replica's ack, so stop counting
+    /// the replica as targeted — otherwise the op's slab slot could wait
+    /// forever for an ack that cannot arrive. Client-visible behaviour is
+    /// unchanged (the ack was never coming); this only lets the state be
+    /// reclaimed once the remaining live replicas have answered.
+    fn drop_dead_task(&mut self, task: ReplicaTask) {
+        let ReplicaTask::Write {
+            op_id,
+            repair: false,
+            ..
+        } = task
+        else {
+            return;
+        };
+        if let Some(OpState::Write(w)) = self.ops.get_mut(op_id) {
+            w.targeted = w.targeted.saturating_sub(1);
+            if w.completed && w.acks >= w.targeted {
+                self.ops.remove(op_id);
+            }
+        }
+    }
+
     fn start_service(&mut self, now: SimTime, node: NodeId, task: ReplicaTask) {
         let service = match task {
-            ReplicaTask::Write { .. } => self.config.storage_write_latency.sample(&mut self.rng),
-            ReplicaTask::Read { .. } => self.config.storage_read_latency.sample(&mut self.rng),
+            ReplicaTask::Write { .. } => self.storage_write_sampler.sample(&mut self.rng),
+            ReplicaTask::Read { .. } => self.storage_read_sampler.sample(&mut self.rng),
         };
         self.queue
             .schedule_at(now + service, Event::ReplicaServiceDone { node, task });
@@ -624,6 +748,7 @@ impl Cluster {
             self.start_service(now, node, next);
         }
         if self.nodes[idx].down {
+            self.drop_dead_task(task);
             return;
         }
 
@@ -641,14 +766,19 @@ impl Cluster {
                     return; // background repair: no coordinator ack
                 }
                 // Track propagation completion and find the coordinator.
-                let info = self.writes.get_mut(&op_id).map(|w| {
-                    w.applied += 1;
-                    (w.coordinator, w.applied, w.targeted, w.issued_at)
-                });
+                let info = match self.ops.get_mut(op_id) {
+                    Some(OpState::Write(w)) => {
+                        w.applied += 1;
+                        Some((w.coordinator, w.applied, w.targeted, w.issued_at))
+                    }
+                    _ => None,
+                };
                 let Some((coordinator, applied, targeted, issued_at)) = info else {
                     return;
                 };
-                let rf = self.ring.replicas(key).len() as u32;
+                // The ring always yields exactly RF distinct replicas, so the
+                // full-propagation check needs no ring walk.
+                let rf = self.ring.replication_factor();
                 if applied == targeted && targeted == rf {
                     let d = now - issued_at;
                     self.metrics.propagation.record(d);
@@ -668,9 +798,9 @@ impl Cluster {
                 let (version, size) = value
                     .map(|v| (v.version, v.size))
                     .unwrap_or((Version::NONE, 0));
-                let coordinator = match self.reads.get(&op_id) {
-                    Some(r) => r.coordinator,
-                    None => return,
+                let coordinator = match self.ops.get(op_id) {
+                    Some(OpState::Read(r)) => r.coordinator,
+                    _ => return,
                 };
                 let payload = if data {
                     size
@@ -692,7 +822,7 @@ impl Cluster {
     }
 
     fn on_write_ack(&mut self, now: SimTime, op_id: OpId, _from: NodeId) {
-        let Some(w) = self.writes.get_mut(&op_id) else {
+        let Some(OpState::Write(w)) = self.ops.get_mut(op_id) else {
             return;
         };
         w.acks += 1;
@@ -718,7 +848,7 @@ impl Cluster {
         // Keep the state until every targeted replica applied (for the
         // propagation sample), then drop it.
         if w.completed && w.acks >= w.targeted {
-            self.writes.remove(&op_id);
+            self.ops.remove(op_id);
         }
     }
 
@@ -730,12 +860,9 @@ impl Cluster {
         version: Version,
         size: u32,
     ) {
-        let Some(r) = self.reads.get_mut(&op_id) else {
+        let Some(OpState::Read(r)) = self.ops.get_mut(op_id) else {
             return;
         };
-        if r.completed {
-            return;
-        }
         r.responses += 1;
         if version > r.best_version {
             r.best_version = version;
@@ -743,17 +870,21 @@ impl Cluster {
         }
         r.min_version = r.min_version.min(version);
         if r.responses >= r.required {
-            r.completed = true;
+            // Move the state out of the slab (frees the slot, invalidates any
+            // straggler events carrying this id) — no clone of the contacted
+            // list needed for the repair pass below.
+            let Some(OpState::Read(r)) = self.ops.remove(op_id) else {
+                unreachable!("state was just borrowed");
+            };
             let key = r.key;
             let expected = r.expected_version;
             let best = r.best_version;
             let issued_at = r.issued_at;
             let required = r.required;
-            let contacted = r.contacted.clone();
+            let contacted = r.contacted;
             let coordinator = r.coordinator;
             let best_size = r.best_size;
             let needs_repair = self.config.read_repair && r.min_version < best;
-            self.reads.remove(&op_id);
 
             let class = self.oracle.classify_read(key, expected, best);
             let completed = CompletedOp {
@@ -774,7 +905,7 @@ impl Cluster {
 
             if needs_repair {
                 // Push the freshest version back to the contacted replicas.
-                for replica in contacted {
+                for &replica in contacted.iter() {
                     let delay = self.account_message(coordinator, replica, best_size);
                     if self.nodes[replica.0 as usize].down {
                         continue;
@@ -798,31 +929,40 @@ impl Cluster {
     }
 
     fn on_timeout(&mut self, now: SimTime, op_id: OpId) {
-        if let Some(w) = self.writes.get_mut(&op_id) {
-            if !w.completed {
-                w.completed = true;
-                self.metrics.timeouts += 1;
-                let completed = CompletedOp {
-                    id: op_id,
-                    kind: OpKind::Write,
-                    key: w.key,
-                    issued_at: w.issued_at,
-                    completed_at: now,
-                    status: OpStatus::Timeout,
-                    replicas_involved: w.level_used,
-                    returned_version: Version::NONE,
-                    stale: false,
-                    staleness_depth: 0,
-                };
-                self.metrics
-                    .record_completion(OpKind::Write, completed.latency(), false);
-                self.outputs.push_back(ClusterOutput::Completed(completed));
+        match self.ops.get_mut(op_id) {
+            Some(OpState::Write(w)) => {
+                if !w.completed {
+                    w.completed = true;
+                    self.metrics.timeouts += 1;
+                    let completed = CompletedOp {
+                        id: op_id,
+                        kind: OpKind::Write,
+                        key: w.key,
+                        issued_at: w.issued_at,
+                        completed_at: now,
+                        status: OpStatus::Timeout,
+                        replicas_involved: w.level_used,
+                        returned_version: Version::NONE,
+                        stale: false,
+                        staleness_depth: 0,
+                    };
+                    self.metrics
+                        .record_completion(OpKind::Write, completed.latency(), false);
+                    self.outputs.push_back(ClusterOutput::Completed(completed));
+                }
+                // A write whose acks are all in (the common timeout case:
+                // targeted < required because a replica was down at submit)
+                // has no future event referencing this id — free the slot.
+                // Otherwise the state survives the timeout: late acks still
+                // feed the propagation sample and trigger removal in
+                // on_write_ack. (A targeted replica that went down
+                // mid-flight never acks, so that rare slot is only
+                // reclaimed here if its acks completed first.)
+                if w.acks >= w.targeted {
+                    self.ops.remove(op_id);
+                }
             }
-            return;
-        }
-        if let Some(r) = self.reads.get_mut(&op_id) {
-            if !r.completed {
-                r.completed = true;
+            Some(OpState::Read(r)) => {
                 self.metrics.timeouts += 1;
                 let completed = CompletedOp {
                     id: op_id,
@@ -839,8 +979,9 @@ impl Cluster {
                 self.metrics
                     .record_completion(OpKind::Read, completed.latency(), false);
                 self.outputs.push_back(ClusterOutput::Completed(completed));
-                self.reads.remove(&op_id);
+                self.ops.remove(op_id);
             }
+            _ => {}
         }
     }
 }
@@ -897,7 +1038,7 @@ mod tests {
         // a write to the same key 200 µs earlier).
         let mut at = SimTime::ZERO;
         for i in 0..500u64 {
-            at = at + SimDuration::from_micros(200);
+            at += SimDuration::from_micros(200);
             if i % 2 == 0 {
                 c.submit_write_at((i / 2) % 10, 100, at);
             } else {
@@ -932,7 +1073,7 @@ mod tests {
         // after a write to that key (inside the propagation window).
         let mut at = SimTime::ZERO;
         for i in 0..ops {
-            at = at + gap;
+            at += gap;
             if i % 2 == 0 {
                 c.submit_write_at((i / 2) % keys, 100, at);
             } else {
@@ -984,7 +1125,7 @@ mod tests {
             c.set_levels(ConsistencyLevel::One, level);
             let mut at = SimTime::ZERO;
             for i in 0..500u64 {
-                at = at + SimDuration::from_millis(1);
+                at += SimDuration::from_millis(1);
                 c.submit_write_at(i % 10, 100, at);
             }
             drain(&mut c);
@@ -1047,12 +1188,51 @@ mod tests {
             c.submit_write_with(i, 100, ConsistencyLevel::All, SimTime::from_millis(i));
         }
         let done = drain(&mut c);
-        let timeouts = done.iter().filter(|o| o.status == OpStatus::Timeout).count();
-        assert!(timeouts > 0, "ALL writes must time out when a replica is down");
+        let timeouts = done
+            .iter()
+            .filter(|o| o.status == OpStatus::Timeout)
+            .count();
+        assert!(
+            timeouts > 0,
+            "ALL writes must time out when a replica is down"
+        );
         assert_eq!(c.metrics().timeouts as usize, timeouts);
+        // Timed-out writes whose reachable replicas all acknowledged must
+        // release their op-slab slots (long runs stay compact).
+        assert_eq!(c.inflight_ops(), 0, "timed-out writes must not leak slots");
         // Level ONE still succeeds.
         c.set_node_up(NodeId(1));
         assert!(!c.is_node_down(NodeId(1)));
+    }
+
+    #[test]
+    fn mid_flight_node_failure_does_not_leak_op_state() {
+        // A replica that goes down *after* a write targeted it never acks;
+        // the write's slab slot must still be reclaimed.
+        let mut cfg = ClusterConfig::lan_test(5, 3);
+        cfg.op_timeout = SimDuration::from_millis(100);
+        let mut c = Cluster::new(cfg, 31);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let victim = c.replicas_of(3)[1];
+        // Submit, then take the victim down before the replica messages
+        // arrive (LAN delivery is ~0.3 ms; the tick fires first).
+        c.submit_write_with(3, 100, ConsistencyLevel::All, SimTime::ZERO);
+        c.schedule_tick(SimTime::from_micros(50), 9);
+        loop {
+            match c.advance() {
+                Some(ClusterOutput::Tick { id: 9, .. }) => {
+                    c.set_node_down(victim);
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        assert_eq!(c.metrics().timeouts, 1, "the ALL write must time out");
+        assert_eq!(
+            c.inflight_ops(),
+            0,
+            "mid-flight failure must not leak the write's slab slot"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl ConsistencyLevel {
         let rf = rf.max(1);
         let dc_count = dc_count.max(1);
         let quorum = rf / 2 + 1;
-        let per_dc_rf = (rf + dc_count - 1) / dc_count; // ceil
+        let per_dc_rf = rf.div_ceil(dc_count); // ceil
         let per_dc_quorum = per_dc_rf / 2 + 1;
         let n = match self {
             ConsistencyLevel::One => 1,
@@ -126,7 +126,11 @@ mod tests {
         assert_eq!(ConsistencyLevel::Quorum.required_acks(rf, 2), 3);
         assert_eq!(ConsistencyLevel::All.required_acks(rf, 2), 5);
         assert_eq!(ConsistencyLevel::Exact(4).required_acks(rf, 2), 4);
-        assert_eq!(ConsistencyLevel::Exact(9).required_acks(rf, 2), 5, "clamped");
+        assert_eq!(
+            ConsistencyLevel::Exact(9).required_acks(rf, 2),
+            5,
+            "clamped"
+        );
     }
 
     #[test]

@@ -39,14 +39,16 @@ pub mod consistency;
 pub mod metrics;
 pub mod oracle;
 pub mod ring;
+pub mod slab;
 pub mod storage;
 pub mod types;
 
 pub use cluster::{Cluster, ClusterOutput, ReplicaSelection};
 pub use config::ClusterConfig;
 pub use consistency::ConsistencyLevel;
-pub use metrics::{ClusterMetrics, LatencyReservoir, TrafficBytes};
+pub use metrics::{ClusterMetrics, LatencyReservoir, LatencyStats, TrafficBytes};
 pub use oracle::StalenessOracle;
 pub use ring::{ReplicationStrategy, Ring};
+pub use slab::OpSlab;
 pub use storage::ReplicaStore;
 pub use types::{CompletedOp, Key, OpId, OpKind, OpStatus, StoredValue, Version};

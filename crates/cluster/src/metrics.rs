@@ -6,72 +6,60 @@
 //! storage I/O (the paper's storage-cost component).
 
 use crate::types::OpKind;
-use concord_sim::{LinkClass, RunningStats, SimDuration, SimRng};
+use concord_monitor::LatencyHistogram;
+use concord_sim::{LinkClass, SimDuration};
 use serde::{Deserialize, Serialize};
 
-/// Size of the latency reservoir kept for percentile reporting.
-const RESERVOIR_SIZE: usize = 65_536;
-
-/// Reservoir-sampled latency collection (exact mean, approximate quantiles).
-#[derive(Debug, Clone)]
-pub struct LatencyReservoir {
-    stats: RunningStats,
-    samples: Vec<f64>,
-    seen: u64,
-    rng: SimRng,
+/// Streaming latency statistics: the log-bucketed histogram from
+/// `concord-monitor` recorded in microseconds.
+///
+/// This replaced a 64 Ki-sample reservoir: memory is bounded by the fixed
+/// bucket array regardless of run length, recording is O(1) with no RNG
+/// draw, the mean is exact (integer microsecond sum), and quantiles read the
+/// bucket counts directly instead of sorting a sample vector on every call
+/// (≈3% bounded relative error, same as the monitor's reporting path).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    histogram: LatencyHistogram,
 }
 
-impl Default for LatencyReservoir {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// Former name of [`LatencyStats`], kept for downstream compatibility.
+pub type LatencyReservoir = LatencyStats;
 
-impl LatencyReservoir {
-    /// An empty reservoir.
+impl LatencyStats {
+    /// Empty statistics.
     pub fn new() -> Self {
-        LatencyReservoir {
-            stats: RunningStats::new(),
-            samples: Vec::new(),
-            seen: 0,
-            rng: SimRng::new(0x5EED_5EED),
-        }
+        Self::default()
     }
 
     /// Record a latency.
     pub fn record(&mut self, latency: SimDuration) {
-        let ms = latency.as_millis_f64();
-        self.stats.push(ms);
-        self.seen += 1;
-        if self.samples.len() < RESERVOIR_SIZE {
-            self.samples.push(ms);
-        } else {
-            // Vitter's algorithm R.
-            let j = self.rng.next_bounded(self.seen) as usize;
-            if j < RESERVOIR_SIZE {
-                self.samples[j] = ms;
-            }
-        }
+        self.histogram.record(latency.as_micros());
     }
 
     /// Number of recorded latencies.
     pub fn count(&self) -> u64 {
-        self.stats.count()
+        self.histogram.count()
     }
 
-    /// Mean latency in milliseconds.
+    /// Mean latency in milliseconds (exact).
     pub fn mean_ms(&self) -> f64 {
-        self.stats.mean()
+        self.histogram.mean() / 1e3
     }
 
     /// Approximate `q`-quantile in milliseconds (`None` if empty).
     pub fn quantile_ms(&self, q: f64) -> Option<f64> {
-        concord_sim::percentile(&self.samples, q)
+        self.histogram.quantile(q).map(|us| us as f64 / 1e3)
     }
 
-    /// Largest recorded latency in milliseconds.
+    /// Largest recorded latency in milliseconds (exact).
     pub fn max_ms(&self) -> f64 {
-        self.stats.max().unwrap_or(0.0)
+        self.histogram.max().unwrap_or(0) as f64 / 1e3
+    }
+
+    /// The underlying microsecond histogram.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.histogram
     }
 }
 

@@ -10,7 +10,8 @@
 //! comparable (as they are in the paper's Harmony evaluation).
 
 use crate::types::{Key, Version};
-use std::collections::{HashMap, VecDeque};
+use concord_sim::FxHashMap;
+use std::collections::VecDeque;
 
 /// How many recent acknowledged versions are kept per key for computing the
 /// staleness *depth*. Older history is dropped (the depth saturates), which
@@ -27,10 +28,21 @@ struct KeyHistory {
     /// Recent (version, ack index) pairs, newest at the back; bounded to
     /// [`DEPTH_HISTORY`] entries.
     version_order: VecDeque<(Version, u64)>,
+    /// Whether `version_order` is sorted by version. Acks almost always
+    /// arrive in version order (the global version counter is assigned at
+    /// write start and acknowledgements follow in simulation-time order), so
+    /// depth lookups can binary-search; a rare out-of-order ack of two
+    /// overlapping writes flips this and falls back to the linear scan.
+    unsorted: bool,
 }
 
 impl KeyHistory {
     fn push_version(&mut self, version: Version, index: u64) {
+        if let Some(&(back, _)) = self.version_order.back() {
+            if back > version {
+                self.unsorted = true;
+            }
+        }
         self.version_order.push_back((version, index));
         if self.version_order.len() > DEPTH_HISTORY {
             self.version_order.pop_front();
@@ -38,18 +50,28 @@ impl KeyHistory {
     }
 
     fn index_of(&self, version: Version) -> Option<u64> {
+        if self.unsorted {
+            // Out-of-order history: last occurrence wins, as before.
+            return self
+                .version_order
+                .iter()
+                .rev()
+                .find(|(v, _)| *v == version)
+                .map(|(_, i)| *i);
+        }
+        // Versions are globally unique, so a sorted history has at most one
+        // match: O(log n) instead of a linear reverse scan.
         self.version_order
-            .iter()
-            .rev()
-            .find(|(v, _)| *v == version)
-            .map(|(_, i)| *i)
+            .binary_search_by(|(v, _)| v.cmp(&version))
+            .ok()
+            .map(|i| self.version_order[i].1)
     }
 }
 
 /// The staleness oracle.
 #[derive(Debug, Clone, Default)]
 pub struct StalenessOracle {
-    keys: HashMap<Key, KeyHistory>,
+    keys: FxHashMap<Key, KeyHistory>,
     stale_reads: u64,
     fresh_reads: u64,
     /// Sum of staleness depths over stale reads (for the average).
@@ -106,7 +128,12 @@ impl StalenessOracle {
 
     /// Classify a completed read: it was issued when `expected` was the
     /// newest acknowledged version and returned `returned`.
-    pub fn classify_read(&mut self, key: Key, expected: Version, returned: Version) -> ReadClassification {
+    pub fn classify_read(
+        &mut self,
+        key: Key,
+        expected: Version,
+        returned: Version,
+    ) -> ReadClassification {
         let stale = returned < expected;
         let depth = if !stale {
             0
@@ -236,6 +263,34 @@ mod tests {
         // Reading the preloaded version is fresh; missing it is stale.
         let c = o.classify_read(Key(1), Version(1), Version::NONE);
         assert!(c.stale);
+    }
+
+    #[test]
+    fn out_of_order_acks_keep_exact_depths() {
+        // Two overlapping writes acknowledged out of version order: the
+        // binary-search fast path must detect the inversion and fall back to
+        // the exact linear scan.
+        let mut o = StalenessOracle::new();
+        o.record_ack(Key(1), Version(5));
+        o.record_ack(Key(1), Version(9));
+        o.record_ack(Key(1), Version(7));
+        let c = o.classify_read(Key(1), Version(9), Version(5));
+        assert!(c.stale);
+        assert_eq!(c.depth, 1, "idx(9)=2 minus idx(5)=1");
+        let c = o.classify_read(Key(1), Version(7), Version(5));
+        assert!(c.stale);
+        assert_eq!(c.depth, 2, "idx(7)=3 minus idx(5)=1");
+    }
+
+    #[test]
+    fn deep_histories_resolve_depths_by_binary_search() {
+        let mut o = StalenessOracle::new();
+        for v in 1..=64u64 {
+            o.record_ack(Key(1), Version(v));
+        }
+        let c = o.classify_read(Key(1), Version(64), Version(2));
+        assert!(c.stale);
+        assert_eq!(c.depth, 62);
     }
 
     #[test]

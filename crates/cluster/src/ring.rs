@@ -13,7 +13,7 @@
 //!   over two availability zones / two Grid'5000 sites.
 
 use crate::types::Key;
-use concord_sim::{DcId, NodeId, Topology};
+use concord_sim::{DcId, InlineVec, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -38,10 +38,15 @@ fn ring_hash(value: u64) -> u64 {
 }
 
 /// The token ring.
+///
+/// Tokens are kept in a flat sorted array: a replica lookup is one binary
+/// search plus a clockwise walk over contiguous memory, instead of a B-tree
+/// range traversal — this lookup runs once per simulated write *and* read,
+/// so it is squarely on the hot path.
 #[derive(Debug, Clone)]
 pub struct Ring {
-    /// token → owning node, sorted by token.
-    tokens: BTreeMap<u64, NodeId>,
+    /// `(token, owning node)`, sorted by token.
+    tokens: Vec<(u64, NodeId)>,
     replication_factor: u32,
     strategy: ReplicationStrategy,
     /// Node → datacenter, copied from the topology for placement decisions.
@@ -65,17 +70,19 @@ impl Ring {
             topology.node_count()
         );
         assert!(vnodes >= 1);
-        let mut tokens = BTreeMap::new();
+        // Build through a BTreeMap to keep the original "last writer wins on
+        // token collision" semantics, then flatten to a sorted array.
+        let mut token_map = BTreeMap::new();
         for node in topology.nodes() {
             for v in 0..vnodes {
                 // Derive deterministic, well-spread tokens per (node, vnode).
                 let token = ring_hash(((node.0 as u64) << 32) ^ (v as u64) ^ 0xA5A5_5A5A);
-                tokens.insert(token, node);
+                token_map.insert(token, node);
             }
         }
         let node_dc = topology.nodes().map(|n| topology.dc_of(n)).collect();
         Ring {
-            tokens,
+            tokens: token_map.into_iter().collect(),
             replication_factor,
             strategy,
             node_dc,
@@ -100,16 +107,26 @@ impl Ring {
 
     /// The ordered list of replica nodes for `key` (primary first).
     pub fn replicas(&self, key: Key) -> Vec<NodeId> {
+        let mut replicas = Vec::with_capacity(self.replication_factor as usize);
+        self.replicas_into(key, &mut replicas);
+        replicas
+    }
+
+    /// Fill `replicas` with the ordered replica nodes for `key` (primary
+    /// first) without allocating: the hot-path variant of
+    /// [`Ring::replicas`] — callers keep a scratch buffer alive across
+    /// operations.
+    pub fn replicas_into(&self, key: Key, replicas: &mut Vec<NodeId>) {
+        replicas.clear();
         let token = self.token_of(key);
         let rf = self.replication_factor as usize;
-        let mut replicas: Vec<NodeId> = Vec::with_capacity(rf);
 
         // Walk the ring clockwise starting at the key's token, wrapping.
-        let walk = self
-            .tokens
-            .range(token..)
-            .chain(self.tokens.range(..token))
-            .map(|(_, &node)| node);
+        let start = self.tokens.partition_point(|&(t, _)| t < token);
+        let walk = self.tokens[start..]
+            .iter()
+            .chain(self.tokens[..start].iter())
+            .map(|&(_, node)| node);
 
         match self.strategy {
             ReplicationStrategy::Simple => {
@@ -125,12 +142,11 @@ impl Ring {
             ReplicationStrategy::NetworkTopology => {
                 // Spread replicas over DCs: allow a DC to take another
                 // replica only when its share is below its even allotment.
-                let dc_quota = {
-                    let per_dc = (rf + self.dc_count - 1) / self.dc_count;
-                    per_dc
-                };
-                let mut per_dc_count: BTreeMap<DcId, usize> = BTreeMap::new();
-                let mut skipped: Vec<NodeId> = Vec::new();
+                // Both side tables live on the stack (spilling only for
+                // degenerate topologies) — no allocation per lookup.
+                let dc_quota = rf.div_ceil(self.dc_count);
+                let mut per_dc_count: InlineVec<(u16, u32)> = InlineVec::new();
+                let mut skipped: InlineVec<u32> = InlineVec::new();
                 for node in walk {
                     if replicas.len() == rf {
                         break;
@@ -138,28 +154,42 @@ impl Ring {
                     if replicas.contains(&node) {
                         continue;
                     }
-                    let dc = self.node_dc[node.0 as usize];
-                    let count = per_dc_count.entry(dc).or_insert(0);
-                    if *count < dc_quota {
-                        *count += 1;
+                    let dc = self.node_dc[node.0 as usize].0;
+                    let mut taken = false;
+                    let mut seen_dc = false;
+                    for entry in per_dc_count.iter_mut() {
+                        if entry.0 == dc {
+                            seen_dc = true;
+                            if (entry.1 as usize) < dc_quota {
+                                entry.1 += 1;
+                                taken = true;
+                            }
+                            break;
+                        }
+                    }
+                    if !seen_dc {
+                        per_dc_count.push((dc, 1));
+                        taken = true;
+                    }
+                    if taken {
                         replicas.push(node);
-                    } else if !skipped.contains(&node) {
-                        skipped.push(node);
+                    } else if !skipped.iter().any(|&n| n == node.0) {
+                        skipped.push(node.0);
                     }
                 }
                 // If quotas could not be met (e.g. a tiny DC), fill from the
                 // skipped nodes in ring order.
-                for node in skipped {
+                for &node in skipped.iter() {
                     if replicas.len() == rf {
                         break;
                     }
+                    let node = NodeId(node);
                     if !replicas.contains(&node) {
                         replicas.push(node);
                     }
                 }
             }
         }
-        replicas
     }
 
     /// The primary replica for `key`.
@@ -225,7 +255,10 @@ mod tests {
             let reps = ring.replicas(Key(k));
             let dc_a = reps.iter().filter(|n| n.0 % 2 == 0).count();
             let dc_b = reps.len() - dc_a;
-            assert_eq!(dc_a, 2, "key {k}: replicas {reps:?} must be 2+2 over the DCs");
+            assert_eq!(
+                dc_a, 2,
+                "key {k}: replicas {reps:?} must be 2+2 over the DCs"
+            );
             assert_eq!(dc_b, 2);
         }
     }
@@ -281,6 +314,9 @@ mod tests {
         let ring = Ring::new(&topo, 3, ReplicationStrategy::Simple, 32);
         let primaries: std::collections::HashSet<NodeId> =
             (0..2000).map(|k| ring.primary(Key(k))).collect();
-        assert!(primaries.len() > 10, "keys should spread over many primaries");
+        assert!(
+            primaries.len() > 10,
+            "keys should spread over many primaries"
+        );
     }
 }

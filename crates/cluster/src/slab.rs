@@ -1,0 +1,195 @@
+//! Generation-checked slab for in-flight operation state.
+//!
+//! The cluster simulator keeps per-operation state (pending submission, write
+//! progress, read progress) from submission until the consistency level is
+//! satisfied. The original implementation used three `HashMap<OpId, _>`
+//! tables, paying a SipHash per event; this slab replaces them with direct
+//! indexing: an [`OpId`] encodes `(generation << 32) | slot`, so every lookup
+//! is one bounds check, one generation compare and one array access.
+//!
+//! Slots are recycled through a free list, which keeps long runs compact (the
+//! live slot count tracks the number of *outstanding* operations, not the
+//! total ever submitted). The generation counter makes recycled ids safe:
+//! events that still reference a completed operation (a timeout fired after
+//! completion, a straggler replica response) carry a stale generation and
+//! miss, exactly as a `HashMap` lookup of a removed key would.
+
+use crate::types::OpId;
+
+/// One slot: the live generation plus the state, if occupied.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    generation: u32,
+    state: Option<T>,
+}
+
+/// A slab of operation state addressed by generation-checked [`OpId`]s.
+#[derive(Debug, Clone)]
+pub struct OpSlab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for OpSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OpSlab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        OpSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (occupied) slots.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no operation state is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + recyclable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn encode(generation: u32, slot: u32) -> OpId {
+        OpId(((generation as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn decode(id: OpId) -> (u32, u32) {
+        ((id.0 >> 32) as u32, id.0 as u32)
+    }
+
+    /// Insert state, returning the id that addresses it.
+    pub fn insert(&mut self, state: T) -> OpId {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.state.is_none(), "free-listed slot must be vacant");
+            s.state = Some(state);
+            Self::encode(s.generation, slot)
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight ops");
+            self.slots.push(Slot {
+                // Start at generation 1 so no valid OpId is ever 0.
+                generation: 1,
+                state: Some(state),
+            });
+            Self::encode(1, slot)
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, id: OpId) -> Option<usize> {
+        let (generation, slot) = Self::decode(id);
+        match self.slots.get(slot as usize) {
+            Some(s) if s.generation == generation && s.state.is_some() => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    /// Shared access to the state addressed by `id`, if still live.
+    #[inline]
+    pub fn get(&self, id: OpId) -> Option<&T> {
+        self.slot_of(id).and_then(|i| self.slots[i].state.as_ref())
+    }
+
+    /// Mutable access to the state addressed by `id`, if still live.
+    #[inline]
+    pub fn get_mut(&mut self, id: OpId) -> Option<&mut T> {
+        match self.slot_of(id) {
+            Some(i) => self.slots[i].state.as_mut(),
+            None => None,
+        }
+    }
+
+    /// Remove and return the state addressed by `id`. The slot's generation
+    /// advances, invalidating every outstanding copy of the id, and the slot
+    /// joins the free list for reuse.
+    pub fn remove(&mut self, id: OpId) -> Option<T> {
+        let i = self.slot_of(id)?;
+        let s = &mut self.slots[i];
+        let state = s.state.take();
+        s.generation = s.generation.wrapping_add(1);
+        // Skip generation 0 on wrap so a valid id is never all-zero.
+        if s.generation == 0 {
+            s.generation = 1;
+        }
+        self.free.push(i as u32);
+        self.live -= 1;
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab: OpSlab<&str> = OpSlab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        *slab.get_mut(a).unwrap() = "a2";
+        assert_eq!(slab.remove(a), Some("a2"));
+        assert_eq!(slab.get(a), None, "removed id must miss");
+        assert_eq!(slab.remove(a), None, "double remove must miss");
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn recycled_slot_rejects_stale_id() {
+        let mut slab: OpSlab<u32> = OpSlab::new();
+        let old = slab.insert(1);
+        slab.remove(old);
+        let new = slab.insert(2);
+        // Same slot, different generation.
+        assert_ne!(old, new);
+        assert_eq!(slab.get(old), None, "stale generation must miss");
+        assert_eq!(slab.get(new), Some(&2));
+        assert_eq!(slab.capacity(), 1, "the slot was reused, not grown");
+    }
+
+    #[test]
+    fn ids_are_never_zero() {
+        let mut slab: OpSlab<u8> = OpSlab::new();
+        for _ in 0..100 {
+            let id = slab.insert(0);
+            assert_ne!(id.0, 0);
+            slab.remove(id);
+        }
+    }
+
+    #[test]
+    fn long_runs_stay_compact() {
+        let mut slab: OpSlab<u64> = OpSlab::new();
+        // A closed loop of 64 outstanding ops, a million total insertions.
+        let mut live: Vec<OpId> = (0..64).map(|i| slab.insert(i)).collect();
+        for i in 64..100_000u64 {
+            let victim = live.remove((i % 64) as usize);
+            assert!(slab.remove(victim).is_some());
+            live.push(slab.insert(i));
+        }
+        assert_eq!(slab.len(), 64);
+        assert!(
+            slab.capacity() <= 64,
+            "slab grew to {} slots for 64 outstanding ops",
+            slab.capacity()
+        );
+    }
+}

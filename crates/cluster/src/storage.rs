@@ -5,13 +5,16 @@
 //! model (bytes stored, storage I/O operations performed).
 
 use crate::types::{Key, StoredValue, Version};
-use concord_sim::SimTime;
-use std::collections::HashMap;
+use concord_sim::{FxHashMap, SimTime};
 
 /// The local storage of one replica node.
+///
+/// The key map uses the simulator's FxHash ([`concord_sim::FxHashMap`]):
+/// every simulated replica read/write is one lookup here, and record keys
+/// are simulator-internal, so SipHash's flood resistance buys nothing.
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaStore {
-    data: HashMap<Key, StoredValue>,
+    data: FxHashMap<Key, StoredValue>,
     bytes_stored: u64,
     write_ops: u64,
     read_ops: u64,

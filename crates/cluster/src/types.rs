@@ -20,7 +20,9 @@ impl fmt::Display for Key {
 /// microsecond wall-clock timestamps supplied by the coordinator; the
 /// simulator uses a global logical counter combined with the issue time so
 /// that last-write-wins reconciliation is total and deterministic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Version(pub u64);
 
 impl Version {

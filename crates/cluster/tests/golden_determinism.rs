@@ -1,0 +1,199 @@
+//! Golden fixed-seed regression tests.
+//!
+//! These tests pin the *exact* simulation output of fixed-seed cluster runs:
+//! operation counts, ground-truth stale reads, event counts, final virtual
+//! clock, traffic bytes, and an integer checksum over every completed
+//! operation's latency and returned version. They were captured on the
+//! pre-hot-path-refactor implementation (HashMap op tables, per-read replica
+//! Vec allocations, sort-based replica selection) and must keep passing
+//! byte-for-byte on the slab/scratch-buffer/precomputed-ranking hot path:
+//! any drift means the optimization changed simulation behaviour, not just
+//! its speed.
+//!
+//! To re-capture after an *intentional* semantic change, run with
+//! `GOLDEN_PRINT=1 cargo test -p concord-cluster --test golden_determinism -- --nocapture`
+//! and update the constants.
+
+use concord_cluster::{
+    Cluster, ClusterConfig, ConsistencyLevel, OpKind, OpStatus, ReplicationStrategy,
+};
+use concord_sim::{NetworkModel, RegionId, SimDuration, SimTime, Topology};
+
+/// Integer digest of a completed-operation stream, independent of the
+/// metrics back-end (FNV-1a over the per-op fields that matter).
+#[derive(Debug, Default, PartialEq, Eq)]
+struct RunDigest {
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    stale: u64,
+    timeouts: u64,
+    latency_sum_us: u64,
+    checksum: u64,
+}
+
+fn digest(cluster: &mut Cluster) -> RunDigest {
+    let mut d = RunDigest::default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fnv = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for op in cluster.run_to_completion(u64::MAX) {
+        d.ops += 1;
+        match op.kind {
+            OpKind::Read => d.reads += 1,
+            OpKind::Write => d.writes += 1,
+        }
+        if op.stale {
+            d.stale += 1;
+        }
+        if op.status == OpStatus::Timeout {
+            d.timeouts += 1;
+        }
+        d.latency_sum_us += op.latency().as_micros();
+        fnv(&mut h, op.completed_at.as_micros());
+        fnv(&mut h, op.returned_version.0);
+        fnv(&mut h, op.staleness_depth as u64);
+        fnv(&mut h, op.replicas_involved as u64);
+    }
+    d.checksum = h;
+    d
+}
+
+fn geo_cluster(seed: u64) -> Cluster {
+    let mut cfg = ClusterConfig::lan_test(6, 5);
+    cfg.topology = Topology::spread(
+        6,
+        &[("site-rennes", RegionId(0)), ("site-sophia", RegionId(0))],
+    );
+    cfg.network = NetworkModel::grid5000_like();
+    cfg.strategy = ReplicationStrategy::NetworkTopology;
+    cfg.read_repair = true;
+    Cluster::new(cfg, seed)
+}
+
+/// Alternating write→read churn over hot keys, the Figure-1 situation.
+fn churn(c: &mut Cluster, ops: u64, keys: u64, gap: SimDuration) {
+    let mut at = SimTime::ZERO;
+    for i in 0..ops {
+        at += gap;
+        if i % 2 == 0 {
+            c.submit_write_at((i / 2) % keys, 200, at);
+        } else {
+            c.submit_read_at((i / 2) % keys, at);
+        }
+    }
+}
+
+fn maybe_print(name: &str, d: &RunDigest, c: &Cluster) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!(
+            "{name}: {d:?} events={} now_us={} messages={} traffic_total={} traffic_inter_dc={} \
+             storage_r={} storage_w={} oracle_stale={} oracle_fresh={}",
+            c.events_processed(),
+            c.now().as_micros(),
+            c.metrics().messages,
+            c.metrics().traffic.total(),
+            c.metrics().traffic.inter_dc,
+            c.metrics().storage_read_ops,
+            c.metrics().storage_write_ops,
+            c.oracle().stale_reads(),
+            c.oracle().fresh_reads(),
+        );
+    }
+}
+
+/// Weak-consistency geo run with read repair: the paper's staleness window.
+#[test]
+fn golden_geo_weak_consistency_run() {
+    let mut c = geo_cluster(7);
+    c.load_records((0..20u64).map(|k| (k, 200)));
+    c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+    churn(&mut c, 4_000, 20, SimDuration::from_micros(500));
+    let d = digest(&mut c);
+    maybe_print("weak", &d, &c);
+
+    assert_eq!(d.ops, 4_000);
+    assert_eq!(d.reads, 2_000);
+    assert_eq!(d.writes, 2_000);
+    assert_eq!(d.stale, GOLDEN_WEAK.0);
+    assert_eq!(d.timeouts, 0);
+    assert_eq!(d.latency_sum_us, GOLDEN_WEAK.1);
+    assert_eq!(d.checksum, GOLDEN_WEAK.2);
+    assert_eq!(c.events_processed(), GOLDEN_WEAK.3);
+    assert_eq!(c.now().as_micros(), GOLDEN_WEAK.4);
+    assert_eq!(c.metrics().messages, GOLDEN_WEAK.5);
+    assert_eq!(c.metrics().traffic.total(), GOLDEN_WEAK.6);
+    assert_eq!(c.metrics().traffic.inter_dc, GOLDEN_WEAK.7);
+    assert_eq!(
+        (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
+        GOLDEN_WEAK.8
+    );
+    assert_eq!(c.oracle().stale_reads(), d.stale);
+}
+
+/// Quorum/quorum run: R+W>N, so zero staleness with non-trivial latencies.
+#[test]
+fn golden_geo_quorum_run() {
+    let mut c = geo_cluster(13);
+    c.load_records((0..50u64).map(|k| (k, 200)));
+    c.set_levels(ConsistencyLevel::Quorum, ConsistencyLevel::Quorum);
+    churn(&mut c, 3_000, 50, SimDuration::from_micros(300));
+    let d = digest(&mut c);
+    maybe_print("quorum", &d, &c);
+
+    assert_eq!(d.ops, 3_000);
+    assert_eq!(d.stale, 0, "R+W>N can never be stale");
+    assert_eq!(d.timeouts, 0);
+    assert_eq!(d.latency_sum_us, GOLDEN_QUORUM.0);
+    assert_eq!(d.checksum, GOLDEN_QUORUM.1);
+    assert_eq!(c.events_processed(), GOLDEN_QUORUM.2);
+    assert_eq!(c.now().as_micros(), GOLDEN_QUORUM.3);
+}
+
+/// Failure + timeout path: one node down under write-ALL.
+#[test]
+fn golden_failure_timeout_run() {
+    let mut cfg = ClusterConfig::lan_test(5, 3);
+    cfg.op_timeout = SimDuration::from_millis(50);
+    let mut c = Cluster::new(cfg, 21);
+    c.load_records((0..30u64).map(|k| (k, 100)));
+    c.set_node_down(concord_sim::NodeId(2));
+    let mut at = SimTime::ZERO;
+    for i in 0..600u64 {
+        at += SimDuration::from_micros(400);
+        if i % 3 == 0 {
+            c.submit_write_with(i % 30, 100, ConsistencyLevel::All, at);
+        } else {
+            c.submit_read_at(i % 30, at);
+        }
+    }
+    let d = digest(&mut c);
+    maybe_print("failure", &d, &c);
+
+    assert_eq!(d.ops, 600);
+    assert_eq!(d.timeouts, GOLDEN_FAILURE.0);
+    assert_eq!(d.latency_sum_us, GOLDEN_FAILURE.1);
+    assert_eq!(d.checksum, GOLDEN_FAILURE.2);
+    assert_eq!(c.events_processed(), GOLDEN_FAILURE.3);
+}
+
+// Captured values (pre-refactor implementation, seeds as above):
+// (stale, latency_sum_us, checksum, events, now_us, messages, traffic_total,
+//  traffic_inter_dc, (storage_read_ops, storage_write_ops)).
+const GOLDEN_WEAK: (u64, u64, u64, u64, u64, u64, u64, u64, (u64, u64)) = (
+    827,
+    1_738_104,
+    9473355854552743838,
+    44_000,
+    12_000_000,
+    24_000,
+    4_320_000,
+    1_785_960,
+    (2_000, 10_000),
+);
+// (latency_sum_us, checksum, events, now_us).
+const GOLDEN_QUORUM: (u64, u64, u64, u64) = (45_593_949, 7203024975233682314, 45_738, 10_900_000);
+// (timeouts, latency_sum_us, checksum, events).
+const GOLDEN_FAILURE: (u64, u64, u64, u64) = (107, 5_735_824, 5079826259043572358, 3_879);

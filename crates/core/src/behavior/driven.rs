@@ -115,7 +115,12 @@ mod tests {
         let checkout = presets::ycsb_a();
         let trace = SyntheticTraceBuilder::new()
             .add("browse", SimDuration::from_secs(300), 60.0, browse.clone())
-            .add("checkout", SimDuration::from_secs(120), 400.0, checkout.clone())
+            .add(
+                "checkout",
+                SimDuration::from_secs(120),
+                400.0,
+                checkout.clone(),
+            )
             .add("browse2", SimDuration::from_secs(300), 60.0, browse)
             .add("checkout2", SimDuration::from_secs(120), 400.0, checkout)
             .build(&mut rng);

@@ -212,11 +212,7 @@ mod tests {
 
     #[test]
     fn normalization_centers_and_scales() {
-        let vectors = vec![
-            vec![100.0, 0.1],
-            vec![200.0, 0.2],
-            vec![300.0, 0.3],
-        ];
+        let vectors = vec![vec![100.0, 0.1], vec![200.0, 0.2], vec![300.0, 0.3]];
         let (normed, stats) = normalize(&vectors);
         assert_eq!(normed.len(), 3);
         // Mean of each normalized dimension is ~0.

@@ -47,10 +47,7 @@ fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut SimRng) -> Vec<Vec<f6
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.index(points.len())].clone());
     while centroids.len() < k {
-        let weights: Vec<f64> = points
-            .iter()
-            .map(|p| nearest(p, &centroids).1)
-            .collect();
+        let weights: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             // All points coincide with existing centroids; duplicate one.
@@ -219,10 +216,7 @@ mod tests {
         let mut labels = Vec::new();
         for (label, (cx, cy)) in centers.iter().enumerate() {
             for _ in 0..30 {
-                points.push(vec![
-                    cx + rng.next_f64() - 0.5,
-                    cy + rng.next_f64() - 0.5,
-                ]);
+                points.push(vec![cx + rng.next_f64() - 0.5, cy + rng.next_f64() - 0.5]);
                 labels.push(label);
             }
         }

@@ -72,7 +72,10 @@ impl BehaviorModel {
     /// cannot observe per-key popularity.
     pub fn neutral_hot_key_concentration(&self) -> f64 {
         // Dimension order is documented in `PeriodFeatures::vector`.
-        self.feature_stats.get(3).map(|(mean, _)| *mean).unwrap_or(0.0)
+        self.feature_stats
+            .get(3)
+            .map(|(mean, _)| *mean)
+            .unwrap_or(0.0)
     }
 
     /// Classify a live period into one of the discovered states and return
@@ -246,9 +249,24 @@ mod tests {
         let mut checkout = presets::ycsb_a(); // 50% writes
         checkout.record_count = 2_000;
         let builder = SyntheticTraceBuilder::new()
-            .add("browse-1", SimDuration::from_secs(300), 60.0, browse.clone())
-            .add("checkout-1", SimDuration::from_secs(120), 400.0, checkout.clone())
-            .add("browse-2", SimDuration::from_secs(300), 55.0, browse.clone())
+            .add(
+                "browse-1",
+                SimDuration::from_secs(300),
+                60.0,
+                browse.clone(),
+            )
+            .add(
+                "checkout-1",
+                SimDuration::from_secs(120),
+                400.0,
+                checkout.clone(),
+            )
+            .add(
+                "browse-2",
+                SimDuration::from_secs(300),
+                55.0,
+                browse.clone(),
+            )
             .add("checkout-2", SimDuration::from_secs(120), 420.0, checkout)
             .add("browse-3", SimDuration::from_secs(300), 65.0, browse);
         builder.build(rng)
@@ -265,12 +283,13 @@ mod tests {
         // There must be a write-heavy state mapped to strong/quorum and a
         // read-mostly state mapped to something weaker.
         let has_strong_state = model.states().iter().any(|s| {
-            s.centroid.write_ratio > 0.3 && matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong)
+            s.centroid.write_ratio > 0.3
+                && matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong)
         });
-        let has_weak_state = model
-            .states()
-            .iter()
-            .any(|s| s.centroid.write_ratio < 0.2 && !matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong));
+        let has_weak_state = model.states().iter().any(|s| {
+            s.centroid.write_ratio < 0.2
+                && !matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong)
+        });
         assert!(has_strong_state, "states: {:?}", model.states());
         assert!(has_weak_state, "states: {:?}", model.states());
     }
@@ -360,6 +379,9 @@ mod tests {
         let model = BehaviorModelBuilder::new(SimDuration::from_secs(60))
             .with_rules(rules)
             .fit(&trace, &mut rng);
-        assert!(model.states().iter().all(|s| s.policy == PolicyKind::Bismar));
+        assert!(model
+            .states()
+            .iter()
+            .all(|s| s.policy == PolicyKind::Bismar));
     }
 }

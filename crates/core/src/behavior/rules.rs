@@ -84,13 +84,13 @@ pub struct RuleCondition {
 impl RuleCondition {
     /// Does this condition match the given state features?
     pub fn matches(&self, f: &PeriodFeatures) -> bool {
-        self.min_write_ratio.map_or(true, |v| f.write_ratio >= v)
-            && self.max_write_ratio.map_or(true, |v| f.write_ratio <= v)
-            && self.min_ops_per_sec.map_or(true, |v| f.ops_per_sec >= v)
-            && self.max_ops_per_sec.map_or(true, |v| f.ops_per_sec <= v)
+        self.min_write_ratio.is_none_or(|v| f.write_ratio >= v)
+            && self.max_write_ratio.is_none_or(|v| f.write_ratio <= v)
+            && self.min_ops_per_sec.is_none_or(|v| f.ops_per_sec >= v)
+            && self.max_ops_per_sec.is_none_or(|v| f.ops_per_sec <= v)
             && self
                 .min_hot_key_concentration
-                .map_or(true, |v| f.hot_key_concentration >= v)
+                .is_none_or(|v| f.hot_key_concentration >= v)
     }
 }
 
@@ -278,7 +278,10 @@ mod tests {
                 },
                 policy: PolicyKind::Bismar,
             });
-        assert_eq!(rules.assign(&state(2_000.0, 0.1, 0.1)).0, PolicyKind::Bismar);
+        assert_eq!(
+            rules.assign(&state(2_000.0, 0.1, 0.1)).0,
+            PolicyKind::Bismar
+        );
         assert_eq!(
             rules.assign(&state(10.0, 0.1, 0.1)).0,
             PolicyKind::Geographic
@@ -314,7 +317,10 @@ mod tests {
             assert!(!policy.name().is_empty());
             assert!(!kind.label().is_empty());
         }
-        assert_eq!(PolicyKind::Harmony { tolerance: 0.4 }.label(), "harmony(40%)");
+        assert_eq!(
+            PolicyKind::Harmony { tolerance: 0.4 }.label(),
+            "harmony(40%)"
+        );
     }
 
     #[test]

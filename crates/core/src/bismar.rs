@@ -175,8 +175,7 @@ impl BismarPolicy {
         let read_cross_gb = remote_contacts * record_gb;
         // Writes always go to every replica; the remote-DC share is constant
         // across read levels but still part of the per-op cost.
-        let remote_replicas =
-            (profile.replication_factor as f64 - local).max(0.0);
+        let remote_replicas = (profile.replication_factor as f64 - local).max(0.0);
         let write_cross_gb = remote_replicas * record_gb;
         let network_cost = (read_share * read_cross_gb + write_share * write_cross_gb)
             * pricing.transfer_inter_dc_gb_usd;
@@ -378,6 +377,9 @@ mod tests {
         let still_local = BismarPolicy::expected_latency_ms(&ctx.profile, 3);
         let remote = BismarPolicy::expected_latency_ms(&ctx.profile, 4);
         assert_eq!(local, still_local);
-        assert!(remote > local * 3.0, "crossing the DC boundary must cost WAN latency");
+        assert!(
+            remote > local * 3.0,
+            "crossing the DC boundary must cost WAN latency"
+        );
     }
 }

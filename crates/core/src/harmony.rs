@@ -174,18 +174,13 @@ impl ConsistencyPolicy for HarmonyPolicy {
             self.last_decision = Some(decision);
             self.decisions.push(decision);
             return LevelDecision {
-                read: ConsistencyLevel::from_replica_count(
-                    quorum,
-                    ctx.profile.replication_factor,
-                ),
+                read: ConsistencyLevel::from_replica_count(quorum, ctx.profile.replication_factor),
                 write: self.config.write_level,
             };
         }
         let params = self.staleness_params(ctx);
         let estimates = self.solver.estimate_all_levels(&params);
-        let solution = self
-            .solver
-            .solve(&params, self.config.tolerated_stale_rate);
+        let solution = self.solver.solve(&params, self.config.tolerated_stale_rate);
         let decision = HarmonyDecision {
             read_replicas: solution.read_level,
             estimated_stale_rate: solution.estimated_stale_rate,
@@ -197,7 +192,10 @@ impl ConsistencyPolicy for HarmonyPolicy {
         let read = if solution.read_level == 1 {
             ConsistencyLevel::One
         } else {
-            ConsistencyLevel::from_replica_count(solution.read_level, ctx.profile.replication_factor)
+            ConsistencyLevel::from_replica_count(
+                solution.read_level,
+                ctx.profile.replication_factor,
+            )
         };
         LevelDecision {
             read,

@@ -56,8 +56,7 @@ pub use behavior::{
 pub use bismar::{BismarConfig, BismarDecision, BismarEvaluation, BismarPolicy};
 pub use harmony::{HarmonyConfig, HarmonyDecision, HarmonyPolicy};
 pub use policy::{
-    ClusterProfile, ConsistencyPolicy, GeographicPolicy, LevelDecision, PolicyContext,
-    StaticPolicy,
+    ClusterProfile, ConsistencyPolicy, GeographicPolicy, LevelDecision, PolicyContext, StaticPolicy,
 };
 pub use report::{render_table, LatencySummary, LevelChange, RunReport};
 pub use runtime::{AdaptiveRuntime, RuntimeConfig};

@@ -57,7 +57,7 @@ impl ClusterProfile {
         ClusterProfile {
             replication_factor: rf,
             dc_count,
-            replicas_in_local_dc: (rf + dc_count - 1) / dc_count,
+            replicas_in_local_dc: rf.div_ceil(dc_count),
             intra_dc_latency_ms: intra,
             inter_dc_latency_ms: inter,
             node_count: topo.node_count() as u32,
@@ -279,9 +279,11 @@ pub(crate) mod tests {
     fn policy_names_are_descriptive() {
         assert!(StaticPolicy::eventual().name().contains("eventual"));
         assert!(StaticPolicy::strong().name().contains("strong"));
-        assert!(StaticPolicy::fixed(ConsistencyLevel::Two, ConsistencyLevel::One)
-            .name()
-            .contains("TWO"));
+        assert!(
+            StaticPolicy::fixed(ConsistencyLevel::Two, ConsistencyLevel::One)
+                .name()
+                .contains("TWO")
+        );
         assert!(GeographicPolicy.name().contains("LOCAL_QUORUM"));
     }
 

@@ -20,15 +20,21 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Build from a latency reservoir.
-    pub fn from_reservoir(reservoir: &concord_cluster::LatencyReservoir) -> Self {
+    /// Build from the cluster's streaming latency statistics.
+    pub fn from_stats(stats: &concord_cluster::LatencyStats) -> Self {
         LatencySummary {
-            mean: reservoir.mean_ms(),
-            p50: reservoir.quantile_ms(0.50).unwrap_or(0.0),
-            p95: reservoir.quantile_ms(0.95).unwrap_or(0.0),
-            p99: reservoir.quantile_ms(0.99).unwrap_or(0.0),
-            max: reservoir.max_ms(),
+            mean: stats.mean_ms(),
+            p50: stats.quantile_ms(0.50).unwrap_or(0.0),
+            p95: stats.quantile_ms(0.95).unwrap_or(0.0),
+            p99: stats.quantile_ms(0.99).unwrap_or(0.0),
+            max: stats.max_ms(),
         }
+    }
+
+    /// Former name of [`LatencySummary::from_stats`].
+    #[deprecated(note = "renamed to from_stats when the reservoir became a streaming histogram")]
+    pub fn from_reservoir(stats: &concord_cluster::LatencyStats) -> Self {
+        Self::from_stats(stats)
     }
 }
 
@@ -202,7 +208,10 @@ mod tests {
 
     #[test]
     fn one_line_and_table_contain_key_numbers() {
-        let reports = vec![report("static-eventual(ONE)", 0.3, 0.5), report("harmony", 0.05, 0.6)];
+        let reports = vec![
+            report("static-eventual(ONE)", 0.3, 0.5),
+            report("harmony", 0.05, 0.6),
+        ];
         let line = reports[0].one_line();
         assert!(line.contains("static-eventual"));
         assert!(line.contains("30.00%"));

@@ -168,7 +168,7 @@ impl AdaptiveRuntime {
                         adaptation_steps += 1;
                         let read_replicas = cluster.config().required_acks(decision.read);
                         let write_replicas = cluster.config().required_acks(decision.write);
-                        if level_timeline.last().map_or(true, |last| {
+                        if level_timeline.last().is_none_or(|last| {
                             last.read_replicas != read_replicas
                                 || last.write_replicas != write_replicas
                         }) {
@@ -201,8 +201,8 @@ impl AdaptiveRuntime {
             timeouts: metrics.timeouts,
             makespan,
             throughput_ops_per_sec: metrics.throughput(makespan),
-            read_latency_ms: LatencySummary::from_reservoir(&metrics.read_latency),
-            write_latency_ms: LatencySummary::from_reservoir(&metrics.write_latency),
+            read_latency_ms: LatencySummary::from_stats(&metrics.read_latency),
+            write_latency_ms: LatencySummary::from_stats(&metrics.write_latency),
             stale_reads: metrics.stale_reads,
             stale_read_rate: metrics.stale_read_rate(),
             mean_staleness_depth: cluster.oracle().mean_staleness_depth(),
@@ -227,10 +227,7 @@ mod tests {
     /// A small two-site cluster and a scaled-down heavy read-update workload.
     fn setup(seed: u64) -> (Cluster, CoreWorkload) {
         let mut cfg = ClusterConfig::lan_test(8, 5);
-        cfg.topology = Topology::spread(
-            8,
-            &[("site-a", RegionId(0)), ("site-b", RegionId(0))],
-        );
+        cfg.topology = Topology::spread(8, &[("site-a", RegionId(0)), ("site-b", RegionId(0))]);
         cfg.network = NetworkModel::grid5000_like();
         cfg.strategy = ReplicationStrategy::NetworkTopology;
         let mut cluster = Cluster::new(cfg, seed);

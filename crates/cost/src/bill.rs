@@ -67,8 +67,7 @@ impl Bill {
         let gb = usage.stored_bytes as f64 / BYTES_PER_GB;
         let months = usage.runtime.as_secs_f64() / 3_600.0 / HOURS_PER_MONTH;
         let storage_capacity = gb * months * pricing.storage_gb_month_usd;
-        let storage_io =
-            usage.storage_io_ops as f64 / 1_000_000.0 * pricing.storage_io_million_usd;
+        let storage_io = usage.storage_io_ops as f64 / 1_000_000.0 * pricing.storage_io_million_usd;
         let storage_usd = storage_capacity + storage_io;
 
         // Network: intra-DC is usually free, cross-DC and cross-region billed.
@@ -174,7 +173,12 @@ mod tests {
         let mut cluster = concord_cluster::Cluster::new(ClusterConfig::lan_test(4, 3), 1);
         cluster.load_records((0..10u64).map(|k| (k, 1_000)));
         for i in 0..20u64 {
-            cluster.submit_write_with(i % 10, 1_000, ConsistencyLevel::All, SimTime::from_millis(i));
+            cluster.submit_write_with(
+                i % 10,
+                1_000,
+                ConsistencyLevel::All,
+                SimTime::from_millis(i),
+            );
         }
         cluster.run_to_completion(1_000_000);
         let usage = ResourceUsage::from_cluster(&cluster, SimDuration::from_secs(60));

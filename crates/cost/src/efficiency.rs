@@ -71,8 +71,7 @@ pub fn most_efficient(samples: &[EfficiencySample]) -> Option<usize> {
     let mut best = 0usize;
     for (i, s) in samples.iter().enumerate().skip(1) {
         let b = &samples[best];
-        if s.efficiency > b.efficiency
-            || (s.efficiency == b.efficiency && s.cost_usd < b.cost_usd)
+        if s.efficiency > b.efficiency || (s.efficiency == b.efficiency && s.cost_usd < b.cost_usd)
         {
             best = i;
         }
@@ -145,9 +144,9 @@ mod tests {
     #[test]
     fn most_efficient_selection() {
         let samples = vec![
-            consistency_cost_efficiency(0.61, 52.0, 100.0), // ONE
-            consistency_cost_efficiency(0.10, 75.0, 100.0), // TWO
-            consistency_cost_efficiency(0.00, 87.0, 100.0), // QUORUM
+            consistency_cost_efficiency(0.61, 52.0, 100.0),  // ONE
+            consistency_cost_efficiency(0.10, 75.0, 100.0),  // TWO
+            consistency_cost_efficiency(0.00, 87.0, 100.0),  // QUORUM
             consistency_cost_efficiency(0.00, 100.0, 100.0), // ALL
         ];
         let best = most_efficient(&samples).unwrap();

@@ -107,11 +107,7 @@ pub fn estimate_utilization(usage: &ResourceUsage, mean_service_ms: f64) -> f64 
 }
 
 /// Compute the energy consumed by a run.
-pub fn energy_of_run(
-    power: &PowerModel,
-    usage: &ResourceUsage,
-    utilization: f64,
-) -> EnergyReport {
+pub fn energy_of_run(power: &PowerModel, usage: &ResourceUsage, utilization: f64) -> EnergyReport {
     power
         .validate()
         .unwrap_or_else(|e| panic!("invalid power model: {e}"));

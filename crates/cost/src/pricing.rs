@@ -116,7 +116,10 @@ mod tests {
     fn ec2_rates_match_2013_era() {
         let p = PricingModel::ec2_2013();
         assert!((p.instance_hour_usd - 0.26).abs() < 1e-9);
-        assert!(p.transfer_intra_dc_gb_usd == 0.0, "intra-AZ transfer is free");
+        assert!(
+            p.transfer_intra_dc_gb_usd == 0.0,
+            "intra-AZ transfer is free"
+        );
         assert!(p.transfer_inter_region_gb_usd > p.transfer_inter_dc_gb_usd);
     }
 

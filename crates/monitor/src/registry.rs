@@ -178,7 +178,12 @@ impl AccessMonitor {
 mod tests {
     use super::*;
 
-    fn feed_steady_traffic(m: &mut AccessMonitor, seconds: u64, reads_per_s: u64, writes_per_s: u64) {
+    fn feed_steady_traffic(
+        m: &mut AccessMonitor,
+        seconds: u64,
+        reads_per_s: u64,
+        writes_per_s: u64,
+    ) {
         for s in 0..seconds {
             for i in 0..reads_per_s {
                 let at = SimTime::from_micros(s * 1_000_000 + i * (1_000_000 / reads_per_s));
@@ -196,8 +201,16 @@ mod tests {
         let mut m = AccessMonitor::default();
         feed_steady_traffic(&mut m, 30, 100, 20);
         let snap = m.snapshot(SimTime::from_secs(30));
-        assert!((snap.read_rate - 100.0).abs() < 10.0, "read rate {}", snap.read_rate);
-        assert!((snap.write_rate - 20.0).abs() < 3.0, "write rate {}", snap.write_rate);
+        assert!(
+            (snap.read_rate - 100.0).abs() < 10.0,
+            "read rate {}",
+            snap.read_rate
+        );
+        assert!(
+            (snap.write_rate - 20.0).abs() < 3.0,
+            "write rate {}",
+            snap.write_rate
+        );
         assert!((snap.read_write_ratio() - 5.0).abs() < 1.0);
         assert_eq!(snap.total_reads, 3000);
         assert_eq!(snap.total_writes, 600);
@@ -223,7 +236,11 @@ mod tests {
         }
         let snap = m.snapshot(SimTime::from_secs(1));
         // p50 of 10µs..10ms uniform = ~5ms, p99 ≈ 9.9ms.
-        assert!((snap.read_latency_p50_ms - 5.0).abs() < 0.5, "{}", snap.read_latency_p50_ms);
+        assert!(
+            (snap.read_latency_p50_ms - 5.0).abs() < 0.5,
+            "{}",
+            snap.read_latency_p50_ms
+        );
         assert!(snap.read_latency_p99_ms > 9.0);
         assert!(m.read_latency_histogram().count() == 1000);
         assert!(m.write_latency_histogram().is_empty());

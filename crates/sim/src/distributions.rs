@@ -139,6 +139,75 @@ impl DelayDistribution {
         }
     }
 
+    /// Compile the distribution into its hot-path sampler: parameter
+    /// validation, derived constants (`ln(median)` for the log-normal) and
+    /// the zero/degenerate-parameter branches are resolved once instead of
+    /// on every draw. The compiled sampler consumes the RNG stream
+    /// identically to [`DelayDistribution::sample`] — same draws, same
+    /// floating-point operations, bit-identical delays.
+    pub fn compiled(&self) -> CompiledDelay {
+        match self {
+            DelayDistribution::Constant { ms } => CompiledDelay::Constant { ms: ms.max(0.0) },
+            DelayDistribution::Uniform { lo_ms, hi_ms } => CompiledDelay::Uniform {
+                lo_ms: *lo_ms,
+                span_ms: hi_ms - lo_ms,
+            },
+            DelayDistribution::Exponential { mean_ms } => {
+                if *mean_ms <= 0.0 {
+                    CompiledDelay::Constant { ms: 0.0 }
+                } else {
+                    CompiledDelay::Exponential {
+                        rate: 1.0 / mean_ms,
+                    }
+                }
+            }
+            DelayDistribution::ShiftedExponential {
+                base_ms,
+                tail_mean_ms,
+            } => {
+                if *tail_mean_ms <= 0.0 {
+                    CompiledDelay::Constant {
+                        ms: base_ms.max(0.0),
+                    }
+                } else {
+                    CompiledDelay::ShiftedExponential {
+                        base_ms: *base_ms,
+                        tail_rate: 1.0 / tail_mean_ms,
+                    }
+                }
+            }
+            DelayDistribution::Normal { mean_ms, std_ms } => {
+                if *std_ms <= 0.0 {
+                    CompiledDelay::Constant {
+                        ms: mean_ms.max(0.0),
+                    }
+                } else {
+                    CompiledDelay::Normal {
+                        mean_ms: *mean_ms,
+                        std_ms: *std_ms,
+                    }
+                }
+            }
+            DelayDistribution::LogNormal { median_ms, sigma } => {
+                if *median_ms <= 0.0 {
+                    CompiledDelay::Constant { ms: 0.0 }
+                } else if *sigma <= 0.0 {
+                    CompiledDelay::Constant {
+                        ms: median_ms.max(0.0),
+                    }
+                } else {
+                    CompiledDelay::LogNormal {
+                        mu: median_ms.ln(),
+                        sigma: *sigma,
+                    }
+                }
+            }
+            DelayDistribution::Empirical { samples_ms } => CompiledDelay::Empirical {
+                samples_ms: samples_ms.clone(),
+            },
+        }
+    }
+
     /// Scale every delay by a positive factor, returning a new distribution.
     /// Useful to derive "slow network" variants of a baseline topology.
     pub fn scaled(&self, factor: f64) -> Self {
@@ -171,6 +240,97 @@ impl DelayDistribution {
                 samples_ms: samples_ms.iter().map(|s| s * f).collect(),
             },
         }
+    }
+}
+
+/// A [`DelayDistribution`] compiled for hot-path sampling: degenerate cases
+/// folded to constants, derived parameters precomputed. Produced by
+/// [`DelayDistribution::compiled`]; draws are bit-identical to the source
+/// distribution's [`DelayDistribution::sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledDelay {
+    /// Always exactly `ms` (also the folding of degenerate parameters).
+    Constant {
+        /// The delay, already clamped non-negative.
+        ms: f64,
+    },
+    /// Uniform over `[lo_ms, lo_ms + span_ms)`.
+    Uniform {
+        /// Lower bound.
+        lo_ms: f64,
+        /// Width of the interval.
+        span_ms: f64,
+    },
+    /// Exponential with precomputed rate.
+    Exponential {
+        /// `1 / mean`.
+        rate: f64,
+    },
+    /// Base plus exponential tail with precomputed tail rate.
+    ShiftedExponential {
+        /// Propagation floor.
+        base_ms: f64,
+        /// `1 / tail_mean`.
+        tail_rate: f64,
+    },
+    /// Normal, truncated at zero on draw.
+    Normal {
+        /// Mean.
+        mean_ms: f64,
+        /// Standard deviation (positive).
+        std_ms: f64,
+    },
+    /// Log-normal with precomputed `mu = ln(median)`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std-dev of the underlying normal (positive).
+        sigma: f64,
+    },
+    /// Resample from an empirical set.
+    Empirical {
+        /// The observations.
+        samples_ms: Vec<f64>,
+    },
+}
+
+impl CompiledDelay {
+    /// Draw one delay as fractional milliseconds. Normal/log-normal draws go
+    /// through the same `rand_distr` sampler as the uncompiled path (only the
+    /// parameter validation and `ln(median)` are hoisted into `compiled()`),
+    /// so the two paths cannot drift apart.
+    #[inline]
+    pub fn sample_ms(&self, rng: &mut SimRng) -> f64 {
+        let v = match self {
+            CompiledDelay::Constant { ms } => return *ms,
+            CompiledDelay::Uniform { lo_ms, span_ms } => lo_ms + rng.next_f64() * span_ms,
+            CompiledDelay::Exponential { rate } => rng.exponential(*rate),
+            CompiledDelay::ShiftedExponential { base_ms, tail_rate } => {
+                base_ms + rng.exponential(*tail_rate)
+            }
+            CompiledDelay::Normal { mean_ms, std_ms } => {
+                let n = Normal::new(*mean_ms, *std_ms).expect("validated by compiled()");
+                n.sample(rng)
+            }
+            CompiledDelay::LogNormal { mu, sigma } => {
+                let ln = LogNormal::new(*mu, *sigma).expect("validated by compiled()");
+                ln.sample(rng)
+            }
+            CompiledDelay::Empirical { samples_ms } => {
+                if samples_ms.is_empty() {
+                    0.0
+                } else {
+                    samples_ms[rng.index(samples_ms.len())]
+                }
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Draw one delay.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_millis_f64(self.sample_ms(rng))
     }
 }
 
@@ -270,6 +430,54 @@ mod tests {
         assert!((d.mean_ms() - 36.0).abs() < 1e-9);
         let c = DelayDistribution::constant(4.0).scaled(0.5);
         assert_eq!(c.mean_ms(), 2.0);
+    }
+
+    #[test]
+    fn compiled_sampler_is_bit_identical() {
+        let dists = vec![
+            DelayDistribution::constant(7.5),
+            DelayDistribution::Uniform {
+                lo_ms: 2.0,
+                hi_ms: 4.0,
+            },
+            DelayDistribution::Exponential { mean_ms: 10.0 },
+            DelayDistribution::Exponential { mean_ms: 0.0 },
+            DelayDistribution::wan(50.0, 5.0),
+            DelayDistribution::wan(50.0, 0.0),
+            DelayDistribution::Normal {
+                mean_ms: 1.0,
+                std_ms: 2.0,
+            },
+            DelayDistribution::Normal {
+                mean_ms: 3.0,
+                std_ms: 0.0,
+            },
+            DelayDistribution::LogNormal {
+                median_ms: 12.0,
+                sigma: 0.4,
+            },
+            DelayDistribution::LogNormal {
+                median_ms: 12.0,
+                sigma: 0.0,
+            },
+            DelayDistribution::Empirical {
+                samples_ms: vec![1.0, 2.0, 3.0],
+            },
+        ];
+        for d in dists {
+            let compiled = d.compiled();
+            let mut a = SimRng::new(99);
+            let mut b = SimRng::new(99);
+            for i in 0..2_000 {
+                let orig = d.sample_ms(&mut a);
+                let fast = compiled.sample_ms(&mut b);
+                assert_eq!(
+                    orig.to_bits(),
+                    fast.to_bits(),
+                    "draw {i} of {d:?}: {orig} != {fast}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,37 +7,51 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-/// An entry in the event queue: a user event `E` scheduled at `time`.
-#[derive(Debug, Clone)]
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// A heap entry: the scheduling key plus the slot of the event payload.
+///
+/// The firing time and the insertion sequence number are packed into one
+/// `u128` key (`time << 64 | seq`), so the heap's sift comparisons are a
+/// single integer compare instead of a two-field lexicographic chain — this
+/// is the hottest comparison in the whole simulator. The event payload
+/// itself lives in a side slab and is written exactly once: sift operations
+/// move these small fixed-size entries, not the (potentially much larger)
+/// user event type.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    key: u128,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+#[inline]
+const fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.as_micros() as u128) << 64) | seq as u128
+}
+
+#[inline]
+const fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_micros((key >> 64) as u64)
+}
+
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl Eq for Scheduled {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is popped
         // first, breaking ties by insertion order (stable / deterministic).
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -51,7 +65,17 @@ impl<E> Ord for Scheduled<E> {
 ///   convention for zero-latency local interactions).
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: BinaryHeap<Scheduled>,
+    /// Event payloads addressed by `Scheduled::slot`; vacant slots are
+    /// recycled through `free`.
+    events: Vec<Option<E>>,
+    free: Vec<u32>,
+    /// The FIFO lane: events whose firing times are non-decreasing in
+    /// scheduling order (fixed-delay timeouts, mostly). Kept out of the heap
+    /// entirely — O(1) scheduling and popping, and the heap stays small
+    /// enough for its sift path to remain cache-resident. Entries are
+    /// `(packed key, event)`, sorted by construction.
+    fifo: VecDeque<(u128, E)>,
     now: SimTime,
     next_seq: u64,
     processed: u64,
@@ -68,6 +92,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            events: Vec::new(),
+            free: Vec::new(),
+            fifo: VecDeque::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
@@ -81,12 +108,12 @@ impl<E> EventQueue<E> {
 
     /// Number of events waiting in the queue.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.fifo.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.fifo.is_empty()
     }
 
     /// Total number of events popped so far.
@@ -100,12 +127,52 @@ impl<E> EventQueue<E> {
         let time = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.events[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.events.len()).expect("more than 2^32 pending events");
+                self.events.push(Some(event));
+                slot
+            }
+        };
+        self.heap.push(Scheduled {
+            key: pack(time, seq),
+            slot,
+        });
     }
 
     /// Schedule `event` to fire `delay` after the current clock.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at `at` on the FIFO lane: for event streams whose
+    /// firing times never decrease across calls (the classic case is a
+    /// fixed timeout delay added to the advancing clock). Such events bypass
+    /// the heap for O(1) scheduling and popping; ordering relative to
+    /// heap-scheduled events at the same instant is still exact FIFO, since
+    /// both lanes share the sequence counter.
+    ///
+    /// An out-of-order `at` (earlier than the last FIFO event) falls back to
+    /// the heap lane — still delivered in correct time order, just without
+    /// the O(1) fast path.
+    pub fn schedule_fifo(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        if self
+            .fifo
+            .back()
+            .is_some_and(|&(back, _)| unpack_time(back) > time)
+        {
+            // Would break the lane's sortedness; the heap handles any order.
+            self.schedule_at(time, event);
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.fifo.push_back((pack(time, seq), event));
     }
 
     /// Schedule `event` to fire immediately (at the current clock, after any
@@ -114,24 +181,56 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now, event);
     }
 
+    /// The packed key of the next pending event, if any (minimum over the
+    /// heap and FIFO lanes).
+    #[inline]
+    fn peek_key(&self) -> Option<u128> {
+        let heap_key = self.heap.peek().map(|s| s.key);
+        let fifo_key = self.fifo.front().map(|&(key, _)| key);
+        match (heap_key, fifo_key) {
+            (Some(h), Some(f)) => Some(h.min(f)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.peek_key().map(unpack_time)
     }
 
     /// Pop the next event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.time >= self.now, "time must be monotonic");
-        self.now = s.time;
+        // Pick the earlier lane; the shared sequence counter makes the
+        // packed keys totally ordered across both.
+        let take_fifo = match (self.heap.peek(), self.fifo.front()) {
+            (Some(s), Some(&(fifo_key, _))) => fifo_key < s.key,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        let (key, event) = if take_fifo {
+            self.fifo.pop_front().expect("fifo front exists")
+        } else {
+            let s = self.heap.pop().expect("heap top exists");
+            let event = self.events[s.slot as usize]
+                .take()
+                .expect("heap entry addresses a live event");
+            self.free.push(s.slot);
+            (s.key, event)
+        };
+        let time = unpack_time(key);
+        debug_assert!(time >= self.now, "time must be monotonic");
+        self.now = time;
         self.processed += 1;
-        Some((s.time, s.event))
+        Some((time, event))
     }
 
-    /// Pop the next event only if it fires at or before `deadline`.
+    /// Pop the next event only if it fires at or before `deadline`. This is
+    /// the fused peek-then-pop used by the run loops: the peek is a single
+    /// O(1) key read, and the heap sift happens at most once.
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        match self.peek_time() {
-            Some(t) if t <= deadline => self.pop(),
+        match self.peek_key() {
+            Some(key) if unpack_time(key) <= deadline => self.pop(),
             _ => None,
         }
     }
@@ -141,7 +240,7 @@ impl<E> EventQueue<E> {
     /// causality).
     pub fn advance_to(&mut self, at: SimTime) {
         debug_assert!(
-            self.peek_time().map_or(true, |t| t >= at),
+            self.peek_time().is_none_or(|t| t >= at),
             "cannot skip over pending events"
         );
         if at > self.now {
@@ -152,6 +251,9 @@ impl<E> EventQueue<E> {
     /// Drop all pending events (the clock is left untouched).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.events.clear();
+        self.free.clear();
+        self.fifo.clear();
     }
 }
 
@@ -197,12 +299,14 @@ where
         if count >= max_events {
             return RunOutcome::EventLimitReached;
         }
-        match queue.peek_time() {
-            None => return RunOutcome::Drained,
-            Some(t) if t > deadline => return RunOutcome::DeadlineReached,
-            Some(_) => {}
-        }
-        let (t, ev) = queue.pop().expect("peeked event must exist");
+        // Fused peek/pop: one heap access decides drain-vs-deadline-vs-fire.
+        let Some((t, ev)) = queue.pop_before(deadline) else {
+            return if queue.is_empty() {
+                RunOutcome::Drained
+            } else {
+                RunOutcome::DeadlineReached
+            };
+        };
         count += 1;
         if handler(queue, t, ev) == Control::Stop {
             return RunOutcome::Stopped;
@@ -295,7 +399,9 @@ mod tests {
         for i in 0..10u64 {
             q.schedule_at(SimTime::from_secs(i), i);
         }
-        let outcome = run(&mut q, SimTime::from_secs(4), u64::MAX, |_, _, _| Control::Continue);
+        let outcome = run(&mut q, SimTime::from_secs(4), u64::MAX, |_, _, _| {
+            Control::Continue
+        });
         assert_eq!(outcome, RunOutcome::DeadlineReached);
         assert_eq!(q.len(), 5);
 
@@ -324,6 +430,58 @@ mod tests {
         });
         assert_eq!(outcome, RunOutcome::Stopped);
         assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn fifo_lane_interleaves_with_heap_in_seq_order() {
+        let mut q = EventQueue::new();
+        // Heap event then FIFO event at the same instant: FIFO-by-seq.
+        q.schedule_at(SimTime::from_millis(10), "heap-1");
+        q.schedule_fifo(SimTime::from_millis(10), "fifo-1");
+        q.schedule_at(SimTime::from_millis(5), "heap-0");
+        q.schedule_fifo(SimTime::from_millis(20), "fifo-2");
+        q.schedule_at(SimTime::from_millis(15), "heap-2");
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec!["heap-0", "heap-1", "fifo-1", "heap-2", "fifo-2"]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_lane_respects_deadlines_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule_fifo(SimTime::from_secs(1), 1);
+        q.schedule_fifo(SimTime::from_secs(5), 2);
+        assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, 1);
+        assert!(q.pop_before(SimTime::from_secs(2)).is_none());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn out_of_order_fifo_schedules_fall_back_to_the_heap() {
+        let mut q = EventQueue::new();
+        q.schedule_fifo(SimTime::from_secs(5), "late");
+        q.schedule_fifo(SimTime::from_secs(1), "early"); // violates the lane order
+        q.schedule_fifo(SimTime::from_secs(7), "later");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["early", "late", "later"]);
+    }
+
+    #[test]
+    fn fifo_lane_clamps_past_times_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "later");
+        q.pop();
+        q.schedule_fifo(SimTime::from_secs(1), "past");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(t, SimTime::from_secs(10), "clamped to now");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! A tiny inline vector for hot-path collections of `Copy` items.
+//!
+//! The cluster simulator keeps a handful of node ids per in-flight operation
+//! (the replicas a read contacted). Replication factors are almost always
+//! ≤ 8, so the list lives inline in the owning struct; the rare larger set
+//! spills to the heap transparently. This removes one heap allocation per
+//! simulated read.
+
+/// Inline storage capacity before spilling to the heap.
+pub const INLINE_CAP: usize = 8;
+
+/// A vector of `Copy` items that stores up to [`INLINE_CAP`] elements inline.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T: Copy + Default> {
+    len: u32,
+    buf: [T; INLINE_CAP],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default> Default for InlineVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default> InlineVec<T> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            buf: [T::default(); INLINE_CAP],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append an element.
+    pub fn push(&mut self, value: T) {
+        if (self.len as usize) < INLINE_CAP {
+            self.buf[self.len as usize] = value;
+            self.len += 1;
+        } else {
+            self.spill.push(value);
+        }
+    }
+
+    /// Copy every element of `src` into the vector.
+    pub fn extend_from_slice(&mut self, src: &[T]) {
+        for &v in src {
+            self.push(v);
+        }
+    }
+
+    /// Remove all elements, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Iterate over the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[..self.len as usize]
+            .iter()
+            .chain(self.spill.iter())
+    }
+
+    /// Iterate mutably over the elements in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.buf[..self.len as usize]
+            .iter_mut()
+            .chain(self.spill.iter_mut())
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for InlineVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32> = InlineVec::new();
+        for i in 0..INLINE_CAP as u32 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), INLINE_CAP);
+        assert!(v.spill.is_empty(), "no heap allocation under the cap");
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, (0..INLINE_CAP as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spills_transparently_beyond_capacity() {
+        let v: InlineVec<u32> = (0..20u32).collect();
+        assert_eq!(v.len(), 20);
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, (0..20u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v: InlineVec<u32> = (0..20u32).collect();
+        v.clear();
+        assert!(v.is_empty());
+        v.push(7);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![7]);
+    }
+}

@@ -45,13 +45,17 @@
 
 pub mod distributions;
 pub mod events;
+pub mod hash;
+pub mod inline;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use distributions::DelayDistribution;
+pub use distributions::{CompiledDelay, DelayDistribution};
 pub use events::{run, Control, EventQueue, RunOutcome};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use inline::InlineVec;
 pub use rng::SimRng;
 pub use stats::{mean, percentile, percentile_sorted, RunningStats};
 pub use time::{SimDuration, SimTime};

@@ -14,7 +14,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a simulated storage node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -338,7 +340,10 @@ mod tests {
 
     #[test]
     fn nodes_in_dc_lists_members() {
-        let t = Topology::spread(6, &[("a", RegionId(0)), ("b", RegionId(0)), ("c", RegionId(0))]);
+        let t = Topology::spread(
+            6,
+            &[("a", RegionId(0)), ("b", RegionId(0)), ("c", RegionId(0))],
+        );
         assert_eq!(t.nodes_in_dc(DcId(1)), vec![NodeId(1), NodeId(4)]);
     }
 

@@ -100,11 +100,7 @@ impl AnalyticEstimator {
             // an older (already propagated) write.
             return 0.0;
         }
-        let avoid = avoid_probability(
-            params.n_replicas,
-            params.write_level,
-            params.read_level,
-        );
+        let avoid = avoid_probability(params.n_replicas, params.write_level, params.read_level);
         let q = params.propagation.survival(t_ms);
         avoid * q.powi(params.read_level as i32)
     }
@@ -115,11 +111,7 @@ impl AnalyticEstimator {
             // No writes: nothing can ever be stale.
             return 0.0;
         }
-        let avoid = avoid_probability(
-            params.n_replicas,
-            params.write_level,
-            params.read_level,
-        );
+        let avoid = avoid_probability(params.n_replicas, params.write_level, params.read_level);
         if avoid <= 0.0 {
             return 0.0;
         }
@@ -171,12 +163,7 @@ fn horizon_ms(params: &StalenessParams, lambda_w_per_ms: f64) -> f64 {
 /// ```text
 /// P = C(N−W,R)/C(N,R) · (1 − e^{−λw·(Tp − T)})        (Tp > T, else 0)
 /// ```
-fn closed_form_deterministic(
-    params: &StalenessParams,
-    lw: f64,
-    total_ms: f64,
-    avoid: f64,
-) -> f64 {
+fn closed_form_deterministic(params: &StalenessParams, lw: f64, total_ms: f64, avoid: f64) -> f64 {
     let window = total_ms - params.first_write_ms;
     if window <= 0.0 {
         return 0.0;
@@ -396,7 +383,10 @@ mod tests {
                     for tp in [0.0, 5.0, 500.0] {
                         let p = StalenessParams::basic(5, r, w, 100.0, wr, 1.0, tp);
                         let v = est.estimate(&p).stale_read_probability;
-                        assert!((0.0..=1.0).contains(&v), "R={r} W={w} wr={wr} tp={tp} → {v}");
+                        assert!(
+                            (0.0..=1.0).contains(&v),
+                            "R={r} W={w} wr={wr} tp={tp} → {v}"
+                        );
                     }
                 }
             }

@@ -127,11 +127,7 @@ impl MonteCarloEstimator {
                 next_read = now_ms + rng.exponential(lambda_r_per_ms);
                 total += 1;
                 // The newest write acknowledged before the read started.
-                let Some(target) = recent
-                    .iter()
-                    .rev()
-                    .find(|wr| wr.ack_at <= now_ms)
-                else {
+                let Some(target) = recent.iter().rev().find(|wr| wr.ack_at <= now_ms) else {
                     continue;
                 };
                 // Contact R random replicas; the read is stale iff none of

@@ -498,17 +498,23 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut bad = WorkloadConfig::default();
-        bad.read_proportion = 0.5;
-        bad.update_proportion = 0.1;
+        let bad = WorkloadConfig {
+            read_proportion: 0.5,
+            update_proportion: 0.1,
+            ..WorkloadConfig::default()
+        };
         assert!(bad.validate().is_err());
 
-        let mut bad = WorkloadConfig::default();
-        bad.record_count = 0;
+        let bad = WorkloadConfig {
+            record_count: 0,
+            ..WorkloadConfig::default()
+        };
         assert!(bad.validate().is_err());
 
-        let mut bad = WorkloadConfig::default();
-        bad.zipfian_constant = 1.5;
+        let bad = WorkloadConfig {
+            zipfian_constant: 1.5,
+            ..WorkloadConfig::default()
+        };
         assert!(bad.validate().is_err());
 
         assert!(WorkloadConfig::default().validate().is_ok());

@@ -99,7 +99,10 @@ mod tests {
         let hits = (0..n).filter(|_| g.next(&mut rng) < 8_000).count();
         let share = hits as f64 / n as f64;
         let expected = percentile / (1.0 - (1.0 - percentile).powf(1.0 / frac));
-        assert!((share - expected).abs() < 0.01, "share={share} expected={expected}");
+        assert!(
+            (share - expected).abs() < 0.01,
+            "share={share} expected={expected}"
+        );
     }
 
     #[test]

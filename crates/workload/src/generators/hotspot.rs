@@ -22,8 +22,8 @@ impl HotspotGenerator {
         assert!(item_count > 0);
         assert!((0.0..=1.0).contains(&hot_set_fraction));
         assert!((0.0..=1.0).contains(&hot_opn_fraction));
-        let hot_items = ((item_count as f64 * hot_set_fraction).round() as u64)
-            .clamp(1, item_count);
+        let hot_items =
+            ((item_count as f64 * hot_set_fraction).round() as u64).clamp(1, item_count);
         HotspotGenerator {
             items: item_count,
             hot_items,

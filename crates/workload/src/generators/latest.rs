@@ -76,7 +76,12 @@ mod tests {
         assert!(counts[999] > counts[500]);
         assert!(counts[999] > counts[0]);
         assert_eq!(
-            counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0,
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .unwrap()
+                .0,
             999
         );
     }
@@ -94,7 +99,12 @@ mod tests {
             counts[g.next(&mut rng) as usize] += 1;
         }
         assert_eq!(
-            counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0,
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .unwrap()
+                .0,
             199,
             "hottest item must follow the insertion frontier"
         );

@@ -73,13 +73,9 @@ impl RequestDistribution {
     pub fn build(self, item_count: u64) -> Box<dyn ItemGenerator + Send> {
         match self {
             RequestDistribution::Uniform => Box::new(UniformGenerator::new(item_count)),
-            RequestDistribution::Zipfian => {
-                Box::new(ScrambledZipfianGenerator::new(item_count))
-            }
+            RequestDistribution::Zipfian => Box::new(ScrambledZipfianGenerator::new(item_count)),
             RequestDistribution::Latest => Box::new(LatestGenerator::new(item_count)),
-            RequestDistribution::Hotspot => {
-                Box::new(HotspotGenerator::new(item_count, 0.2, 0.8))
-            }
+            RequestDistribution::Hotspot => Box::new(HotspotGenerator::new(item_count, 0.2, 0.8)),
             RequestDistribution::Exponential => {
                 Box::new(ExponentialGenerator::percentile(item_count, 0.95, 0.8571))
             }

@@ -41,8 +41,7 @@ impl ZipfianGenerator {
         let zetan = Self::zeta(item_count, theta);
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / item_count as f64).powf(1.0 - theta))
-            / (1.0 - zeta2theta / zetan);
+        let eta = (1.0 - (2.0 / item_count as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
         ZipfianGenerator {
             items: item_count,
             theta,

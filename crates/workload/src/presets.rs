@@ -132,10 +132,7 @@ mod tests {
         assert_eq!(ycsb_b().read_proportion, 0.95);
         assert_eq!(ycsb_c().read_proportion, 1.0);
         assert_eq!(ycsb_d().insert_proportion, 0.05);
-        assert_eq!(
-            ycsb_d().request_distribution,
-            RequestDistribution::Latest
-        );
+        assert_eq!(ycsb_d().request_distribution, RequestDistribution::Latest);
         assert_eq!(ycsb_e().scan_proportion, 0.95);
         assert_eq!(ycsb_f().read_modify_write_proportion, 0.5);
     }

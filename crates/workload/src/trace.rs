@@ -62,7 +62,7 @@ impl Trace {
     /// timestamp goes backwards).
     pub fn push(&mut self, op: TraceOp) {
         debug_assert!(
-            self.ops.last().map_or(true, |last| op.at >= last.at),
+            self.ops.last().is_none_or(|last| op.at >= last.at),
             "trace must be appended in time order"
         );
         self.ops.push(op);
@@ -83,7 +83,7 @@ impl Trace {
             while op.at >= boundary {
                 out.push(&self.ops[window_start..i]);
                 window_start = i;
-                boundary = boundary + period;
+                boundary += period;
             }
         }
         out.push(&self.ops[window_start..]);
@@ -323,9 +323,8 @@ mod tests {
         assert!((first - 50.0).abs() < 10.0, "phase-1 rate {first}");
         assert!((second - 500.0).abs() < 40.0, "phase-2 rate {second}");
         // The flash-sale phase is write-heavier than the browse phase.
-        let writes = |w: &[TraceOp]| {
-            w.iter().filter(|o| o.op.is_write()).count() as f64 / w.len() as f64
-        };
+        let writes =
+            |w: &[TraceOp]| w.iter().filter(|o| o.op.is_write()).count() as f64 / w.len() as f64;
         assert!(writes(windows[1]) > writes(windows[0]));
     }
 

@@ -31,7 +31,10 @@ fn main() {
     specs.push(PolicySpec::Bismar);
     let reports = experiment.compare(&specs);
 
-    println!("{}", render_table("per-level cost sweep (EC2, 2 AZ, RF 5)", &reports));
+    println!(
+        "{}",
+        render_table("per-level cost sweep (EC2, 2 AZ, RF 5)", &reports)
+    );
 
     // Bill decomposition per level (the paper's three-part bill).
     println!("\n== bill decomposition ==");

@@ -23,7 +23,7 @@ fn run_with_failure(read_level: ConsistencyLevel, ops: u64) -> (u64, u64, u64) {
     // Alternate writes and reads over a small hot set.
     let mut at = SimTime::ZERO;
     for i in 0..ops {
-        at = at + SimDuration::from_micros(400);
+        at += SimDuration::from_micros(400);
         if i % 2 == 0 {
             cluster.submit_write_at((i / 2) % 10, 1_000, at);
         } else {

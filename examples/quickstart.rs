@@ -35,7 +35,10 @@ fn main() {
         PolicySpec::Harmony { tolerance: 0.05 },
     ]);
 
-    println!("{}", render_table("quickstart: heavy read-update workload", &reports));
+    println!(
+        "{}",
+        render_table("quickstart: heavy read-update workload", &reports)
+    );
 
     // A few derived observations, in the spirit of the paper's claims.
     let eventual = &reports[0];

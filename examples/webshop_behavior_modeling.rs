@@ -22,9 +22,24 @@ fn main() {
     let browse = presets::ycsb_b(); // 95% reads
     let checkout = presets::ycsb_a(); // 50% updates
     let trace = SyntheticTraceBuilder::new()
-        .add("browse-morning", SimDuration::from_secs(600), 80.0, browse.clone())
-        .add("checkout-noon", SimDuration::from_secs(180), 500.0, checkout.clone())
-        .add("browse-afternoon", SimDuration::from_secs(600), 70.0, browse.clone())
+        .add(
+            "browse-morning",
+            SimDuration::from_secs(600),
+            80.0,
+            browse.clone(),
+        )
+        .add(
+            "checkout-noon",
+            SimDuration::from_secs(180),
+            500.0,
+            checkout.clone(),
+        )
+        .add(
+            "browse-afternoon",
+            SimDuration::from_secs(600),
+            70.0,
+            browse.clone(),
+        )
         .add("flash-sale", SimDuration::from_secs(240), 900.0, checkout)
         .add("browse-evening", SimDuration::from_secs(600), 60.0, browse)
         .build(&mut rng);
@@ -62,10 +77,7 @@ fn main() {
             state.assigned_by
         );
     }
-    println!(
-        "timeline state sequence: {:?}",
-        model.timeline_states()
-    );
+    println!("timeline state sequence: {:?}", model.timeline_states());
 
     // --- Runtime: drive a live workload with the learned model ------------
     let platform = concord::platforms::ec2_harmony(0.4);
@@ -77,14 +89,16 @@ fn main() {
         .with_adaptation_interval(SimDuration::from_millis(500))
         .with_seed(7);
 
-    let behavior_report =
-        experiment.run_behavior_policy(BehaviorDrivenPolicy::new(model.clone()));
+    let behavior_report = experiment.run_behavior_policy(BehaviorDrivenPolicy::new(model.clone()));
     let mut baseline_reports = experiment.compare(&[PolicySpec::Eventual, PolicySpec::Strong]);
     baseline_reports.push(behavior_report);
 
     println!(
         "{}",
-        render_table("webshop: behavior model vs static baselines", &baseline_reports)
+        render_table(
+            "webshop: behavior model vs static baselines",
+            &baseline_reports
+        )
     );
 
     // The model is serializable so it can be shipped with the application.

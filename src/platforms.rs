@@ -77,10 +77,7 @@ pub fn ec2_harmony(scale: f64) -> Platform {
 /// replication factor 3.
 pub fn grid5000_harmony(scale: f64) -> Platform {
     let nodes = scaled_nodes(84, scale, 6);
-    let topology = Topology::spread(
-        nodes,
-        &[("rennes", RegionId(0)), ("sophia", RegionId(0))],
-    );
+    let topology = Topology::spread(nodes, &[("rennes", RegionId(0)), ("sophia", RegionId(0))]);
     Platform {
         name: format!("grid5000-harmony({nodes} nodes)"),
         cluster: base_config(topology, NetworkModel::grid5000_like(), 3),
@@ -107,10 +104,7 @@ pub fn ec2_cost(scale: f64) -> Platform {
 /// in the east and south of France, replication factor 5.
 pub fn grid5000_cost(scale: f64) -> Platform {
     let nodes = scaled_nodes(50, scale, 6);
-    let topology = Topology::spread(
-        nodes,
-        &[("nancy", RegionId(0)), ("sophia", RegionId(0))],
-    );
+    let topology = Topology::spread(nodes, &[("nancy", RegionId(0)), ("sophia", RegionId(0))]);
     Platform {
         name: format!("grid5000-cost({nodes} nodes, 2 sites, RF5)"),
         cluster: base_config(topology, NetworkModel::grid5000_like(), 5),

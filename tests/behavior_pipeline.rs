@@ -12,9 +12,24 @@ fn webshop_trace(rng: &mut SimRng) -> concord_workload::Trace {
     let browse = presets::ycsb_b();
     let checkout = presets::ycsb_a();
     SyntheticTraceBuilder::new()
-        .add("browse-1", SimDuration::from_secs(300), 80.0, browse.clone())
-        .add("checkout-1", SimDuration::from_secs(120), 500.0, checkout.clone())
-        .add("browse-2", SimDuration::from_secs(300), 75.0, browse.clone())
+        .add(
+            "browse-1",
+            SimDuration::from_secs(300),
+            80.0,
+            browse.clone(),
+        )
+        .add(
+            "checkout-1",
+            SimDuration::from_secs(120),
+            500.0,
+            checkout.clone(),
+        )
+        .add(
+            "browse-2",
+            SimDuration::from_secs(300),
+            75.0,
+            browse.clone(),
+        )
         .add("checkout-2", SimDuration::from_secs(120), 520.0, checkout)
         .add("browse-3", SimDuration::from_secs(300), 85.0, browse)
         .build(rng)
@@ -24,7 +39,10 @@ fn webshop_trace(rng: &mut SimRng) -> concord_workload::Trace {
 fn offline_model_discovers_interpretable_states() {
     let mut rng = SimRng::new(2024);
     let trace = webshop_trace(&mut rng);
-    assert!(trace.len() > 50_000, "the synthetic trace should be sizable");
+    assert!(
+        trace.len() > 50_000,
+        "the synthetic trace should be sizable"
+    );
 
     let model = BehaviorModelBuilder::new(SimDuration::from_secs(60))
         .with_state_bounds(2, 4)
@@ -39,11 +57,8 @@ fn offline_model_discovers_interpretable_states() {
     // state assigned a weaker one (the generic rules of the paper).
     assert!(model.states().iter().any(|s| s.centroid.write_ratio > 0.3
         && matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong)));
-    assert!(model
-        .states()
-        .iter()
-        .any(|s| s.centroid.write_ratio < 0.2
-            && !matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong)));
+    assert!(model.states().iter().any(|s| s.centroid.write_ratio < 0.2
+        && !matches!(s.policy, PolicyKind::Quorum | PolicyKind::Strong)));
 
     // The model survives serialization (it ships with the application).
     let back = concord_core::BehaviorModel::from_json(&model.to_json()).unwrap();

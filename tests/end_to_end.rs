@@ -21,11 +21,7 @@ fn experiment(seed: u64, ops: u64) -> Experiment {
 #[test]
 fn consistency_performance_staleness_tradeoff_holds() {
     let exp = experiment(1, 10_000);
-    let reports = exp.compare(&[
-        PolicySpec::Eventual,
-        PolicySpec::Quorum,
-        PolicySpec::Strong,
-    ]);
+    let reports = exp.compare(&[PolicySpec::Eventual, PolicySpec::Quorum, PolicySpec::Strong]);
     let (eventual, quorum, strong) = (&reports[0], &reports[1], &reports[2]);
 
     // Throughput: weaker consistency is faster.
@@ -125,7 +121,10 @@ fn cost_decreases_as_consistency_weakens() {
     assert!(stale[0] > 0.0);
     assert_eq!(reports[(rf - 1) as usize].stale_reads, 0);
     for pair in stale.windows(2) {
-        assert!(pair[1] <= pair[0] + 0.02, "staleness must shrink: {stale:?}");
+        assert!(
+            pair[1] <= pair[0] + 0.02,
+            "staleness must shrink: {stale:?}"
+        );
     }
 
     // Every bill decomposes into the paper's three parts.

@@ -33,7 +33,7 @@ proptest! {
         cluster.set_levels(ConsistencyLevel::Quorum, ConsistencyLevel::Quorum);
         let mut at = SimTime::ZERO;
         for i in 0..ops {
-            at = at + SimDuration::from_micros(gap_us);
+            at += SimDuration::from_micros(gap_us);
             if i % 2 == 0 {
                 cluster.submit_write_at(i % keys, 256, at);
             } else {
@@ -58,7 +58,7 @@ proptest! {
         cluster.set_levels(ConsistencyLevel::All, ConsistencyLevel::One);
         let mut at = SimTime::ZERO;
         for i in 0..ops {
-            at = at + SimDuration::from_micros(300);
+            at += SimDuration::from_micros(300);
             if i % 3 == 0 {
                 cluster.submit_write_at(i % keys, 128, at);
             } else {

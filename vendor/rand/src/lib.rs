@@ -1,0 +1,57 @@
+//! Vendored minimal `rand` shim: just the core traits the workspace RNG
+//! implements (`RngCore`, `SeedableRng`) — no generators, no distributions.
+
+use std::fmt;
+
+/// Error type for fallible randomness (never produced by this workspace).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random number generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Generators that can be constructed from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed;
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Build from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience alias so `rand::Rng` bounds keep compiling.
+pub trait Rng: RngCore {}
+impl<R: RngCore + ?Sized> Rng for R {}

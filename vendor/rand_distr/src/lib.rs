@@ -1,0 +1,87 @@
+//! Vendored minimal `rand_distr` shim: `Normal` and `LogNormal` sampled via
+//! Box–Muller. Deterministic for a fixed `RngCore` stream (which is all the
+//! simulator requires); the exact sample sequence differs from the real
+//! crate's ziggurat implementation, but every experiment seed in this
+//! workspace was produced with this shim, so results are reproducible.
+
+use rand::RngCore;
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// A distribution that can be sampled with any `RngCore`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamsError;
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+#[inline]
+fn unit_open_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 mantissa bits in (0, 1]: never zero, so ln() is safe.
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution; `std_dev` must be finite and ≥ 0.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamsError> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamsError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms per sample (no state kept, deterministic).
+        let u1 = unit_open_f64(rng);
+        let u2 = unit_f64(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal's µ and σ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Create a log-normal distribution; `sigma` must be finite and ≥ 0.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamsError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}

@@ -1,0 +1,52 @@
+//! Vendored minimal `rayon` shim: the parallel-iterator entry points the
+//! workspace uses (`par_iter`, `into_par_iter`) mapped onto *sequential*
+//! standard iterators. Every call site owns its data and is deterministic, so
+//! the sequential execution is observably identical (and single-threaded
+//! execution keeps fixed-seed runs exactly reproducible).
+
+/// The traits, mirrored from `rayon::prelude`.
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into a "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for borrowed collections.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type.
+        type Item: 'data;
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate over shared references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}

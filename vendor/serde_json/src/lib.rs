@@ -1,0 +1,374 @@
+//! Vendored minimal `serde_json`: renders the serde shim's `Value` data
+//! model to JSON text and parses JSON text back (offline build environment).
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable, indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg("trailing characters after JSON value"));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's shortest round-trip Display is valid JSON (no
+                // exponent form is ever produced for finite values).
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::msg(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::msg("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self.read_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            if (0xD800..0xDC00).contains(&hex) {
+                                // High surrogate: must pair with `\uDC00..`.
+                                if self.bytes.get(self.pos + 1..self.pos + 3) != Some(b"\\u") {
+                                    return Err(Error::msg("unpaired surrogate in \\u escape"));
+                                }
+                                let low = self.read_hex4(self.pos + 3)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::msg("invalid low surrogate in \\u escape"));
+                                }
+                                self.pos += 6;
+                                let code = 0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00);
+                                s.push(char::from_u32(code).expect("valid surrogate pair"));
+                            } else {
+                                s.push(
+                                    char::from_u32(hex)
+                                        .ok_or_else(|| Error::msg("lone low surrogate"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(Error::msg("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    /// Four hex digits starting at `at` (does not advance the cursor).
+    fn read_hex4(&self, at: usize) -> Result<u32, Error> {
+        self.bytes
+            .get(at..at + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| Error::msg("bad \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if !is_float {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(n) = rest.parse::<u128>() {
+                    return Ok(Value::Int(-(n as i128)));
+                }
+            } else if let Ok(n) = text.parse::<u128>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_pairs_decode_to_non_bmp_chars() {
+        let s: String = from_str("\"flash-sale \\ud83d\\udd25\"").unwrap();
+        assert_eq!(s, "flash-sale \u{1F525}");
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+        assert!(from_str::<String>("\"\\udd25\"").is_err());
+        assert!(from_str::<String>("\"\\ud83d\\u0041\"").is_err());
+    }
+
+    #[test]
+    fn whole_floats_range_check_into_integers() {
+        assert_eq!(from_str::<u32>("1e3").unwrap(), 1000);
+        assert!(from_str::<u32>("1e30").is_err(), "must not saturate");
+        assert_eq!(from_str::<i64>("-1e3").unwrap(), -1000);
+        assert!(from_str::<i8>("-1e3").is_err());
+    }
+
+    #[test]
+    fn non_ascii_round_trips() {
+        let original = "naïve café — 🔥".to_string();
+        let json = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+    }
+}
