@@ -1,49 +1,48 @@
 //! EXP-B2b — Bismar evaluation (§IV-B, second experiment).
 //!
 //! Compares Bismar against the static consistency levels on the cost platform
-//! (RF 5, two datacenters). The paper's findings to reproduce in shape:
-//! only level ONE costs less than Bismar, but it tolerates up to 61% stale
-//! reads; Bismar cuts the bill by up to 31% compared to the static QUORUM
-//! level while keeping stale reads around 3.5%.
+//! (RF 5, two datacenters) through the shared [`Sweep`] harness. The paper's
+//! findings to reproduce in shape: only level ONE costs less than Bismar, but
+//! it tolerates up to 61% stale reads; Bismar cuts the bill by up to 31%
+//! compared to the static QUORUM level while keeping stale reads around 3.5%.
 //!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_bismar
+//! cargo run --release -p concord-bench --bin exp_bismar -- --seeds 8 --threads 4
 //! ```
 
 use concord::prelude::*;
 use concord::PolicySpec;
-use concord_bench::{compare_line, parse_platform, parse_scale, slim};
+use concord_bench::{compare_line, render_summary_table, slim, Harness, Sweep};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = parse_scale(&args);
-    let platform_name = parse_platform(&args);
-    let platform = if platform_name.starts_with("ec2") {
-        concord::platforms::ec2_cost(scale.cluster)
-    } else {
-        concord::platforms::grid5000_cost(scale.cluster)
-    };
-    let workload = slim(presets::cost_workload(scale.workload));
-    println!(
-        "EXP-B2b: platform = {}, {} records, {} operations",
-        platform.name, workload.record_count, workload.operation_count
-    );
+    let harness = Harness::from_env();
+    let platform = harness.cost_platform();
+    let workload = slim(presets::cost_workload(harness.scale.workload));
+    harness.banner("EXP-B2b", &platform, &workload);
 
     let experiment = Experiment::new(platform, workload)
         .with_clients(32)
         .with_adaptation_interval(SimDuration::from_millis(250))
         .with_seed(2013);
 
-    let reports = experiment.compare(&[
-        PolicySpec::FixedReadReplicas(1),
-        PolicySpec::Quorum,
-        PolicySpec::Strong,
-        PolicySpec::Bismar,
-    ]);
+    let results = Sweep::new(experiment)
+        .with_policies(&[
+            PolicySpec::FixedReadReplicas(1),
+            PolicySpec::Quorum,
+            PolicySpec::Strong,
+            PolicySpec::Bismar,
+        ])
+        .with_seeds(&harness.seeds(2013))
+        .run();
+    let reports = results.primary();
     println!(
         "{}",
         render_table("EXP-B2b: Bismar vs static levels", &reports)
     );
+    if results.seeds.len() > 1 {
+        println!("{}", render_summary_table("EXP-B2b", &results.summaries()));
+    }
 
     let one = &reports[0];
     let quorum = &reports[1];

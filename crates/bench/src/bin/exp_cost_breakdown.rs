@@ -2,33 +2,25 @@
 //!
 //! Sweeps the static consistency levels ONE → ALL on the cost platform
 //! (RF 5, two availability zones / two Grid'5000 sites) running the paper's
-//! heavy read-update workload, and prints the three-part bill decomposition
-//! (instances / storage / network), the cost reduction of each level relative
-//! to the strongest one, and the fraction of up-to-date reads.
+//! heavy read-update workload through the shared [`Sweep`] harness, and
+//! prints the three-part bill decomposition (instances / storage / network),
+//! the cost reduction of each level relative to the strongest one, and the
+//! fraction of up-to-date reads.
 //!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_cost_breakdown
-//! cargo run --release -p concord-bench --bin exp_cost_breakdown -- --platform g5k
+//! cargo run --release -p concord-bench --bin exp_cost_breakdown -- --seeds 8 --threads 4
 //! ```
 
 use concord::prelude::*;
 use concord::PolicySpec;
-use concord_bench::{compare_line, parse_platform, parse_scale, slim};
+use concord_bench::{compare_line, render_summary_table, slim, Harness, Sweep};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = parse_scale(&args);
-    let platform_name = parse_platform(&args);
-    let platform = if platform_name.starts_with("ec2") {
-        concord::platforms::ec2_cost(scale.cluster)
-    } else {
-        concord::platforms::grid5000_cost(scale.cluster)
-    };
-    let workload = slim(presets::cost_workload(scale.workload));
-    println!(
-        "EXP-B1: platform = {}, {} records, {} operations",
-        platform.name, workload.record_count, workload.operation_count
-    );
+    let harness = Harness::from_env();
+    let platform = harness.cost_platform();
+    let workload = slim(presets::cost_workload(harness.scale.workload));
+    harness.banner("EXP-B1", &platform, &workload);
 
     let rf = platform.cluster.replication_factor;
     let experiment = Experiment::new(platform, workload)
@@ -39,8 +31,15 @@ fn main() {
     // The paper sweeps Cassandra's consistency level for both reads and
     // writes (ONE … ALL), so the symmetric variant is used here.
     let specs: Vec<PolicySpec> = (1..=rf).map(PolicySpec::SymmetricLevel).collect();
-    let reports = experiment.compare(&specs);
+    let results = Sweep::new(experiment)
+        .with_policies(&specs)
+        .with_seeds(&harness.seeds(2013))
+        .run();
+    let reports = results.primary();
     println!("{}", render_table("EXP-B1: per-level sweep", &reports));
+    if results.seeds.len() > 1 {
+        println!("{}", render_summary_table("EXP-B1", &results.summaries()));
+    }
 
     println!("== bill decomposition (the paper's three parts) ==");
     println!(

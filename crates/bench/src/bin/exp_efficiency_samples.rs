@@ -4,9 +4,10 @@
 //! with different access patterns and different consistency levels"* and
 //! observes that *"the most efficient consistency levels are the ones that
 //! provide a staleness rate smaller than 20%"*. This binary reproduces that
-//! sampling: three access patterns (read-heavy, balanced heavy read-update,
-//! write-heavy) × every consistency level, each sample reporting its measured
-//! staleness, its bill and its efficiency relative to the strongest level.
+//! sampling through the shared [`Sweep`] harness: three access patterns
+//! (read-heavy, balanced heavy read-update, write-heavy) × every consistency
+//! level, each sample reporting its measured staleness, its bill and its
+//! efficiency relative to the strongest level.
 //!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_efficiency_samples
@@ -14,17 +15,16 @@
 
 use concord::prelude::*;
 use concord::PolicySpec;
-use concord_bench::{parse_scale, slim};
+use concord_bench::{render_summary_table, slim, Harness, Sweep};
 use concord_cost::consistency_cost_efficiency;
 use concord_workload::RequestDistribution;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = parse_scale(&args);
-    let platform = concord::platforms::grid5000_cost(scale.cluster);
+    let harness = Harness::from_env();
+    let platform = concord::platforms::grid5000_cost(harness.scale.cluster);
     println!("EXP-B2a: platform = {}\n", platform.name);
 
-    let base = slim(presets::cost_workload(scale.workload));
+    let base = slim(presets::cost_workload(harness.scale.workload));
     let patterns: Vec<(&str, WorkloadConfig)> = vec![
         (
             "read-heavy (95/5, zipfian)",
@@ -59,15 +59,20 @@ fn main() {
         "access pattern", "level", "stale %", "rel. cost", "efficiency"
     );
 
+    let specs: Vec<PolicySpec> = (1..=rf).map(PolicySpec::FixedReadReplicas).collect();
+    let seeds = harness.seeds(17);
     let mut efficient_samples = 0usize;
     let mut efficient_below_20 = 0usize;
     for (name, workload) in patterns {
         let experiment = Experiment::new(platform.clone(), workload)
             .with_clients(32)
             .with_adaptation_interval(SimDuration::from_millis(250))
-            .with_seed(17);
-        let specs: Vec<PolicySpec> = (1..=rf).map(PolicySpec::FixedReadReplicas).collect();
-        let reports = experiment.compare(&specs);
+            .with_seed(seeds[0]);
+        let results = Sweep::new(experiment)
+            .with_policies(&specs)
+            .with_seeds(&seeds)
+            .run();
+        let reports = results.primary();
         let reference = reports.last().unwrap().total_cost_usd();
 
         let mut best_idx = 0usize;
@@ -102,6 +107,9 @@ fn main() {
             best.policy,
             best.stale_read_rate * 100.0
         );
+        if results.seeds.len() > 1 {
+            println!("{}", render_summary_table(name, &results.summaries()));
+        }
     }
 
     println!(

@@ -3,62 +3,65 @@
 //! Reproduces the paper's comparison of Harmony (two tolerated stale-read
 //! rates per platform) against static eventual and strong consistency on the
 //! Grid'5000 deployment (84 nodes, 2 clusters, 3 M ops — EXP-A1) and the EC2
-//! deployment (20 VMs, 5 M ops — EXP-A2).
+//! deployment (20 VMs, 5 M ops — EXP-A2), through the shared [`Sweep`]
+//! harness: pass `--seeds 8` for a multi-seed sweep with confidence
+//! intervals, `--threads N` to size the pool.
 //!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_harmony -- --platform g5k
 //! cargo run --release -p concord-bench --bin exp_harmony -- --platform ec2
-//! cargo run --release -p concord-bench --bin exp_harmony -- --platform g5k --scale 0.01
+//! cargo run --release -p concord-bench --bin exp_harmony -- --scale 0.01 --seeds 8 --threads 4
 //! ```
 
 use concord::prelude::*;
 use concord::PolicySpec;
-use concord_bench::{compare_line, parse_platform, parse_scale, slim};
+use concord_bench::{compare_line, render_summary_table, slim, Harness, Sweep};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = parse_scale(&args);
-    let platform_name = parse_platform(&args);
+    let harness = Harness::from_env();
 
     // Platform + workload + tolerances per the paper: Grid'5000 uses 20% and
     // 40%, EC2 uses 40% and 60%.
-    let (platform, workload, tolerances, exp_id) = if platform_name.starts_with("ec2") {
+    let (platform, workload, tolerances, exp_id) = if harness.platform.starts_with("ec2") {
         (
-            concord::platforms::ec2_harmony(scale.cluster),
-            slim(presets::harmony_ec2_workload(scale.workload)),
+            harness.harmony_platform(),
+            slim(presets::harmony_ec2_workload(harness.scale.workload)),
             (0.40, 0.60),
             "EXP-A2 (EC2)",
         )
     } else {
         (
-            concord::platforms::grid5000_harmony(scale.cluster),
-            slim(presets::harmony_grid5000_workload(scale.workload)),
+            harness.harmony_platform(),
+            slim(presets::harmony_grid5000_workload(harness.scale.workload)),
             (0.20, 0.40),
             "EXP-A1 (Grid'5000)",
         )
     };
-
-    println!(
-        "{exp_id}: platform = {}, {} records, {} operations",
-        platform.name, workload.record_count, workload.operation_count
-    );
+    harness.banner(exp_id, &platform, &workload);
 
     let experiment = Experiment::new(platform, workload)
         .with_clients(32)
         .with_adaptation_interval(SimDuration::from_millis(100))
         .with_seed(2013);
 
-    let reports = experiment.compare(&[
-        PolicySpec::Eventual,
-        PolicySpec::Strong,
-        PolicySpec::Harmony {
-            tolerance: tolerances.0,
-        },
-        PolicySpec::Harmony {
-            tolerance: tolerances.1,
-        },
-    ]);
+    let results = Sweep::new(experiment)
+        .with_policies(&[
+            PolicySpec::Eventual,
+            PolicySpec::Strong,
+            PolicySpec::Harmony {
+                tolerance: tolerances.0,
+            },
+            PolicySpec::Harmony {
+                tolerance: tolerances.1,
+            },
+        ])
+        .with_seeds(&harness.seeds(2013))
+        .run();
+    let reports = results.primary();
     println!("{}", render_table(exp_id, &reports));
+    if results.seeds.len() > 1 {
+        println!("{}", render_summary_table(exp_id, &results.summaries()));
+    }
 
     let eventual = &reports[0];
     let strong = &reports[1];

@@ -1,0 +1,134 @@
+//! Parallel sweep benchmark: wall-clock of a paper-style multi-seed policy
+//! sweep at one thread vs. a full pool, plus the determinism check that the
+//! per-seed reports are **byte-identical** across thread counts.
+//!
+//! This is the measurement behind `BENCH_parallel.json` at the workspace
+//! root and the nightly CI sweep smoke job:
+//!
+//! ```text
+//! cargo run --release -p concord-bench --bin exp_sweep -- --scale 0.01 --seeds 8
+//! cargo run --release -p concord-bench --bin exp_sweep -- --seeds 8 --par-threads 4 --out BENCH_parallel.json
+//! ```
+//!
+//! The sweep grid is the EXP-A1 comparison (eventual / strong / two Harmony
+//! tolerances) × `--seeds` seeds on the Grid'5000 platform. Every point owns
+//! its cluster and runtime, so the grid is embarrassingly parallel; the
+//! speedup on an N-core machine approaches min(N, points) once points are
+//! large enough to amortize pool startup. The JSON records both timings, the
+//! speedup, the machine's core count and whether the reports matched.
+
+use concord::prelude::*;
+use concord::PolicySpec;
+use concord_bench::{render_summary_table, slim, Harness, Sweep};
+use std::time::Instant;
+
+fn main() {
+    let harness = Harness::from_env();
+    let out_path = harness
+        .args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| harness.args.get(i + 1))
+        .cloned();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let par_threads: usize = harness
+        .args
+        .iter()
+        .position(|a| a == "--par-threads")
+        .and_then(|i| harness.args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cores)
+        .max(1);
+
+    let platform = concord::platforms::grid5000_harmony(harness.scale.cluster);
+    let workload = slim(presets::harmony_grid5000_workload(harness.scale.workload));
+    // Default to 8 seeds only when `--seeds` is absent (this binary exists
+    // to exercise multi-seed parallelism); an explicit `--seeds 1` or a
+    // standalone `--seed-base` is honored as given.
+    let seeds: Vec<u64> = if harness.args.iter().any(|a| a == "--seeds") {
+        harness.seeds(2013)
+    } else {
+        let base = harness.seed_base.unwrap_or(2013);
+        (base..base + 8).collect()
+    };
+    println!(
+        "exp_sweep: platform = {}, {} records, {} operations, {} seeds, {} cores",
+        platform.name,
+        workload.record_count,
+        workload.operation_count,
+        seeds.len(),
+        cores
+    );
+
+    let experiment = Experiment::new(platform, workload)
+        .with_clients(32)
+        .with_adaptation_interval(SimDuration::from_millis(100))
+        .with_seed(seeds[0]);
+    let sweep = Sweep::new(experiment)
+        .with_policies(&[
+            PolicySpec::Eventual,
+            PolicySpec::Strong,
+            PolicySpec::Harmony { tolerance: 0.20 },
+            PolicySpec::Harmony { tolerance: 0.40 },
+        ])
+        .with_seeds(&seeds);
+    let points = sweep.len();
+
+    let timed_run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool construction cannot fail");
+        let t0 = Instant::now();
+        let results = pool.install(|| sweep.run());
+        (t0.elapsed().as_secs_f64(), results)
+    };
+
+    eprintln!("running {points} points sequentially (1 thread)…");
+    let (seq_secs, seq_results) = timed_run(1);
+    eprintln!("  {seq_secs:.3} s");
+    eprintln!("running {points} points on {par_threads} threads…");
+    let (par_secs, par_results) = timed_run(par_threads);
+    eprintln!("  {par_secs:.3} s");
+
+    // The determinism contract: per-seed reports byte-identical across
+    // thread counts (serialized form compared, so every field counts).
+    let identical = seq_results
+        .reports
+        .iter()
+        .zip(&par_results.reports)
+        .all(|(a, b)| a.to_json() == b.to_json());
+    assert!(
+        identical,
+        "parallel sweep diverged from sequential execution"
+    );
+
+    println!(
+        "{}",
+        render_summary_table("exp_sweep (multi-seed)", &par_results.summaries())
+    );
+    let speedup = seq_secs / par_secs;
+    println!(
+        "sweep wall-clock: {seq_secs:.3} s sequential → {par_secs:.3} s on {par_threads} threads \
+         ({speedup:.2}× speedup, {cores} cores available), per-seed reports byte-identical: {identical}"
+    );
+
+    let json = format!(
+        "{{\"scale\":{},\"points\":{points},\"seeds\":{},\"cores\":{cores},\
+         \"sequential_secs\":{seq_secs:.3},\"parallel_threads\":{par_threads},\
+         \"parallel_secs\":{par_secs:.3},\"speedup\":{speedup:.2},\
+         \"per_seed_reports_identical\":{identical}}}",
+        harness.scale.workload,
+        seeds.len(),
+    );
+    println!("{json}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("error: cannot write --out file {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

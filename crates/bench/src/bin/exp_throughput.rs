@@ -2,21 +2,27 @@
 //!
 //! This binary measures the *wall-clock* cost of the discrete-event engine
 //! and the cluster simulator — events per second and nanoseconds per
-//! simulated client operation — on two substrates:
+//! simulated client operation — on three substrates:
 //!
 //! * `event_queue`: schedule + pop of randomly-timed events through the raw
 //!   [`concord_sim::EventQueue`] (the engine floor);
-//! * `cluster_substrate`: the full Cassandra-like cluster hot path (the
-//!   `substrate_micro` cluster scenario — an 8-node RF-3 LAN cluster under a
-//!   50/50 read/write closed workload), which is what paper-scale runs pay
-//!   per operation.
+//! * `cluster_substrate`: the full Cassandra-like cluster hot path (an
+//!   8-node RF-3 LAN cluster under a 50/50 read/write closed workload),
+//!   which is what paper-scale runs pay per operation;
+//! * `cluster_bulk`: the same cluster driven **open-loop** — a sorted
+//!   arrival schedule from `CoreWorkload::timed_ops` bulk-loaded through
+//!   [`Cluster::submit_batch`], so client arrivals ride the event queue's
+//!   O(1) bulk FIFO lane instead of paying one heap push each.
+//!
+//! The measurement grid runs through the shared `run_timed_grid` harness
+//! (strictly sequential — wall-clock points must not share cores).
 //!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_throughput -- --scale 0.05
-//! cargo run --release -p concord-bench --bin exp_throughput -- --scale 0.05 --out BENCH_hotpath.json
+//! cargo run --release -p concord-bench --bin exp_throughput -- --scale 0.05 --out BENCH.json
 //! ```
 //!
-//! `--scale 1.0` sizes the cluster scenario at 2 M operations (the paper's
+//! `--scale 1.0` sizes the cluster scenarios at 2 M operations (the paper's
 //! Grid'5000 op count per run); the default (0.002, from `parse_scale`)
 //! keeps smoke runs fast, and perf comparisons should use `--scale 0.25
 //! --repeat 5`. Results are printed as one JSON measurement object;
@@ -26,8 +32,10 @@
 //! field; it is a record to compare against, not a file this binary
 //! overwrites.
 
-use concord_cluster::{Cluster, ClusterConfig, ConsistencyLevel};
+use concord_bench::{run_timed_grid, Harness};
+use concord_cluster::{BatchOp, Cluster, ClusterConfig, ConsistencyLevel};
 use concord_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use concord_workload::{ArrivalProcess, CoreWorkload, OperationType, WorkloadConfig};
 use std::time::Instant;
 
 /// One measured substrate.
@@ -85,12 +93,17 @@ fn bench_event_queue(rounds: u64) -> Measurement {
     }
 }
 
-/// The full cluster hot path: the `substrate_micro` cluster scenario.
-fn bench_cluster(total_ops: u64) -> Measurement {
+fn micro_cluster() -> (Cluster, u64) {
     const KEYS: u64 = 500;
     let mut cluster = Cluster::new(ClusterConfig::lan_test(8, 3), 11);
     cluster.load_records((0..KEYS).map(|k| (k, 1_000)));
     cluster.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+    (cluster, KEYS)
+}
+
+/// The full cluster hot path: closed-loop windows over the micro cluster.
+fn bench_cluster(total_ops: u64) -> Measurement {
+    let (mut cluster, keys) = micro_cluster();
 
     // Submit in windows so the pending-op tables stay at realistic sizes
     // (a closed loop, like the runtime) rather than pre-queueing millions.
@@ -103,9 +116,9 @@ fn bench_cluster(total_ops: u64) -> Measurement {
         while submitted < total_ops && submitted < completed + WINDOW {
             at += SimDuration::from_micros(100);
             if submitted.is_multiple_of(2) {
-                cluster.submit_write_at(submitted % KEYS, 1_000, at);
+                cluster.submit_write_at(submitted % keys, 1_000, at);
             } else {
-                cluster.submit_read_at(submitted % KEYS, at);
+                cluster.submit_read_at(submitted % keys, at);
             }
             submitted += 1;
         }
@@ -115,6 +128,60 @@ fn bench_cluster(total_ops: u64) -> Measurement {
     std::hint::black_box(cluster.metrics().stale_read_rate());
     Measurement {
         name: "cluster_substrate",
+        ops: completed,
+        events: cluster.events_processed(),
+        elapsed_secs: elapsed,
+    }
+}
+
+/// The open-loop bulk path: a sorted `timed_ops` arrival schedule from the
+/// workload generator, bulk-loaded in windows through `Cluster::submit_batch`
+/// (the event queue's O(1) bulk lane carries every client arrival).
+fn bench_cluster_bulk(total_ops: u64) -> Measurement {
+    let (mut cluster, keys) = micro_cluster();
+    let mut workload = CoreWorkload::new(WorkloadConfig {
+        record_count: keys,
+        operation_count: total_ops,
+        read_proportion: 0.5,
+        update_proportion: 0.5,
+        field_count: 1,
+        field_length: 1_000,
+        ..WorkloadConfig::default()
+    });
+    // 10 k ops/s offered load, the same mean arrival gap (100 µs) as the
+    // closed-loop substrate drives.
+    let process = ArrivalProcess::OpenLoopUniform {
+        ops_per_sec: 10_000.0,
+    };
+
+    const WINDOW: usize = 10_000;
+    let mut rng = SimRng::new(11);
+    let mut completed = 0u64;
+    let t0 = Instant::now();
+    let mut timed = workload.timed_ops(process, SimTime::ZERO, &mut rng);
+    loop {
+        // Windowed bulk loads keep the arrival lane and op slab bounded
+        // while still amortizing submission over O(1) pushes. Each window
+        // drains only up to its last arrival, so the clock never runs ahead
+        // of the next window's first arrival.
+        let window: Vec<BatchOp> = timed
+            .by_ref()
+            .take(WINDOW)
+            .map(|(at, op)| match op.op {
+                OperationType::Read | OperationType::Scan => BatchOp::read(at, op.key),
+                _ => BatchOp::write(at, op.key, op.value_size),
+            })
+            .collect();
+        let Some(last) = window.last() else { break };
+        let window_end = last.at;
+        cluster.submit_batch(window);
+        completed += cluster.run_until(window_end).len() as u64;
+    }
+    completed += cluster.run_to_completion(u64::MAX).len() as u64;
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(cluster.metrics().stale_read_rate());
+    Measurement {
+        name: "cluster_bulk",
         ops: completed,
         events: cluster.events_processed(),
         elapsed_secs: elapsed,
@@ -135,9 +202,18 @@ fn best_of(repeat: u32, run: impl Fn() -> Measurement) -> Measurement {
         .expect("at least one run")
 }
 
+/// The measurement grid: which substrate, sized how.
+#[derive(Clone, Copy)]
+enum Substrate {
+    Queue { rounds: u64 },
+    Cluster { ops: u64 },
+    ClusterBulk { ops: u64 },
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = concord_bench::parse_scale(&args).workload;
+    let harness = Harness::from_env();
+    let args = &harness.args;
+    let scale = harness.scale.workload;
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -158,27 +234,37 @@ fn main() {
     eprintln!(
         "exp_throughput: cluster_ops={cluster_ops} queue_rounds={queue_rounds} (best of {repeat})"
     );
-    let queue = best_of(repeat, || bench_event_queue(queue_rounds));
-    eprintln!(
-        "  {:<20} {:>12.0} events/s  {:>8.1} ns/op",
-        queue.name,
-        queue.events_per_sec(),
-        queue.ns_per_op()
-    );
-    let cluster = best_of(repeat, || bench_cluster(cluster_ops));
-    eprintln!(
-        "  {:<20} {:>12.0} events/s  {:>8.1} ns/op  ({} events for {} ops)",
-        cluster.name,
-        cluster.events_per_sec(),
-        cluster.ns_per_op(),
-        cluster.events,
-        cluster.ops
-    );
+    let grid = vec![
+        Substrate::Queue {
+            rounds: queue_rounds,
+        },
+        Substrate::Cluster { ops: cluster_ops },
+        Substrate::ClusterBulk { ops: cluster_ops },
+    ];
+    let measurements = run_timed_grid(grid, |point| {
+        let m = match point {
+            Substrate::Queue { rounds } => best_of(repeat, || bench_event_queue(rounds)),
+            Substrate::Cluster { ops } => best_of(repeat, || bench_cluster(ops)),
+            Substrate::ClusterBulk { ops } => best_of(repeat, || bench_cluster_bulk(ops)),
+        };
+        eprintln!(
+            "  {:<20} {:>12.0} events/s  {:>8.1} ns/op  ({} events for {} ops)",
+            m.name,
+            m.events_per_sec(),
+            m.ns_per_op(),
+            m.events,
+            m.ops
+        );
+        m
+    });
 
     let json = format!(
-        "{{\"scale\":{scale},\"benches\":[{},{}]}}",
-        queue.to_json(),
-        cluster.to_json()
+        "{{\"scale\":{scale},\"benches\":[{}]}}",
+        measurements
+            .iter()
+            .map(Measurement::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
     );
     println!("{json}");
     if let Some(path) = out_path {

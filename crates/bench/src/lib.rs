@@ -11,14 +11,55 @@
 //! | `exp_efficiency_samples` | EXP-B2a — consistency-cost efficiency under different access patterns |
 //! | `exp_bismar` | EXP-B2b — Bismar vs static levels |
 //! | `exp_behavior` | EXP-C — application behavior modeling |
+//! | `exp_throughput` | hot-path wall-clock throughput (engine, cluster, bulk lane) |
+//! | `exp_sweep` | parallel multi-seed sweep wall-clock + determinism check |
 //!
 //! Criterion micro-benchmarks (`cargo bench -p concord-bench`) cover the
 //! substrates (ring lookup, zipfian sampling, event queue, estimator) and
 //! small end-to-end runs of the A/B experiments.
 //!
-//! Every binary accepts `--scale <f64>` (default 0.002 for the workload and
-//! ~0.2 for the cluster) so the full-size paper setups can also be simulated
-//! when time allows: `--scale 1.0` reproduces the paper's operation counts.
+//! Every binary runs through the shared harness in [`sweep`] and accepts
+//! `--scale <f64>` (default 0.002 for the workload and ~0.2 for the cluster)
+//! so the full-size paper setups can also be simulated when time allows:
+//! `--scale 1.0` reproduces the paper's operation counts. The cluster
+//! experiments additionally take `--seeds <n>` (multi-seed sweeps with 95%
+//! confidence intervals) and `--threads <n>` (pool size).
+//!
+//! ## The sweep engine and its determinism contract
+//!
+//! Paper-scale evaluation is a grid — policies × platforms × seeds — and
+//! every `(policy, seed)` point owns its `Cluster`/`AdaptiveRuntime`, so the
+//! grid is embarrassingly parallel. [`Sweep`] declares the grid;
+//! [`Sweep::run`] executes it on the vendored rayon pool (a *real*
+//! thread-pool since PR 2: dynamic chunking over OS threads, results
+//! recombined in input order) and [`SweepResults::summaries`] reduces across
+//! seeds (mean / sample std-dev / normal-approximation 95% CI) in a
+//! deterministic seed-order fold.
+//!
+//! The contract, pinned by `crates/bench/tests/parallel_sweep.rs` and the
+//! Monte-Carlo determinism test in `concord-staleness`: **thread count is a
+//! pure performance knob**. Per-seed `RunReport`s are byte-identical at 1, 2
+//! and N threads, because every point derives all randomness from its own
+//! seed and the pool collects results by input index, never by completion
+//! order. `BENCH_parallel.json` at the workspace root records the sweep
+//! wall-clock baseline (sequential vs pooled) produced by `exp_sweep`;
+//! re-measure with `exp_sweep --scale 0.05 --seeds 8 --out <file>` on a
+//! multi-core machine and append dated entries rather than overwriting
+//! history.
+//!
+//! ## Bulk-loaded open-loop arrivals
+//!
+//! Open-loop experiments know their whole arrival timeline up front:
+//! `CoreWorkload::timed_ops` pairs the operation stream with a **sorted**
+//! arrival schedule (monotone by construction), and
+//! `Cluster::submit_batch` routes it through the event queue's O(1) bulk
+//! FIFO lane instead of paying one heap push per operation — the same trick
+//! PR 1's timeout lane plays, on a third lane so arrival front-running
+//! cannot evict timeouts from theirs. Sortedness is *asserted*, never
+//! silently repaired; delivery is byte-identical to per-op submission (both
+//! lanes share one sequence counter). `exp_throughput`'s `cluster_bulk`
+//! substrate measures the path end to end; `Cluster::run_until` lets
+//! windowed drivers drain without the clock passing the next window.
 //!
 //! ## Hot-path architecture and benchmark methodology
 //!
@@ -62,6 +103,13 @@
 //! `crates/cluster/tests/golden_determinism.rs`: any hot-path change must
 //! keep those digests byte-identical (or consciously re-capture them with
 //! `GOLDEN_PRINT=1` and explain why the simulation's outputs changed).
+
+pub mod sweep;
+
+pub use sweep::{
+    render_summary_table, run_grid, run_timed_grid, Harness, PolicySummary, SeedStat, Sweep,
+    SweepResults,
+};
 
 use concord_workload::WorkloadConfig;
 

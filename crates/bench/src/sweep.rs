@@ -1,0 +1,481 @@
+//! The sweep engine: one declarative harness for every `exp_*` binary.
+//!
+//! The paper's evaluation is a grid — workload mixes × consistency policies ×
+//! platforms × seeds — and before this module existed each experiment binary
+//! hand-rolled its own slice of that grid (argument parsing, platform
+//! construction, run loop, table rendering). The shared pieces now live here:
+//!
+//! * [`Harness`] — common CLI surface (`--scale`, `--cluster-scale`,
+//!   `--platform`, `--seeds`, `--seed-base`, `--threads`) plus platform
+//!   lookup; `--threads` configures the global rayon pool for the process.
+//! * [`Sweep`] — a declarative `(policy × seed)` grid over one
+//!   [`Experiment`]. [`Sweep::run`] executes every point **in parallel**
+//!   (each point owns its `Cluster`/`AdaptiveRuntime`, so points are
+//!   embarrassingly parallel) and returns [`SweepResults`] in grid order.
+//! * [`SweepResults::summaries`] — deterministic ordered reduction across
+//!   seeds: mean / sample standard deviation / 95% confidence half-width per
+//!   policy, folded in seed order so output is bit-identical for any thread
+//!   count.
+//! * [`run_grid`] / [`run_timed_grid`] — the same parallel-ordered execution
+//!   for experiment grids that are not policy sweeps (the FIG1 estimator
+//!   grid, wall-clock measurement grids).
+//!
+//! ## Determinism contract
+//!
+//! A sweep point is a pure function of `(platform, workload, policy, seed)`:
+//! the vendored rayon pool hands points to worker threads dynamically but
+//! recombines results **in input order**, and nothing inside a point reads
+//! shared mutable state. Per-seed [`RunReport`]s are therefore byte-identical
+//! at 1, 2 or N threads (pinned by `crates/bench/tests/parallel_sweep.rs`).
+
+use concord::prelude::*;
+use concord::PolicySpec;
+use concord_core::RunReport;
+use rayon::prelude::*;
+
+use crate::Scale;
+
+/// Parsed common command-line surface of the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Raw process arguments (for binary-specific flags).
+    pub args: Vec<String>,
+    /// Workload/cluster scale (`--scale`, `--cluster-scale`).
+    pub scale: Scale,
+    /// Platform name (`--platform`, default `g5k`).
+    pub platform: String,
+    /// Number of seeds a multi-seed sweep should run (`--seeds`, default 1).
+    pub seed_count: u64,
+    /// Explicit first seed (`--seed-base`), overriding the binary's default.
+    pub seed_base: Option<u64>,
+}
+
+impl Harness {
+    /// Parse the process arguments and apply `--threads` to the global
+    /// rayon pool (0 or absent = `RAYON_NUM_THREADS` / machine default).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().collect())
+    }
+
+    /// Parse an explicit argument vector (tests).
+    pub fn from_args(args: Vec<String>) -> Self {
+        let scale = crate::parse_scale(&args);
+        let platform = crate::parse_platform(&args);
+        let flag = |name: &str| -> Option<u64> {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+        };
+        let seed_count = flag("--seeds").unwrap_or(1).max(1);
+        let seed_base = flag("--seed-base");
+        if let Some(threads) = flag("--threads") {
+            if threads >= 1 {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads as usize)
+                    .build_global()
+                    .expect("configuring the global pool cannot fail");
+            }
+        }
+        Harness {
+            args,
+            scale,
+            platform,
+            seed_count,
+            seed_base,
+        }
+    }
+
+    /// The seed list for a sweep: `base, base+1, …` (`--seed-base` wins over
+    /// the binary's default base).
+    pub fn seeds(&self, default_base: u64) -> Vec<u64> {
+        let base = self.seed_base.unwrap_or(default_base);
+        (0..self.seed_count).map(|i| base + i).collect()
+    }
+
+    /// The cost-experiment platform for `--platform` at `--cluster-scale`.
+    pub fn cost_platform(&self) -> Platform {
+        if self.platform.starts_with("ec2") {
+            concord::platforms::ec2_cost(self.scale.cluster)
+        } else {
+            concord::platforms::grid5000_cost(self.scale.cluster)
+        }
+    }
+
+    /// The Harmony-experiment platform for `--platform` at `--cluster-scale`.
+    pub fn harmony_platform(&self) -> Platform {
+        if self.platform.starts_with("ec2") {
+            concord::platforms::ec2_harmony(self.scale.cluster)
+        } else {
+            concord::platforms::grid5000_harmony(self.scale.cluster)
+        }
+    }
+
+    /// Print the standard experiment banner.
+    pub fn banner(&self, exp_id: &str, platform: &Platform, workload: &WorkloadConfig) {
+        println!(
+            "{exp_id}: platform = {}, {} records, {} operations{}",
+            platform.name,
+            workload.record_count,
+            workload.operation_count,
+            if self.seed_count > 1 {
+                format!(
+                    ", {} seeds × {} threads",
+                    self.seed_count,
+                    rayon::current_num_threads()
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+}
+
+/// A declarative `(policy × seed)` grid over one [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    experiment: Experiment,
+    policies: Vec<PolicySpec>,
+    seeds: Vec<u64>,
+}
+
+impl Sweep {
+    /// A sweep over `experiment`'s platform/workload, initially with the
+    /// experiment's own seed as the only seed.
+    pub fn new(experiment: Experiment) -> Self {
+        let seed = experiment.seed;
+        Sweep {
+            experiment,
+            policies: Vec::new(),
+            seeds: vec![seed],
+        }
+    }
+
+    /// Set the policies (grid rows).
+    pub fn with_policies(mut self, specs: &[PolicySpec]) -> Self {
+        self.policies = specs.to_vec();
+        self
+    }
+
+    /// Set the seeds (grid columns; empty = keep the experiment's seed).
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        if !seeds.is_empty() {
+            self.seeds = seeds.to_vec();
+        }
+        self
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.policies.len() * self.seeds.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run every `(policy, seed)` point — in parallel on the rayon pool,
+    /// each point owning its cluster and runtime — and return the reports in
+    /// grid order (policy-major, seed-minor), independent of scheduling.
+    pub fn run(&self) -> SweepResults {
+        let points: Vec<(usize, usize)> = (0..self.policies.len())
+            .flat_map(|p| (0..self.seeds.len()).map(move |s| (p, s)))
+            .collect();
+        let reports: Vec<RunReport> = points
+            .into_par_iter()
+            .map(|(p, s)| {
+                let mut experiment = self.experiment.clone();
+                experiment.seed = self.seeds[s];
+                experiment.run_spec(&self.policies[p])
+            })
+            .collect();
+        SweepResults {
+            policies: self.policies.clone(),
+            seeds: self.seeds.clone(),
+            reports,
+        }
+    }
+}
+
+/// The ordered outcome of [`Sweep::run`].
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// Grid rows, in declaration order.
+    pub policies: Vec<PolicySpec>,
+    /// Grid columns, in declaration order.
+    pub seeds: Vec<u64>,
+    /// One report per point, policy-major and seed-minor.
+    pub reports: Vec<RunReport>,
+}
+
+impl SweepResults {
+    /// The report of one `(policy, seed)` point.
+    pub fn report(&self, policy_idx: usize, seed_idx: usize) -> &RunReport {
+        &self.reports[policy_idx * self.seeds.len() + seed_idx]
+    }
+
+    /// All seed reports of one policy, in seed order.
+    pub fn per_seed(&self, policy_idx: usize) -> &[RunReport] {
+        let n = self.seeds.len();
+        &self.reports[policy_idx * n..(policy_idx + 1) * n]
+    }
+
+    /// The first-seed report of every policy, in policy order — the
+    /// single-seed view the paper-comparison tables print.
+    pub fn primary(&self) -> Vec<RunReport> {
+        (0..self.policies.len())
+            .map(|p| self.report(p, 0).clone())
+            .collect()
+    }
+
+    /// Mean / standard deviation / 95% CI across seeds, per policy.
+    /// Deterministic: folds every statistic in seed order.
+    pub fn summaries(&self) -> Vec<PolicySummary> {
+        (0..self.policies.len())
+            .map(|p| {
+                let runs = self.per_seed(p);
+                let stat = |f: &dyn Fn(&RunReport) -> f64| {
+                    SeedStat::from_samples(&runs.iter().map(f).collect::<Vec<_>>())
+                };
+                PolicySummary {
+                    policy: self.policies[p].label(),
+                    throughput: stat(&|r| r.throughput_ops_per_sec),
+                    stale_rate: stat(&|r| r.stale_read_rate),
+                    read_p95_ms: stat(&|r| r.read_latency_ms.p95),
+                    cost_usd: stat(&|r| r.total_cost_usd()),
+                    makespan_secs: stat(&|r| r.makespan.as_secs_f64()),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Mean and spread of one metric across the seeds of a sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStat {
+    /// Arithmetic mean (seed-order fold).
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single seed).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+    /// Number of seeds.
+    pub n: usize,
+}
+
+impl SeedStat {
+    /// Reduce samples in input order.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return SeedStat {
+                mean: 0.0,
+                std_dev: 0.0,
+                ci95: 0.0,
+                n: 0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        SeedStat {
+            mean,
+            std_dev,
+            ci95: 1.96 * std_dev / (n as f64).sqrt(),
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for SeedStat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.n > 1 {
+            write!(f, "{:.1} ±{:.1}", self.mean, self.ci95)
+        } else {
+            write!(f, "{:.1}", self.mean)
+        }
+    }
+}
+
+/// Across-seed summary of one sweep row (policy).
+#[derive(Debug, Clone)]
+pub struct PolicySummary {
+    /// Policy label.
+    pub policy: String,
+    /// Throughput in ops/s.
+    pub throughput: SeedStat,
+    /// Ground-truth stale-read rate (fraction).
+    pub stale_rate: SeedStat,
+    /// Read-latency p95 in ms.
+    pub read_p95_ms: SeedStat,
+    /// Total bill in USD.
+    pub cost_usd: SeedStat,
+    /// Simulated makespan in seconds.
+    pub makespan_secs: SeedStat,
+}
+
+/// Render the across-seed summary table (mean ± 95% CI per metric).
+pub fn render_summary_table(title: &str, summaries: &[PolicySummary]) -> String {
+    // Each metric is pre-formatted as one "mean ±ci" cell so the header and
+    // data columns share the same widths.
+    let cell = |s: &SeedStat, scale: f64, prec: usize| {
+        format!("{:.prec$} ±{:.prec$}", s.mean * scale, s.ci95 * scale)
+    };
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} (mean ± 95% CI across seeds) ==\n"));
+    out.push_str(&format!(
+        "{:<28} {:>5} {:>18} {:>14} {:>16} {:>17} {:>14}\n",
+        "policy", "seeds", "thr (ops/s)", "stale %", "r-lat p95 (ms)", "cost ($)", "makespan (s)"
+    ));
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<28} {:>5} {:>18} {:>14} {:>16} {:>17} {:>14}\n",
+            s.policy,
+            s.throughput.n,
+            cell(&s.throughput, 1.0, 1),
+            cell(&s.stale_rate, 100.0, 2),
+            cell(&s.read_p95_ms, 1.0, 3),
+            cell(&s.cost_usd, 1.0, 4),
+            cell(&s.makespan_secs, 1.0, 2),
+        ));
+    }
+    out
+}
+
+/// Run an arbitrary experiment grid in parallel and return the results in
+/// input order (the generic form of [`Sweep::run`] for grids that are not
+/// policy sweeps — estimator grids, scenario matrices).
+pub fn run_grid<T, R, F>(points: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    points.into_par_iter().map(f).collect()
+}
+
+/// Run a grid of **wall-clock measurements** strictly sequentially: timing
+/// points must not compete for cores, so this pins a one-thread pool around
+/// the same ordered grid execution.
+pub fn run_timed_grid<T, R, F>(points: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool construction cannot fail")
+        .install(|| run_grid(points, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_experiment(seed: u64) -> Experiment {
+        let platform = concord::platforms::grid5000_cost(0.15);
+        let mut workload = presets::paper_heavy_read_update(500, 1_200);
+        workload.field_count = 1;
+        workload.field_length = 256;
+        Experiment::new(platform, workload)
+            .with_clients(8)
+            .with_adaptation_interval(SimDuration::from_millis(200))
+            .with_seed(seed)
+    }
+
+    #[test]
+    fn harness_parses_the_shared_flags() {
+        let args: Vec<String> = [
+            "exp",
+            "--scale",
+            "0.01",
+            "--platform",
+            "ec2",
+            "--seeds",
+            "4",
+            "--seed-base",
+            "100",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let h = Harness::from_args(args);
+        assert!((h.scale.workload - 0.01).abs() < 1e-12);
+        assert_eq!(h.platform, "ec2");
+        assert_eq!(h.seeds(1), vec![100, 101, 102, 103]);
+        assert!(h.cost_platform().name.contains("ec2"));
+
+        let h = Harness::from_args(vec!["exp".into()]);
+        assert_eq!(h.seeds(7), vec![7]);
+        assert!(h.harmony_platform().name.contains("grid5000"));
+    }
+
+    #[test]
+    fn sweep_runs_the_full_grid_in_order() {
+        let sweep = Sweep::new(tiny_experiment(3))
+            .with_policies(&[PolicySpec::Eventual, PolicySpec::Quorum])
+            .with_seeds(&[3, 4, 5]);
+        assert_eq!(sweep.len(), 6);
+        let results = sweep.run();
+        assert_eq!(results.reports.len(), 6);
+        assert_eq!(results.per_seed(0).len(), 3);
+        assert_eq!(results.report(1, 2).policy, "quorum");
+        let primary = results.primary();
+        assert_eq!(primary.len(), 2);
+        assert_eq!(primary[0].policy, "eventual(ONE)");
+        // Every point completed the workload.
+        assert!(results.reports.iter().all(|r| r.total_ops == 1_200));
+    }
+
+    #[test]
+    fn sweep_matches_sequential_experiment_runs() {
+        let exp = tiny_experiment(9);
+        let sweep_report = Sweep::new(exp.clone())
+            .with_policies(&[PolicySpec::Quorum])
+            .run();
+        let direct = exp.run_spec(&PolicySpec::Quorum);
+        assert_eq!(sweep_report.reports[0], direct);
+    }
+
+    #[test]
+    fn summaries_reduce_across_seeds_deterministically() {
+        let sweep = Sweep::new(tiny_experiment(1))
+            .with_policies(&[PolicySpec::Eventual])
+            .with_seeds(&[1, 2, 3, 4]);
+        let a = sweep.run().summaries();
+        let b = sweep.run().summaries();
+        assert_eq!(a[0].throughput, b[0].throughput);
+        assert_eq!(a[0].throughput.n, 4);
+        assert!(a[0].throughput.mean > 0.0);
+        assert!(a[0].throughput.ci95 >= 0.0);
+        let table = render_summary_table("t", &a);
+        assert!(table.contains("eventual"));
+    }
+
+    #[test]
+    fn seed_stat_basics() {
+        let s = SeedStat::from_samples(&[2.0, 4.0, 6.0, 8.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!(s.std_dev > 0.0);
+        assert_eq!(s.n, 4);
+        let single = SeedStat::from_samples(&[3.0]);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+        assert_eq!(SeedStat::from_samples(&[]).n, 0);
+    }
+
+    #[test]
+    fn grids_preserve_input_order() {
+        let out = run_grid((0..64u64).collect(), |x| x * 3);
+        assert_eq!(out, (0..64u64).map(|x| x * 3).collect::<Vec<_>>());
+        let timed = run_timed_grid(vec![1u32, 2, 3], |x| x + 1);
+        assert_eq!(timed, vec![2, 3, 4]);
+    }
+}

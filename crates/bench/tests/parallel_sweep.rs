@@ -1,0 +1,98 @@
+//! Golden parallel-vs-sequential equivalence tests.
+//!
+//! The sweep engine's contract is that thread count is a pure performance
+//! knob: a multi-seed sweep must produce **byte-identical** per-seed
+//! [`RunReport`]s at 1, 2 and N threads. These tests pin that contract by
+//! comparing the serialized reports (every field participates) across pool
+//! sizes, for both the `Sweep` grid and the underlying
+//! `Experiment::compare` / `run_seeds` entry points.
+
+use concord::prelude::*;
+use concord::PolicySpec;
+use concord_bench::Sweep;
+
+fn small_experiment() -> Experiment {
+    let platform = concord::platforms::grid5000_cost(0.15);
+    let mut workload = presets::paper_heavy_read_update(1_000, 3_000);
+    workload.field_count = 1;
+    workload.field_length = 512;
+    Experiment::new(platform, workload)
+        .with_clients(16)
+        .with_adaptation_interval(SimDuration::from_millis(200))
+        .with_seed(2013)
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction cannot fail")
+}
+
+#[test]
+fn multi_seed_sweep_reports_are_byte_identical_across_thread_counts() {
+    let seeds: Vec<u64> = (2013..2013 + 8).collect();
+    let sweep = Sweep::new(small_experiment())
+        .with_policies(&[
+            PolicySpec::Eventual,
+            PolicySpec::Quorum,
+            PolicySpec::Harmony { tolerance: 0.2 },
+        ])
+        .with_seeds(&seeds);
+
+    let baseline: Vec<String> = pool(1)
+        .install(|| sweep.run())
+        .reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    assert_eq!(baseline.len(), 24, "3 policies × 8 seeds");
+
+    for threads in [2, 4, 8] {
+        let run: Vec<String> = pool(threads)
+            .install(|| sweep.run())
+            .reports
+            .iter()
+            .map(|r| r.to_json())
+            .collect();
+        assert_eq!(
+            run, baseline,
+            "per-seed reports diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn experiment_compare_matches_sequential_run_spec() {
+    let exp = small_experiment();
+    let specs = [PolicySpec::Eventual, PolicySpec::Strong, PolicySpec::Bismar];
+    let sequential: Vec<RunReport> =
+        pool(1).install(|| specs.iter().map(|s| exp.run_spec(s)).collect());
+    let parallel = pool(4).install(|| exp.compare(&specs));
+    assert_eq!(parallel, sequential);
+}
+
+#[test]
+fn run_seeds_is_thread_count_invariant() {
+    let exp = small_experiment();
+    let seeds: Vec<u64> = (1..=8).collect();
+    let one = pool(1).install(|| exp.run_seeds(&PolicySpec::Quorum, &seeds));
+    let many = pool(5).install(|| exp.run_seeds(&PolicySpec::Quorum, &seeds));
+    assert_eq!(one, many);
+    // One report per seed, in seed order (seeds shuffle the workload, so
+    // reports differ from each other).
+    assert_eq!(one.len(), 8);
+}
+
+#[test]
+fn sweep_summaries_are_thread_count_invariant() {
+    let sweep = Sweep::new(small_experiment())
+        .with_policies(&[PolicySpec::Eventual])
+        .with_seeds(&[1, 2, 3, 4, 5, 6]);
+    let a = pool(1).install(|| sweep.run()).summaries();
+    let b = pool(6).install(|| sweep.run()).summaries();
+    // Mean and CI come from an ordered fold: bit-identical, not just close.
+    assert_eq!(a[0].throughput, b[0].throughput);
+    assert_eq!(a[0].stale_rate, b[0].stale_rate);
+    assert_eq!(a[0].cost_usd, b[0].cost_usd);
+}

@@ -61,15 +61,16 @@ pub enum ClusterOutput {
 }
 
 /// Work items queued on a replica node.
+///
+/// A write fan-out sends the *same* mutation to every replica, so the write
+/// payload is interned once in the cluster's ref-counted payload slab and the
+/// task carries only a 4-byte handle — RF in-flight copies of one write cost
+/// one payload record, and the event queue moves 8 fewer bytes per hop.
 #[derive(Debug, Clone, Copy)]
 enum ReplicaTask {
     Write {
-        op_id: OpId,
-        key: Key,
-        version: Version,
-        size: u32,
-        /// Background repair writes do not generate client-visible acks.
-        repair: bool,
+        /// Handle into [`Cluster::write_payloads`]; released on consumption.
+        payload: PayloadId,
     },
     Read {
         op_id: OpId,
@@ -77,6 +78,29 @@ enum ReplicaTask {
         /// Whether this replica returns the full data or only a digest.
         data: bool,
     },
+}
+
+/// Index into the interned write-payload slab.
+type PayloadId = u32;
+
+/// The shared payload of one write fan-out (client write or read repair):
+/// interned once, referenced by up to RF [`ReplicaTask::Write`] events.
+#[derive(Debug, Clone, Copy)]
+struct WritePayload {
+    op_id: OpId,
+    key: Key,
+    version: Version,
+    size: u32,
+    /// Background repair writes do not generate client-visible acks.
+    repair: bool,
+}
+
+/// One slot of the write-payload slab: the payload plus its reference count
+/// (live [`ReplicaTask::Write`] events pointing at it).
+#[derive(Debug, Clone, Copy)]
+struct PayloadSlot {
+    refs: u32,
+    payload: WritePayload,
 }
 
 /// Internal DES events.
@@ -118,6 +142,46 @@ struct Submission {
     key: Key,
     size: u32,
     level: Option<ConsistencyLevel>,
+}
+
+/// One operation of a pre-sorted open-loop batch (see
+/// [`Cluster::submit_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOp {
+    /// Arrival time (non-decreasing across the batch).
+    pub at: SimTime,
+    /// Read or write.
+    pub kind: OpKind,
+    /// The record the operation targets.
+    pub key: u64,
+    /// Payload bytes (writes; 0 for reads).
+    pub size: u32,
+    /// Explicit consistency level, or `None` for the cluster default.
+    pub level: Option<ConsistencyLevel>,
+}
+
+impl BatchOp {
+    /// A read at the cluster's default level.
+    pub fn read(at: SimTime, key: u64) -> Self {
+        BatchOp {
+            at,
+            kind: OpKind::Read,
+            key,
+            size: 0,
+            level: None,
+        }
+    }
+
+    /// A write of `size` bytes at the cluster's default level.
+    pub fn write(at: SimTime, key: u64, size: u32) -> Self {
+        BatchOp {
+            at,
+            kind: OpKind::Write,
+            key,
+            size,
+            level: None,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -185,6 +249,11 @@ pub struct Cluster {
     next_version: u64,
     /// All in-flight operation state, addressed by generation-checked OpId.
     ops: OpSlab<OpState>,
+    /// Interned write-fan-out payloads, ref-counted by the events that carry
+    /// their [`PayloadId`]; slots recycle through `payload_free`.
+    write_payloads: Vec<PayloadSlot>,
+    payload_free: Vec<PayloadId>,
+    payload_live: usize,
     outputs: VecDeque<ClusterOutput>,
     propagation_samples: Vec<SimDuration>,
 
@@ -273,6 +342,9 @@ impl Cluster {
             write_level,
             next_version: 0,
             ops: OpSlab::new(),
+            write_payloads: Vec::new(),
+            payload_free: Vec::new(),
+            payload_live: 0,
             outputs: VecDeque::new(),
             propagation_samples: Vec::new(),
             down_count: 0,
@@ -308,6 +380,58 @@ impl Cluster {
     /// (submitted-but-unfinished work, for leak diagnostics and tests).
     pub fn inflight_ops(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Number of interned write payloads still referenced by in-flight
+    /// replica tasks (leak diagnostics and tests; 0 once a run drains).
+    pub fn inflight_write_payloads(&self) -> usize {
+        self.payload_live
+    }
+
+    /// Intern a write-fan-out payload with zero references; callers bump the
+    /// count with [`Cluster::retain_payload`] once per event they schedule
+    /// and drop the slot again if nothing ended up referencing it.
+    fn intern_payload(&mut self, payload: WritePayload) -> PayloadId {
+        self.payload_live += 1;
+        if let Some(id) = self.payload_free.pop() {
+            self.write_payloads[id as usize] = PayloadSlot { refs: 0, payload };
+            id
+        } else {
+            let id = PayloadId::try_from(self.write_payloads.len())
+                .expect("more than 2^32 in-flight write payloads");
+            self.write_payloads.push(PayloadSlot { refs: 0, payload });
+            id
+        }
+    }
+
+    #[inline]
+    fn retain_payload(&mut self, id: PayloadId) {
+        self.write_payloads[id as usize].refs += 1;
+    }
+
+    /// Read the payload and drop one reference; the slot is recycled when the
+    /// last referencing event consumes it.
+    #[inline]
+    fn release_payload(&mut self, id: PayloadId) -> WritePayload {
+        let slot = &mut self.write_payloads[id as usize];
+        debug_assert!(slot.refs > 0, "payload released more often than retained");
+        slot.refs -= 1;
+        let payload = slot.payload;
+        if slot.refs == 0 {
+            self.payload_free.push(id);
+            self.payload_live -= 1;
+        }
+        payload
+    }
+
+    /// Free an interned payload that ended up with no referencing events
+    /// (every target replica was down at fan-out time).
+    fn discard_unreferenced_payload(&mut self, id: PayloadId) {
+        let slot = &self.write_payloads[id as usize];
+        if slot.refs == 0 {
+            self.payload_free.push(id);
+            self.payload_live -= 1;
+        }
     }
 
     /// Current default read consistency level.
@@ -454,6 +578,42 @@ impl Cluster {
         op_id
     }
 
+    /// Bulk-submit a pre-sorted open-loop arrival stream.
+    ///
+    /// Open-loop workloads know their whole arrival timeline up front (the
+    /// schedule comes from a sorted arrival-time iterator, e.g.
+    /// `CoreWorkload::timed_ops`). Instead of paying one heap push per
+    /// operation, this routes every `ClientArrive` through the event queue's
+    /// O(1) bulk FIFO lane — the heap then only carries the simulation's
+    /// *reactive* events (replica messages, acks), exactly like the timeout
+    /// lane keeps per-op timeouts out of it.
+    ///
+    /// Delivery is byte-identical to calling [`Cluster::submit_read_at`] /
+    /// [`Cluster::submit_write_at`] in the same order: both paths draw
+    /// sequence numbers from the same counter, so every event fires at the
+    /// same virtual instant in the same relative order.
+    ///
+    /// Returns the number of operations submitted.
+    ///
+    /// # Panics
+    /// Panics if arrival times are not non-decreasing (the sorted-stream
+    /// contract is asserted, never silently repaired).
+    pub fn submit_batch(&mut self, ops: impl IntoIterator<Item = BatchOp>) -> usize {
+        let mut submitted = 0usize;
+        for op in ops {
+            let op_id = self.ops.insert(OpState::Pending(Submission {
+                kind: op.kind,
+                key: Key(op.key),
+                size: op.size,
+                level: op.level,
+            }));
+            self.queue
+                .bulk_push_sorted(op.at, Event::ClientArrive { op_id });
+            submitted += 1;
+        }
+        submitted
+    }
+
     /// Schedule a tick: [`Cluster::advance`] will return
     /// [`ClusterOutput::Tick`] when the simulation reaches `at`.
     pub fn schedule_tick(&mut self, at: SimTime, id: u64) {
@@ -470,6 +630,33 @@ impl Cluster {
             let (now, event) = self.queue.pop()?;
             self.handle(now, event);
         }
+    }
+
+    /// Like [`Cluster::advance`], but only processes events firing at or
+    /// before `deadline`; returns `None` once the next pending event (if
+    /// any) lies beyond it. Lets open-loop drivers interleave windowed
+    /// [`Cluster::submit_batch`] loads with draining, without the clock
+    /// running ahead of the next window's arrivals.
+    pub fn advance_before(&mut self, deadline: SimTime) -> Option<ClusterOutput> {
+        loop {
+            if let Some(out) = self.outputs.pop_front() {
+                return Some(out);
+            }
+            let (now, event) = self.queue.pop_before(deadline)?;
+            self.handle(now, event);
+        }
+    }
+
+    /// Drain every event up to `deadline` (inclusive), returning the
+    /// completed operations. Ticks are discarded.
+    pub fn run_until(&mut self, deadline: SimTime) -> Vec<CompletedOp> {
+        let mut done = Vec::new();
+        while let Some(out) = self.advance_before(deadline) {
+            if let ClusterOutput::Completed(op) = out {
+                done.push(op);
+            }
+        }
+        done
     }
 
     /// Drain the simulation completely (bounded by `max_events`), returning
@@ -564,6 +751,15 @@ impl Cluster {
         self.ring.replicas_into(sub.key, &mut replicas);
         let mut targeted = 0u32;
 
+        // One interned payload serves the whole fan-out: the RF scheduled
+        // events each carry a 4-byte handle instead of a full mutation copy.
+        let payload = self.intern_payload(WritePayload {
+            op_id,
+            key: sub.key,
+            version,
+            size: sub.size,
+            repair: false,
+        });
         for &replica in &replicas {
             let delay = self.account_message(coordinator, replica, sub.size);
             if self.nodes[replica.0 as usize].down {
@@ -571,20 +767,16 @@ impl Cluster {
                 continue;
             }
             targeted += 1;
+            self.retain_payload(payload);
             self.queue.schedule_at(
                 now + delay,
                 Event::ReplicaArrive {
                     node: replica,
-                    task: ReplicaTask::Write {
-                        op_id,
-                        key: sub.key,
-                        version,
-                        size: sub.size,
-                        repair: false,
-                    },
+                    task: ReplicaTask::Write { payload },
                 },
             );
         }
+        self.discard_unreferenced_payload(payload);
         self.replica_scratch = replicas;
 
         self.metrics.write_acks_awaited += required_acks as u64;
@@ -714,18 +906,18 @@ impl Cluster {
     /// unchanged (the ack was never coming); this only lets the state be
     /// reclaimed once the remaining live replicas have answered.
     fn drop_dead_task(&mut self, task: ReplicaTask) {
-        let ReplicaTask::Write {
-            op_id,
-            repair: false,
-            ..
-        } = task
-        else {
+        let ReplicaTask::Write { payload } = task else {
             return;
         };
-        if let Some(OpState::Write(w)) = self.ops.get_mut(op_id) {
+        // The task is consumed here: its payload reference dies with it.
+        let p = self.release_payload(payload);
+        if p.repair {
+            return;
+        }
+        if let Some(OpState::Write(w)) = self.ops.get_mut(p.op_id) {
             w.targeted = w.targeted.saturating_sub(1);
             if w.completed && w.acks >= w.targeted {
-                self.ops.remove(op_id);
+                self.ops.remove(p.op_id);
             }
         }
     }
@@ -753,13 +945,15 @@ impl Cluster {
         }
 
         match task {
-            ReplicaTask::Write {
-                op_id,
-                key,
-                version,
-                size,
-                repair,
-            } => {
+            ReplicaTask::Write { payload } => {
+                // Final consumption of this task's payload reference.
+                let WritePayload {
+                    op_id,
+                    key,
+                    version,
+                    size,
+                    repair,
+                } = self.release_payload(payload);
                 self.stores[idx].apply_write(key, version, size, now);
                 self.metrics.storage_write_ops += 1;
                 if repair {
@@ -904,26 +1098,30 @@ impl Cluster {
             self.outputs.push_back(ClusterOutput::Completed(completed));
 
             if needs_repair {
-                // Push the freshest version back to the contacted replicas.
+                // Push the freshest version back to the contacted replicas
+                // (one interned payload for the whole repair fan-out).
+                let payload = self.intern_payload(WritePayload {
+                    op_id,
+                    key,
+                    version: best,
+                    size: best_size,
+                    repair: true,
+                });
                 for &replica in contacted.iter() {
                     let delay = self.account_message(coordinator, replica, best_size);
                     if self.nodes[replica.0 as usize].down {
                         continue;
                     }
+                    self.retain_payload(payload);
                     self.queue.schedule_at(
                         now + delay,
                         Event::ReplicaArrive {
                             node: replica,
-                            task: ReplicaTask::Write {
-                                op_id,
-                                key,
-                                version: best,
-                                size: best_size,
-                                repair: true,
-                            },
+                            task: ReplicaTask::Write { payload },
                         },
                     );
                 }
+                self.discard_unreferenced_payload(payload);
             }
         }
     }
@@ -1312,6 +1510,101 @@ mod tests {
         // The repaired replica now holds the freshest version.
         let fresh = c.store(c.replicas_of(1)[0]).peek(Key(1)).unwrap().version;
         assert_eq!(c.store(victim).peek(Key(1)).unwrap().version, fresh);
+    }
+
+    #[test]
+    fn interned_payload_keeps_events_small() {
+        // The write fan-out's mutation lives once in the payload slab; the
+        // per-event task is a handle. These bounds are what keep the event
+        // queue's payload slab entries at 32 bytes.
+        assert!(std::mem::size_of::<ReplicaTask>() <= 24);
+        assert!(std::mem::size_of::<Event>() <= 32);
+        assert_eq!(std::mem::size_of::<WritePayload>(), 32);
+    }
+
+    #[test]
+    fn write_payload_slab_drains_after_runs() {
+        // Fan-outs with acks, repairs, timeouts and down nodes all consume
+        // their payload references; nothing may leak.
+        let mut cfg = ClusterConfig::lan_test(6, 5);
+        cfg.read_repair = true;
+        cfg.op_timeout = SimDuration::from_millis(50);
+        let mut c = Cluster::new(cfg, 23);
+        c.load_records((0..20u64).map(|k| (k, 100)));
+        c.set_node_down(NodeId(2));
+        let mut at = SimTime::ZERO;
+        for i in 0..600u64 {
+            at += SimDuration::from_micros(300);
+            match i % 3 {
+                0 => c.submit_write_with(i % 20, 100, ConsistencyLevel::All, at),
+                1 => c.submit_write_at(i % 20, 100, at),
+                _ => c.submit_read_with(i % 20, ConsistencyLevel::Quorum, at),
+            };
+        }
+        drain(&mut c);
+        assert_eq!(c.inflight_write_payloads(), 0, "payload slab must drain");
+        assert_eq!(c.inflight_ops(), 0);
+    }
+
+    #[test]
+    fn fully_dead_fanout_discards_its_payload() {
+        // Every replica of the key down at submit time: the interned payload
+        // gains no references and must be reclaimed immediately.
+        let mut c = cluster(3, 3);
+        c.load_records((0..5u64).map(|k| (k, 100)));
+        for n in 0..3 {
+            c.set_node_down(NodeId(n));
+        }
+        c.submit_write_at(1, 100, SimTime::ZERO);
+        drain(&mut c);
+        assert_eq!(c.inflight_write_payloads(), 0);
+    }
+
+    #[test]
+    fn submit_batch_is_byte_identical_to_loop_submission() {
+        let ops: Vec<BatchOp> = (0..400u64)
+            .map(|i| {
+                let at = SimTime::from_micros(i * 250);
+                if i % 2 == 0 {
+                    BatchOp::write(at, i % 10, 100)
+                } else {
+                    BatchOp::read(at, i % 10)
+                }
+            })
+            .collect();
+
+        let mut via_loop = cluster(6, 5);
+        via_loop.load_records((0..10u64).map(|k| (k, 100)));
+        for op in &ops {
+            match op.kind {
+                OpKind::Write => via_loop.submit_write_at(op.key, op.size, op.at),
+                OpKind::Read => via_loop.submit_read_at(op.key, op.at),
+            };
+        }
+        let loop_done = drain(&mut via_loop);
+
+        let mut via_batch = cluster(6, 5);
+        via_batch.load_records((0..10u64).map(|k| (k, 100)));
+        assert_eq!(via_batch.submit_batch(ops.iter().copied()), 400);
+        let batch_done = drain(&mut via_batch);
+
+        // Same completions in the same order with the same ids, timestamps,
+        // versions and staleness — the bulk lane changes the data structure,
+        // not the simulation.
+        assert_eq!(loop_done, batch_done);
+        assert_eq!(via_loop.events_processed(), via_batch.events_processed());
+        assert_eq!(via_loop.now(), via_batch.now());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted arrival stream")]
+    fn submit_batch_rejects_unsorted_arrivals() {
+        let mut c = cluster(4, 3);
+        c.load_records((0..5u64).map(|k| (k, 100)));
+        c.submit_batch([
+            BatchOp::read(SimTime::from_millis(10), 1),
+            BatchOp::read(SimTime::from_millis(5), 2),
+        ]);
     }
 
     #[test]

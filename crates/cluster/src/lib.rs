@@ -43,7 +43,7 @@ pub mod slab;
 pub mod storage;
 pub mod types;
 
-pub use cluster::{Cluster, ClusterOutput, ReplicaSelection};
+pub use cluster::{BatchOp, Cluster, ClusterOutput, ReplicaSelection};
 pub use config::ClusterConfig;
 pub use consistency::ConsistencyLevel;
 pub use metrics::{ClusterMetrics, LatencyReservoir, LatencyStats, TrafficBytes};

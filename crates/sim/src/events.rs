@@ -76,6 +76,14 @@ pub struct EventQueue<E> {
     /// enough for its sift path to remain cache-resident. Entries are
     /// `(packed key, event)`, sorted by construction.
     fifo: VecDeque<(u128, E)>,
+    /// The bulk lane: a second sorted FIFO for pre-sorted open-loop arrival
+    /// streams loaded up front ([`EventQueue::bulk_push_sorted`]). A separate
+    /// lane because bulk loads front-run the whole simulated timeline — if
+    /// arrivals shared the timeout lane, every later timeout (scheduled at
+    /// `now + constant` ≪ the last arrival) would violate that lane's
+    /// sortedness and fall back to the heap, forfeiting the O(1) path the
+    /// lane exists for.
+    bulk: VecDeque<(u128, E)>,
     now: SimTime,
     next_seq: u64,
     processed: u64,
@@ -95,6 +103,7 @@ impl<E> EventQueue<E> {
             events: Vec::new(),
             free: Vec::new(),
             fifo: VecDeque::new(),
+            bulk: VecDeque::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
@@ -108,12 +117,12 @@ impl<E> EventQueue<E> {
 
     /// Number of events waiting in the queue.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.fifo.len()
+        self.heap.len() + self.fifo.len() + self.bulk.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.fifo.is_empty()
+        self.heap.is_empty() && self.fifo.is_empty() && self.bulk.is_empty()
     }
 
     /// Total number of events popped so far.
@@ -181,16 +190,69 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now, event);
     }
 
+    /// Append `event` at `at` to the **bulk lane**: the O(1) path for
+    /// pre-sorted open-loop arrival streams loaded before (or during) a run.
+    ///
+    /// The caller guarantees firing times are non-decreasing across bulk
+    /// pushes; producers derive their schedule from a sorted arrival-time
+    /// iterator, so a violation is a logic error upstream, not an input to
+    /// tolerate — the method **panics** rather than silently degrading to
+    /// the heap. Delivery order relative to the other lanes is exact global
+    /// FIFO per instant, since all three lanes share one sequence counter.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the current clock or the previously pushed
+    /// bulk event.
+    pub fn bulk_push_sorted(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "bulk lane: arrival at {}us precedes the clock ({}us)",
+            at.as_micros(),
+            self.now.as_micros()
+        );
+        if let Some(&(back, _)) = self.bulk.back() {
+            assert!(
+                at >= unpack_time(back),
+                "bulk lane: arrival at {}us precedes the previous arrival ({}us); \
+                 bulk loads require a sorted arrival stream",
+                at.as_micros(),
+                unpack_time(back).as_micros()
+            );
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.bulk.push_back((pack(at, seq), event));
+    }
+
+    /// Bulk-load a pre-sorted stream of `(time, event)` pairs through the
+    /// bulk lane (see [`EventQueue::bulk_push_sorted`]).
+    ///
+    /// # Panics
+    /// Panics if the stream's firing times are not non-decreasing.
+    pub fn bulk_load_sorted(&mut self, items: impl IntoIterator<Item = (SimTime, E)>) {
+        let iter = items.into_iter();
+        let (lower, _) = iter.size_hint();
+        self.bulk.reserve(lower);
+        for (at, event) in iter {
+            self.bulk_push_sorted(at, event);
+        }
+    }
+
     /// The packed key of the next pending event, if any (minimum over the
-    /// heap and FIFO lanes).
+    /// heap, FIFO and bulk lanes).
     #[inline]
     fn peek_key(&self) -> Option<u128> {
-        let heap_key = self.heap.peek().map(|s| s.key);
-        let fifo_key = self.fifo.front().map(|&(key, _)| key);
-        match (heap_key, fifo_key) {
-            (Some(h), Some(f)) => Some(h.min(f)),
-            (a, b) => a.or(b),
+        let mut key = self.heap.peek().map(|s| s.key);
+        for lane_key in [
+            self.fifo.front().map(|&(k, _)| k),
+            self.bulk.front().map(|&(k, _)| k),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            key = Some(key.map_or(lane_key, |k: u128| k.min(lane_key)));
         }
+        key
     }
 
     /// Time of the next pending event, if any.
@@ -200,16 +262,14 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        // Pick the earlier lane; the shared sequence counter makes the
-        // packed keys totally ordered across both.
-        let take_fifo = match (self.heap.peek(), self.fifo.front()) {
-            (Some(s), Some(&(fifo_key, _))) => fifo_key < s.key,
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
-            (None, None) => return None,
-        };
-        let (key, event) = if take_fifo {
+        // Pick the earliest of the three lanes; the shared sequence counter
+        // makes the packed keys totally ordered (and unique) across all.
+        let next = self.peek_key()?;
+        let fifo_next = self.fifo.front().is_some_and(|&(k, _)| k == next);
+        let (key, event) = if fifo_next {
             self.fifo.pop_front().expect("fifo front exists")
+        } else if self.bulk.front().is_some_and(|&(k, _)| k == next) {
+            self.bulk.pop_front().expect("bulk front exists")
         } else {
             let s = self.heap.pop().expect("heap top exists");
             let event = self.events[s.slot as usize]
@@ -254,6 +314,7 @@ impl<E> EventQueue<E> {
         self.events.clear();
         self.free.clear();
         self.fifo.clear();
+        self.bulk.clear();
     }
 }
 
@@ -482,6 +543,81 @@ mod tests {
         let (t, e) = q.pop().unwrap();
         assert_eq!(e, "past");
         assert_eq!(t, SimTime::from_secs(10), "clamped to now");
+    }
+
+    #[test]
+    fn bulk_lane_interleaves_with_heap_and_fifo() {
+        let mut q = EventQueue::new();
+        // Bulk-load a whole arrival timeline up front…
+        q.bulk_load_sorted([
+            (SimTime::from_millis(1), "arrive-1"),
+            (SimTime::from_millis(10), "arrive-2"),
+            (SimTime::from_millis(10), "arrive-3"),
+            (SimTime::from_millis(30), "arrive-4"),
+        ]);
+        // …then heap and timeout-lane events land in between.
+        q.schedule_at(SimTime::from_millis(5), "heap");
+        q.schedule_fifo(SimTime::from_millis(10), "timeout");
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        // Same-instant ties break by scheduling order (bulk pushes first).
+        assert_eq!(
+            order,
+            vec!["arrive-1", "heap", "arrive-2", "arrive-3", "timeout", "arrive-4"]
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 6);
+    }
+
+    #[test]
+    fn bulk_lane_matches_heap_scheduling_exactly() {
+        // The same sorted arrival stream through the heap and through the
+        // bulk lane must deliver identically (same times, same order).
+        let mut rng = crate::rng::SimRng::new(9);
+        let mut arrivals: Vec<(SimTime, u64)> = (0..1_000)
+            .map(|i| (SimTime::from_micros(rng.next_bounded(500_000)), i))
+            .collect();
+        arrivals.sort_by_key(|&(t, i)| (t, i));
+
+        let mut heap_q = EventQueue::new();
+        for &(t, i) in &arrivals {
+            heap_q.schedule_at(t, i);
+        }
+        let mut bulk_q = EventQueue::new();
+        bulk_q.bulk_load_sorted(arrivals.iter().copied());
+
+        let via_heap: Vec<_> = std::iter::from_fn(|| heap_q.pop()).collect();
+        let via_bulk: Vec<_> = std::iter::from_fn(|| bulk_q.pop()).collect();
+        assert_eq!(via_heap, via_bulk);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted arrival stream")]
+    fn bulk_lane_rejects_unsorted_streams() {
+        let mut q = EventQueue::new();
+        q.bulk_push_sorted(SimTime::from_secs(5), "late");
+        q.bulk_push_sorted(SimTime::from_secs(1), "early");
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the clock")]
+    fn bulk_lane_rejects_past_times() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "later");
+        q.pop();
+        q.bulk_push_sorted(SimTime::from_secs(1), "past");
+    }
+
+    #[test]
+    fn bulk_lane_respects_deadlines_and_clear() {
+        let mut q = EventQueue::new();
+        q.bulk_load_sorted([(SimTime::from_secs(1), 1), (SimTime::from_secs(5), 2)]);
+        assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, 1);
+        assert!(q.pop_before(SimTime::from_secs(2)).is_none());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
     }
 
     #[test]

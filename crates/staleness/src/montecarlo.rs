@@ -47,6 +47,16 @@ impl MonteCarloEstimator {
         }
     }
 
+    /// Set the number of independent chunks the pool evaluates in parallel.
+    ///
+    /// Each chunk derives its RNG from `seed` and the chunk index, and the
+    /// chunk results are reduced in index order, so the estimate depends on
+    /// the chunk *count* but never on the thread count that ran them.
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        self.chunks = chunks.max(1);
+        self
+    }
+
     fn sample_propagation_ms(model: &PropagationModel, rng: &mut SimRng) -> f64 {
         match model {
             PropagationModel::Deterministic { total_ms } => *total_ms,
@@ -184,6 +194,32 @@ mod tests {
         let a = mc().estimate(&p);
         let b = mc().estimate(&p);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // The chunks run on the real pool now; the estimate must stay
+        // bit-identical whether one thread or many evaluate them, because
+        // chunk RNGs are seeded by index and results reduce in index order.
+        let p = StalenessParams::basic(5, 2, 1, 1500.0, 80.0, 0.5, 30.0);
+        let est = MonteCarloEstimator::new(120_000, 42).with_chunks(8);
+        let pool = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool construction cannot fail")
+        };
+        let baseline = pool(1).install(|| est.estimate(&p));
+        for threads in [2, 4, 8] {
+            let sampled = pool(threads).install(|| est.estimate(&p));
+            assert_eq!(sampled, baseline, "estimate drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn with_chunks_clamps_and_configures() {
+        assert_eq!(MonteCarloEstimator::new(100, 1).with_chunks(0).chunks, 1);
+        assert_eq!(MonteCarloEstimator::new(100, 1).with_chunks(16).chunks, 16);
     }
 
     #[test]

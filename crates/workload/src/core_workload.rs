@@ -302,6 +302,35 @@ impl CoreWorkload {
         })
     }
 
+    /// Pair the run phase's remaining operations with a **sorted** open-loop
+    /// arrival schedule: yields `(arrival_time, op)` with non-decreasing
+    /// times, the exact stream `Cluster::submit_batch` bulk-loads through
+    /// the event queue's O(1) lane. Operation generation and arrival gaps
+    /// draw from the same `rng` in a fixed interleaving (gap first, then
+    /// op), so a fixed seed reproduces the identical timed stream.
+    ///
+    /// # Panics
+    /// Panics if `process` is a closed loop (see
+    /// [`ArrivalProcess::schedule`](crate::ArrivalProcess::schedule)).
+    pub fn timed_ops<'a>(
+        &'a mut self,
+        process: crate::ArrivalProcess,
+        start: concord_sim::SimTime,
+        rng: &'a mut SimRng,
+    ) -> TimedOps<'a> {
+        assert!(
+            process.concurrency().is_none(),
+            "closed-loop arrivals are completion-driven; timed_ops needs an \
+             open-loop process"
+        );
+        TimedOps {
+            workload: self,
+            process,
+            at: start,
+            rng,
+        }
+    }
+
     /// Generate the next operation of the run phase.
     pub fn next_op(&mut self, rng: &mut SimRng) -> WorkloadOp {
         self.generated += 1;
@@ -368,6 +397,40 @@ impl CoreWorkload {
         }
     }
 }
+
+/// Iterator over `(sorted arrival time, operation)` pairs of an open-loop
+/// run phase (see [`CoreWorkload::timed_ops`]).
+pub struct TimedOps<'a> {
+    workload: &'a mut CoreWorkload,
+    process: crate::ArrivalProcess,
+    at: concord_sim::SimTime,
+    rng: &'a mut SimRng,
+}
+
+impl Iterator for TimedOps<'_> {
+    type Item = (concord_sim::SimTime, WorkloadOp);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.workload.is_exhausted() {
+            return None;
+        }
+        let at = self.process.next_arrival(&mut self.at, self.rng);
+        let op = self.workload.next_op(self.rng);
+        Some((at, op))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self
+            .workload
+            .config
+            .operation_count
+            .saturating_sub(self.workload.generated);
+        let n = usize::try_from(remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TimedOps<'_> {}
 
 impl std::fmt::Debug for CoreWorkload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -538,6 +601,41 @@ mod tests {
         assert!(OperationType::ReadModifyWrite.is_read());
         assert!(OperationType::ReadModifyWrite.is_write());
         assert!(OperationType::Scan.is_read());
+    }
+
+    #[test]
+    fn timed_ops_yield_sorted_times_until_exhaustion() {
+        let mut w = CoreWorkload::new(WorkloadConfig {
+            record_count: 1_000,
+            operation_count: 2_500,
+            read_proportion: 0.5,
+            update_proportion: 0.5,
+            ..WorkloadConfig::default()
+        });
+        let mut rng = SimRng::new(12);
+        let process = crate::ArrivalProcess::OpenLoopPoisson { ops_per_sec: 800.0 };
+        let start = concord_sim::SimTime::from_millis(5);
+        let timed: Vec<_> = w.timed_ops(process, start, &mut rng).collect();
+        assert_eq!(timed.len(), 2_500);
+        assert!(w.is_exhausted());
+        assert!(timed[0].0 >= start);
+        assert!(
+            timed.windows(2).all(|p| p[0].0 <= p[1].0),
+            "timed op stream must be sorted by arrival time"
+        );
+        assert!(timed.iter().all(|(_, op)| op.key < 1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "open-loop")]
+    fn timed_ops_reject_closed_loops() {
+        let mut w = CoreWorkload::new(WorkloadConfig::default());
+        let mut rng = SimRng::new(1);
+        let _ = w.timed_ops(
+            crate::ArrivalProcess::closed(4),
+            concord_sim::SimTime::ZERO,
+            &mut rng,
+        );
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! High-level experiment API: configure a platform, a workload and one or
 //! more consistency policies, run them (in parallel across policies with
-//! rayon) and collect comparable [`RunReport`]s.
+//! rayon — a real thread pool since PR 2) and collect comparable
+//! [`RunReport`]s.
+//!
+//! Every run owns its cluster and runtime and derives all randomness from
+//! its seed, and the pool recombines results in input order, so
+//! [`Experiment::compare`] and [`Experiment::run_seeds`] return
+//! byte-identical reports for any thread count (`RAYON_NUM_THREADS`, a
+//! `ThreadPool::install` scope, or the machine default).
 //!
 //! This is the entry point the examples, the integration tests and the
-//! benchmark harness all use.
+//! benchmark harness all use; `concord-bench`'s `Sweep` builds the full
+//! (policy × seed) grid machinery on top of it.
 
 use crate::platforms::Platform;
 use concord_cluster::Cluster;
@@ -176,9 +184,10 @@ impl Experiment {
         report
     }
 
-    /// Run a set of policy specifications **in parallel** (one rayon task per
+    /// Run a set of policy specifications **in parallel** (one pool task per
     /// policy; each run owns its cluster, so there is no shared mutable
-    /// state) and return the reports in the same order.
+    /// state) and return the reports in the same order — byte-identical for
+    /// any thread count.
     pub fn compare(&self, specs: &[PolicySpec]) -> Vec<RunReport> {
         specs.par_iter().map(|spec| self.run_spec(spec)).collect()
     }

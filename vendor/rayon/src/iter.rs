@@ -1,0 +1,207 @@
+//! Parallel-iterator adapters over the [`run_indexed`](crate::pool::run_indexed)
+//! execution primitive.
+//!
+//! The shape mirrors `rayon::iter`: conversion traits (`IntoParallelIterator`
+//! for owned collections, `IntoParallelRefIterator` for borrowed ones)
+//! produce a [`ParIter`]; [`ParIter::map`] stays lazy ([`ParMap`]) until a
+//! consumer ([`ParMap::collect`], [`ParMap::sum`], [`ParMap::reduce`],
+//! [`ParMap::for_each`]) drives the pipeline across threads. Unlike upstream
+//! rayon the input is materialized into a `Vec` up front — every call site in
+//! this workspace iterates small collections of coarse work items, where the
+//! copy is noise.
+//!
+//! **Determinism contract:** every consumer produces results in input order
+//! (or folds them in input order), regardless of thread count or scheduling.
+
+use crate::pool::run_indexed;
+
+/// A parallel iterator over an owned sequence of items.
+///
+/// Created through [`IntoParallelIterator::into_par_iter`] or
+/// [`IntoParallelRefIterator::par_iter`].
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Number of items the pipeline will process.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there is nothing to process.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Transform every item with `f` on the pool (lazy: nothing runs until a
+    /// consumer is called).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Keep only items matching `pred` (applied eagerly, in order — the
+    /// filter itself is cheap; the parallel work is what follows it).
+    pub fn filter<P>(self, pred: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool,
+    {
+        ParIter {
+            items: self.items.into_iter().filter(|t| pred(t)).collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel (results discarded).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_indexed(self.items, f);
+    }
+
+    /// Collect the items (in input order). Useful after [`ParIter::filter`].
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items in input order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// A lazy parallel map: the result of [`ParIter::map`].
+///
+/// Consumers evaluate `f` over the items on up to
+/// [`current_num_threads`](crate::pool::current_num_threads) OS threads and
+/// recombine the results **in input order**.
+#[derive(Debug)]
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Chain another transformation (fused into one parallel pass).
+    pub fn map<R2, G>(self, g: G) -> ParMap<T, impl Fn(T) -> R2 + Sync>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |t| g(f(t)),
+        }
+    }
+
+    /// Evaluate in parallel and collect the results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        run_indexed(self.items, self.f).into_iter().collect()
+    }
+
+    /// Evaluate in parallel and sum the results, folding in input order (so
+    /// float sums are bit-identical across thread counts).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        run_indexed(self.items, self.f).into_iter().sum()
+    }
+
+    /// Evaluate in parallel, then fold the results **in input order** with
+    /// `op`, starting from `identity()`.
+    pub fn reduce<OP, ID>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        run_indexed(self.items, self.f)
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Evaluate in parallel, discarding the results.
+    pub fn for_each(self) {
+        run_indexed(self.items, self.f);
+    }
+
+    /// Evaluate in parallel and count the results.
+    pub fn count(self) -> usize {
+        run_indexed(self.items, self.f).len()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` for borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a shared reference).
+    type Item: Send + 'data;
+    /// Iterate over shared references in parallel.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}

@@ -1,52 +1,232 @@
-//! Vendored minimal `rayon` shim: the parallel-iterator entry points the
-//! workspace uses (`par_iter`, `into_par_iter`) mapped onto *sequential*
-//! standard iterators. Every call site owns its data and is deterministic, so
-//! the sequential execution is observably identical (and single-threaded
-//! execution keeps fixed-seed runs exactly reproducible).
+//! Vendored `rayon`: a real multi-threaded data-parallelism library exposing
+//! the API slice this workspace uses.
+//!
+//! Until PR 2 this crate was a *sequential* shim (the `par_iter` traits
+//! mapped onto plain std iterators). It is now an actual thread-pool
+//! implementation: parallel operations fan work out to OS threads (dynamic
+//! chunking over a shared cursor, caller participates) and recombine results
+//! **in input order**, so any program output is independent of thread count
+//! and scheduling — the property the simulator's fixed-seed reproducibility
+//! relies on. See [`pool`] for the execution engine and [`iter`] for the
+//! iterator adapters.
+//!
+//! Supported surface:
+//!
+//! * [`prelude`] — `into_par_iter()` / `par_iter()` plus the `map` /
+//!   `filter` / `collect` / `sum` / `reduce` / `for_each` adapters;
+//! * [`join`] — potentially-parallel two-way fork/join;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — explicit thread-count
+//!   configuration (`build_global`, or scoped via `ThreadPool::install`);
+//! * `RAYON_NUM_THREADS` — environment default, read once per process;
+//! * [`current_num_threads`] — the count parallel operations will use.
+//!
+//! ## Determinism contract
+//!
+//! For any pipeline `xs.par_iter().map(f).collect::<Vec<_>>()` the output
+//! equals the sequential `xs.iter().map(f).collect()` — same order, same
+//! values — for every thread count, provided `f` itself is deterministic.
+//! Reductions (`sum`, `reduce`) fold the mapped results in input order, so
+//! even non-associative floating-point folds are bit-identical across thread
+//! counts.
 
-/// The traits, mirrored from `rayon::prelude`.
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+/// The traits and adapters, mirrored from `rayon::prelude`.
 pub mod prelude {
-    /// `into_par_iter()` for owned collections and ranges.
-    pub trait IntoParallelIterator {
-        /// The element type.
-        type Item;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Convert into a "parallel" iterator.
-        fn into_par_iter(self) -> Self::Iter;
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    #[test]
+    fn collect_preserves_input_order_across_thread_counts() {
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let got: Vec<u64> =
+                pool(threads).install(|| input.par_iter().map(|&x| x * x + 1).collect());
+            assert_eq!(got, expected, "threads={threads}");
         }
     }
 
-    /// `par_iter()` for borrowed collections.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The element type.
-        type Item: 'data;
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate over shared references.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        // Non-associative fold: only deterministic input-order reduction
+        // makes these equal bit-for-bit.
+        let xs: Vec<f64> = (1..500).map(|i| 1.0 / i as f64).collect();
+        let seq: f64 = xs.iter().map(|x| x.sin()).sum();
+        for threads in [1, 2, 5] {
+            let par: f64 = pool(threads).install(|| xs.par_iter().map(|x| x.sin()).sum());
+            assert_eq!(par.to_bits(), seq.to_bits(), "threads={threads}");
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    #[test]
+    fn work_actually_overlaps_in_time() {
+        // Eight 20 ms sleeps on 8 threads must take well under the 160 ms a
+        // sequential executor needs (sleeps overlap even on one core).
+        let t0 = Instant::now();
+        pool(8).install(|| {
+            (0..8u32)
+                .into_par_iter()
+                .for_each(|_| std::thread::sleep(Duration::from_millis(20)))
+        });
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(120),
+            "8 × 20 ms sleeps took {elapsed:?}; the pool is not parallel"
+        );
+    }
+
+    #[test]
+    fn multiple_os_threads_are_used() {
+        let counter = AtomicUsize::new(0);
+        let ids: std::collections::HashSet<std::thread::ThreadId> = pool(4).install(|| {
+            (0..64u32)
+                .into_par_iter()
+                .map(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    // Give other workers a chance to pull items.
+                    std::thread::sleep(Duration::from_millis(1));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert!(
+            ids.len() > 1,
+            "64 sleepy items on 4 threads must involve more than one OS thread"
+        );
+    }
+
+    #[test]
+    fn join_returns_results_in_order() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        let (a, b) = pool(1).join(|| 40 + 2, || vec![1, 2, 3]);
+        assert_eq!(a, 42);
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reduce_folds_in_input_order() {
+        // String concatenation is order-sensitive.
+        let words = ["a", "b", "c", "d", "e"];
+        for threads in [1, 4] {
+            let joined: String = pool(threads).install(|| {
+                words
+                    .par_iter()
+                    .map(|w| w.to_string())
+                    .reduce(String::new, |mut acc, w| {
+                        acc.push_str(&w);
+                        acc
+                    })
+            });
+            assert_eq!(joined, "abcde", "threads={threads}");
         }
+    }
+
+    #[test]
+    fn filter_and_count_work() {
+        let n = (0..100u32)
+            .into_par_iter()
+            .filter(|x| x % 3 == 0)
+            .map(|x| x * 2)
+            .count();
+        assert_eq!(n, 34);
+        let evens: Vec<u32> = (0..10u32).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let outer = pool(3);
+        let inner = pool(2);
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let total: u64 = pool(2).install(|| {
+            (0..4u64)
+                .into_par_iter()
+                .map(|i| {
+                    // Inner parallel op on a worker thread.
+                    (0..8u64)
+                        .into_par_iter()
+                        .map(move |j| i * 100 + j)
+                        .sum::<u64>()
+                })
+                .sum()
+        });
+        let expected: u64 = (0..4u64)
+            .map(|i| (0..8u64).map(|j| i * 100 + j).sum::<u64>())
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn nested_regions_stay_within_the_pool_bound() {
+        // Inside a parallel region the thread count is pinned to 1, so
+        // nested pipelines run sequentially on their worker instead of
+        // spawning a full complement each.
+        let inner_counts: Vec<usize> = pool(4).install(|| {
+            (0..8u32)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            inner_counts.iter().all(|&n| n == 1),
+            "items inside a parallel region must see a 1-thread bound, got {inner_counts:?}"
+        );
+        // …and the bound is restored once the region ends.
+        let p = pool(4);
+        p.install(|| {
+            let _: Vec<u32> = (0..4u32).into_par_iter().map(|x| x).collect();
+            assert_eq!(current_num_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn empty_and_single_item_pipelines() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![41u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                (0..16u32)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                        i
+                    })
+                    .for_each()
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
     }
 }

@@ -1,0 +1,306 @@
+//! The execution engine: a chunked pool of scoped std threads.
+//!
+//! Every parallel operation materializes its input, then fans work out to
+//! `current_num_threads()` OS threads via [`run_indexed`]. Work distribution
+//! is dynamic (threads pull the next item off a shared cursor), so uneven
+//! task durations balance automatically, but **results are always collected
+//! in input order** — the output of a parallel map is byte-identical to the
+//! sequential map, independent of how the scheduler interleaved the items.
+//!
+//! Threads are spawned per call with `std::thread::scope` rather than parked
+//! in a global pool. That keeps borrowed inputs (`par_iter` over a slice)
+//! safe without lifetime transmutation, makes nested parallelism
+//! deadlock-free, and costs a few tens of microseconds per call — noise for
+//! the coarse-grained work (whole simulation runs, Monte-Carlo chunks) this
+//! workspace parallelizes. Inside a parallel region the thread count is
+//! pinned to 1, so an item that itself calls `par_iter` runs that inner
+//! pipeline sequentially — the configured pool size bounds the *total*
+//! OS-thread count, it is not multiplied by nesting depth.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The vendored builder
+/// cannot actually fail; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Default thread count: the `RAYON_NUM_THREADS` environment variable if set
+/// to a positive integer, otherwise the machine's available parallelism.
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Explicit global override installed by `ThreadPoolBuilder::build_global`
+/// (0 = unset, fall through to the env/default).
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by `ThreadPool::install` (0 = unset).
+    static INSTALLED: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of threads parallel operations started from this thread will
+/// use: an [`ThreadPool::install`] scope wins, then a `build_global` pool,
+/// then `RAYON_NUM_THREADS`, then the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED.with(|c| c.get());
+    if installed >= 1 {
+        return installed;
+    }
+    let global = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if global >= 1 {
+        return global;
+    }
+    default_num_threads()
+}
+
+/// Builder for a [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the number of worker threads (0 = use the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build a pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Install this configuration as the process-global default for every
+    /// parallel operation that is not inside an explicit
+    /// [`ThreadPool::install`] scope. Unlike upstream rayon, calling it more
+    /// than once simply replaces the previous setting.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        };
+        GLOBAL_OVERRIDE.store(n, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A handle fixing the thread count for parallel operations run under
+/// [`ThreadPool::install`].
+///
+/// Threads are spawned per operation (see the module docs), so the handle
+/// itself owns no OS resources — it is a configuration scope, which also
+/// means any number of pools can coexist and nest.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The thread count operations inside [`ThreadPool::install`] use.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with this pool's thread count as the current default.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED.with(|c| c.replace(self.num_threads));
+        // Restore on unwind too, so a panicking test leaves no stale override.
+        struct Reset(usize);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                INSTALLED.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(previous);
+        f()
+    }
+
+    /// [`join`] under this pool's thread count.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| join(a, b))
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// `b` is offered to a freshly spawned thread while the calling thread runs
+/// `a`; if only one thread is configured, both run sequentially on the
+/// caller. Either way `(a's result, b's result)` comes back in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Map `f` over `items` on up to `current_num_threads()` OS threads and
+/// return the results **in input order**.
+///
+/// This is the single execution primitive behind every parallel-iterator
+/// adapter. Items are handed out through a shared cursor (dynamic
+/// scheduling); each worker records `(index, result)` pairs locally and the
+/// caller stitches them back into input order afterwards, so the returned
+/// `Vec` is identical for every thread count. A panic in `f` is propagated
+/// to the caller after the scope unwinds.
+pub fn run_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Every thread participating in this region — spawned workers *and* the
+    // caller — runs items with the thread count pinned to 1, so parallel
+    // operations nested inside an item execute sequentially instead of
+    // spawning their own full complement of threads. This keeps the total
+    // OS-thread count bounded by the configured pool size (a 2-thread pool
+    // whose items each contain an inner `par_iter` stays at 2 threads, not
+    // 2 × default), at the cost of no nested parallelism — the right trade
+    // for this workspace, where the outer grid is the scalable dimension.
+    struct PinSequential(usize);
+    impl PinSequential {
+        fn engage() -> Self {
+            PinSequential(INSTALLED.with(|c| c.replace(1)))
+        }
+    }
+    impl Drop for PinSequential {
+        fn drop(&mut self) {
+            INSTALLED.with(|c| c.set(self.0));
+        }
+    }
+
+    // Shared cursor: workers pull `(index, item)` pairs one at a time. The
+    // mutex is uncontended in practice — the workspace parallelizes
+    // coarse-grained items (entire simulation runs), so handoff cost is
+    // irrelevant next to item cost.
+    let cursor = Mutex::new(items.into_iter().enumerate());
+    let poisoned = AtomicBool::new(false);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+
+    let worker = |out: &mut Vec<(usize, R)>| loop {
+        if poisoned.load(Ordering::Relaxed) {
+            return;
+        }
+        let next = {
+            let mut guard = match cursor.lock() {
+                Ok(g) => g,
+                Err(_) => return, // another worker panicked mid-pull
+            };
+            guard.next()
+        };
+        let Some((idx, item)) = next else { return };
+        // If `f` panics the flag stops the other workers promptly; the
+        // panic itself is rethrown when the scope joins this thread.
+        struct Poison<'a>(&'a AtomicBool, bool);
+        impl Drop for Poison<'_> {
+            fn drop(&mut self) {
+                if !self.1 {
+                    self.0.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut guard = Poison(&poisoned, false);
+        let result = f(item);
+        guard.1 = true;
+        drop(guard);
+        out.push((idx, result));
+    };
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads - 1);
+        for _ in 0..threads - 1 {
+            handles.push(scope.spawn(|| {
+                let _pin = PinSequential::engage();
+                let mut out = Vec::new();
+                worker(&mut out);
+                out
+            }));
+        }
+        // The calling thread participates instead of blocking idle.
+        let mut own = Vec::new();
+        {
+            let _pin = PinSequential::engage();
+            worker(&mut own);
+        }
+        buckets.push(own);
+        for handle in handles {
+            match handle.join() {
+                Ok(out) => buckets.push(out),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Deterministic ordered reduction: scheduling decided which worker ran
+    // which item, but the output is reassembled purely by input index.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (idx, result) in buckets.into_iter().flatten() {
+        debug_assert!(slots[idx].is_none(), "item {idx} produced twice");
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item produced exactly one result"))
+        .collect()
+}
