@@ -18,7 +18,8 @@ use concord_bench::{Harness, Sweep};
 use concord_workload::SyntheticTraceBuilder;
 
 fn main() {
-    let _harness = Harness::from_env(); // applies --threads to the pool
+    let harness = Harness::from_env(); // applies --threads to the pool
+    harness.forbid_workload_override("behavior modeling derives its phases from the trace");
     let mut rng = SimRng::new(31);
 
     // Ground truth: browse (read-mostly, quiet) vs checkout (write-heavy,
@@ -110,6 +111,7 @@ fn main() {
         .with_clients(24)
         .with_adaptation_interval(SimDuration::from_millis(100))
         .with_seed(31);
+    let experiment = harness.apply_arrival(experiment);
     let behavior_report = experiment.run_behavior_policy(BehaviorDrivenPolicy::new(model));
     // Single-seed on purpose: the behavior-driven run above is one seed, so
     // a multi-seed baseline grid would cost simulations whose reports this

@@ -18,13 +18,14 @@ use concord_bench::{compare_line, render_summary_table, slim, Harness, Sweep};
 fn main() {
     let harness = Harness::from_env();
     let platform = harness.cost_platform();
-    let workload = slim(presets::cost_workload(harness.scale.workload));
+    let workload = harness.apply_workload(slim(presets::cost_workload(harness.scale.workload)));
     harness.banner("EXP-B2b", &platform, &workload);
 
     let experiment = Experiment::new(platform, workload)
         .with_clients(32)
         .with_adaptation_interval(SimDuration::from_millis(250))
         .with_seed(2013);
+    let experiment = harness.apply_arrival(experiment);
 
     let results = Sweep::new(experiment)
         .with_policies(&[

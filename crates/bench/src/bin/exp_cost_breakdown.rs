@@ -19,7 +19,7 @@ use concord_bench::{compare_line, render_summary_table, slim, Harness, Sweep};
 fn main() {
     let harness = Harness::from_env();
     let platform = harness.cost_platform();
-    let workload = slim(presets::cost_workload(harness.scale.workload));
+    let workload = harness.apply_workload(slim(presets::cost_workload(harness.scale.workload)));
     harness.banner("EXP-B1", &platform, &workload);
 
     let rf = platform.cluster.replication_factor;
@@ -27,6 +27,7 @@ fn main() {
         .with_clients(32)
         .with_adaptation_interval(SimDuration::from_millis(250))
         .with_seed(2013);
+    let experiment = harness.apply_arrival(experiment);
 
     // The paper sweeps Cassandra's consistency level for both reads and
     // writes (ONE … ALL), so the symmetric variant is used here.

@@ -60,6 +60,7 @@ fn main() {
     );
 
     let specs: Vec<PolicySpec> = (1..=rf).map(PolicySpec::FixedReadReplicas).collect();
+    harness.forbid_workload_override("this experiment compares its own fixed access patterns");
     let seeds = harness.seeds(17);
     let mut efficient_samples = 0usize;
     let mut efficient_below_20 = 0usize;
@@ -68,6 +69,7 @@ fn main() {
             .with_clients(32)
             .with_adaptation_interval(SimDuration::from_millis(250))
             .with_seed(seeds[0]);
+        let experiment = harness.apply_arrival(experiment);
         let results = Sweep::new(experiment)
             .with_policies(&specs)
             .with_seeds(&seeds)

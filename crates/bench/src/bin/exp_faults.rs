@@ -1,0 +1,134 @@
+//! EXP-F — adaptive consistency under deterministic fault injection.
+//!
+//! The paper's evaluation runs every policy on a healthy cluster; this
+//! experiment drives the same policy set through a scripted outage on the
+//! two-site Grid'5000-like platform, under a fixed **open-loop offered
+//! load** (so the load does not politely back off when the cluster degrades,
+//! the way a closed loop does):
+//!
+//! 1. a node crashes (ring reconfigures onto the survivors) and later
+//!    recovers;
+//! 2. the two sites partition (cross-site messages are lost) and later heal;
+//! 3. the inter-site link degrades 8× (WAN brown-out) and later restores.
+//!
+//! Timed-out operations get one retry (`retry_on_timeout = 1`), so the
+//! report's `retries` column shows the extra work the faults induce.
+//!
+//! The run is a standard `Sweep` grid — policies × seeds, every point its
+//! own cluster — executed once on one thread and once on the full pool, and
+//! the per-seed reports are asserted **byte-identical**: fault scripts are
+//! part of the deterministic scenario, not a source of nondeterminism.
+//!
+//! ```text
+//! cargo run --release -p concord-bench --bin exp_faults -- --seeds 2            # PR smoke
+//! cargo run --release -p concord-bench --bin exp_faults -- --scale 1.0 --seeds 8  # nightly
+//! ```
+
+use concord::prelude::*;
+use concord::PolicySpec;
+use concord_bench::{render_summary_table, slim, Harness, Sweep};
+use concord_sim::LinkClass;
+
+fn main() {
+    let harness = Harness::from_env();
+    // The fault script's offsets are derived from this binary's own 20 s
+    // open-loop span; an arrival override would desynchronize them.
+    harness.forbid_arrival_override(
+        "exp_faults derives its open-loop schedule from the fault-script span",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut platform = harness.harmony_platform();
+    // Fault runs need timeouts that fire inside the outage windows, plus one
+    // retry so the report separates "slow" from "failed".
+    platform.cluster.op_timeout = SimDuration::from_secs(1);
+    platform.cluster.retry_on_timeout = 1;
+    let workload = harness.apply_workload(slim(presets::harmony_grid5000_workload(
+        harness.scale.workload,
+    )));
+
+    // Offered load sized so the arrival schedule spans ~20 simulated seconds
+    // at any --scale; the fault script hits fixed fractions of that span.
+    let span_secs = 20.0;
+    let rate = workload.operation_count as f64 / span_secs;
+    let at = |frac: f64| span_secs * frac;
+    let scenario = Scenario::open_poisson(rate).with_faults(vec![
+        FaultEvent::at_secs(at(0.15), FaultAction::CrashNode(1)),
+        FaultEvent::at_secs(at(0.40), FaultAction::RecoverNode(1)),
+        FaultEvent::at_secs(at(0.50), FaultAction::PartitionDcs(0, 1)),
+        FaultEvent::at_secs(at(0.70), FaultAction::HealDcs(0, 1)),
+        FaultEvent::at_secs(at(0.80), FaultAction::DegradeLink(LinkClass::InterDc, 8.0)),
+        FaultEvent::at_secs(at(0.95), FaultAction::RestoreLink(LinkClass::InterDc)),
+    ]);
+
+    println!(
+        "EXP-F (faults): platform = {}, {} records, {} operations, scenario = {}, {} seeds",
+        platform.name,
+        workload.record_count,
+        workload.operation_count,
+        scenario.label(),
+        harness.seed_count,
+    );
+
+    let experiment = Experiment::new(platform, workload)
+        .with_adaptation_interval(SimDuration::from_millis(100))
+        .with_seed(2013)
+        .with_scenario(scenario);
+
+    let sweep = Sweep::new(experiment)
+        .with_policies(&[
+            PolicySpec::Eventual,
+            PolicySpec::Quorum,
+            PolicySpec::Harmony { tolerance: 0.20 },
+            PolicySpec::Harmony { tolerance: 0.40 },
+        ])
+        .with_seeds(&harness.seeds(2013));
+
+    let timed_run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool construction cannot fail");
+        pool.install(|| sweep.run())
+    };
+
+    let sequential = timed_run(1);
+    let parallel = timed_run(cores.max(2));
+    let identical = sequential
+        .reports
+        .iter()
+        .zip(&parallel.reports)
+        .all(|(a, b)| a.to_json() == b.to_json());
+    assert!(
+        identical,
+        "fault-scenario sweep diverged across thread counts"
+    );
+
+    let reports = parallel.primary();
+    println!("{}", render_table("EXP-F (first seed)", &reports));
+    if parallel.seeds.len() > 1 {
+        println!(
+            "{}",
+            render_summary_table("EXP-F (faults)", &parallel.summaries())
+        );
+    }
+    println!("policy                        timeouts  retries  msgs-lost  faults");
+    for r in &reports {
+        println!(
+            "{:<28} {:>9} {:>8} {:>10} {:>7}",
+            r.policy, r.timeouts, r.retries, r.messages_lost, r.faults_injected
+        );
+        assert_eq!(r.faults_injected, 6, "every scripted fault must fire");
+        assert!(
+            r.messages_lost > 0,
+            "{}: the partition window must drop messages",
+            r.policy
+        );
+    }
+    println!(
+        "fault sweep: {} points, per-seed reports byte-identical across thread counts: {identical}",
+        sweep.len()
+    );
+}

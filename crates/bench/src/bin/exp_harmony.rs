@@ -37,12 +37,16 @@ fn main() {
             "EXP-A1 (Grid'5000)",
         )
     };
+    // `--workload d` / `--workload e` swap in the latest-distribution and
+    // short-scan YCSB mixes at the same scale.
+    let workload = harness.apply_workload(workload);
     harness.banner(exp_id, &platform, &workload);
 
     let experiment = Experiment::new(platform, workload)
         .with_clients(32)
         .with_adaptation_interval(SimDuration::from_millis(100))
         .with_seed(2013);
+    let experiment = harness.apply_arrival(experiment);
 
     let results = Sweep::new(experiment)
         .with_policies(&[

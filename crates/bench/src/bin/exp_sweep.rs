@@ -43,7 +43,9 @@ fn main() {
         .max(1);
 
     let platform = concord::platforms::grid5000_harmony(harness.scale.cluster);
-    let workload = slim(presets::harmony_grid5000_workload(harness.scale.workload));
+    let workload = harness.apply_workload(slim(presets::harmony_grid5000_workload(
+        harness.scale.workload,
+    )));
     // Default to 8 seeds only when `--seeds` is absent (this binary exists
     // to exercise multi-seed parallelism); an explicit `--seeds 1` or a
     // standalone `--seed-base` is honored as given.
@@ -66,6 +68,7 @@ fn main() {
         .with_clients(32)
         .with_adaptation_interval(SimDuration::from_millis(100))
         .with_seed(seeds[0]);
+    let experiment = harness.apply_arrival(experiment);
     let sweep = Sweep::new(experiment)
         .with_policies(&[
             PolicySpec::Eventual,

@@ -212,6 +212,8 @@ enum Substrate {
 
 fn main() {
     let harness = Harness::from_env();
+    harness.forbid_workload_override("the wall-clock scenarios fix their own op mixes");
+    harness.forbid_arrival_override("the wall-clock scenarios fix their own arrival shapes");
     let args = &harness.args;
     let scale = harness.scale.workload;
     let out_path = args

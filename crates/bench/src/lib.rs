@@ -11,6 +11,7 @@
 //! | `exp_efficiency_samples` | EXP-B2a — consistency-cost efficiency under different access patterns |
 //! | `exp_bismar` | EXP-B2b — Bismar vs static levels |
 //! | `exp_behavior` | EXP-C — application behavior modeling |
+//! | `exp_faults` | EXP-F — adaptive policies under a scripted outage (open-loop load, crash/partition/degradation) |
 //! | `exp_throughput` | hot-path wall-clock throughput (engine, cluster, bulk lane) |
 //! | `exp_sweep` | parallel multi-seed sweep wall-clock + determinism check |
 //!
@@ -23,7 +24,48 @@
 //! so the full-size paper setups can also be simulated when time allows:
 //! `--scale 1.0` reproduces the paper's operation counts. The cluster
 //! experiments additionally take `--seeds <n>` (multi-seed sweeps with 95%
-//! confidence intervals) and `--threads <n>` (pool size).
+//! confidence intervals), `--threads <n>` (pool size), `--arrival
+//! closed:<clients>|poisson:<ops/s>|uniform:<ops/s>` (arrival-mode override)
+//! and `--workload a..f` (YCSB mix override, including the
+//! latest-distribution D and short-scan E presets).
+//!
+//! ## Scenarios: arrival modes and fault scripts
+//!
+//! Every experiment point executes a `concord_core::Scenario` through the
+//! one scenario driver (`AdaptiveRuntime::run_scenario`): a **closed loop**
+//! (N clients, each issuing on completion — the paper's YCSB setup and the
+//! default) or an **open loop** (a pre-sorted Poisson/uniform arrival
+//! schedule bulk-loaded through `Cluster::submit_batch`, so the offered
+//! load stays fixed while the cluster degrades), plus a **fault script** —
+//! a list of `{at, action}` entries applied at their scripted offsets,
+//! interleaved with the policy's adaptation epochs. Actions cover
+//! `CrashNode`/`RecoverNode` (ring reconfiguration onto the survivors),
+//! `NodeDown`/`NodeUp` (transient outage, ring untouched),
+//! `PartitionDcs`/`HealDcs` (messages between the pair lost in transit) and
+//! `DegradeLink`/`RestoreLink` (per-link-class delay multipliers). The
+//! *fault-script format* is simply the serde serialization of those types:
+//!
+//! ```json
+//! { "arrival": { "OpenLoopPoisson": { "ops_per_sec": 2000.0 } },
+//!   "faults": [
+//!     { "at": 1500000, "action": { "CrashNode": 1 } },
+//!     { "at": 5000000, "action": { "PartitionDcs": [0, 1] } },
+//!     { "at": 7000000, "action": { "HealDcs": [0, 1] } } ] }
+//! ```
+//!
+//! (offsets in µs from the run start). Scenarios are data, so `(arrival ×
+//! topology × fault-script × seed)` grids run through the same `Sweep`
+//! machinery as policy sweeps, with the same contract: fault injection is
+//! deterministic per seed, and per-seed reports stay byte-identical at any
+//! thread count (`exp_faults` asserts this on every run, as do the
+//! fault-scenario golden digests in
+//! `crates/cluster/tests/golden_determinism.rs` and the 1/2/4/8-thread
+//! invariance tests in `crates/bench/tests/parallel_sweep.rs`). Timeouts
+//! can be retried (`ClusterConfig::retry_on_timeout`), with every re-issue
+//! accounted in the report's `retries` column; fault-scenario tail
+//! latencies can be validated against the histogram's ≤3% error bound via
+//! the opt-in exact recorder (`ClusterConfig::exact_latency_percentiles`,
+//! `LatencyStats::exact_quantile_ms`).
 //!
 //! ## The sweep engine and its determinism contract
 //!
@@ -71,10 +113,11 @@
 //! * **Event queue** (`concord_sim::EventQueue`): a binary heap of 32-byte
 //!   `(packed time‖seq key, payload slot)` entries over a side slab of event
 //!   payloads — sifts move small fixed-size keys, payloads are written once.
-//!   Constant-delay streams (operation timeouts) take a separate O(1) FIFO
-//!   lane (`schedule_fifo`), keeping one-pending-timeout-per-op out of the
-//!   heap; both lanes share one sequence counter so same-instant ordering
-//!   stays exact FIFO.
+//!   Timers (operation timeouts, retry and fault deadlines) take a separate
+//!   O(1)-amortized hierarchical timer-wheel lane (`schedule_timeout`),
+//!   keeping one-pending-timer-per-op out of the heap for *arbitrary*
+//!   timeout patterns; all lanes share one sequence counter so same-instant
+//!   ordering stays exact FIFO.
 //! * **Operation state** (`concord_cluster::OpSlab`): a generation-checked
 //!   slab addressed directly by `OpId = generation << 32 | slot` replaces
 //!   three `HashMap<OpId, _>` tables; stale ids from already-completed
@@ -107,8 +150,8 @@
 pub mod sweep;
 
 pub use sweep::{
-    render_summary_table, run_grid, run_timed_grid, Harness, PolicySummary, SeedStat, Sweep,
-    SweepResults,
+    parse_arrival, render_summary_table, run_grid, run_timed_grid, Harness, PolicySummary,
+    SeedStat, Sweep, SweepResults,
 };
 
 use concord_workload::WorkloadConfig;

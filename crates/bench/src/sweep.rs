@@ -48,6 +48,15 @@ pub struct Harness {
     pub seed_count: u64,
     /// Explicit first seed (`--seed-base`), overriding the binary's default.
     pub seed_base: Option<u64>,
+    /// Arrival-mode override (`--arrival closed:<clients>`,
+    /// `--arrival poisson:<ops/s>`, `--arrival uniform:<ops/s>`); `None`
+    /// keeps the binary's default (usually the paper's closed loop).
+    pub arrival: Option<ArrivalProcess>,
+    /// Workload-mix override (`--workload a`–`f`): replaces the operation
+    /// mix, request distribution and scan bounds with the named YCSB
+    /// preset, keeping the binary's record/operation counts and record
+    /// sizing. `None` keeps the binary's default mix.
+    pub workload: Option<String>,
 }
 
 impl Harness {
@@ -77,12 +86,82 @@ impl Harness {
                     .expect("configuring the global pool cannot fail");
             }
         }
+        // Both override flags fail loudly on a missing value: silently
+        // running the default under the requested name is exactly the
+        // misattribution these flags' validation exists to prevent.
+        let arrival = args.iter().position(|a| a == "--arrival").map(|i| {
+            let spec = args.get(i + 1).expect(
+                "--arrival needs a value (closed:<clients>|poisson:<ops/s>|uniform:<ops/s>)",
+            );
+            parse_arrival(spec).unwrap_or_else(|e| panic!("--arrival {spec}: {e}"))
+        });
+        let workload = args.iter().position(|a| a == "--workload").map(|i| {
+            let name = args
+                .get(i + 1)
+                .expect("--workload needs a value (a-f)")
+                .clone();
+            assert!(
+                presets::by_name(&name).is_some(),
+                "--workload {name}: unknown preset (a-f)"
+            );
+            name
+        });
         Harness {
             args,
             scale,
             platform,
             seed_count,
             seed_base,
+            arrival,
+            workload,
+        }
+    }
+
+    /// Reject `--workload` for binaries whose workload is intrinsic (fixed
+    /// access-pattern grids, microbenches): failing loudly beats silently
+    /// running the default mix under the requested name.
+    pub fn forbid_workload_override(&self, why: &str) {
+        assert!(
+            self.workload.is_none(),
+            "--workload is not supported by this experiment: {why}"
+        );
+    }
+
+    /// Reject `--arrival` for binaries whose arrival schedule is intrinsic
+    /// (e.g. a fault script timed against a derived open-loop span).
+    pub fn forbid_arrival_override(&self, why: &str) {
+        assert!(
+            self.arrival.is_none(),
+            "--arrival is not supported by this experiment: {why}"
+        );
+    }
+
+    /// Apply the `--workload` override (if given) to the binary's default
+    /// workload: the named preset's mix, request distribution and scan
+    /// bounds replace the default's, while the record/operation counts and
+    /// record sizing (already scaled by `--scale`) are kept.
+    pub fn apply_workload(&self, base: WorkloadConfig) -> WorkloadConfig {
+        match &self.workload {
+            Some(name) => {
+                let preset = presets::by_name(name).expect("validated in from_args");
+                WorkloadConfig {
+                    record_count: base.record_count,
+                    operation_count: base.operation_count,
+                    field_count: base.field_count,
+                    field_length: base.field_length,
+                    ..preset
+                }
+            }
+            None => base,
+        }
+    }
+
+    /// Apply the `--arrival` override (if given) to an experiment, keeping
+    /// any fault script the binary configured.
+    pub fn apply_arrival(&self, experiment: Experiment) -> Experiment {
+        match self.arrival {
+            Some(arrival) => experiment.with_arrival(arrival),
+            None => experiment,
         }
     }
 
@@ -128,6 +207,39 @@ impl Harness {
                 String::new()
             }
         );
+    }
+}
+
+/// Parse an `--arrival` specification: `closed:<clients>`,
+/// `poisson:<ops_per_sec>` or `uniform:<ops_per_sec>`.
+pub fn parse_arrival(spec: &str) -> Result<ArrivalProcess, String> {
+    let (mode, value) = spec
+        .split_once(':')
+        .ok_or_else(|| "expected <mode>:<value>".to_string())?;
+    match mode {
+        "closed" => {
+            let clients: u32 = value
+                .parse()
+                .map_err(|_| format!("bad client count {value}"))?;
+            if clients == 0 {
+                return Err("closed loop needs at least one client".into());
+            }
+            Ok(ArrivalProcess::closed(clients))
+        }
+        "poisson" | "uniform" => {
+            let rate: f64 = value.parse().map_err(|_| format!("bad rate {value}"))?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!("rate must be positive, got {value}"));
+            }
+            Ok(if mode == "poisson" {
+                ArrivalProcess::OpenLoopPoisson { ops_per_sec: rate }
+            } else {
+                ArrivalProcess::OpenLoopUniform { ops_per_sec: rate }
+            })
+        }
+        other => Err(format!(
+            "unknown arrival mode {other} (closed|poisson|uniform)"
+        )),
     }
 }
 
@@ -415,6 +527,77 @@ mod tests {
         let h = Harness::from_args(vec!["exp".into()]);
         assert_eq!(h.seeds(7), vec![7]);
         assert!(h.harmony_platform().name.contains("grid5000"));
+        assert!(h.arrival.is_none());
+        assert!(h.workload.is_none());
+        // Absent overrides are no-ops and pass the forbid checks.
+        h.forbid_workload_override("n/a");
+        h.forbid_arrival_override("n/a");
+    }
+
+    #[test]
+    fn harness_parses_arrival_and_workload_overrides() {
+        let args: Vec<String> = ["exp", "--arrival", "poisson:2500", "--workload", "e"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let h = Harness::from_args(args);
+        assert_eq!(
+            h.arrival,
+            Some(ArrivalProcess::OpenLoopPoisson {
+                ops_per_sec: 2500.0
+            })
+        );
+        // The override keeps the base counts/sizing, swaps the mix.
+        let base = presets::paper_heavy_read_update(1_234, 5_678);
+        let cfg = h.apply_workload(base.clone());
+        assert_eq!(cfg.record_count, 1_234);
+        assert_eq!(cfg.operation_count, 5_678);
+        assert_eq!(cfg.scan_proportion, presets::ycsb_e().scan_proportion);
+        // apply_arrival rewires the experiment's scenario.
+        let exp = Experiment::new(concord::platforms::laptop(), base);
+        let exp = h.apply_arrival(exp);
+        assert!(!exp.scenario().is_closed_loop());
+    }
+
+    #[test]
+    fn parse_arrival_accepts_modes_and_rejects_garbage() {
+        assert_eq!(
+            parse_arrival("closed:8").unwrap(),
+            ArrivalProcess::closed(8)
+        );
+        assert_eq!(
+            parse_arrival("uniform:100").unwrap(),
+            ArrivalProcess::OpenLoopUniform { ops_per_sec: 100.0 }
+        );
+        assert!(parse_arrival("poisson").is_err(), "missing value");
+        assert!(parse_arrival("poisson:-3").is_err(), "negative rate");
+        assert!(parse_arrival("closed:0").is_err(), "zero clients");
+        assert!(parse_arrival("warp:9").is_err(), "unknown mode");
+    }
+
+    #[test]
+    #[should_panic(expected = "--workload needs a value")]
+    fn dangling_workload_flag_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--workload".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown preset")]
+    fn unknown_workload_preset_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--workload".into(), "z".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--arrival needs a value")]
+    fn dangling_arrival_flag_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--arrival".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn forbid_rejects_present_overrides() {
+        let h = Harness::from_args(vec!["exp".into(), "--workload".into(), "d".into()]);
+        h.forbid_workload_override("this experiment fixes its own mixes");
     }
 
     #[test]

@@ -84,6 +84,100 @@ fn run_seeds_is_thread_count_invariant() {
     assert_eq!(one.len(), 8);
 }
 
+/// The fault scenario of the acceptance criteria: an open-loop offered load
+/// with a crash/recover + partition/heal + degradation script.
+fn fault_experiment() -> Experiment {
+    let mut platform = concord::platforms::grid5000_cost(0.15);
+    platform.cluster.op_timeout = SimDuration::from_millis(500);
+    platform.cluster.retry_on_timeout = 1;
+    let mut workload = presets::paper_heavy_read_update(1_000, 3_000);
+    workload.field_count = 1;
+    workload.field_length = 512;
+    // 3000 ops at 10k/s span 0.3 s; the script hits the middle of the run.
+    let scenario = Scenario::open_poisson(10_000.0).with_faults(vec![
+        FaultEvent::at_secs(0.05, FaultAction::CrashNode(1)),
+        FaultEvent::at_secs(0.10, FaultAction::PartitionDcs(0, 1)),
+        FaultEvent::at_secs(0.18, FaultAction::HealDcs(0, 1)),
+        FaultEvent::at_secs(0.20, FaultAction::RecoverNode(1)),
+        FaultEvent::at_secs(
+            0.22,
+            FaultAction::DegradeLink(concord::sim::LinkClass::InterDc, 6.0),
+        ),
+    ]);
+    Experiment::new(platform, workload)
+        .with_adaptation_interval(SimDuration::from_millis(50))
+        .with_seed(4099)
+        .with_scenario(scenario)
+}
+
+#[test]
+fn fault_scenario_reports_are_byte_identical_across_thread_counts() {
+    let seeds: Vec<u64> = (4099..4099 + 6).collect();
+    let sweep = Sweep::new(fault_experiment())
+        .with_policies(&[
+            PolicySpec::Eventual,
+            PolicySpec::Quorum,
+            PolicySpec::Harmony { tolerance: 0.2 },
+        ])
+        .with_seeds(&seeds);
+
+    let baseline: Vec<String> = pool(1)
+        .install(|| sweep.run())
+        .reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    assert_eq!(baseline.len(), 18, "3 policies × 6 seeds");
+    // The faults actually fired in every report.
+    for json in &baseline {
+        assert!(json.contains("\"faults_injected\": 5"), "script must fire");
+    }
+
+    for threads in [2, 4, 8] {
+        let run: Vec<String> = pool(threads)
+            .install(|| sweep.run())
+            .reports
+            .iter()
+            .map(|r| r.to_json())
+            .collect();
+        assert_eq!(
+            run, baseline,
+            "fault-scenario reports diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn open_loop_adaptive_reports_are_byte_identical_across_thread_counts() {
+    let experiment = small_experiment().with_arrival(ArrivalProcess::OpenLoopPoisson {
+        ops_per_sec: 15_000.0,
+    });
+    let seeds: Vec<u64> = (2013..2013 + 8).collect();
+    let sweep = Sweep::new(experiment)
+        .with_policies(&[PolicySpec::Eventual, PolicySpec::Harmony { tolerance: 0.2 }])
+        .with_seeds(&seeds);
+
+    let baseline: Vec<String> = pool(1)
+        .install(|| sweep.run())
+        .reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    assert_eq!(baseline.len(), 16, "2 policies × 8 seeds");
+    for threads in [2, 4, 8] {
+        let run: Vec<String> = pool(threads)
+            .install(|| sweep.run())
+            .reports
+            .iter()
+            .map(|r| r.to_json())
+            .collect();
+        assert_eq!(
+            run, baseline,
+            "open-loop reports diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn sweep_summaries_are_thread_count_invariant() {
     let sweep = Sweep::new(small_experiment())

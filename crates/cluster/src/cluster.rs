@@ -31,7 +31,7 @@ use crate::slab::OpSlab;
 use crate::storage::ReplicaStore;
 use crate::types::{CompletedOp, Key, OpId, OpKind, OpStatus, Version};
 use concord_sim::{
-    CompiledDelay, EventQueue, InlineVec, LinkClass, NodeId, SimDuration, SimRng, SimTime,
+    CompiledDelay, DcId, EventQueue, InlineVec, LinkClass, NodeId, SimDuration, SimRng, SimTime,
 };
 use std::collections::VecDeque;
 
@@ -196,6 +196,16 @@ struct WriteState {
     targeted: u32,
     completed: bool,
     level_used: u32,
+    /// Payload size and explicit level of the submission, kept so a timed-out
+    /// attempt can be re-issued when retries are configured.
+    size: u32,
+    level: Option<ConsistencyLevel>,
+    retries_left: u32,
+    /// The id `submit_*` returned to the client. Retried attempts run under
+    /// fresh slab ids (so straggler events of the old attempt miss on the
+    /// generation check), but the completion is always reported under this
+    /// one, keeping client-side correlation intact.
+    client_id: OpId,
 }
 
 #[derive(Debug)]
@@ -212,6 +222,12 @@ struct ReadState {
     /// The replicas this read contacted (for read repair). Inline up to 8
     /// nodes, so issuing a read does not allocate.
     contacted: InlineVec<NodeId>,
+    /// Explicit level of the submission (for timeout-driven retries).
+    level: Option<ConsistencyLevel>,
+    retries_left: u32,
+    /// The id `submit_*` returned to the client (see
+    /// [`WriteState::client_id`]).
+    client_id: OpId,
 }
 
 /// Lifecycle state of one in-flight operation, stored in the op slab: a
@@ -249,6 +265,21 @@ pub struct Cluster {
     next_version: u64,
     /// All in-flight operation state, addressed by generation-checked OpId.
     ops: OpSlab<OpState>,
+
+    // ---- fault-injection state ----
+    /// Nodes permanently crashed (ring tokens withdrawn) as opposed to
+    /// transiently down (`nodes[i].down`); a crashed node is also down.
+    crashed: Vec<bool>,
+    /// Currently partitioned datacenter pairs, normalized `(min, max)`.
+    /// Messages between nodes of a partitioned pair are lost in transit.
+    partitioned_dcs: Vec<(u16, u16)>,
+    /// Per-link-class delay multiplier (1.0 = healthy), applied after
+    /// sampling so the compiled samplers and their RNG draws are untouched.
+    link_degradation: [f64; 4],
+    /// True while any link class is degraded (fast-path guard).
+    degradation_active: bool,
+    /// Datacenter of every node (partition checks on the message path).
+    node_dc: Vec<DcId>,
     /// Interned write-fan-out payloads, ref-counted by the events that carry
     /// their [`PayloadId`]; slots recycle through `payload_free`.
     write_payloads: Vec<PayloadSlot>,
@@ -329,6 +360,11 @@ impl Cluster {
         ];
         let storage_read_sampler = config.storage_read_latency.compiled();
         let storage_write_sampler = config.storage_write_latency.compiled();
+        let mut metrics = ClusterMetrics::new();
+        if config.exact_latency_percentiles {
+            metrics.read_latency.enable_exact();
+            metrics.write_latency.enable_exact();
+        }
         Cluster {
             ring,
             stores: (0..n).map(|_| ReplicaStore::new()).collect(),
@@ -336,12 +372,21 @@ impl Cluster {
             queue: EventQueue::new(),
             rng: SimRng::new(seed),
             oracle: StalenessOracle::new(),
-            metrics: ClusterMetrics::new(),
+            metrics,
             selection: ReplicaSelection::Closest,
             read_level,
             write_level,
             next_version: 0,
             ops: OpSlab::new(),
+            crashed: vec![false; n],
+            partitioned_dcs: Vec::new(),
+            link_degradation: [1.0; 4],
+            degradation_active: false,
+            node_dc: config
+                .topology
+                .nodes()
+                .map(|x| config.topology.dc_of(x))
+                .collect(),
             write_payloads: Vec::new(),
             payload_free: Vec::new(),
             payload_live: 0,
@@ -517,6 +562,119 @@ impl Cluster {
     /// Whether a node is currently down.
     pub fn is_node_down(&self, node: NodeId) -> bool {
         self.nodes[node.0 as usize].down
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Crash a node permanently: it goes down **and** its vnode tokens are
+    /// withdrawn from the ring, so its former ranges fall to the surviving
+    /// nodes (what removing a Cassandra node does to ownership). Operations
+    /// arriving after the crash target only surviving replicas; the
+    /// effective replication factor is clamped to the survivor count.
+    ///
+    /// Contrast with [`Cluster::set_node_down`], which models a transient
+    /// outage and leaves the ring untouched.
+    pub fn crash_node(&mut self, node: NodeId) {
+        if !self.crashed[node.0 as usize] {
+            self.crashed[node.0 as usize] = true;
+            self.set_node_down(node);
+            self.rebuild_ring();
+        }
+    }
+
+    /// Recover a crashed node: it rejoins the ring at its original token
+    /// positions (tokens depend only on node and vnode ids) and starts
+    /// serving again. Writes it missed while crashed are repaired lazily by
+    /// read repair, exactly like a transiently down node.
+    pub fn recover_node(&mut self, node: NodeId) {
+        if self.crashed[node.0 as usize] {
+            self.crashed[node.0 as usize] = false;
+            self.set_node_up(node);
+            self.rebuild_ring();
+        }
+    }
+
+    /// Whether a node is currently crashed (out of the ring).
+    pub fn is_node_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.0 as usize]
+    }
+
+    fn rebuild_ring(&mut self) {
+        let crashed = std::mem::take(&mut self.crashed);
+        self.ring = Ring::excluding(
+            &self.config.topology,
+            self.config.replication_factor,
+            self.config.strategy,
+            self.config.vnodes,
+            |n| crashed[n.0 as usize],
+        );
+        self.crashed = crashed;
+    }
+
+    /// The canonical key of an unordered datacenter pair in
+    /// [`Cluster::partitioned_dcs`].
+    #[inline]
+    fn dc_pair(a: DcId, b: DcId) -> (u16, u16) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Partition two datacenters: every message between their nodes is lost
+    /// in transit (traffic is still accounted at the sender — the bytes left
+    /// the NIC). In-flight replica work is unaffected; only deliveries after
+    /// the partition starts are dropped. Idempotent.
+    pub fn partition_dcs(&mut self, a: DcId, b: DcId) {
+        let pair = Self::dc_pair(a, b);
+        if pair.0 != pair.1 && !self.partitioned_dcs.contains(&pair) {
+            self.partitioned_dcs.push(pair);
+        }
+    }
+
+    /// Heal a datacenter partition (no-op if the pair is not partitioned).
+    /// Replicas that missed writes during the partition are repaired lazily
+    /// by read repair.
+    pub fn heal_dcs(&mut self, a: DcId, b: DcId) {
+        let pair = Self::dc_pair(a, b);
+        self.partitioned_dcs.retain(|&p| p != pair);
+    }
+
+    /// Whether a message between two datacenters would currently be dropped.
+    pub fn dcs_partitioned(&self, a: DcId, b: DcId) -> bool {
+        self.partitioned_dcs.contains(&Self::dc_pair(a, b))
+    }
+
+    /// Degrade one link class: every subsequent delay sample on that class
+    /// is multiplied by `factor` (e.g. 8.0 for a brown-out, 1.0 to restore).
+    /// The sampler itself — and therefore the RNG draw sequence — is
+    /// untouched, so enabling degradation never perturbs unrelated
+    /// randomness. Note that read-replica selection keeps ranking by the
+    /// healthy mean-latency table, like a snitch working from stale scores.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn degrade_link(&mut self, class: LinkClass, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "degradation factor must be finite and positive, got {factor}"
+        );
+        self.link_degradation[class_index(class)] = factor;
+        self.degradation_active = self.link_degradation.iter().any(|&f| f != 1.0);
+    }
+
+    /// Restore a degraded link class to its healthy latency.
+    pub fn restore_link(&mut self, class: LinkClass) {
+        self.degrade_link(class, 1.0);
+    }
+
+    /// Whether the link between two nodes is currently delivering messages.
+    #[inline]
+    fn link_up(&self, from: NodeId, to: NodeId) -> bool {
+        if self.partitioned_dcs.is_empty() {
+            return true;
+        }
+        let pair = Self::dc_pair(self.node_dc[from.0 as usize], self.node_dc[to.0 as usize]);
+        !self.partitioned_dcs.contains(&pair)
     }
 
     /// Bulk-load records before the measured run (no events, no I/O
@@ -727,7 +885,14 @@ impl Cluster {
         let total = bytes as u64 + self.config.message_overhead_bytes as u64;
         self.metrics.traffic.add(class, total);
         self.metrics.messages += 1;
-        self.link_samplers[class_index(class)].sample(&mut self.rng)
+        let delay = self.link_samplers[class_index(class)].sample(&mut self.rng);
+        if self.degradation_active {
+            let factor = self.link_degradation[class_index(class)];
+            if factor != 1.0 {
+                return SimDuration::from_micros((delay.as_micros() as f64 * factor).round() as u64);
+            }
+        }
+        delay
     }
 
     fn on_client_arrive(&mut self, now: SimTime, op_id: OpId) {
@@ -735,13 +900,27 @@ impl Cluster {
             Some(&OpState::Pending(sub)) => sub,
             _ => return,
         };
+        let retries = self.config.retry_on_timeout;
         match sub.kind {
-            OpKind::Write => self.start_write(now, op_id, sub),
-            OpKind::Read => self.start_read(now, op_id, sub),
+            OpKind::Write => self.start_write(now, op_id, sub, now, retries, op_id),
+            OpKind::Read => self.start_read(now, op_id, sub, now, retries, op_id),
         }
     }
 
-    fn start_write(&mut self, now: SimTime, op_id: OpId, sub: Submission) {
+    /// Issue a write attempt. `issued_at` is the client-visible submission
+    /// time and `client_id` the id `submit_*` handed out (both differ from
+    /// `now`/`op_id` for retried attempts, so latency spans every attempt
+    /// and completions keep the submitted id); `retries_left` is the
+    /// remaining retry budget.
+    fn start_write(
+        &mut self,
+        now: SimTime,
+        op_id: OpId,
+        sub: Submission,
+        issued_at: SimTime,
+        retries_left: u32,
+        client_id: OpId,
+    ) {
         let coordinator = self.pick_coordinator();
         let level = sub.level.unwrap_or(self.write_level);
         let required_acks = self.config.required_acks(level);
@@ -766,6 +945,11 @@ impl Cluster {
                 // The mutation is lost (no hinted handoff in the base model).
                 continue;
             }
+            if !self.link_up(coordinator, replica) {
+                // Lost in transit across a partitioned DC pair.
+                self.metrics.messages_lost += 1;
+                continue;
+            }
             targeted += 1;
             self.retain_payload(payload);
             self.queue.schedule_at(
@@ -785,24 +969,37 @@ impl Cluster {
                 key: sub.key,
                 version,
                 coordinator,
-                issued_at: now,
+                issued_at,
                 required_acks,
                 acks: 0,
                 applied: 0,
                 targeted,
                 completed: false,
                 level_used: required_acks,
+                size: sub.size,
+                level: sub.level,
+                retries_left,
+                client_id,
             });
         }
-        // Timeouts use a constant delay from a monotone clock, so they are
-        // born time-ordered: the queue's O(1) FIFO lane keeps them out of
-        // the heap (one pending timeout per in-flight op would otherwise
-        // dominate the heap's size).
+        // One pending timer per in-flight op would dominate the heap; the
+        // queue's timer-wheel lane keeps them out of it at O(1) regardless
+        // of the timeout pattern (constant, per-op, or retry-staggered).
         self.queue
-            .schedule_fifo(now + self.config.op_timeout, Event::OpTimeout { op_id });
+            .schedule_timeout(now + self.config.op_timeout, Event::OpTimeout { op_id });
     }
 
-    fn start_read(&mut self, now: SimTime, op_id: OpId, sub: Submission) {
+    /// Issue a read attempt (see [`Cluster::start_write`] for the retry
+    /// parameters).
+    fn start_read(
+        &mut self,
+        now: SimTime,
+        op_id: OpId,
+        sub: Submission,
+        issued_at: SimTime,
+        retries_left: u32,
+        client_id: OpId,
+    ) {
         let coordinator = self.pick_coordinator();
         let level = sub.level.unwrap_or(self.read_level);
         let required = self.config.required_acks(level);
@@ -814,6 +1011,10 @@ impl Cluster {
         for (i, &replica) in replicas.iter().enumerate() {
             let delay = self.account_message(coordinator, replica, self.config.small_message_bytes);
             if self.nodes[replica.0 as usize].down {
+                continue;
+            }
+            if !self.link_up(coordinator, replica) {
+                self.metrics.messages_lost += 1;
                 continue;
             }
             self.queue.schedule_at(
@@ -836,7 +1037,7 @@ impl Cluster {
             *state = OpState::Read(ReadState {
                 key: sub.key,
                 coordinator,
-                issued_at: now,
+                issued_at,
                 required,
                 responses: 0,
                 best_version: Version::NONE,
@@ -844,14 +1045,16 @@ impl Cluster {
                 min_version: Version(u64::MAX),
                 expected_version,
                 contacted,
+                level: sub.level,
+                retries_left,
+                client_id,
             });
         }
-        // Timeouts use a constant delay from a monotone clock, so they are
-        // born time-ordered: the queue's O(1) FIFO lane keeps them out of
-        // the heap (one pending timeout per in-flight op would otherwise
-        // dominate the heap's size).
+        // One pending timer per in-flight op would dominate the heap; the
+        // queue's timer-wheel lane keeps them out of it at O(1) regardless
+        // of the timeout pattern (constant, per-op, or retry-staggered).
         self.queue
-            .schedule_fifo(now + self.config.op_timeout, Event::OpTimeout { op_id });
+            .schedule_timeout(now + self.config.op_timeout, Event::OpTimeout { op_id });
     }
 
     /// Pick which replicas a read contacts: shuffle (random tie-break), rank
@@ -914,10 +1117,17 @@ impl Cluster {
         if p.repair {
             return;
         }
-        if let Some(OpState::Write(w)) = self.ops.get_mut(p.op_id) {
+        self.abandon_expected_ack(p.op_id);
+    }
+
+    /// A write ack that can no longer arrive (its replica died or the
+    /// partition ate the message): stop counting that replica as targeted,
+    /// and reclaim the slab slot if the write was only waiting for it.
+    fn abandon_expected_ack(&mut self, op_id: OpId) {
+        if let Some(OpState::Write(w)) = self.ops.get_mut(op_id) {
             w.targeted = w.targeted.saturating_sub(1);
             if w.completed && w.acks >= w.targeted {
-                self.ops.remove(p.op_id);
+                self.ops.remove(op_id);
             }
         }
     }
@@ -981,6 +1191,14 @@ impl Cluster {
                 // Send the ack back to the coordinator.
                 let delay =
                     self.account_message(node, coordinator, self.config.small_message_bytes);
+                if !self.link_up(node, coordinator) {
+                    // The ack is lost in the partition: the coordinator will
+                    // never hear from this replica, so stop expecting it —
+                    // otherwise the op's state could never be reclaimed.
+                    self.metrics.messages_lost += 1;
+                    self.abandon_expected_ack(op_id);
+                    return;
+                }
                 self.queue.schedule_at(
                     now + delay,
                     Event::CoordinatorWriteAck { op_id, from: node },
@@ -1002,6 +1220,12 @@ impl Cluster {
                     self.config.small_message_bytes
                 };
                 let delay = self.account_message(node, coordinator, payload);
+                if !self.link_up(node, coordinator) {
+                    // Response lost in the partition; the read completes via
+                    // other replicas or times out.
+                    self.metrics.messages_lost += 1;
+                    return;
+                }
                 self.queue.schedule_at(
                     now + delay,
                     Event::CoordinatorReadResponse {
@@ -1023,7 +1247,7 @@ impl Cluster {
         if !w.completed && w.acks >= w.required_acks {
             w.completed = true;
             let completed = CompletedOp {
-                id: op_id,
+                id: w.client_id,
                 kind: OpKind::Write,
                 key: w.key,
                 issued_at: w.issued_at,
@@ -1082,7 +1306,7 @@ impl Cluster {
 
             let class = self.oracle.classify_read(key, expected, best);
             let completed = CompletedOp {
-                id: op_id,
+                id: r.client_id,
                 kind: OpKind::Read,
                 key,
                 issued_at,
@@ -1112,6 +1336,10 @@ impl Cluster {
                     if self.nodes[replica.0 as usize].down {
                         continue;
                     }
+                    if !self.link_up(coordinator, replica) {
+                        self.metrics.messages_lost += 1;
+                        continue;
+                    }
                     self.retain_payload(payload);
                     self.queue.schedule_at(
                         now + delay,
@@ -1127,13 +1355,61 @@ impl Cluster {
     }
 
     fn on_timeout(&mut self, now: SimTime, op_id: OpId) {
+        // Timeout-driven retries: an attempt with remaining budget is
+        // re-issued (fresh coordinator, fresh replica fan-out) instead of
+        // completing. `issued_at` is preserved, so the client-visible
+        // latency spans every attempt, and each re-issue is accounted in
+        // `metrics.retries`.
+        let retry = match self.ops.get(op_id) {
+            Some(OpState::Write(w)) if !w.completed && w.retries_left > 0 => Some((
+                Submission {
+                    kind: OpKind::Write,
+                    key: w.key,
+                    size: w.size,
+                    level: w.level,
+                },
+                w.issued_at,
+                w.retries_left - 1,
+                w.client_id,
+            )),
+            Some(OpState::Read(r)) if r.retries_left > 0 => Some((
+                Submission {
+                    kind: OpKind::Read,
+                    key: r.key,
+                    size: 0,
+                    level: r.level,
+                },
+                r.issued_at,
+                r.retries_left - 1,
+                r.client_id,
+            )),
+            _ => None,
+        };
+        if let Some((sub, issued_at, retries_left, client_id)) = retry {
+            // Orphan the timed-out attempt: its slab slot is freed, so
+            // straggler acks and responses miss on the generation check. The
+            // retry runs under a fresh internal id but keeps reporting under
+            // the id `submit_*` handed out.
+            self.ops.remove(op_id);
+            self.metrics.retries += 1;
+            let new_id = self.ops.insert(OpState::Pending(sub));
+            match sub.kind {
+                OpKind::Write => {
+                    self.start_write(now, new_id, sub, issued_at, retries_left, client_id)
+                }
+                OpKind::Read => {
+                    self.start_read(now, new_id, sub, issued_at, retries_left, client_id)
+                }
+            }
+            return;
+        }
         match self.ops.get_mut(op_id) {
             Some(OpState::Write(w)) => {
                 if !w.completed {
                     w.completed = true;
                     self.metrics.timeouts += 1;
                     let completed = CompletedOp {
-                        id: op_id,
+                        id: w.client_id,
                         kind: OpKind::Write,
                         key: w.key,
                         issued_at: w.issued_at,
@@ -1163,7 +1439,7 @@ impl Cluster {
             Some(OpState::Read(r)) => {
                 self.metrics.timeouts += 1;
                 let completed = CompletedOp {
-                    id: op_id,
+                    id: r.client_id,
                     kind: OpKind::Read,
                     key: r.key,
                     issued_at: r.issued_at,
@@ -1605,6 +1881,295 @@ mod tests {
             BatchOp::read(SimTime::from_millis(10), 1),
             BatchOp::read(SimTime::from_millis(5), 2),
         ]);
+    }
+
+    #[test]
+    fn crash_reconfigures_the_ring_and_recover_restores_it() {
+        let mut c = cluster(5, 3);
+        c.load_records((0..50u64).map(|k| (k, 100)));
+        let before: Vec<Vec<NodeId>> = (0..50u64).map(|k| c.replicas_of(k)).collect();
+        // Find a key replicated on node 1 and crash that node.
+        let victim = NodeId(1);
+        let affected: Vec<u64> = (0..50u64)
+            .filter(|&k| before[k as usize].contains(&victim))
+            .collect();
+        assert!(!affected.is_empty());
+        c.crash_node(victim);
+        assert!(c.is_node_crashed(victim));
+        assert!(c.is_node_down(victim));
+        for &k in &affected {
+            let reps = c.replicas_of(k);
+            assert_eq!(reps.len(), 3, "rf must be met by survivors");
+            assert!(!reps.contains(&victim), "crashed node owns no ranges");
+        }
+        // Ops against affected keys at ALL now succeed on the survivors.
+        for &k in affected.iter().take(5) {
+            c.submit_write_with(k, 100, ConsistencyLevel::All, c.now());
+        }
+        let done = drain(&mut c);
+        assert!(done.iter().all(|o| o.status == OpStatus::Ok));
+        // Recovery restores the exact original placement (tokens are a pure
+        // function of node and vnode ids).
+        c.recover_node(victim);
+        assert!(!c.is_node_crashed(victim));
+        let after: Vec<Vec<NodeId>> = (0..50u64).map(|k| c.replicas_of(k)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn crashing_below_rf_clamps_the_effective_replica_count() {
+        let mut c = cluster(4, 3);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        c.crash_node(NodeId(0));
+        c.crash_node(NodeId(1));
+        for k in 0..10u64 {
+            let reps = c.replicas_of(k);
+            assert_eq!(reps.len(), 2, "only two survivors remain");
+        }
+        c.recover_node(NodeId(0));
+        c.recover_node(NodeId(1));
+        assert!((0..10u64).all(|k| c.replicas_of(k).len() == 3));
+    }
+
+    #[test]
+    fn partitioned_dcs_drop_messages_and_heal_restores_them() {
+        let mut cfg = ClusterConfig::lan_test(6, 3);
+        cfg.topology = concord_sim::Topology::spread(
+            6,
+            &[
+                ("dc-a", concord_sim::RegionId(0)),
+                ("dc-b", concord_sim::RegionId(0)),
+            ],
+        );
+        cfg.strategy = crate::ring::ReplicationStrategy::NetworkTopology;
+        cfg.op_timeout = SimDuration::from_millis(100);
+        let mut c = Cluster::new(cfg, 9);
+        c.load_records((0..20u64).map(|k| (k, 100)));
+
+        let (a, b) = (concord_sim::DcId(0), concord_sim::DcId(1));
+        c.partition_dcs(a, b);
+        assert!(c.dcs_partitioned(a, b));
+        // NetworkTopology placement spreads every key over both DCs, so ALL
+        // writes cannot gather their acks across the partition.
+        for i in 0..30u64 {
+            c.submit_write_with(i % 20, 100, ConsistencyLevel::All, c.now());
+        }
+        let done = drain(&mut c);
+        let timeouts = done
+            .iter()
+            .filter(|o| o.status == OpStatus::Timeout)
+            .count();
+        assert!(timeouts > 0, "cross-DC ALL writes must time out");
+        assert!(c.metrics().messages_lost > 0);
+        assert_eq!(c.inflight_ops(), 0, "partition must not leak op state");
+        assert_eq!(c.inflight_write_payloads(), 0);
+
+        c.heal_dcs(a, b);
+        assert!(!c.dcs_partitioned(a, b));
+        let lost_before = c.metrics().messages_lost;
+        for i in 0..10u64 {
+            c.submit_write_with(i, 100, ConsistencyLevel::All, c.now());
+        }
+        let done = drain(&mut c);
+        assert!(done.iter().all(|o| o.status == OpStatus::Ok));
+        assert_eq!(
+            c.metrics().messages_lost,
+            lost_before,
+            "healed link drops nothing"
+        );
+    }
+
+    #[test]
+    fn one_level_ops_survive_a_partition_within_their_dc() {
+        let mut cfg = ClusterConfig::lan_test(6, 3);
+        cfg.topology = concord_sim::Topology::spread(
+            6,
+            &[
+                ("dc-a", concord_sim::RegionId(0)),
+                ("dc-b", concord_sim::RegionId(0)),
+            ],
+        );
+        cfg.strategy = crate::ring::ReplicationStrategy::NetworkTopology;
+        cfg.op_timeout = SimDuration::from_millis(100);
+        let mut c = Cluster::new(cfg, 15);
+        c.load_records((0..20u64).map(|k| (k, 100)));
+        c.partition_dcs(concord_sim::DcId(0), concord_sim::DcId(1));
+        // Level ONE needs a single ack; some replica is always coordinator-side
+        // often enough that most ops succeed.
+        for i in 0..100u64 {
+            c.submit_write_with(i % 20, 100, ConsistencyLevel::One, c.now());
+        }
+        let done = drain(&mut c);
+        let ok = done.iter().filter(|o| o.status == OpStatus::Ok).count();
+        assert!(ok > 0, "ONE writes should mostly survive a DC partition");
+        assert_eq!(c.inflight_ops(), 0);
+    }
+
+    #[test]
+    fn degraded_links_slow_cross_dc_operations() {
+        let run = |factor: f64| {
+            let mut cfg = ClusterConfig::lan_test(6, 5);
+            cfg.topology = concord_sim::Topology::spread(
+                6,
+                &[
+                    ("dc-a", concord_sim::RegionId(0)),
+                    ("dc-b", concord_sim::RegionId(0)),
+                ],
+            );
+            cfg.network = concord_sim::NetworkModel::grid5000_like();
+            cfg.strategy = crate::ring::ReplicationStrategy::NetworkTopology;
+            let mut c = Cluster::new(cfg, 19);
+            c.load_records((0..10u64).map(|k| (k, 100)));
+            if factor != 1.0 {
+                c.degrade_link(concord_sim::LinkClass::InterDc, factor);
+            }
+            for i in 0..100u64 {
+                c.submit_write_with(i % 10, 100, ConsistencyLevel::All, SimTime::from_millis(i));
+            }
+            drain(&mut c);
+            c.metrics().write_latency.mean_ms()
+        };
+        let healthy = run(1.0);
+        let degraded = run(8.0);
+        assert!(
+            degraded > healthy * 3.0,
+            "8x inter-DC degradation must slow ALL writes ({healthy} -> {degraded} ms)"
+        );
+    }
+
+    #[test]
+    fn degradation_does_not_perturb_rng_draws() {
+        // Degrading a class the run never uses leaves the simulation
+        // byte-identical: the factor applies after sampling, so the RNG
+        // stream is untouched.
+        let run = |degrade_unused: bool| {
+            let mut c = cluster(5, 3); // single DC: no inter-region traffic
+            c.load_records((0..10u64).map(|k| (k, 100)));
+            if degrade_unused {
+                c.degrade_link(concord_sim::LinkClass::InterRegion, 50.0);
+            }
+            for i in 0..200u64 {
+                c.submit_write_at(i % 10, 100, SimTime::from_millis(i));
+            }
+            drain(&mut c)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn timeout_retries_reissue_and_account() {
+        // One node transiently down under ALL: without retries every write
+        // times out; with retries each attempt is re-issued and accounted,
+        // and ops still finish (as timeouts, once the budget is exhausted,
+        // with latency spanning every attempt).
+        let mut cfg = ClusterConfig::lan_test(4, 3);
+        cfg.op_timeout = SimDuration::from_millis(50);
+        cfg.retry_on_timeout = 2;
+        let mut c = Cluster::new(cfg, 5);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        c.set_node_down(NodeId(1));
+        let mut submitted_ids = Vec::new();
+        for i in 0..30u64 {
+            submitted_ids.push(c.submit_write_with(
+                i % 10,
+                100,
+                ConsistencyLevel::All,
+                SimTime::from_millis(i),
+            ));
+        }
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 30, "every op completes exactly once");
+        // Retried attempts run under fresh internal ids, but completions
+        // report the id submit_* handed out — client correlation holds.
+        let mut completed_ids: Vec<OpId> = done.iter().map(|o| o.id).collect();
+        completed_ids.sort();
+        submitted_ids.sort();
+        assert_eq!(completed_ids, submitted_ids);
+        let timeouts: Vec<_> = done
+            .iter()
+            .filter(|o| o.status == OpStatus::Timeout)
+            .collect();
+        assert!(!timeouts.is_empty());
+        assert!(c.metrics().retries > 0, "retries must be accounted");
+        // A timed-out op burned its full budget: latency >= 3 * op_timeout.
+        for o in &timeouts {
+            assert!(
+                o.latency() >= SimDuration::from_millis(150),
+                "latency must span all attempts, got {:?}",
+                o.latency()
+            );
+        }
+        assert_eq!(c.inflight_ops(), 0, "retried ops must not leak state");
+        assert_eq!(c.inflight_write_payloads(), 0);
+    }
+
+    #[test]
+    fn retries_rescue_ops_when_the_fault_heals_in_time() {
+        // Node down at submit, back up before the retry: the retry succeeds.
+        let mut cfg = ClusterConfig::lan_test(4, 3);
+        cfg.op_timeout = SimDuration::from_millis(50);
+        cfg.retry_on_timeout = 3;
+        let mut c = Cluster::new(cfg, 7);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let victim = c.replicas_of(3)[0];
+        c.set_node_down(victim);
+        c.submit_write_with(3, 100, ConsistencyLevel::All, SimTime::ZERO);
+        // Recover the node after the first timeout fires.
+        c.schedule_tick(SimTime::from_millis(60), 1);
+        let mut done = Vec::new();
+        while let Some(out) = c.advance() {
+            match out {
+                ClusterOutput::Tick { id: 1, .. } => c.set_node_up(victim),
+                ClusterOutput::Completed(op) => done.push(op),
+                ClusterOutput::Tick { .. } => {}
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].status, OpStatus::Ok, "the retry must succeed");
+        assert!(c.metrics().retries >= 1);
+        assert!(
+            done[0].latency() >= SimDuration::from_millis(50),
+            "latency includes the failed first attempt"
+        );
+    }
+
+    #[test]
+    fn exact_percentiles_validate_the_histogram_bound() {
+        let mut cfg = ClusterConfig::lan_test(6, 5);
+        cfg.network = concord_sim::NetworkModel::ec2_like();
+        cfg.exact_latency_percentiles = true;
+        let mut c = Cluster::new(cfg, 23);
+        c.load_records((0..20u64).map(|k| (k, 100)));
+        for i in 0..500u64 {
+            if i % 2 == 0 {
+                c.submit_write_with(
+                    i % 20,
+                    100,
+                    ConsistencyLevel::Quorum,
+                    SimTime::from_millis(i),
+                );
+            } else {
+                c.submit_read_with(i % 20, ConsistencyLevel::Quorum, SimTime::from_millis(i));
+            }
+        }
+        drain(&mut c);
+        let qs = [0.5, 0.95, 0.99];
+        for stats in [&c.metrics().read_latency, &c.metrics().write_latency] {
+            assert!(stats.exact_enabled());
+            // One sort serves all three quantiles.
+            let exacts = stats.exact_quantiles_ms(&qs).expect("exact recorder is on");
+            for (&q, &exact) in qs.iter().zip(&exacts) {
+                let approx = stats.quantile_ms(q).expect("histogram has samples");
+                assert!(
+                    (approx - exact).abs() <= exact * 0.03 + 1e-3,
+                    "q={q}: histogram {approx} vs exact {exact} exceeds the 3% bound"
+                );
+            }
+        }
+        // Default config keeps the recorder off.
+        let plain = cluster(4, 3);
+        assert!(!plain.metrics().read_latency.exact_enabled());
+        assert_eq!(plain.metrics().read_latency.exact_quantile_ms(0.5), None);
     }
 
     #[test]

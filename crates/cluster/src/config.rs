@@ -39,6 +39,16 @@ pub struct ClusterConfig {
     pub message_overhead_bytes: u32,
     /// Size of a read request / ack message payload in bytes.
     pub small_message_bytes: u32,
+    /// How many times a timed-out operation is re-issued (fresh coordinator
+    /// and fan-out, client-visible latency spanning every attempt) before it
+    /// completes with [`OpStatus::Timeout`](crate::OpStatus::Timeout).
+    /// 0 (the default) keeps the historical fail-fast behaviour.
+    pub retry_on_timeout: u32,
+    /// When true, latency metrics additionally keep every raw sample so
+    /// exact order-statistic percentiles can be computed next to the
+    /// histogram's ≤3%-error quantiles (validation of fault-scenario tails;
+    /// costs 8 bytes per completed operation).
+    pub exact_latency_percentiles: bool,
 }
 
 impl ClusterConfig {
@@ -66,6 +76,8 @@ impl ClusterConfig {
             read_repair: false,
             message_overhead_bytes: 60,
             small_message_bytes: 40,
+            retry_on_timeout: 0,
+            exact_latency_percentiles: false,
         }
     }
 

@@ -18,9 +18,16 @@ use serde::{Deserialize, Serialize};
 /// draw, the mean is exact (integer microsecond sum), and quantiles read the
 /// bucket counts directly instead of sorting a sample vector on every call
 /// (≈3% bounded relative error, same as the monitor's reporting path).
+/// When validating the streaming histogram's error bound matters more than
+/// memory (fault-scenario tail latencies), the stats can additionally keep
+/// every raw sample behind an opt-in flag ([`LatencyStats::with_exact`]):
+/// [`LatencyStats::exact_quantile_ms`] then computes true order statistics
+/// to compare against [`LatencyStats::quantile_ms`].
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     histogram: LatencyHistogram,
+    /// Raw microsecond samples, kept only when exact recording is enabled.
+    exact: Option<Vec<u64>>,
 }
 
 /// Former name of [`LatencyStats`], kept for downstream compatibility.
@@ -32,9 +39,37 @@ impl LatencyStats {
         Self::default()
     }
 
+    /// Empty statistics with the exact-sample recorder enabled: every
+    /// recorded latency is additionally kept verbatim, so
+    /// [`LatencyStats::exact_quantile_ms`] can compute true order
+    /// statistics. Off by default — it costs 8 bytes per sample, which the
+    /// streaming histogram exists to avoid.
+    pub fn with_exact() -> Self {
+        LatencyStats {
+            histogram: LatencyHistogram::new(),
+            exact: Some(Vec::new()),
+        }
+    }
+
+    /// Enable the exact-sample recorder (samples recorded before the call
+    /// are not recoverable; enable before the run starts).
+    pub fn enable_exact(&mut self) {
+        if self.exact.is_none() {
+            self.exact = Some(Vec::new());
+        }
+    }
+
+    /// Whether the exact-sample recorder is enabled.
+    pub fn exact_enabled(&self) -> bool {
+        self.exact.is_some()
+    }
+
     /// Record a latency.
     pub fn record(&mut self, latency: SimDuration) {
         self.histogram.record(latency.as_micros());
+        if let Some(samples) = &mut self.exact {
+            samples.push(latency.as_micros());
+        }
     }
 
     /// Number of recorded latencies.
@@ -55,6 +90,33 @@ impl LatencyStats {
     /// Largest recorded latency in milliseconds (exact).
     pub fn max_ms(&self) -> f64 {
         self.histogram.max().unwrap_or(0) as f64 / 1e3
+    }
+
+    /// Exact `q`-quantile in milliseconds from the raw samples (linear
+    /// interpolation between closest ranks). Returns `None` if the
+    /// exact-sample recorder is disabled or no samples were recorded —
+    /// callers validating the histogram bound should treat `None` as a
+    /// configuration error, not as "no difference". Sorts the samples on
+    /// every call; query several quantiles through
+    /// [`LatencyStats::exact_quantiles_ms`] to sort once.
+    pub fn exact_quantile_ms(&self, q: f64) -> Option<f64> {
+        self.exact_quantiles_ms(&[q]).map(|v| v[0])
+    }
+
+    /// Exact quantiles in milliseconds for every `q` in `qs`, sharing one
+    /// sort of the raw samples (see [`LatencyStats::exact_quantile_ms`]).
+    pub fn exact_quantiles_ms(&self, qs: &[f64]) -> Option<Vec<f64>> {
+        let samples = self.exact.as_ref()?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.iter().map(|&us| us as f64).collect();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN in micros"));
+        Some(
+            qs.iter()
+                .map(|&q| concord_sim::percentile_sorted(&sorted, q) / 1e3)
+                .collect(),
+        )
     }
 
     /// The underlying microsecond histogram.
@@ -127,6 +189,10 @@ pub struct ClusterMetrics {
     pub read_replicas_contacted: u64,
     /// Sum over writes of the number of replica acks awaited.
     pub write_acks_awaited: u64,
+    /// Timed-out attempts that were re-issued (`retry_on_timeout` budget).
+    pub retries: u64,
+    /// Messages dropped in transit by a datacenter partition.
+    pub messages_lost: u64,
 }
 
 impl ClusterMetrics {
@@ -212,6 +278,44 @@ mod tests {
         assert_eq!(r.count(), 200_000);
         let p50 = r.quantile_ms(0.5).unwrap();
         assert!((p50 - 0.5).abs() < 0.05, "p50={p50}");
+    }
+
+    #[test]
+    fn exact_recorder_is_opt_in_and_matches_order_statistics() {
+        let mut plain = LatencyStats::new();
+        plain.record(SimDuration::from_millis(5));
+        assert!(!plain.exact_enabled());
+        assert_eq!(plain.exact_quantile_ms(0.5), None);
+
+        let mut exact = LatencyStats::with_exact();
+        for i in 1..=1000u64 {
+            exact.record(SimDuration::from_millis(i));
+        }
+        assert!(exact.exact_enabled());
+        let p50 = exact.exact_quantile_ms(0.5).unwrap();
+        assert!((p50 - 500.5).abs() < 1e-9, "true median, got {p50}");
+        let p99 = exact.exact_quantile_ms(0.99).unwrap();
+        assert!((p99 - 990.01).abs() < 1e-6, "true p99, got {p99}");
+        // The histogram stays within its documented bound of the exact value.
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let approx = exact.quantile_ms(q).unwrap();
+            let truth = exact.exact_quantile_ms(q).unwrap();
+            assert!(
+                (approx - truth).abs() <= truth * 0.03 + 1e-3,
+                "q={q}: {approx} vs {truth}"
+            );
+        }
+        // The batch form shares one sort and matches the single queries.
+        let batch = exact.exact_quantiles_ms(&[0.5, 0.99]).unwrap();
+        assert_eq!(batch[0], exact.exact_quantile_ms(0.5).unwrap());
+        assert_eq!(batch[1], exact.exact_quantile_ms(0.99).unwrap());
+        // Enabling later starts from the enable point.
+        let mut late = LatencyStats::new();
+        late.record(SimDuration::from_millis(1));
+        late.enable_exact();
+        late.record(SimDuration::from_millis(3));
+        assert_eq!(late.exact_quantile_ms(1.0), Some(3.0));
+        assert_eq!(late.count(), 2);
     }
 
     #[test]

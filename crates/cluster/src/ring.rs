@@ -70,12 +70,40 @@ impl Ring {
             topology.node_count()
         );
         assert!(vnodes >= 1);
+        Self::excluding(topology, replication_factor, strategy, vnodes, |_| false)
+    }
+
+    /// Build a ring over the nodes of `topology` for which `excluded`
+    /// returns `false` — the reconfiguration path for permanent node
+    /// crashes: a crashed node's vnode tokens are withdrawn, so its former
+    /// ranges fall to the next nodes on the ring (exactly what removing a
+    /// Cassandra node does to ownership).
+    ///
+    /// Unlike [`Ring::new`] this is lenient: if fewer than
+    /// `replication_factor` nodes survive, the effective replication factor
+    /// is clamped to the survivor count (and a fully crashed cluster yields
+    /// an empty ring that maps every key to zero replicas).
+    pub fn excluding(
+        topology: &Topology,
+        replication_factor: u32,
+        strategy: ReplicationStrategy,
+        vnodes: u32,
+        excluded: impl Fn(NodeId) -> bool,
+    ) -> Self {
+        assert!(vnodes >= 1);
         // Build through a BTreeMap to keep the original "last writer wins on
         // token collision" semantics, then flatten to a sorted array.
         let mut token_map = BTreeMap::new();
+        let mut alive = 0u32;
         for node in topology.nodes() {
+            if excluded(node) {
+                continue;
+            }
+            alive += 1;
             for v in 0..vnodes {
                 // Derive deterministic, well-spread tokens per (node, vnode).
+                // Tokens depend only on (node, vnode), so the surviving
+                // nodes keep their positions across reconfigurations.
                 let token = ring_hash(((node.0 as u64) << 32) ^ (v as u64) ^ 0xA5A5_5A5A);
                 token_map.insert(token, node);
             }
@@ -83,7 +111,7 @@ impl Ring {
         let node_dc = topology.nodes().map(|n| topology.dc_of(n)).collect();
         Ring {
             tokens: token_map.into_iter().collect(),
-            replication_factor,
+            replication_factor: replication_factor.min(alive),
             strategy,
             node_dc,
             dc_count: topology.dc_count(),
@@ -299,6 +327,37 @@ mod tests {
             assert_eq!(ring.replicas(Key(k)).len(), 1);
             assert_eq!(ring.primary(Key(k)), ring.replicas(Key(k))[0]);
         }
+    }
+
+    #[test]
+    fn excluding_withdraws_tokens_and_keeps_survivor_positions() {
+        let topo = Topology::single_dc(6);
+        let full = Ring::new(&topo, 3, ReplicationStrategy::Simple, 16);
+        let partial = Ring::excluding(&topo, 3, ReplicationStrategy::Simple, 16, |n| n.0 == 2);
+        assert_eq!(partial.replication_factor(), 3);
+        for k in 0..500 {
+            let reps = partial.replicas(Key(k));
+            assert_eq!(reps.len(), 3);
+            assert!(!reps.contains(&NodeId(2)), "excluded node owns nothing");
+            // Survivors that were replicas before stay replicas, in order.
+            let survivors: Vec<NodeId> = full
+                .replicas(Key(k))
+                .into_iter()
+                .filter(|n| n.0 != 2)
+                .collect();
+            assert_eq!(&reps[..survivors.len()], &survivors[..]);
+        }
+    }
+
+    #[test]
+    fn excluding_clamps_rf_to_survivors() {
+        let topo = Topology::single_dc(4);
+        let ring = Ring::excluding(&topo, 3, ReplicationStrategy::Simple, 8, |n| n.0 >= 2);
+        assert_eq!(ring.replication_factor(), 2);
+        assert_eq!(ring.replicas(Key(9)).len(), 2);
+        let empty = Ring::excluding(&topo, 3, ReplicationStrategy::Simple, 8, |_| true);
+        assert_eq!(empty.replication_factor(), 0);
+        assert!(empty.replicas(Key(1)).is_empty());
     }
 
     #[test]

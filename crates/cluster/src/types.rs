@@ -72,7 +72,9 @@ pub enum OpStatus {
 /// A finished client operation, as reported back to the driving layer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CompletedOp {
-    /// The operation's id.
+    /// The operation's id — always the id the `submit_*` call handed out,
+    /// even when `retry_on_timeout` re-issued the operation under fresh
+    /// internal attempts, so client-side correlation by id always holds.
     pub id: OpId,
     /// Read or write.
     pub kind: OpKind,

@@ -89,8 +89,11 @@ fn churn(c: &mut Cluster, ops: u64, keys: u64, gap: SimDuration) {
 fn maybe_print(name: &str, d: &RunDigest, c: &Cluster) {
     if std::env::var("GOLDEN_PRINT").is_ok() {
         println!(
-            "{name}: {d:?} events={} now_us={} messages={} traffic_total={} traffic_inter_dc={} \
+            "{name}: {d:?} retries={} messages_lost={} events={} now_us={} messages={} \
+             traffic_total={} traffic_inter_dc={} \
              storage_r={} storage_w={} oracle_stale={} oracle_fresh={}",
+            c.metrics().retries,
+            c.metrics().messages_lost,
             c.events_processed(),
             c.now().as_micros(),
             c.metrics().messages,
@@ -179,6 +182,141 @@ fn golden_failure_timeout_run() {
     assert_eq!(c.events_processed(), GOLDEN_FAILURE.3);
 }
 
+/// Crash/recover scenario: a node crashes mid-run (ring reconfigures onto
+/// the survivors), recovers later (original token positions restored), with
+/// timeout retries enabled. Events are driven through ticks so the fault
+/// times are exact and reproducible.
+#[test]
+fn golden_crash_recover_run() {
+    let mut cfg = ClusterConfig::lan_test(6, 3);
+    cfg.op_timeout = SimDuration::from_millis(80);
+    cfg.retry_on_timeout = 1;
+    cfg.read_repair = true;
+    let mut c = Cluster::new(cfg, 33);
+    c.load_records((0..40u64).map(|k| (k, 150)));
+    // Alternating ALL-write → ONE-read churn across the fault windows.
+    let mut at = SimTime::ZERO;
+    for i in 0..2_000u64 {
+        at += SimDuration::from_micros(400);
+        if i % 2 == 0 {
+            c.submit_write_with((i / 2) % 40, 150, ConsistencyLevel::All, at);
+        } else {
+            c.submit_read_at((i / 2) % 40, at);
+        }
+    }
+    // Crash at 100 ms, recover at 500 ms (the churn spans 800 ms); a
+    // *transient* outage of node 0 (ring untouched, so ALL writes keep
+    // targeting it and time out into retries) from 250 ms to 400 ms.
+    c.schedule_tick(SimTime::from_millis(100), 1);
+    c.schedule_tick(SimTime::from_millis(500), 2);
+    c.schedule_tick(SimTime::from_millis(250), 3);
+    c.schedule_tick(SimTime::from_millis(400), 4);
+    let mut d = RunDigest::default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fnv = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    while let Some(out) = c.advance() {
+        match out {
+            concord_cluster::ClusterOutput::Tick { id: 1, .. } => {
+                c.crash_node(concord_sim::NodeId(2))
+            }
+            concord_cluster::ClusterOutput::Tick { id: 2, .. } => {
+                c.recover_node(concord_sim::NodeId(2))
+            }
+            concord_cluster::ClusterOutput::Tick { id: 3, .. } => {
+                c.set_node_down(concord_sim::NodeId(0))
+            }
+            concord_cluster::ClusterOutput::Tick { id: 4, .. } => {
+                c.set_node_up(concord_sim::NodeId(0))
+            }
+            concord_cluster::ClusterOutput::Tick { .. } => {}
+            concord_cluster::ClusterOutput::Completed(op) => {
+                d.ops += 1;
+                if op.status == OpStatus::Timeout {
+                    d.timeouts += 1;
+                }
+                if op.stale {
+                    d.stale += 1;
+                }
+                d.latency_sum_us += op.latency().as_micros();
+                fnv(&mut h, op.completed_at.as_micros());
+                fnv(&mut h, op.returned_version.0);
+            }
+        }
+    }
+    d.checksum = h;
+    maybe_print("crash_recover", &d, &c);
+
+    assert_eq!(d.ops, 2_000, "every op completes exactly once");
+    assert!(c.metrics().retries > 0, "the outage must induce retries");
+    assert!(!c.is_node_crashed(concord_sim::NodeId(2)));
+    assert_eq!(c.inflight_ops(), 0);
+    assert_eq!(c.inflight_write_payloads(), 0);
+    assert_eq!(d.timeouts, GOLDEN_CRASH.0);
+    assert_eq!(c.metrics().retries, GOLDEN_CRASH.1);
+    assert_eq!(d.latency_sum_us, GOLDEN_CRASH.2);
+    assert_eq!(d.checksum, GOLDEN_CRASH.3);
+    assert_eq!(c.events_processed(), GOLDEN_CRASH.4);
+}
+
+/// Partition/heal scenario: the two sites of a geo cluster partition and
+/// later heal, under quorum churn — cross-site messages are lost while the
+/// partition holds.
+#[test]
+fn golden_partition_heal_run() {
+    let mut c = geo_cluster(37);
+    c.load_records((0..30u64).map(|k| (k, 200)));
+    c.set_levels(ConsistencyLevel::Quorum, ConsistencyLevel::Quorum);
+    churn(&mut c, 3_000, 30, SimDuration::from_micros(400));
+    // Partition at 200 ms, heal at 700 ms (the churn spans 1.2 s).
+    c.schedule_tick(SimTime::from_millis(200), 1);
+    c.schedule_tick(SimTime::from_millis(700), 2);
+    let (a, b) = (concord_sim::DcId(0), concord_sim::DcId(1));
+    let mut d = RunDigest::default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fnv = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    while let Some(out) = c.advance() {
+        match out {
+            concord_cluster::ClusterOutput::Tick { id: 1, .. } => c.partition_dcs(a, b),
+            concord_cluster::ClusterOutput::Tick { id: 2, .. } => c.heal_dcs(a, b),
+            concord_cluster::ClusterOutput::Tick { .. } => {}
+            concord_cluster::ClusterOutput::Completed(op) => {
+                d.ops += 1;
+                if op.status == OpStatus::Timeout {
+                    d.timeouts += 1;
+                }
+                if op.stale {
+                    d.stale += 1;
+                }
+                d.latency_sum_us += op.latency().as_micros();
+                fnv(&mut h, op.completed_at.as_micros());
+                fnv(&mut h, op.returned_version.0);
+            }
+        }
+    }
+    d.checksum = h;
+    maybe_print("partition_heal", &d, &c);
+
+    assert_eq!(d.ops, 3_000);
+    assert!(
+        c.metrics().messages_lost > 0,
+        "the partition drops messages"
+    );
+    assert!(!c.dcs_partitioned(a, b));
+    assert_eq!(c.inflight_ops(), 0);
+    assert_eq!(c.inflight_write_payloads(), 0);
+    assert_eq!(d.timeouts, GOLDEN_PARTITION.0);
+    assert_eq!(c.metrics().messages_lost, GOLDEN_PARTITION.1);
+    assert_eq!(d.latency_sum_us, GOLDEN_PARTITION.2);
+    assert_eq!(d.checksum, GOLDEN_PARTITION.3);
+    assert_eq!(c.events_processed(), GOLDEN_PARTITION.4);
+}
+
 // Captured values (pre-refactor implementation, seeds as above):
 // (stale, latency_sum_us, checksum, events, now_us, messages, traffic_total,
 //  traffic_inter_dc, (storage_read_ops, storage_write_ops)).
@@ -197,3 +335,10 @@ const GOLDEN_WEAK: (u64, u64, u64, u64, u64, u64, u64, u64, (u64, u64)) = (
 const GOLDEN_QUORUM: (u64, u64, u64, u64) = (45_593_949, 7203024975233682314, 45_738, 10_900_000);
 // (timeouts, latency_sum_us, checksum, events).
 const GOLDEN_FAILURE: (u64, u64, u64, u64) = (107, 5_735_824, 5079826259043572358, 3_879);
+// Fault-scenario digests (captured at the introduction of fault injection;
+// re-capture with GOLDEN_PRINT=1 after intentional semantic changes):
+// (timeouts, retries, latency_sum_us, checksum, events).
+const GOLDEN_CRASH: (u64, u64, u64, u64, u64) = (61, 147, 18_554_388, 18292732308431460120, 16_744);
+// (timeouts, messages_lost, latency_sum_us, checksum, events).
+const GOLDEN_PARTITION: (u64, u64, u64, u64, u64) =
+    (649, 1_946, 6_516_290_287, 9876085233809652447, 38_442);

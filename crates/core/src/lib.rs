@@ -18,11 +18,14 @@
 //!   runtime state classifier ([`BehaviorDrivenPolicy`]) for
 //!   application-specific consistency (§III-C).
 //!
-//! The [`AdaptiveRuntime`] closes the loop: it drives a YCSB-like workload
-//! against the simulated cluster, feeds the monitor, consults the configured
+//! The [`AdaptiveRuntime`] is the **scenario driver** that closes the loop:
+//! it executes a [`Scenario`] — closed-loop clients *or* a bulk-loaded
+//! open-loop arrival schedule, plus a timed fault script (node
+//! crash/recover, DC partition/heal, link degradation) — against the
+//! simulated cluster, feeds the monitor, consults the configured
 //! [`ConsistencyPolicy`] at every adaptation interval and produces a
-//! [`RunReport`] with the throughput / latency / staleness / cost figures the
-//! paper's evaluation reports.
+//! [`RunReport`] with the throughput / latency / staleness / cost figures
+//! the paper's evaluation reports.
 //!
 //! ```
 //! use concord_core::{AdaptiveRuntime, HarmonyPolicy, RuntimeConfig};
@@ -48,6 +51,7 @@ pub mod harmony;
 pub mod policy;
 pub mod report;
 pub mod runtime;
+pub mod scenario;
 
 pub use behavior::{
     BehaviorDrivenPolicy, BehaviorModel, BehaviorModelBuilder, PolicyKind, PolicyRule,
@@ -60,3 +64,4 @@ pub use policy::{
 };
 pub use report::{render_table, LatencySummary, LevelChange, RunReport};
 pub use runtime::{AdaptiveRuntime, RuntimeConfig};
+pub use scenario::{FaultAction, FaultEvent, Scenario};

@@ -54,6 +54,9 @@ pub struct LevelChange {
 pub struct RunReport {
     /// Name of the policy that drove the run.
     pub policy: String,
+    /// Label of the scenario that drove the run (arrival mode + fault count,
+    /// e.g. `closed(32)` or `poisson(5000/s)+3 faults`).
+    pub scenario: String,
     /// Total client operations completed.
     pub total_ops: u64,
     /// Completed reads.
@@ -62,6 +65,12 @@ pub struct RunReport {
     pub writes: u64,
     /// Operations that timed out.
     pub timeouts: u64,
+    /// Timed-out attempts that were re-issued (`retry_on_timeout` budget).
+    pub retries: u64,
+    /// Fault-script events applied during the run.
+    pub faults_injected: u64,
+    /// Messages lost in transit to datacenter partitions.
+    pub messages_lost: u64,
     /// Simulated duration of the run.
     pub makespan: SimDuration,
     /// Operations per second of simulated time.
@@ -157,10 +166,14 @@ mod tests {
     fn report(policy: &str, stale: f64, cost: f64) -> RunReport {
         RunReport {
             policy: policy.to_string(),
+            scenario: "closed(32)".to_string(),
             total_ops: 1000,
             reads: 500,
             writes: 500,
             timeouts: 0,
+            retries: 0,
+            faults_injected: 0,
+            messages_lost: 0,
             makespan: SimDuration::from_secs(10),
             throughput_ops_per_sec: 100.0,
             read_latency_ms: LatencySummary {

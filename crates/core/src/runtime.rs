@@ -1,19 +1,31 @@
-//! The adaptive runtime: closes the loop between the storage cluster, the
-//! workload, the monitoring module and a consistency policy.
+//! The adaptive runtime: the **scenario driver** that connects a storage
+//! cluster, a workload, the monitoring module and a consistency policy.
 //!
-//! This is the component that corresponds to running "YCSB against Cassandra
-//! with Harmony attached" in the paper's evaluation: a closed loop of client
-//! threads drives the cluster, every completed operation feeds the monitor,
-//! and at every adaptation interval the policy is consulted and the cluster's
-//! consistency levels are retuned.
+//! Historically this was a closed-loop-only driver — "YCSB against Cassandra
+//! with Harmony attached", the paper's evaluation setup. It now executes any
+//! [`Scenario`]: the arrival mode decides whether clients form a closed loop
+//! (each issues its next operation on completion) or an open loop (the whole
+//! sorted arrival schedule is bulk-loaded up front through
+//! `Cluster::submit_batch` and the event queue's O(1) bulk lane), and the
+//! scenario's fault script is interleaved with the policy's adaptation
+//! epochs as scheduled ticks. Every completed operation feeds the monitor;
+//! at every adaptation interval the policy is consulted and the cluster's
+//! consistency levels are retuned — under faults, exactly like on a healthy
+//! cluster.
 
 use crate::policy::{ClusterProfile, ConsistencyPolicy, PolicyContext};
 use crate::report::{LatencySummary, LevelChange, RunReport};
-use concord_cluster::{Cluster, ClusterOutput, OpKind};
+use crate::scenario::Scenario;
+use concord_cluster::{BatchOp, Cluster, ClusterOutput, OpKind};
 use concord_cost::{Bill, PricingModel, ResourceUsage};
 use concord_monitor::{AccessMonitor, MonitorConfig};
 use concord_sim::{SimDuration, SimRng, SimTime};
 use concord_workload::{CoreWorkload, OperationType, WorkloadOp};
+
+/// Tick ids at or above this base address entries of the scenario's fault
+/// script; below it they are adaptation ticks. (A run would need 2^32
+/// adaptation intervals to collide, i.e. centuries of simulated time.)
+const FAULT_TICK_BASE: u64 = 1 << 32;
 
 /// Configuration of an adaptive run.
 #[derive(Debug, Clone, Copy)]
@@ -81,16 +93,65 @@ impl AdaptiveRuntime {
         }
     }
 
-    /// Drive `workload` against `cluster` under `policy` until every
-    /// operation of the workload has completed, and return the run report.
+    /// Map one workload operation to its open-loop batch entry. Scans have
+    /// no range-read path in the cluster model; like the closed-loop
+    /// [`AdaptiveRuntime::submit`], they read the range's anchor record.
+    fn batch_op(at: SimTime, op: &WorkloadOp) -> BatchOp {
+        match op.op {
+            OperationType::Read | OperationType::Scan => BatchOp::read(at, op.key),
+            OperationType::Update | OperationType::Insert | OperationType::ReadModifyWrite => {
+                BatchOp::write(at, op.key, op.value_size)
+            }
+        }
+    }
+
+    /// Drive `workload` against `cluster` under `policy` with the
+    /// historical setup — a healthy closed loop of `config.clients` clients
+    /// — until every operation has completed, and return the run report.
     ///
-    /// The cluster should already be loaded with the workload's records
-    /// (see [`Cluster::load_records`]).
+    /// This is a thin wrapper over [`AdaptiveRuntime::run_scenario`] with
+    /// [`Scenario::closed_with_think`]; reports are byte-identical to the
+    /// pre-scenario driver.
     pub fn run(
         &mut self,
         cluster: &mut Cluster,
         workload: &mut CoreWorkload,
         policy: &mut dyn ConsistencyPolicy,
+    ) -> RunReport {
+        let scenario = Scenario::closed_with_think(self.config.clients, self.config.think_time);
+        self.run_scenario(cluster, workload, policy, &scenario)
+    }
+
+    /// Execute a [`Scenario`]: drive `workload` against `cluster` under
+    /// `policy` with the scenario's arrival mode, interleaving its fault
+    /// script with the policy's adaptation epochs, until every operation of
+    /// the workload has completed. Returns the run report.
+    ///
+    /// * **Closed loop** — `scenario.arrival.concurrency()` clients are
+    ///   primed; each issues its next operation when the previous completes
+    ///   (plus the arrival's think time). `config.clients` is ignored in
+    ///   favour of the scenario.
+    /// * **Open loop** — the workload's whole timed schedule
+    ///   (`CoreWorkload::timed_ops`) is bulk-loaded up front through
+    ///   `Cluster::submit_batch`; completions never gate arrivals, so the
+    ///   offered load stays fixed while faults and level changes move the
+    ///   completion rate. Consistency levels still apply at *arrival* time
+    ///   (the cluster resolves its default level when the operation reaches
+    ///   its coordinator), so adaptation steps retune bulk-loaded
+    ///   operations exactly like closed-loop ones.
+    /// * **Faults** — each script entry is scheduled as a tick at `start +
+    ///   at` and applied to the cluster when the simulation reaches it.
+    ///   Faults scripted past the workload's completion never fire.
+    ///
+    /// The cluster should already be loaded with the workload's records
+    /// (see [`Cluster::load_records`]). Fixed seed ⇒ identical report, for
+    /// any arrival mode and fault script.
+    pub fn run_scenario(
+        &mut self,
+        cluster: &mut Cluster,
+        workload: &mut CoreWorkload,
+        policy: &mut dyn ConsistencyPolicy,
+        scenario: &Scenario,
     ) -> RunReport {
         let profile = ClusterProfile::from_cluster(cluster, workload.config().record_size());
         let mut monitor = AccessMonitor::new(self.config.monitor);
@@ -112,16 +173,40 @@ impl AdaptiveRuntime {
             write_replicas: cluster.config().required_acks(initial.write),
         });
 
-        // Prime the closed loop: one outstanding operation per client,
-        // staggered by a few microseconds to avoid an artificial burst.
+        // Prime the arrivals. Closed loop: one outstanding operation per
+        // client, staggered by a few microseconds to avoid an artificial
+        // burst. Open loop: the whole sorted timed schedule is bulk-loaded
+        // through the event queue's O(1) bulk lane up front.
         let total_ops = workload.config().operation_count;
         let mut submitted = 0u64;
-        let initial_clients = (self.config.clients as u64).min(total_ops);
-        for i in 0..initial_clients {
-            let op = workload.next_op(&mut self.rng);
-            Self::submit(cluster, &op, start + SimDuration::from_micros(i * 13));
-            submitted += 1;
+        let closed_clients = scenario.arrival.concurrency();
+        let think_time = scenario.arrival.think_time();
+        match closed_clients {
+            Some(clients) => {
+                assert!(clients >= 1, "a closed-loop scenario needs clients");
+                let initial_clients = (clients as u64).min(total_ops);
+                for i in 0..initial_clients {
+                    let op = workload.next_op(&mut self.rng);
+                    Self::submit(cluster, &op, start + SimDuration::from_micros(i * 13));
+                    submitted += 1;
+                }
+            }
+            None => {
+                let process = scenario.arrival;
+                let rng = &mut self.rng;
+                let timed = workload
+                    .timed_ops(process, start, rng)
+                    .map(|(at, op)| Self::batch_op(at, &op));
+                submitted = cluster.submit_batch(timed) as u64;
+            }
         }
+
+        // Schedule the fault script; the tick-id space above FAULT_TICK_BASE
+        // indexes into it.
+        for (i, fault) in scenario.faults.iter().enumerate() {
+            cluster.schedule_tick(start + fault.at, FAULT_TICK_BASE + i as u64);
+        }
+        let mut faults_injected = 0u64;
 
         let mut tick_id = 0u64;
         cluster.schedule_tick(start + self.config.adaptation_interval, tick_id);
@@ -145,11 +230,17 @@ impl AdaptiveRuntime {
                     }
                     // Closed loop: this client immediately issues its next
                     // operation (after the optional think time).
-                    if submitted < total_ops && !workload.is_exhausted() {
+                    if closed_clients.is_some() && submitted < total_ops && !workload.is_exhausted()
+                    {
                         let next = workload.next_op(&mut self.rng);
-                        Self::submit(cluster, &next, op.completed_at + self.config.think_time);
+                        Self::submit(cluster, &next, op.completed_at + think_time);
                         submitted += 1;
                     }
+                }
+                ClusterOutput::Tick { at: _, id } if id >= FAULT_TICK_BASE => {
+                    let fault = &scenario.faults[(id - FAULT_TICK_BASE) as usize];
+                    fault.action.apply(cluster);
+                    faults_injected += 1;
                 }
                 ClusterOutput::Tick { at, .. } => {
                     // Feed the monitor with the propagation measurements the
@@ -195,10 +286,14 @@ impl AdaptiveRuntime {
 
         RunReport {
             policy: policy.name(),
+            scenario: scenario.label(),
             total_ops: metrics.ops_completed(),
             reads: metrics.reads_completed,
             writes: metrics.writes_completed,
             timeouts: metrics.timeouts,
+            retries: metrics.retries,
+            faults_injected,
+            messages_lost: metrics.messages_lost,
             makespan,
             throughput_ops_per_sec: metrics.throughput(makespan),
             read_latency_ms: LatencySummary::from_stats(&metrics.read_latency),
@@ -220,6 +315,7 @@ mod tests {
     use super::*;
     use crate::harmony::HarmonyPolicy;
     use crate::policy::StaticPolicy;
+    use crate::scenario::{FaultAction, FaultEvent};
     use concord_cluster::{ClusterConfig, ReplicationStrategy};
     use concord_sim::{NetworkModel, RegionId, Topology};
     use concord_workload::presets;
@@ -349,6 +445,155 @@ mod tests {
         let fast = run_with_think(SimDuration::ZERO);
         let slow = run_with_think(SimDuration::from_millis(5));
         assert!(fast > slow * 1.5, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn closed_loop_scenario_matches_the_legacy_entry_point() {
+        let (mut cluster_a, mut workload_a) = setup(21);
+        let mut policy_a = StaticPolicy::quorum();
+        let legacy = quick_runtime(21).run(&mut cluster_a, &mut workload_a, &mut policy_a);
+
+        let (mut cluster_b, mut workload_b) = setup(21);
+        let mut policy_b = StaticPolicy::quorum();
+        let scenario = Scenario::closed(16); // quick_runtime uses 16 clients
+        let scenic = quick_runtime(21).run_scenario(
+            &mut cluster_b,
+            &mut workload_b,
+            &mut policy_b,
+            &scenario,
+        );
+        assert_eq!(legacy, scenic, "the wrapper and the driver must agree");
+        assert_eq!(legacy.scenario, "closed(16)");
+    }
+
+    #[test]
+    fn open_loop_runs_complete_under_adaptive_policies() {
+        let (mut cluster, mut workload) = setup(23);
+        let mut harmony = HarmonyPolicy::with_tolerance(0.15);
+        let scenario = Scenario::open_poisson(20_000.0);
+        let report =
+            quick_runtime(23).run_scenario(&mut cluster, &mut workload, &mut harmony, &scenario);
+        assert_eq!(report.total_ops, 6_000);
+        assert_eq!(report.scenario, "poisson(20000/s)");
+        assert!(report.adaptation_steps > 1, "the policy must keep adapting");
+        assert!(report.throughput_ops_per_sec > 0.0);
+        assert_eq!(report.faults_injected, 0);
+    }
+
+    #[test]
+    fn open_loop_offered_load_is_fixed_by_the_schedule() {
+        // A closed loop's makespan stretches under a slow policy; an open
+        // loop's arrival span is fixed by the schedule, so the makespan is
+        // pinned near (last arrival + tail latency) for any policy.
+        let run_open = |seed: u64, mut policy: StaticPolicy| {
+            let (mut cluster, mut workload) = setup(seed);
+            let scenario = Scenario::open_uniform(10_000.0);
+            quick_runtime(seed).run_scenario(&mut cluster, &mut workload, &mut policy, &scenario)
+        };
+        let eventual = run_open(25, StaticPolicy::eventual());
+        let strong = run_open(25, StaticPolicy::strong());
+        // 6000 ops at 10k/s: arrivals span 0.6 s for both runs.
+        let span = 0.6;
+        for r in [&eventual, &strong] {
+            let makespan = r.makespan.as_secs_f64();
+            assert!(
+                makespan >= span && makespan < span * 1.5,
+                "open-loop makespan must track the schedule, got {makespan}"
+            );
+        }
+        // Staleness still separates the levels under identical offered load.
+        assert!(eventual.stale_read_rate > strong.stale_read_rate);
+        assert_eq!(strong.stale_reads, 0);
+    }
+
+    #[test]
+    fn fault_scripts_fire_and_are_reported() {
+        let (mut cluster, mut workload) = setup(27);
+        let mut policy = StaticPolicy::eventual();
+        // 6000 ops at 10k/s span 0.6 s; crash at 0.1 s, recover at 0.3 s,
+        // partition the two sites in between.
+        let scenario = Scenario::open_uniform(10_000.0).with_faults(vec![
+            FaultEvent::at_secs(0.1, FaultAction::CrashNode(2)),
+            FaultEvent::at_secs(0.2, FaultAction::PartitionDcs(0, 1)),
+            FaultEvent::at_secs(0.3, FaultAction::RecoverNode(2)),
+            FaultEvent::at_secs(0.4, FaultAction::HealDcs(0, 1)),
+        ]);
+        let report =
+            quick_runtime(27).run_scenario(&mut cluster, &mut workload, &mut policy, &scenario);
+        assert_eq!(report.faults_injected, 4, "every scripted fault fired");
+        assert!(report.scenario.ends_with("+4 faults"));
+        assert!(
+            report.messages_lost > 0,
+            "the partition must drop messages mid-run"
+        );
+        assert_eq!(report.total_ops, 6_000, "the run still completes");
+        // The scripted pairs healed: the cluster ends healthy.
+        assert!(!cluster.is_node_crashed(concord_sim::NodeId(2)));
+        assert!(!cluster.dcs_partitioned(concord_sim::DcId(0), concord_sim::DcId(1)));
+    }
+
+    #[test]
+    fn fault_scenarios_are_deterministic_per_seed() {
+        let run = || {
+            let (mut cluster, mut workload) = setup(31);
+            let mut policy = HarmonyPolicy::with_tolerance(0.25);
+            let scenario = Scenario::open_poisson(15_000.0).with_faults(vec![
+                FaultEvent::at_secs(0.1, FaultAction::NodeDown(1)),
+                FaultEvent::at_secs(
+                    0.25,
+                    FaultAction::DegradeLink(concord_sim::LinkClass::InterDc, 6.0),
+                ),
+                FaultEvent::at_secs(0.3, FaultAction::NodeUp(1)),
+                FaultEvent::at_secs(
+                    0.35,
+                    FaultAction::RestoreLink(concord_sim::LinkClass::InterDc),
+                ),
+            ]);
+            quick_runtime(31).run_scenario(&mut cluster, &mut workload, &mut policy, &scenario)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fixed seed must reproduce the faulted run exactly");
+        assert_eq!(a.faults_injected, 4);
+    }
+
+    #[test]
+    fn ycsb_d_and_e_run_under_the_scenario_driver() {
+        // Workload D (latest-distribution reads + inserts) and E (short
+        // scans + inserts) both complete open-loop and closed-loop, with
+        // deterministic per-seed reports. Scans read their range's anchor
+        // record (the cluster model has no range-read path).
+        for preset in [presets::ycsb_d(), presets::ycsb_e()] {
+            let build = || {
+                let mut cfg = ClusterConfig::lan_test(8, 3);
+                cfg.topology =
+                    Topology::spread(8, &[("site-a", RegionId(0)), ("site-b", RegionId(0))]);
+                cfg.network = NetworkModel::grid5000_like();
+                cfg.strategy = ReplicationStrategy::NetworkTopology;
+                let mut cluster = Cluster::new(cfg, 43);
+                let mut wl_cfg = presets::sized(preset.clone(), 1_000, 3_000);
+                wl_cfg.field_count = 1;
+                wl_cfg.field_length = 256;
+                cluster.load_records((0..wl_cfg.record_count).map(|k| (k, wl_cfg.record_size())));
+                (cluster, CoreWorkload::new(wl_cfg))
+            };
+            let run = |scenario: &Scenario| {
+                let (mut cluster, mut workload) = build();
+                let mut policy = HarmonyPolicy::with_tolerance(0.20);
+                quick_runtime(43).run_scenario(&mut cluster, &mut workload, &mut policy, scenario)
+            };
+            let open = run(&Scenario::open_poisson(10_000.0));
+            assert_eq!(open.total_ops, 3_000);
+            assert!(open.reads > 0, "both mixes read");
+            assert!(open.writes > 0, "inserts write");
+            assert_eq!(
+                open,
+                run(&Scenario::open_poisson(10_000.0)),
+                "deterministic"
+            );
+            let closed = run(&Scenario::closed(16));
+            assert_eq!(closed.total_ops, 3_000);
+        }
     }
 
     #[test]

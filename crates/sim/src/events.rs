@@ -9,6 +9,235 @@ use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// Bits per timer-wheel level: each level resolves one 6-bit digit of the
+/// firing time in microseconds, so a level holds 64 slots.
+const WHEEL_GROUP_BITS: u32 = 6;
+/// Slots per timer-wheel level (`2^WHEEL_GROUP_BITS`).
+const WHEEL_SLOTS: usize = 1 << WHEEL_GROUP_BITS;
+/// Levels needed to cover the full 64-bit microsecond range (`ceil(64/6)`).
+const WHEEL_LEVELS: usize = 11;
+
+/// One level of the [`TimerWheel`]: 64 slots plus an occupancy bitmap so the
+/// earliest non-empty slot is a single `trailing_zeros`.
+#[derive(Debug, Clone)]
+struct WheelLevel<E> {
+    occupied: u64,
+    slots: [VecDeque<(u128, E)>; WHEEL_SLOTS],
+    /// Cached minimum key per slot (`u128::MAX` when empty), maintained in
+    /// O(1): inserts take a `min`, and the only removals are wholesale
+    /// cascades and front pops of level-0 slots (which are key-sorted, see
+    /// [`TimerWheel::pop_min`]).
+    slot_min: [u128; WHEEL_SLOTS],
+}
+
+impl<E> WheelLevel<E> {
+    fn new() -> Self {
+        WheelLevel {
+            occupied: 0,
+            slots: std::array::from_fn(|_| VecDeque::new()),
+            slot_min: [u128::MAX; WHEEL_SLOTS],
+        }
+    }
+}
+
+/// A hierarchical timer wheel over packed `time‖seq` keys.
+///
+/// This is the timeout lane of the [`EventQueue`]. Its predecessor was a
+/// plain FIFO that required firing times to be non-decreasing in scheduling
+/// order — true for one constant `op_timeout`, false the moment timeouts
+/// become heterogeneous (per-operation timeouts, fault-recovery timers,
+/// retry backoff). The wheel keeps O(1) amortized scheduling for *arbitrary*
+/// timeout patterns:
+///
+/// * level `l` buckets entries by the `l`-th 6-bit digit of their firing
+///   time (µs), so an entry lands `O(1)` at the level of its highest digit
+///   differing from the wheel's base time;
+/// * the wheel's base advances with the queue clock; entries cascade at most
+///   one level per 64-fold horizon crossing (amortized `O(levels)` per
+///   entry over its lifetime);
+/// * the minimum pending key is cached, so the queue's fused peek/pop reads
+///   it in `O(1)` exactly like the old FIFO front.
+///
+/// **Ordering is identical to the heap lane by construction**: the queue
+/// always pops the globally smallest packed `time‖seq` key across all lanes,
+/// and the wheel's invariants guarantee its cached minimum is exact —
+/// * all entries at level `l` agree with `base` on every digit above `l`
+///   (established at insert, re-established by cascading), hence entries at
+///   a lower level always fire before entries at a higher level;
+/// * within a level, slot index equals the level digit of the firing time,
+///   so the lowest occupied slot holds the earliest entries;
+/// * within a level-0 slot all firing times are equal and the insertion
+///   sequence number breaks ties, exactly like the heap.
+#[derive(Debug, Clone)]
+struct TimerWheel<E> {
+    levels: Vec<WheelLevel<E>>,
+    /// Wheel reference time in µs; all pending entries fire at or after it.
+    base: u64,
+    len: usize,
+    /// Cached smallest pending key (`None` when empty).
+    min_key: Option<u128>,
+}
+
+impl<E> TimerWheel<E> {
+    fn new() -> Self {
+        TimerWheel {
+            levels: (0..WHEEL_LEVELS).map(|_| WheelLevel::new()).collect(),
+            base: 0,
+            len: 0,
+            min_key: None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn slot_of(level: usize, time: u64) -> usize {
+        ((time >> (WHEEL_GROUP_BITS as usize * level)) & (WHEEL_SLOTS as u64 - 1)) as usize
+    }
+
+    /// The level an entry firing at `time` belongs to, relative to the
+    /// current base: the position of the highest 6-bit digit in which `time`
+    /// and `base` differ (0 when they are equal).
+    #[inline]
+    fn level_of(&self, time: u64) -> usize {
+        let diff = time ^ self.base;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / WHEEL_GROUP_BITS) as usize
+        }
+    }
+
+    fn insert(&mut self, key: u128, event: E) {
+        let time = (key >> 64) as u64;
+        debug_assert!(time >= self.base, "timer scheduled before the wheel base");
+        let l = self.level_of(time);
+        let s = Self::slot_of(l, time);
+        let level = &mut self.levels[l];
+        level.slots[s].push_back((key, event));
+        level.occupied |= 1u64 << s;
+        level.slot_min[s] = level.slot_min[s].min(key);
+        self.len += 1;
+        // Membership only grows here, so the cached minimum can only drop.
+        self.min_key = Some(self.min_key.map_or(key, |m| m.min(key)));
+    }
+
+    #[inline]
+    fn peek_min(&self) -> Option<u128> {
+        self.min_key
+    }
+
+    /// Advance the wheel base to `now` (µs), cascading entries whose level
+    /// digit has been reached down to finer levels. The queue calls this on
+    /// every clock advance; `now` never precedes a pending entry (it is the
+    /// globally earliest event time), which is what guarantees that every
+    /// level below the highest changed digit is already empty.
+    fn advance(&mut self, now: u64) {
+        if now <= self.base {
+            return;
+        }
+        if self.len == 0 {
+            self.base = now;
+            return;
+        }
+        // Highest digit in which the base changes; levels below it hold no
+        // entries (they would have to fire before `now`).
+        let h = self.level_of(now);
+        self.base = now;
+        for l in (1..=h).rev() {
+            let s = Self::slot_of(l, now);
+            if self.levels[l].occupied & (1u64 << s) != 0 {
+                let entries = std::mem::take(&mut self.levels[l].slots[s]);
+                self.levels[l].occupied &= !(1u64 << s);
+                self.levels[l].slot_min[s] = u128::MAX;
+                self.len -= entries.len();
+                // Re-inserting relative to the new base sends each entry to
+                // a finer level; the cached minimum is unchanged because
+                // membership is unchanged.
+                for (key, event) in entries {
+                    self.insert(key, event);
+                }
+            }
+        }
+    }
+
+    fn recompute_min(&mut self) {
+        // The lowest occupied level holds the globally earliest entries, and
+        // within it the lowest occupied slot (slot index == level digit of
+        // the firing time; digits above agree with the base for every entry
+        // in the level). The per-slot minimum is cached, so this is a few
+        // bitmap reads, never a slot scan.
+        self.min_key = None;
+        for level in &self.levels {
+            if level.occupied != 0 {
+                let s = level.occupied.trailing_zeros() as usize;
+                self.min_key = Some(level.slot_min[s]);
+                return;
+            }
+        }
+    }
+
+    /// Remove and return the earliest entry. The caller (the queue's pop)
+    /// advances the wheel to the entry's firing time first, so the minimum
+    /// always sits in a **level-0 slot** — and level-0 slots are key-sorted
+    /// by construction: all entries of a level-0 slot fire in the same
+    /// microsecond, direct inserts append with a monotonically growing
+    /// sequence number, and a cascade (which happens at most once per slot,
+    /// when the base first enters the slot's 64 µs window) preserves the
+    /// seq-sorted order of its source slot. The front pop is therefore O(1);
+    /// a scan remains as a defensive fallback.
+    fn pop_min(&mut self) -> Option<(u128, E)> {
+        let key = self.min_key?;
+        let time = (key >> 64) as u64;
+        let l = self.level_of(time);
+        let s = Self::slot_of(l, time);
+        let level = &mut self.levels[l];
+        let slot = &mut level.slots[s];
+        debug_assert_eq!(l, 0, "the wheel minimum fires at the (advanced) base");
+        let popped_front = slot.front().is_some_and(|&(k, _)| k == key);
+        let entry = if popped_front {
+            slot.pop_front().expect("front exists")
+        } else {
+            // Defensive: never expected for level-0 slots (see above).
+            let idx = slot
+                .iter()
+                .position(|&(k, _)| k == key)
+                .expect("cached minimum key addresses a live entry");
+            slot.remove(idx).expect("index is in bounds")
+        };
+        if slot.is_empty() {
+            level.occupied &= !(1u64 << s);
+            level.slot_min[s] = u128::MAX;
+        } else if popped_front {
+            level.slot_min[s] = slot.front().expect("slot is non-empty").0;
+        } else {
+            level.slot_min[s] = slot
+                .iter()
+                .map(|&(k, _)| k)
+                .min()
+                .expect("slot is non-empty");
+        }
+        self.len -= 1;
+        self.recompute_min();
+        Some(entry)
+    }
+
+    fn clear(&mut self) {
+        for level in &mut self.levels {
+            while level.occupied != 0 {
+                let s = level.occupied.trailing_zeros() as usize;
+                level.slots[s].clear();
+                level.slot_min[s] = u128::MAX;
+                level.occupied &= level.occupied - 1;
+            }
+        }
+        self.len = 0;
+        self.min_key = None;
+    }
+}
+
 /// A heap entry: the scheduling key plus the slot of the event payload.
 ///
 /// The firing time and the insertion sequence number are packed into one
@@ -70,19 +299,19 @@ pub struct EventQueue<E> {
     /// recycled through `free`.
     events: Vec<Option<E>>,
     free: Vec<u32>,
-    /// The FIFO lane: events whose firing times are non-decreasing in
-    /// scheduling order (fixed-delay timeouts, mostly). Kept out of the heap
-    /// entirely — O(1) scheduling and popping, and the heap stays small
-    /// enough for its sift path to remain cache-resident. Entries are
-    /// `(packed key, event)`, sorted by construction.
-    fifo: VecDeque<(u128, E)>,
-    /// The bulk lane: a second sorted FIFO for pre-sorted open-loop arrival
-    /// streams loaded up front ([`EventQueue::bulk_push_sorted`]). A separate
-    /// lane because bulk loads front-run the whole simulated timeline — if
-    /// arrivals shared the timeout lane, every later timeout (scheduled at
-    /// `now + constant` ≪ the last arrival) would violate that lane's
-    /// sortedness and fall back to the heap, forfeiting the O(1) path the
-    /// lane exists for.
+    /// The timeout lane: a hierarchical [`TimerWheel`] holding per-operation
+    /// and fault/retry timers. Kept out of the heap entirely — O(1)
+    /// amortized scheduling and popping for *arbitrary* (heterogeneous)
+    /// timeout patterns, and the heap stays small enough for its sift path
+    /// to remain cache-resident. (Until the wheel, this lane was a plain
+    /// FIFO that only handled one constant timeout delay.)
+    timers: TimerWheel<E>,
+    /// The bulk lane: a sorted FIFO for pre-sorted open-loop arrival
+    /// streams loaded up front ([`EventQueue::bulk_push_sorted`]). A
+    /// separate lane because a pre-sorted stream deserves a plain queue:
+    /// popping its front is one `VecDeque` read, with none of the wheel's
+    /// level bookkeeping, and bulk loads front-running the whole simulated
+    /// timeline never interact with the short-horizon timers.
     bulk: VecDeque<(u128, E)>,
     now: SimTime,
     next_seq: u64,
@@ -102,7 +331,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             events: Vec::new(),
             free: Vec::new(),
-            fifo: VecDeque::new(),
+            timers: TimerWheel::new(),
             bulk: VecDeque::new(),
             now: SimTime::ZERO,
             next_seq: 0,
@@ -117,12 +346,12 @@ impl<E> EventQueue<E> {
 
     /// Number of events waiting in the queue.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.fifo.len() + self.bulk.len()
+        self.heap.len() + self.timers.len() + self.bulk.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.fifo.is_empty() && self.bulk.is_empty()
+        self.heap.is_empty() && self.timers.len() == 0 && self.bulk.is_empty()
     }
 
     /// Total number of events popped so far.
@@ -158,30 +387,20 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Schedule `event` at `at` on the FIFO lane: for event streams whose
-    /// firing times never decrease across calls (the classic case is a
-    /// fixed timeout delay added to the advancing clock). Such events bypass
-    /// the heap for O(1) scheduling and popping; ordering relative to
-    /// heap-scheduled events at the same instant is still exact FIFO, since
-    /// both lanes share the sequence counter.
-    ///
-    /// An out-of-order `at` (earlier than the last FIFO event) falls back to
-    /// the heap lane — still delivered in correct time order, just without
-    /// the O(1) fast path.
-    pub fn schedule_fifo(&mut self, at: SimTime, event: E) {
+    /// Schedule `event` at `at` on the **timeout lane** — the hierarchical
+    /// timer wheel. The classic producers are per-operation timeouts,
+    /// fault-recovery timers and retry deadlines: high-volume, cancelled or
+    /// fired long after scheduling, and (since timeouts became
+    /// heterogeneous) in no particular time order. The wheel gives O(1)
+    /// amortized scheduling and popping regardless of ordering, and keeps
+    /// one-pending-timer-per-operation out of the heap. Ordering relative to
+    /// the other lanes at the same instant is still exact FIFO, since all
+    /// lanes share the sequence counter.
+    pub fn schedule_timeout(&mut self, at: SimTime, event: E) {
         let time = at.max(self.now);
-        if self
-            .fifo
-            .back()
-            .is_some_and(|&(back, _)| unpack_time(back) > time)
-        {
-            // Would break the lane's sortedness; the heap handles any order.
-            self.schedule_at(time, event);
-            return;
-        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.fifo.push_back((pack(time, seq), event));
+        self.timers.insert(pack(time, seq), event);
     }
 
     /// Schedule `event` to fire immediately (at the current clock, after any
@@ -239,16 +458,13 @@ impl<E> EventQueue<E> {
     }
 
     /// The packed key of the next pending event, if any (minimum over the
-    /// heap, FIFO and bulk lanes).
+    /// heap, timer-wheel and bulk lanes).
     #[inline]
     fn peek_key(&self) -> Option<u128> {
         let mut key = self.heap.peek().map(|s| s.key);
-        for lane_key in [
-            self.fifo.front().map(|&(k, _)| k),
-            self.bulk.front().map(|&(k, _)| k),
-        ]
-        .into_iter()
-        .flatten()
+        for lane_key in [self.timers.peek_min(), self.bulk.front().map(|&(k, _)| k)]
+            .into_iter()
+            .flatten()
         {
             key = Some(key.map_or(lane_key, |k: u128| k.min(lane_key)));
         }
@@ -265,9 +481,16 @@ impl<E> EventQueue<E> {
         // Pick the earliest of the three lanes; the shared sequence counter
         // makes the packed keys totally ordered (and unique) across all.
         let next = self.peek_key()?;
-        let fifo_next = self.fifo.front().is_some_and(|&(k, _)| k == next);
-        let (key, event) = if fifo_next {
-            self.fifo.pop_front().expect("fifo front exists")
+        // Keep the wheel's base on the clock before extracting: `next` is
+        // the globally earliest pending instant, which is exactly the
+        // precondition the wheel's cascade relies on — and when the wheel
+        // itself holds the minimum, advancing first cascades that entry down
+        // to a level-0 slot, so the extraction scan only ever touches
+        // same-microsecond entries.
+        let time = unpack_time(next);
+        self.timers.advance(time.as_micros());
+        let (_key, event) = if self.timers.peek_min() == Some(next) {
+            self.timers.pop_min().expect("wheel minimum exists")
         } else if self.bulk.front().is_some_and(|&(k, _)| k == next) {
             self.bulk.pop_front().expect("bulk front exists")
         } else {
@@ -278,7 +501,6 @@ impl<E> EventQueue<E> {
             self.free.push(s.slot);
             (s.key, event)
         };
-        let time = unpack_time(key);
         debug_assert!(time >= self.now, "time must be monotonic");
         self.now = time;
         self.processed += 1;
@@ -305,6 +527,7 @@ impl<E> EventQueue<E> {
         );
         if at > self.now {
             self.now = at;
+            self.timers.advance(at.as_micros());
         }
     }
 
@@ -313,7 +536,7 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.events.clear();
         self.free.clear();
-        self.fifo.clear();
+        self.timers.clear();
         self.bulk.clear();
     }
 }
@@ -494,29 +717,29 @@ mod tests {
     }
 
     #[test]
-    fn fifo_lane_interleaves_with_heap_in_seq_order() {
+    fn timeout_lane_interleaves_with_heap_in_seq_order() {
         let mut q = EventQueue::new();
-        // Heap event then FIFO event at the same instant: FIFO-by-seq.
+        // Heap event then wheel event at the same instant: FIFO-by-seq.
         q.schedule_at(SimTime::from_millis(10), "heap-1");
-        q.schedule_fifo(SimTime::from_millis(10), "fifo-1");
+        q.schedule_timeout(SimTime::from_millis(10), "timer-1");
         q.schedule_at(SimTime::from_millis(5), "heap-0");
-        q.schedule_fifo(SimTime::from_millis(20), "fifo-2");
+        q.schedule_timeout(SimTime::from_millis(20), "timer-2");
         q.schedule_at(SimTime::from_millis(15), "heap-2");
         assert_eq!(q.len(), 5);
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(5)));
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(
             order,
-            vec!["heap-0", "heap-1", "fifo-1", "heap-2", "fifo-2"]
+            vec!["heap-0", "heap-1", "timer-1", "heap-2", "timer-2"]
         );
         assert!(q.is_empty());
     }
 
     #[test]
-    fn fifo_lane_respects_deadlines_and_clear() {
+    fn timeout_lane_respects_deadlines_and_clear() {
         let mut q = EventQueue::new();
-        q.schedule_fifo(SimTime::from_secs(1), 1);
-        q.schedule_fifo(SimTime::from_secs(5), 2);
+        q.schedule_timeout(SimTime::from_secs(1), 1);
+        q.schedule_timeout(SimTime::from_secs(5), 2);
         assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, 1);
         assert!(q.pop_before(SimTime::from_secs(2)).is_none());
         q.clear();
@@ -525,24 +748,102 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_fifo_schedules_fall_back_to_the_heap() {
+    fn out_of_order_timeouts_are_native_to_the_wheel() {
+        // The old FIFO lane had to bounce these to the heap; the wheel takes
+        // arbitrary orders directly.
         let mut q = EventQueue::new();
-        q.schedule_fifo(SimTime::from_secs(5), "late");
-        q.schedule_fifo(SimTime::from_secs(1), "early"); // violates the lane order
-        q.schedule_fifo(SimTime::from_secs(7), "later");
+        q.schedule_timeout(SimTime::from_secs(5), "late");
+        q.schedule_timeout(SimTime::from_secs(1), "early");
+        q.schedule_timeout(SimTime::from_secs(7), "later");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec!["early", "late", "later"]);
     }
 
     #[test]
-    fn fifo_lane_clamps_past_times_to_now() {
+    fn timeout_lane_clamps_past_times_to_now() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_secs(10), "later");
         q.pop();
-        q.schedule_fifo(SimTime::from_secs(1), "past");
+        q.schedule_timeout(SimTime::from_secs(1), "past");
         let (t, e) = q.pop().unwrap();
         assert_eq!(e, "past");
         assert_eq!(t, SimTime::from_secs(10), "clamped to now");
+    }
+
+    #[test]
+    fn wheel_matches_heap_scheduling_exactly() {
+        // The same randomized schedule through the heap lane and through the
+        // timer wheel must deliver identically: the queue always pops the
+        // globally smallest packed time‖seq key, so the wheel is a pure
+        // data-structure change. Interleave pops with inserts so cascading
+        // across level horizons is exercised.
+        let mut rng = crate::rng::SimRng::new(77);
+        let mut heap_q = EventQueue::new();
+        let mut wheel_q = EventQueue::new();
+        let mut heap_out = Vec::new();
+        let mut wheel_out = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..200u64 {
+                // Mix short, long and far-future delays across all levels.
+                let delay = match i % 4 {
+                    0 => rng.next_bounded(64),
+                    1 => rng.next_bounded(10_000),
+                    2 => rng.next_bounded(10_000_000),
+                    _ => rng.next_bounded(10_000_000_000),
+                };
+                let at = SimTime::from_micros(heap_q.now().as_micros() + delay);
+                heap_q.schedule_at(at, (round, i));
+                wheel_q.schedule_timeout(at, (round, i));
+            }
+            for _ in 0..150 {
+                heap_out.push(heap_q.pop().unwrap());
+                wheel_out.push(wheel_q.pop().unwrap());
+            }
+            assert_eq!(heap_q.now(), wheel_q.now());
+        }
+        heap_out.extend(std::iter::from_fn(|| heap_q.pop()));
+        wheel_out.extend(std::iter::from_fn(|| wheel_q.pop()));
+        assert_eq!(heap_out, wheel_out);
+        assert_eq!(heap_out.len(), 10_000);
+    }
+
+    #[test]
+    fn wheel_handles_same_instant_bursts_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(123_456);
+        for i in 0..100 {
+            q.schedule_timeout(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wheel_cascades_across_far_horizons() {
+        let mut q = EventQueue::new();
+        // One timer per wheel level, from 1 µs out to decades.
+        let mut expected = Vec::new();
+        for l in 0..10u32 {
+            let at = SimTime::from_micros(1 + (1u64 << (6 * l)));
+            q.schedule_timeout(at, l);
+            expected.push((at, l));
+        }
+        expected.sort_by_key(|&(t, _)| t);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn wheel_interleaves_with_bulk_and_heap_lanes() {
+        let mut q = EventQueue::new();
+        q.bulk_load_sorted([
+            (SimTime::from_millis(2), "bulk"),
+            (SimTime::from_millis(8), "bulk2"),
+        ]);
+        q.schedule_timeout(SimTime::from_millis(5), "timer");
+        q.schedule_at(SimTime::from_millis(3), "heap");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["bulk", "heap", "timer", "bulk2"]);
     }
 
     #[test]
@@ -557,7 +858,7 @@ mod tests {
         ]);
         // …then heap and timeout-lane events land in between.
         q.schedule_at(SimTime::from_millis(5), "heap");
-        q.schedule_fifo(SimTime::from_millis(10), "timeout");
+        q.schedule_timeout(SimTime::from_millis(10), "timeout");
         assert_eq!(q.len(), 6);
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();

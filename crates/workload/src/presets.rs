@@ -72,6 +72,33 @@ pub fn ycsb_f() -> WorkloadConfig {
     }
 }
 
+/// Look up a core-workload preset by its YCSB letter (`"a"`–`"f"`, case
+/// insensitive). This is the hook experiment binaries use for a
+/// `--workload <letter>` override, so scenario sweeps can run the
+/// latest-distribution (D) and short-scan (E) workloads next to the paper's
+/// A-mix without code changes.
+pub fn by_name(name: &str) -> Option<WorkloadConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "a" => Some(ycsb_a()),
+        "b" => Some(ycsb_b()),
+        "c" => Some(ycsb_c()),
+        "d" => Some(ycsb_d()),
+        "e" => Some(ycsb_e()),
+        "f" => Some(ycsb_f()),
+        _ => None,
+    }
+}
+
+/// A preset resized to the given record and operation counts (the mix,
+/// distribution and scan bounds are kept).
+pub fn sized(preset: WorkloadConfig, record_count: u64, operation_count: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        record_count,
+        operation_count,
+        ..preset
+    }
+}
+
 /// The paper's "heavy read-update workload from YCSB" scaled to the
 /// requested record and operation counts.
 ///
@@ -135,6 +162,28 @@ mod tests {
         assert_eq!(ycsb_d().request_distribution, RequestDistribution::Latest);
         assert_eq!(ycsb_e().scan_proportion, 0.95);
         assert_eq!(ycsb_f().read_modify_write_proportion, 0.5);
+    }
+
+    #[test]
+    fn by_name_resolves_every_letter() {
+        for name in ["a", "b", "c", "d", "e", "f", "D", "E"] {
+            let cfg = by_name(name).unwrap_or_else(|| panic!("preset {name}"));
+            assert!(cfg.validate().is_ok());
+        }
+        assert_eq!(by_name("d").unwrap(), ycsb_d());
+        assert_eq!(by_name("E").unwrap(), ycsb_e());
+        assert!(by_name("g").is_none());
+        assert!(by_name("").is_none());
+    }
+
+    #[test]
+    fn sized_keeps_the_mix() {
+        let cfg = sized(ycsb_e(), 5_000, 20_000);
+        assert_eq!(cfg.record_count, 5_000);
+        assert_eq!(cfg.operation_count, 20_000);
+        assert_eq!(cfg.scan_proportion, 0.95);
+        assert_eq!(cfg.max_scan_length, 100);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -17,11 +17,11 @@ use crate::platforms::Platform;
 use concord_cluster::Cluster;
 use concord_core::{
     AdaptiveRuntime, BehaviorDrivenPolicy, BismarConfig, BismarPolicy, ConsistencyPolicy,
-    HarmonyPolicy, RunReport, RuntimeConfig, StaticPolicy,
+    HarmonyPolicy, RunReport, RuntimeConfig, Scenario, StaticPolicy,
 };
 use concord_monitor::MonitorConfig;
 use concord_sim::SimDuration;
-use concord_workload::{CoreWorkload, WorkloadConfig};
+use concord_workload::{ArrivalProcess, CoreWorkload, WorkloadConfig};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +110,10 @@ pub struct Experiment {
     /// RNG seed (the same seed is used for every policy, so runs differ only
     /// in the consistency decisions).
     pub seed: u64,
+    /// The scenario every policy runs under (arrival mode + fault script).
+    /// `None` means the historical healthy closed loop of `clients` clients;
+    /// when set, the scenario's arrival mode wins over `clients`.
+    pub scenario: Option<Scenario>,
 }
 
 impl Experiment {
@@ -122,6 +126,7 @@ impl Experiment {
             clients: 32,
             adaptation_interval: SimDuration::from_secs(1),
             seed: 42,
+            scenario: None,
         }
     }
 
@@ -143,6 +148,37 @@ impl Experiment {
         self
     }
 
+    /// Set the scenario (arrival mode + fault script) every policy runs
+    /// under. The scenario's arrival mode takes precedence over
+    /// [`Experiment::with_clients`].
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Override just the arrival mode, keeping any fault script already
+    /// configured (creates a fault-free scenario if none is set).
+    pub fn with_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        match &mut self.scenario {
+            Some(s) => s.arrival = arrival,
+            None => {
+                self.scenario = Some(Scenario {
+                    arrival,
+                    faults: Vec::new(),
+                })
+            }
+        }
+        self
+    }
+
+    /// The scenario this experiment runs: the configured one, or the
+    /// historical healthy closed loop of `clients` clients.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+            .clone()
+            .unwrap_or_else(|| Scenario::closed(self.clients))
+    }
+
     fn runtime_config(&self) -> RuntimeConfig {
         RuntimeConfig {
             clients: self.clients,
@@ -162,12 +198,15 @@ impl Experiment {
         cluster
     }
 
-    /// Run a single policy and return its report.
+    /// Run a single policy under the experiment's scenario and return its
+    /// report. Every entry point funnels through here, so closed-loop,
+    /// open-loop and fault-script runs all share one driver
+    /// ([`AdaptiveRuntime::run_scenario`]).
     pub fn run_policy(&self, policy: &mut dyn ConsistencyPolicy) -> RunReport {
         let mut cluster = self.build_cluster();
         let mut workload = CoreWorkload::new(self.workload.clone());
         let mut runtime = AdaptiveRuntime::new(self.runtime_config(), self.seed);
-        runtime.run(&mut cluster, &mut workload, policy)
+        runtime.run_scenario(&mut cluster, &mut workload, policy, &self.scenario())
     }
 
     /// Run a behavior-model-driven policy (kept separate because the model is

@@ -67,9 +67,10 @@ pub mod prelude {
     pub use concord_cluster::{Cluster, ClusterConfig, ConsistencyLevel};
     pub use concord_core::{
         render_table, AdaptiveRuntime, BehaviorDrivenPolicy, BehaviorModelBuilder, BismarPolicy,
-        ConsistencyPolicy, HarmonyPolicy, RuleSet, RunReport, RuntimeConfig, StaticPolicy,
+        ConsistencyPolicy, FaultAction, FaultEvent, HarmonyPolicy, RuleSet, RunReport,
+        RuntimeConfig, Scenario, StaticPolicy,
     };
     pub use concord_cost::{Bill, PricingModel};
     pub use concord_sim::{SimDuration, SimRng, SimTime};
-    pub use concord_workload::{presets, CoreWorkload, WorkloadConfig};
+    pub use concord_workload::{presets, ArrivalProcess, CoreWorkload, WorkloadConfig};
 }

@@ -55,6 +55,8 @@ fn base_config(topology: Topology, network: NetworkModel, rf: u32) -> ClusterCon
         read_repair: false,
         message_overhead_bytes: 60,
         small_message_bytes: 40,
+        retry_on_timeout: 0,
+        exact_latency_percentiles: false,
     }
 }
 
