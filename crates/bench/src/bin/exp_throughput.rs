@@ -2,10 +2,14 @@
 //!
 //! This binary measures the *wall-clock* cost of the discrete-event engine
 //! and the cluster simulator — events per second and nanoseconds per
-//! simulated client operation — on three substrates:
+//! simulated client operation — on four substrates:
 //!
 //! * `event_queue`: schedule + pop of randomly-timed events through the raw
 //!   [`concord_sim::EventQueue`] (the engine floor);
+//! * `store`: raw [`concord_cluster::ReplicaStore`] point reads / versioned
+//!   writes / short range scans (the storage floor — the paged direct-index
+//!   table in isolation, for before/after comparison of storage-layer
+//!   changes);
 //! * `cluster_substrate`: the full Cassandra-like cluster hot path (an
 //!   8-node RF-3 LAN cluster under a 50/50 read/write closed workload),
 //!   which is what paper-scale runs pay per operation;
@@ -33,7 +37,7 @@
 //! overwrites.
 
 use concord_bench::{run_timed_grid, Harness};
-use concord_cluster::{BatchOp, Cluster, ClusterConfig, ConsistencyLevel};
+use concord_cluster::{BatchOp, Cluster, ClusterConfig, ConsistencyLevel, ReplicaStore};
 use concord_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use concord_workload::{ArrivalProcess, CoreWorkload, OperationType, WorkloadConfig};
 use std::time::Instant;
@@ -90,6 +94,62 @@ fn bench_event_queue(rounds: u64) -> Measurement {
         ops: rounds * EVENTS_PER_ROUND,
         events: rounds * EVENTS_PER_ROUND,
         elapsed_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Raw [`ReplicaStore`] read/write loop: the storage-layer floor, measuring
+/// the paged direct-index table in isolation (no events, no network). The
+/// op mix is 50/50 point read / versioned write over a dense key space with
+/// a periodic short range scan, driven by `SimRng` so before/after builds
+/// replay the identical key sequence.
+fn bench_store(total_ops: u64) -> Measurement {
+    const KEYS: u64 = 100_000;
+    let mut store = ReplicaStore::new();
+    for k in 0..KEYS {
+        store.preload(
+            concord_cluster::Key(k),
+            concord_cluster::Version(k + 1),
+            1_000,
+        );
+    }
+    let mut rng = SimRng::new(7);
+    let mut version = KEYS;
+    let mut checksum = 0u64;
+    let t0 = Instant::now();
+    for i in 0..total_ops {
+        let key = concord_cluster::Key(rng.next_bounded(KEYS));
+        match i % 20 {
+            0 => {
+                // One short scan per 20 ops (the YCSB-E shape).
+                let r = store.read_range(key, 10);
+                checksum = checksum
+                    .wrapping_add(r.bytes)
+                    .wrapping_add(r.records as u64);
+            }
+            n if n % 2 == 1 => {
+                version += 1;
+                store.apply_write(
+                    key,
+                    concord_cluster::Version(version),
+                    1_000,
+                    SimTime::from_micros(i),
+                );
+            }
+            _ => {
+                if let Some(v) = store.read(key) {
+                    checksum = checksum.wrapping_add(v.version.0);
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    std::hint::black_box(store.bytes_stored());
+    Measurement {
+        name: "store",
+        ops: total_ops,
+        events: store.read_ops() + store.write_ops(),
+        elapsed_secs: elapsed,
     }
 }
 
@@ -168,7 +228,8 @@ fn bench_cluster_bulk(total_ops: u64) -> Measurement {
             .by_ref()
             .take(WINDOW)
             .map(|(at, op)| match op.op {
-                OperationType::Read | OperationType::Scan => BatchOp::read(at, op.key),
+                OperationType::Read => BatchOp::read(at, op.key),
+                OperationType::Scan => BatchOp::scan(at, op.key, op.scan_length),
                 _ => BatchOp::write(at, op.key, op.value_size),
             })
             .collect();
@@ -206,6 +267,7 @@ fn best_of(repeat: u32, run: impl Fn() -> Measurement) -> Measurement {
 #[derive(Clone, Copy)]
 enum Substrate {
     Queue { rounds: u64 },
+    Store { ops: u64 },
     Cluster { ops: u64 },
     ClusterBulk { ops: u64 },
 }
@@ -236,16 +298,21 @@ fn main() {
     eprintln!(
         "exp_throughput: cluster_ops={cluster_ops} queue_rounds={queue_rounds} (best of {repeat})"
     );
+    // The store substrate is cheap per op; run 4× the cluster count so its
+    // wall-clock stays measurable at small scales.
+    let store_ops = cluster_ops * 4;
     let grid = vec![
         Substrate::Queue {
             rounds: queue_rounds,
         },
+        Substrate::Store { ops: store_ops },
         Substrate::Cluster { ops: cluster_ops },
         Substrate::ClusterBulk { ops: cluster_ops },
     ];
     let measurements = run_timed_grid(grid, |point| {
         let m = match point {
             Substrate::Queue { rounds } => best_of(repeat, || bench_event_queue(rounds)),
+            Substrate::Store { ops } => best_of(repeat, || bench_store(ops)),
             Substrate::Cluster { ops } => best_of(repeat, || bench_cluster(ops)),
             Substrate::ClusterBulk { ops } => best_of(repeat, || bench_cluster_bulk(ops)),
         };

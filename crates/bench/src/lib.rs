@@ -12,7 +12,7 @@
 //! | `exp_bismar` | EXP-B2b — Bismar vs static levels |
 //! | `exp_behavior` | EXP-C — application behavior modeling |
 //! | `exp_faults` | EXP-F — adaptive policies under a scripted outage (open-loop load, crash/partition/degradation) |
-//! | `exp_throughput` | hot-path wall-clock throughput (engine, cluster, bulk lane) |
+//! | `exp_throughput` | hot-path wall-clock throughput (engine, storage, cluster, bulk lane) |
 //! | `exp_sweep` | parallel multi-seed sweep wall-clock + determinism check |
 //!
 //! Criterion micro-benchmarks (`cargo bench -p concord-bench`) cover the
@@ -110,29 +110,53 @@
 //! above it. The hot path is engineered to be allocation-free and
 //! hash-cheap; the load-bearing pieces are:
 //!
-//! * **Event queue** (`concord_sim::EventQueue`): a binary heap of 32-byte
-//!   `(packed time‖seq key, payload slot)` entries over a side slab of event
-//!   payloads — sifts move small fixed-size keys, payloads are written once.
-//!   Timers (operation timeouts, retry and fault deadlines) take a separate
-//!   O(1)-amortized hierarchical timer-wheel lane (`schedule_timeout`),
-//!   keeping one-pending-timer-per-op out of the heap for *arbitrary*
-//!   timeout patterns; all lanes share one sequence counter so same-instant
-//!   ordering stays exact FIFO.
+//! * **Event queue** (`concord_sim::EventQueue`): a binary heap of
+//!   `(packed time‖seq key, event)` entries with the payload **inline** —
+//!   simulator events are 32 bytes, so moving them during sifts costs less
+//!   than the former side-slab's two extra random-access writes and
+//!   free-list traffic per event. The timeout lane (`schedule_timeout`) has
+//!   two structures behind one interface: timeouts arriving in sorted key
+//!   order — the single constant `op_timeout` configuration produces
+//!   exactly that — append to a plain FIFO in O(1) with no further
+//!   bookkeeping, and heterogeneous/out-of-order timeouts take the
+//!   O(1)-amortized hierarchical timer wheel. All lanes share one sequence
+//!   counter and every pop takes the globally smallest key, so lane routing
+//!   can never reorder delivery.
 //! * **Operation state** (`concord_cluster::OpSlab`): a generation-checked
 //!   slab addressed directly by `OpId = generation << 32 | slot` replaces
 //!   three `HashMap<OpId, _>` tables; stale ids from already-completed
 //!   operations (late timeouts, straggler responses) miss on the generation
 //!   compare, exactly as a map lookup of a removed key would.
+//! * **Storage layout — zero-hash per-key state**: the workload generators
+//!   guarantee (and assert, loudly) the *key-density contract*: record ids
+//!   are dense `u64`s below the configured record count, inserts extending
+//!   the space by one. Every per-event per-key table exploits it with
+//!   **paged direct indexing** instead of hashing — fixed 4096-slot pages
+//!   allocated on first write, so a lookup is a shift, a mask and a load,
+//!   and reads of never-written pages allocate nothing. This covers the
+//!   replica store (`ReplicaStore`: presence = non-zero version, no extra
+//!   bits), the staleness oracle (per-slot binary-searched bounded version
+//!   history), and the ring-placement cache (`key → [NodeId; RF]`, computed
+//!   once per key per ring epoch, invalidated wholesale on crash/recover
+//!   reconfiguration). Direct indexing also makes YCSB-E faithful: records
+//!   adjacent in id are adjacent in memory, so a range scan is one
+//!   streaming pass over `scan_len` consecutive slots per contacted replica
+//!   (`ReplicaStore::read_range`) — metered as `scan_len` storage reads and
+//!   byte-weighted response traffic — instead of the former anchor-only
+//!   placeholder. A differential property test drives random op streams
+//!   through the paged table and the old `FxHashMap` reference model,
+//!   asserting identical results and meters
+//!   (`crates/cluster/tests/store_differential.rs`).
 //! * **Per-operation work**: replica sets are written into reusable scratch
-//!   buffers (`Ring::replicas_into` walks a flat sorted token array);
-//!   read-replica selection ranks candidates via a precomputed
-//!   coordinator→node mean-latency table; link classes come from a
-//!   precomputed `n × n` table; message and storage delays are drawn through
-//!   `CompiledDelay` samplers (validation and derived constants resolved
-//!   once, bit-identical draws); the contacted-replica list lives inline in
-//!   the read state (`InlineVec`). Key-indexed maps (`ReplicaStore`,
-//!   `StalenessOracle`) use `FxHashMap`. Latency metrics stream into
-//!   log-bucketed histograms — bounded memory, no sort per quantile.
+//!   buffers (the placement cache falls back to `Ring::replicas_into`'s
+//!   flat sorted token walk on a cold key); read-replica selection ranks
+//!   candidates via a precomputed coordinator→node mean-latency table; link
+//!   classes come from a precomputed `n × n` table; message and storage
+//!   delays are drawn through `CompiledDelay` samplers (validation and
+//!   derived constants resolved once, bit-identical draws); the
+//!   contacted-replica list lives inline in the read state (`InlineVec`).
+//!   Latency metrics stream into log-bucketed histograms — bounded memory,
+//!   no sort per quantile.
 //!
 //! The `exp_throughput` binary measures this substrate end to end (wall-clock
 //! events/sec and ns/op, best-of-N runs because shared machines are noisy)

@@ -77,6 +77,9 @@ enum ReplicaTask {
         key: Key,
         /// Whether this replica returns the full data or only a digest.
         data: bool,
+        /// Number of consecutive records to read (1 for point reads; YCSB-E
+        /// range scans read `len` adjacent slots of the dense store).
+        len: u32,
     },
 }
 
@@ -141,6 +144,8 @@ struct Submission {
     kind: OpKind,
     key: Key,
     size: u32,
+    /// Consecutive records a read touches (1 = point read, >1 = range scan).
+    scan_len: u32,
     level: Option<ConsistencyLevel>,
 }
 
@@ -152,10 +157,14 @@ pub struct BatchOp {
     pub at: SimTime,
     /// Read or write.
     pub kind: OpKind,
-    /// The record the operation targets.
+    /// The record the operation targets (the range anchor for scans).
     pub key: u64,
     /// Payload bytes (writes; 0 for reads).
     pub size: u32,
+    /// Consecutive records a read touches (1 = point read; a YCSB-E scan
+    /// reads `scan_len` adjacent records starting at `key`). Ignored for
+    /// writes.
+    pub scan_len: u32,
     /// Explicit consistency level, or `None` for the cluster default.
     pub level: Option<ConsistencyLevel>,
 }
@@ -168,6 +177,20 @@ impl BatchOp {
             kind: OpKind::Read,
             key,
             size: 0,
+            scan_len: 1,
+            level: None,
+        }
+    }
+
+    /// A range scan of `scan_len` consecutive records starting at `key`, at
+    /// the cluster's default read level.
+    pub fn scan(at: SimTime, key: u64, scan_len: u32) -> Self {
+        BatchOp {
+            at,
+            kind: OpKind::Read,
+            key,
+            size: 0,
+            scan_len: scan_len.max(1),
             level: None,
         }
     }
@@ -179,6 +202,7 @@ impl BatchOp {
             kind: OpKind::Write,
             key,
             size,
+            scan_len: 1,
             level: None,
         }
     }
@@ -214,6 +238,8 @@ struct ReadState {
     coordinator: NodeId,
     issued_at: SimTime,
     required: u32,
+    /// Consecutive records per replica request (1 = point read).
+    scan_len: u32,
     responses: u32,
     best_version: Version,
     best_size: u32,
@@ -294,6 +320,8 @@ pub struct Cluster {
     down_count: u32,
     /// Scratch buffer for replica lists; reused across operations.
     replica_scratch: Vec<NodeId>,
+    /// Dense per-key cache of ring placements (reset on ring rebuilds).
+    replica_cache: ReplicaCache,
     /// Scratch buffer for the up-node list when nodes are down.
     up_scratch: Vec<NodeId>,
     /// Precomputed mean one-way latency in ms for every (from, to) node
@@ -310,6 +338,79 @@ pub struct Cluster {
     storage_read_sampler: CompiledDelay,
     storage_write_sampler: CompiledDelay,
     node_count: usize,
+}
+
+/// Slots per page of the replica-placement cache (2^12, matching the dense
+/// replica store).
+const CACHE_PAGE_BITS: u32 = 12;
+/// Number of keys covered by one cache page.
+const CACHE_PAGE_SLOTS: usize = 1 << CACHE_PAGE_BITS;
+/// Mask extracting a key's slot within its cache page.
+const CACHE_PAGE_MASK: u64 = CACHE_PAGE_SLOTS as u64 - 1;
+
+/// Paged direct-indexed cache of ring placements: `key → [NodeId; rf]`.
+///
+/// Record ids are dense and the ring is immutable between crash/recover
+/// reconfigurations, so the clockwise token walk (hash + binary search +
+/// distinct-node scan) runs **once per key per ring epoch** instead of once
+/// per operation — the steady-state lookup is a shift, a mask and an
+/// `rf`-element copy. Pages are allocated on first touch; entries are
+/// invalidated wholesale by [`ReplicaCache::reset`] when the ring changes.
+#[derive(Debug)]
+struct ReplicaCache {
+    /// Pages of `CACHE_PAGE_SLOTS × rf` node ids; `u32::MAX` in an entry's
+    /// first element marks "not yet computed".
+    pages: Vec<Option<Box<[u32]>>>,
+    /// Replication factor of the current ring epoch (entry stride).
+    rf: usize,
+}
+
+impl ReplicaCache {
+    fn new(rf: usize) -> Self {
+        ReplicaCache {
+            pages: Vec::new(),
+            rf,
+        }
+    }
+
+    /// Drop every cached placement (the ring was rebuilt) and adopt the new
+    /// ring's effective replication factor.
+    fn reset(&mut self, rf: usize) {
+        self.pages.clear();
+        self.rf = rf;
+    }
+
+    /// Write the replicas of `key` into `out` (primary first), computing and
+    /// caching the placement on first touch.
+    #[inline]
+    fn replicas_into(&mut self, ring: &Ring, key: Key, out: &mut Vec<NodeId>) {
+        if self.rf == 0 {
+            // Fully crashed cluster: the ring maps every key to no replicas.
+            out.clear();
+            return;
+        }
+        let page_idx = (key.0 >> CACHE_PAGE_BITS) as usize;
+        if page_idx >= self.pages.len() {
+            self.pages.resize(page_idx + 1, None);
+        }
+        let rf = self.rf;
+        let page = self.pages[page_idx]
+            .get_or_insert_with(|| vec![u32::MAX; CACHE_PAGE_SLOTS * rf].into_boxed_slice());
+        let at = (key.0 & CACHE_PAGE_MASK) as usize * rf;
+        let entry = &mut page[at..at + rf];
+        if entry[0] != u32::MAX {
+            out.clear();
+            out.extend(entry.iter().map(|&n| NodeId(n)));
+            return;
+        }
+        ring.replicas_into(key, out);
+        debug_assert_eq!(out.len(), rf, "the ring yields exactly RF replicas");
+        if out.len() == rf {
+            for (slot, node) in entry.iter_mut().zip(out.iter()) {
+                *slot = node.0;
+            }
+        }
+    }
 }
 
 /// Dense index of a [`LinkClass`] into the sampler table.
@@ -365,6 +466,7 @@ impl Cluster {
             metrics.read_latency.enable_exact();
             metrics.write_latency.enable_exact();
         }
+        let effective_rf = ring.replication_factor() as usize;
         Cluster {
             ring,
             stores: (0..n).map(|_| ReplicaStore::new()).collect(),
@@ -394,6 +496,7 @@ impl Cluster {
             propagation_samples: Vec::new(),
             down_count: 0,
             replica_scratch: Vec::with_capacity(config.replication_factor as usize),
+            replica_cache: ReplicaCache::new(effective_rf),
             up_scratch: Vec::with_capacity(n),
             mean_lat,
             link_class,
@@ -611,6 +714,9 @@ impl Cluster {
             |n| crashed[n.0 as usize],
         );
         self.crashed = crashed;
+        // Ownership moved: every cached placement is stale.
+        self.replica_cache
+            .reset(self.ring.replication_factor() as usize);
     }
 
     /// The canonical key of an unordered datacenter pair in
@@ -684,27 +790,58 @@ impl Cluster {
             let key = Key(key);
             self.next_version += 1;
             let version = Version(self.next_version);
-            for node in self.ring.replicas(key) {
+            let mut replicas = std::mem::take(&mut self.replica_scratch);
+            // Also warms the dense placement cache for the whole record set.
+            self.replica_cache
+                .replicas_into(&self.ring, key, &mut replicas);
+            for &node in &replicas {
                 self.stores[node.0 as usize].preload(key, version, size);
             }
+            self.replica_scratch = replicas;
             self.oracle.preload(key, version);
         }
     }
 
     /// Submit a read arriving at time `at` using the default read level.
     pub fn submit_read_at(&mut self, key: u64, at: SimTime) -> OpId {
-        self.submit(OpKind::Read, key, 0, None, at)
+        self.submit(OpKind::Read, key, 0, 1, None, at)
     }
 
     /// Submit a read with an explicit consistency level.
     pub fn submit_read_with(&mut self, key: u64, level: ConsistencyLevel, at: SimTime) -> OpId {
-        self.submit(OpKind::Read, key, 0, Some(level), at)
+        self.submit(OpKind::Read, key, 0, 1, Some(level), at)
+    }
+
+    /// Submit a range scan of `scan_len` consecutive records starting at
+    /// `key` (the YCSB-E operation), at the default read level. Every
+    /// contacted replica reads the whole range through its dense store —
+    /// `scan_len` storage reads each — and the data replica's response
+    /// carries the payload bytes of the records it holds, so scans are
+    /// metered faithfully in both storage I/O and network traffic.
+    /// Reconciliation and the staleness classification key off the range's
+    /// anchor record. Note that hash partitioning scatters consecutive
+    /// record ids across the ring (as with Cassandra's random partitioner),
+    /// so a replica returns the subset of the range it owns.
+    pub fn submit_scan_at(&mut self, key: u64, scan_len: u32, at: SimTime) -> OpId {
+        self.submit(OpKind::Read, key, 0, scan_len.max(1), None, at)
+    }
+
+    /// Submit a range scan with an explicit consistency level (see
+    /// [`Cluster::submit_scan_at`]).
+    pub fn submit_scan_with(
+        &mut self,
+        key: u64,
+        scan_len: u32,
+        level: ConsistencyLevel,
+        at: SimTime,
+    ) -> OpId {
+        self.submit(OpKind::Read, key, 0, scan_len.max(1), Some(level), at)
     }
 
     /// Submit a write of `size` bytes arriving at time `at` using the default
     /// write level.
     pub fn submit_write_at(&mut self, key: u64, size: u32, at: SimTime) -> OpId {
-        self.submit(OpKind::Write, key, size, None, at)
+        self.submit(OpKind::Write, key, size, 1, None, at)
     }
 
     /// Submit a write with an explicit consistency level.
@@ -715,7 +852,7 @@ impl Cluster {
         level: ConsistencyLevel,
         at: SimTime,
     ) -> OpId {
-        self.submit(OpKind::Write, key, size, Some(level), at)
+        self.submit(OpKind::Write, key, size, 1, Some(level), at)
     }
 
     fn submit(
@@ -723,6 +860,7 @@ impl Cluster {
         kind: OpKind,
         key: u64,
         size: u32,
+        scan_len: u32,
         level: Option<ConsistencyLevel>,
         at: SimTime,
     ) -> OpId {
@@ -730,6 +868,7 @@ impl Cluster {
             kind,
             key: Key(key),
             size,
+            scan_len,
             level,
         }));
         self.queue.schedule_at(at, Event::ClientArrive { op_id });
@@ -763,6 +902,7 @@ impl Cluster {
                 kind: op.kind,
                 key: Key(op.key),
                 size: op.size,
+                scan_len: op.scan_len.max(1),
                 level: op.level,
             }));
             self.queue
@@ -927,7 +1067,8 @@ impl Cluster {
         self.next_version += 1;
         let version = Version(self.next_version);
         let mut replicas = std::mem::take(&mut self.replica_scratch);
-        self.ring.replicas_into(sub.key, &mut replicas);
+        self.replica_cache
+            .replicas_into(&self.ring, sub.key, &mut replicas);
         let mut targeted = 0u32;
 
         // One interned payload serves the whole fan-out: the RF scheduled
@@ -1004,7 +1145,8 @@ impl Cluster {
         let level = sub.level.unwrap_or(self.read_level);
         let required = self.config.required_acks(level);
         let mut replicas = std::mem::take(&mut self.replica_scratch);
-        self.ring.replicas_into(sub.key, &mut replicas);
+        self.replica_cache
+            .replicas_into(&self.ring, sub.key, &mut replicas);
         self.select_read_replicas(coordinator, &mut replicas, required as usize);
         let expected_version = self.oracle.expected_version(sub.key);
 
@@ -1025,6 +1167,7 @@ impl Cluster {
                         op_id,
                         key: sub.key,
                         data: i == 0,
+                        len: sub.scan_len,
                     },
                 },
             );
@@ -1039,6 +1182,7 @@ impl Cluster {
                 coordinator,
                 issued_at,
                 required,
+                scan_len: sub.scan_len,
                 responses: 0,
                 best_version: Version::NONE,
                 best_size: 0,
@@ -1204,12 +1348,30 @@ impl Cluster {
                     Event::CoordinatorWriteAck { op_id, from: node },
                 );
             }
-            ReplicaTask::Read { op_id, key, data } => {
-                let value = self.stores[idx].read(key);
-                self.metrics.storage_read_ops += 1;
-                let (version, size) = value
-                    .map(|v| (v.version, v.size))
-                    .unwrap_or((Version::NONE, 0));
+            ReplicaTask::Read {
+                op_id,
+                key,
+                data,
+                len,
+            } => {
+                // Point reads probe one slot; range scans stream `len`
+                // adjacent slots of the dense store (each probed slot is one
+                // metered storage read) and respond with the range's byte
+                // weight. Reconciliation keys off the anchor record.
+                let (version, size) = if len <= 1 {
+                    let value = self.stores[idx].read(key);
+                    self.metrics.storage_read_ops += 1;
+                    value
+                        .map(|v| (v.version, v.size))
+                        .unwrap_or((Version::NONE, 0))
+                } else {
+                    let range = self.stores[idx].read_range(key, len);
+                    self.metrics.storage_read_ops += len as u64;
+                    (
+                        range.anchor.map(|v| v.version).unwrap_or(Version::NONE),
+                        u32::try_from(range.bytes).unwrap_or(u32::MAX),
+                    )
+                };
                 let coordinator = match self.ops.get(op_id) {
                     Some(OpState::Read(r)) => r.coordinator,
                     _ => return,
@@ -1302,7 +1464,11 @@ impl Cluster {
             let contacted = r.contacted;
             let coordinator = r.coordinator;
             let best_size = r.best_size;
-            let needs_repair = self.config.read_repair && r.min_version < best;
+            // Scans skip read repair: their response size is the range's
+            // byte weight, not one record's payload, so there is no single
+            // mutation to push back (matching Cassandra, where range scans
+            // do not trigger blocking read repair).
+            let needs_repair = self.config.read_repair && r.min_version < best && r.scan_len == 1;
 
             let class = self.oracle.classify_read(key, expected, best);
             let completed = CompletedOp {
@@ -1366,6 +1532,7 @@ impl Cluster {
                     kind: OpKind::Write,
                     key: w.key,
                     size: w.size,
+                    scan_len: 1,
                     level: w.level,
                 },
                 w.issued_at,
@@ -1377,6 +1544,7 @@ impl Cluster {
                     kind: OpKind::Read,
                     key: r.key,
                     size: 0,
+                    scan_len: r.scan_len,
                     level: r.level,
                 },
                 r.issued_at,
@@ -1623,6 +1791,106 @@ mod tests {
         }
         drain(&mut c);
         assert!((c.metrics().mean_read_fanout() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scans_read_the_whole_range_and_weigh_response_traffic() {
+        let mut c = cluster(5, 3);
+        c.load_records((0..100u64).map(|k| (k, 1_000)));
+        let (reads_before, _) = c.storage_op_totals();
+        let traffic_before = c.metrics().traffic.total();
+        c.submit_scan_with(10, 20, ConsistencyLevel::One, SimTime::ZERO);
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, OpKind::Read);
+        assert_eq!(done[0].status, OpStatus::Ok);
+        assert!(!done[0].stale, "a quiescent scan reads fresh data");
+        let (reads_after, _) = c.storage_op_totals();
+        assert_eq!(
+            reads_after - reads_before,
+            20,
+            "a 20-record scan is metered as 20 storage reads"
+        );
+        // The data response carries the payload of every locally-present
+        // record in the range. Hash partitioning scatters consecutive ids
+        // over the ring, so one replica owns ~RF/N of them — still an order
+        // of magnitude more response traffic than a point read's 1000 B.
+        assert!(
+            c.metrics().traffic.total() - traffic_before >= 10_000,
+            "scan responses must be byte-weighted ({} bytes added)",
+            c.metrics().traffic.total() - traffic_before
+        );
+    }
+
+    #[test]
+    fn scan_ranges_clamp_at_the_loaded_key_space() {
+        let mut c = cluster(5, 3);
+        c.load_records((0..50u64).map(|k| (k, 500)));
+        let (reads_before, _) = c.storage_op_totals();
+        // Anchor near the end: 10 of the 30 probed records exist.
+        c.submit_scan_with(40, 30, ConsistencyLevel::One, SimTime::ZERO);
+        drain(&mut c);
+        let (reads_after, _) = c.storage_op_totals();
+        assert_eq!(reads_after - reads_before, 30, "absent slots still probe");
+    }
+
+    #[test]
+    fn scans_observe_staleness_through_their_anchor() {
+        // A scan anchored on a key whose freshest write has not propagated
+        // to the contacted replica is classified stale, like a point read.
+        let mut c = Cluster::new(geo_config(6, 5), 7);
+        c.load_records((0..20u64).map(|k| (k, 100)));
+        c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+        let mut at = SimTime::ZERO;
+        for i in 0..2_000u64 {
+            at += SimDuration::from_micros(500);
+            if i % 2 == 0 {
+                c.submit_write_at((i / 2) % 20, 100, at);
+            } else {
+                c.submit_scan_at((i / 2) % 20, 5, at);
+            }
+        }
+        let done = drain(&mut c);
+        let stale = done.iter().filter(|o| o.stale).count();
+        assert!(stale > 0, "weak scans under churn must observe staleness");
+        assert_eq!(c.oracle().stale_reads(), stale as u64);
+    }
+
+    #[test]
+    fn scans_retry_with_their_full_range() {
+        // A timed-out scan re-issues as a scan, not as a point read.
+        let mut cfg = ClusterConfig::lan_test(4, 3);
+        cfg.op_timeout = SimDuration::from_millis(50);
+        cfg.retry_on_timeout = 2;
+        let mut c = Cluster::new(cfg, 9);
+        c.load_records((0..50u64).map(|k| (k, 100)));
+        for n in 0..4 {
+            c.set_node_down(NodeId(n));
+        }
+        let (reads_before, _) = c.storage_op_totals();
+        c.submit_scan_with(0, 10, ConsistencyLevel::One, SimTime::ZERO);
+        c.schedule_tick(SimTime::from_millis(60), 1);
+        let mut done = Vec::new();
+        while let Some(out) = c.advance() {
+            match out {
+                ClusterOutput::Tick { id: 1, .. } => {
+                    for n in 0..4 {
+                        c.set_node_up(NodeId(n));
+                    }
+                }
+                ClusterOutput::Completed(op) => done.push(op),
+                ClusterOutput::Tick { .. } => {}
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].status, OpStatus::Ok, "the retry must succeed");
+        assert!(c.metrics().retries >= 1);
+        let (reads_after, _) = c.storage_op_totals();
+        assert_eq!(
+            reads_after - reads_before,
+            10,
+            "the retried attempt reads the full 10-record range"
+        );
     }
 
     #[test]

@@ -8,17 +8,31 @@
 //! This is the same definition the Monte-Carlo staleness estimator and the
 //! Harmony model use, so measured and estimated rates are directly
 //! comparable (as they are in the paper's Harmony evaluation).
+//!
+//! Like [`ReplicaStore`](crate::ReplicaStore), the per-key state lives in a
+//! paged direct-index table over the dense record-id space instead of a hash
+//! map: `expected_version` / `record_ack` / `classify_read` run once per
+//! simulated operation, and with direct indexing each is a shift, a mask and
+//! a load. Each slot keeps the binary-searched bounded version history that
+//! staleness *depth* is computed from.
 
 use crate::types::{Key, Version};
-use concord_sim::FxHashMap;
 use std::collections::VecDeque;
+
+/// Slots per page of the per-key table (2^12, matching the replica store).
+const PAGE_BITS: u32 = 12;
+/// Number of slots in one page.
+const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+/// Mask extracting the slot index within a page.
+const PAGE_MASK: u64 = PAGE_SLOTS as u64 - 1;
 
 /// How many recent acknowledged versions are kept per key for computing the
 /// staleness *depth*. Older history is dropped (the depth saturates), which
 /// bounds the oracle's memory for long runs.
 const DEPTH_HISTORY: usize = 64;
 
-/// Per-key acknowledged-write bookkeeping.
+/// Per-key acknowledged-write bookkeeping. A slot with `acked_writes == 0`
+/// is vacant (the key was never preloaded nor acknowledged).
 #[derive(Debug, Clone, Default)]
 struct KeyHistory {
     /// Latest acknowledged version.
@@ -71,7 +85,11 @@ impl KeyHistory {
 /// The staleness oracle.
 #[derive(Debug, Clone, Default)]
 pub struct StalenessOracle {
-    keys: FxHashMap<Key, KeyHistory>,
+    /// Per-key history, paged by `key >> PAGE_BITS` (pages allocated on the
+    /// first preload/ack that touches them; lookups never allocate).
+    pages: Vec<Option<Box<[KeyHistory]>>>,
+    /// Number of keys ever touched (slots with `acked_writes > 0`).
+    keys: usize,
     stale_reads: u64,
     fresh_reads: u64,
     /// Sum of staleness depths over stale reads (for the average).
@@ -94,10 +112,39 @@ impl StalenessOracle {
         Self::default()
     }
 
+    /// The history slot for `key`, if its page exists (never allocates).
+    #[inline]
+    fn slot(&self, key: Key) -> Option<&KeyHistory> {
+        let page = self.pages.get((key.0 >> PAGE_BITS) as usize)?.as_ref()?;
+        let h = &page[(key.0 & PAGE_MASK) as usize];
+        (h.acked_writes > 0).then_some(h)
+    }
+
+    /// The history slot for `key`, allocating its page on first touch and
+    /// counting the key when it is new.
+    #[inline]
+    fn slot_mut(&mut self, key: Key) -> &mut KeyHistory {
+        let page_idx = (key.0 >> PAGE_BITS) as usize;
+        if page_idx >= self.pages.len() {
+            self.pages.resize(page_idx + 1, None);
+        }
+        let page = self.pages[page_idx].get_or_insert_with(|| {
+            (0..PAGE_SLOTS)
+                .map(|_| KeyHistory::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        let h = &mut page[(key.0 & PAGE_MASK) as usize];
+        if h.acked_writes == 0 {
+            self.keys += 1;
+        }
+        h
+    }
+
     /// Record that `version` of `key` was just preloaded (bulk load before
     /// the measured run): it becomes the acknowledged baseline.
     pub fn preload(&mut self, key: Key, version: Version) {
-        let h = self.keys.entry(key).or_default();
+        let h = self.slot_mut(key);
         h.latest_acked = h.latest_acked.max(version);
         h.acked_writes += 1;
         let idx = h.acked_writes;
@@ -108,7 +155,7 @@ impl StalenessOracle {
     /// level (i.e. was acknowledged to the client) at the current time.
     /// Acknowledgements arrive in simulation-time order.
     pub fn record_ack(&mut self, key: Key, version: Version) {
-        let h = self.keys.entry(key).or_default();
+        let h = self.slot_mut(key);
         h.acked_writes += 1;
         let idx = h.acked_writes;
         h.push_version(version, idx);
@@ -120,8 +167,7 @@ impl StalenessOracle {
     /// The latest acknowledged version of `key` right now. A read captures
     /// this at issue time as its freshness requirement.
     pub fn expected_version(&self, key: Key) -> Version {
-        self.keys
-            .get(&key)
+        self.slot(key)
             .map(|h| h.latest_acked)
             .unwrap_or(Version::NONE)
     }
@@ -138,8 +184,7 @@ impl StalenessOracle {
         let depth = if !stale {
             0
         } else {
-            let h = self.keys.get(&key);
-            match h {
+            match self.slot(key) {
                 None => 1,
                 Some(h) => {
                     let expected_idx = h.index_of(expected).unwrap_or(0);
@@ -188,7 +233,7 @@ impl StalenessOracle {
 
     /// Number of keys the oracle has seen.
     pub fn key_count(&self) -> usize {
-        self.keys.len()
+        self.keys
     }
 }
 
@@ -303,5 +348,21 @@ mod tests {
         }
         o.classify_read(Key(1), Version(2), Version(1));
         assert!((o.stale_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_keep_independent_histories_across_pages() {
+        let mut o = StalenessOracle::new();
+        let far = (PAGE_SLOTS as u64) * 7 + 3;
+        o.record_ack(Key(1), Version(5));
+        o.record_ack(Key(far), Version(9));
+        assert_eq!(o.expected_version(Key(1)), Version(5));
+        assert_eq!(o.expected_version(Key(far)), Version(9));
+        assert_eq!(o.key_count(), 2);
+        // Untouched keys on existing pages are still unknown.
+        assert_eq!(o.expected_version(Key(2)), Version::NONE);
+        // Repeated acks do not recount the key.
+        o.record_ack(Key(1), Version(11));
+        assert_eq!(o.key_count(), 2);
     }
 }

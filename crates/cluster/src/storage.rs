@@ -1,20 +1,70 @@
 //! Per-replica local storage.
 //!
-//! Each simulated node owns a [`ReplicaStore`]: a versioned key-value map
+//! Each simulated node owns a [`ReplicaStore`]: a versioned key-value table
 //! with last-write-wins reconciliation plus the counters needed for the cost
 //! model (bytes stored, storage I/O operations performed).
+//!
+//! ## Layout: paged direct indexing, no hashing
+//!
+//! Record keys are **dense `u64` record ids** — the workload generators
+//! allocate them contiguously from 0 and assert they stay below the
+//! configured record count (see `concord_workload::generators`). The store
+//! exploits that contract: instead of a hash map it keeps a paged
+//! direct-index table (fixed-size pages allocated on first write), so
+//! `read` / `apply_write` / `preload` are a shift, a mask and a load — no
+//! hash, no probe sequence, no tombstones. A slot is occupied iff its
+//! version is non-zero ([`Version::NONE`] never names a real write, which
+//! the write paths assert), so presence costs no extra bit.
+//!
+//! Sequential record ids are contiguous in memory, which is what makes the
+//! YCSB-E range-read path ([`ReplicaStore::read_range`]) a streaming load
+//! over `scan_len` adjacent slots rather than `scan_len` independent hash
+//! lookups.
+//!
+//! Reads never allocate: probing a key whose page was never written returns
+//! "absent" without materializing the page, so a scan running past the
+//! loaded key space stays allocation-free.
 
 use crate::types::{Key, StoredValue, Version};
-use concord_sim::{FxHashMap, SimTime};
+use concord_sim::SimTime;
 
-/// The local storage of one replica node.
-///
-/// The key map uses the simulator's FxHash ([`concord_sim::FxHashMap`]):
-/// every simulated replica read/write is one lookup here, and record keys
-/// are simulator-internal, so SipHash's flood resistance buys nothing.
+/// Slots per page (2^12). A page of 24-byte slots is ~96 KiB: large enough
+/// that paper-scale record counts touch a handful of pages, small enough
+/// that a sparse tail (workload-D/E insert growth) does not balloon memory.
+const PAGE_BITS: u32 = 12;
+/// Number of slots in one page.
+const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+/// Mask extracting the slot index within a page.
+const PAGE_MASK: u64 = PAGE_SLOTS as u64 - 1;
+
+/// A vacant slot: version 0 ([`Version::NONE`]) marks absence.
+const EMPTY_SLOT: StoredValue = StoredValue {
+    version: Version::NONE,
+    size: 0,
+    applied_at: SimTime::ZERO,
+};
+
+/// Aggregate result of one range read (see [`ReplicaStore::read_range`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeRead {
+    /// The stored value of the range's anchor (first) record, if present.
+    /// Reconciliation and staleness classification key off the anchor.
+    pub anchor: Option<StoredValue>,
+    /// Number of records present in the scanned range.
+    pub records: u32,
+    /// Total payload bytes of the present records (the byte weight of the
+    /// data response).
+    pub bytes: u64,
+}
+
+/// The local storage of one replica node: a paged direct-index table over
+/// dense record ids (see the module docs for the layout).
 #[derive(Debug, Clone, Default)]
 pub struct ReplicaStore {
-    data: FxHashMap<Key, StoredValue>,
+    /// Pages indexed by `key >> PAGE_BITS`; `None` until first written.
+    pages: Vec<Option<Box<[StoredValue]>>>,
+    /// Number of occupied slots (distinct keys stored).
+    keys: usize,
     bytes_stored: u64,
     write_ops: u64,
     read_ops: u64,
@@ -29,67 +79,125 @@ impl ReplicaStore {
         Self::default()
     }
 
+    /// The slot for `key`, if its page exists (never allocates).
+    #[inline]
+    fn slot(&self, key: Key) -> Option<&StoredValue> {
+        let page = self.pages.get((key.0 >> PAGE_BITS) as usize)?.as_ref()?;
+        Some(&page[(key.0 & PAGE_MASK) as usize])
+    }
+
+    /// The slot for `key`, allocating its page on first touch. A free
+    /// function over the page table so callers can keep updating the
+    /// store's counters while the slot borrow is live.
+    #[inline]
+    fn slot_mut(pages: &mut Vec<Option<Box<[StoredValue]>>>, key: Key) -> &mut StoredValue {
+        let page_idx = (key.0 >> PAGE_BITS) as usize;
+        if page_idx >= pages.len() {
+            pages.resize(page_idx + 1, None);
+        }
+        let page =
+            pages[page_idx].get_or_insert_with(|| vec![EMPTY_SLOT; PAGE_SLOTS].into_boxed_slice());
+        &mut page[(key.0 & PAGE_MASK) as usize]
+    }
+
     /// Apply a write. Returns `true` if the value was installed, `false` if a
     /// newer version was already present (last-write-wins).
     pub fn apply_write(&mut self, key: Key, version: Version, size: u32, at: SimTime) -> bool {
+        debug_assert!(version.exists(), "writes carry a real (non-zero) version");
         self.write_ops += 1;
-        match self.data.get_mut(&key) {
-            Some(existing) if existing.version >= version => {
-                self.superseded_writes += 1;
-                false
-            }
-            Some(existing) => {
-                self.bytes_stored = self.bytes_stored - existing.size as u64 + size as u64;
-                *existing = StoredValue {
-                    version,
-                    size,
-                    applied_at: at,
-                };
-                true
-            }
-            None => {
-                self.bytes_stored += size as u64;
-                self.data.insert(
-                    key,
-                    StoredValue {
-                        version,
-                        size,
-                        applied_at: at,
-                    },
-                );
-                true
-            }
+        let slot = Self::slot_mut(&mut self.pages, key);
+        if slot.version >= version {
+            // Occupied slots always beat the write here; a vacant slot
+            // (version 0) can never reach this arm because real versions
+            // are non-zero.
+            self.superseded_writes += 1;
+            return false;
         }
+        if slot.version.exists() {
+            self.bytes_stored = self.bytes_stored - slot.size as u64 + size as u64;
+        } else {
+            self.keys += 1;
+            self.bytes_stored += size as u64;
+        }
+        *slot = StoredValue {
+            version,
+            size,
+            applied_at: at,
+        };
+        true
     }
 
     /// Load a record directly (bulk load path: no I/O accounting, used to
-    /// pre-populate the data set before the measured run).
+    /// pre-populate the data set before the measured run). A re-preload of
+    /// an existing key is an authoritative overwrite: the byte accounting
+    /// replaces the old payload's size instead of double-counting it.
     pub fn preload(&mut self, key: Key, version: Version, size: u32) {
-        self.bytes_stored += size as u64;
-        self.data.insert(
-            key,
-            StoredValue {
-                version,
-                size,
-                applied_at: SimTime::ZERO,
-            },
-        );
+        debug_assert!(version.exists(), "preloads carry a real (non-zero) version");
+        let slot = Self::slot_mut(&mut self.pages, key);
+        if slot.version.exists() {
+            self.bytes_stored = self.bytes_stored - slot.size as u64 + size as u64;
+        } else {
+            self.keys += 1;
+            self.bytes_stored += size as u64;
+        }
+        *slot = StoredValue {
+            version,
+            size,
+            applied_at: SimTime::ZERO,
+        };
     }
 
     /// Read the current value of a key (counts as one storage read).
     pub fn read(&mut self, key: Key) -> Option<StoredValue> {
         self.read_ops += 1;
-        self.data.get(&key).copied()
+        self.peek(key)
+    }
+
+    /// Read `len` consecutive records starting at `start` (a YCSB-E range
+    /// scan on this replica). Metered as `len` storage reads — every slot in
+    /// the range is probed, present or not — and the result reports the
+    /// byte weight of the present records for response-traffic accounting.
+    /// Never allocates: ranges running past the written key space read as
+    /// absent.
+    pub fn read_range(&mut self, start: Key, len: u32) -> RangeRead {
+        self.read_ops += len.max(1) as u64;
+        let mut out = RangeRead {
+            anchor: self.peek(start),
+            records: 0,
+            bytes: 0,
+        };
+        let mut key = start.0;
+        let mut remaining = len.max(1);
+        while remaining > 0 {
+            let page_idx = (key >> PAGE_BITS) as usize;
+            let slot_idx = (key & PAGE_MASK) as usize;
+            // Slots to take from this page before crossing its boundary.
+            let run = ((PAGE_SLOTS - slot_idx) as u32).min(remaining);
+            if let Some(Some(page)) = self.pages.get(page_idx) {
+                for slot in &page[slot_idx..slot_idx + run as usize] {
+                    if slot.version.exists() {
+                        out.records += 1;
+                        out.bytes += slot.size as u64;
+                    }
+                }
+            }
+            remaining -= run;
+            key = match key.checked_add(run as u64) {
+                Some(k) => k,
+                None => break, // the key space ends; nothing further exists
+            };
+        }
+        out
     }
 
     /// Peek without accounting (used by the staleness oracle and tests).
     pub fn peek(&self, key: Key) -> Option<StoredValue> {
-        self.data.get(&key).copied()
+        self.slot(key).copied().filter(|v| v.version.exists())
     }
 
     /// Number of distinct keys stored.
     pub fn key_count(&self) -> usize {
-        self.data.len()
+        self.keys
     }
 
     /// Total payload bytes currently stored on this replica.
@@ -102,7 +210,8 @@ impl ReplicaStore {
         self.write_ops
     }
 
-    /// Number of storage read operations performed.
+    /// Number of storage read operations performed (range reads count one
+    /// per record probed).
     pub fn read_ops(&self) -> u64 {
         self.read_ops
     }
@@ -157,5 +266,87 @@ mod tests {
         let mut s = ReplicaStore::new();
         assert!(s.apply_write(Key(1), Version(5), 10, SimTime::ZERO));
         assert!(!s.apply_write(Key(1), Version(5), 10, SimTime::ZERO));
+    }
+
+    #[test]
+    fn re_preload_replaces_byte_accounting() {
+        let mut s = ReplicaStore::new();
+        s.preload(Key(1), Version(1), 100);
+        s.preload(Key(1), Version(2), 300);
+        assert_eq!(s.bytes_stored(), 300, "overwrite, not double-count");
+        assert_eq!(s.key_count(), 1);
+        assert_eq!(s.peek(Key(1)).unwrap().version, Version(2));
+    }
+
+    #[test]
+    fn sparse_high_keys_allocate_only_their_page() {
+        let mut s = ReplicaStore::new();
+        s.apply_write(
+            Key(5 * PAGE_SLOTS as u64 + 3),
+            Version(1),
+            10,
+            SimTime::ZERO,
+        );
+        assert_eq!(s.key_count(), 1);
+        assert_eq!(s.pages.iter().filter(|p| p.is_some()).count(), 1);
+        // Reading unwritten pages allocates nothing.
+        assert!(s.peek(Key(0)).is_none());
+        assert!(s.peek(Key(100 * PAGE_SLOTS as u64)).is_none());
+        assert_eq!(s.pages.iter().filter(|p| p.is_some()).count(), 1);
+    }
+
+    #[test]
+    fn range_reads_meter_every_probe_and_weigh_present_bytes() {
+        let mut s = ReplicaStore::new();
+        for k in 10..20u64 {
+            s.preload(Key(k), Version(k), 100);
+        }
+        // Scan fully inside the populated range.
+        let r = s.read_range(Key(12), 5);
+        assert_eq!(r.records, 5);
+        assert_eq!(r.bytes, 500);
+        assert_eq!(r.anchor.unwrap().version, Version(12));
+        assert_eq!(s.read_ops(), 5, "every probed slot counts as one read");
+        // Scan running past the populated range: probes still metered,
+        // absent slots weigh nothing.
+        let r = s.read_range(Key(18), 10);
+        assert_eq!(r.records, 2);
+        assert_eq!(r.bytes, 200);
+        assert_eq!(s.read_ops(), 15);
+        // Scan starting on an absent anchor.
+        let r = s.read_range(Key(100), 3);
+        assert_eq!(r.anchor, None);
+        assert_eq!(r.records, 0);
+        assert_eq!(r.bytes, 0);
+    }
+
+    #[test]
+    fn range_reads_cross_page_boundaries() {
+        let mut s = ReplicaStore::new();
+        let boundary = PAGE_SLOTS as u64;
+        for k in (boundary - 3)..(boundary + 3) {
+            s.preload(Key(k), Version(k + 1), 10);
+        }
+        let r = s.read_range(Key(boundary - 3), 6);
+        assert_eq!(r.records, 6);
+        assert_eq!(r.bytes, 60);
+        assert_eq!(r.anchor.unwrap().version, Version(boundary - 2));
+        // A scan whose middle page was never written skips it as absent.
+        let far = 3 * boundary;
+        s.preload(Key(far), Version(1_000_000), 7);
+        let r = s.read_range(Key(far - 2), 4);
+        assert_eq!(r.records, 1);
+        assert_eq!(r.bytes, 7);
+    }
+
+    #[test]
+    fn range_read_at_the_end_of_the_key_space_stops() {
+        let mut s = ReplicaStore::new();
+        let r = s.read_range(Key(u64::MAX - 1), 10);
+        assert_eq!(r.records, 0);
+        // Zero-length scans behave like one probe of the anchor.
+        let r = s.read_range(Key(0), 0);
+        assert_eq!(r.records, 0);
+        assert!(r.anchor.is_none());
     }
 }

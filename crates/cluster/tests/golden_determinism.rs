@@ -317,6 +317,52 @@ fn golden_partition_heal_run() {
     assert_eq!(c.events_processed(), GOLDEN_PARTITION.4);
 }
 
+/// YCSB-E-style scan scenario: alternating writes and short range scans over
+/// a geo cluster at weak levels. Pins the full scan path — per-replica range
+/// reads through the dense store, per-record storage-read metering,
+/// byte-weighted response traffic, anchor-based staleness — byte-for-byte.
+/// (Captured at the introduction of the range-read path; scans previously
+/// read only their anchor record, so there is no pre-refactor digest.)
+#[test]
+fn golden_ycsb_e_scan_run() {
+    let mut c = geo_cluster(43);
+    c.load_records((0..200u64).map(|k| (k, 200)));
+    c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+    let mut at = SimTime::ZERO;
+    // 5% inserts-as-updates / 95% scans is workload E's shape; interleave
+    // writes so scans race propagation (staleness through the anchor).
+    for i in 0..3_000u64 {
+        at += SimDuration::from_micros(400);
+        // Scans anchor on the most recently written key, so they race its
+        // propagation window exactly like the Figure-1 point reads do.
+        let hot = (i / 4) % 200;
+        if i % 4 == 0 {
+            c.submit_write_at(hot, 200, at);
+        } else {
+            let len = 1 + (i % 40) as u32;
+            c.submit_scan_at(hot, len, at);
+        }
+    }
+    let d = digest(&mut c);
+    maybe_print("ycsb_e_scan", &d, &c);
+
+    assert_eq!(d.ops, 3_000);
+    assert_eq!(d.timeouts, 0);
+    assert_eq!(d.stale, GOLDEN_SCAN.0);
+    assert_eq!(d.latency_sum_us, GOLDEN_SCAN.1);
+    assert_eq!(d.checksum, GOLDEN_SCAN.2);
+    assert_eq!(c.events_processed(), GOLDEN_SCAN.3);
+    assert_eq!(
+        (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
+        GOLDEN_SCAN.4,
+        "scans are metered one storage read per probed record"
+    );
+    assert_eq!(c.metrics().traffic.total(), GOLDEN_SCAN.5);
+    // Sanity: the scan mix probes far more records than it completes reads
+    // (mean scan length ~20 over 2250 scans).
+    assert!(c.metrics().storage_read_ops > 40_000);
+}
+
 // Captured values (pre-refactor implementation, seeds as above):
 // (stale, latency_sum_us, checksum, events, now_us, messages, traffic_total,
 //  traffic_inter_dc, (storage_read_ops, storage_write_ops)).
@@ -342,3 +388,15 @@ const GOLDEN_CRASH: (u64, u64, u64, u64, u64) = (61, 147, 18_554_388, 1829273230
 // (timeouts, messages_lost, latency_sum_us, checksum, events).
 const GOLDEN_PARTITION: (u64, u64, u64, u64, u64) =
     (649, 1_946, 6_516_290_287, 9876085233809652447, 38_442);
+// Scan-scenario digest (captured at the introduction of the range-read
+// path; re-capture with GOLDEN_PRINT=1 after intentional semantic changes):
+// (stale, latency_sum_us, checksum, events, (storage_read_ops,
+//  storage_write_ops), traffic_total).
+const GOLDEN_SCAN: (u64, u64, u64, u64, (u64, u64), u64) = (
+    993,
+    1_419_731,
+    306768600784371757,
+    24_000,
+    (47_250, 3_750),
+    9_266_200,
+);

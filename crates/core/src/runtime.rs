@@ -84,8 +84,11 @@ impl AdaptiveRuntime {
 
     fn submit(cluster: &mut Cluster, op: &WorkloadOp, at: SimTime) {
         match op.op {
-            OperationType::Read | OperationType::Scan => {
+            OperationType::Read => {
                 cluster.submit_read_at(op.key, at);
+            }
+            OperationType::Scan => {
+                cluster.submit_scan_at(op.key, op.scan_length, at);
             }
             OperationType::Update | OperationType::Insert | OperationType::ReadModifyWrite => {
                 cluster.submit_write_at(op.key, op.value_size, at);
@@ -93,12 +96,14 @@ impl AdaptiveRuntime {
         }
     }
 
-    /// Map one workload operation to its open-loop batch entry. Scans have
-    /// no range-read path in the cluster model; like the closed-loop
-    /// [`AdaptiveRuntime::submit`], they read the range's anchor record.
+    /// Map one workload operation to its open-loop batch entry. Scans issue
+    /// real range reads: every contacted replica reads `scan_length`
+    /// consecutive records through the dense store, metered in storage reads
+    /// and byte-weighted response traffic.
     fn batch_op(at: SimTime, op: &WorkloadOp) -> BatchOp {
         match op.op {
-            OperationType::Read | OperationType::Scan => BatchOp::read(at, op.key),
+            OperationType::Read => BatchOp::read(at, op.key),
+            OperationType::Scan => BatchOp::scan(at, op.key, op.scan_length),
             OperationType::Update | OperationType::Insert | OperationType::ReadModifyWrite => {
                 BatchOp::write(at, op.key, op.value_size)
             }
@@ -561,8 +566,9 @@ mod tests {
     fn ycsb_d_and_e_run_under_the_scenario_driver() {
         // Workload D (latest-distribution reads + inserts) and E (short
         // scans + inserts) both complete open-loop and closed-loop, with
-        // deterministic per-seed reports. Scans read their range's anchor
-        // record (the cluster model has no range-read path).
+        // deterministic per-seed reports. E's scans are real range reads:
+        // each contacted replica reads the whole range through the dense
+        // store (metered per record).
         for preset in [presets::ycsb_d(), presets::ycsb_e()] {
             let build = || {
                 let mut cfg = ClusterConfig::lan_test(8, 3);

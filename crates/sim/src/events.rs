@@ -238,19 +238,30 @@ impl<E> TimerWheel<E> {
     }
 }
 
-/// A heap entry: the scheduling key plus the slot of the event payload.
+/// A heap entry: the scheduling key plus the event payload, inline.
 ///
 /// The firing time and the insertion sequence number are packed into one
 /// `u128` key (`time << 64 | seq`), so the heap's sift comparisons are a
 /// single integer compare instead of a two-field lexicographic chain — this
-/// is the hottest comparison in the whole simulator. The event payload
-/// itself lives in a side slab and is written exactly once: sift operations
-/// move these small fixed-size entries, not the (potentially much larger)
-/// user event type.
-#[derive(Debug, Clone, Copy)]
-struct Scheduled {
+/// is the hottest comparison in the whole simulator. The payload lives
+/// inline in the entry: simulator events are small (32 bytes), so moving
+/// them during sifts costs less than the former side-slab's two extra
+/// random-access writes (slot alloc + take) and free-list traffic per
+/// event.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
     key: u128,
-    slot: u32,
+    event: E,
+}
+
+/// Which lane of the [`EventQueue`] holds a pending event (see
+/// [`EventQueue::min_lane`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Heap,
+    Timer,
+    TimeoutFifo,
+    Bulk,
 }
 
 #[inline]
@@ -263,20 +274,20 @@ const fn unpack_time(key: u128) -> SimTime {
     SimTime::from_micros((key >> 64) as u64)
 }
 
-impl PartialEq for Scheduled {
+impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
     }
 }
-impl Eq for Scheduled {}
+impl<E> Eq for Scheduled<E> {}
 
-impl PartialOrd for Scheduled {
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Scheduled {
+impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is popped
         // first, breaking ties by insertion order (stable / deterministic).
@@ -294,18 +305,22 @@ impl Ord for Scheduled {
 ///   convention for zero-latency local interactions).
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled>,
-    /// Event payloads addressed by `Scheduled::slot`; vacant slots are
-    /// recycled through `free`.
-    events: Vec<Option<E>>,
-    free: Vec<u32>,
-    /// The timeout lane: a hierarchical [`TimerWheel`] holding per-operation
-    /// and fault/retry timers. Kept out of the heap entirely — O(1)
-    /// amortized scheduling and popping for *arbitrary* (heterogeneous)
-    /// timeout patterns, and the heap stays small enough for its sift path
-    /// to remain cache-resident. (Until the wheel, this lane was a plain
-    /// FIFO that only handled one constant timeout delay.)
+    heap: BinaryHeap<Scheduled<E>>,
+    /// The timeout lane's wheel: a hierarchical [`TimerWheel`] holding
+    /// *heterogeneous* per-operation and fault/retry timers — O(1) amortized
+    /// scheduling and popping for arbitrary (out-of-order) timeout patterns,
+    /// kept out of the heap entirely. (Until the wheel, this lane was a
+    /// plain FIFO that only handled one constant timeout delay.)
     timers: TimerWheel<E>,
+    /// The timeout lane's sorted fast path: one constant `op_timeout` (by
+    /// far the common configuration) makes `schedule_timeout` calls arrive
+    /// in non-decreasing key order, and a sorted stream deserves a plain
+    /// FIFO — appends and front pops are O(1) with none of the wheel's
+    /// cascade bookkeeping. A timeout that *does* precede this lane's tail
+    /// (heterogeneous per-op timeouts, retry backoff) falls back to the
+    /// wheel; ordering across the lanes is exact either way (global-min
+    /// pop over the shared sequence counter).
+    timeout_fifo: VecDeque<(u128, E)>,
     /// The bulk lane: a sorted FIFO for pre-sorted open-loop arrival
     /// streams loaded up front ([`EventQueue::bulk_push_sorted`]). A
     /// separate lane because a pre-sorted stream deserves a plain queue:
@@ -329,9 +344,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            events: Vec::new(),
-            free: Vec::new(),
             timers: TimerWheel::new(),
+            timeout_fifo: VecDeque::new(),
             bulk: VecDeque::new(),
             now: SimTime::ZERO,
             next_seq: 0,
@@ -346,12 +360,15 @@ impl<E> EventQueue<E> {
 
     /// Number of events waiting in the queue.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.timers.len() + self.bulk.len()
+        self.heap.len() + self.timers.len() + self.timeout_fifo.len() + self.bulk.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.timers.len() == 0 && self.bulk.is_empty()
+        self.heap.is_empty()
+            && self.timers.len() == 0
+            && self.timeout_fifo.is_empty()
+            && self.bulk.is_empty()
     }
 
     /// Total number of events popped so far.
@@ -361,24 +378,14 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` to fire at absolute time `at`. Times in the past are
     /// clamped to the current clock.
+    ///
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         let time = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                self.events[slot as usize] = Some(event);
-                slot
-            }
-            None => {
-                let slot = u32::try_from(self.events.len()).expect("more than 2^32 pending events");
-                self.events.push(Some(event));
-                slot
-            }
-        };
         self.heap.push(Scheduled {
             key: pack(time, seq),
-            slot,
+            event,
         });
     }
 
@@ -387,20 +394,32 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Schedule `event` at `at` on the **timeout lane** — the hierarchical
-    /// timer wheel. The classic producers are per-operation timeouts,
-    /// fault-recovery timers and retry deadlines: high-volume, cancelled or
-    /// fired long after scheduling, and (since timeouts became
-    /// heterogeneous) in no particular time order. The wheel gives O(1)
-    /// amortized scheduling and popping regardless of ordering, and keeps
-    /// one-pending-timer-per-operation out of the heap. Ordering relative to
-    /// the other lanes at the same instant is still exact FIFO, since all
-    /// lanes share the sequence counter.
+    /// Schedule `event` at `at` on the **timeout lane**. The classic
+    /// producers are per-operation timeouts, fault-recovery timers and retry
+    /// deadlines: high-volume, and fired long after scheduling. The lane has
+    /// two data structures behind one interface: timeouts arriving in
+    /// non-decreasing key order (a single constant `op_timeout` — the common
+    /// configuration — produces exactly that) append to a sorted FIFO in
+    /// O(1) with no further bookkeeping, and out-of-order timeouts
+    /// (heterogeneous per-op deadlines, staggered retries) take the
+    /// hierarchical timer wheel, which is O(1) amortized for arbitrary
+    /// patterns. Either way one-pending-timer-per-operation stays out of the
+    /// heap, and ordering relative to every other lane is exact FIFO per
+    /// instant, since all lanes share the sequence counter.
     pub fn schedule_timeout(&mut self, at: SimTime, event: E) {
         let time = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.timers.insert(pack(time, seq), event);
+        let key = pack(time, seq);
+        if self
+            .timeout_fifo
+            .back()
+            .is_none_or(|&(back, _)| key >= back)
+        {
+            self.timeout_fifo.push_back((key, event));
+        } else {
+            self.timers.insert(key, event);
+        }
     }
 
     /// Schedule `event` to fire immediately (at the current clock, after any
@@ -457,18 +476,35 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// The packed key of the next pending event, if any (minimum over the
-    /// heap, timer-wheel and bulk lanes).
+    /// The lane holding the next pending event and its packed key, if any
+    /// (argmin over the heap, timer-wheel, timeout-FIFO and bulk lanes —
+    /// one pass, so pops decide "which lane" and "which key" in a single
+    /// peek).
+    #[inline]
+    fn min_lane(&self) -> Option<(u128, Lane)> {
+        let mut best: Option<(u128, Lane)> = self.heap.peek().map(|s| (s.key, Lane::Heap));
+        if let Some(k) = self.timers.peek_min() {
+            if best.is_none_or(|(b, _)| k < b) {
+                best = Some((k, Lane::Timer));
+            }
+        }
+        if let Some(&(k, _)) = self.timeout_fifo.front() {
+            if best.is_none_or(|(b, _)| k < b) {
+                best = Some((k, Lane::TimeoutFifo));
+            }
+        }
+        if let Some(&(k, _)) = self.bulk.front() {
+            if best.is_none_or(|(b, _)| k < b) {
+                best = Some((k, Lane::Bulk));
+            }
+        }
+        best
+    }
+
+    /// The packed key of the next pending event, if any.
     #[inline]
     fn peek_key(&self) -> Option<u128> {
-        let mut key = self.heap.peek().map(|s| s.key);
-        for lane_key in [self.timers.peek_min(), self.bulk.front().map(|&(k, _)| k)]
-            .into_iter()
-            .flatten()
-        {
-            key = Some(key.map_or(lane_key, |k: u128| k.min(lane_key)));
-        }
-        key
+        self.min_lane().map(|(k, _)| k)
     }
 
     /// Time of the next pending event, if any.
@@ -476,43 +512,49 @@ impl<E> EventQueue<E> {
         self.peek_key().map(unpack_time)
     }
 
-    /// Pop the next event, advancing the clock to its firing time.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        // Pick the earliest of the three lanes; the shared sequence counter
-        // makes the packed keys totally ordered (and unique) across all.
-        let next = self.peek_key()?;
-        // Keep the wheel's base on the clock before extracting: `next` is
+    /// Extract the event with packed key `key` from `lane`, advancing the
+    /// clock. `(key, lane)` must come from [`EventQueue::min_lane`].
+    fn pop_lane(&mut self, key: u128, lane: Lane) -> (SimTime, E) {
+        // Keep the wheel's base on the clock before extracting: `key` is
         // the globally earliest pending instant, which is exactly the
         // precondition the wheel's cascade relies on — and when the wheel
         // itself holds the minimum, advancing first cascades that entry down
         // to a level-0 slot, so the extraction scan only ever touches
         // same-microsecond entries.
-        let time = unpack_time(next);
+        let time = unpack_time(key);
         self.timers.advance(time.as_micros());
-        let (_key, event) = if self.timers.peek_min() == Some(next) {
-            self.timers.pop_min().expect("wheel minimum exists")
-        } else if self.bulk.front().is_some_and(|&(k, _)| k == next) {
-            self.bulk.pop_front().expect("bulk front exists")
-        } else {
-            let s = self.heap.pop().expect("heap top exists");
-            let event = self.events[s.slot as usize]
-                .take()
-                .expect("heap entry addresses a live event");
-            self.free.push(s.slot);
-            (s.key, event)
+        let (_key, event) = match lane {
+            Lane::Timer => self.timers.pop_min().expect("wheel minimum exists"),
+            Lane::TimeoutFifo => self
+                .timeout_fifo
+                .pop_front()
+                .expect("timeout-FIFO front exists"),
+            Lane::Bulk => self.bulk.pop_front().expect("bulk front exists"),
+            Lane::Heap => {
+                let s = self.heap.pop().expect("heap top exists");
+                (s.key, s.event)
+            }
         };
         debug_assert!(time >= self.now, "time must be monotonic");
         self.now = time;
         self.processed += 1;
-        Some((time, event))
+        (time, event)
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // Pick the earliest of the lanes; the shared sequence counter makes
+        // the packed keys totally ordered (and unique) across all.
+        let (key, lane) = self.min_lane()?;
+        Some(self.pop_lane(key, lane))
     }
 
     /// Pop the next event only if it fires at or before `deadline`. This is
     /// the fused peek-then-pop used by the run loops: the peek is a single
     /// O(1) key read, and the heap sift happens at most once.
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        match self.peek_key() {
-            Some(key) if unpack_time(key) <= deadline => self.pop(),
+        match self.min_lane() {
+            Some((key, lane)) if unpack_time(key) <= deadline => Some(self.pop_lane(key, lane)),
             _ => None,
         }
     }
@@ -534,9 +576,8 @@ impl<E> EventQueue<E> {
     /// Drop all pending events (the clock is left untouched).
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.events.clear();
-        self.free.clear();
         self.timers.clear();
+        self.timeout_fifo.clear();
         self.bulk.clear();
     }
 }
@@ -919,6 +960,56 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn lane_routing_never_reorders_delivery() {
+        // Interleave sorted runs, regressions, timeouts (which split between
+        // the sorted timeout FIFO and the wheel) and pops; delivery must be
+        // exactly the (time, scheduling order) sort of the whole stream —
+        // lane routing is invisible.
+        let mut rng = crate::rng::SimRng::new(41);
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, u64)> = Vec::new(); // (time_us, seq)
+        let mut seq = 0u64;
+        let mut out = Vec::new();
+        for round in 0..200u64 {
+            let base = q.now().as_micros();
+            // A sorted run of arrivals…
+            let mut at = base;
+            for _ in 0..10 {
+                at += rng.next_bounded(300);
+                q.schedule_at(SimTime::from_micros(at), seq);
+                expected.push((at, seq));
+                seq += 1;
+            }
+            // …a few reactive events that regress behind the run's tail…
+            for _ in 0..5 {
+                let t = base + rng.next_bounded(500);
+                q.schedule_at(SimTime::from_micros(t), seq);
+                expected.push((t, seq));
+                seq += 1;
+            }
+            // …and a timer.
+            let t = base + rng.next_bounded(5_000);
+            q.schedule_timeout(SimTime::from_micros(t), seq);
+            expected.push((t, seq));
+            seq += 1;
+            for _ in 0..12 {
+                if let Some((t, v)) = q.pop() {
+                    out.push((t.as_micros(), v));
+                }
+            }
+            let _ = round;
+        }
+        out.extend(std::iter::from_fn(|| q.pop()).map(|(t, v)| (t.as_micros(), v)));
+        expected.sort_by_key(|&(t, s)| (t, s));
+        // Popped times are clamped to the clock, never reordered: compare
+        // the value (scheduling-order) sequence, which pins exact order.
+        let expected_vals: Vec<u64> = expected.iter().map(|&(_, s)| s).collect();
+        let out_vals: Vec<u64> = out.iter().map(|&(_, s)| s).collect();
+        assert_eq!(out_vals, expected_vals);
+        assert_eq!(out.len(), 200 * 16);
     }
 
     #[test]

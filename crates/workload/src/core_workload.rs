@@ -196,6 +196,12 @@ impl KeyChooser {
 }
 
 /// The runtime generator of client operations for a [`WorkloadConfig`].
+///
+/// Operations honor the **key-density contract** (see
+/// [`generators`](crate::generators)): every produced record id is below the
+/// current record count (which only grows, by one per insert), so the
+/// cluster's direct-indexed per-key tables stay dense. The key choosers
+/// assert the contract on every draw.
 pub struct CoreWorkload {
     config: WorkloadConfig,
     op_chooser: DiscreteGenerator<OperationType>,

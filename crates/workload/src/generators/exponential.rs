@@ -50,6 +50,7 @@ impl ItemGenerator for ExponentialGenerator {
             let x = rng.exponential(self.gamma);
             let v = x as u64;
             if v < self.items {
+                let v = super::assert_dense("ExponentialGenerator", v, self.items);
                 self.last = Some(v);
                 return v;
             }
@@ -72,6 +73,17 @@ mod tests {
         let mut rng = SimRng::new(1);
         for _ in 0..20_000 {
             assert!(g.next(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn key_density_contract_holds() {
+        // Heavy-tailed draws with a small item space force the re-draw path;
+        // every returned id must still be dense.
+        let mut g = ExponentialGenerator::new(7, 0.01);
+        let mut rng = SimRng::new(21);
+        for _ in 0..20_000 {
+            assert!(g.next(&mut rng) < 7);
         }
     }
 

@@ -50,6 +50,7 @@ impl ItemGenerator for HotspotGenerator {
         } else {
             self.hot_items + rng.next_bounded(self.items - self.hot_items)
         };
+        let v = super::assert_dense("HotspotGenerator", v, self.items);
         self.last = Some(v);
         v
     }
@@ -69,6 +70,17 @@ mod tests {
         let mut rng = SimRng::new(1);
         for _ in 0..10_000 {
             assert!(g.next(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn key_density_contract_holds() {
+        for (frac_hot, frac_opn) in [(0.1, 0.9), (0.5, 0.5), (1.0, 0.2)] {
+            let mut g = HotspotGenerator::new(333, frac_hot, frac_opn);
+            let mut rng = SimRng::new(17);
+            for _ in 0..20_000 {
+                assert!(g.next(&mut rng) < 333);
+            }
         }
     }
 

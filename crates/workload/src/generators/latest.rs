@@ -42,7 +42,7 @@ impl ItemGenerator for LatestGenerator {
     fn next(&mut self, rng: &mut SimRng) -> u64 {
         let count = self.newest + 1;
         let rank = self.zipf.next_with_count(rng, count);
-        let v = self.newest - rank;
+        let v = super::assert_dense("LatestGenerator", self.newest - rank, count);
         self.last = Some(v);
         v
     }
@@ -62,6 +62,20 @@ mod tests {
         let mut rng = SimRng::new(1);
         for _ in 0..50_000 {
             assert!(g.next(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn key_density_contract_holds() {
+        let mut g = LatestGenerator::new(50);
+        let mut rng = SimRng::new(11);
+        for _ in 0..20_000 {
+            assert!(g.next(&mut rng) < 50);
+        }
+        g.record_insert(50);
+        g.record_insert(51);
+        for _ in 0..20_000 {
+            assert!(g.next(&mut rng) < 52);
         }
     }
 

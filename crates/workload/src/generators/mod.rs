@@ -16,6 +16,19 @@
 //! | [`SequentialGenerator`] | `SequentialGenerator` | data loading |
 //! | [`CounterGenerator`] | `CounterGenerator` | insert key allocation |
 //! | [`DiscreteGenerator`] | `DiscreteGenerator` | choosing the next operation type |
+//!
+//! ## The key-density contract
+//!
+//! Record ids are **dense**: every key generator yields ids strictly below
+//! its configured item count, and inserts allocate the next contiguous id
+//! (growing the count). The cluster's per-key state — the replica store, the
+//! staleness oracle, the placement cache — is direct-indexed on that
+//! contract (paged tables instead of hash maps), so a generator silently
+//! escaping its range would quietly grow sparse tables instead of being a
+//! distribution bug you can see. Every generator therefore **asserts** the
+//! contract on each draw and panics loudly on violation ([`CounterGenerator`]
+//! is exempt: it *allocates* new ids, which by construction extend the dense
+//! space by one).
 
 mod discrete;
 mod exponential;
@@ -36,6 +49,24 @@ pub use uniform::UniformGenerator;
 pub use zipfian::ZipfianGenerator;
 
 use concord_sim::SimRng;
+
+/// Enforce the key-density contract: a generated record id must lie in
+/// `[0, item_count)`. Returns the id so call sites stay expression-shaped.
+///
+/// # Panics
+/// Panics (loudly, with the offending generator named) when the id escapes
+/// the dense key space — the direct-indexed per-key tables downstream would
+/// otherwise silently grow sparse.
+#[inline]
+pub(crate) fn assert_dense(generator: &str, id: u64, item_count: u64) -> u64 {
+    assert!(
+        id < item_count,
+        "{generator} violated the key-density contract: record id {id} is outside \
+         [0, {item_count}) — dense record ids are what the direct-indexed replica \
+         store, staleness oracle and placement cache rely on"
+    );
+    id
+}
 
 /// A generator of item indices.
 ///

@@ -52,7 +52,11 @@ impl ScrambledZipfianGenerator {
 impl ItemGenerator for ScrambledZipfianGenerator {
     fn next(&mut self, rng: &mut SimRng) -> u64 {
         let rank = self.inner.next(rng);
-        let v = fnv1a_64(rank) % self.items;
+        let v = super::assert_dense(
+            "ScrambledZipfianGenerator",
+            fnv1a_64(rank) % self.items,
+            self.items,
+        );
         self.last = Some(v);
         v
     }
@@ -72,6 +76,21 @@ mod tests {
         let mut rng = SimRng::new(1);
         for _ in 0..50_000 {
             assert!(g.next(&mut rng) < 1_000);
+        }
+    }
+
+    #[test]
+    fn key_density_contract_holds() {
+        // Including growth: scattered hot ranks must keep landing inside the
+        // (possibly grown) dense key space.
+        let mut g = ScrambledZipfianGenerator::new(77);
+        let mut rng = SimRng::new(5);
+        for _ in 0..30_000 {
+            assert!(g.next(&mut rng) < 77);
+        }
+        g.set_item_count(1_234);
+        for _ in 0..30_000 {
+            assert!(g.next(&mut rng) < 1_234);
         }
     }
 

@@ -25,7 +25,7 @@ impl SequentialGenerator {
 
 impl ItemGenerator for SequentialGenerator {
     fn next(&mut self, _rng: &mut SimRng) -> u64 {
-        let v = self.next;
+        let v = super::assert_dense("SequentialGenerator", self.next, self.items);
         self.next = (self.next + 1) % self.items;
         self.last = Some(v);
         v
@@ -75,6 +75,19 @@ impl ItemGenerator for CounterGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn key_density_contract_holds() {
+        // The wrap-around never escapes the dense space; the counter is
+        // exempt (it allocates the ids that *extend* the space).
+        let mut g = SequentialGenerator::new(5);
+        let mut rng = SimRng::new(23);
+        for _ in 0..1_000 {
+            assert!(g.next(&mut rng) < 5);
+        }
+        let mut c = CounterGenerator::new(5);
+        assert_eq!(c.next(&mut rng), 5, "counter allocates the next dense id");
+    }
 
     #[test]
     fn sequential_wraps_around() {

@@ -29,7 +29,11 @@ impl UniformGenerator {
 
 impl ItemGenerator for UniformGenerator {
     fn next(&mut self, rng: &mut SimRng) -> u64 {
-        let v = rng.next_bounded(self.item_count);
+        let v = super::assert_dense(
+            "UniformGenerator",
+            rng.next_bounded(self.item_count),
+            self.item_count,
+        );
         self.last = Some(v);
         v
     }
@@ -79,5 +83,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_items_rejected() {
         UniformGenerator::new(0);
+    }
+
+    #[test]
+    fn key_density_contract_holds() {
+        // Dense-id contract: every draw stays below the configured count,
+        // including right after the space grows.
+        let mut g = UniformGenerator::new(17);
+        let mut rng = SimRng::new(9);
+        for _ in 0..20_000 {
+            assert!(g.next(&mut rng) < 17);
+        }
+        g.set_item_count(1_000);
+        for _ in 0..20_000 {
+            assert!(g.next(&mut rng) < 1_000);
+        }
     }
 }

@@ -125,7 +125,7 @@ impl ZipfianGenerator {
         } else {
             (item_count as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
         };
-        let v = v.min(item_count - 1);
+        let v = super::assert_dense("ZipfianGenerator", v.min(item_count - 1), item_count);
         self.last = Some(v);
         v
     }
@@ -214,6 +214,19 @@ mod tests {
     fn shrinking_is_rejected() {
         let mut g = ZipfianGenerator::new(10);
         g.set_item_count(5);
+    }
+
+    #[test]
+    fn key_density_contract_holds() {
+        let mut g = ZipfianGenerator::with_constant(300, 0.7);
+        let mut rng = SimRng::new(13);
+        for _ in 0..50_000 {
+            assert!(g.next(&mut rng) < 300);
+        }
+        g.set_item_count(5_000);
+        for _ in 0..50_000 {
+            assert!(g.next(&mut rng) < 5_000);
+        }
     }
 
     #[test]
