@@ -33,7 +33,13 @@ fn bench_event_queue(c: &mut Criterion) {
 
 fn bench_ring(c: &mut Criterion) {
     let topo = Topology::single_dc(50);
-    let ring = Ring::new(&topo, 5, ReplicationStrategy::Simple, 32);
+    let ring = Ring::new(
+        &topo,
+        5,
+        ReplicationStrategy::Simple,
+        32,
+        concord_cluster::Partitioner::Hash,
+    );
     let mut group = c.benchmark_group("substrate/ring");
     group.throughput(Throughput::Elements(1));
     group.bench_function("replica_lookup", |b| {

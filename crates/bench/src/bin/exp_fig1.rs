@@ -24,6 +24,7 @@ fn main() {
     let _harness = Harness::from_env(); // applies --threads to the pool
     _harness.forbid_workload_override("the estimator grid has no YCSB workload");
     _harness.forbid_arrival_override("the estimator grid has no client arrivals");
+    _harness.forbid_partitioner_override("the estimator grid builds no cluster");
     let analytic = AnalyticEstimator::new();
     let montecarlo = MonteCarloEstimator::new(150_000, 42);
 

@@ -42,7 +42,8 @@ fn main() {
         .unwrap_or(cores)
         .max(1);
 
-    let platform = concord::platforms::grid5000_harmony(harness.scale.cluster);
+    let platform =
+        harness.apply_partitioner(concord::platforms::grid5000_harmony(harness.scale.cluster));
     let workload = harness.apply_workload(slim(presets::harmony_grid5000_workload(
         harness.scale.workload,
     )));

@@ -37,7 +37,9 @@
 //! overwrites.
 
 use concord_bench::{run_timed_grid, Harness};
-use concord_cluster::{BatchOp, Cluster, ClusterConfig, ConsistencyLevel, ReplicaStore};
+use concord_cluster::{
+    BatchOp, Cluster, ClusterConfig, ConsistencyLevel, Partitioner, ReplicaStore,
+};
 use concord_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use concord_workload::{ArrivalProcess, CoreWorkload, OperationType, WorkloadConfig};
 use std::time::Instant;
@@ -153,17 +155,19 @@ fn bench_store(total_ops: u64) -> Measurement {
     }
 }
 
-fn micro_cluster() -> (Cluster, u64) {
+fn micro_cluster(partitioner: Partitioner) -> (Cluster, u64) {
     const KEYS: u64 = 500;
-    let mut cluster = Cluster::new(ClusterConfig::lan_test(8, 3), 11);
+    let mut cfg = ClusterConfig::lan_test(8, 3);
+    cfg.partitioner = partitioner;
+    let mut cluster = Cluster::new(cfg, 11);
     cluster.load_records((0..KEYS).map(|k| (k, 1_000)));
     cluster.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
     (cluster, KEYS)
 }
 
 /// The full cluster hot path: closed-loop windows over the micro cluster.
-fn bench_cluster(total_ops: u64) -> Measurement {
-    let (mut cluster, keys) = micro_cluster();
+fn bench_cluster(total_ops: u64, partitioner: Partitioner) -> Measurement {
+    let (mut cluster, keys) = micro_cluster(partitioner);
 
     // Submit in windows so the pending-op tables stay at realistic sizes
     // (a closed loop, like the runtime) rather than pre-queueing millions.
@@ -197,8 +201,8 @@ fn bench_cluster(total_ops: u64) -> Measurement {
 /// The open-loop bulk path: a sorted `timed_ops` arrival schedule from the
 /// workload generator, bulk-loaded in windows through `Cluster::submit_batch`
 /// (the event queue's O(1) bulk lane carries every client arrival).
-fn bench_cluster_bulk(total_ops: u64) -> Measurement {
-    let (mut cluster, keys) = micro_cluster();
+fn bench_cluster_bulk(total_ops: u64, partitioner: Partitioner) -> Measurement {
+    let (mut cluster, keys) = micro_cluster(partitioner);
     let mut workload = CoreWorkload::new(WorkloadConfig {
         record_count: keys,
         operation_count: total_ops,
@@ -276,6 +280,9 @@ fn main() {
     let harness = Harness::from_env();
     harness.forbid_workload_override("the wall-clock scenarios fix their own op mixes");
     harness.forbid_arrival_override("the wall-clock scenarios fix their own arrival shapes");
+    // `--partitioner ordered` re-times the cluster substrates under ordered
+    // placement (contiguous ownership, coverage-faithful scans).
+    let partitioner = harness.partitioner.unwrap_or_default();
     let args = &harness.args;
     let scale = harness.scale.workload;
     let out_path = args
@@ -296,7 +303,9 @@ fn main() {
     let queue_rounds = ((20.0 * scale.max(0.05)) as u64).max(1);
 
     eprintln!(
-        "exp_throughput: cluster_ops={cluster_ops} queue_rounds={queue_rounds} (best of {repeat})"
+        "exp_throughput: cluster_ops={cluster_ops} queue_rounds={queue_rounds} \
+         partitioner={} (best of {repeat})",
+        partitioner.label()
     );
     // The store substrate is cheap per op; run 4× the cluster count so its
     // wall-clock stays measurable at small scales.
@@ -313,8 +322,10 @@ fn main() {
         let m = match point {
             Substrate::Queue { rounds } => best_of(repeat, || bench_event_queue(rounds)),
             Substrate::Store { ops } => best_of(repeat, || bench_store(ops)),
-            Substrate::Cluster { ops } => best_of(repeat, || bench_cluster(ops)),
-            Substrate::ClusterBulk { ops } => best_of(repeat, || bench_cluster_bulk(ops)),
+            Substrate::Cluster { ops } => best_of(repeat, || bench_cluster(ops, partitioner)),
+            Substrate::ClusterBulk { ops } => {
+                best_of(repeat, || bench_cluster_bulk(ops, partitioner))
+            }
         };
         eprintln!(
             "  {:<20} {:>12.0} events/s  {:>8.1} ns/op  ({} events for {} ops)",
@@ -327,8 +338,12 @@ fn main() {
         m
     });
 
+    // The placement mode changes the cluster substrates' costs, so every
+    // recorded measurement carries it — hash and ordered runs must never be
+    // mistaken for A/B pairs of the same configuration.
     let json = format!(
-        "{{\"scale\":{scale},\"benches\":[{}]}}",
+        "{{\"scale\":{scale},\"partitioner\":\"{}\",\"benches\":[{}]}}",
+        partitioner.label(),
         measurements
             .iter()
             .map(Measurement::to_json)

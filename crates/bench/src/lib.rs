@@ -25,9 +25,11 @@
 //! `--scale 1.0` reproduces the paper's operation counts. The cluster
 //! experiments additionally take `--seeds <n>` (multi-seed sweeps with 95%
 //! confidence intervals), `--threads <n>` (pool size), `--arrival
-//! closed:<clients>|poisson:<ops/s>|uniform:<ops/s>` (arrival-mode override)
-//! and `--workload a..f` (YCSB mix override, including the
-//! latest-distribution D and short-scan E presets).
+//! closed:<clients>|poisson:<ops/s>|uniform:<ops/s>` (arrival-mode override),
+//! `--workload a..f` (YCSB mix override, including the latest-distribution D
+//! and short-scan E presets) and `--partitioner hash|ordered` (placement
+//! mode: token-ring hash placement or contiguous key-range ownership with
+//! coverage-faithful scans).
 //!
 //! ## Scenarios: arrival modes and fault scripts
 //!
@@ -127,26 +129,47 @@
 //!   three `HashMap<OpId, _>` tables; stale ids from already-completed
 //!   operations (late timeouts, straggler responses) miss on the generation
 //!   compare, exactly as a map lookup of a removed key would.
-//! * **Storage layout — zero-hash per-key state**: the workload generators
-//!   guarantee (and assert, loudly) the *key-density contract*: record ids
-//!   are dense `u64`s below the configured record count, inserts extending
-//!   the space by one. Every per-event per-key table exploits it with
-//!   **paged direct indexing** instead of hashing — fixed 4096-slot pages
-//!   allocated on first write, so a lookup is a shift, a mask and a load,
-//!   and reads of never-written pages allocate nothing. This covers the
-//!   replica store (`ReplicaStore`: presence = non-zero version, no extra
-//!   bits), the staleness oracle (per-slot binary-searched bounded version
-//!   history), and the ring-placement cache (`key → [NodeId; RF]`, computed
-//!   once per key per ring epoch, invalidated wholesale on crash/recover
-//!   reconfiguration). Direct indexing also makes YCSB-E faithful: records
-//!   adjacent in id are adjacent in memory, so a range scan is one
-//!   streaming pass over `scan_len` consecutive slots per contacted replica
-//!   (`ReplicaStore::read_range`) — metered as `scan_len` storage reads and
-//!   byte-weighted response traffic — instead of the former anchor-only
-//!   placeholder. A differential property test drives random op streams
-//!   through the paged table and the old `FxHashMap` reference model,
-//!   asserting identical results and meters
+//! * **Storage layout — one `PagedTable<T>` under everything**: the
+//!   workload generators guarantee (and assert, loudly) the *key-density
+//!   contract*: record ids are dense `u64`s below the configured record
+//!   count, inserts extending the space by one. Every per-event per-key
+//!   table exploits it through the **one generic paged direct-index
+//!   substrate** (`concord_cluster::PagedTable<T>`): fixed 4096-slot pages
+//!   allocated on first write, lookups a shift, a mask and a load, reads of
+//!   never-written pages allocating nothing, and vacancy left to each
+//!   caller's own sentinel. Its users are the replica store
+//!   (`ReplicaStore`: presence = non-zero version, no extra bits), the
+//!   staleness oracle (per-slot binary-searched bounded version history,
+//!   vacancy = zero acked writes), the ring-placement cache
+//!   (`key → [NodeId; RF]` in RF lanes per slot, `u32::MAX` sentinel,
+//!   computed once per key per ring epoch, invalidated wholesale on
+//!   crash/recover reconfiguration), and the ordered partitioner's
+//!   per-slice range index (below). Direct indexing also makes YCSB-E
+//!   faithful: records adjacent in id are adjacent in memory, so a range
+//!   scan is one streaming pass over consecutive slots per contacted
+//!   replica (`ReplicaStore::read_range`) — metered as `scan_len` storage
+//!   reads and byte-weighted response traffic. A differential property test
+//!   drives random op streams through the paged table and the old
+//!   `FxHashMap` reference model, asserting identical results and meters
 //!   (`crates/cluster/tests/store_differential.rs`).
+//! * **Pluggable partitioner — hash or ordered placement**: every cluster
+//!   carries a `Partitioner` (`--partitioner hash|ordered` on every
+//!   cluster-driving binary; part of `ClusterConfig`, so sweeps grid over
+//!   it like any other knob). `hash` is the consistent-hash token ring
+//!   (Cassandra's random partitioner): consecutive record ids scatter, so
+//!   a scan's data replica returns only the subset of the range it owns —
+//!   cost-faithful but coverage-partial. `ordered` is Cassandra's ordered
+//!   partitioner: the dense key space is cut into contiguous 4096-key
+//!   slices (aligned with the paged tables' pages), adjacent slices
+//!   round-robin over nodes, and crashed nodes' slices fall to the next
+//!   survivor in id order. Ordered scans are **coverage-faithful**: the
+//!   coordinator splits a range at ownership boundaries, fans each segment
+//!   out to its own owners at the read's consistency level, and gathers —
+//!   a `scan_len` scan returns `scan_len` contiguous records
+//!   (`CompletedOp::records_returned`), pinned by
+//!   `crates/cluster/tests/ordered_coverage.rs` and its own golden digest
+//!   (`golden_ordered_scan_run`). All pre-existing goldens are
+//!   byte-identical under the default `hash` mode.
 //! * **Per-operation work**: replica sets are written into reusable scratch
 //!   buffers (the placement cache falls back to `Ring::replicas_into`'s
 //!   flat sorted token walk on a cold key); read-replica selection ranks

@@ -57,6 +57,15 @@ pub struct Harness {
     /// preset, keeping the binary's record/operation counts and record
     /// sizing. `None` keeps the binary's default mix.
     pub workload: Option<String>,
+    /// Partitioner override (`--partitioner hash|ordered`): how keys map to
+    /// owning nodes — the consistent-hash token ring (default) or
+    /// contiguous key-range ownership, under which range scans are
+    /// coverage-faithful. Applied to every platform the harness constructs
+    /// ([`Harness::cost_platform`], [`Harness::harmony_platform`],
+    /// [`Harness::apply_partitioner`]), so `(partitioner × policy × seed)`
+    /// grids run through the same `Sweep` machinery. `None` keeps the
+    /// platform's default (hash).
+    pub partitioner: Option<Partitioner>,
 }
 
 impl Harness {
@@ -106,6 +115,13 @@ impl Harness {
             );
             name
         });
+        let partitioner = args.iter().position(|a| a == "--partitioner").map(|i| {
+            let name = args
+                .get(i + 1)
+                .expect("--partitioner needs a value (hash|ordered)");
+            Partitioner::from_name(name)
+                .unwrap_or_else(|| panic!("--partitioner {name}: unknown mode (hash|ordered)"))
+        });
         Harness {
             args,
             scale,
@@ -114,6 +130,7 @@ impl Harness {
             seed_base,
             arrival,
             workload,
+            partitioner,
         }
     }
 
@@ -134,6 +151,26 @@ impl Harness {
             self.arrival.is_none(),
             "--arrival is not supported by this experiment: {why}"
         );
+    }
+
+    /// Reject `--partitioner` for binaries that never build a cluster
+    /// (estimator-only grids): failing loudly beats silently labelling the
+    /// output with a mode that was never in effect.
+    pub fn forbid_partitioner_override(&self, why: &str) {
+        assert!(
+            self.partitioner.is_none(),
+            "--partitioner is not supported by this experiment: {why}"
+        );
+    }
+
+    /// Apply the `--partitioner` override (if given) to a platform the
+    /// binary constructed itself. [`Harness::cost_platform`] and
+    /// [`Harness::harmony_platform`] already apply it.
+    pub fn apply_partitioner(&self, mut platform: Platform) -> Platform {
+        if let Some(partitioner) = self.partitioner {
+            platform.cluster.partitioner = partitioner;
+        }
+        platform
     }
 
     /// Apply the `--workload` override (if given) to the binary's default
@@ -172,22 +209,24 @@ impl Harness {
         (0..self.seed_count).map(|i| base + i).collect()
     }
 
-    /// The cost-experiment platform for `--platform` at `--cluster-scale`.
+    /// The cost-experiment platform for `--platform` at `--cluster-scale`,
+    /// with the `--partitioner` override applied.
     pub fn cost_platform(&self) -> Platform {
-        if self.platform.starts_with("ec2") {
+        self.apply_partitioner(if self.platform.starts_with("ec2") {
             concord::platforms::ec2_cost(self.scale.cluster)
         } else {
             concord::platforms::grid5000_cost(self.scale.cluster)
-        }
+        })
     }
 
-    /// The Harmony-experiment platform for `--platform` at `--cluster-scale`.
+    /// The Harmony-experiment platform for `--platform` at `--cluster-scale`,
+    /// with the `--partitioner` override applied.
     pub fn harmony_platform(&self) -> Platform {
-        if self.platform.starts_with("ec2") {
+        self.apply_partitioner(if self.platform.starts_with("ec2") {
             concord::platforms::ec2_harmony(self.scale.cluster)
         } else {
             concord::platforms::grid5000_harmony(self.scale.cluster)
-        }
+        })
     }
 
     /// Print the standard experiment banner.
@@ -529,9 +568,38 @@ mod tests {
         assert!(h.harmony_platform().name.contains("grid5000"));
         assert!(h.arrival.is_none());
         assert!(h.workload.is_none());
+        assert!(h.partitioner.is_none());
         // Absent overrides are no-ops and pass the forbid checks.
         h.forbid_workload_override("n/a");
         h.forbid_arrival_override("n/a");
+        h.forbid_partitioner_override("n/a");
+    }
+
+    #[test]
+    fn harness_parses_the_partitioner_override() {
+        let args: Vec<String> = ["exp", "--partitioner", "ordered"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let h = Harness::from_args(args);
+        assert_eq!(h.partitioner, Some(Partitioner::Ordered));
+        // Every harness-constructed platform runs under the override.
+        assert_eq!(h.cost_platform().cluster.partitioner, Partitioner::Ordered);
+        assert_eq!(
+            h.harmony_platform().cluster.partitioner,
+            Partitioner::Ordered
+        );
+        let custom = h.apply_partitioner(concord::platforms::laptop());
+        assert_eq!(custom.cluster.partitioner, Partitioner::Ordered);
+        // No override leaves the platform default untouched.
+        let plain = Harness::from_args(vec!["exp".into()]);
+        assert_eq!(plain.cost_platform().cluster.partitioner, Partitioner::Hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mode")]
+    fn unknown_partitioner_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--partitioner".into(), "range".into()]);
     }
 
     #[test]

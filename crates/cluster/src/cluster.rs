@@ -26,7 +26,8 @@ use crate::config::ClusterConfig;
 use crate::consistency::ConsistencyLevel;
 use crate::metrics::ClusterMetrics;
 use crate::oracle::StalenessOracle;
-use crate::ring::Ring;
+use crate::paged::PagedTable;
+use crate::ring::{Partitioner, Ring, ORDERED_SLICE_BITS};
 use crate::slab::OpSlab;
 use crate::storage::ReplicaStore;
 use crate::types::{CompletedOp, Key, OpId, OpKind, OpStatus, Version};
@@ -80,6 +81,10 @@ enum ReplicaTask {
         /// Number of consecutive records to read (1 for point reads; YCSB-E
         /// range scans read `len` adjacent slots of the dense store).
         len: u32,
+        /// Which segment of a multi-segment scan this request serves (0 for
+        /// point reads and hash-partitioned scans; ordered-partitioner scans
+        /// split at ownership boundaries and gather per segment).
+        segment: u16,
     },
 }
 
@@ -129,6 +134,11 @@ enum Event {
         from: NodeId,
         version: Version,
         size: u32,
+        /// Records in the response payload (data requests only; digests
+        /// report 0 so coverage is never double-counted).
+        records: u32,
+        /// The scan segment this response answers (see [`ReplicaTask::Read`]).
+        segment: u16,
     },
     OpTimeout {
         op_id: OpId,
@@ -238,9 +248,16 @@ struct ReadState {
     coordinator: NodeId,
     issued_at: SimTime,
     required: u32,
-    /// Consecutive records per replica request (1 = point read).
+    /// Consecutive records of the whole operation (1 = point read).
     scan_len: u32,
-    responses: u32,
+    /// Segments still short of `required` responses; the read completes
+    /// when this reaches zero. 1 segment for point reads and hash scans;
+    /// ordered scans carry one segment per ownership slice the range spans.
+    seg_pending: u32,
+    /// Per-segment response counts, indexed by segment.
+    seg_responses: InlineVec<u32>,
+    /// Records accumulated from data responses (the scan's coverage).
+    records: u32,
     best_version: Version,
     best_size: u32,
     min_version: Version,
@@ -340,35 +357,29 @@ pub struct Cluster {
     node_count: usize,
 }
 
-/// Slots per page of the replica-placement cache (2^12, matching the dense
-/// replica store).
-const CACHE_PAGE_BITS: u32 = 12;
-/// Number of keys covered by one cache page.
-const CACHE_PAGE_SLOTS: usize = 1 << CACHE_PAGE_BITS;
-/// Mask extracting a key's slot within its cache page.
-const CACHE_PAGE_MASK: u64 = CACHE_PAGE_SLOTS as u64 - 1;
-
-/// Paged direct-indexed cache of ring placements: `key → [NodeId; rf]`.
+/// Paged direct-indexed cache of ring placements: `key → [NodeId; rf]`,
+/// stored in the shared [`PagedTable`] with `rf` lanes per key and
+/// `u32::MAX` in an entry's first lane marking "not yet computed".
 ///
 /// Record ids are dense and the ring is immutable between crash/recover
-/// reconfigurations, so the clockwise token walk (hash + binary search +
-/// distinct-node scan) runs **once per key per ring epoch** instead of once
-/// per operation — the steady-state lookup is a shift, a mask and an
-/// `rf`-element copy. Pages are allocated on first touch; entries are
-/// invalidated wholesale by [`ReplicaCache::reset`] when the ring changes.
+/// reconfigurations, so the placement walk (token walk for the hash
+/// partitioner, slice walk for the ordered one) runs **once per key per
+/// ring epoch** instead of once per operation — the steady-state lookup is
+/// a shift, a mask and an `rf`-element copy. Pages are allocated on first
+/// touch; entries are invalidated wholesale by [`ReplicaCache::reset`] when
+/// the ring changes.
 #[derive(Debug)]
 struct ReplicaCache {
-    /// Pages of `CACHE_PAGE_SLOTS × rf` node ids; `u32::MAX` in an entry's
-    /// first element marks "not yet computed".
-    pages: Vec<Option<Box<[u32]>>>,
-    /// Replication factor of the current ring epoch (entry stride).
+    /// `key → rf` node-id lanes; first lane `u32::MAX` = not yet computed.
+    table: PagedTable<u32>,
+    /// Replication factor of the current ring epoch (lane count).
     rf: usize,
 }
 
 impl ReplicaCache {
     fn new(rf: usize) -> Self {
         ReplicaCache {
-            pages: Vec::new(),
+            table: PagedTable::with_lanes(u32::MAX, rf.max(1)),
             rf,
         }
     }
@@ -376,7 +387,7 @@ impl ReplicaCache {
     /// Drop every cached placement (the ring was rebuilt) and adopt the new
     /// ring's effective replication factor.
     fn reset(&mut self, rf: usize) {
-        self.pages.clear();
+        self.table.reset(rf.max(1));
         self.rf = rf;
     }
 
@@ -389,23 +400,22 @@ impl ReplicaCache {
             out.clear();
             return;
         }
-        let page_idx = (key.0 >> CACHE_PAGE_BITS) as usize;
-        if page_idx >= self.pages.len() {
-            self.pages.resize(page_idx + 1, None);
-        }
-        let rf = self.rf;
-        let page = self.pages[page_idx]
-            .get_or_insert_with(|| vec![u32::MAX; CACHE_PAGE_SLOTS * rf].into_boxed_slice());
-        let at = (key.0 & CACHE_PAGE_MASK) as usize * rf;
-        let entry = &mut page[at..at + rf];
+        // Ordered placement is constant across each ownership slice, so the
+        // cache is keyed per slice there — one entry instead of 4096
+        // identical per-key copies. Hash placement stays per-key.
+        let slot = match ring.partitioner() {
+            Partitioner::Hash => key.0,
+            Partitioner::Ordered => key.0 >> ORDERED_SLICE_BITS,
+        };
+        let entry = self.table.entry_mut(slot);
         if entry[0] != u32::MAX {
             out.clear();
             out.extend(entry.iter().map(|&n| NodeId(n)));
             return;
         }
         ring.replicas_into(key, out);
-        debug_assert_eq!(out.len(), rf, "the ring yields exactly RF replicas");
-        if out.len() == rf {
+        debug_assert_eq!(out.len(), self.rf, "the ring yields exactly RF replicas");
+        if out.len() == self.rf {
             for (slot, node) in entry.iter_mut().zip(out.iter()) {
                 *slot = node.0;
             }
@@ -438,6 +448,7 @@ impl Cluster {
             config.replication_factor,
             config.strategy,
             config.vnodes,
+            config.partitioner,
         );
         let n = config.topology.node_count();
         let read_level = config.read_level;
@@ -711,6 +722,7 @@ impl Cluster {
             self.config.replication_factor,
             self.config.strategy,
             self.config.vnodes,
+            self.config.partitioner,
             |n| crashed[n.0 as usize],
         );
         self.crashed = crashed;
@@ -819,9 +831,18 @@ impl Cluster {
     /// carries the payload bytes of the records it holds, so scans are
     /// metered faithfully in both storage I/O and network traffic.
     /// Reconciliation and the staleness classification key off the range's
-    /// anchor record. Note that hash partitioning scatters consecutive
-    /// record ids across the ring (as with Cassandra's random partitioner),
-    /// so a replica returns the subset of the range it owns.
+    /// anchor record. Coverage depends on the configured [`Partitioner`]:
+    /// hash partitioning scatters consecutive record ids across the ring
+    /// (as with Cassandra's random partitioner), so a replica returns the
+    /// subset of the range it owns; under the ordered partitioner the scan
+    /// is split at ownership-slice boundaries and gathered from each
+    /// segment's owners, so the data responses together cover the full
+    /// contiguous range ([`CompletedOp::records_returned`]).
+    ///
+    /// # Panics
+    /// Under the ordered partitioner, panics if the range would span more
+    /// than 2^16 ownership slices (`scan_len` > 65535 × 4096 — far past any
+    /// YCSB scan bound).
     pub fn submit_scan_at(&mut self, key: u64, scan_len: u32, at: SimTime) -> OpId {
         self.submit(OpKind::Read, key, 0, scan_len.max(1), None, at)
     }
@@ -855,6 +876,20 @@ impl Cluster {
         self.submit(OpKind::Write, key, size, 1, Some(level), at)
     }
 
+    /// Reject scans the ordered partitioner cannot segment: segment ids are
+    /// 16-bit, so a range may span at most 2^16 ownership slices. Checked at
+    /// submission (fail fast, partitioner-dependent contract documented on
+    /// [`Cluster::submit_scan_at`]) rather than panicking mid-simulation.
+    #[inline]
+    fn assert_scan_segmentable(&self, scan_len: u32) {
+        const MAX_ORDERED_SCAN: u64 = (u16::MAX as u64) << ORDERED_SLICE_BITS;
+        assert!(
+            self.config.partitioner != Partitioner::Ordered || scan_len as u64 <= MAX_ORDERED_SCAN,
+            "ordered-partitioner scans span at most 2^16 ownership slices \
+             (scan_len {scan_len} > {MAX_ORDERED_SCAN})"
+        );
+    }
+
     fn submit(
         &mut self,
         kind: OpKind,
@@ -864,6 +899,7 @@ impl Cluster {
         level: Option<ConsistencyLevel>,
         at: SimTime,
     ) -> OpId {
+        self.assert_scan_segmentable(scan_len);
         let op_id = self.ops.insert(OpState::Pending(Submission {
             kind,
             key: Key(key),
@@ -898,6 +934,7 @@ impl Cluster {
     pub fn submit_batch(&mut self, ops: impl IntoIterator<Item = BatchOp>) -> usize {
         let mut submitted = 0usize;
         for op in ops {
+            self.assert_scan_segmentable(op.scan_len);
             let op_id = self.ops.insert(OpState::Pending(Submission {
                 kind: op.kind,
                 key: Key(op.key),
@@ -988,7 +1025,9 @@ impl Cluster {
                 from,
                 version,
                 size,
-            } => self.on_read_response(now, op_id, from, version, size),
+                records,
+                segment,
+            } => self.on_read_response(now, op_id, from, version, size, records, segment),
             Event::OpTimeout { op_id } => self.on_timeout(now, op_id),
             Event::Tick { id } => self.outputs.push_back(ClusterOutput::Tick { id, at: now }),
         }
@@ -1132,6 +1171,15 @@ impl Cluster {
 
     /// Issue a read attempt (see [`Cluster::start_write`] for the retry
     /// parameters).
+    ///
+    /// Point reads and hash-partitioned scans contact `required` replicas of
+    /// the key's placement, each reading the whole range (a hash-placed
+    /// replica holds only the subset of the range it owns, so its response
+    /// covers that subset — Cassandra's random-partitioner semantics).
+    /// Ordered-partitioner scans are **coverage-faithful**: the range is
+    /// split at ownership-slice boundaries and each segment fans out to the
+    /// `required` replicas of *its* owners, so the data responses together
+    /// return every record in the range, gathered across boundaries.
     fn start_read(
         &mut self,
         now: SimTime,
@@ -1144,37 +1192,65 @@ impl Cluster {
         let coordinator = self.pick_coordinator();
         let level = sub.level.unwrap_or(self.read_level);
         let required = self.config.required_acks(level);
-        let mut replicas = std::mem::take(&mut self.replica_scratch);
-        self.replica_cache
-            .replicas_into(&self.ring, sub.key, &mut replicas);
-        self.select_read_replicas(coordinator, &mut replicas, required as usize);
         let expected_version = self.oracle.expected_version(sub.key);
+        // Ownership-boundary segmentation (ordered scans only; everything
+        // else is a single segment covering the whole range).
+        let scan_len = sub.scan_len.max(1);
+        let split = self.config.partitioner == Partitioner::Ordered && scan_len > 1;
+        let end = sub.key.0.saturating_add(scan_len as u64);
 
-        for (i, &replica) in replicas.iter().enumerate() {
-            let delay = self.account_message(coordinator, replica, self.config.small_message_bytes);
-            if self.nodes[replica.0 as usize].down {
-                continue;
-            }
-            if !self.link_up(coordinator, replica) {
-                self.metrics.messages_lost += 1;
-                continue;
-            }
-            self.queue.schedule_at(
-                now + delay,
-                Event::ReplicaArrive {
-                    node: replica,
-                    task: ReplicaTask::Read {
-                        op_id,
-                        key: sub.key,
-                        data: i == 0,
-                        len: sub.scan_len,
+        let mut replicas = std::mem::take(&mut self.replica_scratch);
+        let mut contacted: InlineVec<NodeId> = InlineVec::new();
+        let mut seg_responses: InlineVec<u32> = InlineVec::new();
+        let mut segments = 0u32;
+        let mut seg_start = sub.key.0;
+        while seg_start < end || segments == 0 {
+            let seg_len = if split {
+                // Stop at the next ownership-slice boundary (aligned with
+                // the paged tables' page size).
+                let boundary = (seg_start | ((1u64 << ORDERED_SLICE_BITS) - 1)).saturating_add(1);
+                (boundary.min(end) - seg_start) as u32
+            } else {
+                scan_len
+            };
+            let segment = u16::try_from(segments).expect("a scan spans at most 2^16 segments");
+            self.replica_cache
+                .replicas_into(&self.ring, Key(seg_start), &mut replicas);
+            self.select_read_replicas(coordinator, &mut replicas, required as usize);
+            for (i, &replica) in replicas.iter().enumerate() {
+                let delay =
+                    self.account_message(coordinator, replica, self.config.small_message_bytes);
+                if self.nodes[replica.0 as usize].down {
+                    continue;
+                }
+                if !self.link_up(coordinator, replica) {
+                    self.metrics.messages_lost += 1;
+                    continue;
+                }
+                self.queue.schedule_at(
+                    now + delay,
+                    Event::ReplicaArrive {
+                        node: replica,
+                        task: ReplicaTask::Read {
+                            op_id,
+                            key: Key(seg_start),
+                            data: i == 0,
+                            len: seg_len,
+                            segment,
+                        },
                     },
-                },
-            );
+                );
+            }
+            self.metrics.read_replicas_contacted += replicas.len() as u64;
+            contacted.extend_from_slice(&replicas);
+            seg_responses.push(0);
+            segments += 1;
+            seg_start += seg_len as u64;
+            if !split {
+                break;
+            }
         }
 
-        self.metrics.read_replicas_contacted += replicas.len() as u64;
-        let contacted: InlineVec<NodeId> = replicas.iter().copied().collect();
         self.replica_scratch = replicas;
         if let Some(state) = self.ops.get_mut(op_id) {
             *state = OpState::Read(ReadState {
@@ -1183,7 +1259,9 @@ impl Cluster {
                 issued_at,
                 required,
                 scan_len: sub.scan_len,
-                responses: 0,
+                seg_pending: segments,
+                seg_responses,
+                records: 0,
                 best_version: Version::NONE,
                 best_size: 0,
                 min_version: Version(u64::MAX),
@@ -1353,23 +1431,34 @@ impl Cluster {
                 key,
                 data,
                 len,
+                segment,
             } => {
                 // Point reads probe one slot; range scans stream `len`
                 // adjacent slots of the dense store (each probed slot is one
                 // metered storage read) and respond with the range's byte
                 // weight. Reconciliation keys off the anchor record.
-                let (version, size) = if len <= 1 {
+                let (version, size, records) = if len <= 1 {
                     let value = self.stores[idx].read(key);
                     self.metrics.storage_read_ops += 1;
                     value
-                        .map(|v| (v.version, v.size))
-                        .unwrap_or((Version::NONE, 0))
+                        .map(|v| (v.version, v.size, 1))
+                        .unwrap_or((Version::NONE, 0, 0))
                 } else {
                     let range = self.stores[idx].read_range(key, len);
                     self.metrics.storage_read_ops += len as u64;
+                    // The byte meter is u32; a range would need a >4 GiB
+                    // response to saturate it, which the dense-key contract
+                    // (record sizes are u32, scan lengths bounded) rules
+                    // out — assert instead of silently clamping traffic.
+                    debug_assert!(
+                        range.bytes <= u32::MAX as u64,
+                        "range response of {} bytes overflows the u32 byte meter",
+                        range.bytes
+                    );
                     (
                         range.anchor.map(|v| v.version).unwrap_or(Version::NONE),
                         u32::try_from(range.bytes).unwrap_or(u32::MAX),
+                        range.records,
                     )
                 };
                 let coordinator = match self.ops.get(op_id) {
@@ -1395,6 +1484,10 @@ impl Cluster {
                         from: node,
                         version,
                         size,
+                        // Digests answer with a checksum, not records: only
+                        // the data response contributes coverage.
+                        records: if data { records } else { 0 },
+                        segment,
                     },
                 );
             }
@@ -1419,6 +1512,7 @@ impl Cluster {
                 returned_version: w.version,
                 stale: false,
                 staleness_depth: 0,
+                records_returned: 0,
             };
             self.oracle.record_ack(w.key, w.version);
             self.metrics
@@ -1432,6 +1526,11 @@ impl Cluster {
         }
     }
 
+    // The argument list mirrors the flat fields of
+    // `Event::CoordinatorReadResponse`: bundling them into a struct would
+    // re-introduce padding the 32-byte event layout deliberately avoids
+    // (the enum tag lives in the flat variant's tail padding).
+    #[allow(clippy::too_many_arguments)]
     fn on_read_response(
         &mut self,
         now: SimTime,
@@ -1439,17 +1538,33 @@ impl Cluster {
         _from: NodeId,
         version: Version,
         size: u32,
+        records: u32,
+        segment: u16,
     ) {
         let Some(OpState::Read(r)) = self.ops.get_mut(op_id) else {
             return;
         };
-        r.responses += 1;
-        if version > r.best_version {
-            r.best_version = version;
-            r.best_size = size;
+        // Validate the segment id before touching any state: a response
+        // this read never issued must not inflate its coverage count.
+        let Some(count) = r.seg_responses.get_mut(segment as usize) else {
+            return;
+        };
+        *count += 1;
+        r.records += records;
+        // Reconciliation and staleness key off the range's *anchor*, which
+        // only segment-0 replicas read; later segments of an ordered scan
+        // answer for their own sub-range and contribute coverage only.
+        if segment == 0 {
+            if version > r.best_version {
+                r.best_version = version;
+                r.best_size = size;
+            }
+            r.min_version = r.min_version.min(version);
         }
-        r.min_version = r.min_version.min(version);
-        if r.responses >= r.required {
+        if *count == r.required {
+            r.seg_pending -= 1;
+        }
+        if r.seg_pending == 0 {
             // Move the state out of the slab (frees the slot, invalidates any
             // straggler events carrying this id) — no clone of the contacted
             // list needed for the repair pass below.
@@ -1464,6 +1579,7 @@ impl Cluster {
             let contacted = r.contacted;
             let coordinator = r.coordinator;
             let best_size = r.best_size;
+            let records_returned = r.records;
             // Scans skip read repair: their response size is the range's
             // byte weight, not one record's payload, so there is no single
             // mutation to push back (matching Cassandra, where range scans
@@ -1482,6 +1598,7 @@ impl Cluster {
                 returned_version: best,
                 stale: class.stale,
                 staleness_depth: class.depth,
+                records_returned,
             };
             self.metrics
                 .record_completion(OpKind::Read, completed.latency(), class.stale);
@@ -1587,6 +1704,7 @@ impl Cluster {
                         returned_version: Version::NONE,
                         stale: false,
                         staleness_depth: 0,
+                        records_returned: 0,
                     };
                     self.metrics
                         .record_completion(OpKind::Write, completed.latency(), false);
@@ -1617,6 +1735,7 @@ impl Cluster {
                     returned_version: Version::NONE,
                     stale: false,
                     staleness_depth: 0,
+                    records_returned: r.records,
                 };
                 self.metrics
                     .record_completion(OpKind::Read, completed.latency(), false);

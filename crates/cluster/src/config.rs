@@ -1,7 +1,7 @@
 //! Cluster configuration.
 
 use crate::consistency::ConsistencyLevel;
-use crate::ring::ReplicationStrategy;
+use crate::ring::{Partitioner, ReplicationStrategy};
 use concord_sim::{DelayDistribution, NetworkModel, SimDuration, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +16,12 @@ pub struct ClusterConfig {
     pub replication_factor: u32,
     /// Replica placement strategy.
     pub strategy: ReplicationStrategy,
+    /// How keys map to owning nodes: the consistent-hash token ring
+    /// (default, Cassandra's random partitioner) or contiguous key-range
+    /// ownership (Cassandra's ordered partitioner, which makes range-scan
+    /// *coverage* faithful — see [`Partitioner`]).
+    #[serde(default)]
+    pub partitioner: Partitioner,
     /// Virtual nodes per physical node on the ring.
     pub vnodes: u32,
     /// Default read consistency level (can be changed at runtime).
@@ -60,6 +66,7 @@ impl ClusterConfig {
             network: NetworkModel::lan(),
             replication_factor,
             strategy: ReplicationStrategy::Simple,
+            partitioner: Partitioner::Hash,
             vnodes: 16,
             read_level: ConsistencyLevel::One,
             write_level: ConsistencyLevel::One,
@@ -145,10 +152,24 @@ mod tests {
 
     #[test]
     fn config_serializes() {
-        let cfg = ClusterConfig::lan_test(4, 3);
+        let mut cfg = ClusterConfig::lan_test(4, 3);
+        cfg.partitioner = Partitioner::Ordered;
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ClusterConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.replication_factor, 3);
         assert_eq!(back.topology.node_count(), 4);
+        assert_eq!(back.partitioner, Partitioner::Ordered);
+    }
+
+    #[test]
+    fn configs_without_a_partitioner_field_default_to_hash() {
+        // Pre-PR configs serialized before the partitioner existed must
+        // keep deserializing (and keep their hash-ring behaviour).
+        let cfg = ClusterConfig::lan_test(4, 3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json.replace("\"partitioner\":\"Hash\",", "");
+        assert_ne!(json, stripped, "the field must have been present");
+        let back: ClusterConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.partitioner, Partitioner::Hash);
     }
 }

@@ -5,8 +5,14 @@
 //! substitute substrate: a discrete-event simulation of a Cassandra-like
 //! storage cluster with
 //!
-//! * a consistent-hash ring with virtual nodes and `SimpleStrategy` /
-//!   `NetworkTopologyStrategy` replica placement ([`Ring`]),
+//! * a pluggable [`Partitioner`] — consistent-hash token ring with virtual
+//!   nodes (Cassandra's random partitioner) or contiguous key-range
+//!   ownership (ordered partitioner, coverage-faithful range scans) — with
+//!   `SimpleStrategy` / `NetworkTopologyStrategy` replica placement
+//!   ([`Ring`]),
+//! * one generic paged direct-index table ([`PagedTable`]) backing every
+//!   dense-key structure (replica stores, staleness oracle, placement
+//!   caches, the ordered partitioner's range index),
 //! * per-operation tunable consistency levels ONE / TWO / THREE / QUORUM /
 //!   LOCAL_QUORUM / EACH_QUORUM / ALL / EXACT(n) ([`ConsistencyLevel`]),
 //! * coordinator-based write and read paths with asynchronous propagation to
@@ -38,6 +44,7 @@ pub mod config;
 pub mod consistency;
 pub mod metrics;
 pub mod oracle;
+pub mod paged;
 pub mod ring;
 pub mod slab;
 pub mod storage;
@@ -48,7 +55,8 @@ pub use config::ClusterConfig;
 pub use consistency::ConsistencyLevel;
 pub use metrics::{ClusterMetrics, LatencyReservoir, LatencyStats, TrafficBytes};
 pub use oracle::StalenessOracle;
-pub use ring::{ReplicationStrategy, Ring};
+pub use paged::PagedTable;
+pub use ring::{Partitioner, ReplicationStrategy, Ring, ORDERED_SLICE_KEYS};
 pub use slab::OpSlab;
 pub use storage::ReplicaStore;
 pub use types::{CompletedOp, Key, OpId, OpKind, OpStatus, StoredValue, Version};

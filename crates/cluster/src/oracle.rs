@@ -9,22 +9,17 @@
 //! Harmony model use, so measured and estimated rates are directly
 //! comparable (as they are in the paper's Harmony evaluation).
 //!
-//! Like [`ReplicaStore`](crate::ReplicaStore), the per-key state lives in a
-//! paged direct-index table over the dense record-id space instead of a hash
-//! map: `expected_version` / `record_ack` / `classify_read` run once per
-//! simulated operation, and with direct indexing each is a shift, a mask and
-//! a load. Each slot keeps the binary-searched bounded version history that
-//! staleness *depth* is computed from.
+//! Like [`ReplicaStore`](crate::ReplicaStore), the per-key state lives in
+//! the shared [`PagedTable`] over the dense record-id space instead of a
+//! hash map: `expected_version` / `record_ack` / `classify_read` run once
+//! per simulated operation, and with direct indexing each is a shift, a
+//! mask and a load. Each slot keeps the binary-searched bounded version
+//! history that staleness *depth* is computed from; vacancy is this table's
+//! own convention (`acked_writes == 0`), per the [`PagedTable`] contract.
 
+use crate::paged::PagedTable;
 use crate::types::{Key, Version};
 use std::collections::VecDeque;
-
-/// Slots per page of the per-key table (2^12, matching the replica store).
-const PAGE_BITS: u32 = 12;
-/// Number of slots in one page.
-const PAGE_SLOTS: usize = 1 << PAGE_BITS;
-/// Mask extracting the slot index within a page.
-const PAGE_MASK: u64 = PAGE_SLOTS as u64 - 1;
 
 /// How many recent acknowledged versions are kept per key for computing the
 /// staleness *depth*. Older history is dropped (the depth saturates), which
@@ -83,17 +78,29 @@ impl KeyHistory {
 }
 
 /// The staleness oracle.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StalenessOracle {
-    /// Per-key history, paged by `key >> PAGE_BITS` (pages allocated on the
+    /// Per-key history in the shared paged table (pages allocated on the
     /// first preload/ack that touches them; lookups never allocate).
-    pages: Vec<Option<Box<[KeyHistory]>>>,
+    table: PagedTable<KeyHistory>,
     /// Number of keys ever touched (slots with `acked_writes > 0`).
     keys: usize,
     stale_reads: u64,
     fresh_reads: u64,
     /// Sum of staleness depths over stale reads (for the average).
     stale_depth_sum: u64,
+}
+
+impl Default for StalenessOracle {
+    fn default() -> Self {
+        StalenessOracle {
+            table: PagedTable::new(KeyHistory::default()),
+            keys: 0,
+            stale_reads: 0,
+            fresh_reads: 0,
+            stale_depth_sum: 0,
+        }
+    }
 }
 
 /// Classification of one read by the oracle.
@@ -115,8 +122,7 @@ impl StalenessOracle {
     /// The history slot for `key`, if its page exists (never allocates).
     #[inline]
     fn slot(&self, key: Key) -> Option<&KeyHistory> {
-        let page = self.pages.get((key.0 >> PAGE_BITS) as usize)?.as_ref()?;
-        let h = &page[(key.0 & PAGE_MASK) as usize];
+        let h = self.table.get(key.0)?;
         (h.acked_writes > 0).then_some(h)
     }
 
@@ -124,17 +130,7 @@ impl StalenessOracle {
     /// counting the key when it is new.
     #[inline]
     fn slot_mut(&mut self, key: Key) -> &mut KeyHistory {
-        let page_idx = (key.0 >> PAGE_BITS) as usize;
-        if page_idx >= self.pages.len() {
-            self.pages.resize(page_idx + 1, None);
-        }
-        let page = self.pages[page_idx].get_or_insert_with(|| {
-            (0..PAGE_SLOTS)
-                .map(|_| KeyHistory::default())
-                .collect::<Vec<_>>()
-                .into_boxed_slice()
-        });
-        let h = &mut page[(key.0 & PAGE_MASK) as usize];
+        let h = self.table.get_mut(key.0);
         if h.acked_writes == 0 {
             self.keys += 1;
         }
@@ -240,6 +236,7 @@ impl StalenessOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paged::PAGE_SLOTS;
 
     #[test]
     fn fresh_reads_are_not_stale() {

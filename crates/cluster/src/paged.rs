@@ -1,0 +1,236 @@
+//! The one paged direct-index table all dense-key state is built on.
+//!
+//! The workload generators guarantee (and assert) the *key-density
+//! contract*: record ids are dense `u64`s below the configured record count.
+//! Every per-event per-key table exploits it with paged direct indexing
+//! instead of hashing — fixed 4096-slot pages allocated on first write, so a
+//! lookup is a shift, a mask and a load, and reads of never-written pages
+//! allocate nothing.
+//!
+//! PR 4 introduced that layout three times over ([`ReplicaStore`]
+//! (crate::ReplicaStore), the staleness oracle's per-key history, the
+//! ring-placement cache), each with a deliberately different vacancy
+//! convention (version-0, acked-0, `u32::MAX`). [`PagedTable`] is the single
+//! generic substrate those copies now share — and the ordered partitioner's
+//! per-slice range index is its fourth user:
+//!
+//! * **paging + first-touch allocation** live here, once;
+//! * **vacancy stays with the caller**: a fresh page is filled with the
+//!   caller-supplied `vacant` value, and the table never interprets it —
+//!   the replica store keeps "version 0 = absent", the oracle keeps
+//!   "`acked_writes == 0` = absent", the placement caches keep the
+//!   `u32::MAX` sentinel;
+//! * **multi-lane entries**: a slot can hold `lanes` consecutive values
+//!   (the placement caches store `RF` node ids per key/slice), with pages
+//!   sized `PAGE_SLOTS × lanes` so entries never straddle a page boundary.
+
+/// Slots per page (2^12). A page of 24-byte slots is ~96 KiB: large enough
+/// that paper-scale record counts touch a handful of pages, small enough
+/// that a sparse tail (workload-D/E insert growth) does not balloon memory.
+pub const PAGE_BITS: u32 = 12;
+/// Number of slots in one page.
+pub const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+/// Mask extracting the slot index within a page.
+pub const PAGE_MASK: u64 = PAGE_SLOTS as u64 - 1;
+
+/// A paged direct-index table over a dense `u64` slot space. See the module
+/// docs for the layout and the vacancy contract.
+#[derive(Debug, Clone)]
+pub struct PagedTable<T> {
+    /// Pages indexed by `slot >> PAGE_BITS`; `None` until first written.
+    pages: Vec<Option<Box<[T]>>>,
+    /// The value fresh pages are filled with. The table never interprets
+    /// it — vacancy semantics belong to the caller.
+    vacant: T,
+    /// Consecutive values per slot (1 for plain tables, `RF` for the
+    /// placement caches).
+    lanes: usize,
+}
+
+impl<T: Clone> PagedTable<T> {
+    /// An empty single-lane table whose fresh slots read as `vacant`.
+    pub fn new(vacant: T) -> Self {
+        Self::with_lanes(vacant, 1)
+    }
+
+    /// An empty table with `lanes` consecutive values per slot.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero.
+    pub fn with_lanes(vacant: T, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a slot holds at least one value");
+        PagedTable {
+            pages: Vec::new(),
+            vacant,
+            lanes,
+        }
+    }
+
+    /// Values per slot.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Drop every page (all slots read as vacant again), keeping the lane
+    /// count.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Drop every page and adopt a new lane count — the epoch-invalidation
+    /// path of the placement caches (the ring was rebuilt, possibly with a
+    /// different effective replication factor).
+    ///
+    /// # Panics
+    /// Panics if `lanes` is zero.
+    pub fn reset(&mut self, lanes: usize) {
+        assert!(lanes >= 1, "a slot holds at least one value");
+        self.pages.clear();
+        self.lanes = lanes;
+    }
+
+    /// The entry (all `lanes` values) of `slot`, if its page was ever
+    /// written. Never allocates: probing an untouched page returns `None`.
+    #[inline]
+    pub fn entry(&self, slot: u64) -> Option<&[T]> {
+        let page = self.pages.get((slot >> PAGE_BITS) as usize)?.as_deref()?;
+        let at = (slot & PAGE_MASK) as usize * self.lanes;
+        Some(&page[at..at + self.lanes])
+    }
+
+    /// The mutable entry of `slot`, allocating its page on first touch
+    /// (filled with the `vacant` value).
+    #[inline]
+    pub fn entry_mut(&mut self, slot: u64) -> &mut [T] {
+        let page_idx = (slot >> PAGE_BITS) as usize;
+        if page_idx >= self.pages.len() {
+            self.pages.resize(page_idx + 1, None);
+        }
+        let page = self.pages[page_idx]
+            .get_or_insert_with(|| vec![self.vacant.clone(); PAGE_SLOTS * self.lanes].into());
+        let at = (slot & PAGE_MASK) as usize * self.lanes;
+        &mut page[at..at + self.lanes]
+    }
+
+    /// Single-lane convenience: the value of `slot`, if its page exists.
+    #[inline]
+    pub fn get(&self, slot: u64) -> Option<&T> {
+        self.entry(slot).map(|e| &e[0])
+    }
+
+    /// Single-lane convenience: the mutable value of `slot`, allocating its
+    /// page on first touch.
+    #[inline]
+    pub fn get_mut(&mut self, slot: u64) -> &mut T {
+        &mut self.entry_mut(slot)[0]
+    }
+
+    /// The raw storage of page `page_idx` (`PAGE_SLOTS × lanes` values), if
+    /// allocated — the streaming-scan path: a range read walks whole pages
+    /// instead of probing slot by slot.
+    #[inline]
+    pub fn page(&self, page_idx: usize) -> Option<&[T]> {
+        self.pages.get(page_idx)?.as_deref()
+    }
+
+    /// Number of pages actually allocated (tests and memory diagnostics).
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_allocates_exactly_one_page() {
+        let mut t: PagedTable<u64> = PagedTable::new(0);
+        assert_eq!(t.allocated_pages(), 0);
+        assert_eq!(
+            t.get(5 * PAGE_SLOTS as u64 + 3),
+            None,
+            "probe allocates nothing"
+        );
+        assert_eq!(t.allocated_pages(), 0);
+        *t.get_mut(5 * PAGE_SLOTS as u64 + 3) = 7;
+        assert_eq!(t.allocated_pages(), 1, "one write, one page");
+        assert_eq!(t.get(5 * PAGE_SLOTS as u64 + 3), Some(&7));
+        // Neighbours on the same page read as the vacant fill.
+        assert_eq!(t.get(5 * PAGE_SLOTS as u64 + 4), Some(&0));
+        // Other pages stay unallocated.
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(100 * PAGE_SLOTS as u64), None);
+        assert_eq!(t.allocated_pages(), 1);
+    }
+
+    #[test]
+    fn adjacent_slots_across_a_page_boundary_are_independent_pages() {
+        let mut t: PagedTable<u32> = PagedTable::new(u32::MAX);
+        let boundary = PAGE_SLOTS as u64;
+        *t.get_mut(boundary - 1) = 1;
+        *t.get_mut(boundary) = 2;
+        assert_eq!(t.allocated_pages(), 2);
+        assert_eq!(t.get(boundary - 1), Some(&1));
+        assert_eq!(t.get(boundary), Some(&2));
+        // The page accessor exposes each side separately.
+        assert_eq!(t.page(0).unwrap()[PAGE_SLOTS - 1], 1);
+        assert_eq!(t.page(1).unwrap()[0], 2);
+        assert_eq!(t.page(2), None);
+    }
+
+    #[test]
+    fn vacancy_is_the_callers_convention() {
+        // version-0 (replica store): vacant slots read as 0.
+        let mut versions: PagedTable<u64> = PagedTable::new(0);
+        *versions.get_mut(9) = 42;
+        assert_eq!(*versions.get(10).unwrap(), 0, "version 0 = absent");
+        // acked-0 (oracle): the fill value is whatever the caller deems empty.
+        #[derive(Clone, Debug, PartialEq)]
+        struct Hist {
+            acked: u64,
+        }
+        let mut hists: PagedTable<Hist> = PagedTable::new(Hist { acked: 0 });
+        hists.get_mut(3).acked = 5;
+        assert_eq!(hists.get(4).unwrap().acked, 0, "acked 0 = absent");
+        // u32::MAX sentinel (placement caches).
+        let mut cache: PagedTable<u32> = PagedTable::with_lanes(u32::MAX, 3);
+        assert_eq!(cache.entry(17), None);
+        let entry = cache.entry_mut(17);
+        assert_eq!(entry, &[u32::MAX; 3], "fresh entry reads as the sentinel");
+        entry.copy_from_slice(&[4, 5, 6]);
+        assert_eq!(cache.entry(17), Some(&[4u32, 5, 6][..]));
+        assert_eq!(cache.entry(18), Some(&[u32::MAX; 3][..]));
+    }
+
+    #[test]
+    fn lanes_share_a_page_and_never_straddle_boundaries() {
+        let mut t: PagedTable<u32> = PagedTable::with_lanes(u32::MAX, 5);
+        let last = PAGE_MASK; // last slot of page 0
+        t.entry_mut(last).copy_from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(t.allocated_pages(), 1);
+        assert_eq!(t.page(0).unwrap().len(), PAGE_SLOTS * 5);
+        assert_eq!(t.entry(last), Some(&[1u32, 2, 3, 4, 5][..]));
+        assert_eq!(t.entry(last + 1), None, "next slot lives on page 1");
+    }
+
+    #[test]
+    fn reset_drops_pages_and_adopts_the_new_lane_count() {
+        let mut t: PagedTable<u32> = PagedTable::with_lanes(u32::MAX, 3);
+        t.entry_mut(7).copy_from_slice(&[1, 2, 3]);
+        t.reset(5);
+        assert_eq!(t.lanes(), 5);
+        assert_eq!(t.allocated_pages(), 0, "every entry invalidated");
+        assert_eq!(t.entry(7), None);
+        assert_eq!(t.entry_mut(7), &[u32::MAX; 5]);
+        t.clear();
+        assert_eq!(t.lanes(), 5, "clear keeps the lane count");
+        assert_eq!(t.allocated_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_lanes_rejected() {
+        let _: PagedTable<u32> = PagedTable::with_lanes(0, 0);
+    }
+}

@@ -1,21 +1,73 @@
-//! Consistent-hash ring partitioner and replica placement.
+//! Partitioning and replica placement: the consistent-hash token ring and
+//! the ordered (contiguous key-range) partitioner.
 //!
-//! Like Cassandra, keys are hashed onto a token ring; each node owns a set of
-//! virtual-node tokens, and the replicas of a key are the owners of the first
-//! distinct nodes encountered walking the ring clockwise from the key's
-//! token. Two placement strategies are provided:
+//! Like Cassandra, placement starts from a [`Partitioner`]:
 //!
-//! * [`ReplicationStrategy::Simple`] — the next `RF` distinct nodes on the
-//!   ring, regardless of datacenter (Cassandra's `SimpleStrategy`);
+//! * [`Partitioner::Hash`] — keys are hashed onto a token ring; each node
+//!   owns a set of virtual-node tokens, and the replicas of a key are the
+//!   owners of the first distinct nodes encountered walking the ring
+//!   clockwise from the key's token (Cassandra's random/Murmur3
+//!   partitioner). Consecutive record ids scatter over the ring, so a range
+//!   scan finds only a subset of its range on any one replica.
+//! * [`Partitioner::Ordered`] — the dense key space is cut into contiguous
+//!   4096-key *slices* ([`ORDERED_SLICE_BITS`], aligned with the paged
+//!   tables' page size); every key of a slice has the same replica set, so
+//!   a node owns contiguous key ranges (Cassandra's ordered partitioner).
+//!   Range scans are coverage-faithful: the owners of a slice hold *every*
+//!   record in it, and a scan that straddles a slice boundary gathers the
+//!   remainder from the next slice's owners. Computed placements are
+//!   memoized per slice in a [`PagedTable`] range index (the fourth user of
+//!   the shared paged substrate), invalidated wholesale when the ring is
+//!   rebuilt.
+//!
+//! On top of either partitioner, two placement strategies are provided:
+//!
+//! * [`ReplicationStrategy::Simple`] — the next `RF` distinct nodes in walk
+//!   order, regardless of datacenter (Cassandra's `SimpleStrategy`);
 //! * [`ReplicationStrategy::NetworkTopology`] — replicas spread over
 //!   datacenters as evenly as possible (Cassandra's
 //!   `NetworkTopologyStrategy`), which is how the paper deploys Cassandra
 //!   over two availability zones / two Grid'5000 sites.
 
+use crate::paged::PagedTable;
 use crate::types::Key;
 use concord_sim::{DcId, InlineVec, NodeId, Topology};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+/// How keys are mapped to owning nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Partitioner {
+    /// Consistent-hash token ring (Cassandra's random partitioner). The
+    /// default; all pre-existing behaviour.
+    #[default]
+    Hash,
+    /// Contiguous key-range ownership per node (Cassandra's ordered
+    /// partitioner): the key space is cut into 4096-key slices, adjacent
+    /// slices round-robin over the nodes, and crashed nodes' slices fall to
+    /// the next surviving node in id order.
+    Ordered,
+}
+
+impl Partitioner {
+    /// Parse a command-line name (`hash` | `ordered`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "hash" => Some(Partitioner::Hash),
+            "ordered" => Some(Partitioner::Ordered),
+            _ => None,
+        }
+    }
+
+    /// Short label for banners and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Partitioner::Hash => "hash",
+            Partitioner::Ordered => "ordered",
+        }
+    }
+}
 
 /// How replicas are placed across the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,6 +79,20 @@ pub enum ReplicationStrategy {
     NetworkTopology,
 }
 
+/// Keys per ordered-partitioner slice, as a shift (2^12 = 4096, matching the
+/// paged tables' page size, so a scan crossing an ownership boundary is also
+/// crossing a page boundary in every per-key table).
+pub const ORDERED_SLICE_BITS: u32 = 12;
+/// Number of consecutive keys in one ordered-partitioner slice.
+pub const ORDERED_SLICE_KEYS: u64 = 1 << ORDERED_SLICE_BITS;
+
+/// Slices the ordered partitioner's range index memoizes (2^22 slices =
+/// 2^34 keys, far beyond any dense-contract record count). Probing a slice
+/// past this bound — arbitrary keys from tests or tools — computes the
+/// placement without caching, so the direct-indexed memo can never be blown
+/// up by one stray sparse key.
+const MEMOIZED_SLICES: u64 = 1 << 22;
+
 /// 64-bit mixer used as the ring hash (SplitMix64 finalizer — well-spread,
 /// deterministic, dependency-free).
 #[inline]
@@ -37,16 +103,37 @@ fn ring_hash(value: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The token ring.
+/// The ordered partitioner's state: which nodes are in the ring, plus the
+/// per-slice range index memoizing computed placements.
+#[derive(Debug, Clone)]
+struct OrderedIndex {
+    /// `alive[node_id]` — false for nodes withdrawn from the ring. Slices of
+    /// a withdrawn node fall to the next alive node in id order, so
+    /// survivors keep their ranges across reconfigurations (mirroring the
+    /// token ring's stable-token property).
+    alive: Vec<bool>,
+    /// The per-slice range index: `slice → [node; RF]` with `u32::MAX` as
+    /// the not-yet-computed sentinel, RF lanes per slot. A [`PagedTable`]
+    /// like every other dense-key table; rebuilt rings start a fresh index.
+    /// Interior-mutable because placement lookups go through `&Ring`.
+    range_index: RefCell<PagedTable<u32>>,
+}
+
+/// The partitioner state plus placement configuration.
 ///
-/// Tokens are kept in a flat sorted array: a replica lookup is one binary
-/// search plus a clockwise walk over contiguous memory, instead of a B-tree
-/// range traversal — this lookup runs once per simulated write *and* read,
-/// so it is squarely on the hot path.
+/// For the hash partitioner, tokens are kept in a flat sorted array: a
+/// replica lookup is one binary search plus a clockwise walk over contiguous
+/// memory, instead of a B-tree range traversal — this lookup runs once per
+/// simulated write *and* read, so it is squarely on the hot path. The
+/// ordered partitioner keeps no tokens; its lookup is a shift plus a memo
+/// probe of the range index.
 #[derive(Debug, Clone)]
 pub struct Ring {
-    /// `(token, owning node)`, sorted by token.
+    /// `(token, owning node)`, sorted by token (hash partitioner only).
     tokens: Vec<(u64, NodeId)>,
+    /// Ordered-partitioner state; `None` under [`Partitioner::Hash`].
+    ordered: Option<OrderedIndex>,
+    partitioner: Partitioner,
     replication_factor: u32,
     strategy: ReplicationStrategy,
     /// Node → datacenter, copied from the topology for placement decisions.
@@ -62,6 +149,7 @@ impl Ring {
         replication_factor: u32,
         strategy: ReplicationStrategy,
         vnodes: u32,
+        partitioner: Partitioner,
     ) -> Self {
         assert!(replication_factor >= 1, "replication factor must be ≥ 1");
         assert!(
@@ -70,14 +158,22 @@ impl Ring {
             topology.node_count()
         );
         assert!(vnodes >= 1);
-        Self::excluding(topology, replication_factor, strategy, vnodes, |_| false)
+        Self::excluding(
+            topology,
+            replication_factor,
+            strategy,
+            vnodes,
+            partitioner,
+            |_| false,
+        )
     }
 
     /// Build a ring over the nodes of `topology` for which `excluded`
     /// returns `false` — the reconfiguration path for permanent node
-    /// crashes: a crashed node's vnode tokens are withdrawn, so its former
-    /// ranges fall to the next nodes on the ring (exactly what removing a
-    /// Cassandra node does to ownership).
+    /// crashes: a crashed node's vnode tokens (hash) or key slices
+    /// (ordered) are withdrawn, so its former ranges fall to the next nodes
+    /// in walk order (exactly what removing a Cassandra node does to
+    /// ownership).
     ///
     /// Unlike [`Ring::new`] this is lenient: if fewer than
     /// `replication_factor` nodes survive, the effective replication factor
@@ -88,18 +184,21 @@ impl Ring {
         replication_factor: u32,
         strategy: ReplicationStrategy,
         vnodes: u32,
+        partitioner: Partitioner,
         excluded: impl Fn(NodeId) -> bool,
     ) -> Self {
         assert!(vnodes >= 1);
         // Build through a BTreeMap to keep the original "last writer wins on
         // token collision" semantics, then flatten to a sorted array.
         let mut token_map = BTreeMap::new();
+        let mut alive_flags = vec![false; topology.node_count()];
         let mut alive = 0u32;
         for node in topology.nodes() {
             if excluded(node) {
                 continue;
             }
             alive += 1;
+            alive_flags[node.0 as usize] = true;
             for v in 0..vnodes {
                 // Derive deterministic, well-spread tokens per (node, vnode).
                 // Tokens depend only on (node, vnode), so the surviving
@@ -109,9 +208,22 @@ impl Ring {
             }
         }
         let node_dc = topology.nodes().map(|n| topology.dc_of(n)).collect();
+        let replication_factor = replication_factor.min(alive);
+        let ordered = match partitioner {
+            Partitioner::Hash => None,
+            Partitioner::Ordered => Some(OrderedIndex {
+                alive: alive_flags,
+                range_index: RefCell::new(PagedTable::with_lanes(
+                    u32::MAX,
+                    (replication_factor as usize).max(1),
+                )),
+            }),
+        };
         Ring {
             tokens: token_map.into_iter().collect(),
-            replication_factor: replication_factor.min(alive),
+            ordered,
+            partitioner,
+            replication_factor,
             strategy,
             node_dc,
             dc_count: topology.dc_count(),
@@ -126,6 +238,19 @@ impl Ring {
     /// The placement strategy.
     pub fn strategy(&self) -> ReplicationStrategy {
         self.strategy
+    }
+
+    /// The partitioner in effect.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// The ordered-partitioner slice a key belongs to (keys of one slice
+    /// share a replica set). Meaningful for any partitioner, used only by
+    /// the ordered one.
+    #[inline]
+    pub fn slice_of(key: Key) -> u64 {
+        key.0 >> ORDERED_SLICE_BITS
     }
 
     /// The token a key hashes to.
@@ -145,6 +270,15 @@ impl Ring {
     /// [`Ring::replicas`] — callers keep a scratch buffer alive across
     /// operations.
     pub fn replicas_into(&self, key: Key, replicas: &mut Vec<NodeId>) {
+        match self.partitioner {
+            Partitioner::Hash => self.hash_replicas_into(key, replicas),
+            Partitioner::Ordered => self.ordered_replicas_into(Self::slice_of(key), replicas),
+        }
+    }
+
+    /// Hash-partitioner placement: binary-search the key's token, walk the
+    /// ring clockwise.
+    fn hash_replicas_into(&self, key: Key, replicas: &mut Vec<NodeId>) {
         replicas.clear();
         let token = self.token_of(key);
         let rf = self.replication_factor as usize;
@@ -155,7 +289,64 @@ impl Ring {
             .iter()
             .chain(self.tokens[..start].iter())
             .map(|&(_, node)| node);
+        self.fill_replicas(walk, rf, replicas);
+    }
 
+    /// Ordered-partitioner placement: every key of a slice maps to the same
+    /// replica set — primary = the first alive node at or after
+    /// `slice % node_count` in id order, the rest following in walk order
+    /// (with the same DC balancing as the hash walk). Memoized per slice in
+    /// the range index.
+    fn ordered_replicas_into(&self, slice: u64, replicas: &mut Vec<NodeId>) {
+        replicas.clear();
+        let rf = self.replication_factor as usize;
+        if rf == 0 {
+            return; // fully crashed cluster
+        }
+        let index = self
+            .ordered
+            .as_ref()
+            .expect("ordered partitioner state exists");
+        // The range index is direct-indexed by slice, so it only memoizes
+        // the dense-contract key space; a probe far outside it (arbitrary
+        // keys in tests/tools) is computed without caching instead of
+        // materializing page pointers up to that slice.
+        let memoize = slice < MEMOIZED_SLICES;
+        if memoize {
+            let memo = index.range_index.borrow();
+            if let Some(entry) = memo.entry(slice) {
+                if entry[0] != u32::MAX {
+                    replicas.extend(entry.iter().map(|&n| NodeId(n)));
+                    return;
+                }
+            }
+        }
+        let total = index.alive.len();
+        let start = (slice % total as u64) as usize;
+        let walk = (start..start + total)
+            .map(|i| NodeId((i % total) as u32))
+            .filter(|n| index.alive[n.0 as usize]);
+        self.fill_replicas(walk, rf, replicas);
+        debug_assert_eq!(replicas.len(), rf, "placement yields exactly RF nodes");
+        if memoize && replicas.len() == rf {
+            let mut memo = index.range_index.borrow_mut();
+            let entry = memo.entry_mut(slice);
+            for (slot, node) in entry.iter_mut().zip(replicas.iter()) {
+                *slot = node.0;
+            }
+        }
+    }
+
+    /// Take the first `rf` distinct replicas from a node walk, applying the
+    /// configured placement strategy. Shared by both partitioners — the
+    /// hash partitioner feeds it the clockwise token walk, the ordered one
+    /// the id-order walk from a slice's primary position.
+    fn fill_replicas(
+        &self,
+        walk: impl Iterator<Item = NodeId>,
+        rf: usize,
+        replicas: &mut Vec<NodeId>,
+    ) {
         match self.strategy {
             ReplicationStrategy::Simple => {
                 for node in walk {
@@ -251,10 +442,18 @@ mod tests {
         Topology::spread(nodes, &[("dc-a", RegionId(0)), ("dc-b", RegionId(0))])
     }
 
+    fn hash_ring(topo: &Topology, rf: u32, strategy: ReplicationStrategy, vnodes: u32) -> Ring {
+        Ring::new(topo, rf, strategy, vnodes, Partitioner::Hash)
+    }
+
+    fn ordered_ring(topo: &Topology, rf: u32, strategy: ReplicationStrategy) -> Ring {
+        Ring::new(topo, rf, strategy, 16, Partitioner::Ordered)
+    }
+
     #[test]
     fn replicas_are_distinct_and_match_rf() {
         let topo = Topology::single_dc(10);
-        let ring = Ring::new(&topo, 3, ReplicationStrategy::Simple, 8);
+        let ring = hash_ring(&topo, 3, ReplicationStrategy::Simple, 8);
         for k in 0..1000 {
             let reps = ring.replicas(Key(k));
             assert_eq!(reps.len(), 3);
@@ -268,8 +467,8 @@ mod tests {
     #[test]
     fn placement_is_deterministic() {
         let topo = topo_2dc(8);
-        let ring1 = Ring::new(&topo, 3, ReplicationStrategy::NetworkTopology, 16);
-        let ring2 = Ring::new(&topo, 3, ReplicationStrategy::NetworkTopology, 16);
+        let ring1 = hash_ring(&topo, 3, ReplicationStrategy::NetworkTopology, 16);
+        let ring2 = hash_ring(&topo, 3, ReplicationStrategy::NetworkTopology, 16);
         for k in 0..500 {
             assert_eq!(ring1.replicas(Key(k)), ring2.replicas(Key(k)));
         }
@@ -278,7 +477,7 @@ mod tests {
     #[test]
     fn network_topology_spreads_over_dcs() {
         let topo = topo_2dc(10);
-        let ring = Ring::new(&topo, 4, ReplicationStrategy::NetworkTopology, 16);
+        let ring = hash_ring(&topo, 4, ReplicationStrategy::NetworkTopology, 16);
         for k in 0..500 {
             let reps = ring.replicas(Key(k));
             let dc_a = reps.iter().filter(|n| n.0 % 2 == 0).count();
@@ -294,7 +493,7 @@ mod tests {
     #[test]
     fn network_topology_with_odd_rf() {
         let topo = topo_2dc(10);
-        let ring = Ring::new(&topo, 5, ReplicationStrategy::NetworkTopology, 16);
+        let ring = hash_ring(&topo, 5, ReplicationStrategy::NetworkTopology, 16);
         for k in 0..200 {
             let reps = ring.replicas(Key(k));
             assert_eq!(reps.len(), 5);
@@ -307,7 +506,7 @@ mod tests {
     #[test]
     fn ownership_is_roughly_balanced() {
         let topo = Topology::single_dc(8);
-        let ring = Ring::new(&topo, 3, ReplicationStrategy::Simple, 64);
+        let ring = hash_ring(&topo, 3, ReplicationStrategy::Simple, 64);
         let ownership = ring.ownership(20_000);
         assert_eq!(ownership.len(), 8, "every node should own part of the ring");
         let ideal = 1.0 / 8.0;
@@ -322,7 +521,7 @@ mod tests {
     #[test]
     fn rf_one_gives_single_replica() {
         let topo = Topology::single_dc(4);
-        let ring = Ring::new(&topo, 1, ReplicationStrategy::Simple, 8);
+        let ring = hash_ring(&topo, 1, ReplicationStrategy::Simple, 8);
         for k in 0..100 {
             assert_eq!(ring.replicas(Key(k)).len(), 1);
             assert_eq!(ring.primary(Key(k)), ring.replicas(Key(k))[0]);
@@ -332,8 +531,15 @@ mod tests {
     #[test]
     fn excluding_withdraws_tokens_and_keeps_survivor_positions() {
         let topo = Topology::single_dc(6);
-        let full = Ring::new(&topo, 3, ReplicationStrategy::Simple, 16);
-        let partial = Ring::excluding(&topo, 3, ReplicationStrategy::Simple, 16, |n| n.0 == 2);
+        let full = hash_ring(&topo, 3, ReplicationStrategy::Simple, 16);
+        let partial = Ring::excluding(
+            &topo,
+            3,
+            ReplicationStrategy::Simple,
+            16,
+            Partitioner::Hash,
+            |n| n.0 == 2,
+        );
         assert_eq!(partial.replication_factor(), 3);
         for k in 0..500 {
             let reps = partial.replicas(Key(k));
@@ -352,10 +558,24 @@ mod tests {
     #[test]
     fn excluding_clamps_rf_to_survivors() {
         let topo = Topology::single_dc(4);
-        let ring = Ring::excluding(&topo, 3, ReplicationStrategy::Simple, 8, |n| n.0 >= 2);
+        let ring = Ring::excluding(
+            &topo,
+            3,
+            ReplicationStrategy::Simple,
+            8,
+            Partitioner::Hash,
+            |n| n.0 >= 2,
+        );
         assert_eq!(ring.replication_factor(), 2);
         assert_eq!(ring.replicas(Key(9)).len(), 2);
-        let empty = Ring::excluding(&topo, 3, ReplicationStrategy::Simple, 8, |_| true);
+        let empty = Ring::excluding(
+            &topo,
+            3,
+            ReplicationStrategy::Simple,
+            8,
+            Partitioner::Hash,
+            |_| true,
+        );
         assert_eq!(empty.replication_factor(), 0);
         assert!(empty.replicas(Key(1)).is_empty());
     }
@@ -364,18 +584,118 @@ mod tests {
     #[should_panic(expected = "exceeds node count")]
     fn rf_larger_than_cluster_rejected() {
         let topo = Topology::single_dc(2);
-        Ring::new(&topo, 3, ReplicationStrategy::Simple, 8);
+        hash_ring(&topo, 3, ReplicationStrategy::Simple, 8);
     }
 
     #[test]
     fn different_keys_map_to_different_primaries() {
         let topo = Topology::single_dc(16);
-        let ring = Ring::new(&topo, 3, ReplicationStrategy::Simple, 32);
+        let ring = hash_ring(&topo, 3, ReplicationStrategy::Simple, 32);
         let primaries: std::collections::HashSet<NodeId> =
             (0..2000).map(|k| ring.primary(Key(k))).collect();
         assert!(
             primaries.len() > 10,
             "keys should spread over many primaries"
         );
+    }
+
+    // ---- ordered partitioner ----
+
+    #[test]
+    fn ordered_keys_of_one_slice_share_a_replica_set() {
+        let topo = Topology::single_dc(6);
+        let ring = ordered_ring(&topo, 3, ReplicationStrategy::Simple);
+        let slice0 = ring.replicas(Key(0));
+        assert_eq!(slice0.len(), 3);
+        for k in 0..ORDERED_SLICE_KEYS {
+            assert_eq!(ring.replicas(Key(k)), slice0, "key {k}");
+        }
+        // The next slice rotates to the next primary.
+        let slice1 = ring.replicas(Key(ORDERED_SLICE_KEYS));
+        assert_ne!(slice0, slice1);
+        assert_eq!(slice1[0], NodeId(1), "adjacent slices round-robin");
+    }
+
+    #[test]
+    fn ordered_placement_is_contiguous_and_deterministic() {
+        let topo = Topology::single_dc(5);
+        let ring1 = ordered_ring(&topo, 3, ReplicationStrategy::Simple);
+        let ring2 = ordered_ring(&topo, 3, ReplicationStrategy::Simple);
+        for slice in 0..10u64 {
+            let key = Key(slice * ORDERED_SLICE_KEYS + 7);
+            assert_eq!(ring1.replicas(key), ring2.replicas(key));
+            // Simple strategy: consecutive nodes in id order, wrapping.
+            let reps = ring1.replicas(key);
+            let start = (slice % 5) as u32;
+            let expect: Vec<NodeId> = (0..3).map(|i| NodeId((start + i) % 5)).collect();
+            assert_eq!(reps, expect, "slice {slice}");
+        }
+    }
+
+    #[test]
+    fn ordered_network_topology_balances_dcs() {
+        let topo = topo_2dc(8);
+        let ring = ordered_ring(&topo, 4, ReplicationStrategy::NetworkTopology);
+        for slice in 0..16u64 {
+            let reps = ring.replicas(Key(slice * ORDERED_SLICE_KEYS));
+            assert_eq!(reps.len(), 4);
+            let dc_a = reps.iter().filter(|n| n.0 % 2 == 0).count();
+            assert_eq!(dc_a, 2, "slice {slice}: {reps:?} must be 2+2 over DCs");
+        }
+    }
+
+    #[test]
+    fn ordered_excluding_moves_only_the_crashed_nodes_ranges() {
+        let topo = Topology::single_dc(6);
+        let full = ordered_ring(&topo, 3, ReplicationStrategy::Simple);
+        let partial = Ring::excluding(
+            &topo,
+            3,
+            ReplicationStrategy::Simple,
+            16,
+            Partitioner::Ordered,
+            |n| n.0 == 2,
+        );
+        for slice in 0..24u64 {
+            let key = Key(slice * ORDERED_SLICE_KEYS);
+            let reps = partial.replicas(key);
+            assert_eq!(reps.len(), 3);
+            assert!(!reps.contains(&NodeId(2)), "crashed node owns nothing");
+            // Survivors that were replicas before stay replicas, in order —
+            // the crashed node's ranges fall to the next alive node.
+            let survivors: Vec<NodeId> = full
+                .replicas(key)
+                .into_iter()
+                .filter(|n| n.0 != 2)
+                .collect();
+            assert_eq!(&reps[..survivors.len()], &survivors[..], "slice {slice}");
+        }
+    }
+
+    #[test]
+    fn ordered_fully_crashed_ring_maps_to_no_replicas() {
+        let topo = Topology::single_dc(4);
+        let empty = Ring::excluding(
+            &topo,
+            3,
+            ReplicationStrategy::Simple,
+            8,
+            Partitioner::Ordered,
+            |_| true,
+        );
+        assert_eq!(empty.replication_factor(), 0);
+        assert!(empty.replicas(Key(1)).is_empty());
+    }
+
+    #[test]
+    fn partitioner_parsing_and_labels() {
+        assert_eq!(Partitioner::from_name("hash"), Some(Partitioner::Hash));
+        assert_eq!(
+            Partitioner::from_name("ordered"),
+            Some(Partitioner::Ordered)
+        );
+        assert_eq!(Partitioner::from_name("range"), None);
+        assert_eq!(Partitioner::default(), Partitioner::Hash);
+        assert_eq!(Partitioner::Ordered.label(), "ordered");
     }
 }

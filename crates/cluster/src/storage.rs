@@ -9,12 +9,14 @@
 //! Record keys are **dense `u64` record ids** — the workload generators
 //! allocate them contiguously from 0 and assert they stay below the
 //! configured record count (see `concord_workload::generators`). The store
-//! exploits that contract: instead of a hash map it keeps a paged
-//! direct-index table (fixed-size pages allocated on first write), so
-//! `read` / `apply_write` / `preload` are a shift, a mask and a load — no
-//! hash, no probe sequence, no tombstones. A slot is occupied iff its
-//! version is non-zero ([`Version::NONE`] never names a real write, which
-//! the write paths assert), so presence costs no extra bit.
+//! exploits that contract: instead of a hash map it keeps its slots in a
+//! [`PagedTable`] (the shared paged direct-index substrate, fixed 4096-slot
+//! pages allocated on first write), so `read` / `apply_write` / `preload`
+//! are a shift, a mask and a load — no hash, no probe sequence, no
+//! tombstones. Vacancy is this store's own convention, per the table's
+//! contract: a slot is occupied iff its version is non-zero
+//! ([`Version::NONE`] never names a real write, which the write paths
+//! assert), so presence costs no extra bit.
 //!
 //! Sequential record ids are contiguous in memory, which is what makes the
 //! YCSB-E range-read path ([`ReplicaStore::read_range`]) a streaming load
@@ -25,17 +27,9 @@
 //! "absent" without materializing the page, so a scan running past the
 //! loaded key space stays allocation-free.
 
+use crate::paged::{PagedTable, PAGE_BITS, PAGE_MASK, PAGE_SLOTS};
 use crate::types::{Key, StoredValue, Version};
 use concord_sim::SimTime;
-
-/// Slots per page (2^12). A page of 24-byte slots is ~96 KiB: large enough
-/// that paper-scale record counts touch a handful of pages, small enough
-/// that a sparse tail (workload-D/E insert growth) does not balloon memory.
-const PAGE_BITS: u32 = 12;
-/// Number of slots in one page.
-const PAGE_SLOTS: usize = 1 << PAGE_BITS;
-/// Mask extracting the slot index within a page.
-const PAGE_MASK: u64 = PAGE_SLOTS as u64 - 1;
 
 /// A vacant slot: version 0 ([`Version::NONE`]) marks absence.
 const EMPTY_SLOT: StoredValue = StoredValue {
@@ -57,12 +51,12 @@ pub struct RangeRead {
     pub bytes: u64,
 }
 
-/// The local storage of one replica node: a paged direct-index table over
-/// dense record ids (see the module docs for the layout).
-#[derive(Debug, Clone, Default)]
+/// The local storage of one replica node: a [`PagedTable`] over dense record
+/// ids (see the module docs for the layout).
+#[derive(Debug, Clone)]
 pub struct ReplicaStore {
-    /// Pages indexed by `key >> PAGE_BITS`; `None` until first written.
-    pages: Vec<Option<Box<[StoredValue]>>>,
+    /// The slot table; a slot is occupied iff its version is non-zero.
+    table: PagedTable<StoredValue>,
     /// Number of occupied slots (distinct keys stored).
     keys: usize,
     bytes_stored: u64,
@@ -73,31 +67,29 @@ pub struct ReplicaStore {
     superseded_writes: u64,
 }
 
+impl Default for ReplicaStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ReplicaStore {
     /// An empty store.
     pub fn new() -> Self {
-        Self::default()
+        ReplicaStore {
+            table: PagedTable::new(EMPTY_SLOT),
+            keys: 0,
+            bytes_stored: 0,
+            write_ops: 0,
+            read_ops: 0,
+            superseded_writes: 0,
+        }
     }
 
     /// The slot for `key`, if its page exists (never allocates).
     #[inline]
     fn slot(&self, key: Key) -> Option<&StoredValue> {
-        let page = self.pages.get((key.0 >> PAGE_BITS) as usize)?.as_ref()?;
-        Some(&page[(key.0 & PAGE_MASK) as usize])
-    }
-
-    /// The slot for `key`, allocating its page on first touch. A free
-    /// function over the page table so callers can keep updating the
-    /// store's counters while the slot borrow is live.
-    #[inline]
-    fn slot_mut(pages: &mut Vec<Option<Box<[StoredValue]>>>, key: Key) -> &mut StoredValue {
-        let page_idx = (key.0 >> PAGE_BITS) as usize;
-        if page_idx >= pages.len() {
-            pages.resize(page_idx + 1, None);
-        }
-        let page =
-            pages[page_idx].get_or_insert_with(|| vec![EMPTY_SLOT; PAGE_SLOTS].into_boxed_slice());
-        &mut page[(key.0 & PAGE_MASK) as usize]
+        self.table.get(key.0)
     }
 
     /// Apply a write. Returns `true` if the value was installed, `false` if a
@@ -105,7 +97,7 @@ impl ReplicaStore {
     pub fn apply_write(&mut self, key: Key, version: Version, size: u32, at: SimTime) -> bool {
         debug_assert!(version.exists(), "writes carry a real (non-zero) version");
         self.write_ops += 1;
-        let slot = Self::slot_mut(&mut self.pages, key);
+        let slot = self.table.get_mut(key.0);
         if slot.version >= version {
             // Occupied slots always beat the write here; a vacant slot
             // (version 0) can never reach this arm because real versions
@@ -133,7 +125,7 @@ impl ReplicaStore {
     /// replaces the old payload's size instead of double-counting it.
     pub fn preload(&mut self, key: Key, version: Version, size: u32) {
         debug_assert!(version.exists(), "preloads carry a real (non-zero) version");
-        let slot = Self::slot_mut(&mut self.pages, key);
+        let slot = self.table.get_mut(key.0);
         if slot.version.exists() {
             self.bytes_stored = self.bytes_stored - slot.size as u64 + size as u64;
         } else {
@@ -173,7 +165,7 @@ impl ReplicaStore {
             let slot_idx = (key & PAGE_MASK) as usize;
             // Slots to take from this page before crossing its boundary.
             let run = ((PAGE_SLOTS - slot_idx) as u32).min(remaining);
-            if let Some(Some(page)) = self.pages.get(page_idx) {
+            if let Some(page) = self.table.page(page_idx) {
                 for slot in &page[slot_idx..slot_idx + run as usize] {
                     if slot.version.exists() {
                         out.records += 1;
@@ -288,11 +280,11 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(s.key_count(), 1);
-        assert_eq!(s.pages.iter().filter(|p| p.is_some()).count(), 1);
+        assert_eq!(s.table.allocated_pages(), 1);
         // Reading unwritten pages allocates nothing.
         assert!(s.peek(Key(0)).is_none());
         assert!(s.peek(Key(100 * PAGE_SLOTS as u64)).is_none());
-        assert_eq!(s.pages.iter().filter(|p| p.is_some()).count(), 1);
+        assert_eq!(s.table.allocated_pages(), 1);
     }
 
     #[test]

@@ -97,6 +97,13 @@ pub struct CompletedOp {
     /// For stale reads: how many acknowledged writes the returned value lags
     /// behind (0 for fresh reads and writes).
     pub staleness_depth: u32,
+    /// For reads: number of records in the data responses returned to the
+    /// client (1/0 for point reads; for range scans, the scan's *coverage* —
+    /// under hash partitioning the subset of the range the data replica
+    /// owns, under the ordered partitioner the full contiguous range,
+    /// gathered across ownership boundaries). 0 for writes; for timed-out
+    /// reads, whatever partial data arrived before the timeout.
+    pub records_returned: u32,
 }
 
 impl CompletedOp {
@@ -136,6 +143,7 @@ mod tests {
             returned_version: Version(3),
             stale: false,
             staleness_depth: 0,
+            records_returned: 1,
         };
         assert_eq!(op.latency(), SimDuration::from_millis(4));
     }

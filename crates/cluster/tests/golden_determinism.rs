@@ -15,7 +15,8 @@
 //! and update the constants.
 
 use concord_cluster::{
-    Cluster, ClusterConfig, ConsistencyLevel, OpKind, OpStatus, ReplicationStrategy,
+    Cluster, ClusterConfig, ConsistencyLevel, OpKind, OpStatus, Partitioner, ReplicationStrategy,
+    ORDERED_SLICE_KEYS,
 };
 use concord_sim::{NetworkModel, RegionId, SimDuration, SimTime, Topology};
 
@@ -363,6 +364,108 @@ fn golden_ycsb_e_scan_run() {
     assert!(c.metrics().storage_read_ops > 40_000);
 }
 
+/// Ordered-partitioner YCSB-E scan scenario: the same weak-level scan churn
+/// as the hash golden above, but under contiguous key-range ownership and a
+/// record space spanning two ownership slices, so a steady share of the
+/// scans straddles the boundary and gathers from both segments' owners.
+/// Pins the ordered placement, the segment fan-out, multi-replica gather
+/// and the full-coverage contract byte-for-byte. (Captured at the
+/// introduction of the ordered partitioner; there is no pre-refactor
+/// digest.)
+#[test]
+fn golden_ordered_scan_run() {
+    let mut cfg = ClusterConfig::lan_test(6, 5);
+    cfg.topology = Topology::spread(
+        6,
+        &[("site-rennes", RegionId(0)), ("site-sophia", RegionId(0))],
+    );
+    cfg.network = NetworkModel::grid5000_like();
+    cfg.strategy = ReplicationStrategy::NetworkTopology;
+    cfg.read_repair = true;
+    cfg.partitioner = Partitioner::Ordered;
+    let mut c = Cluster::new(cfg, 43);
+    let records = 2 * ORDERED_SLICE_KEYS;
+    c.load_records((0..records).map(|k| (k, 200)));
+    c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+    let mut at = SimTime::ZERO;
+    let mut scanned_records = 0u64;
+    let mut boundary_scans = 0u64;
+    for i in 0..3_000u64 {
+        at += SimDuration::from_micros(400);
+        // Each group of four ops shares one anchor (one write, three scans
+        // racing its propagation window, like the hash scan golden). Odd
+        // groups pin the anchor just below the ownership boundary so a
+        // steady share of scans crosses it; even groups stride over the
+        // whole two-slice space.
+        let group = i / 4;
+        let hot = if group % 2 == 1 {
+            ORDERED_SLICE_KEYS - 1 - (group % 20)
+        } else {
+            (group * 131) % (records - 40)
+        };
+        if i % 4 == 0 {
+            c.submit_write_at(hot, 200, at);
+        } else {
+            let len = 1 + (i % 40) as u32;
+            if hot < ORDERED_SLICE_KEYS && hot + len as u64 > ORDERED_SLICE_KEYS {
+                boundary_scans += 1;
+            }
+            scanned_records += len as u64;
+            c.submit_scan_at(hot, len, at);
+        }
+    }
+    assert!(
+        boundary_scans > 10,
+        "the scenario must keep straddling the ownership boundary ({boundary_scans})"
+    );
+    let mut records_returned = 0u64;
+    let mut d = RunDigest::default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fnv = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for op in c.run_to_completion(u64::MAX) {
+        d.ops += 1;
+        if op.stale {
+            d.stale += 1;
+        }
+        if op.status == OpStatus::Timeout {
+            d.timeouts += 1;
+        }
+        d.latency_sum_us += op.latency().as_micros();
+        records_returned += op.records_returned as u64;
+        fnv(&mut h, op.completed_at.as_micros());
+        fnv(&mut h, op.returned_version.0);
+        fnv(&mut h, op.records_returned as u64);
+    }
+    d.checksum = h;
+    maybe_print("ordered_scan", &d, &c);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("ordered_scan records_returned={records_returned} (submitted {scanned_records})");
+    }
+
+    assert_eq!(d.ops, 3_000);
+    assert_eq!(d.timeouts, 0);
+    // The full-coverage contract, in aggregate: every scanned record that
+    // exists is returned (anchors stay ≥ 40 below the end of the loaded
+    // space, so every probed slot exists).
+    assert_eq!(
+        records_returned, scanned_records,
+        "ordered scans must return exactly their contiguous ranges"
+    );
+    assert_eq!(d.stale, GOLDEN_ORDERED.0);
+    assert_eq!(d.latency_sum_us, GOLDEN_ORDERED.1);
+    assert_eq!(d.checksum, GOLDEN_ORDERED.2);
+    assert_eq!(c.events_processed(), GOLDEN_ORDERED.3);
+    assert_eq!(
+        (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
+        GOLDEN_ORDERED.4,
+        "segmented scans stay metered one storage read per probed record"
+    );
+    assert_eq!(c.metrics().traffic.total(), GOLDEN_ORDERED.5);
+}
+
 // Captured values (pre-refactor implementation, seeds as above):
 // (stale, latency_sum_us, checksum, events, now_us, messages, traffic_total,
 //  traffic_inter_dc, (storage_read_ops, storage_write_ops)).
@@ -399,4 +502,16 @@ const GOLDEN_SCAN: (u64, u64, u64, u64, (u64, u64), u64) = (
     24_000,
     (47_250, 3_750),
     9_266_200,
+);
+// Ordered-partitioner scan digest (captured at the introduction of the
+// ordered partitioner; re-capture with GOLDEN_PRINT=1 after intentional
+// semantic changes): (stale, latency_sum_us, checksum, events,
+// (storage_read_ops, storage_write_ops), traffic_total).
+const GOLDEN_ORDERED: (u64, u64, u64, u64, (u64, u64), u64) = (
+    1_002,
+    1_572_569,
+    9619850606259622177,
+    26_931,
+    (47_250, 3_750),
+    11_316_320,
 );

@@ -66,6 +66,24 @@ impl<T: Copy + Default> InlineVec<T> {
         self.spill.clear();
     }
 
+    /// The element at `idx` (insertion order), if present.
+    pub fn get(&self, idx: usize) -> Option<&T> {
+        if idx < self.len as usize {
+            Some(&self.buf[idx])
+        } else {
+            self.spill.get(idx - self.len as usize)
+        }
+    }
+
+    /// The mutable element at `idx` (insertion order), if present.
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut T> {
+        if idx < self.len as usize {
+            Some(&mut self.buf[idx])
+        } else {
+            self.spill.get_mut(idx - self.len as usize)
+        }
+    }
+
     /// Iterate over the elements in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.buf[..self.len as usize]
@@ -113,6 +131,20 @@ mod tests {
         assert_eq!(v.len(), 20);
         let collected: Vec<u32> = v.iter().copied().collect();
         assert_eq!(collected, (0..20u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_access_spans_inline_and_spill() {
+        let mut v: InlineVec<u32> = (0..12u32).collect();
+        assert_eq!(v.get(0), Some(&0));
+        assert_eq!(v.get(7), Some(&7), "last inline element");
+        assert_eq!(v.get(8), Some(&8), "first spilled element");
+        assert_eq!(v.get(11), Some(&11));
+        assert_eq!(v.get(12), None);
+        *v.get_mut(3).unwrap() = 30;
+        *v.get_mut(10).unwrap() = 100;
+        let collected: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(collected, vec![0, 1, 2, 30, 4, 5, 6, 7, 8, 9, 100, 11]);
     }
 
     #[test]

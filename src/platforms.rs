@@ -13,7 +13,7 @@
 //! experiment fits in seconds on a laptop while preserving the topology
 //! (two datacenters stay two datacenters) and the replication factor.
 
-use concord_cluster::{ClusterConfig, ConsistencyLevel, ReplicationStrategy};
+use concord_cluster::{ClusterConfig, ConsistencyLevel, Partitioner, ReplicationStrategy};
 use concord_cost::PricingModel;
 use concord_sim::{DelayDistribution, NetworkModel, RegionId, SimDuration, Topology};
 
@@ -39,6 +39,7 @@ fn base_config(topology: Topology, network: NetworkModel, rf: u32) -> ClusterCon
         network,
         replication_factor: rf,
         strategy: ReplicationStrategy::NetworkTopology,
+        partitioner: Partitioner::Hash,
         vnodes: 16,
         read_level: ConsistencyLevel::One,
         write_level: ConsistencyLevel::One,

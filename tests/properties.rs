@@ -160,25 +160,31 @@ proptest! {
         prop_assert!(dec.estimated_stale_rate <= tolerance + 1e-9 || dec.read_replicas == 5);
     }
 
-    /// Replica placement: for any key the replica set has exactly RF distinct
-    /// nodes and is spread over both datacenters when RF ≥ 2 under
-    /// NetworkTopologyStrategy.
+    /// Replica placement: for any key — under either partitioner — the
+    /// replica set has exactly RF distinct nodes and is spread over both
+    /// datacenters when RF ≥ 2 under NetworkTopologyStrategy.
     #[test]
     fn replica_placement_invariants(key in any::<u64>(), rf in 2u32..6) {
         let topo = Topology::spread(8, &[("a", RegionId(0)), ("b", RegionId(0))]);
-        let ring = concord_cluster::Ring::new(
-            &topo,
-            rf,
-            concord_cluster::ReplicationStrategy::NetworkTopology,
-            16,
-        );
-        let replicas = ring.replicas(concord_cluster::Key(key));
-        prop_assert_eq!(replicas.len(), rf as usize);
-        let mut unique = replicas.clone();
-        unique.sort();
-        unique.dedup();
-        prop_assert_eq!(unique.len(), rf as usize);
-        let dc_a = replicas.iter().filter(|n| topo.dc_of(**n) == concord_sim::DcId(0)).count();
-        prop_assert!(dc_a >= 1 && dc_a < rf as usize, "replicas must span both DCs");
+        for partitioner in [
+            concord_cluster::Partitioner::Hash,
+            concord_cluster::Partitioner::Ordered,
+        ] {
+            let ring = concord_cluster::Ring::new(
+                &topo,
+                rf,
+                concord_cluster::ReplicationStrategy::NetworkTopology,
+                16,
+                partitioner,
+            );
+            let replicas = ring.replicas(concord_cluster::Key(key));
+            prop_assert_eq!(replicas.len(), rf as usize);
+            let mut unique = replicas.clone();
+            unique.sort();
+            unique.dedup();
+            prop_assert_eq!(unique.len(), rf as usize);
+            let dc_a = replicas.iter().filter(|n| topo.dc_of(**n) == concord_sim::DcId(0)).count();
+            prop_assert!(dc_a >= 1 && dc_a < rf as usize, "replicas must span both DCs");
+        }
     }
 }

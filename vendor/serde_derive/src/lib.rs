@@ -6,21 +6,29 @@
 //! mapped onto the shim's `serde::Value` data model (externally tagged enums,
 //! newtype structs transparent — matching real serde's JSON representation).
 //! Input is parsed directly from the `proc_macro` token stream; generated
-//! code is emitted as a string and re-parsed.
+//! code is emitted as a string and re-parsed. The only field attribute
+//! honoured is `#[serde(default)]` (absent fields fall back to
+//! `Default::default()` instead of erroring); everything else is skipped.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<(String, VariantShape)>),
 }
 
+/// One named field: its identifier plus whether `#[serde(default)]` was set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derive `serde::Serialize` (shim data model: `fn to_value(&self) -> Value`).
@@ -85,9 +93,19 @@ fn parse_input(input: TokenStream) -> (String, Shape) {
 
 /// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
 fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    skip_attrs_and_vis_collecting(tokens, i);
+}
+
+/// Like [`skip_attrs_and_vis`], additionally reporting whether one of the
+/// skipped attributes was `#[serde(default)]`.
+fn skip_attrs_and_vis_collecting(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(attr)) = tokens.get(*i + 1) {
+                    has_default |= attr_is_serde_default(attr.stream());
+                }
                 *i += 2; // '#' plus the bracket group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -97,27 +115,55 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1; // pub(crate) etc.
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
+    }
+}
+
+/// Whether an attribute's bracket content is `serde(..., default, ...)` —
+/// the *bare* form only. `#[serde(default = "path")]` names a fallback
+/// function this shim does not implement; honouring it as
+/// `Default::default()` would silently produce the wrong value, so it is
+/// rejected loudly instead.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            for (i, t) in args.iter().enumerate() {
+                if matches!(t, TokenTree::Ident(a) if a.to_string() == "default") {
+                    match args.get(i + 1) {
+                        None => return true,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => return true,
+                        _ => panic!(
+                            "serde shim derive supports only the bare #[serde(default)] \
+                             (no `default = \"path\"` fallback functions)"
+                        ),
+                    }
+                }
+            }
+            false
+        }
+        _ => false,
     }
 }
 
 /// Parse `name: Type, ...` fields, tracking `<...>` depth so commas inside
 /// generic arguments don't split fields.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = skip_attrs_and_vis_collecting(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
-        let field = match &tokens[i] {
+        let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
             other => panic!("expected field name, found {other}"),
         };
-        fields.push(field);
+        fields.push(Field { name, default });
         i += 1;
         // Skip `:` then the type, up to a top-level comma.
         let mut angle = 0i32;
@@ -212,7 +258,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .map(|Field { name: f, .. }| {
                     format!(
                         "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
                     )
@@ -255,10 +301,14 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
                         )
                     }
                     VariantShape::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let pushes: String = fields
                             .iter()
-                            .map(|f| {
+                            .map(|Field { name: f, .. }| {
                                 format!(
                                     "__inner.push((\"{f}\".to_string(), \
                                      ::serde::Serialize::to_value({f})));\n"
@@ -283,17 +333,27 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
     )
 }
 
+/// One `field: ...,` initializer for a named field. `#[serde(default)]`
+/// fields fall back to `Default::default()` when the serialized object does
+/// not carry them (matching real serde), which is what keeps configs
+/// serialized before a field existed deserializable.
+fn gen_field_init(field: &Field) -> String {
+    let f = &field.name;
+    if field.default {
+        format!(
+            "{f}: match ::serde::obj_field(__obj, \"{f}\") {{\n\
+             ::serde::Value::Null => ::std::default::Default::default(),\n\
+             __fv => ::serde::Deserialize::from_value(__fv)?,\n}},\n"
+        )
+    } else {
+        format!("{f}: ::serde::Deserialize::from_value(::serde::obj_field(__obj, \"{f}\"))?,\n")
+    }
+}
+
 fn gen_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::NamedStruct(fields) => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::obj_field(__obj, \"{f}\"))?,\n"
-                    )
-                })
-                .collect();
+            let inits: String = fields.iter().map(gen_field_init).collect();
             format!(
                 "let __obj = __v.as_object().ok_or_else(|| \
                  ::serde::Error::msg(\"expected object for {name}\"))?;\n\
@@ -347,15 +407,7 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
                         ))
                     }
                     VariantShape::Named(fields) => {
-                        let inits: String = fields
-                            .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(\
-                                     ::serde::obj_field(__obj, \"{f}\"))?,\n"
-                                )
-                            })
-                            .collect();
+                        let inits: String = fields.iter().map(gen_field_init).collect();
                         Some(format!(
                             "\"{v}\" => {{\nlet __obj = __inner.as_object().ok_or_else(|| \
                              ::serde::Error::msg(\"expected object for {name}::{v}\"))?;\n\
