@@ -8,8 +8,10 @@
 //!
 //! 1. a node crashes (ring reconfigures onto the survivors) and later
 //!    recovers;
-//! 2. the two sites partition (cross-site messages are lost) and later heal;
-//! 3. the inter-site link degrades 8× (WAN brown-out) and later restores.
+//! 2. another node goes down transiently — it stays in the ring, so writes
+//!    keep fanning out to it (hinted handoff's use case) — then comes back;
+//! 3. the two sites partition (cross-site messages are lost) and later heal;
+//! 4. the inter-site link degrades 8× (WAN brown-out) and later restores.
 //!
 //! Timed-out operations get one retry (`retry_on_timeout = 1`), so the
 //! report's `retries` column shows the extra work the faults induce.
@@ -19,8 +21,14 @@
 //! the per-seed reports are asserted **byte-identical**: fault scripts are
 //! part of the deterministic scenario, not a source of nondeterminism.
 //!
+//! `--repair hints|anti-entropy|full` turns on the repair plane for every
+//! point: the crash/recover leg then exercises hinted handoff and recovery
+//! migration, and the report grows hint/streaming columns plus the repair
+//! bytes the bill prices.
+//!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_faults -- --seeds 2            # PR smoke
+//! cargo run --release -p concord-bench --bin exp_faults -- --repair full --seeds 2
 //! cargo run --release -p concord-bench --bin exp_faults -- --scale 1.0 --seeds 8  # nightly
 //! ```
 
@@ -56,6 +64,8 @@ fn main() {
     let at = |frac: f64| span_secs * frac;
     let scenario = Scenario::open_poisson(rate).with_faults(vec![
         FaultEvent::at_secs(at(0.15), FaultAction::CrashNode(1)),
+        FaultEvent::at_secs(at(0.25), FaultAction::NodeDown(2)),
+        FaultEvent::at_secs(at(0.35), FaultAction::NodeUp(2)),
         FaultEvent::at_secs(at(0.40), FaultAction::RecoverNode(1)),
         FaultEvent::at_secs(at(0.50), FaultAction::PartitionDcs(0, 1)),
         FaultEvent::at_secs(at(0.70), FaultAction::HealDcs(0, 1)),
@@ -120,12 +130,51 @@ fn main() {
             "{:<28} {:>9} {:>8} {:>10} {:>7}",
             r.policy, r.timeouts, r.retries, r.messages_lost, r.faults_injected
         );
-        assert_eq!(r.faults_injected, 6, "every scripted fault must fire");
+        assert_eq!(r.faults_injected, 8, "every scripted fault must fire");
         assert!(
             r.messages_lost > 0,
             "{}: the partition window must drop messages",
             r.policy
         );
+    }
+    if let Some(mode) = harness.repair {
+        println!(
+            "policy                        hints-q  hints-rep  hints-drop  pages-cmp  recs-strm  repair-KB"
+        );
+        for r in &reports {
+            println!(
+                "{:<28} {:>8} {:>10} {:>11} {:>10} {:>10} {:>10.1}",
+                r.policy,
+                r.hints_queued,
+                r.hints_replayed,
+                r.hints_dropped,
+                r.repair_pages_compared,
+                r.repair_records_streamed,
+                r.repair_traffic.total() as f64 / 1024.0,
+            );
+            // The crash/recover leg guarantees work for whichever repair
+            // subsystems the mode enables; a silent zero would mean the
+            // flag never reached the cluster.
+            if mode.hints_enabled() {
+                assert!(
+                    r.hints_queued > 0,
+                    "{}: the crash window must queue hints",
+                    r.policy
+                );
+            }
+            if mode.anti_entropy_enabled() {
+                assert!(
+                    r.repair_pages_compared > 0,
+                    "{}: recovery must compare page summaries",
+                    r.policy
+                );
+            }
+            assert!(
+                r.repair_traffic.total() > 0,
+                "{}: the repair plane must move bytes",
+                r.policy
+            );
+        }
     }
     println!(
         "fault sweep: {} points, per-seed reports byte-identical across thread counts: {identical}",

@@ -27,9 +27,10 @@
 //! confidence intervals), `--threads <n>` (pool size), `--arrival
 //! closed:<clients>|poisson:<ops/s>|uniform:<ops/s>` (arrival-mode override),
 //! `--workload a..f` (YCSB mix override, including the latest-distribution D
-//! and short-scan E presets) and `--partitioner hash|ordered` (placement
+//! and short-scan E presets), `--partitioner hash|ordered` (placement
 //! mode: token-ring hash placement or contiguous key-range ownership with
-//! coverage-faithful scans).
+//! coverage-faithful scans) and `--repair off|hints|anti-entropy|full`
+//! (repair plane, below).
 //!
 //! ## Scenarios: arrival modes and fault scripts
 //!
@@ -68,6 +69,37 @@
 //! latencies can be validated against the histogram's ≤3% error bound via
 //! the opt-in exact recorder (`ClusterConfig::exact_latency_percentiles`,
 //! `LatencyStats::exact_quantile_ms`).
+//!
+//! ## The repair plane: `--repair off|hints|anti-entropy|full`
+//!
+//! By default a faulted run heals only incidentally: divergence left by an
+//! outage lingers until ordinary writes happen to overwrite it, and
+//! `exp_faults` shows the resulting post-recovery stale tail. `--repair`
+//! turns on the cluster's background repair plane
+//! (`ClusterConfig::repair`, `concord_cluster::RepairConfig`) for every
+//! platform the harness constructs:
+//!
+//! * **`hints`** — hinted handoff: writes fanning out to a *down-but-in-ring*
+//!   replica are queued (bounded per-destination, overflow metered and left
+//!   to anti-entropy) and replayed on a timer when the node comes back.
+//! * **`anti-entropy`** — background sweeps walk node pairs, compare cheap
+//!   per-page version digests, and stream only the strictly-newer records
+//!   of divergent pages; crash/recover reconfigurations additionally
+//!   schedule targeted recovery syncs so survivors (and later the rejoined
+//!   node) re-acquire the ranges that moved.
+//! * **`full`** — both.
+//!
+//! Repair work is metered (`hints_queued`/`hints_replayed`/`hints_dropped`,
+//! `repair_pages_compared`/`repair_records_streamed`, and a per-link-class
+//! `repair_traffic` breakdown in every `RunReport`) and its bytes flow into
+//! the billable traffic totals, so the bill prices convergence. With
+//! `--repair off` (the default) the repair plane adds **zero** events, RNG
+//! draws or meters — all pre-existing golden digests are byte-identical —
+//! and `golden_repair_run` pins the repair-on trajectory the same way.
+//! `examples/fault_injection.rs` runs the same faulted grid with repair off
+//! and full and prints what repair buys (the post-outage stale tail) against
+//! what it costs (the repair bytes on the bill's network line);
+//! `crates/cluster/tests/repair_plane.rs` pins both directions.
 //!
 //! ## The sweep engine and its determinism contract
 //!

@@ -6,8 +6,10 @@
 //! construction, run loop, table rendering). The shared pieces now live here:
 //!
 //! * [`Harness`] — common CLI surface (`--scale`, `--cluster-scale`,
-//!   `--platform`, `--seeds`, `--seed-base`, `--threads`) plus platform
-//!   lookup; `--threads` configures the global rayon pool for the process.
+//!   `--platform`, `--seeds`, `--seed-base`, `--threads`, plus the
+//!   `--arrival` / `--workload` / `--partitioner` / `--repair` overrides)
+//!   and platform lookup; `--threads` configures the global rayon pool for
+//!   the process.
 //! * [`Sweep`] — a declarative `(policy × seed)` grid over one
 //!   [`Experiment`]. [`Sweep::run`] executes every point **in parallel**
 //!   (each point owns its `Cluster`/`AdaptiveRuntime`, so points are
@@ -66,6 +68,13 @@ pub struct Harness {
     /// grids run through the same `Sweep` machinery. `None` keeps the
     /// platform's default (hash).
     pub partitioner: Option<Partitioner>,
+    /// Repair-plane override (`--repair off|hints|anti-entropy|full`):
+    /// which background repair subsystems the cluster runs — hinted
+    /// handoff, anti-entropy sweeps over page summaries, or both (which
+    /// also enables recovery migration after crash/recover faults).
+    /// Applied to every platform the harness constructs, like
+    /// `--partitioner`. `None` keeps the platform's default (off).
+    pub repair: Option<RepairMode>,
 }
 
 impl Harness {
@@ -122,6 +131,14 @@ impl Harness {
             Partitioner::from_name(name)
                 .unwrap_or_else(|| panic!("--partitioner {name}: unknown mode (hash|ordered)"))
         });
+        let repair = args.iter().position(|a| a == "--repair").map(|i| {
+            let name = args
+                .get(i + 1)
+                .expect("--repair needs a value (off|hints|anti-entropy|full)");
+            RepairMode::from_name(name).unwrap_or_else(|| {
+                panic!("--repair {name}: unknown mode (off|hints|anti-entropy|full)")
+            })
+        });
         Harness {
             args,
             scale,
@@ -131,6 +148,7 @@ impl Harness {
             arrival,
             workload,
             partitioner,
+            repair,
         }
     }
 
@@ -163,12 +181,34 @@ impl Harness {
         );
     }
 
+    /// Reject `--repair` for binaries that never build a cluster
+    /// (estimator-only grids): failing loudly beats silently labelling the
+    /// output with a mode that was never in effect.
+    pub fn forbid_repair_override(&self, why: &str) {
+        assert!(
+            self.repair.is_none(),
+            "--repair is not supported by this experiment: {why}"
+        );
+    }
+
     /// Apply the `--partitioner` override (if given) to a platform the
     /// binary constructed itself. [`Harness::cost_platform`] and
     /// [`Harness::harmony_platform`] already apply it.
     pub fn apply_partitioner(&self, mut platform: Platform) -> Platform {
         if let Some(partitioner) = self.partitioner {
             platform.cluster.partitioner = partitioner;
+        }
+        platform
+    }
+
+    /// Apply the `--repair` override (if given) to a platform the binary
+    /// constructed itself, replacing the platform's repair configuration
+    /// with the requested mode at built-in pacing defaults.
+    /// [`Harness::cost_platform`] and [`Harness::harmony_platform`]
+    /// already apply it.
+    pub fn apply_repair(&self, mut platform: Platform) -> Platform {
+        if let Some(mode) = self.repair {
+            platform.cluster.repair = RepairConfig::with_mode(mode);
         }
         platform
     }
@@ -210,23 +250,23 @@ impl Harness {
     }
 
     /// The cost-experiment platform for `--platform` at `--cluster-scale`,
-    /// with the `--partitioner` override applied.
+    /// with the `--partitioner` and `--repair` overrides applied.
     pub fn cost_platform(&self) -> Platform {
-        self.apply_partitioner(if self.platform.starts_with("ec2") {
+        self.apply_repair(self.apply_partitioner(if self.platform.starts_with("ec2") {
             concord::platforms::ec2_cost(self.scale.cluster)
         } else {
             concord::platforms::grid5000_cost(self.scale.cluster)
-        })
+        }))
     }
 
     /// The Harmony-experiment platform for `--platform` at `--cluster-scale`,
-    /// with the `--partitioner` override applied.
+    /// with the `--partitioner` and `--repair` overrides applied.
     pub fn harmony_platform(&self) -> Platform {
-        self.apply_partitioner(if self.platform.starts_with("ec2") {
+        self.apply_repair(self.apply_partitioner(if self.platform.starts_with("ec2") {
             concord::platforms::ec2_harmony(self.scale.cluster)
         } else {
             concord::platforms::grid5000_harmony(self.scale.cluster)
-        })
+        }))
     }
 
     /// Print the standard experiment banner.
@@ -569,10 +609,12 @@ mod tests {
         assert!(h.arrival.is_none());
         assert!(h.workload.is_none());
         assert!(h.partitioner.is_none());
+        assert!(h.repair.is_none());
         // Absent overrides are no-ops and pass the forbid checks.
         h.forbid_workload_override("n/a");
         h.forbid_arrival_override("n/a");
         h.forbid_partitioner_override("n/a");
+        h.forbid_repair_override("n/a");
     }
 
     #[test]
@@ -600,6 +642,33 @@ mod tests {
     #[should_panic(expected = "unknown mode")]
     fn unknown_partitioner_fails_loudly() {
         Harness::from_args(vec!["exp".into(), "--partitioner".into(), "range".into()]);
+    }
+
+    #[test]
+    fn harness_parses_the_repair_override() {
+        let args: Vec<String> = ["exp", "--repair", "full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let h = Harness::from_args(args);
+        assert_eq!(h.repair, Some(RepairMode::Full));
+        // Every harness-constructed platform runs under the override.
+        assert_eq!(h.cost_platform().cluster.repair.mode, RepairMode::Full);
+        assert_eq!(h.harmony_platform().cluster.repair.mode, RepairMode::Full);
+        let custom = h.apply_repair(concord::platforms::laptop());
+        assert_eq!(custom.cluster.repair.mode, RepairMode::Full);
+        // No override leaves the platform default (repair off) untouched.
+        let plain = Harness::from_args(vec!["exp".into()]);
+        assert_eq!(plain.cost_platform().cluster.repair.mode, RepairMode::Off);
+        // The hyphenated spelling parses too.
+        let h = Harness::from_args(vec!["exp".into(), "--repair".into(), "anti-entropy".into()]);
+        assert_eq!(h.repair, Some(RepairMode::AntiEntropy));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mode")]
+    fn unknown_repair_mode_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--repair".into(), "merkle".into()]);
     }
 
     #[test]

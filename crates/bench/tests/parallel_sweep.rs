@@ -148,6 +148,58 @@ fn fault_scenario_reports_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn repair_enabled_fault_reports_are_byte_identical_across_thread_counts() {
+    // The repair plane (hint replay timers, anti-entropy sweeps, recovery
+    // migration) runs inside each point's own cluster, so it must be as
+    // thread-count-invariant as everything else. Same fault script as
+    // above, repair fully on, plus a transient down/up window so hinted
+    // handoff has a destination that is down but still in the ring.
+    let mut experiment = fault_experiment();
+    experiment.platform.cluster.repair = RepairConfig::with_mode(RepairMode::Full);
+    let scenario = experiment.scenario().with_faults(vec![
+        FaultEvent::at_secs(0.05, FaultAction::CrashNode(1)),
+        FaultEvent::at_secs(0.08, FaultAction::NodeDown(2)),
+        FaultEvent::at_secs(0.14, FaultAction::NodeUp(2)),
+        FaultEvent::at_secs(0.20, FaultAction::RecoverNode(1)),
+    ]);
+    let experiment = experiment.with_scenario(scenario);
+    let seeds: Vec<u64> = (4099..4099 + 4).collect();
+    let sweep = Sweep::new(experiment)
+        .with_policies(&[PolicySpec::Eventual, PolicySpec::Quorum])
+        .with_seeds(&seeds);
+
+    let baseline: Vec<String> = pool(1)
+        .install(|| sweep.run())
+        .reports
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    assert_eq!(baseline.len(), 8, "2 policies × 4 seeds");
+    // The repair plane actually did work in every report: the down window
+    // queued hints and the crash/recover legs streamed records.
+    for json in &baseline {
+        assert!(!json.contains("\"hints_queued\": 0"), "hints must queue");
+        assert!(
+            !json.contains("\"repair_records_streamed\": 0"),
+            "recovery must stream records"
+        );
+    }
+
+    for threads in [2, 4, 8] {
+        let run: Vec<String> = pool(threads)
+            .install(|| sweep.run())
+            .reports
+            .iter()
+            .map(|r| r.to_json())
+            .collect();
+        assert_eq!(
+            run, baseline,
+            "repair-enabled reports diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn open_loop_adaptive_reports_are_byte_identical_across_thread_counts() {
     let experiment = small_experiment().with_arrival(ArrivalProcess::OpenLoopPoisson {
         ops_per_sec: 15_000.0,

@@ -146,6 +146,40 @@ enum Event {
     Tick {
         id: u64,
     },
+    /// Replay the next queued hint to a node that came back up (hinted
+    /// handoff; paced through the timer-wheel lane).
+    HintReplay {
+        node: NodeId,
+    },
+    /// One anti-entropy step: compare the per-page version summaries of the
+    /// next node pair in the sweep cycle and stream divergent pages.
+    AntiEntropy,
+    /// Recovery migration: synchronize `node` from its up peers (page
+    /// summaries compared, divergent pages streamed in). Scheduled when a
+    /// node rejoins the ring or when survivors acquire a crashed node's
+    /// ranges.
+    RepairSync {
+        node: NodeId,
+    },
+}
+
+/// Sentinel op id carried by background repair payloads (hint replays and
+/// anti-entropy streams). Repair writes never consult the op slab — the
+/// replica-done and dead-task paths return before touching it — so the
+/// sentinel only needs to be distinguishable in debug output.
+const REPAIR_OP_ID: OpId = OpId(u64::MAX);
+
+/// One queued hinted-handoff mutation: enough to re-issue the write to its
+/// destination once the node is back (key, version, byte size — the payload
+/// bytes themselves are not simulated, exactly like live writes).
+#[derive(Debug, Clone, Copy)]
+struct Hint {
+    /// Coordinator that queued the hint; the replay is metered on the
+    /// `from → destination` link.
+    from: NodeId,
+    key: Key,
+    version: Version,
+    size: u32,
 }
 
 /// A client operation waiting to start (scheduled arrival).
@@ -331,6 +365,28 @@ pub struct Cluster {
     outputs: VecDeque<ClusterOutput>,
     propagation_samples: Vec<SimDuration>,
 
+    // ---- background repair plane (inert unless `config.repair.mode` is
+    // enabled: no events, no RNG draws, no accounting with repair off) ----
+    /// Per-destination hinted-handoff queues, bounded by
+    /// `repair.hint_capacity_per_node`.
+    hints: Vec<VecDeque<Hint>>,
+    /// Whether a `HintReplay` chain is currently scheduled per node (avoids
+    /// double-scheduling when a node flaps up/down).
+    hint_replay_active: Vec<bool>,
+    /// Position in the node-pair enumeration of the sweep cycle.
+    sweep_cursor: u64,
+    /// Whether an `AntiEntropy` event is pending in the queue.
+    sweep_active: bool,
+    /// Whether the current sweep round streamed any records.
+    sweep_streamed: bool,
+    /// Consecutive sweep rounds that streamed nothing; the cycle parks
+    /// after one fully idle round and is resumed by fault transitions.
+    sweep_idle_rounds: u32,
+    /// Scratch for one page's records during an anti-entropy stream.
+    repair_page_scratch: Vec<(Key, Version, u32)>,
+    /// Scratch for ring-membership checks during an anti-entropy stream.
+    repair_member_scratch: Vec<NodeId>,
+
     // ---- hot-path acceleration state (no observable behaviour) ----
     /// Number of nodes currently marked down (fast path: pick a coordinator
     /// without materializing the up-node list).
@@ -480,7 +536,18 @@ impl Cluster {
         let effective_rf = ring.replication_factor() as usize;
         Cluster {
             ring,
-            stores: (0..n).map(|_| ReplicaStore::new()).collect(),
+            // Page summaries cost two mixes per installed write; only
+            // maintain them when an anti-entropy sweep could ever compare
+            // them.
+            stores: (0..n)
+                .map(|_| {
+                    if config.repair.mode.anti_entropy_enabled() {
+                        ReplicaStore::with_summaries()
+                    } else {
+                        ReplicaStore::new()
+                    }
+                })
+                .collect(),
             nodes: (0..n).map(|_| NodeRuntime::default()).collect(),
             queue: EventQueue::new(),
             rng: SimRng::new(seed),
@@ -505,6 +572,14 @@ impl Cluster {
             payload_live: 0,
             outputs: VecDeque::new(),
             propagation_samples: Vec::new(),
+            hints: (0..n).map(|_| VecDeque::new()).collect(),
+            hint_replay_active: vec![false; n],
+            sweep_cursor: 0,
+            sweep_active: false,
+            sweep_streamed: false,
+            sweep_idle_rounds: 0,
+            repair_page_scratch: Vec::new(),
+            repair_member_scratch: Vec::new(),
             down_count: 0,
             replica_scratch: Vec::with_capacity(config.replication_factor as usize),
             replica_cache: ReplicaCache::new(effective_rf),
@@ -655,21 +730,30 @@ impl Cluster {
     }
 
     /// Mark a node as down: it no longer applies writes nor answers reads.
+    /// With hinted handoff enabled, coordinators start queueing hints for
+    /// it; with anti-entropy enabled, the sweep cycle (re)starts so the
+    /// divergence accumulating while it is down gets reconciled.
     pub fn set_node_down(&mut self, node: NodeId) {
         let n = &mut self.nodes[node.0 as usize];
         if !n.down {
             n.down = true;
             self.down_count += 1;
+            self.resume_sweeps();
         }
     }
 
-    /// Bring a node back up (it missed the writes that happened while down;
-    /// they are repaired lazily by read repair if enabled).
+    /// Bring a node back up. Without the repair plane it simply missed the
+    /// writes that happened while down (repaired lazily by read repair if
+    /// enabled); with hinted handoff its queued hints start replaying
+    /// through the timer wheel, and with anti-entropy the sweep cycle
+    /// resumes to catch anything the hints missed.
     pub fn set_node_up(&mut self, node: NodeId) {
         let n = &mut self.nodes[node.0 as usize];
         if n.down {
             n.down = false;
             self.down_count -= 1;
+            self.start_hint_replay(node);
+            self.resume_sweeps();
         }
     }
 
@@ -695,18 +779,38 @@ impl Cluster {
             self.crashed[node.0 as usize] = true;
             self.set_node_down(node);
             self.rebuild_ring();
+            // Recovery migration: the survivors just acquired the crashed
+            // node's ranges (hash tokens or ordered slices) but hold only
+            // what asynchronous propagation happened to deliver. Schedule a
+            // synchronization of every survivor instead of silently serving
+            // the acquired ranges from whatever is on disk.
+            if self.config.repair.mode.anti_entropy_enabled() {
+                for peer in 0..self.node_count {
+                    if !self.nodes[peer].down {
+                        self.queue.schedule_now(Event::RepairSync {
+                            node: NodeId(peer as u32),
+                        });
+                    }
+                }
+            }
         }
     }
 
     /// Recover a crashed node: it rejoins the ring at its original token
     /// positions (tokens depend only on node and vnode ids) and starts
-    /// serving again. Writes it missed while crashed are repaired lazily by
-    /// read repair, exactly like a transiently down node.
+    /// serving again. Without the repair plane, the writes it missed while
+    /// crashed are repaired lazily by read repair; with it, queued hints
+    /// replay immediately (via [`Cluster::set_node_up`]) and — under
+    /// anti-entropy — a [`Event::RepairSync`] streams the returned ranges
+    /// back in from its peers before relying on sweeps for the long tail.
     pub fn recover_node(&mut self, node: NodeId) {
         if self.crashed[node.0 as usize] {
             self.crashed[node.0 as usize] = false;
             self.set_node_up(node);
             self.rebuild_ring();
+            if self.config.repair.mode.anti_entropy_enabled() {
+                self.queue.schedule_now(Event::RepairSync { node });
+            }
         }
     }
 
@@ -746,15 +850,23 @@ impl Cluster {
         let pair = Self::dc_pair(a, b);
         if pair.0 != pair.1 && !self.partitioned_dcs.contains(&pair) {
             self.partitioned_dcs.push(pair);
+            // Messages are about to be lost: keep (or put) the sweep cycle
+            // running so same-side divergence is reconciled meanwhile.
+            self.resume_sweeps();
         }
     }
 
     /// Heal a datacenter partition (no-op if the pair is not partitioned).
     /// Replicas that missed writes during the partition are repaired lazily
-    /// by read repair.
+    /// by read repair — and, with anti-entropy enabled, by the sweep cycle,
+    /// which resumes here to reconcile the divergence the partition built up.
     pub fn heal_dcs(&mut self, a: DcId, b: DcId) {
         let pair = Self::dc_pair(a, b);
+        let had = self.partitioned_dcs.len();
         self.partitioned_dcs.retain(|&p| p != pair);
+        if self.partitioned_dcs.len() != had {
+            self.resume_sweeps();
+        }
     }
 
     /// Whether a message between two datacenters would currently be dropped.
@@ -1030,6 +1142,9 @@ impl Cluster {
             } => self.on_read_response(now, op_id, from, version, size, records, segment),
             Event::OpTimeout { op_id } => self.on_timeout(now, op_id),
             Event::Tick { id } => self.outputs.push_back(ClusterOutput::Tick { id, at: now }),
+            Event::HintReplay { node } => self.on_hint_replay(now, node),
+            Event::AntiEntropy => self.on_anti_entropy(now),
+            Event::RepairSync { node } => self.on_repair_sync(now, node),
         }
     }
 
@@ -1072,6 +1187,312 @@ impl Cluster {
             }
         }
         delay
+    }
+
+    // ------------------------------------------------------------------
+    // Background repair plane: hinted handoff, anti-entropy sweeps,
+    // recovery migration. Every entry point guards on `config.repair.mode`
+    // before any side effect — with repair off, no event is scheduled, no
+    // RNG is drawn and no meter moves, so pre-repair goldens stay
+    // byte-identical.
+    // ------------------------------------------------------------------
+
+    /// Meter repair bytes `from → to` that never become a scheduled event
+    /// (page-summary exchanges): added to both the billable traffic meter
+    /// and the repair breakdown, no delay sampled, so summary comparisons
+    /// cost network bytes but not RNG draws.
+    fn account_repair_bytes(&mut self, from: NodeId, to: NodeId, bytes: u32) {
+        let class = self.link_class[from.0 as usize * self.node_count + to.0 as usize];
+        let total = bytes as u64 + self.config.message_overhead_bytes as u64;
+        self.metrics.traffic.add(class, total);
+        self.metrics.repair_traffic.add(class, total);
+        self.metrics.messages += 1;
+    }
+
+    /// Account a repair message that does travel (hint replay, streamed
+    /// record): billable traffic + repair breakdown + a sampled link delay.
+    fn account_repair_message(&mut self, from: NodeId, to: NodeId, bytes: u32) -> SimDuration {
+        let class = self.link_class[from.0 as usize * self.node_count + to.0 as usize];
+        self.metrics.repair_traffic.add(
+            class,
+            bytes as u64 + self.config.message_overhead_bytes as u64,
+        );
+        self.account_message(from, to, bytes)
+    }
+
+    /// Queue a hint for a down replica (bounded per destination; overflow is
+    /// metered and left for anti-entropy to reconcile).
+    fn queue_hint(&mut self, from: NodeId, to: NodeId, key: Key, version: Version, size: u32) {
+        let queue = &mut self.hints[to.0 as usize];
+        if queue.len() >= self.config.repair.hint_capacity() as usize {
+            self.metrics.hints_dropped += 1;
+            // Dropped hints fall through to anti-entropy (no-op unless the
+            // mode enables sweeps).
+            self.resume_sweeps();
+            return;
+        }
+        queue.push_back(Hint {
+            from,
+            key,
+            version,
+            size,
+        });
+        self.metrics.hints_queued += 1;
+    }
+
+    /// Start (or restart) the timer-wheel-paced hint replay chain to `node`
+    /// after it came back up. No-op when hints are disabled, the queue is
+    /// empty, or a chain is already scheduled.
+    fn start_hint_replay(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if !self.config.repair.mode.hints_enabled()
+            || self.hints[idx].is_empty()
+            || self.hint_replay_active[idx]
+        {
+            return;
+        }
+        self.hint_replay_active[idx] = true;
+        self.queue.schedule_timeout(
+            self.queue.now() + self.config.repair.replay_interval(),
+            Event::HintReplay { node },
+        );
+    }
+
+    /// Replay one queued hint to `node` as a background repair write and
+    /// chain the next replay through the timer wheel.
+    fn on_hint_replay(&mut self, now: SimTime, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.nodes[idx].down {
+            // The node flapped down again mid-replay: park the chain; the
+            // next set_node_up restarts it with the remaining hints.
+            self.hint_replay_active[idx] = false;
+            return;
+        }
+        let Some(hint) = self.hints[idx].pop_front() else {
+            self.hint_replay_active[idx] = false;
+            return;
+        };
+        self.metrics.hints_replayed += 1;
+        let delay = self.account_repair_message(hint.from, node, hint.size);
+        if self.link_up(hint.from, node) {
+            let payload = self.intern_payload(WritePayload {
+                op_id: REPAIR_OP_ID,
+                key: hint.key,
+                version: hint.version,
+                size: hint.size,
+                repair: true,
+            });
+            self.retain_payload(payload);
+            self.queue.schedule_at(
+                now + delay,
+                Event::ReplicaArrive {
+                    node,
+                    task: ReplicaTask::Write { payload },
+                },
+            );
+        } else {
+            // Lost in a partition like any other message; anti-entropy (if
+            // enabled) reconciles the residue after the heal.
+            self.metrics.messages_lost += 1;
+        }
+        if self.hints[idx].is_empty() {
+            self.hint_replay_active[idx] = false;
+        } else {
+            self.queue.schedule_timeout(
+                now + self.config.repair.replay_interval(),
+                Event::HintReplay { node },
+            );
+        }
+    }
+
+    /// (Re)start the anti-entropy sweep cycle. The cycle parks itself after
+    /// a full round of node pairs that streamed nothing (so a drained queue
+    /// terminates `run_to_completion`); fault transitions call this to wake
+    /// it up again. No-op unless the mode enables anti-entropy.
+    fn resume_sweeps(&mut self) {
+        if !self.config.repair.mode.anti_entropy_enabled() || self.node_count < 2 {
+            return;
+        }
+        self.sweep_idle_rounds = 0;
+        if !self.sweep_active {
+            self.sweep_active = true;
+            self.queue.schedule_timeout(
+                self.queue.now() + self.config.repair.sweep_interval(),
+                Event::AntiEntropy,
+            );
+        }
+    }
+
+    /// The `idx`-th unordered node pair `(i, j)`, `i < j`, in row-major
+    /// enumeration order.
+    fn unrank_pair(mut idx: u64, n: u64) -> (u64, u64) {
+        let mut i = 0;
+        loop {
+            let row = n - 1 - i;
+            if idx < row {
+                return (i, i + 1 + idx);
+            }
+            idx -= row;
+            i += 1;
+        }
+    }
+
+    /// One anti-entropy step: compare the next node pair's page summaries,
+    /// stream divergent pages both ways, and chain the next step unless a
+    /// full round went by without streaming anything.
+    fn on_anti_entropy(&mut self, now: SimTime) {
+        if !self.config.repair.mode.anti_entropy_enabled() || self.node_count < 2 {
+            self.sweep_active = false;
+            return;
+        }
+        let n = self.node_count as u64;
+        let pairs = n * (n - 1) / 2;
+        let (a, b) = Self::unrank_pair(self.sweep_cursor % pairs, n);
+        self.sweep_cursor += 1;
+        let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+        // Pairs with a down endpoint or a partitioned link are skipped (and
+        // count as idle); the fault transition that restores them resumes
+        // the cycle.
+        if !self.nodes[a.0 as usize].down && !self.nodes[b.0 as usize].down && self.link_up(a, b) {
+            let streamed = self.sweep_pair(now, a, b);
+            if streamed > 0 {
+                self.sweep_streamed = true;
+            }
+        }
+        if self.sweep_cursor.is_multiple_of(pairs) {
+            // Round boundary: either work happened (keep going) or the
+            // round was silent (count it toward parking).
+            if self.sweep_streamed {
+                self.sweep_idle_rounds = 0;
+            } else {
+                self.sweep_idle_rounds += 1;
+            }
+            self.sweep_streamed = false;
+        }
+        if self.sweep_idle_rounds > 0 {
+            self.sweep_active = false;
+            return;
+        }
+        self.queue.schedule_timeout(
+            now + self.config.repair.sweep_interval(),
+            Event::AntiEntropy,
+        );
+    }
+
+    /// Compare every page summary of a node pair (metered as network bytes
+    /// both ways) and stream divergent pages in both directions. Returns the
+    /// number of records streamed.
+    fn sweep_pair(&mut self, now: SimTime, a: NodeId, b: NodeId) -> u64 {
+        let pages = self.stores[a.0 as usize]
+            .summary_pages()
+            .max(self.stores[b.0 as usize].summary_pages());
+        let summary_bytes = self.config.repair.summary_bytes();
+        let mut streamed = 0u64;
+        for page in 0..pages {
+            self.metrics.repair_pages_compared += 1;
+            // One summary message each way per compared page.
+            self.account_repair_bytes(a, b, summary_bytes);
+            self.account_repair_bytes(b, a, summary_bytes);
+            if self.stores[a.0 as usize].page_digest(page)
+                != self.stores[b.0 as usize].page_digest(page)
+            {
+                streamed += self.stream_page_diff(now, a, b, page);
+                streamed += self.stream_page_diff(now, b, a, page);
+            }
+        }
+        streamed
+    }
+
+    /// Stream the records of `from`'s page that are strictly newer than
+    /// `to`'s copy — and that `to` currently replicates — as background
+    /// repair writes. Returns the number of records streamed. The
+    /// strictly-newer filter makes reconciliation monotone: re-comparing a
+    /// converged page streams nothing, which is what lets the sweep cycle
+    /// park.
+    fn stream_page_diff(&mut self, now: SimTime, from: NodeId, to: NodeId, page: usize) -> u64 {
+        let mut records = std::mem::take(&mut self.repair_page_scratch);
+        records.clear();
+        self.stores[from.0 as usize].collect_page(page, &mut records);
+        let mut members = std::mem::take(&mut self.repair_member_scratch);
+        let mut streamed = 0u64;
+        for &(key, version, size) in &records {
+            let held = self.stores[to.0 as usize]
+                .peek(key)
+                .map(|v| v.version)
+                .unwrap_or(Version::NONE);
+            if version <= held {
+                continue;
+            }
+            // Membership gate: divergent data moves only to a current
+            // replica of the key, never to a node that happens to share the
+            // page but no longer owns the record.
+            self.replica_cache
+                .replicas_into(&self.ring, key, &mut members);
+            if !members.contains(&to) {
+                continue;
+            }
+            let delay = self.account_repair_message(from, to, size);
+            let payload = self.intern_payload(WritePayload {
+                op_id: REPAIR_OP_ID,
+                key,
+                version,
+                size,
+                repair: true,
+            });
+            self.retain_payload(payload);
+            self.queue.schedule_at(
+                now + delay,
+                Event::ReplicaArrive {
+                    node: to,
+                    task: ReplicaTask::Write { payload },
+                },
+            );
+            streamed += 1;
+        }
+        self.metrics.repair_records_streamed += streamed;
+        self.repair_page_scratch = records;
+        self.repair_member_scratch = members;
+        streamed
+    }
+
+    /// Recovery migration: synchronize `node` from every up peer — page
+    /// summaries compared (metered) and divergent pages streamed in. Runs
+    /// when a node rejoins the ring (pull the writes it missed) and on every
+    /// survivor after a crash (pull the acquired ranges). Residual
+    /// divergence — e.g. from peers that were themselves partitioned — is
+    /// left to the sweep cycle.
+    fn on_repair_sync(&mut self, now: SimTime, node: NodeId) {
+        if !self.config.repair.mode.anti_entropy_enabled() || self.nodes[node.0 as usize].down {
+            return;
+        }
+        let mut streamed = 0u64;
+        for peer in 0..self.node_count {
+            let peer_id = NodeId(peer as u32);
+            if peer_id == node || self.nodes[peer].down || !self.link_up(peer_id, node) {
+                continue;
+            }
+            let pages = self.stores[peer]
+                .summary_pages()
+                .max(self.stores[node.0 as usize].summary_pages());
+            let summary_bytes = self.config.repair.summary_bytes();
+            for page in 0..pages {
+                self.metrics.repair_pages_compared += 1;
+                self.account_repair_bytes(peer_id, node, summary_bytes);
+                if self.stores[peer].page_digest(page)
+                    != self.stores[node.0 as usize].page_digest(page)
+                {
+                    streamed += self.stream_page_diff(now, peer_id, node, page);
+                }
+            }
+        }
+        if streamed > 0 {
+            self.sweep_streamed = true;
+        }
+    }
+
+    /// Number of hints currently queued for `node` (tests and diagnostics).
+    pub fn pending_hints(&self, node: NodeId) -> usize {
+        self.hints[node.0 as usize].len()
     }
 
     fn on_client_arrive(&mut self, now: SimTime, op_id: OpId) {
@@ -1122,7 +1543,12 @@ impl Cluster {
         for &replica in &replicas {
             let delay = self.account_message(coordinator, replica, sub.size);
             if self.nodes[replica.0 as usize].down {
-                // The mutation is lost (no hinted handoff in the base model).
+                // The mutation is lost to this replica for now; with hinted
+                // handoff the coordinator queues a bounded hint to replay
+                // once the node is back up.
+                if self.config.repair.mode.hints_enabled() {
+                    self.queue_hint(coordinator, replica, sub.key, version, sub.size);
+                }
                 continue;
             }
             if !self.link_up(coordinator, replica) {
@@ -1750,7 +2176,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ClusterConfig;
+    use crate::config::{ClusterConfig, RepairMode};
 
     fn cluster(nodes: usize, rf: u32) -> Cluster {
         Cluster::new(ClusterConfig::lan_test(nodes, rf), 42)
@@ -2577,5 +3003,221 @@ mod tests {
         assert_eq!(c.metrics().writes_completed, 50);
         assert!(c.metrics().read_latency.count() == 150);
         assert!(c.metrics().throughput(c.now() - SimTime::ZERO) > 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Repair plane
+    // ------------------------------------------------------------------
+
+    fn repair_cluster(nodes: usize, rf: u32, mode: RepairMode, seed: u64) -> Cluster {
+        let mut cfg = ClusterConfig::lan_test(nodes, rf);
+        cfg.repair = crate::config::RepairConfig::with_mode(mode);
+        Cluster::new(cfg, seed)
+    }
+
+    #[test]
+    fn scans_never_trigger_read_repair() {
+        // The read-repair contract: only point reads (`scan_len == 1`)
+        // repair. A divergence-observing range scan at ALL must leave the
+        // stale replica untouched, while the equivalent point read fixes it.
+        let mut cfg = ClusterConfig::lan_test(5, 3);
+        cfg.read_repair = true;
+        let mut c = Cluster::new(cfg, 17);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let victim = c.replicas_of(1)[2];
+        c.set_node_down(victim);
+        c.submit_write_with(1, 100, ConsistencyLevel::One, SimTime::ZERO);
+        drain(&mut c);
+        c.set_node_up(victim);
+        let stale_version = c.store(victim).peek(Key(1)).unwrap().version;
+
+        let (_, writes_before) = c.storage_op_totals();
+        c.submit_scan_with(1, 4, ConsistencyLevel::All, c.now());
+        let done = drain(&mut c);
+        assert_eq!(done[0].status, OpStatus::Ok);
+        let (_, writes_after) = c.storage_op_totals();
+        assert_eq!(
+            writes_after, writes_before,
+            "a range scan must never issue repair writes"
+        );
+        assert_eq!(
+            c.store(victim).peek(Key(1)).unwrap().version,
+            stale_version,
+            "the stale replica stays stale after the scan"
+        );
+
+        // The point read at the same level does repair it.
+        c.submit_read_with(1, ConsistencyLevel::All, c.now());
+        drain(&mut c);
+        let (_, writes_repaired) = c.storage_op_totals();
+        assert!(writes_repaired > writes_before);
+        assert!(c.store(victim).peek(Key(1)).unwrap().version > stale_version);
+    }
+
+    #[test]
+    fn hinted_handoff_replays_missed_writes_to_a_recovered_node() {
+        let mut c = repair_cluster(5, 3, RepairMode::Hints, 29);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let victim = c.replicas_of(3)[1];
+        c.set_node_down(victim);
+        let before = c.store(victim).peek(Key(3)).unwrap().version;
+        // ONE writes succeed on the up replicas; the coordinator queues a
+        // hint for the down one.
+        for i in 0..5u64 {
+            c.submit_write_with(3, 100, ConsistencyLevel::One, SimTime::from_millis(i));
+        }
+        drain(&mut c);
+        assert_eq!(c.pending_hints(victim), 5);
+        assert_eq!(c.metrics().hints_queued, 5);
+        assert_eq!(c.metrics().hints_replayed, 0);
+        assert_eq!(
+            c.store(victim).peek(Key(3)).unwrap().version,
+            before,
+            "a down node applies nothing"
+        );
+
+        c.set_node_up(victim);
+        drain(&mut c);
+        assert_eq!(c.pending_hints(victim), 0);
+        assert_eq!(c.metrics().hints_replayed, 5);
+        assert_eq!(c.inflight_write_payloads(), 0, "repair payloads drain");
+        let fresh = c.store(c.replicas_of(3)[0]).peek(Key(3)).unwrap().version;
+        assert_eq!(
+            c.store(victim).peek(Key(3)).unwrap().version,
+            fresh,
+            "replayed hints bring the recovered node fully up to date"
+        );
+        assert!(
+            c.metrics().repair_traffic.total() > 0,
+            "hint replays are metered as repair bytes"
+        );
+        assert_eq!(
+            c.metrics().repair_pages_compared,
+            0,
+            "mode=Hints runs no anti-entropy sweeps"
+        );
+    }
+
+    #[test]
+    fn hint_queues_are_bounded_and_overflow_is_metered() {
+        let mut cfg = ClusterConfig::lan_test(5, 3);
+        cfg.repair = crate::config::RepairConfig::with_mode(RepairMode::Hints);
+        cfg.repair.hint_capacity_per_node = 3;
+        let mut c = Cluster::new(cfg, 31);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let victim = c.replicas_of(3)[1];
+        c.set_node_down(victim);
+        for i in 0..10u64 {
+            c.submit_write_with(3, 100, ConsistencyLevel::One, SimTime::from_millis(i));
+        }
+        drain(&mut c);
+        assert_eq!(c.pending_hints(victim), 3, "the queue is bounded");
+        assert_eq!(c.metrics().hints_queued, 3);
+        assert_eq!(c.metrics().hints_dropped, 7);
+    }
+
+    #[test]
+    fn anti_entropy_reconverges_diverged_replicas_and_parks() {
+        let mut c = repair_cluster(5, 3, RepairMode::AntiEntropy, 37);
+        c.load_records((0..20u64).map(|k| (k, 100)));
+        let victim = c.replicas_of(7)[2];
+        c.set_node_down(victim);
+        for i in 0..8u64 {
+            c.submit_write_with(7, 100, ConsistencyLevel::One, SimTime::from_millis(i));
+        }
+        drain(&mut c);
+        assert_eq!(
+            c.metrics().hints_queued,
+            0,
+            "mode=AntiEntropy queues no hints"
+        );
+        c.set_node_up(victim);
+        // run_to_completion terminates because the sweep cycle parks after a
+        // silent round — and by then the divergence must be gone.
+        drain(&mut c);
+        let fresh = c.store(c.replicas_of(7)[0]).peek(Key(7)).unwrap().version;
+        assert_eq!(
+            c.store(victim).peek(Key(7)).unwrap().version,
+            fresh,
+            "sweeps stream the missed writes back"
+        );
+        assert!(c.metrics().repair_pages_compared > 0);
+        assert!(c.metrics().repair_records_streamed > 0);
+        assert!(c.metrics().repair_traffic.total() > 0);
+        assert_eq!(c.inflight_write_payloads(), 0);
+
+        // A further drain on the converged cluster streams nothing new.
+        let streamed = c.metrics().repair_records_streamed;
+        c.submit_read_with(7, ConsistencyLevel::One, c.now());
+        drain(&mut c);
+        assert_eq!(c.metrics().repair_records_streamed, streamed);
+    }
+
+    #[test]
+    fn recovery_migration_restores_a_crashed_nodes_data() {
+        let mut c = repair_cluster(5, 3, RepairMode::Full, 41);
+        c.load_records((0..30u64).map(|k| (k, 100)));
+        let victim = NodeId(2);
+        let affected: Vec<u64> = (0..30u64)
+            .filter(|&k| c.replicas_of(k).contains(&victim))
+            .collect();
+        assert!(!affected.is_empty());
+        c.crash_node(victim);
+        // Fresh writes land only on the survivors while the node is out.
+        for (i, &k) in affected.iter().enumerate() {
+            c.submit_write_with(
+                k,
+                100,
+                ConsistencyLevel::All,
+                c.now() + SimDuration::from_millis(i as u64),
+            );
+        }
+        drain(&mut c);
+        c.recover_node(victim);
+        drain(&mut c);
+        for &k in &affected {
+            let fresh = c.store(c.replicas_of(k)[0]).peek(Key(k)).unwrap().version;
+            assert_eq!(
+                c.store(victim).peek(Key(k)).unwrap().version,
+                fresh,
+                "recovery migration must stream key {k} back to the rejoined node"
+            );
+        }
+        assert!(c.metrics().repair_records_streamed >= affected.len() as u64);
+        assert_eq!(c.inflight_write_payloads(), 0);
+    }
+
+    #[test]
+    fn unrank_pair_enumerates_every_unordered_pair() {
+        let n = 6u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (i, j) = Cluster::unrank_pair(idx, n);
+            assert!(i < j && j < n, "({i},{j}) out of range");
+            assert!(seen.insert((i, j)), "({i},{j}) enumerated twice");
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn repair_off_adds_no_events_or_meters_under_faults() {
+        // With repair off a faulty run is byte-identical to the pre-repair
+        // code path: no hints, no sweeps, no repair traffic.
+        let mut c = cluster(5, 3);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        c.set_node_down(NodeId(1));
+        for i in 0..20u64 {
+            c.submit_write_with(i % 10, 100, ConsistencyLevel::One, SimTime::from_millis(i));
+        }
+        drain(&mut c);
+        c.set_node_up(NodeId(1));
+        drain(&mut c);
+        let m = c.metrics();
+        assert_eq!(m.hints_queued, 0);
+        assert_eq!(m.hints_replayed, 0);
+        assert_eq!(m.hints_dropped, 0);
+        assert_eq!(m.repair_pages_compared, 0);
+        assert_eq!(m.repair_records_streamed, 0);
+        assert_eq!(m.repair_traffic.total(), 0);
     }
 }

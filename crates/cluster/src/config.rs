@@ -5,6 +5,148 @@ use crate::ring::{Partitioner, ReplicationStrategy};
 use concord_sim::{DelayDistribution, NetworkModel, SimDuration, Topology};
 use serde::{Deserialize, Serialize};
 
+/// Which parts of the background repair plane are active.
+///
+/// Repair is **off by default**: with `Off`, the cluster performs no hint
+/// bookkeeping, schedules no sweep events and draws no extra randomness, so
+/// every pre-repair golden digest stays byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairMode {
+    /// No background repair (the historical behaviour).
+    #[default]
+    Off,
+    /// Hinted handoff only: writes that target a down replica queue a
+    /// bounded hint on the coordinator, replayed when the node comes back.
+    Hints,
+    /// Anti-entropy only: periodic node-pair sweeps diff per-page version
+    /// summaries and stream divergent records; crash/recover additionally
+    /// trigger a full synchronization of the affected node.
+    AntiEntropy,
+    /// Both hinted handoff and anti-entropy; dropped hints fall through to
+    /// the sweeps.
+    Full,
+}
+
+impl RepairMode {
+    /// Parse a CLI name (`off`, `hints`, `anti-entropy`, `full`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "off" => Some(RepairMode::Off),
+            "hints" => Some(RepairMode::Hints),
+            "anti-entropy" | "antientropy" => Some(RepairMode::AntiEntropy),
+            "full" => Some(RepairMode::Full),
+            _ => None,
+        }
+    }
+
+    /// Short label for banners and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairMode::Off => "off",
+            RepairMode::Hints => "hints",
+            RepairMode::AntiEntropy => "anti-entropy",
+            RepairMode::Full => "full",
+        }
+    }
+
+    /// Whether hinted handoff is active.
+    pub fn hints_enabled(&self) -> bool {
+        matches!(self, RepairMode::Hints | RepairMode::Full)
+    }
+
+    /// Whether anti-entropy sweeps (and recovery migration) are active.
+    pub fn anti_entropy_enabled(&self) -> bool {
+        matches!(self, RepairMode::AntiEntropy | RepairMode::Full)
+    }
+}
+
+/// Configuration of the background repair plane (hinted handoff +
+/// anti-entropy sweeps + recovery migration). See [`RepairMode`] for what
+/// each mode activates; the defaults model Cassandra's repair path at the
+/// simulator's time scale.
+///
+/// Every knob treats **0 as "use the built-in default"** (a zero hint
+/// capacity or sweep interval is never meaningful), which is what keeps
+/// partially specified JSON blocks — e.g. `{"mode":"Full"}` — loading with
+/// sensible values: absent fields deserialize to 0 via `serde(default)` and
+/// the accessors ([`RepairConfig::hint_capacity`] etc.) substitute the
+/// defaults at use time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairConfig {
+    /// Which repair subsystems are active. Defaults to [`RepairMode::Off`].
+    #[serde(default)]
+    pub mode: RepairMode,
+    /// Maximum hints queued per destination node; further hints are dropped
+    /// (metered as `hints_dropped`) and left for anti-entropy to catch.
+    /// 0 = default (1024).
+    #[serde(default)]
+    pub hint_capacity_per_node: u32,
+    /// Gap between successive hint replays to one recovered node (the
+    /// replay is paced through the timer wheel rather than delivered as a
+    /// burst). 0 = default (200 µs).
+    #[serde(default)]
+    pub hint_replay_interval: SimDuration,
+    /// Gap between successive node-pair comparison events while a sweep
+    /// cycle is active. 0 = default (20 ms).
+    #[serde(default)]
+    pub anti_entropy_interval: SimDuration,
+    /// Byte weight of one per-page version summary exchanged during a
+    /// comparison (the Merkle-ish digest message). 0 = default (32 B).
+    #[serde(default)]
+    pub summary_bytes_per_page: u32,
+}
+
+impl RepairConfig {
+    /// A disabled repair plane (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// The default knobs with the given mode.
+    pub fn with_mode(mode: RepairMode) -> Self {
+        RepairConfig {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// Effective hint-queue bound per destination node.
+    pub fn hint_capacity(&self) -> u32 {
+        if self.hint_capacity_per_node == 0 {
+            1024
+        } else {
+            self.hint_capacity_per_node
+        }
+    }
+
+    /// Effective pacing between hint replays to one node.
+    pub fn replay_interval(&self) -> SimDuration {
+        if self.hint_replay_interval == SimDuration::ZERO {
+            SimDuration::from_micros(200)
+        } else {
+            self.hint_replay_interval
+        }
+    }
+
+    /// Effective gap between node-pair comparison events.
+    pub fn sweep_interval(&self) -> SimDuration {
+        if self.anti_entropy_interval == SimDuration::ZERO {
+            SimDuration::from_millis(20)
+        } else {
+            self.anti_entropy_interval
+        }
+    }
+
+    /// Effective byte weight of one page-summary message.
+    pub fn summary_bytes(&self) -> u32 {
+        if self.summary_bytes_per_page == 0 {
+            32
+        } else {
+            self.summary_bytes_per_page
+        }
+    }
+}
+
 /// Complete configuration of a simulated storage cluster.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -40,7 +182,19 @@ pub struct ClusterConfig {
     pub op_timeout: SimDuration,
     /// Whether coordinators send the full data request to every replica and
     /// repair stale replicas in the background (Cassandra's read repair).
+    ///
+    /// **Scan contract**: read repair fires only for point reads
+    /// (`scan_len == 1`). Range scans never trigger it — matching Cassandra,
+    /// where range scans do not perform blocking read repair — so a
+    /// scan-heavy workload relies on asynchronous propagation and, when
+    /// enabled, the background repair plane ([`RepairConfig`]) to converge
+    /// replicas. Pinned by the `scans_never_trigger_read_repair` test.
     pub read_repair: bool,
+    /// Background repair plane: hinted handoff, anti-entropy sweeps and
+    /// recovery migration. Off by default; absent in pre-repair configs
+    /// (`serde(default)` keeps them loading).
+    #[serde(default)]
+    pub repair: RepairConfig,
     /// Protocol overhead added to every replica message, in bytes.
     pub message_overhead_bytes: u32,
     /// Size of a read request / ack message payload in bytes.
@@ -81,6 +235,7 @@ impl ClusterConfig {
             node_concurrency: 32,
             op_timeout: SimDuration::from_secs(10),
             read_repair: false,
+            repair: RepairConfig::off(),
             message_overhead_bytes: 60,
             small_message_bytes: 40,
             retry_on_timeout: 0,
@@ -159,6 +314,59 @@ mod tests {
         assert_eq!(back.replication_factor, 3);
         assert_eq!(back.topology.node_count(), 4);
         assert_eq!(back.partitioner, Partitioner::Ordered);
+    }
+
+    #[test]
+    fn repair_mode_names_round_trip() {
+        for (name, mode) in [
+            ("off", RepairMode::Off),
+            ("hints", RepairMode::Hints),
+            ("anti-entropy", RepairMode::AntiEntropy),
+            ("full", RepairMode::Full),
+        ] {
+            assert_eq!(RepairMode::from_name(name), Some(mode));
+            assert_eq!(RepairMode::from_name(mode.label()), Some(mode));
+        }
+        assert_eq!(RepairMode::from_name("merkle"), None);
+        assert!(RepairMode::Full.hints_enabled());
+        assert!(RepairMode::Full.anti_entropy_enabled());
+        assert!(RepairMode::Hints.hints_enabled());
+        assert!(!RepairMode::Hints.anti_entropy_enabled());
+        assert!(!RepairMode::AntiEntropy.hints_enabled());
+        assert!(RepairMode::AntiEntropy.anti_entropy_enabled());
+        assert!(!RepairMode::Off.hints_enabled());
+        assert!(!RepairMode::Off.anti_entropy_enabled());
+    }
+
+    #[test]
+    fn configs_without_a_repair_field_default_to_off() {
+        // Pre-repair-plane configs (serialized before PR 6) must keep
+        // deserializing, with repair fully disabled.
+        let cfg = ClusterConfig::lan_test(4, 3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let start = json.find(",\"repair\":{").expect("field present");
+        let end = json[start + 1..].find('}').unwrap() + start + 2;
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        assert_ne!(json, stripped, "the field must have been removed");
+        let back: ClusterConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.repair, RepairConfig::off());
+        assert_eq!(back.repair.mode, RepairMode::Off);
+        // Partial repair blocks (just a mode) pick up the remaining knobs:
+        // absent fields deserialize to 0 and the accessors substitute the
+        // built-in defaults.
+        let partial: RepairConfig = serde_json::from_str("{\"mode\":\"Full\"}").unwrap();
+        assert_eq!(partial.mode, RepairMode::Full);
+        assert_eq!(partial.hint_capacity_per_node, 0);
+        assert_eq!(partial.hint_capacity(), RepairConfig::off().hint_capacity());
+        assert_eq!(
+            partial.replay_interval(),
+            RepairConfig::off().replay_interval()
+        );
+        assert_eq!(
+            partial.sweep_interval(),
+            RepairConfig::off().sweep_interval()
+        );
+        assert_eq!(partial.summary_bytes(), RepairConfig::off().summary_bytes());
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //! * coordinator-based write and read paths with asynchronous propagation to
 //!   the replicas not required by the consistency level — the source of the
 //!   staleness window the paper's Figure 1 describes ([`Cluster`]),
-//! * last-write-wins versioned replica storage ([`ReplicaStore`]),
+//! * last-write-wins versioned replica storage ([`ReplicaStore`]) with
+//!   incrementally maintained per-page version summaries,
 //! * optional read repair and node-failure injection,
+//! * an opt-in background repair plane ([`RepairConfig`]): hinted handoff,
+//!   anti-entropy sweeps over the page summaries, and recovery migration
+//!   that streams acquired/returned ranges instead of instantly serving
+//!   them,
 //! * a ground-truth staleness oracle ([`StalenessOracle`]) so measured stale
 //!   rates can be compared against Harmony's estimates,
 //! * full metering of latency, stale reads, network traffic per link class
@@ -51,7 +56,7 @@ pub mod storage;
 pub mod types;
 
 pub use cluster::{BatchOp, Cluster, ClusterOutput, ReplicaSelection};
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, RepairConfig, RepairMode};
 pub use consistency::ConsistencyLevel;
 pub use metrics::{ClusterMetrics, LatencyReservoir, LatencyStats, TrafficBytes};
 pub use oracle::StalenessOracle;

@@ -193,6 +193,24 @@ pub struct ClusterMetrics {
     pub retries: u64,
     /// Messages dropped in transit by a datacenter partition.
     pub messages_lost: u64,
+    /// Hints queued by coordinators for down replicas (hinted handoff).
+    pub hints_queued: u64,
+    /// Hints replayed to their destination after it came back up.
+    pub hints_replayed: u64,
+    /// Hints dropped because the destination's hint queue was full (left
+    /// for anti-entropy to catch).
+    pub hints_dropped: u64,
+    /// Per-page version summaries compared by anti-entropy sweeps and
+    /// recovery migration.
+    pub repair_pages_compared: u64,
+    /// Records streamed between replicas to reconcile divergent pages
+    /// (hint replays not included — those are counted in `hints_replayed`).
+    pub repair_records_streamed: u64,
+    /// Network bytes attributable to the repair plane (summaries, streamed
+    /// records, hint replays), by link class. Also included in `traffic`,
+    /// so the bill prices repair bytes like any other transfer; this meter
+    /// breaks the repair share out.
+    pub repair_traffic: TrafficBytes,
 }
 
 impl ClusterMetrics {

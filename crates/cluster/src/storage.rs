@@ -26,6 +26,21 @@
 //! Reads never allocate: probing a key whose page was never written returns
 //! "absent" without materializing the page, so a scan running past the
 //! loaded key space stays allocation-free.
+//!
+//! ## Per-page version summaries (anti-entropy digests)
+//!
+//! A store built with [`ReplicaStore::with_summaries`] also maintains one
+//! 64-bit digest per page: the XOR of a mixed hash of every occupied
+//! `(key, version)` pair on that page. The digest is updated incrementally
+//! on every mutation — an overwrite XORs the old pair's contribution out
+//! and the new pair's in, O(1) per write, no rescans — so two replicas hold
+//! identical page contents iff (modulo 2^-64 collisions) their digests
+//! match. Anti-entropy sweeps compare these summaries instead of
+//! record-by-record state, streaming only divergent pages; because the page
+//! granule (4096 slots) equals the ordered partitioner's slice granule, a
+//! page diff is also a slice diff. Stores built with [`ReplicaStore::new`]
+//! skip the maintenance entirely — the write path pays nothing for a repair
+//! plane that is switched off.
 
 use crate::paged::{PagedTable, PAGE_BITS, PAGE_MASK, PAGE_SLOTS};
 use crate::types::{Key, StoredValue, Version};
@@ -65,6 +80,30 @@ pub struct ReplicaStore {
     /// Writes ignored because a newer version was already present
     /// (late-arriving propagation after a concurrent overwrite).
     superseded_writes: u64,
+    /// Per-page XOR digest over `mix(key, version)` of occupied slots (see
+    /// the module docs); index = `key >> PAGE_BITS`, 0 for untouched pages.
+    page_digests: Vec<u64>,
+    /// Whether the digests above are maintained. Off by default so the
+    /// write path pays no mixing cost when no repair plane will ever
+    /// compare summaries.
+    summaries_enabled: bool,
+}
+
+/// Mix one `(key, version)` pair into a 64-bit contribution (splitmix64-style
+/// finalizer over the combined pair). Order-independent under XOR: equal page
+/// contents produce equal digests regardless of write order.
+#[inline]
+fn mix_record(key: Key, version: Version) -> u64 {
+    let mut x = key
+        .0
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(version.0.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
 }
 
 impl Default for ReplicaStore {
@@ -74,7 +113,8 @@ impl Default for ReplicaStore {
 }
 
 impl ReplicaStore {
-    /// An empty store.
+    /// An empty store without per-page version summaries (the default:
+    /// writes skip digest maintenance entirely).
     pub fn new() -> Self {
         ReplicaStore {
             table: PagedTable::new(EMPTY_SLOT),
@@ -83,7 +123,30 @@ impl ReplicaStore {
             write_ops: 0,
             read_ops: 0,
             superseded_writes: 0,
+            page_digests: Vec::new(),
+            summaries_enabled: false,
         }
+    }
+
+    /// An empty store that maintains per-page version summaries for
+    /// anti-entropy comparison (see the module docs). Costs two 64-bit
+    /// mixes per installed write.
+    pub fn with_summaries() -> Self {
+        ReplicaStore {
+            summaries_enabled: true,
+            ..Self::new()
+        }
+    }
+
+    /// XOR `delta` into the digest of `key`'s page, growing the summary
+    /// vector on first touch.
+    #[inline]
+    fn xor_page_digest(&mut self, key: Key, delta: u64) {
+        let page = (key.0 >> PAGE_BITS) as usize;
+        if page >= self.page_digests.len() {
+            self.page_digests.resize(page + 1, 0);
+        }
+        self.page_digests[page] ^= delta;
     }
 
     /// The slot for `key`, if its page exists (never allocates).
@@ -105,7 +168,8 @@ impl ReplicaStore {
             self.superseded_writes += 1;
             return false;
         }
-        if slot.version.exists() {
+        let old_version = slot.version;
+        if old_version.exists() {
             self.bytes_stored = self.bytes_stored - slot.size as u64 + size as u64;
         } else {
             self.keys += 1;
@@ -116,6 +180,13 @@ impl ReplicaStore {
             size,
             applied_at: at,
         };
+        if self.summaries_enabled {
+            let mut digest_delta = mix_record(key, version);
+            if old_version.exists() {
+                digest_delta ^= mix_record(key, old_version);
+            }
+            self.xor_page_digest(key, digest_delta);
+        }
         true
     }
 
@@ -126,7 +197,8 @@ impl ReplicaStore {
     pub fn preload(&mut self, key: Key, version: Version, size: u32) {
         debug_assert!(version.exists(), "preloads carry a real (non-zero) version");
         let slot = self.table.get_mut(key.0);
-        if slot.version.exists() {
+        let old_version = slot.version;
+        if old_version.exists() {
             self.bytes_stored = self.bytes_stored - slot.size as u64 + size as u64;
         } else {
             self.keys += 1;
@@ -137,6 +209,13 @@ impl ReplicaStore {
             size,
             applied_at: SimTime::ZERO,
         };
+        if self.summaries_enabled {
+            let mut digest_delta = mix_record(key, version);
+            if old_version.exists() {
+                digest_delta ^= mix_record(key, old_version);
+            }
+            self.xor_page_digest(key, digest_delta);
+        }
     }
 
     /// Read the current value of a key (counts as one storage read).
@@ -211,6 +290,37 @@ impl ReplicaStore {
     /// Number of writes that lost the last-write-wins race.
     pub fn superseded_writes(&self) -> u64 {
         self.superseded_writes
+    }
+
+    /// The version summary of page `page` (0 for pages never written, and
+    /// always 0 unless the store was built with
+    /// [`ReplicaStore::with_summaries`]). Two replicas whose digests match
+    /// hold identical `(key, version)` contents on that page, modulo 64-bit
+    /// XOR-hash collisions.
+    pub fn page_digest(&self, page: usize) -> u64 {
+        self.page_digests.get(page).copied().unwrap_or(0)
+    }
+
+    /// Number of page indices covered by this store's version summary (the
+    /// anti-entropy comparison walks `0..summary_pages()` of both replicas).
+    pub fn summary_pages(&self) -> usize {
+        self.page_digests.len()
+    }
+
+    /// Append every occupied record of page `page` to `out` as
+    /// `(key, version, size)` — the streaming side of an anti-entropy diff.
+    /// Does not touch the I/O meters: callers account the stream as network
+    /// traffic and replica writes, not local scans.
+    pub fn collect_page(&self, page: usize, out: &mut Vec<(Key, Version, u32)>) {
+        let Some(slots) = self.table.page(page) else {
+            return;
+        };
+        let base = (page as u64) << PAGE_BITS;
+        for (i, slot) in slots.iter().enumerate() {
+            if slot.version.exists() {
+                out.push((Key(base + i as u64), slot.version, slot.size));
+            }
+        }
     }
 }
 
@@ -329,6 +439,69 @@ mod tests {
         let r = s.read_range(Key(far - 2), 4);
         assert_eq!(r.records, 1);
         assert_eq!(r.bytes, 7);
+    }
+
+    #[test]
+    fn page_digests_track_contents_not_history() {
+        let mut a = ReplicaStore::with_summaries();
+        let mut b = ReplicaStore::with_summaries();
+        assert_eq!(a.page_digest(0), 0, "untouched pages read as zero");
+        assert_eq!(a.summary_pages(), 0);
+        // Same final contents through different histories ⇒ same digest.
+        a.apply_write(Key(1), Version(1), 10, SimTime::ZERO);
+        a.apply_write(Key(1), Version(4), 10, SimTime::ZERO);
+        a.apply_write(Key(2), Version(2), 10, SimTime::ZERO);
+        b.preload(Key(2), Version(2), 10);
+        b.apply_write(Key(1), Version(4), 10, SimTime::ZERO);
+        assert_eq!(a.page_digest(0), b.page_digest(0));
+        // Diverging one key splits the digests; re-converging re-joins them.
+        a.apply_write(Key(2), Version(9), 10, SimTime::ZERO);
+        assert_ne!(a.page_digest(0), b.page_digest(0));
+        b.apply_write(Key(2), Version(9), 10, SimTime::ZERO);
+        assert_eq!(a.page_digest(0), b.page_digest(0));
+        // A superseded write changes nothing, digest included.
+        let before = a.page_digest(0);
+        assert!(!a.apply_write(Key(2), Version(5), 10, SimTime::ZERO));
+        assert_eq!(a.page_digest(0), before);
+        // Pages are independent.
+        a.preload(Key(PAGE_SLOTS as u64 + 7), Version(1), 10);
+        assert_eq!(a.summary_pages(), 2);
+        assert_eq!(a.page_digest(0), before);
+        assert_ne!(a.page_digest(1), 0);
+    }
+
+    #[test]
+    fn default_stores_maintain_no_summaries() {
+        let mut s = ReplicaStore::new();
+        s.apply_write(Key(1), Version(1), 10, SimTime::ZERO);
+        s.preload(Key(2), Version(2), 10);
+        assert_eq!(s.summary_pages(), 0, "no digest vector is ever grown");
+        assert_eq!(s.page_digest(0), 0);
+        // Everything else behaves identically to a summarized store.
+        assert_eq!(s.key_count(), 2);
+        assert_eq!(s.bytes_stored(), 20);
+    }
+
+    #[test]
+    fn collect_page_streams_occupied_records() {
+        let mut s = ReplicaStore::new();
+        s.preload(Key(3), Version(30), 100);
+        s.preload(Key(5), Version(50), 200);
+        s.preload(Key(PAGE_SLOTS as u64 + 1), Version(7), 10);
+        let mut out = Vec::new();
+        s.collect_page(0, &mut out);
+        assert_eq!(
+            out,
+            vec![(Key(3), Version(30), 100), (Key(5), Version(50), 200)]
+        );
+        out.clear();
+        s.collect_page(1, &mut out);
+        assert_eq!(out, vec![(Key(PAGE_SLOTS as u64 + 1), Version(7), 10)]);
+        out.clear();
+        s.collect_page(9, &mut out);
+        assert!(out.is_empty(), "unallocated pages stream nothing");
+        let (reads, writes) = (s.read_ops(), s.write_ops());
+        assert_eq!((reads, writes), (0, 0), "collection is not storage I/O");
     }
 
     #[test]

@@ -262,6 +262,106 @@ fn golden_crash_recover_run() {
     assert_eq!(c.events_processed(), GOLDEN_CRASH.4);
 }
 
+/// The crash/recover scenario of [`golden_crash_recover_run`] with the
+/// full repair plane enabled (hinted handoff + anti-entropy + recovery
+/// migration): pins the repair engine's event interleaving, hint
+/// accounting and streamed-record metering byte-for-byte. (Captured at the
+/// introduction of the repair plane; there is no pre-repair digest.)
+#[test]
+fn golden_repair_run() {
+    let mut cfg = ClusterConfig::lan_test(6, 3);
+    cfg.op_timeout = SimDuration::from_millis(80);
+    cfg.retry_on_timeout = 1;
+    cfg.read_repair = true;
+    cfg.repair = concord_cluster::RepairConfig::with_mode(concord_cluster::RepairMode::Full);
+    let mut c = Cluster::new(cfg, 33);
+    c.load_records((0..40u64).map(|k| (k, 150)));
+    let mut at = SimTime::ZERO;
+    for i in 0..2_000u64 {
+        at += SimDuration::from_micros(400);
+        if i % 2 == 0 {
+            c.submit_write_with((i / 2) % 40, 150, ConsistencyLevel::All, at);
+        } else {
+            c.submit_read_at((i / 2) % 40, at);
+        }
+    }
+    c.schedule_tick(SimTime::from_millis(100), 1);
+    c.schedule_tick(SimTime::from_millis(500), 2);
+    c.schedule_tick(SimTime::from_millis(250), 3);
+    c.schedule_tick(SimTime::from_millis(400), 4);
+    let mut d = RunDigest::default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let fnv = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    while let Some(out) = c.advance() {
+        match out {
+            concord_cluster::ClusterOutput::Tick { id: 1, .. } => {
+                c.crash_node(concord_sim::NodeId(2))
+            }
+            concord_cluster::ClusterOutput::Tick { id: 2, .. } => {
+                c.recover_node(concord_sim::NodeId(2))
+            }
+            concord_cluster::ClusterOutput::Tick { id: 3, .. } => {
+                c.set_node_down(concord_sim::NodeId(0))
+            }
+            concord_cluster::ClusterOutput::Tick { id: 4, .. } => {
+                c.set_node_up(concord_sim::NodeId(0))
+            }
+            concord_cluster::ClusterOutput::Tick { .. } => {}
+            concord_cluster::ClusterOutput::Completed(op) => {
+                d.ops += 1;
+                if op.status == OpStatus::Timeout {
+                    d.timeouts += 1;
+                }
+                if op.stale {
+                    d.stale += 1;
+                }
+                d.latency_sum_us += op.latency().as_micros();
+                fnv(&mut h, op.completed_at.as_micros());
+                fnv(&mut h, op.returned_version.0);
+            }
+        }
+    }
+    d.checksum = h;
+    maybe_print("repair", &d, &c);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        let m = c.metrics();
+        println!(
+            "repair: hints=({}, {}, {}) pages={} streamed={} repair_bytes={}",
+            m.hints_queued,
+            m.hints_replayed,
+            m.hints_dropped,
+            m.repair_pages_compared,
+            m.repair_records_streamed,
+            m.repair_traffic.total(),
+        );
+    }
+
+    assert_eq!(d.ops, 2_000, "every op completes exactly once");
+    assert_eq!(c.inflight_ops(), 0);
+    assert_eq!(c.inflight_write_payloads(), 0);
+    let m = c.metrics();
+    assert!(m.hints_queued > 0, "the outage must queue hints");
+    assert!(
+        m.repair_records_streamed > 0,
+        "the crash must trigger streams"
+    );
+    assert_eq!(d.timeouts, GOLDEN_REPAIR.0);
+    assert_eq!(d.stale, GOLDEN_REPAIR.1);
+    assert_eq!(d.latency_sum_us, GOLDEN_REPAIR.2);
+    assert_eq!(d.checksum, GOLDEN_REPAIR.3);
+    assert_eq!(c.events_processed(), GOLDEN_REPAIR.4);
+    assert_eq!(
+        (m.hints_queued, m.hints_replayed, m.hints_dropped),
+        GOLDEN_REPAIR.5
+    );
+    assert_eq!(m.repair_pages_compared, GOLDEN_REPAIR.6);
+    assert_eq!(m.repair_records_streamed, GOLDEN_REPAIR.7);
+    assert_eq!(m.repair_traffic.total(), GOLDEN_REPAIR.8);
+}
+
 /// Partition/heal scenario: the two sites of a geo cluster partition and
 /// later heal, under quorum churn — cross-site messages are lost while the
 /// partition holds.
@@ -488,6 +588,23 @@ const GOLDEN_FAILURE: (u64, u64, u64, u64) = (107, 5_735_824, 507982625904357235
 // re-capture with GOLDEN_PRINT=1 after intentional semantic changes):
 // (timeouts, retries, latency_sum_us, checksum, events).
 const GOLDEN_CRASH: (u64, u64, u64, u64, u64) = (61, 147, 18_554_388, 18292732308431460120, 16_744);
+// Repair-plane digest (captured at the introduction of the repair plane;
+// re-capture with GOLDEN_PRINT=1 after intentional semantic changes):
+// (timeouts, stale, latency_sum_us, checksum, events,
+//  (hints_queued, hints_replayed, hints_dropped), repair_pages_compared,
+//  repair_records_streamed, repair_traffic_total).
+type HintCounters = (u64, u64, u64);
+const GOLDEN_REPAIR: (u64, u64, u64, u64, u64, HintCounters, u64, u64, u64) = (
+    59,
+    0,
+    18_510_376,
+    7688465609908642402,
+    17_526,
+    (187, 187, 0),
+    64,
+    81,
+    65_756,
+);
 // (timeouts, messages_lost, latency_sum_us, checksum, events).
 const GOLDEN_PARTITION: (u64, u64, u64, u64, u64) =
     (649, 1_946, 6_516_290_287, 9876085233809652447, 38_442);

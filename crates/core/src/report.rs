@@ -89,6 +89,26 @@ pub struct RunReport {
     pub mean_read_replicas: f64,
     /// Number of adaptation steps the policy performed.
     pub adaptation_steps: u64,
+    /// Hints queued for down replicas by the hinted-handoff repair plane
+    /// (0 unless `ClusterConfig::repair` enables hints).
+    #[serde(default)]
+    pub hints_queued: u64,
+    /// Queued hints replayed to their destination after it came back up.
+    #[serde(default)]
+    pub hints_replayed: u64,
+    /// Hints dropped because a destination's queue was at capacity.
+    #[serde(default)]
+    pub hints_dropped: u64,
+    /// Page summaries compared by anti-entropy sweeps and recovery syncs.
+    #[serde(default)]
+    pub repair_pages_compared: u64,
+    /// Records streamed between replicas by the repair plane.
+    #[serde(default)]
+    pub repair_records_streamed: u64,
+    /// Repair-plane network bytes by link class (also included in
+    /// `usage.traffic`, so the bill prices them; this is the breakdown).
+    #[serde(default)]
+    pub repair_traffic: concord_cluster::TrafficBytes,
     /// Consistency-level changes over time.
     pub level_timeline: Vec<LevelChange>,
     /// Resources consumed (instances, storage, traffic).
@@ -189,6 +209,12 @@ mod tests {
             mean_staleness_depth: 1.0,
             mean_read_replicas: 1.0,
             adaptation_steps: 3,
+            hints_queued: 0,
+            hints_replayed: 0,
+            hints_dropped: 0,
+            repair_pages_compared: 0,
+            repair_records_streamed: 0,
+            repair_traffic: TrafficBytes::default(),
             level_timeline: vec![LevelChange {
                 at_secs: 0.0,
                 read_replicas: 1,
@@ -239,6 +265,30 @@ mod tests {
     fn report_serializes() {
         let r = report("quorum", 0.0, 2.0);
         let json = r.to_json();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn reports_without_repair_fields_still_deserialize() {
+        // Reports serialized before the repair plane existed lack the
+        // repair counters; they must load with everything zeroed.
+        let r = report("quorum", 0.0, 2.0);
+        let mut json = r.to_json();
+        for field in [
+            "hints_queued",
+            "hints_replayed",
+            "hints_dropped",
+            "repair_pages_compared",
+            "repair_records_streamed",
+        ] {
+            let start = json.find(&format!("\"{field}\"")).expect("field present");
+            let end = start + json[start..].find(',').unwrap() + 1;
+            json.replace_range(start..end, "");
+        }
+        let start = json.find("\"repair_traffic\"").expect("field present");
+        let end = start + json[start..].find('}').unwrap() + 2; // past "},"
+        json.replace_range(start..end, "");
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
     }

@@ -308,6 +308,12 @@ impl AdaptiveRuntime {
             mean_staleness_depth: cluster.oracle().mean_staleness_depth(),
             mean_read_replicas: metrics.mean_read_fanout(),
             adaptation_steps,
+            hints_queued: metrics.hints_queued,
+            hints_replayed: metrics.hints_replayed,
+            hints_dropped: metrics.hints_dropped,
+            repair_pages_compared: metrics.repair_pages_compared,
+            repair_records_streamed: metrics.repair_records_streamed,
+            repair_traffic: metrics.repair_traffic,
             level_timeline,
             usage,
             bill,
@@ -644,6 +650,69 @@ mod tests {
             &Scenario::open_poisson(10_000.0),
         );
         assert_ne!(open, hash, "ordered placement must change the run");
+    }
+
+    #[test]
+    fn repair_plane_surfaces_in_fault_reports_and_the_bill() {
+        // The same faulted run with and without the repair plane: with it,
+        // the report carries the hint/sweep counters and the repair bytes
+        // land in the billable traffic (higher network cost).
+        let run = |mode: concord_cluster::RepairMode| {
+            let mut cfg = ClusterConfig::lan_test(8, 5);
+            cfg.topology = Topology::spread(8, &[("site-a", RegionId(0)), ("site-b", RegionId(0))]);
+            cfg.network = NetworkModel::grid5000_like();
+            cfg.strategy = ReplicationStrategy::NetworkTopology;
+            cfg.repair = concord_cluster::RepairConfig::with_mode(mode);
+            let mut cluster = Cluster::new(cfg, 51);
+            let mut wl_cfg = presets::paper_heavy_read_update(2_000, 6_000);
+            wl_cfg.field_count = 1;
+            wl_cfg.field_length = 256;
+            let mut workload = CoreWorkload::new(wl_cfg.clone());
+            cluster.load_records((0..wl_cfg.record_count).map(|k| (k, wl_cfg.record_size())));
+            let mut policy = StaticPolicy::eventual();
+            // 6000 ops at 10k/s span 0.6 s; a transient outage queues hints,
+            // the crash/recover pair exercises the recovery migration.
+            let scenario = Scenario::open_uniform(10_000.0).with_faults(vec![
+                FaultEvent::at_secs(0.1, FaultAction::NodeDown(1)),
+                FaultEvent::at_secs(0.2, FaultAction::NodeUp(1)),
+                FaultEvent::at_secs(0.3, FaultAction::CrashNode(2)),
+                FaultEvent::at_secs(0.45, FaultAction::RecoverNode(2)),
+            ]);
+            quick_runtime(51).run_scenario(&mut cluster, &mut workload, &mut policy, &scenario)
+        };
+        let off = run(concord_cluster::RepairMode::Off);
+        assert_eq!(off.hints_queued, 0);
+        assert_eq!(off.repair_pages_compared, 0);
+        assert_eq!(off.repair_traffic.total(), 0);
+
+        let full = run(concord_cluster::RepairMode::Full);
+        assert!(full.hints_queued > 0, "the outage must queue hints");
+        assert!(full.hints_replayed > 0, "recovery must replay them");
+        assert!(full.repair_pages_compared > 0);
+        assert!(full.repair_records_streamed > 0);
+        assert!(full.repair_traffic.total() > 0);
+        assert!(
+            full.repair_traffic.intra_dc > 0,
+            "a two-site cluster repairs over intra-DC links too"
+        );
+        assert!(
+            full.usage.traffic.total() > off.usage.traffic.total(),
+            "repair bytes must flow into the billable traffic"
+        );
+        let (off_bill, full_bill) = (off.bill.unwrap(), full.bill.unwrap());
+        assert!(
+            full_bill.network_usd > off_bill.network_usd,
+            "repair traffic must show up in the bill ({} vs {})",
+            full_bill.network_usd,
+            off_bill.network_usd
+        );
+        // The whole point: the repaired run serves fewer stale reads.
+        assert!(
+            full.stale_reads <= off.stale_reads,
+            "repair must not increase staleness ({} vs {})",
+            full.stale_reads,
+            off.stale_reads
+        );
     }
 
     #[test]

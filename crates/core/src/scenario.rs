@@ -272,4 +272,29 @@ mod tests {
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
+
+    #[test]
+    fn fault_scripts_written_before_the_repair_plane_still_load() {
+        // A raw script in the wire format that predates the repair plane
+        // (PR 6): the scenario schema carries no repair fields, so scripts
+        // serialized back then must keep deserializing unchanged. This
+        // literal is the pinned pre-PR-6 format — do not regenerate it from
+        // the current serializer.
+        let json = r#"{
+            "arrival": {"OpenLoopPoisson": {"ops_per_sec": 2500.0}},
+            "faults": [
+                {"at": 1500000, "action": {"CrashNode": 3}},
+                {"at": 3000000, "action": {"DegradeLink": ["InterDc", 8.0]}},
+                {"at": 4000000, "action": {"HealDcs": [0, 1]}}
+            ]
+        }"#;
+        let script: Scenario = serde_json::from_str(json).unwrap();
+        let expected = Scenario::open_poisson(2_500.0).with_faults(vec![
+            FaultEvent::at_secs(1.5, FaultAction::CrashNode(3)),
+            FaultEvent::at_secs(3.0, FaultAction::DegradeLink(LinkClass::InterDc, 8.0)),
+            FaultEvent::at_secs(4.0, FaultAction::HealDcs(0, 1)),
+        ]);
+        assert_eq!(script, expected);
+        assert_eq!(script.label(), "poisson(2500/s)+3 faults");
+    }
 }

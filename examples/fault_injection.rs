@@ -1,6 +1,6 @@
 //! Worked example of the **scenario driver**: run adaptive and static
 //! consistency policies through a scripted multi-region outage under a fixed
-//! open-loop offered load.
+//! open-loop offered load, with the repair plane off and then fully on.
 //!
 //! The scenario replays the evaluation shape the adaptive policies are
 //! designed for — the cost/staleness trade-off under *offered load* and
@@ -8,15 +8,25 @@
 //!
 //! 1. node 1 crashes at 15% of the run (its ring tokens are withdrawn, the
 //!    survivors take over its ranges) and recovers at 40%;
-//! 2. the platform's two sites partition at 50% (cross-site messages are
+//! 2. node 2 goes down transiently at 25% — it keeps its ring tokens, so
+//!    writes keep fanning out to it and (with repair on) get queued as
+//!    hints — and comes back at 35%;
+//! 3. the platform's two sites partition at 50% (cross-site messages are
 //!    lost in transit) and heal at 70%;
-//! 3. the inter-site link degrades 8× at 80% (a WAN brown-out) and is
+//! 4. the inter-site link degrades 8× at 80% (a WAN brown-out) and is
 //!    restored at 95%.
 //!
 //! Because arrivals are open-loop (a pre-sorted Poisson schedule bulk-loaded
 //! through the event queue's O(1) bulk lane), the offered load does **not**
 //! back off while the cluster degrades — timeouts, retries and staleness
 //! show up in the report instead of silently stretching the makespan.
+//!
+//! The same grid runs twice: once with `RepairMode::Off` (divergence from
+//! the outage lingers until ordinary writes overwrite it) and once with
+//! `RepairMode::Full` (hinted handoff + anti-entropy + recovery migration
+//! actively re-converge the replicas). The comparison prints what repair
+//! buys — fewer stale reads after the outage — and what it costs — the
+//! repair bytes show up in the bill's network line.
 //!
 //! Run with:
 //! ```text
@@ -27,12 +37,13 @@ use concord::prelude::*;
 use concord::sim::LinkClass;
 use concord::PolicySpec;
 
-fn main() {
+fn faulted_experiment(repair: RepairMode) -> Experiment {
     // A scaled-down two-site Grid'5000-like platform. Timed-out operations
     // get one retry so the report separates "slow" from "gave up".
     let mut platform = concord::platforms::grid5000_harmony(0.15);
     platform.cluster.op_timeout = SimDuration::from_secs(1);
     platform.cluster.retry_on_timeout = 1;
+    platform.cluster.repair = RepairConfig::with_mode(repair);
 
     let mut workload = presets::paper_heavy_read_update(2_000, 20_000);
     workload.field_count = 1;
@@ -42,41 +53,78 @@ fn main() {
     // simulated time, and the fault script hits fixed fractions of it.
     let scenario = Scenario::open_poisson(2_000.0).with_faults(vec![
         FaultEvent::at_secs(1.5, FaultAction::CrashNode(1)),
+        FaultEvent::at_secs(2.5, FaultAction::NodeDown(2)),
+        FaultEvent::at_secs(3.5, FaultAction::NodeUp(2)),
         FaultEvent::at_secs(4.0, FaultAction::RecoverNode(1)),
         FaultEvent::at_secs(5.0, FaultAction::PartitionDcs(0, 1)),
         FaultEvent::at_secs(7.0, FaultAction::HealDcs(0, 1)),
         FaultEvent::at_secs(8.0, FaultAction::DegradeLink(LinkClass::InterDc, 8.0)),
         FaultEvent::at_secs(9.5, FaultAction::RestoreLink(LinkClass::InterDc)),
     ]);
-    println!("scenario: {}", scenario.label());
 
-    let experiment = Experiment::new(platform, workload)
+    Experiment::new(platform, workload)
         .with_adaptation_interval(SimDuration::from_millis(200))
         .with_seed(7)
-        .with_scenario(scenario);
+        .with_scenario(scenario)
+}
 
-    let reports = experiment.compare(&[
+fn main() {
+    let policies = [
         PolicySpec::Eventual,
         PolicySpec::Quorum,
         PolicySpec::Harmony { tolerance: 0.2 },
-    ]);
+    ];
+
+    let off = faulted_experiment(RepairMode::Off);
+    println!("scenario: {}", off.scenario().label());
+    let off_reports = off.compare(&policies);
     println!(
         "{}",
-        render_table("adaptive policies under faults", &reports)
+        render_table("repair off: policies under faults", &off_reports)
     );
+
+    let full = faulted_experiment(RepairMode::Full);
+    let full_reports = full.compare(&policies);
     println!(
-        "{:<28} {:>9} {:>8} {:>10} {:>7}",
-        "policy", "timeouts", "retries", "msgs-lost", "faults"
+        "{}",
+        render_table("repair full: same grid, repair plane on", &full_reports)
     );
-    for r in &reports {
+
+    // What repair buys (fewer stale reads) and what it costs (repair bytes
+    // the bill prices as ordinary network traffic).
+    println!(
+        "{:<28} {:>11} {:>12} {:>8} {:>10} {:>10} {:>11}",
+        "policy", "stale off", "stale full", "hints", "recs-strm", "repair-KB", "bill delta"
+    );
+    for (o, f) in off_reports.iter().zip(&full_reports) {
+        let delta = f.total_cost_usd() - o.total_cost_usd();
+        println!(
+            "{:<28} {:>11} {:>12} {:>8} {:>10} {:>10.1} {:>+11.4}",
+            o.policy,
+            o.stale_reads,
+            f.stale_reads,
+            f.hints_queued,
+            f.repair_records_streamed,
+            f.repair_traffic.total() as f64 / 1024.0,
+            delta,
+        );
+        // Repair-off reports never show repair activity; repair-on ones do.
+        assert_eq!(o.repair_traffic.total(), 0);
+        assert!(f.hints_queued > 0 && f.repair_records_streamed > 0);
+    }
+    println!(
+        "\n{:<28} {:>9} {:>8} {:>10} {:>7}",
+        "policy (repair full)", "timeouts", "retries", "msgs-lost", "faults"
+    );
+    for r in &full_reports {
         println!(
             "{:<28} {:>9} {:>8} {:>10} {:>7}",
             r.policy, r.timeouts, r.retries, r.messages_lost, r.faults_injected
         );
     }
 
-    // Fixed seed ⇒ the faulted run is exactly reproducible.
-    let again = experiment.run_spec(&PolicySpec::Quorum);
-    assert_eq!(again, reports[1], "fault scenarios are deterministic");
+    // Fixed seed ⇒ the faulted run is exactly reproducible, repair and all.
+    let again = full.run_spec(&PolicySpec::Quorum);
+    assert_eq!(again, full_reports[1], "fault scenarios are deterministic");
     println!("\nre-running the quorum point reproduced the report exactly.");
 }

@@ -64,7 +64,9 @@ pub use concord_workload as workload;
 pub mod prelude {
     pub use crate::experiment::{Experiment, PolicySpec};
     pub use crate::platforms::{self, Platform};
-    pub use concord_cluster::{Cluster, ClusterConfig, ConsistencyLevel, Partitioner};
+    pub use concord_cluster::{
+        Cluster, ClusterConfig, ConsistencyLevel, Partitioner, RepairConfig, RepairMode,
+    };
     pub use concord_core::{
         render_table, AdaptiveRuntime, BehaviorDrivenPolicy, BehaviorModelBuilder, BismarPolicy,
         ConsistencyPolicy, FaultAction, FaultEvent, HarmonyPolicy, RuleSet, RunReport,

@@ -13,7 +13,9 @@
 //! experiment fits in seconds on a laptop while preserving the topology
 //! (two datacenters stay two datacenters) and the replication factor.
 
-use concord_cluster::{ClusterConfig, ConsistencyLevel, Partitioner, ReplicationStrategy};
+use concord_cluster::{
+    ClusterConfig, ConsistencyLevel, Partitioner, RepairConfig, ReplicationStrategy,
+};
 use concord_cost::PricingModel;
 use concord_sim::{DelayDistribution, NetworkModel, RegionId, SimDuration, Topology};
 
@@ -58,6 +60,7 @@ fn base_config(topology: Topology, network: NetworkModel, rf: u32) -> ClusterCon
         small_message_bytes: 40,
         retry_on_timeout: 0,
         exact_latency_percentiles: false,
+        repair: RepairConfig::off(),
     }
 }
 
