@@ -103,7 +103,8 @@ fn main() {
     // Runtime comparison: static baselines through the shared sweep harness
     // (the behavior-driven policy carries a fitted model, which a declarative
     // `PolicySpec` cannot express, so it runs as a single extra point).
-    let platform = harness.apply_partitioner(concord::platforms::ec2_harmony(0.4));
+    let platform =
+        harness.apply_shards(harness.apply_partitioner(concord::platforms::ec2_harmony(0.4)));
     let mut workload = presets::paper_heavy_read_update(4_000, 20_000);
     workload.field_count = 1;
     workload.field_length = 1_000;

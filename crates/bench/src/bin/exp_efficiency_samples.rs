@@ -21,8 +21,9 @@ use concord_workload::RequestDistribution;
 
 fn main() {
     let harness = Harness::from_env();
-    let platform =
-        harness.apply_partitioner(concord::platforms::grid5000_cost(harness.scale.cluster));
+    let platform = harness.apply_shards(
+        harness.apply_partitioner(concord::platforms::grid5000_cost(harness.scale.cluster)),
+    );
     println!("EXP-B2a: platform = {}\n", platform.name);
 
     let base = slim(presets::cost_workload(harness.scale.workload));

@@ -42,8 +42,9 @@ fn main() {
         .unwrap_or(cores)
         .max(1);
 
-    let platform =
-        harness.apply_partitioner(concord::platforms::grid5000_harmony(harness.scale.cluster));
+    let platform = harness.apply_shards(
+        harness.apply_partitioner(concord::platforms::grid5000_harmony(harness.scale.cluster)),
+    );
     let workload = harness.apply_workload(slim(presets::harmony_grid5000_workload(
         harness.scale.workload,
     )));

@@ -20,6 +20,9 @@
 //!
 //! The measurement grid runs through the shared `run_timed_grid` harness
 //! (strictly sequential — wall-clock points must not share cores).
+//! `--shards N` runs both cluster substrates on the conservative-PDES
+//! sharded engine (byte-identical output, so a pure engine-cost axis) and
+//! prints one greppable `SHARDED_DATAPOINT` line per cluster substrate.
 //!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_throughput -- --scale 0.05
@@ -155,10 +158,11 @@ fn bench_store(total_ops: u64) -> Measurement {
     }
 }
 
-fn micro_cluster(partitioner: Partitioner) -> (Cluster, u64) {
+fn micro_cluster(partitioner: Partitioner, shards: u32) -> (Cluster, u64) {
     const KEYS: u64 = 500;
     let mut cfg = ClusterConfig::lan_test(8, 3);
     cfg.partitioner = partitioner;
+    cfg.shards = shards;
     let mut cluster = Cluster::new(cfg, 11);
     cluster.load_records((0..KEYS).map(|k| (k, 1_000)));
     cluster.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
@@ -166,8 +170,8 @@ fn micro_cluster(partitioner: Partitioner) -> (Cluster, u64) {
 }
 
 /// The full cluster hot path: closed-loop windows over the micro cluster.
-fn bench_cluster(total_ops: u64, partitioner: Partitioner) -> Measurement {
-    let (mut cluster, keys) = micro_cluster(partitioner);
+fn bench_cluster(total_ops: u64, partitioner: Partitioner, shards: u32) -> Measurement {
+    let (mut cluster, keys) = micro_cluster(partitioner, shards);
 
     // Submit in windows so the pending-op tables stay at realistic sizes
     // (a closed loop, like the runtime) rather than pre-queueing millions.
@@ -201,8 +205,8 @@ fn bench_cluster(total_ops: u64, partitioner: Partitioner) -> Measurement {
 /// The open-loop bulk path: a sorted `timed_ops` arrival schedule from the
 /// workload generator, bulk-loaded in windows through `Cluster::submit_batch`
 /// (the event queue's O(1) bulk lane carries every client arrival).
-fn bench_cluster_bulk(total_ops: u64, partitioner: Partitioner) -> Measurement {
-    let (mut cluster, keys) = micro_cluster(partitioner);
+fn bench_cluster_bulk(total_ops: u64, partitioner: Partitioner, shards: u32) -> Measurement {
+    let (mut cluster, keys) = micro_cluster(partitioner, shards);
     let mut workload = CoreWorkload::new(WorkloadConfig {
         record_count: keys,
         operation_count: total_ops,
@@ -283,6 +287,11 @@ fn main() {
     // `--partitioner ordered` re-times the cluster substrates under ordered
     // placement (contiguous ownership, coverage-faithful scans).
     let partitioner = harness.partitioner.unwrap_or_default();
+    // `--shards N` re-times the cluster substrates on the conservative-PDES
+    // sharded engine (per-node-group event lanes, lookahead windows). The
+    // completed-op stream is byte-identical at any shard count, so this axis
+    // measures pure engine cost.
+    let shards = harness.shards.unwrap_or(1);
     let args = &harness.args;
     let scale = harness.scale.workload;
     let out_path = args
@@ -304,7 +313,7 @@ fn main() {
 
     eprintln!(
         "exp_throughput: cluster_ops={cluster_ops} queue_rounds={queue_rounds} \
-         partitioner={} (best of {repeat})",
+         partitioner={} shards={shards} (best of {repeat})",
         partitioner.label()
     );
     // The store substrate is cheap per op; run 4× the cluster count so its
@@ -322,9 +331,11 @@ fn main() {
         let m = match point {
             Substrate::Queue { rounds } => best_of(repeat, || bench_event_queue(rounds)),
             Substrate::Store { ops } => best_of(repeat, || bench_store(ops)),
-            Substrate::Cluster { ops } => best_of(repeat, || bench_cluster(ops, partitioner)),
+            Substrate::Cluster { ops } => {
+                best_of(repeat, || bench_cluster(ops, partitioner, shards))
+            }
             Substrate::ClusterBulk { ops } => {
-                best_of(repeat, || bench_cluster_bulk(ops, partitioner))
+                best_of(repeat, || bench_cluster_bulk(ops, partitioner, shards))
             }
         };
         eprintln!(
@@ -338,11 +349,11 @@ fn main() {
         m
     });
 
-    // The placement mode changes the cluster substrates' costs, so every
-    // recorded measurement carries it — hash and ordered runs must never be
-    // mistaken for A/B pairs of the same configuration.
+    // The placement mode and shard count change the cluster substrates'
+    // costs, so every recorded measurement carries them — runs of different
+    // configurations must never be mistaken for A/B pairs of the same one.
     let json = format!(
-        "{{\"scale\":{scale},\"partitioner\":\"{}\",\"benches\":[{}]}}",
+        "{{\"scale\":{scale},\"partitioner\":\"{}\",\"shards\":{shards},\"benches\":[{}]}}",
         partitioner.label(),
         measurements
             .iter()
@@ -351,6 +362,21 @@ fn main() {
             .join(",")
     );
     println!("{json}");
+    // Machine-readable sharded-engine datapoint, greppable from CI logs the
+    // same way exp_sweep's MULTICORE_DATAPOINT is: the nightly `--shards
+    // 1|2|4` loop collects one line per shard count so engine-cost trends
+    // land in the workflow artifact next to the multicore sweep figures.
+    for m in &measurements {
+        if m.name.starts_with("cluster") {
+            println!(
+                "SHARDED_DATAPOINT {{\"shards\":{shards},\"substrate\":\"{}\",\
+                 \"events_per_sec\":{:.0},\"ns_per_op\":{:.1}}}",
+                m.name,
+                m.events_per_sec(),
+                m.ns_per_op()
+            );
+        }
+    }
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
             eprintln!("error: cannot write --out file {path}: {e}");

@@ -29,8 +29,9 @@
 //! `--workload a..f` (YCSB mix override, including the latest-distribution D
 //! and short-scan E presets), `--partitioner hash|ordered` (placement
 //! mode: token-ring hash placement or contiguous key-range ownership with
-//! coverage-faithful scans) and `--repair off|hints|anti-entropy|full`
-//! (repair plane, below).
+//! coverage-faithful scans), `--repair off|hints|anti-entropy|full`
+//! (repair plane, below) and `--shards <n>` (conservative-PDES sharded
+//! engine, below — byte-identical output at any shard count).
 //!
 //! ## Scenarios: arrival modes and fault scripts
 //!
@@ -225,6 +226,55 @@
 //! `crates/cluster/tests/golden_determinism.rs`: any hot-path change must
 //! keep those digests byte-identical (or consciously re-capture them with
 //! `GOLDEN_PRINT=1` and explain why the simulation's outputs changed).
+//!
+//! ## The sharded execution model: `--shards <n>`
+//!
+//! A single big run is one event stream, and the event queue above caps it
+//! at a few million events per second. `--shards <n>` (every
+//! cluster-driving binary; `ClusterConfig::shards`, so sweeps can grid over
+//! it) runs the cluster on `concord_sim::ShardedEventQueue`: the
+//! conservative parallel-discrete-event decomposition of that stream.
+//!
+//! * **Shard map.** Nodes are ordered by `(datacenter, id)` and cut into
+//!   `n` contiguous groups, so datacenters stay shard-contiguous and
+//!   intra-DC traffic (the bulk of replication chatter) stays shard-local.
+//!   Each shard owns an event lane; every event routes to the shard of the
+//!   node it targets (client arrivals to the key's primary replica's
+//!   shard, acks and timeouts to the coordinator's).
+//! * **Lookahead windows.** Shards advance in windows bounded by the
+//!   *lookahead*: the minimum delay any cross-shard link class can produce
+//!   (infimum of the delay distribution × the current degradation factor,
+//!   recomputed when a fault script degrades or restores a link class). No
+//!   message sent inside a window can demand execution before the window
+//!   ends, which is the classic conservative-PDES safety argument.
+//! * **Barrier merge.** Cross-shard messages land in per-shard mailboxes
+//!   and are flushed at window barriers, merged in packed `time‖seq` order
+//!   — the *same* global key order the sequential engine pops in. Events
+//!   whose sampled delay undercuts the lookahead bound are delivered
+//!   directly and metered (`lookahead_violations` in the `RunReport`,
+//!   alongside `shards`, `shard_windows` and `cross_shard_staged`).
+//!
+//! **Why the goldens still hold.** The cluster's handlers draw from one
+//! serial RNG stream in pop order, so correctness requires the *pop
+//! sequence* to be identical at every shard count — and it is, by
+//! construction: all lanes share one global sequence counter and every pop
+//! takes the globally smallest packed key across lanes, exactly as the
+//! sequential heap would. Window accounting and mailbox staging change
+//! *when* entries move between structures, never *which key pops next*.
+//! Shard count is therefore a pure engine knob, the same contract as
+//! thread count: every pre-existing golden digest in
+//! `crates/cluster/tests/golden_determinism.rs` is asserted byte-identical
+//! at 1, 2 and 4 shards, and
+//! `crates/cluster/tests/sharded_determinism.rs` pins the hard edges (a
+//! node crashing mid-window, a partition severing two shards, ordered
+//! scans straddling a shard boundary) against their 1-shard runs. The
+//! handler loop itself still executes serially — the sharded engine
+//! contributes the decomposition, routing and window protocol that true
+//! multi-core execution needs, while keeping the byte-identity contract
+//! that makes it adoptable (see `concord_sim::shard` for the full
+//! design notes). `exp_throughput --shards <n>` measures the engine cost
+//! and prints greppable `SHARDED_DATAPOINT` lines for the nightly CI
+//! sweep.
 
 pub mod sweep;
 

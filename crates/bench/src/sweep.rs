@@ -7,7 +7,8 @@
 //!
 //! * [`Harness`] — common CLI surface (`--scale`, `--cluster-scale`,
 //!   `--platform`, `--seeds`, `--seed-base`, `--threads`, plus the
-//!   `--arrival` / `--workload` / `--partitioner` / `--repair` overrides)
+//!   `--arrival` / `--workload` / `--partitioner` / `--repair` /
+//!   `--shards` overrides)
 //!   and platform lookup; `--threads` configures the global rayon pool for
 //!   the process.
 //! * [`Sweep`] — a declarative `(policy × seed)` grid over one
@@ -75,6 +76,13 @@ pub struct Harness {
     /// Applied to every platform the harness constructs, like
     /// `--partitioner`. `None` keeps the platform's default (off).
     pub repair: Option<RepairMode>,
+    /// Event-queue shard count override (`--shards N`): runs every cluster
+    /// on the conservative-PDES sharded engine with `N` per-node-group
+    /// lanes. Output is byte-identical at any shard count (the engine's
+    /// merge-exact contract), so this is a pure performance/engine axis.
+    /// Applied to every platform the harness constructs, like
+    /// `--partitioner`. `None` keeps the platform's default (unsharded).
+    pub shards: Option<u32>,
 }
 
 impl Harness {
@@ -139,6 +147,16 @@ impl Harness {
                 panic!("--repair {name}: unknown mode (off|hints|anti-entropy|full)")
             })
         });
+        let shards = args.iter().position(|a| a == "--shards").map(|i| {
+            let value = args
+                .get(i + 1)
+                .expect("--shards needs a value (a shard count >= 1)");
+            let n: u32 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--shards {value}: not a shard count"));
+            assert!(n >= 1, "--shards {n}: a run needs at least one shard");
+            n
+        });
         Harness {
             args,
             scale,
@@ -149,6 +167,7 @@ impl Harness {
             workload,
             partitioner,
             repair,
+            shards,
         }
     }
 
@@ -213,6 +232,18 @@ impl Harness {
         platform
     }
 
+    /// Apply the `--shards` override (if given) to a platform the binary
+    /// constructed itself: the cluster runs on the sharded event engine
+    /// with the requested lane count (clamped to the node count by the
+    /// cluster). [`Harness::cost_platform`] and
+    /// [`Harness::harmony_platform`] already apply it.
+    pub fn apply_shards(&self, mut platform: Platform) -> Platform {
+        if let Some(shards) = self.shards {
+            platform.cluster.shards = shards;
+        }
+        platform
+    }
+
     /// Apply the `--workload` override (if given) to the binary's default
     /// workload: the named preset's mix, request distribution and scan
     /// bounds replace the default's, while the record/operation counts and
@@ -250,23 +281,29 @@ impl Harness {
     }
 
     /// The cost-experiment platform for `--platform` at `--cluster-scale`,
-    /// with the `--partitioner` and `--repair` overrides applied.
+    /// with the `--partitioner`, `--repair` and `--shards` overrides
+    /// applied.
     pub fn cost_platform(&self) -> Platform {
-        self.apply_repair(self.apply_partitioner(if self.platform.starts_with("ec2") {
-            concord::platforms::ec2_cost(self.scale.cluster)
-        } else {
-            concord::platforms::grid5000_cost(self.scale.cluster)
-        }))
+        self.apply_shards(self.apply_repair(self.apply_partitioner(
+            if self.platform.starts_with("ec2") {
+                concord::platforms::ec2_cost(self.scale.cluster)
+            } else {
+                concord::platforms::grid5000_cost(self.scale.cluster)
+            },
+        )))
     }
 
     /// The Harmony-experiment platform for `--platform` at `--cluster-scale`,
-    /// with the `--partitioner` and `--repair` overrides applied.
+    /// with the `--partitioner`, `--repair` and `--shards` overrides
+    /// applied.
     pub fn harmony_platform(&self) -> Platform {
-        self.apply_repair(self.apply_partitioner(if self.platform.starts_with("ec2") {
-            concord::platforms::ec2_harmony(self.scale.cluster)
-        } else {
-            concord::platforms::grid5000_harmony(self.scale.cluster)
-        }))
+        self.apply_shards(self.apply_repair(self.apply_partitioner(
+            if self.platform.starts_with("ec2") {
+                concord::platforms::ec2_harmony(self.scale.cluster)
+            } else {
+                concord::platforms::grid5000_harmony(self.scale.cluster)
+            },
+        )))
     }
 
     /// Print the standard experiment banner.
@@ -610,6 +647,7 @@ mod tests {
         assert!(h.workload.is_none());
         assert!(h.partitioner.is_none());
         assert!(h.repair.is_none());
+        assert!(h.shards.is_none());
         // Absent overrides are no-ops and pass the forbid checks.
         h.forbid_workload_override("n/a");
         h.forbid_arrival_override("n/a");
@@ -669,6 +707,30 @@ mod tests {
     #[should_panic(expected = "unknown mode")]
     fn unknown_repair_mode_fails_loudly() {
         Harness::from_args(vec!["exp".into(), "--repair".into(), "merkle".into()]);
+    }
+
+    #[test]
+    fn harness_parses_the_shards_override() {
+        let args: Vec<String> = ["exp", "--shards", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let h = Harness::from_args(args);
+        assert_eq!(h.shards, Some(4));
+        // Every harness-constructed platform runs under the override.
+        assert_eq!(h.cost_platform().cluster.shards, 4);
+        assert_eq!(h.harmony_platform().cluster.shards, 4);
+        let custom = h.apply_shards(concord::platforms::laptop());
+        assert_eq!(custom.cluster.shards, 4);
+        // No override leaves the platform default (unsharded) untouched.
+        let plain = Harness::from_args(vec!["exp".into()]);
+        assert!(plain.cost_platform().cluster.shards <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a shard count")]
+    fn non_numeric_shard_count_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--shards".into(), "many".into()]);
     }
 
     #[test]

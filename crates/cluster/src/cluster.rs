@@ -32,7 +32,8 @@ use crate::slab::OpSlab;
 use crate::storage::ReplicaStore;
 use crate::types::{CompletedOp, Key, OpId, OpKind, OpStatus, Version};
 use concord_sim::{
-    CompiledDelay, DcId, EventQueue, InlineVec, LinkClass, NodeId, SimDuration, SimRng, SimTime,
+    CompiledDelay, DcId, InlineVec, LinkClass, NetworkModel, NodeId, ShardMetrics,
+    ShardedEventQueue, SimDuration, SimRng, SimTime, Topology,
 };
 use std::collections::VecDeque;
 
@@ -330,7 +331,7 @@ pub struct Cluster {
     ring: Ring,
     stores: Vec<ReplicaStore>,
     nodes: Vec<NodeRuntime>,
-    queue: EventQueue<Event>,
+    queue: ShardedEventQueue<Event>,
     rng: SimRng,
     oracle: StalenessOracle,
     metrics: ClusterMetrics,
@@ -411,6 +412,17 @@ pub struct Cluster {
     storage_read_sampler: CompiledDelay,
     storage_write_sampler: CompiledDelay,
     node_count: usize,
+
+    // ---- conservative-PDES sharding (see `concord_sim::shard`) ----
+    /// Event-queue shard of every node: datacenters are kept contiguous
+    /// (nodes ordered by (dc, id), then cut into `shards` equal groups), so
+    /// intra-DC traffic stays shard-local and the lookahead bound is set by
+    /// the slower cross-DC links. Static for the cluster's life — crashes
+    /// withdraw ring tokens but never move a node between shards.
+    node_shard: Vec<u16>,
+    /// Which link classes connect nodes of *different* shards: the classes
+    /// whose delay infimum bounds the lookahead window.
+    cross_shard_classes: [bool; 4],
 }
 
 /// Paged direct-indexed cache of ring placements: `key → [NodeId; rf]`,
@@ -528,6 +540,17 @@ impl Cluster {
         ];
         let storage_read_sampler = config.storage_read_latency.compiled();
         let storage_write_sampler = config.storage_write_latency.compiled();
+        let shards = config.effective_shards();
+        let node_shard = Self::build_shard_map(&config.topology, shards);
+        let mut cross_shard_classes = [false; 4];
+        for from in 0..n {
+            for to in 0..n {
+                if node_shard[from] != node_shard[to] {
+                    cross_shard_classes[class_index(link_class[from * n + to])] = true;
+                }
+            }
+        }
+        let lookahead = Self::lookahead_bound(&config.network, &cross_shard_classes, &[1.0; 4]);
         let mut metrics = ClusterMetrics::new();
         if config.exact_latency_percentiles {
             metrics.read_latency.enable_exact();
@@ -549,7 +572,7 @@ impl Cluster {
                 })
                 .collect(),
             nodes: (0..n).map(|_| NodeRuntime::default()).collect(),
-            queue: EventQueue::new(),
+            queue: ShardedEventQueue::new(shards, lookahead),
             rng: SimRng::new(seed),
             oracle: StalenessOracle::new(),
             metrics,
@@ -590,8 +613,104 @@ impl Cluster {
             storage_read_sampler,
             storage_write_sampler,
             node_count: n,
+            node_shard,
+            cross_shard_classes,
             config,
         }
+    }
+
+    /// Assign every node to an event-queue shard. [`Topology::spread`] deals
+    /// datacenters round-robin over node ids, so nodes are ordered by
+    /// (datacenter, id) first and the ordered list is cut into `shards`
+    /// contiguous groups — each shard then holds whole datacenters (or a
+    /// contiguous slice of one), keeping intra-DC traffic shard-local.
+    fn build_shard_map(topology: &Topology, shards: usize) -> Vec<u16> {
+        let n = topology.node_count();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&i| (topology.dc_of(NodeId(i)).0, i));
+        let mut map = vec![0u16; n];
+        for (pos, &node) in order.iter().enumerate() {
+            map[node as usize] = (pos * shards / n) as u16;
+        }
+        map
+    }
+
+    /// The conservative lookahead bound: the infimum of the link delay over
+    /// the classes that cross a shard boundary, scaled by the current
+    /// degradation factors (a factor below 1 shrinks delays, so the window
+    /// must shrink with it). A zero infimum (e.g. an exponential cross-shard
+    /// link) degrades to the queue's minimal 1 µs window rather than
+    /// disabling sharding.
+    fn lookahead_bound(
+        network: &NetworkModel,
+        cross: &[bool; 4],
+        degradation: &[f64; 4],
+    ) -> SimDuration {
+        let dists = [
+            &network.local,
+            &network.intra_dc,
+            &network.inter_dc,
+            &network.inter_region,
+        ];
+        let mut min_ms = f64::INFINITY;
+        for c in 0..4 {
+            if cross[c] {
+                min_ms = min_ms.min(dists[c].min_ms() * degradation[c]);
+            }
+        }
+        if !min_ms.is_finite() {
+            // No cross-shard link exists (single shard): any window works.
+            min_ms = 1000.0;
+        }
+        SimDuration::from_micros((min_ms * 1_000.0).floor() as u64)
+    }
+
+    /// Re-derive the lookahead bound from the current degradation factors
+    /// and hand it to the queue (takes effect at the next window barrier).
+    fn refresh_lookahead(&mut self) {
+        let bound = Self::lookahead_bound(
+            &self.config.network,
+            &self.cross_shard_classes,
+            &self.link_degradation,
+        );
+        self.queue.set_lookahead(bound);
+    }
+
+    /// The event-queue shard a node's events execute on.
+    #[inline]
+    fn shard_of(&self, node: NodeId) -> usize {
+        self.node_shard[node.0 as usize] as usize
+    }
+
+    /// The shard where a client operation on `key` enters the simulation:
+    /// its primary replica's shard (pure ring lookup through the placement
+    /// cache — no RNG, no metering, so routing is invisible to the run).
+    fn home_shard(&mut self, key: Key) -> usize {
+        if self.queue.shards() == 1 {
+            return 0;
+        }
+        let mut replicas = std::mem::take(&mut self.replica_scratch);
+        self.replica_cache
+            .replicas_into(&self.ring, key, &mut replicas);
+        let shard = replicas.first().map_or(0, |&node| self.shard_of(node));
+        self.replica_scratch = replicas;
+        shard
+    }
+
+    /// Number of event-queue shards this cluster runs with.
+    pub fn shards(&self) -> usize {
+        self.queue.shards()
+    }
+
+    /// Synchronization counters of the sharded event engine (lookahead
+    /// windows crossed, cross-shard events staged, bound violations).
+    pub fn shard_metrics(&self) -> ShardMetrics {
+        self.queue.metrics()
+    }
+
+    /// The current conservative lookahead window bound.
+    pub fn lookahead(&self) -> SimDuration {
+        self.queue.lookahead()
     }
 
     /// The cluster's configuration.
@@ -787,9 +906,15 @@ impl Cluster {
             if self.config.repair.mode.anti_entropy_enabled() {
                 for peer in 0..self.node_count {
                     if !self.nodes[peer].down {
-                        self.queue.schedule_now(Event::RepairSync {
-                            node: NodeId(peer as u32),
-                        });
+                        // Fault-driven control broadcast: applied at the
+                        // global barrier edge, not a cross-shard message.
+                        let shard = self.node_shard[peer] as usize;
+                        self.queue.schedule_arrival_now(
+                            shard,
+                            Event::RepairSync {
+                                node: NodeId(peer as u32),
+                            },
+                        );
                     }
                 }
             }
@@ -809,7 +934,9 @@ impl Cluster {
             self.set_node_up(node);
             self.rebuild_ring();
             if self.config.repair.mode.anti_entropy_enabled() {
-                self.queue.schedule_now(Event::RepairSync { node });
+                let shard = self.shard_of(node);
+                self.queue
+                    .schedule_arrival_now(shard, Event::RepairSync { node });
             }
         }
     }
@@ -890,6 +1017,10 @@ impl Cluster {
         );
         self.link_degradation[class_index(class)] = factor;
         self.degradation_active = self.link_degradation.iter().any(|&f| f != 1.0);
+        // A speed-up factor shrinks the smallest cross-shard delay: the
+        // lookahead window must shrink with it or staging decisions would be
+        // recorded against a stale bound.
+        self.refresh_lookahead();
     }
 
     /// Restore a degraded link class to its healthy latency.
@@ -1019,7 +1150,9 @@ impl Cluster {
             scan_len,
             level,
         }));
-        self.queue.schedule_at(at, Event::ClientArrive { op_id });
+        let shard = self.home_shard(Key(key));
+        self.queue
+            .schedule_arrival(shard, at, Event::ClientArrive { op_id });
         op_id
     }
 
@@ -1054,8 +1187,9 @@ impl Cluster {
                 scan_len: op.scan_len.max(1),
                 level: op.level,
             }));
+            let shard = self.home_shard(Key(op.key));
             self.queue
-                .bulk_push_sorted(op.at, Event::ClientArrive { op_id });
+                .bulk_push_sorted(shard, op.at, Event::ClientArrive { op_id });
             submitted += 1;
         }
         submitted
@@ -1064,7 +1198,9 @@ impl Cluster {
     /// Schedule a tick: [`Cluster::advance`] will return
     /// [`ClusterOutput::Tick`] when the simulation reaches `at`.
     pub fn schedule_tick(&mut self, at: SimTime, id: u64) {
-        self.queue.schedule_at(at, Event::Tick { id });
+        // Ticks are external control events with no home node; they live on
+        // shard 0 and are applied at the barrier like any arrival.
+        self.queue.schedule_arrival(0, at, Event::Tick { id });
     }
 
     /// Process events until something reportable happens (an operation
@@ -1252,7 +1388,9 @@ impl Cluster {
             return;
         }
         self.hint_replay_active[idx] = true;
+        let shard = self.shard_of(node);
         self.queue.schedule_timeout(
+            shard,
             self.queue.now() + self.config.repair.replay_interval(),
             Event::HintReplay { node },
         );
@@ -1283,7 +1421,9 @@ impl Cluster {
                 repair: true,
             });
             self.retain_payload(payload);
+            let shard = self.shard_of(node);
             self.queue.schedule_at(
+                shard,
                 now + delay,
                 Event::ReplicaArrive {
                     node,
@@ -1298,7 +1438,9 @@ impl Cluster {
         if self.hints[idx].is_empty() {
             self.hint_replay_active[idx] = false;
         } else {
+            let shard = self.shard_of(node);
             self.queue.schedule_timeout(
+                shard,
                 now + self.config.repair.replay_interval(),
                 Event::HintReplay { node },
             );
@@ -1316,7 +1458,10 @@ impl Cluster {
         self.sweep_idle_rounds = 0;
         if !self.sweep_active {
             self.sweep_active = true;
+            // The sweep cycle is a cluster-wide background process with no
+            // home node; its chain lives on shard 0.
             self.queue.schedule_timeout(
+                0,
                 self.queue.now() + self.config.repair.sweep_interval(),
                 Event::AntiEntropy,
             );
@@ -1374,6 +1519,7 @@ impl Cluster {
             return;
         }
         self.queue.schedule_timeout(
+            0,
             now + self.config.repair.sweep_interval(),
             Event::AntiEntropy,
         );
@@ -1440,7 +1586,9 @@ impl Cluster {
                 repair: true,
             });
             self.retain_payload(payload);
+            let shard = self.shard_of(to);
             self.queue.schedule_at(
+                shard,
                 now + delay,
                 Event::ReplicaArrive {
                     node: to,
@@ -1558,7 +1706,9 @@ impl Cluster {
             }
             targeted += 1;
             self.retain_payload(payload);
+            let shard = self.shard_of(replica);
             self.queue.schedule_at(
+                shard,
                 now + delay,
                 Event::ReplicaArrive {
                     node: replica,
@@ -1591,8 +1741,12 @@ impl Cluster {
         // One pending timer per in-flight op would dominate the heap; the
         // queue's timer-wheel lane keeps them out of it at O(1) regardless
         // of the timeout pattern (constant, per-op, or retry-staggered).
-        self.queue
-            .schedule_timeout(now + self.config.op_timeout, Event::OpTimeout { op_id });
+        let shard = self.shard_of(coordinator);
+        self.queue.schedule_timeout(
+            shard,
+            now + self.config.op_timeout,
+            Event::OpTimeout { op_id },
+        );
     }
 
     /// Issue a read attempt (see [`Cluster::start_write`] for the retry
@@ -1653,7 +1807,9 @@ impl Cluster {
                     self.metrics.messages_lost += 1;
                     continue;
                 }
+                let shard = self.shard_of(replica);
                 self.queue.schedule_at(
+                    shard,
                     now + delay,
                     Event::ReplicaArrive {
                         node: replica,
@@ -1701,8 +1857,12 @@ impl Cluster {
         // One pending timer per in-flight op would dominate the heap; the
         // queue's timer-wheel lane keeps them out of it at O(1) regardless
         // of the timeout pattern (constant, per-op, or retry-staggered).
-        self.queue
-            .schedule_timeout(now + self.config.op_timeout, Event::OpTimeout { op_id });
+        let shard = self.shard_of(coordinator);
+        self.queue.schedule_timeout(
+            shard,
+            now + self.config.op_timeout,
+            Event::OpTimeout { op_id },
+        );
     }
 
     /// Pick which replicas a read contacts: shuffle (random tie-break), rank
@@ -1785,8 +1945,12 @@ impl Cluster {
             ReplicaTask::Write { .. } => self.storage_write_sampler.sample(&mut self.rng),
             ReplicaTask::Read { .. } => self.storage_read_sampler.sample(&mut self.rng),
         };
-        self.queue
-            .schedule_at(now + service, Event::ReplicaServiceDone { node, task });
+        let shard = self.shard_of(node);
+        self.queue.schedule_at(
+            shard,
+            now + service,
+            Event::ReplicaServiceDone { node, task },
+        );
     }
 
     fn on_replica_done(&mut self, now: SimTime, node: NodeId, task: ReplicaTask) {
@@ -1847,7 +2011,9 @@ impl Cluster {
                     self.abandon_expected_ack(op_id);
                     return;
                 }
+                let shard = self.shard_of(coordinator);
                 self.queue.schedule_at(
+                    shard,
                     now + delay,
                     Event::CoordinatorWriteAck { op_id, from: node },
                 );
@@ -1903,7 +2069,9 @@ impl Cluster {
                     self.metrics.messages_lost += 1;
                     return;
                 }
+                let shard = self.shard_of(coordinator);
                 self.queue.schedule_at(
+                    shard,
                     now + delay,
                     Event::CoordinatorReadResponse {
                         op_id,
@@ -2050,7 +2218,9 @@ impl Cluster {
                         continue;
                     }
                     self.retain_payload(payload);
+                    let shard = self.shard_of(replica);
                     self.queue.schedule_at(
+                        shard,
                         now + delay,
                         Event::ReplicaArrive {
                             node: replica,

@@ -209,6 +209,17 @@ pub struct ClusterConfig {
     /// histogram's ≤3%-error quantiles (validation of fault-scenario tails;
     /// costs 8 bytes per completed operation).
     pub exact_latency_percentiles: bool,
+    /// Number of event-queue shards the engine partitions the cluster into
+    /// (conservative-PDES sharding: nodes are grouped datacenter-contiguously
+    /// into `shards` groups, each with its own event lanes, advancing in
+    /// lookahead windows bounded by the minimum cross-shard link delay, with
+    /// cross-shard traffic staged at window barriers). **Output is
+    /// byte-identical at any shard count** — the golden-digest tests assert
+    /// it — so this is purely an engine knob. 1 (and, for backward
+    /// compatibility of serialized configs, an absent field deserializing to
+    /// 0) means unsharded; values above the node count are clamped to it.
+    #[serde(default)]
+    pub shards: u32,
 }
 
 impl ClusterConfig {
@@ -240,7 +251,16 @@ impl ClusterConfig {
             small_message_bytes: 40,
             retry_on_timeout: 0,
             exact_latency_percentiles: false,
+            shards: 1,
         }
+    }
+
+    /// Effective shard count for this config's topology: 0 (an absent field
+    /// in a pre-sharding serialized config) and 1 both mean unsharded, and
+    /// values above the node count clamp to it (an empty shard could never
+    /// receive an event, so granting it a lane would be pure overhead).
+    pub fn effective_shards(&self) -> usize {
+        (self.shards.max(1) as usize).min(self.topology.node_count().max(1))
     }
 
     /// Validate structural constraints.
@@ -367,6 +387,27 @@ mod tests {
             RepairConfig::off().sweep_interval()
         );
         assert_eq!(partial.summary_bytes(), RepairConfig::off().summary_bytes());
+    }
+
+    #[test]
+    fn configs_without_a_shards_field_default_to_unsharded() {
+        // Pre-sharding configs must keep deserializing, and both the absent
+        // field (0) and an explicit 1 mean "unsharded".
+        let cfg = ClusterConfig::lan_test(4, 3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json.replace(",\"shards\":1", "");
+        assert_ne!(json, stripped, "the field must have been present");
+        let back: ClusterConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.shards, 0);
+        assert_eq!(back.effective_shards(), 1);
+        assert_eq!(cfg.effective_shards(), 1);
+        // Oversharded configs clamp to the node count.
+        let mut wide = ClusterConfig::lan_test(4, 3);
+        wide.shards = 64;
+        assert!(wide.validate().is_ok());
+        assert_eq!(wide.effective_shards(), 4);
+        wide.shards = 2;
+        assert_eq!(wide.effective_shards(), 2);
     }
 
     #[test]

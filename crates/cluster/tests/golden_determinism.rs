@@ -63,6 +63,13 @@ fn digest(cluster: &mut Cluster) -> RunDigest {
 }
 
 fn geo_cluster(seed: u64) -> Cluster {
+    geo_cluster_sharded(seed, 1)
+}
+
+/// The same geo cluster on a sharded event engine: the digests must hold
+/// byte-for-byte at **any** shard count (the conservative-PDES engine's
+/// merge-exact contract — see `concord_sim::shard`).
+fn geo_cluster_sharded(seed: u64, shards: u32) -> Cluster {
     let mut cfg = ClusterConfig::lan_test(6, 5);
     cfg.topology = Topology::spread(
         6,
@@ -71,6 +78,7 @@ fn geo_cluster(seed: u64) -> Cluster {
     cfg.network = NetworkModel::grid5000_like();
     cfg.strategy = ReplicationStrategy::NetworkTopology;
     cfg.read_repair = true;
+    cfg.shards = shards;
     Cluster::new(cfg, seed)
 }
 
@@ -109,51 +117,72 @@ fn maybe_print(name: &str, d: &RunDigest, c: &Cluster) {
 }
 
 /// Weak-consistency geo run with read repair: the paper's staleness window.
+/// Pinned at 1, 2 and 4 event-queue shards: the sharded engine's barrier
+/// windows and mailbox staging must be invisible to the output.
 #[test]
 fn golden_geo_weak_consistency_run() {
-    let mut c = geo_cluster(7);
-    c.load_records((0..20u64).map(|k| (k, 200)));
-    c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
-    churn(&mut c, 4_000, 20, SimDuration::from_micros(500));
-    let d = digest(&mut c);
-    maybe_print("weak", &d, &c);
+    for shards in [1u32, 2, 4] {
+        let mut c = geo_cluster_sharded(7, shards);
+        c.load_records((0..20u64).map(|k| (k, 200)));
+        c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+        churn(&mut c, 4_000, 20, SimDuration::from_micros(500));
+        let d = digest(&mut c);
+        maybe_print("weak", &d, &c);
 
-    assert_eq!(d.ops, 4_000);
-    assert_eq!(d.reads, 2_000);
-    assert_eq!(d.writes, 2_000);
-    assert_eq!(d.stale, GOLDEN_WEAK.0);
-    assert_eq!(d.timeouts, 0);
-    assert_eq!(d.latency_sum_us, GOLDEN_WEAK.1);
-    assert_eq!(d.checksum, GOLDEN_WEAK.2);
-    assert_eq!(c.events_processed(), GOLDEN_WEAK.3);
-    assert_eq!(c.now().as_micros(), GOLDEN_WEAK.4);
-    assert_eq!(c.metrics().messages, GOLDEN_WEAK.5);
-    assert_eq!(c.metrics().traffic.total(), GOLDEN_WEAK.6);
-    assert_eq!(c.metrics().traffic.inter_dc, GOLDEN_WEAK.7);
-    assert_eq!(
-        (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
-        GOLDEN_WEAK.8
-    );
-    assert_eq!(c.oracle().stale_reads(), d.stale);
+        assert_eq!(c.shards() as u32, shards);
+        assert_eq!(d.ops, 4_000);
+        assert_eq!(d.reads, 2_000);
+        assert_eq!(d.writes, 2_000);
+        assert_eq!(d.stale, GOLDEN_WEAK.0, "{shards} shards");
+        assert_eq!(d.timeouts, 0);
+        assert_eq!(d.latency_sum_us, GOLDEN_WEAK.1, "{shards} shards");
+        assert_eq!(d.checksum, GOLDEN_WEAK.2, "{shards} shards");
+        assert_eq!(c.events_processed(), GOLDEN_WEAK.3, "{shards} shards");
+        assert_eq!(c.now().as_micros(), GOLDEN_WEAK.4, "{shards} shards");
+        assert_eq!(c.metrics().messages, GOLDEN_WEAK.5, "{shards} shards");
+        assert_eq!(
+            c.metrics().traffic.total(),
+            GOLDEN_WEAK.6,
+            "{shards} shards"
+        );
+        assert_eq!(
+            c.metrics().traffic.inter_dc,
+            GOLDEN_WEAK.7,
+            "{shards} shards"
+        );
+        assert_eq!(
+            (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
+            GOLDEN_WEAK.8,
+            "{shards} shards"
+        );
+        assert_eq!(c.oracle().stale_reads(), d.stale);
+        if shards > 1 {
+            let m = c.shard_metrics();
+            assert!(m.windows > 0, "the run must cross lookahead windows");
+            assert!(m.staged > 0, "geo traffic must stage cross-shard events");
+        }
+    }
 }
 
 /// Quorum/quorum run: R+W>N, so zero staleness with non-trivial latencies.
 #[test]
 fn golden_geo_quorum_run() {
-    let mut c = geo_cluster(13);
-    c.load_records((0..50u64).map(|k| (k, 200)));
-    c.set_levels(ConsistencyLevel::Quorum, ConsistencyLevel::Quorum);
-    churn(&mut c, 3_000, 50, SimDuration::from_micros(300));
-    let d = digest(&mut c);
-    maybe_print("quorum", &d, &c);
+    for shards in [1u32, 2, 4] {
+        let mut c = geo_cluster_sharded(13, shards);
+        c.load_records((0..50u64).map(|k| (k, 200)));
+        c.set_levels(ConsistencyLevel::Quorum, ConsistencyLevel::Quorum);
+        churn(&mut c, 3_000, 50, SimDuration::from_micros(300));
+        let d = digest(&mut c);
+        maybe_print("quorum", &d, &c);
 
-    assert_eq!(d.ops, 3_000);
-    assert_eq!(d.stale, 0, "R+W>N can never be stale");
-    assert_eq!(d.timeouts, 0);
-    assert_eq!(d.latency_sum_us, GOLDEN_QUORUM.0);
-    assert_eq!(d.checksum, GOLDEN_QUORUM.1);
-    assert_eq!(c.events_processed(), GOLDEN_QUORUM.2);
-    assert_eq!(c.now().as_micros(), GOLDEN_QUORUM.3);
+        assert_eq!(d.ops, 3_000);
+        assert_eq!(d.stale, 0, "R+W>N can never be stale");
+        assert_eq!(d.timeouts, 0);
+        assert_eq!(d.latency_sum_us, GOLDEN_QUORUM.0, "{shards} shards");
+        assert_eq!(d.checksum, GOLDEN_QUORUM.1, "{shards} shards");
+        assert_eq!(c.events_processed(), GOLDEN_QUORUM.2, "{shards} shards");
+        assert_eq!(c.now().as_micros(), GOLDEN_QUORUM.3, "{shards} shards");
+    }
 }
 
 /// Failure + timeout path: one node down under write-ALL.
@@ -426,42 +455,48 @@ fn golden_partition_heal_run() {
 /// read only their anchor record, so there is no pre-refactor digest.)
 #[test]
 fn golden_ycsb_e_scan_run() {
-    let mut c = geo_cluster(43);
-    c.load_records((0..200u64).map(|k| (k, 200)));
-    c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
-    let mut at = SimTime::ZERO;
-    // 5% inserts-as-updates / 95% scans is workload E's shape; interleave
-    // writes so scans race propagation (staleness through the anchor).
-    for i in 0..3_000u64 {
-        at += SimDuration::from_micros(400);
-        // Scans anchor on the most recently written key, so they race its
-        // propagation window exactly like the Figure-1 point reads do.
-        let hot = (i / 4) % 200;
-        if i % 4 == 0 {
-            c.submit_write_at(hot, 200, at);
-        } else {
-            let len = 1 + (i % 40) as u32;
-            c.submit_scan_at(hot, len, at);
+    for shards in [1u32, 2, 4] {
+        let mut c = geo_cluster_sharded(43, shards);
+        c.load_records((0..200u64).map(|k| (k, 200)));
+        c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+        let mut at = SimTime::ZERO;
+        // 5% inserts-as-updates / 95% scans is workload E's shape; interleave
+        // writes so scans race propagation (staleness through the anchor).
+        for i in 0..3_000u64 {
+            at += SimDuration::from_micros(400);
+            // Scans anchor on the most recently written key, so they race its
+            // propagation window exactly like the Figure-1 point reads do.
+            let hot = (i / 4) % 200;
+            if i % 4 == 0 {
+                c.submit_write_at(hot, 200, at);
+            } else {
+                let len = 1 + (i % 40) as u32;
+                c.submit_scan_at(hot, len, at);
+            }
         }
-    }
-    let d = digest(&mut c);
-    maybe_print("ycsb_e_scan", &d, &c);
+        let d = digest(&mut c);
+        maybe_print("ycsb_e_scan", &d, &c);
 
-    assert_eq!(d.ops, 3_000);
-    assert_eq!(d.timeouts, 0);
-    assert_eq!(d.stale, GOLDEN_SCAN.0);
-    assert_eq!(d.latency_sum_us, GOLDEN_SCAN.1);
-    assert_eq!(d.checksum, GOLDEN_SCAN.2);
-    assert_eq!(c.events_processed(), GOLDEN_SCAN.3);
-    assert_eq!(
-        (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
-        GOLDEN_SCAN.4,
-        "scans are metered one storage read per probed record"
-    );
-    assert_eq!(c.metrics().traffic.total(), GOLDEN_SCAN.5);
-    // Sanity: the scan mix probes far more records than it completes reads
-    // (mean scan length ~20 over 2250 scans).
-    assert!(c.metrics().storage_read_ops > 40_000);
+        assert_eq!(d.ops, 3_000);
+        assert_eq!(d.timeouts, 0);
+        assert_eq!(d.stale, GOLDEN_SCAN.0, "{shards} shards");
+        assert_eq!(d.latency_sum_us, GOLDEN_SCAN.1, "{shards} shards");
+        assert_eq!(d.checksum, GOLDEN_SCAN.2, "{shards} shards");
+        assert_eq!(c.events_processed(), GOLDEN_SCAN.3, "{shards} shards");
+        assert_eq!(
+            (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
+            GOLDEN_SCAN.4,
+            "scans are metered one storage read per probed record"
+        );
+        assert_eq!(
+            c.metrics().traffic.total(),
+            GOLDEN_SCAN.5,
+            "{shards} shards"
+        );
+        // Sanity: the scan mix probes far more records than it completes reads
+        // (mean scan length ~20 over 2250 scans).
+        assert!(c.metrics().storage_read_ops > 40_000);
+    }
 }
 
 /// Ordered-partitioner YCSB-E scan scenario: the same weak-level scan churn

@@ -109,6 +109,22 @@ pub struct RunReport {
     /// `usage.traffic`, so the bill prices them; this is the breakdown).
     #[serde(default)]
     pub repair_traffic: concord_cluster::TrafficBytes,
+    /// Event-queue shards the run executed with (1 = unsharded engine).
+    /// Output is byte-identical at any shard count; these four counters
+    /// only describe the engine's synchronization behaviour.
+    #[serde(default)]
+    pub shards: u64,
+    /// Lookahead windows the sharded engine crossed (barrier flushes).
+    #[serde(default)]
+    pub shard_windows: u64,
+    /// Cross-shard events staged in mailboxes and delivered at barriers.
+    #[serde(default)]
+    pub cross_shard_staged: u64,
+    /// Cross-shard events whose sampled delay undercut the lookahead bound
+    /// (still delivered exactly; nonzero means a truly concurrent engine
+    /// would have needed a smaller window).
+    #[serde(default)]
+    pub lookahead_violations: u64,
     /// Consistency-level changes over time.
     pub level_timeline: Vec<LevelChange>,
     /// Resources consumed (instances, storage, traffic).
@@ -215,6 +231,10 @@ mod tests {
             repair_pages_compared: 0,
             repair_records_streamed: 0,
             repair_traffic: TrafficBytes::default(),
+            shards: 1,
+            shard_windows: 0,
+            cross_shard_staged: 0,
+            lookahead_violations: 0,
             level_timeline: vec![LevelChange {
                 at_secs: 0.0,
                 read_replicas: 1,

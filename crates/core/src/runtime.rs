@@ -285,6 +285,7 @@ impl AdaptiveRuntime {
         }
 
         let makespan = cluster.now() - start;
+        let shard_metrics = cluster.shard_metrics();
         let metrics = cluster.metrics();
         let usage = ResourceUsage::from_cluster(cluster, makespan);
         let bill = self.config.pricing.map(|p| Bill::compute(&p, &usage));
@@ -314,6 +315,10 @@ impl AdaptiveRuntime {
             repair_pages_compared: metrics.repair_pages_compared,
             repair_records_streamed: metrics.repair_records_streamed,
             repair_traffic: metrics.repair_traffic,
+            shards: cluster.shards() as u64,
+            shard_windows: shard_metrics.windows,
+            cross_shard_staged: shard_metrics.staged,
+            lookahead_violations: shard_metrics.violations,
             level_timeline,
             usage,
             bill,

@@ -139,6 +139,51 @@ impl DelayDistribution {
         }
     }
 
+    /// The infimum of the distribution's support, in milliseconds — no
+    /// sample is ever smaller. This is the conservative-PDES **lookahead
+    /// bound**: the minimum delay of a cross-shard link class lower-bounds
+    /// how far ahead of its neighbours a shard may safely advance, so the
+    /// sharded engine sizes its windows from the minimum `min_ms` over all
+    /// cross-shard link classes. Unbounded-below tails (exponential,
+    /// truncated normal, log-normal) return 0; callers degrade to minimal
+    /// windows rather than unsound ones.
+    pub fn min_ms(&self) -> f64 {
+        let v = match self {
+            DelayDistribution::Constant { ms } => *ms,
+            DelayDistribution::Uniform { lo_ms, .. } => *lo_ms,
+            DelayDistribution::Exponential { .. } => 0.0,
+            DelayDistribution::ShiftedExponential { base_ms, .. } => *base_ms,
+            DelayDistribution::Normal { mean_ms, std_ms } => {
+                // The sampler truncates at zero; a degenerate std folds to
+                // the constant mean.
+                if *std_ms <= 0.0 {
+                    *mean_ms
+                } else {
+                    0.0
+                }
+            }
+            DelayDistribution::LogNormal { median_ms, sigma } => {
+                if *median_ms <= 0.0 {
+                    0.0
+                } else if *sigma <= 0.0 {
+                    *median_ms
+                } else {
+                    0.0
+                }
+            }
+            // An empty sample set folds to +inf, which the finiteness check
+            // below maps to 0 (matching its 0-valued draws).
+            DelayDistribution::Empirical { samples_ms } => {
+                samples_ms.iter().copied().fold(f64::INFINITY, f64::min)
+            }
+        };
+        if v.is_finite() {
+            v.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
     /// Compile the distribution into its hot-path sampler: parameter
     /// validation, derived constants (`ln(median)` for the log-normal) and
     /// the zero/degenerate-parameter branches are resolved once instead of
@@ -478,6 +523,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn min_ms_lower_bounds_every_sample() {
+        let dists = vec![
+            DelayDistribution::constant(7.5),
+            DelayDistribution::Uniform {
+                lo_ms: 2.0,
+                hi_ms: 4.0,
+            },
+            DelayDistribution::Exponential { mean_ms: 10.0 },
+            DelayDistribution::wan(50.0, 5.0),
+            DelayDistribution::Normal {
+                mean_ms: 1.0,
+                std_ms: 2.0,
+            },
+            DelayDistribution::Normal {
+                mean_ms: 3.0,
+                std_ms: 0.0,
+            },
+            DelayDistribution::LogNormal {
+                median_ms: 12.0,
+                sigma: 0.4,
+            },
+            DelayDistribution::LogNormal {
+                median_ms: 12.0,
+                sigma: 0.0,
+            },
+            DelayDistribution::Empirical {
+                samples_ms: vec![3.0, 1.5, 2.0],
+            },
+        ];
+        for d in dists {
+            let floor = d.min_ms();
+            assert!(floor >= 0.0, "{d:?}");
+            let mut rng = SimRng::new(123);
+            for _ in 0..5_000 {
+                let s = d.sample_ms(&mut rng);
+                assert!(
+                    s >= floor - 1e-12,
+                    "{d:?}: sample {s} below declared floor {floor}"
+                );
+            }
+        }
+        assert_eq!(
+            DelayDistribution::Empirical { samples_ms: vec![] }.min_ms(),
+            0.0
+        );
+        assert_eq!(DelayDistribution::wan(12.0, 3.0).min_ms(), 12.0);
+        assert_eq!(
+            DelayDistribution::Uniform {
+                lo_ms: 0.05,
+                hi_ms: 0.3
+            }
+            .min_ms(),
+            0.05
+        );
     }
 
     #[test]

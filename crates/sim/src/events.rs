@@ -265,12 +265,12 @@ enum Lane {
 }
 
 #[inline]
-const fn pack(time: SimTime, seq: u64) -> u128 {
+pub(crate) const fn pack(time: SimTime, seq: u64) -> u128 {
     ((time.as_micros() as u128) << 64) | seq as u128
 }
 
 #[inline]
-const fn unpack_time(key: u128) -> SimTime {
+pub(crate) const fn unpack_time(key: u128) -> SimTime {
     SimTime::from_micros((key >> 64) as u64)
 }
 
@@ -474,6 +474,62 @@ impl<E> EventQueue<E> {
         for (at, event) in iter {
             self.bulk_push_sorted(at, event);
         }
+    }
+
+    /// Insert an event under a caller-assigned packed `time‖seq` key on the
+    /// **heap lane**, bypassing this queue's own clock clamp and sequence
+    /// counter. This is the sharded facade's lane-insert primitive
+    /// ([`crate::shard::ShardedEventQueue`]): the facade owns the global
+    /// clock and the global sequence counter, so per-shard lanes must store
+    /// exactly the key the facade assigned — re-keying here would break the
+    /// byte-identical merge order. The caller guarantees the key's time does
+    /// not precede the *global* clock (which is ≥ this lane's local clock).
+    pub(crate) fn insert_prekeyed(&mut self, key: u128, event: E) {
+        debug_assert!(
+            unpack_time(key) >= self.now,
+            "prekeyed insert precedes the lane clock"
+        );
+        self.heap.push(Scheduled { key, event });
+    }
+
+    /// [`EventQueue::insert_prekeyed`] for the **timeout lane**: sorted
+    /// arrivals append to the FIFO fast path, out-of-order keys take the
+    /// wheel — same routing as [`EventQueue::schedule_timeout`], with the
+    /// facade's key instead of a locally assigned one.
+    pub(crate) fn insert_timeout_prekeyed(&mut self, key: u128, event: E) {
+        debug_assert!(
+            unpack_time(key) >= self.now,
+            "prekeyed timeout precedes the lane clock"
+        );
+        if self
+            .timeout_fifo
+            .back()
+            .is_none_or(|&(back, _)| key >= back)
+        {
+            self.timeout_fifo.push_back((key, event));
+        } else {
+            self.timers.insert(key, event);
+        }
+    }
+
+    /// [`EventQueue::insert_prekeyed`] for the **bulk lane**. A per-shard
+    /// subsequence of a globally sorted arrival stream is itself sorted, so
+    /// the lane-level ordering assertion still holds; the facade asserts
+    /// global sortedness before assigning keys.
+    pub(crate) fn insert_bulk_prekeyed(&mut self, key: u128, event: E) {
+        debug_assert!(
+            self.bulk.back().is_none_or(|&(back, _)| key >= back),
+            "prekeyed bulk insert regresses behind the lane tail"
+        );
+        self.bulk.push_back((key, event));
+    }
+
+    /// The packed key of the next pending event, if any (the sharded
+    /// facade's merge primitive: the global argmin over per-shard lane
+    /// minima is the exact key the sequential engine would pop next).
+    #[inline]
+    pub(crate) fn peek_key_packed(&self) -> Option<u128> {
+        self.peek_key()
     }
 
     /// The lane holding the next pending event and its packed key, if any

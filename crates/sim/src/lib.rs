@@ -8,6 +8,11 @@
 //!   resolution;
 //! * [`EventQueue`] — a deterministic calendar queue (priority queue +
 //!   monotonic sequence numbers for FIFO tie-breaking);
+//! * [`ShardedEventQueue`] — conservative-PDES sharding of the queue:
+//!   per-shard lanes advancing in lookahead windows bounded by the minimum
+//!   cross-shard link delay, cross-shard events staged in mailboxes and
+//!   flushed at window barriers, merged in exact global `time‖seq` order so
+//!   delivery is byte-identical to the sequential queue at any shard count;
 //! * [`SimRng`] — a fast, splittable, seedable PRNG so every experiment is
 //!   exactly reproducible;
 //! * [`DelayDistribution`] — serializable latency models (constant, uniform,
@@ -48,6 +53,7 @@ pub mod events;
 pub mod hash;
 pub mod inline;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -57,6 +63,7 @@ pub use events::{run, Control, EventQueue, RunOutcome};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use inline::InlineVec;
 pub use rng::SimRng;
+pub use shard::{ShardMetrics, ShardedEventQueue};
 pub use stats::{mean, percentile, percentile_sorted, RunningStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Datacenter, DcId, LinkClass, NetworkModel, NodeId, RegionId, Topology};

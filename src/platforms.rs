@@ -61,6 +61,7 @@ fn base_config(topology: Topology, network: NetworkModel, rf: u32) -> ClusterCon
         retry_on_timeout: 0,
         exact_latency_percentiles: false,
         repair: RepairConfig::off(),
+        shards: 1,
     }
 }
 

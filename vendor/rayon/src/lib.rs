@@ -3,12 +3,13 @@
 //!
 //! Until PR 2 this crate was a *sequential* shim (the `par_iter` traits
 //! mapped onto plain std iterators). It is now an actual thread-pool
-//! implementation: parallel operations fan work out to OS threads (dynamic
-//! chunking over a shared cursor, caller participates) and recombine results
-//! **in input order**, so any program output is independent of thread count
-//! and scheduling — the property the simulator's fixed-seed reproducibility
-//! relies on. See [`pool`] for the execution engine and [`iter`] for the
-//! iterator adapters.
+//! implementation: parallel operations fan work out to OS threads (chunked
+//! work-stealing deques — each worker owns a contiguous input slice and
+//! idle workers steal the back half of a straggler's; the caller
+//! participates) and recombine results **in input order**, so any program
+//! output is independent of thread count and scheduling — the property the
+//! simulator's fixed-seed reproducibility relies on. See [`pool`] for the
+//! execution engine and [`iter`] for the iterator adapters.
 //!
 //! Supported surface:
 //!
@@ -108,6 +109,36 @@ mod tests {
         assert!(
             ids.len() > 1,
             "64 sleepy items on 4 threads must involve more than one OS thread"
+        );
+    }
+
+    #[test]
+    fn idle_workers_steal_from_stragglers() {
+        // The initial deal is contiguous: on 2 threads, worker 0 owns the
+        // first half of the input — here, all four slow items. Without
+        // stealing the region would take ~4 × 25 ms on worker 0 alone;
+        // with back-half stealing the idle worker takes roughly half the
+        // slow items, so the region finishes in well under the no-stealing
+        // wall clock. Output order must be unaffected either way.
+        let input: Vec<u64> = (0..8).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 10).collect();
+        let t0 = Instant::now();
+        let got: Vec<u64> = pool(2).install(|| {
+            input
+                .par_iter()
+                .map(|&x| {
+                    if x < 4 {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    x * 10
+                })
+                .collect()
+        });
+        let elapsed = t0.elapsed();
+        assert_eq!(got, expected);
+        assert!(
+            elapsed < Duration::from_millis(85),
+            "4 × 25 ms items dealt to one worker took {elapsed:?}; stealing is not happening"
         );
     }
 

@@ -1,10 +1,13 @@
-//! The execution engine: a chunked pool of scoped std threads.
+//! The execution engine: a work-stealing pool of scoped std threads.
 //!
 //! Every parallel operation materializes its input, then fans work out to
 //! `current_num_threads()` OS threads via [`run_indexed`]. Work distribution
-//! is dynamic (threads pull the next item off a shared cursor), so uneven
-//! task durations balance automatically, but **results are always collected
-//! in input order** — the output of a parallel map is byte-identical to the
+//! is work stealing over per-worker chunked deques: each worker starts with
+//! a contiguous slice of the input, front-pops small chunks of its own
+//! deque, and — once empty — steals the back half of a victim's deque, so
+//! uneven task durations balance automatically without every handoff
+//! crossing one shared lock. **Results are always collected in input
+//! order** — the output of a parallel map is byte-identical to the
 //! sequential map, independent of how the scheduler interleaved the items.
 //!
 //! Threads are spawned per call with `std::thread::scope` rather than parked
@@ -17,6 +20,7 @@
 //! pipeline sequentially — the configured pool size bounds the *total*
 //! OS-thread count, it is not multiplied by nesting depth.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -193,11 +197,13 @@ where
 /// return the results **in input order**.
 ///
 /// This is the single execution primitive behind every parallel-iterator
-/// adapter. Items are handed out through a shared cursor (dynamic
-/// scheduling); each worker records `(index, result)` pairs locally and the
-/// caller stitches them back into input order afterwards, so the returned
-/// `Vec` is identical for every thread count. A panic in `f` is propagated
-/// to the caller after the scope unwinds.
+/// adapter. Items are dealt into per-worker deques (contiguous input
+/// slices) and balanced by work stealing: owners front-pop small chunks of
+/// their own deque, thieves take the back half of a victim's. Scheduling
+/// only decides *who runs what*; each worker records `(index, result)`
+/// pairs locally and the caller stitches them back into input order
+/// afterwards, so the returned `Vec` is identical for every thread count.
+/// A panic in `f` is propagated to the caller after the scope unwinds.
 pub fn run_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -230,50 +236,86 @@ where
         }
     }
 
-    // Shared cursor: workers pull `(index, item)` pairs one at a time. The
-    // mutex is uncontended in practice — the workspace parallelizes
-    // coarse-grained items (entire simulation runs), so handoff cost is
-    // irrelevant next to item cost.
-    let cursor = Mutex::new(items.into_iter().enumerate());
+    // Per-worker chunked deques with work stealing. Worker `w` starts owning
+    // the contiguous input slice `[w·n/T, (w+1)·n/T)` — for this workspace's
+    // grids that is a whole run of seeds or policies, so owners mostly work
+    // through their own deque with zero cross-thread traffic. An owner
+    // front-pops up to `chunk` items per refill; a worker whose deque is
+    // empty steals the *back half* of the first non-empty victim's deque
+    // (scanning from its own index), so stragglers shed the work they have
+    // not started yet in one lock acquisition rather than item by item.
+    let chunk = (n / (threads * 4)).max(1);
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> = {
+        let mut split: Vec<VecDeque<(usize, T)>> = (0..threads).map(|_| VecDeque::new()).collect();
+        for (idx, item) in items.into_iter().enumerate() {
+            split[idx * threads / n].push_back((idx, item));
+        }
+        split.into_iter().map(Mutex::new).collect()
+    };
     let poisoned = AtomicBool::new(false);
     let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
 
-    let worker = |out: &mut Vec<(usize, R)>| loop {
-        if poisoned.load(Ordering::Relaxed) {
-            return;
-        }
-        let next = {
-            let mut guard = match cursor.lock() {
-                Ok(g) => g,
-                Err(_) => return, // another worker panicked mid-pull
+    let worker = |me: usize, out: &mut Vec<(usize, R)>| {
+        let mut batch: VecDeque<(usize, T)> = VecDeque::new();
+        loop {
+            if poisoned.load(Ordering::Relaxed) {
+                return;
+            }
+            let Some((idx, item)) = batch.pop_front() else {
+                // Refill from the front of our own deque…
+                {
+                    let mut own = match deques[me].lock() {
+                        Ok(g) => g,
+                        Err(_) => return, // another worker panicked mid-access
+                    };
+                    let take = chunk.min(own.len());
+                    batch.extend(own.drain(..take));
+                }
+                // …or steal the back half of the first non-empty victim.
+                if batch.is_empty() {
+                    for offset in 1..threads {
+                        let mut victim = match deques[(me + offset) % threads].lock() {
+                            Ok(g) => g,
+                            Err(_) => return,
+                        };
+                        let keep = victim.len() / 2;
+                        batch.extend(victim.drain(keep..));
+                        if !batch.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                if batch.is_empty() {
+                    return; // every deque is drained — the region is done
+                }
+                continue;
             };
-            guard.next()
-        };
-        let Some((idx, item)) = next else { return };
-        // If `f` panics the flag stops the other workers promptly; the
-        // panic itself is rethrown when the scope joins this thread.
-        struct Poison<'a>(&'a AtomicBool, bool);
-        impl Drop for Poison<'_> {
-            fn drop(&mut self) {
-                if !self.1 {
-                    self.0.store(true, Ordering::Relaxed);
+            // If `f` panics the flag stops the other workers promptly; the
+            // panic itself is rethrown when the scope joins this thread.
+            struct Poison<'a>(&'a AtomicBool, bool);
+            impl Drop for Poison<'_> {
+                fn drop(&mut self) {
+                    if !self.1 {
+                        self.0.store(true, Ordering::Relaxed);
+                    }
                 }
             }
+            let mut guard = Poison(&poisoned, false);
+            let result = f(item);
+            guard.1 = true;
+            drop(guard);
+            out.push((idx, result));
         }
-        let mut guard = Poison(&poisoned, false);
-        let result = f(item);
-        guard.1 = true;
-        drop(guard);
-        out.push((idx, result));
     };
 
     std::thread::scope(|scope| {
+        let worker = &worker;
         let mut handles = Vec::with_capacity(threads - 1);
-        for _ in 0..threads - 1 {
-            handles.push(scope.spawn(|| {
+        for me in 1..threads {
+            handles.push(scope.spawn(move || {
                 let _pin = PinSequential::engage();
                 let mut out = Vec::new();
-                worker(&mut out);
+                worker(me, &mut out);
                 out
             }));
         }
@@ -281,7 +323,7 @@ where
         let mut own = Vec::new();
         {
             let _pin = PinSequential::engage();
-            worker(&mut own);
+            worker(0, &mut own);
         }
         buckets.push(own);
         for handle in handles {
