@@ -19,10 +19,12 @@
 //!   O(1) bulk FIFO lane instead of paying one heap push each.
 //!
 //! The measurement grid runs through the shared `run_timed_grid` harness
-//! (strictly sequential — wall-clock points must not share cores).
-//! `--shards N` runs both cluster substrates on the conservative-PDES
-//! sharded engine (byte-identical output, so a pure engine-cost axis) and
-//! prints one greppable `SHARDED_DATAPOINT` line per cluster substrate.
+//! (points run one at a time — wall-clock points must not compete with each
+//! other for cores). `--shards N` runs both cluster substrates on the
+//! conservative-PDES sharded engine, with each window's shard batches
+//! dispatched on the `--threads`-sized pool, and prints one greppable
+//! `SHARDED_DATAPOINT` line per cluster substrate carrying both knobs, so
+//! the nightly shards × threads matrix can plot the wall-clock curve.
 //!
 //! ```text
 //! cargo run --release -p concord-bench --bin exp_throughput -- --scale 0.05
@@ -288,10 +290,13 @@ fn main() {
     // placement (contiguous ownership, coverage-faithful scans).
     let partitioner = harness.partitioner.unwrap_or_default();
     // `--shards N` re-times the cluster substrates on the conservative-PDES
-    // sharded engine (per-node-group event lanes, lookahead windows). The
-    // completed-op stream is byte-identical at any shard count, so this axis
-    // measures pure engine cost.
+    // sharded engine (per-node-group event lanes, lookahead windows, window
+    // batches dispatched on the worker pool). Each shard count samples its
+    // own deterministic universe, so cross-shard-count comparisons are
+    // engine cost plus sampling noise; within a shard count, `--threads` is
+    // the pure-performance axis.
     let shards = harness.shards.unwrap_or(1);
+    let threads = rayon::current_num_threads() as u64;
     let args = &harness.args;
     let scale = harness.scale.workload;
     let out_path = args
@@ -313,7 +318,7 @@ fn main() {
 
     eprintln!(
         "exp_throughput: cluster_ops={cluster_ops} queue_rounds={queue_rounds} \
-         partitioner={} shards={shards} (best of {repeat})",
+         partitioner={} shards={shards} threads={threads} (best of {repeat})",
         partitioner.label()
     );
     // The store substrate is cheap per op; run 4× the cluster count so its
@@ -349,11 +354,13 @@ fn main() {
         m
     });
 
-    // The placement mode and shard count change the cluster substrates'
-    // costs, so every recorded measurement carries them — runs of different
-    // configurations must never be mistaken for A/B pairs of the same one.
+    // The placement mode, shard count and pool size change the cluster
+    // substrates' costs, so every recorded measurement carries them — runs
+    // of different configurations must never be mistaken for A/B pairs of
+    // the same one.
     let json = format!(
-        "{{\"scale\":{scale},\"partitioner\":\"{}\",\"shards\":{shards},\"benches\":[{}]}}",
+        "{{\"scale\":{scale},\"partitioner\":\"{}\",\"shards\":{shards},\
+         \"threads\":{threads},\"benches\":[{}]}}",
         partitioner.label(),
         measurements
             .iter()
@@ -363,14 +370,15 @@ fn main() {
     );
     println!("{json}");
     // Machine-readable sharded-engine datapoint, greppable from CI logs the
-    // same way exp_sweep's MULTICORE_DATAPOINT is: the nightly `--shards
-    // 1|2|4` loop collects one line per shard count so engine-cost trends
-    // land in the workflow artifact next to the multicore sweep figures.
+    // same way exp_sweep's MULTICORE_DATAPOINT is: the nightly shards ×
+    // threads loop collects one line per (shard count, pool size) cell so
+    // the wall-clock speedup curve lands in the workflow artifact next to
+    // the multicore sweep figures.
     for m in &measurements {
         if m.name.starts_with("cluster") {
             println!(
-                "SHARDED_DATAPOINT {{\"shards\":{shards},\"substrate\":\"{}\",\
-                 \"events_per_sec\":{:.0},\"ns_per_op\":{:.1}}}",
+                "SHARDED_DATAPOINT {{\"shards\":{shards},\"threads\":{threads},\
+                 \"substrate\":\"{}\",\"events_per_sec\":{:.0},\"ns_per_op\":{:.1}}}",
                 m.name,
                 m.events_per_sec(),
                 m.ns_per_op()

@@ -31,7 +31,8 @@
 //! mode: token-ring hash placement or contiguous key-range ownership with
 //! coverage-faithful scans), `--repair off|hints|anti-entropy|full`
 //! (repair plane, below) and `--shards <n>` (conservative-PDES sharded
-//! engine, below — byte-identical output at any shard count).
+//! engine, below — each shard count a deterministic universe, byte-identical
+//! at any thread count).
 //!
 //! ## Scenarios: arrival modes and fault scripts
 //!
@@ -238,43 +239,59 @@
 //! * **Shard map.** Nodes are ordered by `(datacenter, id)` and cut into
 //!   `n` contiguous groups, so datacenters stay shard-contiguous and
 //!   intra-DC traffic (the bulk of replication chatter) stays shard-local.
-//!   Each shard owns an event lane; every event routes to the shard of the
-//!   node it targets (client arrivals to the key's primary replica's
-//!   shard, acks and timeouts to the coordinator's).
+//!   Each shard owns an event lane; operations are **coordinator-homed** —
+//!   the coordinator is pre-drawn from the control RNG at submission and
+//!   the whole op lifecycle (arrival, acks, timeouts, retries) runs on the
+//!   coordinator's shard, so with DC-aligned cuts every cross-shard
+//!   message is a real inter-DC link crossing whose delay clears the
+//!   lookahead bound.
 //! * **Lookahead windows.** Shards advance in windows bounded by the
 //!   *lookahead*: the minimum delay any cross-shard link class can produce
 //!   (infimum of the delay distribution × the current degradation factor,
 //!   recomputed when a fault script degrades or restores a link class). No
 //!   message sent inside a window can demand execution before the window
 //!   ends, which is the classic conservative-PDES safety argument.
-//! * **Barrier merge.** Cross-shard messages land in per-shard mailboxes
-//!   and are flushed at window barriers, merged in packed `time‖seq` order
-//!   — the *same* global key order the sequential engine pops in. Events
-//!   whose sampled delay undercuts the lookahead bound are delivered
-//!   directly and metered (`lookahead_violations` in the `RunReport`,
-//!   alongside `shards`, `shard_windows` and `cross_shard_staged`).
+//! * **Parallel window execution.** Within a window, each shard's event
+//!   batch runs as a task on the vendored rayon work-stealing pool
+//!   (`--threads <n>` sizes it), with handler state partitioned per shard:
+//!   every shard draws from its own deterministic RNG stream
+//!   (`SimRng::shard_stream`), allocates op ids from its own strided slab,
+//!   and streams metrics into its own sink. Versions are timestamp-packed
+//!   (`(µs+1)‖seq‖shard`) so last-write-wins follows simulated time, not
+//!   shard interleaving.
+//! * **Barrier fold.** At the window barrier the shards' outboxes are
+//!   folded serially in fixed shard order: cross-shard messages move to
+//!   their destination lanes, write acks land in the central staleness
+//!   oracle's time-indexed history (carrying their true ack times), and
+//!   completed reads are classified against that history *as of their own
+//!   issue instant* — exactly what a serial execution of the same event
+//!   trace would conclude. Sampled delays that undercut the lookahead
+//!   bound are clamped to the window edge and metered
+//!   (`lookahead_violations` in the `RunReport`, alongside `shards`,
+//!   `shard_windows`, `cross_shard_staged`, `parallel_batches`,
+//!   `barrier_folds` and `max_batch_len`; coordinator-homed routing keeps
+//!   violations at zero in practice).
 //!
-//! **Why the goldens still hold.** The cluster's handlers draw from one
-//! serial RNG stream in pop order, so correctness requires the *pop
-//! sequence* to be identical at every shard count — and it is, by
-//! construction: all lanes share one global sequence counter and every pop
-//! takes the globally smallest packed key across lanes, exactly as the
-//! sequential heap would. Window accounting and mailbox staging change
-//! *when* entries move between structures, never *which key pops next*.
-//! Shard count is therefore a pure engine knob, the same contract as
-//! thread count: every pre-existing golden digest in
-//! `crates/cluster/tests/golden_determinism.rs` is asserted byte-identical
-//! at 1, 2 and 4 shards, and
-//! `crates/cluster/tests/sharded_determinism.rs` pins the hard edges (a
-//! node crashing mid-window, a partition severing two shards, ordered
-//! scans straddling a shard boundary) against their 1-shard runs. The
-//! handler loop itself still executes serially — the sharded engine
-//! contributes the decomposition, routing and window protocol that true
-//! multi-core execution needs, while keeping the byte-identity contract
-//! that makes it adoptable (see `concord_sim::shard` for the full
-//! design notes). `exp_throughput --shards <n>` measures the engine cost
-//! and prints greppable `SHARDED_DATAPOINT` lines for the nightly CI
-//! sweep.
+//! **The determinism contract.** `--shards 1` runs the sequential engine
+//! and stays byte-identical to every pre-existing golden digest. Each
+//! shard count above 1 is its **own deterministic universe**: per-shard
+//! RNG streams sample a different (equally valid) stochastic trajectory
+//! than the serial stream, so outputs differ *across* shard counts while
+//! the physics — staleness rates, latency distributions, traffic — stays
+//! in family. What is pinned instead is that within a shard count the
+//! output is a pure function of the seed: **thread count is a pure
+//! performance knob**, because batches produce into per-shard sinks and
+//! the barrier folds them in fixed shard order regardless of which worker
+//! ran what. `crates/cluster/tests/golden_determinism.rs` captures one
+//! golden digest per shard count (re-capture with `GOLDEN_PRINT=1` when
+//! the simulation's outputs legitimately change) and
+//! `crates/cluster/tests/sharded_determinism.rs` asserts byte-identical
+//! fingerprints at 1/2/4/8 worker threads for shards ∈ {1, 2, 4},
+//! including a node crashing mid-window, a partition severing two shards
+//! and ordered scans straddling a shard boundary (see `concord_sim::shard`
+//! for the full design notes). `exp_throughput --shards <n> --threads <m>`
+//! measures the engine cost and prints greppable `SHARDED_DATAPOINT`
+//! lines for the nightly CI shards × threads matrix.
 
 pub mod sweep;
 

@@ -77,9 +77,10 @@ pub struct Harness {
     /// `--partitioner`. `None` keeps the platform's default (off).
     pub repair: Option<RepairMode>,
     /// Event-queue shard count override (`--shards N`): runs every cluster
-    /// on the conservative-PDES sharded engine with `N` per-node-group
-    /// lanes. Output is byte-identical at any shard count (the engine's
-    /// merge-exact contract), so this is a pure performance/engine axis.
+    /// on the multi-core conservative-PDES engine with `N` per-node-group
+    /// lanes, window batches dispatched on the worker pool. Each shard
+    /// count samples its own deterministic universe, byte-identical at any
+    /// thread count — within a shard count this is a pure performance axis.
     /// Applied to every platform the harness constructs, like
     /// `--partitioner`. `None` keeps the platform's default (unsharded).
     pub shards: Option<u32>,
@@ -588,19 +589,20 @@ where
 }
 
 /// Run a grid of **wall-clock measurements** strictly sequentially: timing
-/// points must not compete for cores, so this pins a one-thread pool around
-/// the same ordered grid execution.
+/// points must not compete *with each other* for cores, so points execute
+/// one at a time in input order. Parallelism *inside* a point is
+/// deliberately left alive — the sharded engine's window dispatch runs on
+/// the pool the process configured (`--threads`), and with `--shards N`
+/// that dispatch is part of what the point measures. (This used to install
+/// a one-thread pool around the grid, which would silently serialize the
+/// multi-core engine under measurement.)
 pub fn run_timed_grid<T, R, F>(points: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .expect("pool construction cannot fail")
-        .install(|| run_grid(points, f))
+    points.into_iter().map(f).collect()
 }
 
 #[cfg(test)]

@@ -21,19 +21,58 @@
 //! others, like Cassandra), reconciles by newest version and returns to the
 //! client. The staleness oracle classifies the result against the newest
 //! version acknowledged before the read was issued.
+//!
+//! ## Parallel sharded execution
+//! With `shards > 1` the cluster runs as a conservative parallel DES: every
+//! shard owns a contiguous group of nodes (whole datacenters where possible)
+//! and carries its **own** event lane, RNG stream, op slab, metric sinks and
+//! payload slab. Each operation is routed at submission: its coordinator is
+//! drawn from the control stream and the op homes on the coordinator's
+//! shard, so every message it exchanges travels a real coordinator↔replica
+//! link — cross-shard exactly when it crosses the shard cut. The simulation
+//! advances in lookahead windows bounded by the minimum cross-shard link
+//! delay (with datacenter-aligned cuts, the inter-DC floor): within a window
+//! each shard drains its lane independently — the batches execute in
+//! parallel on the work-stealing pool — while cross-shard effects are pushed
+//! into a per-shard outbox. At the window barrier the outboxes are folded
+//! serially in fixed shard order (0, 1, …), drawing any fold-time randomness
+//! from a dedicated control-plane RNG stream, so the run's output is a pure
+//! function of `(seed, shard count)` at **any** worker-thread count.
+//!
+//! Two pieces of cross-op state are centralized rather than sharded. Write
+//! versions are timestamp-packed (`µs << 24 | seq << 8 | shard`) so
+//! last-writer-wins order follows simulated time no matter which shard
+//! coordinates a key's writes. The staleness oracle lives on the control
+//! plane and is touched only at serial points: windows stage write acks
+//! (with their ack times) and completed reads to the fold, where each read
+//! is classified against the ack history *as of its own issue instant*
+//! ([`StalenessOracle::expected_version_at`]). The classification is exact
+//! — identical to a serial execution of the same event trace — because an
+//! ack always folds no later than the completion of any read it could
+//! affect, and same-fold acks with later times are filtered by timestamp.
+//!
+//! Determinism contract:
+//! * `shards == 1` executes the exact serial path — byte-identical to the
+//!   pre-sharding engine for every seed;
+//! * for each `shards > 1`, output is byte-identical across 1, 2, 4, 8, …
+//!   worker threads (fingerprints depend only on the shard count);
+//! * handlers running inside a window touch nothing but the read-only
+//!   [`ClusterShared`] snapshot and their own [`ShardState`] — enforced by
+//!   the borrow checker, not by convention.
 
 use crate::config::ClusterConfig;
 use crate::consistency::ConsistencyLevel;
 use crate::metrics::ClusterMetrics;
-use crate::oracle::StalenessOracle;
+use crate::oracle::{OracleStats, StalenessOracle};
 use crate::paged::PagedTable;
 use crate::ring::{Partitioner, Ring, ORDERED_SLICE_BITS};
 use crate::slab::OpSlab;
 use crate::storage::ReplicaStore;
 use crate::types::{CompletedOp, Key, OpId, OpKind, OpStatus, Version};
+use concord_sim::events::{pack, unpack_time};
 use concord_sim::{
-    CompiledDelay, DcId, InlineVec, LinkClass, NetworkModel, NodeId, ShardMetrics,
-    ShardedEventQueue, SimDuration, SimRng, SimTime, Topology,
+    CompiledDelay, DcId, EventQueue, InlineVec, LinkClass, NetworkModel, NodeId, ShardMetrics,
+    SimDuration, SimRng, SimTime, Topology,
 };
 use std::collections::VecDeque;
 
@@ -65,13 +104,17 @@ pub enum ClusterOutput {
 /// Work items queued on a replica node.
 ///
 /// A write fan-out sends the *same* mutation to every replica, so the write
-/// payload is interned once in the cluster's ref-counted payload slab and the
-/// task carries only a 4-byte handle — RF in-flight copies of one write cost
-/// one payload record, and the event queue moves 8 fewer bytes per hop.
+/// payload is interned once in the owning shard's ref-counted payload slab
+/// and the task carries only a 4-byte handle — RF in-flight copies of one
+/// write cost one payload record, and the event queue moves 8 fewer bytes
+/// per hop.
 #[derive(Debug, Clone, Copy)]
 enum ReplicaTask {
     Write {
-        /// Handle into [`Cluster::write_payloads`]; released on consumption.
+        /// Handle into [`ShardState::write_payloads`]; released on
+        /// consumption. Payload handles never cross shards: a remote write
+        /// task travels as a [`Staged::WriteTask`] carrying the payload by
+        /// value and is re-interned at its destination shard at the fold.
         payload: PayloadId,
     },
     Read {
@@ -89,11 +132,12 @@ enum ReplicaTask {
     },
 }
 
-/// Index into the interned write-payload slab.
+/// Index into a shard's interned write-payload slab.
 type PayloadId = u32;
 
 /// The shared payload of one write fan-out (client write or read repair):
-/// interned once, referenced by up to RF [`ReplicaTask::Write`] events.
+/// interned once per shard, referenced by up to RF [`ReplicaTask::Write`]
+/// events on that shard.
 #[derive(Debug, Clone, Copy)]
 struct WritePayload {
     op_id: OpId,
@@ -129,6 +173,12 @@ enum Event {
     CoordinatorWriteAck {
         op_id: OpId,
         from: NodeId,
+        /// When the acking replica applied the write. The parallel engine
+        /// derives the full-propagation sample from the max applied time
+        /// over all acks (replica-side op state is unreadable across
+        /// shards); the serial path ignores it and samples at apply time
+        /// exactly as the pre-sharding engine did.
+        applied_at: SimTime,
     },
     CoordinatorReadResponse {
         op_id: OpId,
@@ -275,6 +325,10 @@ struct WriteState {
     /// generation check), but the completion is always reported under this
     /// one, keeping client-side correlation intact.
     client_id: OpId,
+    /// Latest apply time reported by an ack (parallel engine only; see
+    /// [`Event::CoordinatorWriteAck::applied_at`]). Unused — and untouched —
+    /// on the serial path.
+    max_applied_at: SimTime,
 }
 
 #[derive(Debug)]
@@ -296,7 +350,14 @@ struct ReadState {
     best_version: Version,
     best_size: u32,
     min_version: Version,
+    /// The freshness requirement captured at attempt start — serial engine
+    /// only. The parallel engine resolves it retroactively at the
+    /// completion fold ([`StalenessOracle::expected_version_at`] as of
+    /// `attempt_at`) and leaves this [`Version::NONE`].
     expected_version: Version,
+    /// When this attempt was issued (the retroactive-classification
+    /// instant; `issued_at` spans attempts, this one does not).
+    attempt_at: SimTime,
     /// The replicas this read contacted (for read repair). Inline up to 8
     /// nodes, so issuing a read does not allocate.
     contacted: InlineVec<NodeId>,
@@ -308,12 +369,42 @@ struct ReadState {
     client_id: OpId,
 }
 
-/// Lifecycle state of one in-flight operation, stored in the op slab: a
-/// submitted-but-not-arrived operation, then a write or read in progress.
-/// (A single slab replaces the former three `HashMap<OpId, _>` tables.)
+/// Retry context carried across attempts: the client-visible submission
+/// time, the remaining retry budget and the id `submit_*` handed out (a
+/// retried attempt runs under a fresh slab id but reports under this one).
+#[derive(Debug, Clone, Copy)]
+struct RetryCtx {
+    issued_at: SimTime,
+    retries_left: u32,
+    client_id: OpId,
+}
+
+/// A client operation waiting to start on its home shard.
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    sub: Submission,
+    /// The coordinator this attempt was routed to. The parallel engine
+    /// draws it at submission (or resubmission-fold) time from the control
+    /// stream and homes the op on the coordinator's shard, so every message
+    /// the attempt sends or receives travels a real coordinator↔replica
+    /// link — cross-shard exactly when it crosses the shard cut, never
+    /// faster than the lookahead bound. The serial engine keeps `None` and
+    /// draws at arrival from the single stream, exactly as the pre-sharding
+    /// engine did.
+    coordinator: Option<NodeId>,
+    /// `None` for first attempts (issued at arrival, under their own id,
+    /// with the configured budget).
+    retry: Option<RetryCtx>,
+}
+
+/// Lifecycle state of one in-flight operation, stored in the owning shard's
+/// op slab: a submitted-but-not-arrived operation, then a write or read in
+/// progress. An op lives on the shard that drew its id (slab slots are
+/// strided by shard), so `op_id mod shards` recovers the owner from the id
+/// alone — that is how acks and responses route home.
 #[derive(Debug)]
 enum OpState {
-    Pending(Submission),
+    Pending(PendingOp),
     Write(WriteState),
     Read(ReadState),
 }
@@ -322,107 +413,6 @@ enum OpState {
 struct NodeRuntime {
     active: u32,
     queue: VecDeque<ReplicaTask>,
-    down: bool,
-}
-
-/// The cluster simulator. See the module docs for the simulated protocol.
-pub struct Cluster {
-    config: ClusterConfig,
-    ring: Ring,
-    stores: Vec<ReplicaStore>,
-    nodes: Vec<NodeRuntime>,
-    queue: ShardedEventQueue<Event>,
-    rng: SimRng,
-    oracle: StalenessOracle,
-    metrics: ClusterMetrics,
-    selection: ReplicaSelection,
-
-    read_level: ConsistencyLevel,
-    write_level: ConsistencyLevel,
-
-    next_version: u64,
-    /// All in-flight operation state, addressed by generation-checked OpId.
-    ops: OpSlab<OpState>,
-
-    // ---- fault-injection state ----
-    /// Nodes permanently crashed (ring tokens withdrawn) as opposed to
-    /// transiently down (`nodes[i].down`); a crashed node is also down.
-    crashed: Vec<bool>,
-    /// Currently partitioned datacenter pairs, normalized `(min, max)`.
-    /// Messages between nodes of a partitioned pair are lost in transit.
-    partitioned_dcs: Vec<(u16, u16)>,
-    /// Per-link-class delay multiplier (1.0 = healthy), applied after
-    /// sampling so the compiled samplers and their RNG draws are untouched.
-    link_degradation: [f64; 4],
-    /// True while any link class is degraded (fast-path guard).
-    degradation_active: bool,
-    /// Datacenter of every node (partition checks on the message path).
-    node_dc: Vec<DcId>,
-    /// Interned write-fan-out payloads, ref-counted by the events that carry
-    /// their [`PayloadId`]; slots recycle through `payload_free`.
-    write_payloads: Vec<PayloadSlot>,
-    payload_free: Vec<PayloadId>,
-    payload_live: usize,
-    outputs: VecDeque<ClusterOutput>,
-    propagation_samples: Vec<SimDuration>,
-
-    // ---- background repair plane (inert unless `config.repair.mode` is
-    // enabled: no events, no RNG draws, no accounting with repair off) ----
-    /// Per-destination hinted-handoff queues, bounded by
-    /// `repair.hint_capacity_per_node`.
-    hints: Vec<VecDeque<Hint>>,
-    /// Whether a `HintReplay` chain is currently scheduled per node (avoids
-    /// double-scheduling when a node flaps up/down).
-    hint_replay_active: Vec<bool>,
-    /// Position in the node-pair enumeration of the sweep cycle.
-    sweep_cursor: u64,
-    /// Whether an `AntiEntropy` event is pending in the queue.
-    sweep_active: bool,
-    /// Whether the current sweep round streamed any records.
-    sweep_streamed: bool,
-    /// Consecutive sweep rounds that streamed nothing; the cycle parks
-    /// after one fully idle round and is resumed by fault transitions.
-    sweep_idle_rounds: u32,
-    /// Scratch for one page's records during an anti-entropy stream.
-    repair_page_scratch: Vec<(Key, Version, u32)>,
-    /// Scratch for ring-membership checks during an anti-entropy stream.
-    repair_member_scratch: Vec<NodeId>,
-
-    // ---- hot-path acceleration state (no observable behaviour) ----
-    /// Number of nodes currently marked down (fast path: pick a coordinator
-    /// without materializing the up-node list).
-    down_count: u32,
-    /// Scratch buffer for replica lists; reused across operations.
-    replica_scratch: Vec<NodeId>,
-    /// Dense per-key cache of ring placements (reset on ring rebuilds).
-    replica_cache: ReplicaCache,
-    /// Scratch buffer for the up-node list when nodes are down.
-    up_scratch: Vec<NodeId>,
-    /// Precomputed mean one-way latency in ms for every (from, to) node
-    /// pair, row-major: `mean_lat[from * n + to]`. Replica selection ranks
-    /// candidates through this table instead of recomputing distribution
-    /// means per comparison.
-    mean_lat: Vec<f64>,
-    /// Precomputed link class per (from, to) node pair, row-major — avoids
-    /// re-deriving datacenter/region membership on every message.
-    link_class: Vec<LinkClass>,
-    /// Compiled per-link-class delay samplers, indexed by [`class_index`].
-    link_samplers: [CompiledDelay; 4],
-    /// Compiled storage service-time samplers.
-    storage_read_sampler: CompiledDelay,
-    storage_write_sampler: CompiledDelay,
-    node_count: usize,
-
-    // ---- conservative-PDES sharding (see `concord_sim::shard`) ----
-    /// Event-queue shard of every node: datacenters are kept contiguous
-    /// (nodes ordered by (dc, id), then cut into `shards` equal groups), so
-    /// intra-DC traffic stays shard-local and the lookahead bound is set by
-    /// the slower cross-DC links. Static for the cluster's life — crashes
-    /// withdraw ring tokens but never move a node between shards.
-    node_shard: Vec<u16>,
-    /// Which link classes connect nodes of *different* shards: the classes
-    /// whose delay infimum bounds the lookahead window.
-    cross_shard_classes: [bool; 4],
 }
 
 /// Paged direct-indexed cache of ring placements: `key → [NodeId; rf]`,
@@ -435,7 +425,8 @@ pub struct Cluster {
 /// ring epoch** instead of once per operation — the steady-state lookup is
 /// a shift, a mask and an `rf`-element copy. Pages are allocated on first
 /// touch; entries are invalidated wholesale by [`ReplicaCache::reset`] when
-/// the ring changes.
+/// the ring changes. Each shard owns one (placement walks are pure, so
+/// duplicating the cache costs memory, never determinism).
 #[derive(Debug)]
 struct ReplicaCache {
     /// `key → rf` node-id lanes; first lane `u32::MAX` = not yet computed.
@@ -502,6 +493,485 @@ const fn class_index(class: LinkClass) -> usize {
     }
 }
 
+/// Everything a window handler reads but never writes: topology, ring,
+/// compiled samplers, fault flags. `Sync`, shared by reference with every
+/// shard during a parallel window; mutated only between windows (fault
+/// injection, level changes, ring rebuilds) where `&mut Cluster` proves
+/// exclusivity.
+struct ClusterShared {
+    config: ClusterConfig,
+    ring: Ring,
+    /// Datacenter of every node (partition checks on the message path).
+    node_dc: Vec<DcId>,
+    /// Precomputed mean one-way latency in ms for every (from, to) node
+    /// pair, row-major: `mean_lat[from * n + to]`. Replica selection ranks
+    /// candidates through this table instead of recomputing distribution
+    /// means per comparison.
+    mean_lat: Vec<f64>,
+    /// Precomputed link class per (from, to) node pair, row-major — avoids
+    /// re-deriving datacenter/region membership on every message.
+    link_class: Vec<LinkClass>,
+    /// Compiled per-link-class delay samplers, indexed by [`class_index`].
+    link_samplers: [CompiledDelay; 4],
+    /// Compiled storage service-time samplers.
+    storage_read_sampler: CompiledDelay,
+    storage_write_sampler: CompiledDelay,
+    node_count: usize,
+    /// Event-lane shard of every node: datacenters are kept contiguous
+    /// (nodes ordered by (dc, id), then cut into `shards` equal groups), so
+    /// intra-DC traffic stays shard-local and the lookahead bound is set by
+    /// the slower cross-DC links. Static for the cluster's life — crashes
+    /// withdraw ring tokens but never move a node between shards.
+    node_shard: Vec<u16>,
+    /// Shard count (`node_shard` image size), denominator of op-home routing.
+    nshards: u32,
+    /// Which link classes connect nodes of *different* shards: the classes
+    /// whose delay infimum bounds the lookahead window.
+    cross_shard_classes: [bool; 4],
+    /// Per-node down flags (transient outages; a crashed node is also down).
+    down: Vec<bool>,
+    /// Number of nodes currently marked down (fast path: pick a coordinator
+    /// without materializing the up-node list).
+    down_count: u32,
+    /// Nodes permanently crashed (ring tokens withdrawn) as opposed to
+    /// transiently down; a crashed node is also down.
+    crashed: Vec<bool>,
+    /// Currently partitioned datacenter pairs, normalized `(min, max)`.
+    /// Messages between nodes of a partitioned pair are lost in transit.
+    partitioned_dcs: Vec<(u16, u16)>,
+    /// Per-link-class delay multiplier (1.0 = healthy), applied after
+    /// sampling so the compiled samplers and their RNG draws are untouched.
+    link_degradation: [f64; 4],
+    /// True while any link class is degraded (fast-path guard).
+    degradation_active: bool,
+    read_level: ConsistencyLevel,
+    write_level: ConsistencyLevel,
+    selection: ReplicaSelection,
+}
+
+impl ClusterShared {
+    /// The event-lane shard a node's events execute on.
+    #[inline]
+    fn shard_of(&self, node: NodeId) -> usize {
+        self.node_shard[node.0 as usize] as usize
+    }
+
+    /// The canonical key of an unordered datacenter pair in
+    /// [`ClusterShared::partitioned_dcs`].
+    #[inline]
+    fn dc_pair(a: DcId, b: DcId) -> (u16, u16) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Whether the link between two nodes is currently delivering messages.
+    #[inline]
+    fn link_up(&self, from: NodeId, to: NodeId) -> bool {
+        if self.partitioned_dcs.is_empty() {
+            return true;
+        }
+        let pair = Self::dc_pair(self.node_dc[from.0 as usize], self.node_dc[to.0 as usize]);
+        !self.partitioned_dcs.contains(&pair)
+    }
+}
+
+/// A cross-shard effect recorded during a window and applied at the barrier
+/// fold, in fixed shard order. Everything is carried by value — staged
+/// entries reference no slab of the shard that produced them.
+enum Staged {
+    /// Deliver an event to another shard's lane verbatim.
+    Event { dest: u16, at: SimTime, ev: Event },
+    /// Deliver a replica write task: the payload travels by value and is
+    /// interned (refs = 1) in the destination shard's slab at the fold.
+    WriteTask {
+        dest: u16,
+        at: SimTime,
+        node: NodeId,
+        payload: WritePayload,
+    },
+    /// A replica on this shard applied a write owned by another shard. The
+    /// fold reads the coordinator from the home shard's op state, meters the
+    /// ack on the control-plane RNG and schedules the
+    /// [`Event::CoordinatorWriteAck`] home.
+    WriteApplied {
+        op_id: OpId,
+        from: NodeId,
+        applied_at: SimTime,
+    },
+    /// A replica on this shard served a read owned by another shard; raw
+    /// response, completed at the fold (coordinator lookup + metering +
+    /// data/digest gating) exactly like [`Staged::WriteApplied`].
+    ReadResponse {
+        op_id: OpId,
+        from: NodeId,
+        at: SimTime,
+        version: Version,
+        size: u32,
+        records: u32,
+        segment: u16,
+        data: bool,
+    },
+    /// An ack owned by another shard can never arrive (dead replica /
+    /// partition-dropped task): decrement its targeted count at the fold.
+    Abandon { op_id: OpId },
+    /// Queue a hinted-handoff mutation (hint queues are control-plane
+    /// state).
+    Hint {
+        from: NodeId,
+        to: NodeId,
+        key: Key,
+        version: Version,
+        size: u32,
+    },
+    /// A write satisfied its consistency level this window: record the ack
+    /// in the central staleness oracle at the fold, carrying its true ack
+    /// time. The oracle is only ever touched at serial points; fold-time
+    /// classification queries go by these stored times
+    /// ([`StalenessOracle::expected_version_at`]), so the split between
+    /// windows and folds is invisible to the staleness ground truth.
+    OracleAck {
+        key: Key,
+        version: Version,
+        at: SimTime,
+    },
+    /// A read completed this window; its classification (stale or fresh,
+    /// and how deep) needs the oracle's serialized ack history, so the
+    /// completion finishes at the fold: classify against the ack set as of
+    /// `issue_at`, then record the metrics in shard `shard`'s sink and
+    /// emit the client output. This is *exact*, not an approximation — an
+    /// ack with time before `issue_at` is always recorded by this fold,
+    /// because acks land at the fold of the window containing their ack
+    /// time and `issue_at` precedes this window's end; acks recorded at
+    /// this fold with later times are filtered out by their timestamps.
+    ReadDone {
+        op: CompletedOp,
+        issue_at: SimTime,
+        shard: u16,
+    },
+    /// Re-route an attempt whose coordinator is unreachable (timeout retry,
+    /// or the pre-routed coordinator went down before the arrival fired):
+    /// the fold draws a fresh coordinator from the control stream, homes
+    /// the attempt on that shard and restarts it at the window boundary.
+    Resubmit { sub: Submission, retry: RetryCtx },
+}
+
+/// Everything one shard owns exclusively: its event lane, RNG stream, op
+/// slab, metric sinks, payload slab and the node runtimes / replica stores
+/// of the nodes mapped to it. `Send`; handed to the work-stealing pool by
+/// `&mut` during a window.
+struct ShardState {
+    shard: u32,
+    lane: EventQueue<Event>,
+    rng: SimRng,
+    /// In-flight operation state owned by this shard, addressed by
+    /// generation-checked OpId. Slots are strided by shard (slot ≡ shard
+    /// mod nshards) so ownership is recoverable from the id.
+    ops: OpSlab<OpState>,
+    metrics: ClusterMetrics,
+    /// Serial-engine version counter: the pre-sharding global `1, 2, 3, …`
+    /// stream. The parallel engine allocates timestamp-packed versions
+    /// instead (see [`ShardState::alloc_version_at`]) so last-writer-wins
+    /// order follows simulated time no matter which shard coordinates a
+    /// key's writes.
+    next_version: u64,
+    /// Microsecond of the most recent parallel version allocation, and the
+    /// tie-break sequence within it.
+    version_last_us: u64,
+    version_seq: u32,
+    /// Full-length per-node tables; only the slots of nodes mapped to this
+    /// shard are ever populated (foreign slots stay empty and meter zero).
+    stores: Vec<ReplicaStore>,
+    nodes: Vec<NodeRuntime>,
+    /// Interned write-fan-out payloads, ref-counted by the events that carry
+    /// their [`PayloadId`]; slots recycle through `payload_free`.
+    write_payloads: Vec<PayloadSlot>,
+    payload_free: Vec<PayloadId>,
+    payload_live: usize,
+    /// Dense per-key cache of ring placements (reset on ring rebuilds).
+    replica_cache: ReplicaCache,
+    /// Scratch buffer for replica lists; reused across operations.
+    replica_scratch: Vec<NodeId>,
+    /// Scratch buffer for the up-node list when nodes are down.
+    up_scratch: Vec<NodeId>,
+    /// Outputs produced this window, drained at the fold (serial mode:
+    /// drained after every event, preserving the pre-sharding order).
+    outputs: Vec<ClusterOutput>,
+    /// Full-propagation samples produced this window, drained at the fold.
+    propagation: Vec<SimDuration>,
+    /// Cross-shard effects recorded this window, applied at the fold.
+    outbox: Vec<Staged>,
+    /// Events this shard popped in the current window (the fold derives
+    /// `parallel_batches` / `max_batch_len` from these).
+    window_popped: u64,
+}
+
+/// Control-plane state: the repair plane (hint queues, sweep cursor), the
+/// control event lane (ticks and repair events in parallel mode) and the
+/// dedicated RNG/metric sink that fold-time completions draw from. Runs
+/// only at serial points — barrier edges and between-window calls — never
+/// inside a parallel window.
+struct ControlState {
+    /// Control event lane (parallel mode only; with one shard, control
+    /// events ride the single shard lane to stay byte-identical to the
+    /// pre-sharding engine).
+    lane: EventQueue<Event>,
+    /// Control-plane RNG: stream index `nshards` of the master seed, so it
+    /// never collides with a shard stream.
+    rng: SimRng,
+    /// Control-plane meters (fold-time message accounting, repair traffic
+    /// in parallel mode); merged into reports after the shard sinks.
+    metrics: ClusterMetrics,
+    /// Per-destination hinted-handoff queues, bounded by
+    /// `repair.hint_capacity_per_node`.
+    hints: Vec<VecDeque<Hint>>,
+    /// Whether a `HintReplay` chain is currently scheduled per node (avoids
+    /// double-scheduling when a node flaps up/down).
+    hint_replay_active: Vec<bool>,
+    /// Position in the node-pair enumeration of the sweep cycle.
+    sweep_cursor: u64,
+    /// Whether an `AntiEntropy` event is pending in the queue.
+    sweep_active: bool,
+    /// Whether the current sweep round streamed any records.
+    sweep_streamed: bool,
+    /// Consecutive sweep rounds that streamed nothing; the cycle parks
+    /// after one fully idle round and is resumed by fault transitions.
+    sweep_idle_rounds: u32,
+    /// Scratch for one page's records during an anti-entropy stream.
+    repair_page_scratch: Vec<(Key, Version, u32)>,
+    /// Scratch for ring-membership checks during an anti-entropy stream.
+    repair_member_scratch: Vec<NodeId>,
+    /// Placement cache for control-plane ring walks (repair membership
+    /// gates, bulk-load placement).
+    replica_cache: ReplicaCache,
+    /// The ground-truth staleness oracle. One central instance: its version
+    /// histories are read-only during parallel windows (every shard probes
+    /// the same barrier snapshot) and mutated only at serial points — acks
+    /// staged to the fold, preloads before the run, and the serial engine's
+    /// inline calls, which make it byte-identical to the pre-sharding
+    /// single oracle.
+    oracle: StalenessOracle,
+}
+
+/// The cluster simulator. See the module docs for the simulated protocol
+/// and for the parallel sharded execution model.
+pub struct Cluster {
+    shared: ClusterShared,
+    shard_states: Vec<ShardState>,
+    ctrl: ControlState,
+    /// Current conservative lookahead window bound.
+    lookahead: SimDuration,
+    /// Time of the last processed event (serial) / high-water mark over the
+    /// shard lanes (parallel).
+    clock: SimTime,
+    outputs: VecDeque<ClusterOutput>,
+    propagation_samples: Vec<SimDuration>,
+    /// Scratch for bulk-load placement walks and up-node coordinator draws
+    /// at serial points (submission, resubmission folds).
+    home_scratch: Vec<NodeId>,
+    /// Synchronization counters of the sharded engine (all zero with one
+    /// shard: the serial path never crosses a window barrier).
+    sync: ShardMetrics,
+    /// Scratch for gathering window outputs at the fold.
+    fold_outputs: Vec<ClusterOutput>,
+    /// Reads whose completion deferred to this fold ([`Staged::ReadDone`]),
+    /// classified after every outbox (and so every ack of the window) has
+    /// been applied.
+    fold_read_dones: Vec<(CompletedOp, SimTime, u16)>,
+    /// High-water mark of `submit_batch` arrival times across all shards
+    /// (the per-lane FIFO asserts only per-lane order; the sorted-stream
+    /// contract is global).
+    bulk_tail: SimTime,
+}
+
+/// Account a message of `bytes` payload travelling `from → to` against the
+/// given RNG/metric sink (a shard's inside a window, the control plane's at
+/// a fold) and return its sampled link delay.
+fn account_message(
+    shared: &ClusterShared,
+    rng: &mut SimRng,
+    metrics: &mut ClusterMetrics,
+    from: NodeId,
+    to: NodeId,
+    bytes: u32,
+) -> SimDuration {
+    let class = shared.link_class[from.0 as usize * shared.node_count + to.0 as usize];
+    let total = bytes as u64 + shared.config.message_overhead_bytes as u64;
+    metrics.traffic.add(class, total);
+    metrics.messages += 1;
+    let delay = shared.link_samplers[class_index(class)].sample(rng);
+    if shared.degradation_active {
+        let factor = shared.link_degradation[class_index(class)];
+        if factor != 1.0 {
+            return SimDuration::from_micros((delay.as_micros() as f64 * factor).round() as u64);
+        }
+    }
+    delay
+}
+
+/// Meter repair bytes `from → to` that never become a scheduled event
+/// (page-summary exchanges): added to both the billable traffic meter
+/// and the repair breakdown, no delay sampled, so summary comparisons
+/// cost network bytes but not RNG draws.
+fn account_repair_bytes(
+    shared: &ClusterShared,
+    metrics: &mut ClusterMetrics,
+    from: NodeId,
+    to: NodeId,
+    bytes: u32,
+) {
+    let class = shared.link_class[from.0 as usize * shared.node_count + to.0 as usize];
+    let total = bytes as u64 + shared.config.message_overhead_bytes as u64;
+    metrics.traffic.add(class, total);
+    metrics.repair_traffic.add(class, total);
+    metrics.messages += 1;
+}
+
+/// Account a repair message that does travel (hint replay, streamed
+/// record): billable traffic + repair breakdown + a sampled link delay.
+fn account_repair_message(
+    shared: &ClusterShared,
+    rng: &mut SimRng,
+    metrics: &mut ClusterMetrics,
+    from: NodeId,
+    to: NodeId,
+    bytes: u32,
+) -> SimDuration {
+    let class = shared.link_class[from.0 as usize * shared.node_count + to.0 as usize];
+    metrics.repair_traffic.add(
+        class,
+        bytes as u64 + shared.config.message_overhead_bytes as u64,
+    );
+    account_message(shared, rng, metrics, from, to, bytes)
+}
+
+/// A write ack that can no longer arrive (its replica died or the
+/// partition ate the message): stop counting that replica as targeted,
+/// and reclaim the slab slot if the write was only waiting for it. Runs
+/// against the op's home shard.
+fn abandon_in(s: &mut ShardState, op_id: OpId) {
+    if let Some(OpState::Write(w)) = s.ops.get_mut(op_id) {
+        w.targeted = w.targeted.saturating_sub(1);
+        if w.completed && w.acks >= w.targeted {
+            s.ops.remove(op_id);
+        }
+    }
+}
+
+/// (Re)start the anti-entropy sweep cycle at simulated time `now`. The
+/// `AntiEntropy` chain rides the single shard lane when one is given
+/// (serial mode: byte-identical timer-wheel placement to the pre-sharding
+/// engine) and the control lane otherwise.
+fn resume_sweeps_parts(
+    shared: &ClusterShared,
+    ctrl: &mut ControlState,
+    serial_lane: Option<&mut EventQueue<Event>>,
+    now: SimTime,
+) {
+    if !shared.config.repair.mode.anti_entropy_enabled() || shared.node_count < 2 {
+        return;
+    }
+    ctrl.sweep_idle_rounds = 0;
+    if !ctrl.sweep_active {
+        ctrl.sweep_active = true;
+        let at = now + shared.config.repair.sweep_interval();
+        match serial_lane {
+            Some(lane) => lane.schedule_timeout(at, Event::AntiEntropy),
+            None => ctrl.lane.schedule_timeout(at, Event::AntiEntropy),
+        }
+    }
+}
+
+/// The `idx`-th unordered node pair `(i, j)`, `i < j`, in row-major
+/// enumeration order.
+fn unrank_pair(mut idx: u64, n: u64) -> (u64, u64) {
+    let mut i = 0;
+    loop {
+        let row = n - 1 - i;
+        if idx < row {
+            return (i, i + 1 + idx);
+        }
+        idx -= row;
+        i += 1;
+    }
+}
+
+impl ShardState {
+    /// Allocate the next serial-engine write version: the pre-sharding
+    /// global `1, 2, 3, …` counter (one shard owns the whole stream).
+    fn alloc_version_serial(&mut self) -> Version {
+        self.next_version += 1;
+        Version(self.next_version)
+    }
+
+    /// Allocate a parallel-engine write version: timestamp-packed as
+    /// `(µs+1) << 24 | seq << 8 | shard`, the simulator's analogue of
+    /// Cassandra's client-timestamp LWW ordering. Per-key version order
+    /// follows simulated time no matter which shard coordinates each
+    /// write — a per-shard counter would let a busy shard's old write
+    /// shadow a quieter shard's newer one. `seq` restarts every
+    /// microsecond and breaks same-instant ties deterministically
+    /// (saturating at 2^16−1 allocations per µs per shard, far past any
+    /// real event density); the `µs+1` bias keeps every runtime version
+    /// above the preload floor (see [`Cluster::load_records`]).
+    fn alloc_version_at(&mut self, now: SimTime) -> Version {
+        let us = now.as_micros() + 1;
+        debug_assert!(us < 1 << 40, "simulated time overflows the version layout");
+        if us != self.version_last_us {
+            self.version_last_us = us;
+            self.version_seq = 0;
+        }
+        if self.version_seq < u16::MAX as u32 {
+            self.version_seq += 1;
+        }
+        Version((us << 24) | ((self.version_seq as u64) << 8) | self.shard as u64)
+    }
+
+    /// Intern a write-fan-out payload with zero references; callers bump the
+    /// count with [`ShardState::retain_payload`] once per event they schedule
+    /// and drop the slot again if nothing ended up referencing it.
+    fn intern_payload(&mut self, payload: WritePayload) -> PayloadId {
+        self.payload_live += 1;
+        if let Some(id) = self.payload_free.pop() {
+            self.write_payloads[id as usize] = PayloadSlot { refs: 0, payload };
+            id
+        } else {
+            let id = PayloadId::try_from(self.write_payloads.len())
+                .expect("more than 2^32 in-flight write payloads");
+            self.write_payloads.push(PayloadSlot { refs: 0, payload });
+            id
+        }
+    }
+
+    #[inline]
+    fn retain_payload(&mut self, id: PayloadId) {
+        self.write_payloads[id as usize].refs += 1;
+    }
+
+    /// Read the payload and drop one reference; the slot is recycled when the
+    /// last referencing event consumes it.
+    #[inline]
+    fn release_payload(&mut self, id: PayloadId) -> WritePayload {
+        let slot = &mut self.write_payloads[id as usize];
+        debug_assert!(slot.refs > 0, "payload released more often than retained");
+        slot.refs -= 1;
+        let payload = slot.payload;
+        if slot.refs == 0 {
+            self.payload_free.push(id);
+            self.payload_live -= 1;
+        }
+        payload
+    }
+
+    /// Free an interned payload that ended up with no referencing events
+    /// (every target replica was down or remote at fan-out time).
+    fn discard_unreferenced_payload(&mut self, id: PayloadId) {
+        let slot = &self.write_payloads[id as usize];
+        if slot.refs == 0 {
+            self.payload_free.push(id);
+            self.payload_live -= 1;
+        }
+    }
+}
+
 impl Cluster {
     /// Build a cluster from its configuration.
     ///
@@ -541,6 +1011,9 @@ impl Cluster {
         let storage_read_sampler = config.storage_read_latency.compiled();
         let storage_write_sampler = config.storage_write_latency.compiled();
         let shards = config.effective_shards();
+        // The timestamp-packed parallel version layout reserves 8 bits for
+        // the allocating shard (see `ShardState::alloc_version_at`).
+        assert!(shards <= 256, "at most 256 event-lane shards are supported");
         let node_shard = Self::build_shard_map(&config.topology, shards);
         let mut cross_shard_classes = [false; 4];
         for from in 0..n {
@@ -551,50 +1024,66 @@ impl Cluster {
             }
         }
         let lookahead = Self::lookahead_bound(&config.network, &cross_shard_classes, &[1.0; 4]);
-        let mut metrics = ClusterMetrics::new();
-        if config.exact_latency_percentiles {
-            metrics.read_latency.enable_exact();
-            metrics.write_latency.enable_exact();
-        }
+        let fresh_metrics = |config: &ClusterConfig| {
+            let mut metrics = ClusterMetrics::new();
+            if config.exact_latency_percentiles {
+                metrics.read_latency.enable_exact();
+                metrics.write_latency.enable_exact();
+            }
+            metrics
+        };
         let effective_rf = ring.replication_factor() as usize;
-        Cluster {
-            ring,
-            // Page summaries cost two mixes per installed write; only
-            // maintain them when an anti-entropy sweep could ever compare
-            // them.
-            stores: (0..n)
-                .map(|_| {
-                    if config.repair.mode.anti_entropy_enabled() {
-                        ReplicaStore::with_summaries()
-                    } else {
-                        ReplicaStore::new()
-                    }
-                })
-                .collect(),
-            nodes: (0..n).map(|_| NodeRuntime::default()).collect(),
-            queue: ShardedEventQueue::new(shards, lookahead),
-            rng: SimRng::new(seed),
-            oracle: StalenessOracle::new(),
-            metrics,
-            selection: ReplicaSelection::Closest,
-            read_level,
-            write_level,
-            next_version: 0,
-            ops: OpSlab::new(),
-            crashed: vec![false; n],
-            partitioned_dcs: Vec::new(),
-            link_degradation: [1.0; 4],
-            degradation_active: false,
-            node_dc: config
-                .topology
-                .nodes()
-                .map(|x| config.topology.dc_of(x))
-                .collect(),
-            write_payloads: Vec::new(),
-            payload_free: Vec::new(),
-            payload_live: 0,
-            outputs: VecDeque::new(),
-            propagation_samples: Vec::new(),
+        let node_dc: Vec<DcId> = config
+            .topology
+            .nodes()
+            .map(|x| config.topology.dc_of(x))
+            .collect();
+        let shard_states = (0..shards)
+            .map(|k| ShardState {
+                shard: k as u32,
+                lane: EventQueue::new(),
+                // With one shard the lane IS the pre-sharding engine, so it
+                // keeps the master stream; true shard streams are split off
+                // the master seed per shard.
+                rng: if shards == 1 {
+                    SimRng::new(seed)
+                } else {
+                    SimRng::shard_stream(seed, k as u64)
+                },
+                ops: OpSlab::with_stride(shards as u32, k as u32),
+                metrics: fresh_metrics(&config),
+                next_version: 0,
+                version_last_us: 0,
+                version_seq: 0,
+                // Page summaries cost two mixes per installed write; only
+                // maintain them when an anti-entropy sweep could ever
+                // compare them.
+                stores: (0..n)
+                    .map(|_| {
+                        if config.repair.mode.anti_entropy_enabled() {
+                            ReplicaStore::with_summaries()
+                        } else {
+                            ReplicaStore::new()
+                        }
+                    })
+                    .collect(),
+                nodes: (0..n).map(|_| NodeRuntime::default()).collect(),
+                write_payloads: Vec::new(),
+                payload_free: Vec::new(),
+                payload_live: 0,
+                replica_cache: ReplicaCache::new(effective_rf),
+                replica_scratch: Vec::with_capacity(config.replication_factor as usize),
+                up_scratch: Vec::with_capacity(n),
+                outputs: Vec::new(),
+                propagation: Vec::new(),
+                outbox: Vec::new(),
+                window_popped: 0,
+            })
+            .collect();
+        let ctrl = ControlState {
+            lane: EventQueue::new(),
+            rng: SimRng::shard_stream(seed, shards as u64),
+            metrics: fresh_metrics(&config),
             hints: (0..n).map(|_| VecDeque::new()).collect(),
             hint_replay_active: vec![false; n],
             sweep_cursor: 0,
@@ -603,23 +1092,48 @@ impl Cluster {
             sweep_idle_rounds: 0,
             repair_page_scratch: Vec::new(),
             repair_member_scratch: Vec::new(),
-            down_count: 0,
-            replica_scratch: Vec::with_capacity(config.replication_factor as usize),
             replica_cache: ReplicaCache::new(effective_rf),
-            up_scratch: Vec::with_capacity(n),
-            mean_lat,
-            link_class,
-            link_samplers,
-            storage_read_sampler,
-            storage_write_sampler,
-            node_count: n,
-            node_shard,
-            cross_shard_classes,
-            config,
+            oracle: StalenessOracle::new(),
+        };
+        Cluster {
+            shared: ClusterShared {
+                ring,
+                node_dc,
+                mean_lat,
+                link_class,
+                link_samplers,
+                storage_read_sampler,
+                storage_write_sampler,
+                node_count: n,
+                node_shard,
+                nshards: shards as u32,
+                cross_shard_classes,
+                down: vec![false; n],
+                down_count: 0,
+                crashed: vec![false; n],
+                partitioned_dcs: Vec::new(),
+                link_degradation: [1.0; 4],
+                degradation_active: false,
+                read_level,
+                write_level,
+                selection: ReplicaSelection::Closest,
+                config,
+            },
+            shard_states,
+            ctrl,
+            lookahead,
+            clock: SimTime::ZERO,
+            outputs: VecDeque::new(),
+            propagation_samples: Vec::new(),
+            home_scratch: Vec::with_capacity(effective_rf.max(1)),
+            sync: ShardMetrics::default(),
+            fold_outputs: Vec::new(),
+            fold_read_dones: Vec::new(),
+            bulk_tail: SimTime::ZERO,
         }
     }
 
-    /// Assign every node to an event-queue shard. [`Topology::spread`] deals
+    /// Assign every node to an event-lane shard. [`Topology::spread`] deals
     /// datacenters round-robin over node ids, so nodes are ordered by
     /// (datacenter, id) first and the ordered list is cut into `shards`
     /// contiguous groups — each shard then holds whole datacenters (or a
@@ -639,7 +1153,7 @@ impl Cluster {
     /// the classes that cross a shard boundary, scaled by the current
     /// degradation factors (a factor below 1 shrinks delays, so the window
     /// must shrink with it). A zero infimum (e.g. an exponential cross-shard
-    /// link) degrades to the queue's minimal 1 µs window rather than
+    /// link) degrades to the engine's minimal 1 µs window rather than
     /// disabling sharding.
     fn lookahead_bound(
         network: &NetworkModel,
@@ -666,186 +1180,212 @@ impl Cluster {
     }
 
     /// Re-derive the lookahead bound from the current degradation factors
-    /// and hand it to the queue (takes effect at the next window barrier).
+    /// (takes effect at the next window).
     fn refresh_lookahead(&mut self) {
-        let bound = Self::lookahead_bound(
-            &self.config.network,
-            &self.cross_shard_classes,
-            &self.link_degradation,
+        self.lookahead = Self::lookahead_bound(
+            &self.shared.config.network,
+            &self.shared.cross_shard_classes,
+            &self.shared.link_degradation,
         );
-        self.queue.set_lookahead(bound);
     }
 
-    /// The event-queue shard a node's events execute on.
+    /// Whether this cluster runs the exact serial path (one shard).
     #[inline]
-    fn shard_of(&self, node: NodeId) -> usize {
-        self.node_shard[node.0 as usize] as usize
+    fn serial(&self) -> bool {
+        self.shard_states.len() == 1
     }
 
-    /// The shard where a client operation on `key` enters the simulation:
-    /// its primary replica's shard (pure ring lookup through the placement
-    /// cache — no RNG, no metering, so routing is invisible to the run).
-    fn home_shard(&mut self, key: Key) -> usize {
-        if self.queue.shards() == 1 {
-            return 0;
+    /// The lane control events ride: the single shard lane when serial
+    /// (byte-identical placement to the pre-sharding engine), the dedicated
+    /// control lane otherwise.
+    fn ctrl_lane(&mut self) -> &mut EventQueue<Event> {
+        if self.shard_states.len() == 1 {
+            &mut self.shard_states[0].lane
+        } else {
+            &mut self.ctrl.lane
         }
-        let mut replicas = std::mem::take(&mut self.replica_scratch);
-        self.replica_cache
-            .replicas_into(&self.ring, key, &mut replicas);
-        let shard = replicas.first().map_or(0, |&node| self.shard_of(node));
-        self.replica_scratch = replicas;
-        shard
     }
 
-    /// Number of event-queue shards this cluster runs with.
+    /// The metric sink control-plane accounting goes to: shard 0's when
+    /// serial (byte-identical to the pre-sharding engine), the control
+    /// plane's otherwise.
+    fn ctrl_metrics(&mut self) -> &mut ClusterMetrics {
+        if self.shard_states.len() == 1 {
+            &mut self.shard_states[0].metrics
+        } else {
+            &mut self.ctrl.metrics
+        }
+    }
+
+    /// Draw the coordinator for a parallel-engine attempt from the control
+    /// stream: uniform over the currently-up nodes, the same distribution
+    /// [`ShardCtx::pick_coordinator`] draws at arrival on the serial path.
+    /// Runs only at serial points (submission, resubmission folds), so the
+    /// draw order is a pure function of the driver's call sequence. The
+    /// attempt is then homed on the coordinator's shard — every message it
+    /// exchanges travels a real coordinator↔replica link, so a cross-shard
+    /// delivery is exactly a delivery across the shard cut and can never
+    /// undershoot the lookahead bound.
+    fn draw_coordinator_ctrl(&mut self) -> NodeId {
+        if self.shared.down_count == 0 {
+            return NodeId(self.ctrl.rng.index(self.shared.node_count) as u32);
+        }
+        let mut up = std::mem::take(&mut self.home_scratch);
+        up.clear();
+        up.extend(
+            self.shared
+                .config
+                .topology
+                .nodes()
+                .filter(|n| !self.shared.down[n.0 as usize]),
+        );
+        let pick = if up.is_empty() {
+            NodeId(0)
+        } else {
+            up[self.ctrl.rng.index(up.len())]
+        };
+        self.home_scratch = up;
+        pick
+    }
+
+    /// Number of event-lane shards this cluster runs with.
     pub fn shards(&self) -> usize {
-        self.queue.shards()
+        self.shard_states.len()
     }
 
-    /// Synchronization counters of the sharded event engine (lookahead
-    /// windows crossed, cross-shard events staged, bound violations).
+    /// Synchronization counters of the sharded engine (lookahead windows
+    /// crossed, parallel handler batches, cross-shard events staged, barrier
+    /// folds, bound violations). All zero with one shard.
     pub fn shard_metrics(&self) -> ShardMetrics {
-        self.queue.metrics()
+        self.sync
     }
 
     /// The current conservative lookahead window bound.
     pub fn lookahead(&self) -> SimDuration {
-        self.queue.lookahead()
+        self.lookahead
     }
 
     /// The cluster's configuration.
     pub fn config(&self) -> &ClusterConfig {
-        &self.config
+        &self.shared.config
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.clock
     }
 
     /// Total number of simulation events processed so far (the denominator of
     /// the hot-path throughput benchmarks).
     pub fn events_processed(&self) -> u64 {
-        self.queue.processed()
+        self.shard_states
+            .iter()
+            .map(|s| s.lane.processed())
+            .sum::<u64>()
+            + self.ctrl.lane.processed()
     }
 
-    /// Number of operations whose state is still held in the op slab
+    /// Number of operations whose state is still held in the op slabs
     /// (submitted-but-unfinished work, for leak diagnostics and tests).
     pub fn inflight_ops(&self) -> usize {
-        self.ops.len()
+        self.shard_states.iter().map(|s| s.ops.len()).sum()
     }
 
     /// Number of interned write payloads still referenced by in-flight
     /// replica tasks (leak diagnostics and tests; 0 once a run drains).
     pub fn inflight_write_payloads(&self) -> usize {
-        self.payload_live
-    }
-
-    /// Intern a write-fan-out payload with zero references; callers bump the
-    /// count with [`Cluster::retain_payload`] once per event they schedule
-    /// and drop the slot again if nothing ended up referencing it.
-    fn intern_payload(&mut self, payload: WritePayload) -> PayloadId {
-        self.payload_live += 1;
-        if let Some(id) = self.payload_free.pop() {
-            self.write_payloads[id as usize] = PayloadSlot { refs: 0, payload };
-            id
-        } else {
-            let id = PayloadId::try_from(self.write_payloads.len())
-                .expect("more than 2^32 in-flight write payloads");
-            self.write_payloads.push(PayloadSlot { refs: 0, payload });
-            id
-        }
-    }
-
-    #[inline]
-    fn retain_payload(&mut self, id: PayloadId) {
-        self.write_payloads[id as usize].refs += 1;
-    }
-
-    /// Read the payload and drop one reference; the slot is recycled when the
-    /// last referencing event consumes it.
-    #[inline]
-    fn release_payload(&mut self, id: PayloadId) -> WritePayload {
-        let slot = &mut self.write_payloads[id as usize];
-        debug_assert!(slot.refs > 0, "payload released more often than retained");
-        slot.refs -= 1;
-        let payload = slot.payload;
-        if slot.refs == 0 {
-            self.payload_free.push(id);
-            self.payload_live -= 1;
-        }
-        payload
-    }
-
-    /// Free an interned payload that ended up with no referencing events
-    /// (every target replica was down at fan-out time).
-    fn discard_unreferenced_payload(&mut self, id: PayloadId) {
-        let slot = &self.write_payloads[id as usize];
-        if slot.refs == 0 {
-            self.payload_free.push(id);
-            self.payload_live -= 1;
-        }
+        self.shard_states.iter().map(|s| s.payload_live).sum()
     }
 
     /// Current default read consistency level.
     pub fn read_level(&self) -> ConsistencyLevel {
-        self.read_level
+        self.shared.read_level
     }
 
     /// Current default write consistency level.
     pub fn write_level(&self) -> ConsistencyLevel {
-        self.write_level
+        self.shared.write_level
     }
 
     /// Change the default consistency levels (takes effect for operations
     /// that *arrive* after the change — exactly how Harmony retunes a live
     /// cluster).
     pub fn set_levels(&mut self, read: ConsistencyLevel, write: ConsistencyLevel) {
-        self.read_level = read;
-        self.write_level = write;
+        self.shared.read_level = read;
+        self.shared.write_level = write;
     }
 
     /// How read replicas are selected.
     pub fn set_replica_selection(&mut self, selection: ReplicaSelection) {
-        self.selection = selection;
+        self.shared.selection = selection;
     }
 
-    /// Ground-truth staleness oracle.
-    pub fn oracle(&self) -> &StalenessOracle {
-        &self.oracle
+    /// Ground-truth staleness totals. One central oracle serves both
+    /// engines: the serial engine classifies inline, the parallel engine at
+    /// barrier folds ([`Staged::ReadDone`]), so its counters are the whole
+    /// view.
+    pub fn oracle(&self) -> OracleStats {
+        self.ctrl.oracle.stats()
     }
 
-    /// Aggregate metrics of the run so far.
-    pub fn metrics(&self) -> &ClusterMetrics {
-        &self.metrics
+    /// Aggregate metrics of the run so far: the per-shard sinks merged in
+    /// shard order, then the control-plane sink. With one shard the merge
+    /// chain is a clone of the only populated sink (merging all-zero sinks
+    /// is exact), so serial reports are byte-identical to the pre-sharding
+    /// engine's.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let mut merged = self.shard_states[0].metrics.clone();
+        for s in &self.shard_states[1..] {
+            merged.merge(&s.metrics);
+        }
+        merged.merge(&self.ctrl.metrics);
+        merged
     }
 
     /// Total payload bytes currently stored across all replicas.
     pub fn total_bytes_stored(&self) -> u64 {
-        self.stores.iter().map(|s| s.bytes_stored()).sum()
+        self.shard_states
+            .iter()
+            .flat_map(|s| s.stores.iter())
+            .map(|s| s.bytes_stored())
+            .sum()
     }
 
     /// Per-node storage read/write operation counts (for the cost model).
     pub fn storage_op_totals(&self) -> (u64, u64) {
-        let reads = self.stores.iter().map(|s| s.read_ops()).sum();
-        let writes = self.stores.iter().map(|s| s.write_ops()).sum();
+        let mut reads = 0;
+        let mut writes = 0;
+        for s in &self.shard_states {
+            reads += s.stores.iter().map(|s| s.read_ops()).sum::<u64>();
+            writes += s.stores.iter().map(|s| s.write_ops()).sum::<u64>();
+        }
         (reads, writes)
     }
 
-    /// Access a node's local store (read-only, for tests and tools).
+    /// Access a node's local store (read-only, for tests and tools). Routes
+    /// to the owning shard's table; foreign slots exist but stay empty.
     pub fn store(&self, node: NodeId) -> &ReplicaStore {
-        &self.stores[node.0 as usize]
+        &self.shard_states[self.shared.shard_of(node)].stores[node.0 as usize]
     }
 
     /// The replica nodes responsible for a key (primary first).
     pub fn replicas_of(&self, key: u64) -> Vec<NodeId> {
-        self.ring.replicas(Key(key))
+        self.shared.ring.replicas(Key(key))
     }
 
     /// Take all full-propagation duration samples recorded since the last
     /// call (feeds the Harmony monitor's `Tp` estimate).
     pub fn drain_propagation_samples(&mut self) -> Vec<SimDuration> {
-        std::mem::take(&mut self.propagation_samples)
+        let mut out = std::mem::take(&mut self.propagation_samples);
+        for s in &mut self.shard_states {
+            out.append(&mut s.propagation);
+        }
+        out
+    }
+
+    /// Number of hints currently queued for `node` (tests and diagnostics).
+    pub fn pending_hints(&self, node: NodeId) -> usize {
+        self.ctrl.hints[node.0 as usize].len()
     }
 
     /// Mark a node as down: it no longer applies writes nor answers reads.
@@ -853,10 +1393,10 @@ impl Cluster {
     /// it; with anti-entropy enabled, the sweep cycle (re)starts so the
     /// divergence accumulating while it is down gets reconciled.
     pub fn set_node_down(&mut self, node: NodeId) {
-        let n = &mut self.nodes[node.0 as usize];
-        if !n.down {
-            n.down = true;
-            self.down_count += 1;
+        let idx = node.0 as usize;
+        if !self.shared.down[idx] {
+            self.shared.down[idx] = true;
+            self.shared.down_count += 1;
             self.resume_sweeps();
         }
     }
@@ -867,10 +1407,10 @@ impl Cluster {
     /// through the timer wheel, and with anti-entropy the sweep cycle
     /// resumes to catch anything the hints missed.
     pub fn set_node_up(&mut self, node: NodeId) {
-        let n = &mut self.nodes[node.0 as usize];
-        if n.down {
-            n.down = false;
-            self.down_count -= 1;
+        let idx = node.0 as usize;
+        if self.shared.down[idx] {
+            self.shared.down[idx] = false;
+            self.shared.down_count -= 1;
             self.start_hint_replay(node);
             self.resume_sweeps();
         }
@@ -878,7 +1418,7 @@ impl Cluster {
 
     /// Whether a node is currently down.
     pub fn is_node_down(&self, node: NodeId) -> bool {
-        self.nodes[node.0 as usize].down
+        self.shared.down[node.0 as usize]
     }
 
     // ------------------------------------------------------------------
@@ -894,8 +1434,8 @@ impl Cluster {
     /// Contrast with [`Cluster::set_node_down`], which models a transient
     /// outage and leaves the ring untouched.
     pub fn crash_node(&mut self, node: NodeId) {
-        if !self.crashed[node.0 as usize] {
-            self.crashed[node.0 as usize] = true;
+        if !self.shared.crashed[node.0 as usize] {
+            self.shared.crashed[node.0 as usize] = true;
             self.set_node_down(node);
             self.rebuild_ring();
             // Recovery migration: the survivors just acquired the crashed
@@ -903,14 +1443,14 @@ impl Cluster {
             // what asynchronous propagation happened to deliver. Schedule a
             // synchronization of every survivor instead of silently serving
             // the acquired ranges from whatever is on disk.
-            if self.config.repair.mode.anti_entropy_enabled() {
-                for peer in 0..self.node_count {
-                    if !self.nodes[peer].down {
-                        // Fault-driven control broadcast: applied at the
-                        // global barrier edge, not a cross-shard message.
-                        let shard = self.node_shard[peer] as usize;
-                        self.queue.schedule_arrival_now(
-                            shard,
+            if self.shared.config.repair.mode.anti_entropy_enabled() {
+                let now = self.clock;
+                for peer in 0..self.shared.node_count {
+                    if !self.shared.down[peer] {
+                        // Fault-driven control broadcast: runs at a barrier
+                        // edge, not as a cross-shard message.
+                        self.ctrl_lane().schedule_at(
+                            now,
                             Event::RepairSync {
                                 node: NodeId(peer as u32),
                             },
@@ -929,44 +1469,41 @@ impl Cluster {
     /// anti-entropy — a [`Event::RepairSync`] streams the returned ranges
     /// back in from its peers before relying on sweeps for the long tail.
     pub fn recover_node(&mut self, node: NodeId) {
-        if self.crashed[node.0 as usize] {
-            self.crashed[node.0 as usize] = false;
+        if self.shared.crashed[node.0 as usize] {
+            self.shared.crashed[node.0 as usize] = false;
             self.set_node_up(node);
             self.rebuild_ring();
-            if self.config.repair.mode.anti_entropy_enabled() {
-                let shard = self.shard_of(node);
-                self.queue
-                    .schedule_arrival_now(shard, Event::RepairSync { node });
+            if self.shared.config.repair.mode.anti_entropy_enabled() {
+                let now = self.clock;
+                self.ctrl_lane()
+                    .schedule_at(now, Event::RepairSync { node });
             }
         }
     }
 
     /// Whether a node is currently crashed (out of the ring).
     pub fn is_node_crashed(&self, node: NodeId) -> bool {
-        self.crashed[node.0 as usize]
+        self.shared.crashed[node.0 as usize]
     }
 
     fn rebuild_ring(&mut self) {
-        let crashed = std::mem::take(&mut self.crashed);
-        self.ring = Ring::excluding(
-            &self.config.topology,
-            self.config.replication_factor,
-            self.config.strategy,
-            self.config.vnodes,
-            self.config.partitioner,
+        let crashed = std::mem::take(&mut self.shared.crashed);
+        self.shared.ring = Ring::excluding(
+            &self.shared.config.topology,
+            self.shared.config.replication_factor,
+            self.shared.config.strategy,
+            self.shared.config.vnodes,
+            self.shared.config.partitioner,
             |n| crashed[n.0 as usize],
         );
-        self.crashed = crashed;
-        // Ownership moved: every cached placement is stale.
-        self.replica_cache
-            .reset(self.ring.replication_factor() as usize);
-    }
-
-    /// The canonical key of an unordered datacenter pair in
-    /// [`Cluster::partitioned_dcs`].
-    #[inline]
-    fn dc_pair(a: DcId, b: DcId) -> (u16, u16) {
-        (a.0.min(b.0), a.0.max(b.0))
+        self.shared.crashed = crashed;
+        // Ownership moved: every cached placement is stale. (The home-shard
+        // cache is NOT reset — op routing is sticky by design.)
+        let rf = self.shared.ring.replication_factor() as usize;
+        for s in &mut self.shard_states {
+            s.replica_cache.reset(rf);
+        }
+        self.ctrl.replica_cache.reset(rf);
     }
 
     /// Partition two datacenters: every message between their nodes is lost
@@ -974,9 +1511,9 @@ impl Cluster {
     /// the NIC). In-flight replica work is unaffected; only deliveries after
     /// the partition starts are dropped. Idempotent.
     pub fn partition_dcs(&mut self, a: DcId, b: DcId) {
-        let pair = Self::dc_pair(a, b);
-        if pair.0 != pair.1 && !self.partitioned_dcs.contains(&pair) {
-            self.partitioned_dcs.push(pair);
+        let pair = ClusterShared::dc_pair(a, b);
+        if pair.0 != pair.1 && !self.shared.partitioned_dcs.contains(&pair) {
+            self.shared.partitioned_dcs.push(pair);
             // Messages are about to be lost: keep (or put) the sweep cycle
             // running so same-side divergence is reconciled meanwhile.
             self.resume_sweeps();
@@ -988,17 +1525,19 @@ impl Cluster {
     /// by read repair — and, with anti-entropy enabled, by the sweep cycle,
     /// which resumes here to reconcile the divergence the partition built up.
     pub fn heal_dcs(&mut self, a: DcId, b: DcId) {
-        let pair = Self::dc_pair(a, b);
-        let had = self.partitioned_dcs.len();
-        self.partitioned_dcs.retain(|&p| p != pair);
-        if self.partitioned_dcs.len() != had {
+        let pair = ClusterShared::dc_pair(a, b);
+        let had = self.shared.partitioned_dcs.len();
+        self.shared.partitioned_dcs.retain(|&p| p != pair);
+        if self.shared.partitioned_dcs.len() != had {
             self.resume_sweeps();
         }
     }
 
     /// Whether a message between two datacenters would currently be dropped.
     pub fn dcs_partitioned(&self, a: DcId, b: DcId) -> bool {
-        self.partitioned_dcs.contains(&Self::dc_pair(a, b))
+        self.shared
+            .partitioned_dcs
+            .contains(&ClusterShared::dc_pair(a, b))
     }
 
     /// Degrade one link class: every subsequent delay sample on that class
@@ -1015,8 +1554,8 @@ impl Cluster {
             factor.is_finite() && factor > 0.0,
             "degradation factor must be finite and positive, got {factor}"
         );
-        self.link_degradation[class_index(class)] = factor;
-        self.degradation_active = self.link_degradation.iter().any(|&f| f != 1.0);
+        self.shared.link_degradation[class_index(class)] = factor;
+        self.shared.degradation_active = self.shared.link_degradation.iter().any(|&f| f != 1.0);
         // A speed-up factor shrinks the smallest cross-shard delay: the
         // lookahead window must shrink with it or staging decisions would be
         // recorded against a stale bound.
@@ -1028,32 +1567,33 @@ impl Cluster {
         self.degrade_link(class, 1.0);
     }
 
-    /// Whether the link between two nodes is currently delivering messages.
-    #[inline]
-    fn link_up(&self, from: NodeId, to: NodeId) -> bool {
-        if self.partitioned_dcs.is_empty() {
-            return true;
-        }
-        let pair = Self::dc_pair(self.node_dc[from.0 as usize], self.node_dc[to.0 as usize]);
-        !self.partitioned_dcs.contains(&pair)
-    }
-
     /// Bulk-load records before the measured run (no events, no I/O
-    /// accounting): every replica of each key receives version 1.
+    /// accounting): every replica of each key receives the key's baseline
+    /// version.
     pub fn load_records(&mut self, records: impl Iterator<Item = (u64, u32)>) {
+        let serial = self.serial();
         for (key, size) in records {
             let key = Key(key);
-            self.next_version += 1;
-            let version = Version(self.next_version);
-            let mut replicas = std::mem::take(&mut self.replica_scratch);
-            // Also warms the dense placement cache for the whole record set.
-            self.replica_cache
-                .replicas_into(&self.ring, key, &mut replicas);
+            // Serial: the pre-sharding global version counter. Parallel:
+            // every preload shares the floor `Version(1)` — last-writer-wins
+            // only compares versions of the *same* key, each key is preloaded
+            // once, and every runtime version is timestamp-packed (≥ 2^24),
+            // so the baseline always loses to the first real write.
+            let version = if serial {
+                self.shard_states[0].alloc_version_serial()
+            } else {
+                Version(1)
+            };
+            let mut replicas = std::mem::take(&mut self.home_scratch);
+            self.ctrl
+                .replica_cache
+                .replicas_into(&self.shared.ring, key, &mut replicas);
             for &node in &replicas {
-                self.stores[node.0 as usize].preload(key, version, size);
+                let dest = self.shared.shard_of(node);
+                self.shard_states[dest].stores[node.0 as usize].preload(key, version, size);
             }
-            self.replica_scratch = replicas;
-            self.oracle.preload(key, version);
+            self.home_scratch = replicas;
+            self.ctrl.oracle.preload(key, version);
         }
     }
 
@@ -1127,7 +1667,8 @@ impl Cluster {
     fn assert_scan_segmentable(&self, scan_len: u32) {
         const MAX_ORDERED_SCAN: u64 = (u16::MAX as u64) << ORDERED_SLICE_BITS;
         assert!(
-            self.config.partitioner != Partitioner::Ordered || scan_len as u64 <= MAX_ORDERED_SCAN,
+            self.shared.config.partitioner != Partitioner::Ordered
+                || scan_len as u64 <= MAX_ORDERED_SCAN,
             "ordered-partitioner scans span at most 2^16 ownership slices \
              (scan_len {scan_len} > {MAX_ORDERED_SCAN})"
         );
@@ -1143,17 +1684,36 @@ impl Cluster {
         at: SimTime,
     ) -> OpId {
         self.assert_scan_segmentable(scan_len);
-        let op_id = self.ops.insert(OpState::Pending(Submission {
-            kind,
-            key: Key(key),
-            size,
-            scan_len,
-            level,
+        let (home, coordinator) = self.route_submission();
+        let s = &mut self.shard_states[home];
+        let op_id = s.ops.insert(OpState::Pending(PendingOp {
+            sub: Submission {
+                kind,
+                key: Key(key),
+                size,
+                scan_len,
+                level,
+            },
+            coordinator,
+            retry: None,
         }));
-        let shard = self.home_shard(Key(key));
-        self.queue
-            .schedule_arrival(shard, at, Event::ClientArrive { op_id });
+        s.lane.schedule_at(at, Event::ClientArrive { op_id });
         op_id
+    }
+
+    /// Route one submission to its home shard. Serial: shard 0, coordinator
+    /// drawn at arrival (the pre-sharding behaviour, byte-identical).
+    /// Parallel: the coordinator is drawn here from the control stream and
+    /// the attempt homes on its shard (see
+    /// [`Cluster::draw_coordinator_ctrl`]).
+    #[inline]
+    fn route_submission(&mut self) -> (usize, Option<NodeId>) {
+        if self.serial() {
+            (0, None)
+        } else {
+            let coordinator = self.draw_coordinator_ctrl();
+            (self.shared.shard_of(coordinator), Some(coordinator))
+        }
     }
 
     /// Bulk-submit a pre-sorted open-loop arrival stream.
@@ -1175,21 +1735,36 @@ impl Cluster {
     ///
     /// # Panics
     /// Panics if arrival times are not non-decreasing (the sorted-stream
-    /// contract is asserted, never silently repaired).
+    /// contract is asserted, never silently repaired). The contract is
+    /// global: each shard lane would only assert its own subsequence, so
+    /// the cluster checks the whole stream before routing.
     pub fn submit_batch(&mut self, ops: impl IntoIterator<Item = BatchOp>) -> usize {
         let mut submitted = 0usize;
         for op in ops {
             self.assert_scan_segmentable(op.scan_len);
-            let op_id = self.ops.insert(OpState::Pending(Submission {
-                kind: op.kind,
-                key: Key(op.key),
-                size: op.size,
-                scan_len: op.scan_len.max(1),
-                level: op.level,
+            assert!(
+                op.at >= self.bulk_tail,
+                "arrival at {}us precedes the batch tail ({}us); \
+                 bulk loads require a sorted arrival stream",
+                op.at.as_micros(),
+                self.bulk_tail.as_micros()
+            );
+            self.bulk_tail = op.at;
+            let (home, coordinator) = self.route_submission();
+            let s = &mut self.shard_states[home];
+            let op_id = s.ops.insert(OpState::Pending(PendingOp {
+                sub: Submission {
+                    kind: op.kind,
+                    key: Key(op.key),
+                    size: op.size,
+                    scan_len: op.scan_len.max(1),
+                    level: op.level,
+                },
+                coordinator,
+                retry: None,
             }));
-            let shard = self.home_shard(Key(op.key));
-            self.queue
-                .bulk_push_sorted(shard, op.at, Event::ClientArrive { op_id });
+            s.lane
+                .bulk_push_sorted(op.at, Event::ClientArrive { op_id });
             submitted += 1;
         }
         submitted
@@ -1198,21 +1773,15 @@ impl Cluster {
     /// Schedule a tick: [`Cluster::advance`] will return
     /// [`ClusterOutput::Tick`] when the simulation reaches `at`.
     pub fn schedule_tick(&mut self, at: SimTime, id: u64) {
-        // Ticks are external control events with no home node; they live on
-        // shard 0 and are applied at the barrier like any arrival.
-        self.queue.schedule_arrival(0, at, Event::Tick { id });
+        // Ticks are external control events with no home node; they ride
+        // the control lane and run at barrier edges.
+        self.ctrl_lane().schedule_at(at, Event::Tick { id });
     }
 
     /// Process events until something reportable happens (an operation
     /// completes or a tick fires). Returns `None` when no events remain.
     pub fn advance(&mut self) -> Option<ClusterOutput> {
-        loop {
-            if let Some(out) = self.outputs.pop_front() {
-                return Some(out);
-            }
-            let (now, event) = self.queue.pop()?;
-            self.handle(now, event);
-        }
+        self.advance_inner(None)
     }
 
     /// Like [`Cluster::advance`], but only processes events firing at or
@@ -1221,12 +1790,56 @@ impl Cluster {
     /// [`Cluster::submit_batch`] loads with draining, without the clock
     /// running ahead of the next window's arrivals.
     pub fn advance_before(&mut self, deadline: SimTime) -> Option<ClusterOutput> {
+        self.advance_inner(Some(deadline))
+    }
+
+    fn advance_inner(&mut self, deadline: Option<SimTime>) -> Option<ClusterOutput> {
+        if self.serial() {
+            return self.advance_serial(deadline);
+        }
         loop {
             if let Some(out) = self.outputs.pop_front() {
                 return Some(out);
             }
-            let (now, event) = self.queue.pop_before(deadline)?;
-            self.handle(now, event);
+            if !self.step_window(deadline) {
+                return None;
+            }
+        }
+    }
+
+    /// The exact pre-sharding event loop: one lane, one RNG, every handler
+    /// inline. Byte-identical to the engine before parallel execution.
+    fn advance_serial(&mut self, deadline: Option<SimTime>) -> Option<ClusterOutput> {
+        loop {
+            if let Some(out) = self.outputs.pop_front() {
+                return Some(out);
+            }
+            let (now, event) = match deadline {
+                Some(d) => self.shard_states[0].lane.pop_before(d)?,
+                None => self.shard_states[0].lane.pop()?,
+            };
+            self.clock = now;
+            self.dispatch_serial(now, event);
+        }
+    }
+
+    fn dispatch_serial(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Tick { id } => self.outputs.push_back(ClusterOutput::Tick { id, at: now }),
+            Event::HintReplay { node } => self.on_hint_replay(now, node),
+            Event::AntiEntropy => self.on_anti_entropy(now),
+            Event::RepairSync { node } => self.on_repair_sync(now, node),
+            other => {
+                let mut ctx = ShardCtx {
+                    shared: &self.shared,
+                    s: &mut self.shard_states[0],
+                    ctrl: Some(&mut self.ctrl),
+                };
+                ctx.handle(now, other);
+                // Preserve the pre-sharding output order: completions enter
+                // the global queue the moment their event produced them.
+                self.outputs.extend(self.shard_states[0].outputs.drain(..));
+            }
         }
     }
 
@@ -1259,121 +1872,395 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
-    // Event handling
+    // Parallel window machinery
     // ------------------------------------------------------------------
 
-    fn handle(&mut self, now: SimTime, event: Event) {
+    /// Advance the parallel engine by one step: either run one due control
+    /// event at a barrier edge, or execute one lookahead window (parallel
+    /// shard batches + serial fold). Returns `false` when nothing is left
+    /// (or the next event lies beyond `deadline`).
+    fn step_window(&mut self, deadline: Option<SimTime>) -> bool {
+        let shard_min = self
+            .shard_states
+            .iter()
+            .filter_map(|s| s.lane.peek_key_packed())
+            .min();
+        let ctrl_min = self.ctrl.lane.peek_key_packed();
+        let next_key = match (shard_min, ctrl_min) {
+            (None, None) => return false,
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        let next_time = unpack_time(next_key);
+        if let Some(d) = deadline {
+            if next_time > d {
+                return false;
+            }
+        }
+        // Control events run at barrier edges, serially, and win instant
+        // ties against shard events: no shard event at the control event's
+        // instant may execute first (its handlers could observe state the
+        // control event is about to change).
+        let ctrl_due = match (ctrl_min, shard_min) {
+            (Some(c), Some(s)) => unpack_time(c) <= unpack_time(s),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if ctrl_due {
+            let (now, event) = self.ctrl.lane.pop().expect("control lane was just peeked");
+            if now > self.clock {
+                self.clock = now;
+            }
+            self.dispatch_ctrl(now, event);
+            return true;
+        }
+        // One lookahead window: [floor, end) in packed-key space. The
+        // window never reaches the next control event's instant and never
+        // crosses the caller's deadline; a zero lookahead bound (cross-shard
+        // link with a zero delay infimum) degrades to a minimal 1 µs window.
+        let floor = next_time;
+        let lookahead = self.lookahead.max(SimDuration::from_micros(1));
+        let mut end_key = pack(floor + lookahead, 0);
+        if let Some(c) = ctrl_min {
+            end_key = end_key.min(pack(unpack_time(c), 0));
+        }
+        if let Some(d) = deadline {
+            end_key = end_key.min(pack(d + SimDuration::from_micros(1), 0));
+        }
+        let shared = &self.shared;
+        rayon::par_for_each_mut(&mut self.shard_states, |_, s| {
+            let mut ctx = ShardCtx {
+                shared,
+                s,
+                ctrl: None,
+            };
+            let mut popped = 0u64;
+            while let Some((t, event)) = ctx.s.lane.pop_before_key(end_key) {
+                ctx.handle(t, event);
+                popped += 1;
+            }
+            ctx.s.window_popped = popped;
+        });
+        self.fold_window(unpack_time(end_key));
+        true
+    }
+
+    fn dispatch_ctrl(&mut self, now: SimTime, event: Event) {
         match event {
-            Event::ClientArrive { op_id } => self.on_client_arrive(now, op_id),
-            Event::ReplicaArrive { node, task } => self.on_replica_arrive(now, node, task),
-            Event::ReplicaServiceDone { node, task } => self.on_replica_done(now, node, task),
-            Event::CoordinatorWriteAck { op_id, from } => self.on_write_ack(now, op_id, from),
-            Event::CoordinatorReadResponse {
-                op_id,
-                from,
-                version,
-                size,
-                records,
-                segment,
-            } => self.on_read_response(now, op_id, from, version, size, records, segment),
-            Event::OpTimeout { op_id } => self.on_timeout(now, op_id),
             Event::Tick { id } => self.outputs.push_back(ClusterOutput::Tick { id, at: now }),
             Event::HintReplay { node } => self.on_hint_replay(now, node),
             Event::AntiEntropy => self.on_anti_entropy(now),
             Event::RepairSync { node } => self.on_repair_sync(now, node),
+            _ => unreachable!("client/replica events never enter the control lane"),
         }
     }
 
-    fn pick_coordinator(&mut self) -> NodeId {
-        // Clients connect to a random live node (YCSB spreads connections
-        // round-robin; with many clients the effect is uniform).
-        if self.down_count == 0 {
-            // Fast path: every node is up, so the up-node list is the
-            // identity — draw the index directly (same RNG consumption).
-            return NodeId(self.rng.index(self.node_count) as u32);
-        }
-        let mut up = std::mem::take(&mut self.up_scratch);
-        up.clear();
-        up.extend(
-            self.config
-                .topology
-                .nodes()
-                .filter(|n| !self.nodes[n.0 as usize].down),
-        );
-        let pick = if up.is_empty() {
-            NodeId(0)
-        } else {
-            up[self.rng.index(up.len())]
-        };
-        self.up_scratch = up;
-        pick
-    }
-
-    /// Account a message of `bytes` payload travelling `from → to`.
-    fn account_message(&mut self, from: NodeId, to: NodeId, bytes: u32) -> SimDuration {
-        let class = self.link_class[from.0 as usize * self.node_count + to.0 as usize];
-        let total = bytes as u64 + self.config.message_overhead_bytes as u64;
-        self.metrics.traffic.add(class, total);
-        self.metrics.messages += 1;
-        let delay = self.link_samplers[class_index(class)].sample(&mut self.rng);
-        if self.degradation_active {
-            let factor = self.link_degradation[class_index(class)];
-            if factor != 1.0 {
-                return SimDuration::from_micros((delay.as_micros() as f64 * factor).round() as u64);
+    /// The serial barrier at the end of a window: advance the clock, update
+    /// the synchronization counters, apply every shard's outbox in fixed
+    /// shard order (control-plane RNG for fold-time sampling), then gather
+    /// outputs and propagation samples — also in shard order, with a stable
+    /// sort by simulated time — so everything downstream is a pure function
+    /// of `(seed, shards)` regardless of worker-thread count.
+    fn fold_window(&mut self, boundary: SimTime) {
+        for s in &self.shard_states {
+            let t = s.lane.now();
+            if t > self.clock {
+                self.clock = t;
             }
         }
-        delay
-    }
-
-    // ------------------------------------------------------------------
-    // Background repair plane: hinted handoff, anti-entropy sweeps,
-    // recovery migration. Every entry point guards on `config.repair.mode`
-    // before any side effect — with repair off, no event is scheduled, no
-    // RNG is drawn and no meter moves, so pre-repair goldens stay
-    // byte-identical.
-    // ------------------------------------------------------------------
-
-    /// Meter repair bytes `from → to` that never become a scheduled event
-    /// (page-summary exchanges): added to both the billable traffic meter
-    /// and the repair breakdown, no delay sampled, so summary comparisons
-    /// cost network bytes but not RNG draws.
-    fn account_repair_bytes(&mut self, from: NodeId, to: NodeId, bytes: u32) {
-        let class = self.link_class[from.0 as usize * self.node_count + to.0 as usize];
-        let total = bytes as u64 + self.config.message_overhead_bytes as u64;
-        self.metrics.traffic.add(class, total);
-        self.metrics.repair_traffic.add(class, total);
-        self.metrics.messages += 1;
-    }
-
-    /// Account a repair message that does travel (hint replay, streamed
-    /// record): billable traffic + repair breakdown + a sampled link delay.
-    fn account_repair_message(&mut self, from: NodeId, to: NodeId, bytes: u32) -> SimDuration {
-        let class = self.link_class[from.0 as usize * self.node_count + to.0 as usize];
-        self.metrics.repair_traffic.add(
-            class,
-            bytes as u64 + self.config.message_overhead_bytes as u64,
-        );
-        self.account_message(from, to, bytes)
-    }
-
-    /// Queue a hint for a down replica (bounded per destination; overflow is
-    /// metered and left for anti-entropy to reconcile).
-    fn queue_hint(&mut self, from: NodeId, to: NodeId, key: Key, version: Version, size: u32) {
-        let queue = &mut self.hints[to.0 as usize];
-        if queue.len() >= self.config.repair.hint_capacity() as usize {
-            self.metrics.hints_dropped += 1;
-            // Dropped hints fall through to anti-entropy (no-op unless the
-            // mode enables sweeps).
-            self.resume_sweeps();
-            return;
+        self.sync.windows += 1;
+        self.sync.barrier_folds += 1;
+        let batches = self
+            .shard_states
+            .iter()
+            .filter(|s| s.window_popped > 0)
+            .count();
+        if batches >= 2 {
+            self.sync.parallel_batches += 1;
         }
-        queue.push_back(Hint {
-            from,
-            key,
-            version,
-            size,
+        let longest = self
+            .shard_states
+            .iter()
+            .map(|s| s.window_popped)
+            .max()
+            .unwrap_or(0);
+        if longest > self.sync.max_batch_len {
+            self.sync.max_batch_len = longest;
+        }
+        for i in 0..self.shard_states.len() {
+            let mut staged = std::mem::take(&mut self.shard_states[i].outbox);
+            for entry in staged.drain(..) {
+                self.sync.staged += 1;
+                self.apply_staged(entry, boundary);
+            }
+            // Hand the (empty) allocation back for the next window.
+            self.shard_states[i].outbox = staged;
+        }
+        // Finish deferred read completions now that every ack of the window
+        // is in the oracle: classify each read against the ack set as of its
+        // own issue instant (exact — see [`Staged::ReadDone`]), count it in
+        // its shard's metric sink and emit the client output in time for
+        // this fold's gather below.
+        let mut read_dones = std::mem::take(&mut self.fold_read_dones);
+        for (mut op, issue_at, shard) in read_dones.drain(..) {
+            let class = self
+                .ctrl
+                .oracle
+                .classify_read_at(op.key, issue_at, op.returned_version);
+            op.stale = class.stale;
+            op.staleness_depth = class.depth;
+            let s = &mut self.shard_states[shard as usize];
+            s.metrics
+                .record_completion(OpKind::Read, op.latency(), class.stale);
+            s.outputs.push(ClusterOutput::Completed(op));
+        }
+        self.fold_read_dones = read_dones;
+        let mut gathered = std::mem::take(&mut self.fold_outputs);
+        for s in &mut self.shard_states {
+            gathered.append(&mut s.outputs);
+        }
+        // Stable by-time sort over the shard-ordered concatenation: outputs
+        // of one window interleave across shards by simulated time, with
+        // shard order breaking ties deterministically.
+        gathered.sort_by_key(|out| match out {
+            ClusterOutput::Completed(op) => op.completed_at,
+            ClusterOutput::Tick { at, .. } => *at,
         });
-        self.metrics.hints_queued += 1;
+        self.outputs.extend(gathered.drain(..));
+        self.fold_outputs = gathered;
+        let samples = &mut self.propagation_samples;
+        for s in &mut self.shard_states {
+            samples.append(&mut s.propagation);
+        }
+    }
+
+    /// Clamp a staged delivery time into the next window. A violation means
+    /// a cross-shard effect would land inside the window that produced it —
+    /// the lookahead bound was too optimistic (degradation shrank a link
+    /// mid-window, or a zero-infimum distribution sampled below the bound).
+    /// The effect is deferred to the window boundary instead, deterministic
+    /// at any thread count, and counted so runs can audit how conservative
+    /// the bound really was.
+    fn clamp_staged(&mut self, at: SimTime, boundary: SimTime) -> SimTime {
+        if at < boundary {
+            self.sync.violations += 1;
+            boundary
+        } else {
+            at
+        }
+    }
+
+    /// Apply one staged cross-shard effect at the barrier (see [`Staged`]).
+    fn apply_staged(&mut self, staged: Staged, boundary: SimTime) {
+        match staged {
+            Staged::Event { dest, at, ev } => {
+                let at = self.clamp_staged(at, boundary);
+                self.shard_states[dest as usize].lane.schedule_at(at, ev);
+            }
+            Staged::WriteTask {
+                dest,
+                at,
+                node,
+                payload,
+            } => {
+                let at = self.clamp_staged(at, boundary);
+                let s = &mut self.shard_states[dest as usize];
+                let id = s.intern_payload(payload);
+                s.retain_payload(id);
+                s.lane.schedule_at(
+                    at,
+                    Event::ReplicaArrive {
+                        node,
+                        task: ReplicaTask::Write { payload: id },
+                    },
+                );
+            }
+            Staged::WriteApplied {
+                op_id,
+                from,
+                applied_at,
+            } => {
+                let home = (op_id.0 as u32 % self.shared.nshards) as usize;
+                // The op may be gone (timeout retry freed the slot): like
+                // the serial path, a dead op means no ack and no metering.
+                let coordinator = match self.shard_states[home].ops.get(op_id) {
+                    Some(OpState::Write(w)) => w.coordinator,
+                    _ => return,
+                };
+                let delay = account_message(
+                    &self.shared,
+                    &mut self.ctrl.rng,
+                    &mut self.ctrl.metrics,
+                    from,
+                    coordinator,
+                    self.shared.config.small_message_bytes,
+                );
+                if !self.shared.link_up(from, coordinator) {
+                    self.ctrl.metrics.messages_lost += 1;
+                    abandon_in(&mut self.shard_states[home], op_id);
+                    return;
+                }
+                let at = self.clamp_staged(applied_at + delay, boundary);
+                self.shard_states[home].lane.schedule_at(
+                    at,
+                    Event::CoordinatorWriteAck {
+                        op_id,
+                        from,
+                        applied_at,
+                    },
+                );
+            }
+            Staged::ReadResponse {
+                op_id,
+                from,
+                at,
+                version,
+                size,
+                records,
+                segment,
+                data,
+            } => {
+                let home = (op_id.0 as u32 % self.shared.nshards) as usize;
+                let coordinator = match self.shard_states[home].ops.get(op_id) {
+                    Some(OpState::Read(r)) => r.coordinator,
+                    _ => return,
+                };
+                let bytes = if data {
+                    size
+                } else {
+                    self.shared.config.small_message_bytes
+                };
+                let delay = account_message(
+                    &self.shared,
+                    &mut self.ctrl.rng,
+                    &mut self.ctrl.metrics,
+                    from,
+                    coordinator,
+                    bytes,
+                );
+                if !self.shared.link_up(from, coordinator) {
+                    self.ctrl.metrics.messages_lost += 1;
+                    return;
+                }
+                let at = self.clamp_staged(at + delay, boundary);
+                self.shard_states[home].lane.schedule_at(
+                    at,
+                    Event::CoordinatorReadResponse {
+                        op_id,
+                        from,
+                        version,
+                        size,
+                        // Digests answer with a checksum, not records: only
+                        // the data response contributes coverage.
+                        records: if data { records } else { 0 },
+                        segment,
+                    },
+                );
+            }
+            Staged::Abandon { op_id } => {
+                let home = (op_id.0 as u32 % self.shared.nshards) as usize;
+                abandon_in(&mut self.shard_states[home], op_id);
+            }
+            Staged::Hint {
+                from,
+                to,
+                key,
+                version,
+                size,
+            } => {
+                let capacity = self.shared.config.repair.hint_capacity() as usize;
+                if self.ctrl.hints[to.0 as usize].len() >= capacity {
+                    self.ctrl.metrics.hints_dropped += 1;
+                    // Dropped hints fall through to anti-entropy (no-op
+                    // unless the mode enables sweeps).
+                    let now = self.clock;
+                    resume_sweeps_parts(&self.shared, &mut self.ctrl, None, now);
+                } else {
+                    self.ctrl.hints[to.0 as usize].push_back(Hint {
+                        from,
+                        key,
+                        version,
+                        size,
+                    });
+                    self.ctrl.metrics.hints_queued += 1;
+                }
+            }
+            Staged::OracleAck { key, version, at } => {
+                // Fold-time oracle mutation: acks from one window land in
+                // fixed shard order (and outbox order within a shard), so
+                // the ack history — and with it every fold-time
+                // classification — is a pure function of `(seed, shards)`.
+                self.ctrl.oracle.record_ack(key, version, at);
+            }
+            Staged::ReadDone {
+                op,
+                issue_at,
+                shard,
+            } => {
+                // Deferred: classification runs after the whole fold's
+                // outboxes have applied, so acks staged by later shards in
+                // this very fold are visible too (see `fold_window`).
+                self.fold_read_dones.push((op, issue_at, shard));
+            }
+            Staged::Resubmit { sub, retry } => {
+                // Fresh attempt routing at a serial point: draw a new
+                // coordinator among the currently-up nodes, home the
+                // attempt on its shard and restart it at the boundary (the
+                // next window's opening edge — a deliberate defer, not a
+                // lookahead violation).
+                let coordinator = self.draw_coordinator_ctrl();
+                let home = self.shared.shard_of(coordinator);
+                let s = &mut self.shard_states[home];
+                let op_id = s.ops.insert(OpState::Pending(PendingOp {
+                    sub,
+                    coordinator: Some(coordinator),
+                    retry: Some(retry),
+                }));
+                s.lane.schedule_at(boundary, Event::ClientArrive { op_id });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane handlers (hint replay, anti-entropy, recovery sync)
+    //
+    // These run serially — on the single lane in serial mode, at barrier
+    // edges in parallel mode — because they touch cluster-wide state
+    // (hint queues, sweep cursor, every node's store). Their metering and
+    // delay sampling route through `repair_message_delay`/`repair_bytes`:
+    // shard 0's RNG and metrics in serial mode (byte-identical to the
+    // pre-parallel engine), the control stream otherwise.
+    // ------------------------------------------------------------------
+
+    fn repair_message_delay(&mut self, from: NodeId, to: NodeId, bytes: u32) -> SimDuration {
+        if self.serial() {
+            let s = &mut self.shard_states[0];
+            account_repair_message(&self.shared, &mut s.rng, &mut s.metrics, from, to, bytes)
+        } else {
+            account_repair_message(
+                &self.shared,
+                &mut self.ctrl.rng,
+                &mut self.ctrl.metrics,
+                from,
+                to,
+                bytes,
+            )
+        }
+    }
+
+    fn repair_bytes(&mut self, from: NodeId, to: NodeId, bytes: u32) {
+        if self.serial() {
+            account_repair_bytes(
+                &self.shared,
+                &mut self.shard_states[0].metrics,
+                from,
+                to,
+                bytes,
+            );
+        } else {
+            account_repair_bytes(&self.shared, &mut self.ctrl.metrics, from, to, bytes);
+        }
     }
 
     /// Start (or restart) the timer-wheel-paced hint replay chain to `node`
@@ -1381,49 +2268,48 @@ impl Cluster {
     /// empty, or a chain is already scheduled.
     fn start_hint_replay(&mut self, node: NodeId) {
         let idx = node.0 as usize;
-        if !self.config.repair.mode.hints_enabled()
-            || self.hints[idx].is_empty()
-            || self.hint_replay_active[idx]
+        if !self.shared.config.repair.mode.hints_enabled()
+            || self.ctrl.hints[idx].is_empty()
+            || self.ctrl.hint_replay_active[idx]
         {
             return;
         }
-        self.hint_replay_active[idx] = true;
-        let shard = self.shard_of(node);
-        self.queue.schedule_timeout(
-            shard,
-            self.queue.now() + self.config.repair.replay_interval(),
-            Event::HintReplay { node },
-        );
+        self.ctrl.hint_replay_active[idx] = true;
+        let at = self.clock + self.shared.config.repair.replay_interval();
+        self.ctrl_lane()
+            .schedule_timeout(at, Event::HintReplay { node });
     }
 
     /// Replay one queued hint to `node` as a background repair write and
     /// chain the next replay through the timer wheel.
     fn on_hint_replay(&mut self, now: SimTime, node: NodeId) {
         let idx = node.0 as usize;
-        if self.nodes[idx].down {
+        if self.shared.down[idx] {
             // The node flapped down again mid-replay: park the chain; the
             // next set_node_up restarts it with the remaining hints.
-            self.hint_replay_active[idx] = false;
+            self.ctrl.hint_replay_active[idx] = false;
             return;
         }
-        let Some(hint) = self.hints[idx].pop_front() else {
-            self.hint_replay_active[idx] = false;
+        let Some(hint) = self.ctrl.hints[idx].pop_front() else {
+            self.ctrl.hint_replay_active[idx] = false;
             return;
         };
-        self.metrics.hints_replayed += 1;
-        let delay = self.account_repair_message(hint.from, node, hint.size);
-        if self.link_up(hint.from, node) {
-            let payload = self.intern_payload(WritePayload {
+        self.ctrl_metrics().hints_replayed += 1;
+        let delay = self.repair_message_delay(hint.from, node, hint.size);
+        if self.shared.link_up(hint.from, node) {
+            // Control events run between windows: the repair write can be
+            // scheduled straight into the destination shard's lane.
+            let dest = self.shared.shard_of(node);
+            let s = &mut self.shard_states[dest];
+            let payload = s.intern_payload(WritePayload {
                 op_id: REPAIR_OP_ID,
                 key: hint.key,
                 version: hint.version,
                 size: hint.size,
                 repair: true,
             });
-            self.retain_payload(payload);
-            let shard = self.shard_of(node);
-            self.queue.schedule_at(
-                shard,
+            s.retain_payload(payload);
+            s.lane.schedule_at(
                 now + delay,
                 Event::ReplicaArrive {
                     node,
@@ -1433,17 +2319,14 @@ impl Cluster {
         } else {
             // Lost in a partition like any other message; anti-entropy (if
             // enabled) reconciles the residue after the heal.
-            self.metrics.messages_lost += 1;
+            self.ctrl_metrics().messages_lost += 1;
         }
-        if self.hints[idx].is_empty() {
-            self.hint_replay_active[idx] = false;
+        if self.ctrl.hints[idx].is_empty() {
+            self.ctrl.hint_replay_active[idx] = false;
         } else {
-            let shard = self.shard_of(node);
-            self.queue.schedule_timeout(
-                shard,
-                now + self.config.repair.replay_interval(),
-                Event::HintReplay { node },
-            );
+            let at = now + self.shared.config.repair.replay_interval();
+            self.ctrl_lane()
+                .schedule_timeout(at, Event::HintReplay { node });
         }
     }
 
@@ -1452,33 +2335,16 @@ impl Cluster {
     /// terminates `run_to_completion`); fault transitions call this to wake
     /// it up again. No-op unless the mode enables anti-entropy.
     fn resume_sweeps(&mut self) {
-        if !self.config.repair.mode.anti_entropy_enabled() || self.node_count < 2 {
-            return;
-        }
-        self.sweep_idle_rounds = 0;
-        if !self.sweep_active {
-            self.sweep_active = true;
-            // The sweep cycle is a cluster-wide background process with no
-            // home node; its chain lives on shard 0.
-            self.queue.schedule_timeout(
-                0,
-                self.queue.now() + self.config.repair.sweep_interval(),
-                Event::AntiEntropy,
+        let now = self.clock;
+        if self.serial() {
+            resume_sweeps_parts(
+                &self.shared,
+                &mut self.ctrl,
+                Some(&mut self.shard_states[0].lane),
+                now,
             );
-        }
-    }
-
-    /// The `idx`-th unordered node pair `(i, j)`, `i < j`, in row-major
-    /// enumeration order.
-    fn unrank_pair(mut idx: u64, n: u64) -> (u64, u64) {
-        let mut i = 0;
-        loop {
-            let row = n - 1 - i;
-            if idx < row {
-                return (i, i + 1 + idx);
-            }
-            idx -= row;
-            i += 1;
+        } else {
+            resume_sweeps_parts(&self.shared, &mut self.ctrl, None, now);
         }
     }
 
@@ -1486,62 +2352,61 @@ impl Cluster {
     /// stream divergent pages both ways, and chain the next step unless a
     /// full round went by without streaming anything.
     fn on_anti_entropy(&mut self, now: SimTime) {
-        if !self.config.repair.mode.anti_entropy_enabled() || self.node_count < 2 {
-            self.sweep_active = false;
+        if !self.shared.config.repair.mode.anti_entropy_enabled() || self.shared.node_count < 2 {
+            self.ctrl.sweep_active = false;
             return;
         }
-        let n = self.node_count as u64;
+        let n = self.shared.node_count as u64;
         let pairs = n * (n - 1) / 2;
-        let (a, b) = Self::unrank_pair(self.sweep_cursor % pairs, n);
-        self.sweep_cursor += 1;
+        let (a, b) = unrank_pair(self.ctrl.sweep_cursor % pairs, n);
+        self.ctrl.sweep_cursor += 1;
         let (a, b) = (NodeId(a as u32), NodeId(b as u32));
         // Pairs with a down endpoint or a partitioned link are skipped (and
         // count as idle); the fault transition that restores them resumes
         // the cycle.
-        if !self.nodes[a.0 as usize].down && !self.nodes[b.0 as usize].down && self.link_up(a, b) {
+        if !self.shared.down[a.0 as usize]
+            && !self.shared.down[b.0 as usize]
+            && self.shared.link_up(a, b)
+        {
             let streamed = self.sweep_pair(now, a, b);
             if streamed > 0 {
-                self.sweep_streamed = true;
+                self.ctrl.sweep_streamed = true;
             }
         }
-        if self.sweep_cursor.is_multiple_of(pairs) {
+        if self.ctrl.sweep_cursor.is_multiple_of(pairs) {
             // Round boundary: either work happened (keep going) or the
             // round was silent (count it toward parking).
-            if self.sweep_streamed {
-                self.sweep_idle_rounds = 0;
+            if self.ctrl.sweep_streamed {
+                self.ctrl.sweep_idle_rounds = 0;
             } else {
-                self.sweep_idle_rounds += 1;
+                self.ctrl.sweep_idle_rounds += 1;
             }
-            self.sweep_streamed = false;
+            self.ctrl.sweep_streamed = false;
         }
-        if self.sweep_idle_rounds > 0 {
-            self.sweep_active = false;
+        if self.ctrl.sweep_idle_rounds > 0 {
+            self.ctrl.sweep_active = false;
             return;
         }
-        self.queue.schedule_timeout(
-            0,
-            now + self.config.repair.sweep_interval(),
-            Event::AntiEntropy,
-        );
+        let at = now + self.shared.config.repair.sweep_interval();
+        self.ctrl_lane().schedule_timeout(at, Event::AntiEntropy);
     }
 
     /// Compare every page summary of a node pair (metered as network bytes
     /// both ways) and stream divergent pages in both directions. Returns the
     /// number of records streamed.
     fn sweep_pair(&mut self, now: SimTime, a: NodeId, b: NodeId) -> u64 {
-        let pages = self.stores[a.0 as usize]
+        let pages = self
+            .store(a)
             .summary_pages()
-            .max(self.stores[b.0 as usize].summary_pages());
-        let summary_bytes = self.config.repair.summary_bytes();
+            .max(self.store(b).summary_pages());
+        let summary_bytes = self.shared.config.repair.summary_bytes();
         let mut streamed = 0u64;
         for page in 0..pages {
-            self.metrics.repair_pages_compared += 1;
+            self.ctrl_metrics().repair_pages_compared += 1;
             // One summary message each way per compared page.
-            self.account_repair_bytes(a, b, summary_bytes);
-            self.account_repair_bytes(b, a, summary_bytes);
-            if self.stores[a.0 as usize].page_digest(page)
-                != self.stores[b.0 as usize].page_digest(page)
-            {
+            self.repair_bytes(a, b, summary_bytes);
+            self.repair_bytes(b, a, summary_bytes);
+            if self.store(a).page_digest(page) != self.store(b).page_digest(page) {
                 streamed += self.stream_page_diff(now, a, b, page);
                 streamed += self.stream_page_diff(now, b, a, page);
             }
@@ -1556,13 +2421,14 @@ impl Cluster {
     /// converged page streams nothing, which is what lets the sweep cycle
     /// park.
     fn stream_page_diff(&mut self, now: SimTime, from: NodeId, to: NodeId, page: usize) -> u64 {
-        let mut records = std::mem::take(&mut self.repair_page_scratch);
+        let mut records = std::mem::take(&mut self.ctrl.repair_page_scratch);
         records.clear();
-        self.stores[from.0 as usize].collect_page(page, &mut records);
-        let mut members = std::mem::take(&mut self.repair_member_scratch);
+        self.store(from).collect_page(page, &mut records);
+        let mut members = std::mem::take(&mut self.ctrl.repair_member_scratch);
         let mut streamed = 0u64;
         for &(key, version, size) in &records {
-            let held = self.stores[to.0 as usize]
+            let held = self
+                .store(to)
                 .peek(key)
                 .map(|v| v.version)
                 .unwrap_or(Version::NONE);
@@ -1572,23 +2438,24 @@ impl Cluster {
             // Membership gate: divergent data moves only to a current
             // replica of the key, never to a node that happens to share the
             // page but no longer owns the record.
-            self.replica_cache
-                .replicas_into(&self.ring, key, &mut members);
+            self.ctrl
+                .replica_cache
+                .replicas_into(&self.shared.ring, key, &mut members);
             if !members.contains(&to) {
                 continue;
             }
-            let delay = self.account_repair_message(from, to, size);
-            let payload = self.intern_payload(WritePayload {
+            let delay = self.repair_message_delay(from, to, size);
+            let dest = self.shared.shard_of(to);
+            let s = &mut self.shard_states[dest];
+            let payload = s.intern_payload(WritePayload {
                 op_id: REPAIR_OP_ID,
                 key,
                 version,
                 size,
                 repair: true,
             });
-            self.retain_payload(payload);
-            let shard = self.shard_of(to);
-            self.queue.schedule_at(
-                shard,
+            s.retain_payload(payload);
+            s.lane.schedule_at(
                 now + delay,
                 Event::ReplicaArrive {
                     node: to,
@@ -1597,9 +2464,9 @@ impl Cluster {
             );
             streamed += 1;
         }
-        self.metrics.repair_records_streamed += streamed;
-        self.repair_page_scratch = records;
-        self.repair_member_scratch = members;
+        self.ctrl_metrics().repair_records_streamed += streamed;
+        self.ctrl.repair_page_scratch = records;
+        self.ctrl.repair_member_scratch = members;
         streamed
     }
 
@@ -1610,122 +2477,304 @@ impl Cluster {
     /// divergence — e.g. from peers that were themselves partitioned — is
     /// left to the sweep cycle.
     fn on_repair_sync(&mut self, now: SimTime, node: NodeId) {
-        if !self.config.repair.mode.anti_entropy_enabled() || self.nodes[node.0 as usize].down {
+        if !self.shared.config.repair.mode.anti_entropy_enabled()
+            || self.shared.down[node.0 as usize]
+        {
             return;
         }
         let mut streamed = 0u64;
-        for peer in 0..self.node_count {
+        for peer in 0..self.shared.node_count {
             let peer_id = NodeId(peer as u32);
-            if peer_id == node || self.nodes[peer].down || !self.link_up(peer_id, node) {
+            if peer_id == node || self.shared.down[peer] || !self.shared.link_up(peer_id, node) {
                 continue;
             }
-            let pages = self.stores[peer]
+            let pages = self
+                .store(peer_id)
                 .summary_pages()
-                .max(self.stores[node.0 as usize].summary_pages());
-            let summary_bytes = self.config.repair.summary_bytes();
+                .max(self.store(node).summary_pages());
+            let summary_bytes = self.shared.config.repair.summary_bytes();
             for page in 0..pages {
-                self.metrics.repair_pages_compared += 1;
-                self.account_repair_bytes(peer_id, node, summary_bytes);
-                if self.stores[peer].page_digest(page)
-                    != self.stores[node.0 as usize].page_digest(page)
-                {
+                self.ctrl_metrics().repair_pages_compared += 1;
+                self.repair_bytes(peer_id, node, summary_bytes);
+                if self.store(peer_id).page_digest(page) != self.store(node).page_digest(page) {
                     streamed += self.stream_page_diff(now, peer_id, node, page);
                 }
             }
         }
         if streamed > 0 {
-            self.sweep_streamed = true;
+            self.ctrl.sweep_streamed = true;
+        }
+    }
+}
+
+/// One shard's view of the cluster during event execution: the immutable
+/// shared plane, the shard's own mutable state, and — in serial mode only —
+/// the control plane. Handlers can touch nothing else, which is what makes
+/// the parallel windows data-race-free *and* schedule-independent: the
+/// borrow checker proves a handler's writes stay inside its own
+/// [`ShardState`], and everything cross-shard goes through the outbox.
+///
+/// `ctrl` doubles as the mode switch: `Some` on the single-shard engine
+/// (hint queues reachable inline, acks sampled at apply time — byte-for-byte
+/// the pre-sharding behaviour), `None` inside a parallel window (cross-shard
+/// effects staged for the fold).
+struct ShardCtx<'a> {
+    shared: &'a ClusterShared,
+    s: &'a mut ShardState,
+    ctrl: Option<&'a mut ControlState>,
+}
+
+impl ShardCtx<'_> {
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::ClientArrive { op_id } => self.on_client_arrive(now, op_id),
+            Event::ReplicaArrive { node, task } => self.on_replica_arrive(now, node, task),
+            Event::ReplicaServiceDone { node, task } => self.on_replica_done(now, node, task),
+            Event::CoordinatorWriteAck {
+                op_id,
+                from,
+                applied_at,
+            } => self.on_write_ack(now, op_id, from, applied_at),
+            Event::CoordinatorReadResponse {
+                op_id,
+                from,
+                version,
+                size,
+                records,
+                segment,
+            } => self.on_read_response(now, op_id, from, version, size, records, segment),
+            Event::OpTimeout { op_id } => self.on_timeout(now, op_id),
+            // Ticks normally ride the control lane; tolerate one here for
+            // totality (it folds into the output stream like a completion).
+            Event::Tick { id } => self.s.outputs.push(ClusterOutput::Tick { id, at: now }),
+            Event::HintReplay { .. } | Event::AntiEntropy | Event::RepairSync { .. } => {
+                unreachable!("repair-plane events run on the control lane")
+            }
         }
     }
 
-    /// Number of hints currently queued for `node` (tests and diagnostics).
-    pub fn pending_hints(&self, node: NodeId) -> usize {
-        self.hints[node.0 as usize].len()
+    /// The home shard of an operation, recovered from the id alone (slab
+    /// slots are strided by shard).
+    #[inline]
+    fn op_home(&self, op_id: OpId) -> u32 {
+        op_id.0 as u32 % self.shared.nshards
+    }
+
+    /// Account a message of `bytes` payload travelling `from → to` against
+    /// this shard's RNG and meters.
+    fn account_message(&mut self, from: NodeId, to: NodeId, bytes: u32) -> SimDuration {
+        account_message(
+            self.shared,
+            &mut self.s.rng,
+            &mut self.s.metrics,
+            from,
+            to,
+            bytes,
+        )
+    }
+
+    /// Schedule an event on `dest`'s lane: directly when it is this shard's
+    /// own lane, staged to the fold otherwise.
+    fn send_event(&mut self, dest: usize, at: SimTime, ev: Event) {
+        if dest as u32 == self.s.shard {
+            self.s.lane.schedule_at(at, ev);
+        } else {
+            self.s.outbox.push(Staged::Event {
+                dest: dest as u16,
+                at,
+                ev,
+            });
+        }
+    }
+
+    /// Stop expecting an ack for `op_id` (dead replica or partition-dropped
+    /// message): inline when the op lives here, staged otherwise.
+    fn abandon(&mut self, op_id: OpId) {
+        if self.op_home(op_id) == self.s.shard {
+            abandon_in(self.s, op_id);
+        } else {
+            self.s.outbox.push(Staged::Abandon { op_id });
+        }
+    }
+
+    fn pick_coordinator(&mut self) -> NodeId {
+        // Clients connect to a random live node (YCSB spreads connections
+        // round-robin; with many clients the effect is uniform).
+        if self.shared.down_count == 0 {
+            // Fast path: every node is up, so the up-node list is the
+            // identity — draw the index directly (same RNG consumption).
+            return NodeId(self.s.rng.index(self.shared.node_count) as u32);
+        }
+        let mut up = std::mem::take(&mut self.s.up_scratch);
+        up.clear();
+        up.extend(
+            self.shared
+                .config
+                .topology
+                .nodes()
+                .filter(|n| !self.shared.down[n.0 as usize]),
+        );
+        let pick = if up.is_empty() {
+            NodeId(0)
+        } else {
+            up[self.s.rng.index(up.len())]
+        };
+        self.s.up_scratch = up;
+        pick
+    }
+
+    /// Queue a hinted-handoff mutation for a down replica. Hint queues are
+    /// control-plane state: reachable inline in serial mode, staged to the
+    /// fold from a parallel window.
+    fn queue_hint(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        key: Key,
+        version: Version,
+        size: u32,
+    ) {
+        let Some(ctrl) = self.ctrl.as_deref_mut() else {
+            self.s.outbox.push(Staged::Hint {
+                from,
+                to,
+                key,
+                version,
+                size,
+            });
+            return;
+        };
+        if ctrl.hints[to.0 as usize].len() >= self.shared.config.repair.hint_capacity() as usize {
+            self.s.metrics.hints_dropped += 1;
+            // Dropped hints fall through to anti-entropy (no-op unless the
+            // mode enables sweeps).
+            resume_sweeps_parts(self.shared, ctrl, Some(&mut self.s.lane), now);
+            return;
+        }
+        ctrl.hints[to.0 as usize].push_back(Hint {
+            from,
+            key,
+            version,
+            size,
+        });
+        self.s.metrics.hints_queued += 1;
     }
 
     fn on_client_arrive(&mut self, now: SimTime, op_id: OpId) {
-        let sub = match self.ops.get(op_id) {
-            Some(&OpState::Pending(sub)) => sub,
+        let p = match self.s.ops.get(op_id) {
+            Some(&OpState::Pending(p)) => p,
             _ => return,
         };
-        let retries = self.config.retry_on_timeout;
-        match sub.kind {
-            OpKind::Write => self.start_write(now, op_id, sub, now, retries, op_id),
-            OpKind::Read => self.start_read(now, op_id, sub, now, retries, op_id),
+        let retry = p.retry.unwrap_or(RetryCtx {
+            issued_at: now,
+            retries_left: self.shared.config.retry_on_timeout,
+            client_id: op_id,
+        });
+        if let Some(c) = p.coordinator {
+            if self.shared.down[c.0 as usize] {
+                // The pre-routed coordinator went down between routing and
+                // arrival: re-route through the fold (fresh draw among the
+                // up nodes). No retry budget is consumed — the client never
+                // reached a coordinator.
+                self.s.ops.remove(op_id);
+                self.s.outbox.push(Staged::Resubmit { sub: p.sub, retry });
+                return;
+            }
+        }
+        match p.sub.kind {
+            OpKind::Write => self.start_write(now, op_id, p.sub, p.coordinator, retry),
+            OpKind::Read => self.start_read(now, op_id, p.sub, p.coordinator, retry),
         }
     }
 
-    /// Issue a write attempt. `issued_at` is the client-visible submission
-    /// time and `client_id` the id `submit_*` handed out (both differ from
-    /// `now`/`op_id` for retried attempts, so latency spans every attempt
-    /// and completions keep the submitted id); `retries_left` is the
-    /// remaining retry budget.
+    /// Issue a write attempt. `coordinator` is the pre-routed coordinator
+    /// (parallel engine) or `None` to draw one now from this shard's stream
+    /// (serial engine — the pre-sharding behaviour). `retry` carries the
+    /// client-visible submission time, the remaining budget and the id
+    /// `submit_*` handed out, which differ from `now`/`op_id` for retried
+    /// attempts so latency spans every attempt and completions keep the
+    /// submitted id.
     fn start_write(
         &mut self,
         now: SimTime,
         op_id: OpId,
         sub: Submission,
-        issued_at: SimTime,
-        retries_left: u32,
-        client_id: OpId,
+        coordinator: Option<NodeId>,
+        retry: RetryCtx,
     ) {
-        let coordinator = self.pick_coordinator();
-        let level = sub.level.unwrap_or(self.write_level);
-        let required_acks = self.config.required_acks(level);
-        self.next_version += 1;
-        let version = Version(self.next_version);
-        let mut replicas = std::mem::take(&mut self.replica_scratch);
-        self.replica_cache
-            .replicas_into(&self.ring, sub.key, &mut replicas);
+        let coordinator = coordinator.unwrap_or_else(|| self.pick_coordinator());
+        let level = sub.level.unwrap_or(self.shared.write_level);
+        let required_acks = self.shared.config.required_acks(level);
+        let version = if self.ctrl.is_some() {
+            self.s.alloc_version_serial()
+        } else {
+            self.s.alloc_version_at(now)
+        };
+        let mut replicas = std::mem::take(&mut self.s.replica_scratch);
+        self.s
+            .replica_cache
+            .replicas_into(&self.shared.ring, sub.key, &mut replicas);
         let mut targeted = 0u32;
 
-        // One interned payload serves the whole fan-out: the RF scheduled
+        // One interned payload serves the whole local fan-out: the scheduled
         // events each carry a 4-byte handle instead of a full mutation copy.
-        let payload = self.intern_payload(WritePayload {
+        // Replicas on other shards receive the payload by value at the fold
+        // (handles never cross shards).
+        let pl = WritePayload {
             op_id,
             key: sub.key,
             version,
             size: sub.size,
             repair: false,
-        });
+        };
+        let payload = self.s.intern_payload(pl);
         for &replica in &replicas {
             let delay = self.account_message(coordinator, replica, sub.size);
-            if self.nodes[replica.0 as usize].down {
+            if self.shared.down[replica.0 as usize] {
                 // The mutation is lost to this replica for now; with hinted
                 // handoff the coordinator queues a bounded hint to replay
                 // once the node is back up.
-                if self.config.repair.mode.hints_enabled() {
-                    self.queue_hint(coordinator, replica, sub.key, version, sub.size);
+                if self.shared.config.repair.mode.hints_enabled() {
+                    self.queue_hint(now, coordinator, replica, sub.key, version, sub.size);
                 }
                 continue;
             }
-            if !self.link_up(coordinator, replica) {
+            if !self.shared.link_up(coordinator, replica) {
                 // Lost in transit across a partitioned DC pair.
-                self.metrics.messages_lost += 1;
+                self.s.metrics.messages_lost += 1;
                 continue;
             }
             targeted += 1;
-            self.retain_payload(payload);
-            let shard = self.shard_of(replica);
-            self.queue.schedule_at(
-                shard,
-                now + delay,
-                Event::ReplicaArrive {
+            let dest = self.shared.shard_of(replica);
+            if dest as u32 == self.s.shard {
+                self.s.retain_payload(payload);
+                self.s.lane.schedule_at(
+                    now + delay,
+                    Event::ReplicaArrive {
+                        node: replica,
+                        task: ReplicaTask::Write { payload },
+                    },
+                );
+            } else {
+                self.s.outbox.push(Staged::WriteTask {
+                    dest: dest as u16,
+                    at: now + delay,
                     node: replica,
-                    task: ReplicaTask::Write { payload },
-                },
-            );
+                    payload: pl,
+                });
+            }
         }
-        self.discard_unreferenced_payload(payload);
-        self.replica_scratch = replicas;
+        self.s.discard_unreferenced_payload(payload);
+        self.s.replica_scratch = replicas;
 
-        self.metrics.write_acks_awaited += required_acks as u64;
-        if let Some(state) = self.ops.get_mut(op_id) {
+        self.s.metrics.write_acks_awaited += required_acks as u64;
+        if let Some(state) = self.s.ops.get_mut(op_id) {
             *state = OpState::Write(WriteState {
                 key: sub.key,
                 version,
                 coordinator,
-                issued_at,
+                issued_at: retry.issued_at,
                 required_acks,
                 acks: 0,
                 applied: 0,
@@ -1734,22 +2783,22 @@ impl Cluster {
                 level_used: required_acks,
                 size: sub.size,
                 level: sub.level,
-                retries_left,
-                client_id,
+                retries_left: retry.retries_left,
+                client_id: retry.client_id,
+                max_applied_at: SimTime::ZERO,
             });
         }
         // One pending timer per in-flight op would dominate the heap; the
         // queue's timer-wheel lane keeps them out of it at O(1) regardless
-        // of the timeout pattern (constant, per-op, or retry-staggered).
-        let shard = self.shard_of(coordinator);
-        self.queue.schedule_timeout(
-            shard,
-            now + self.config.op_timeout,
+        // of the timeout pattern. The timer lives on the op's home lane —
+        // where the state it fires against lives.
+        self.s.lane.schedule_timeout(
+            now + self.shared.config.op_timeout,
             Event::OpTimeout { op_id },
         );
     }
 
-    /// Issue a read attempt (see [`Cluster::start_write`] for the retry
+    /// Issue a read attempt (see [`ShardCtx::start_write`] for the retry
     /// parameters).
     ///
     /// Point reads and hash-partitioned scans contact `required` replicas of
@@ -1765,21 +2814,27 @@ impl Cluster {
         now: SimTime,
         op_id: OpId,
         sub: Submission,
-        issued_at: SimTime,
-        retries_left: u32,
-        client_id: OpId,
+        coordinator: Option<NodeId>,
+        retry: RetryCtx,
     ) {
-        let coordinator = self.pick_coordinator();
-        let level = sub.level.unwrap_or(self.read_level);
-        let required = self.config.required_acks(level);
-        let expected_version = self.oracle.expected_version(sub.key);
+        let coordinator = coordinator.unwrap_or_else(|| self.pick_coordinator());
+        let level = sub.level.unwrap_or(self.shared.read_level);
+        let required = self.shared.config.required_acks(level);
+        // Serial: capture the freshness expectation inline, exactly as the
+        // pre-sharding engine did. Parallel: the oracle is untouchable
+        // inside a window; the completion fold resolves the expectation
+        // retroactively as of `now` (stored in `attempt_at` below).
+        let expected_version = match self.ctrl.as_deref() {
+            Some(ctrl) => ctrl.oracle.expected_version(sub.key),
+            None => Version::NONE,
+        };
         // Ownership-boundary segmentation (ordered scans only; everything
         // else is a single segment covering the whole range).
         let scan_len = sub.scan_len.max(1);
-        let split = self.config.partitioner == Partitioner::Ordered && scan_len > 1;
+        let split = self.shared.config.partitioner == Partitioner::Ordered && scan_len > 1;
         let end = sub.key.0.saturating_add(scan_len as u64);
 
-        let mut replicas = std::mem::take(&mut self.replica_scratch);
+        let mut replicas = std::mem::take(&mut self.s.replica_scratch);
         let mut contacted: InlineVec<NodeId> = InlineVec::new();
         let mut seg_responses: InlineVec<u32> = InlineVec::new();
         let mut segments = 0u32;
@@ -1794,22 +2849,26 @@ impl Cluster {
                 scan_len
             };
             let segment = u16::try_from(segments).expect("a scan spans at most 2^16 segments");
-            self.replica_cache
-                .replicas_into(&self.ring, Key(seg_start), &mut replicas);
+            self.s
+                .replica_cache
+                .replicas_into(&self.shared.ring, Key(seg_start), &mut replicas);
             self.select_read_replicas(coordinator, &mut replicas, required as usize);
             for (i, &replica) in replicas.iter().enumerate() {
-                let delay =
-                    self.account_message(coordinator, replica, self.config.small_message_bytes);
-                if self.nodes[replica.0 as usize].down {
+                let delay = self.account_message(
+                    coordinator,
+                    replica,
+                    self.shared.config.small_message_bytes,
+                );
+                if self.shared.down[replica.0 as usize] {
                     continue;
                 }
-                if !self.link_up(coordinator, replica) {
-                    self.metrics.messages_lost += 1;
+                if !self.shared.link_up(coordinator, replica) {
+                    self.s.metrics.messages_lost += 1;
                     continue;
                 }
-                let shard = self.shard_of(replica);
-                self.queue.schedule_at(
-                    shard,
+                let dest = self.shared.shard_of(replica);
+                self.send_event(
+                    dest,
                     now + delay,
                     Event::ReplicaArrive {
                         node: replica,
@@ -1823,7 +2882,7 @@ impl Cluster {
                     },
                 );
             }
-            self.metrics.read_replicas_contacted += replicas.len() as u64;
+            self.s.metrics.read_replicas_contacted += replicas.len() as u64;
             contacted.extend_from_slice(&replicas);
             seg_responses.push(0);
             segments += 1;
@@ -1833,12 +2892,12 @@ impl Cluster {
             }
         }
 
-        self.replica_scratch = replicas;
-        if let Some(state) = self.ops.get_mut(op_id) {
+        self.s.replica_scratch = replicas;
+        if let Some(state) = self.s.ops.get_mut(op_id) {
             *state = OpState::Read(ReadState {
                 key: sub.key,
                 coordinator,
-                issued_at,
+                issued_at: retry.issued_at,
                 required,
                 scan_len: sub.scan_len,
                 seg_pending: segments,
@@ -1848,19 +2907,16 @@ impl Cluster {
                 best_size: 0,
                 min_version: Version(u64::MAX),
                 expected_version,
+                attempt_at: now,
                 contacted,
                 level: sub.level,
-                retries_left,
-                client_id,
+                retries_left: retry.retries_left,
+                client_id: retry.client_id,
             });
         }
-        // One pending timer per in-flight op would dominate the heap; the
-        // queue's timer-wheel lane keeps them out of it at O(1) regardless
-        // of the timeout pattern (constant, per-op, or retry-staggered).
-        let shard = self.shard_of(coordinator);
-        self.queue.schedule_timeout(
-            shard,
-            now + self.config.op_timeout,
+        // Home-lane timer, same rationale as the write path.
+        self.s.lane.schedule_timeout(
+            now + self.shared.config.op_timeout,
             Event::OpTimeout { op_id },
         );
     }
@@ -1876,16 +2932,16 @@ impl Cluster {
         count: usize,
     ) {
         let count = count.min(candidates.len());
-        match self.selection {
+        match self.shared.selection {
             ReplicaSelection::Random => {
-                self.rng.shuffle(candidates);
+                self.s.rng.shuffle(candidates);
             }
             ReplicaSelection::Closest => {
                 // Shuffle first so equal-latency replicas are tie-broken
                 // randomly, then order by expected latency from the coordinator.
-                self.rng.shuffle(candidates);
-                let row =
-                    &self.mean_lat[coordinator.0 as usize * self.node_count..][..self.node_count];
+                self.s.rng.shuffle(candidates);
+                let row = &self.shared.mean_lat[coordinator.0 as usize * self.shared.node_count..]
+                    [..self.shared.node_count];
                 candidates.sort_by(|a, b| {
                     let la = row[a.0 as usize];
                     let lb = row[b.0 as usize];
@@ -1898,15 +2954,15 @@ impl Cluster {
 
     fn on_replica_arrive(&mut self, now: SimTime, node: NodeId, task: ReplicaTask) {
         let idx = node.0 as usize;
-        if self.nodes[idx].down {
+        if self.shared.down[idx] {
             self.drop_dead_task(task);
             return;
         }
-        if self.nodes[idx].active < self.config.node_concurrency {
-            self.nodes[idx].active += 1;
+        if self.s.nodes[idx].active < self.shared.config.node_concurrency {
+            self.s.nodes[idx].active += 1;
             self.start_service(now, node, task);
         } else {
-            self.nodes[idx].queue.push_back(task);
+            self.s.nodes[idx].queue.push_back(task);
         }
     }
 
@@ -1921,47 +2977,32 @@ impl Cluster {
             return;
         };
         // The task is consumed here: its payload reference dies with it.
-        let p = self.release_payload(payload);
+        let p = self.s.release_payload(payload);
         if p.repair {
             return;
         }
-        self.abandon_expected_ack(p.op_id);
-    }
-
-    /// A write ack that can no longer arrive (its replica died or the
-    /// partition ate the message): stop counting that replica as targeted,
-    /// and reclaim the slab slot if the write was only waiting for it.
-    fn abandon_expected_ack(&mut self, op_id: OpId) {
-        if let Some(OpState::Write(w)) = self.ops.get_mut(op_id) {
-            w.targeted = w.targeted.saturating_sub(1);
-            if w.completed && w.acks >= w.targeted {
-                self.ops.remove(op_id);
-            }
-        }
+        self.abandon(p.op_id);
     }
 
     fn start_service(&mut self, now: SimTime, node: NodeId, task: ReplicaTask) {
         let service = match task {
-            ReplicaTask::Write { .. } => self.storage_write_sampler.sample(&mut self.rng),
-            ReplicaTask::Read { .. } => self.storage_read_sampler.sample(&mut self.rng),
+            ReplicaTask::Write { .. } => self.shared.storage_write_sampler.sample(&mut self.s.rng),
+            ReplicaTask::Read { .. } => self.shared.storage_read_sampler.sample(&mut self.s.rng),
         };
-        let shard = self.shard_of(node);
-        self.queue.schedule_at(
-            shard,
-            now + service,
-            Event::ReplicaServiceDone { node, task },
-        );
+        self.s
+            .lane
+            .schedule_at(now + service, Event::ReplicaServiceDone { node, task });
     }
 
     fn on_replica_done(&mut self, now: SimTime, node: NodeId, task: ReplicaTask) {
         let idx = node.0 as usize;
         // Free the service slot and start the next queued task, if any.
-        self.nodes[idx].active = self.nodes[idx].active.saturating_sub(1);
-        if let Some(next) = self.nodes[idx].queue.pop_front() {
-            self.nodes[idx].active += 1;
+        self.s.nodes[idx].active = self.s.nodes[idx].active.saturating_sub(1);
+        if let Some(next) = self.s.nodes[idx].queue.pop_front() {
+            self.s.nodes[idx].active += 1;
             self.start_service(now, node, next);
         }
-        if self.nodes[idx].down {
+        if self.shared.down[idx] {
             self.drop_dead_task(task);
             return;
         }
@@ -1975,48 +3016,95 @@ impl Cluster {
                     version,
                     size,
                     repair,
-                } = self.release_payload(payload);
-                self.stores[idx].apply_write(key, version, size, now);
-                self.metrics.storage_write_ops += 1;
+                } = self.s.release_payload(payload);
+                self.s.stores[idx].apply_write(key, version, size, now);
+                self.s.metrics.storage_write_ops += 1;
                 if repair {
                     return; // background repair: no coordinator ack
                 }
-                // Track propagation completion and find the coordinator.
-                let info = match self.ops.get_mut(op_id) {
-                    Some(OpState::Write(w)) => {
-                        w.applied += 1;
-                        Some((w.coordinator, w.applied, w.targeted, w.issued_at))
+                if self.ctrl.is_some() {
+                    // Serial engine: the op state is at hand, so track
+                    // propagation at apply time — byte-identical to the
+                    // pre-sharding behaviour.
+                    let info = match self.s.ops.get_mut(op_id) {
+                        Some(OpState::Write(w)) => {
+                            w.applied += 1;
+                            Some((w.coordinator, w.applied, w.targeted, w.issued_at))
+                        }
+                        _ => None,
+                    };
+                    let Some((coordinator, applied, targeted, issued_at)) = info else {
+                        return;
+                    };
+                    // The ring always yields exactly RF distinct replicas,
+                    // so the full-propagation check needs no ring walk.
+                    let rf = self.shared.ring.replication_factor();
+                    if applied == targeted && targeted == rf {
+                        let d = now - issued_at;
+                        self.s.metrics.propagation.record(d);
+                        self.s.propagation.push(d);
                     }
-                    _ => None,
-                };
-                let Some((coordinator, applied, targeted, issued_at)) = info else {
-                    return;
-                };
-                // The ring always yields exactly RF distinct replicas, so the
-                // full-propagation check needs no ring walk.
-                let rf = self.ring.replication_factor();
-                if applied == targeted && targeted == rf {
-                    let d = now - issued_at;
-                    self.metrics.propagation.record(d);
-                    self.propagation_samples.push(d);
+                    // Send the ack back to the coordinator.
+                    let delay = self.account_message(
+                        node,
+                        coordinator,
+                        self.shared.config.small_message_bytes,
+                    );
+                    if !self.shared.link_up(node, coordinator) {
+                        // The ack is lost in the partition: the coordinator
+                        // will never hear from this replica, so stop
+                        // expecting it — otherwise the op's state could
+                        // never be reclaimed.
+                        self.s.metrics.messages_lost += 1;
+                        abandon_in(self.s, op_id);
+                        return;
+                    }
+                    self.s.lane.schedule_at(
+                        now + delay,
+                        Event::CoordinatorWriteAck {
+                            op_id,
+                            from: node,
+                            applied_at: now,
+                        },
+                    );
+                } else if self.op_home(op_id) == self.s.shard {
+                    // Parallel engine, home-local apply: the op state is
+                    // readable, but propagation is tracked ack-side (from
+                    // `applied_at` maxima) so local and remote replicas
+                    // contribute identically.
+                    let coordinator = match self.s.ops.get(op_id) {
+                        Some(OpState::Write(w)) => w.coordinator,
+                        _ => return,
+                    };
+                    let delay = self.account_message(
+                        node,
+                        coordinator,
+                        self.shared.config.small_message_bytes,
+                    );
+                    if !self.shared.link_up(node, coordinator) {
+                        self.s.metrics.messages_lost += 1;
+                        abandon_in(self.s, op_id);
+                        return;
+                    }
+                    self.s.lane.schedule_at(
+                        now + delay,
+                        Event::CoordinatorWriteAck {
+                            op_id,
+                            from: node,
+                            applied_at: now,
+                        },
+                    );
+                } else {
+                    // Foreign op: the coordinator (and whether the op is
+                    // even still alive) is unreadable from this shard.
+                    // Stage the raw apply; the fold completes it against
+                    // the home shard's state.
+                    self.s.outbox.push(Staged::WriteApplied {
+                        op_id,
+                        from: node,
+                        applied_at: now,
+                    });
                 }
-                // Send the ack back to the coordinator.
-                let delay =
-                    self.account_message(node, coordinator, self.config.small_message_bytes);
-                if !self.link_up(node, coordinator) {
-                    // The ack is lost in the partition: the coordinator will
-                    // never hear from this replica, so stop expecting it —
-                    // otherwise the op's state could never be reclaimed.
-                    self.metrics.messages_lost += 1;
-                    self.abandon_expected_ack(op_id);
-                    return;
-                }
-                let shard = self.shard_of(coordinator);
-                self.queue.schedule_at(
-                    shard,
-                    now + delay,
-                    Event::CoordinatorWriteAck { op_id, from: node },
-                );
             }
             ReplicaTask::Read {
                 op_id,
@@ -2030,14 +3118,14 @@ impl Cluster {
                 // metered storage read) and respond with the range's byte
                 // weight. Reconciliation keys off the anchor record.
                 let (version, size, records) = if len <= 1 {
-                    let value = self.stores[idx].read(key);
-                    self.metrics.storage_read_ops += 1;
+                    let value = self.s.stores[idx].read(key);
+                    self.s.metrics.storage_read_ops += 1;
                     value
                         .map(|v| (v.version, v.size, 1))
                         .unwrap_or((Version::NONE, 0, 0))
                 } else {
-                    let range = self.stores[idx].read_range(key, len);
-                    self.metrics.storage_read_ops += len as u64;
+                    let range = self.s.stores[idx].read_range(key, len);
+                    self.s.metrics.storage_read_ops += len as u64;
                     // The byte meter is u32; a range would need a >4 GiB
                     // response to saturate it, which the dense-key contract
                     // (record sizes are u32, scan lengths bounded) rules
@@ -2053,46 +3141,78 @@ impl Cluster {
                         range.records,
                     )
                 };
-                let coordinator = match self.ops.get(op_id) {
-                    Some(OpState::Read(r)) => r.coordinator,
-                    _ => return,
-                };
-                let payload = if data {
-                    size
+                if self.ctrl.is_some() || self.op_home(op_id) == self.s.shard {
+                    let coordinator = match self.s.ops.get(op_id) {
+                        Some(OpState::Read(r)) => r.coordinator,
+                        _ => return,
+                    };
+                    let payload = if data {
+                        size
+                    } else {
+                        self.shared.config.small_message_bytes
+                    };
+                    let delay = self.account_message(node, coordinator, payload);
+                    if !self.shared.link_up(node, coordinator) {
+                        // Response lost in the partition; the read completes
+                        // via other replicas or times out.
+                        self.s.metrics.messages_lost += 1;
+                        return;
+                    }
+                    self.s.lane.schedule_at(
+                        now + delay,
+                        Event::CoordinatorReadResponse {
+                            op_id,
+                            from: node,
+                            version,
+                            size,
+                            // Digests answer with a checksum, not records:
+                            // only the data response contributes coverage.
+                            records: if data { records } else { 0 },
+                            segment,
+                        },
+                    );
                 } else {
-                    self.config.small_message_bytes
-                };
-                let delay = self.account_message(node, coordinator, payload);
-                if !self.link_up(node, coordinator) {
-                    // Response lost in the partition; the read completes via
-                    // other replicas or times out.
-                    self.metrics.messages_lost += 1;
-                    return;
-                }
-                let shard = self.shard_of(coordinator);
-                self.queue.schedule_at(
-                    shard,
-                    now + delay,
-                    Event::CoordinatorReadResponse {
+                    // Foreign op: stage the raw response; the fold completes
+                    // it (coordinator lookup, metering, data/digest gating)
+                    // against the home shard's state.
+                    self.s.outbox.push(Staged::ReadResponse {
                         op_id,
                         from: node,
+                        at: now,
                         version,
                         size,
-                        // Digests answer with a checksum, not records: only
-                        // the data response contributes coverage.
-                        records: if data { records } else { 0 },
+                        records,
                         segment,
-                    },
-                );
+                        data,
+                    });
+                }
             }
         }
     }
 
-    fn on_write_ack(&mut self, now: SimTime, op_id: OpId, _from: NodeId) {
-        let Some(OpState::Write(w)) = self.ops.get_mut(op_id) else {
+    fn on_write_ack(&mut self, now: SimTime, op_id: OpId, _from: NodeId, applied_at: SimTime) {
+        let serial = self.ctrl.is_some();
+        let rf = self.shared.ring.replication_factor();
+        let s = &mut *self.s;
+        let Some(OpState::Write(w)) = s.ops.get_mut(op_id) else {
             return;
         };
         w.acks += 1;
+        if !serial {
+            // Parallel engine: the propagation sample is derived from the
+            // acks themselves — the latest reported apply time once every
+            // targeted replica (the full RF) has answered. Serial mode
+            // samples at apply time instead (see on_replica_done) and never
+            // touches `max_applied_at`.
+            if applied_at > w.max_applied_at {
+                w.max_applied_at = applied_at;
+            }
+            if w.acks == w.targeted && w.targeted == rf {
+                let d = w.max_applied_at - w.issued_at;
+                s.metrics.propagation.record(d);
+                s.propagation.push(d);
+            }
+        }
         if !w.completed && w.acks >= w.required_acks {
             w.completed = true;
             let completed = CompletedOp {
@@ -2108,15 +3228,27 @@ impl Cluster {
                 staleness_depth: 0,
                 records_returned: 0,
             };
-            self.oracle.record_ack(w.key, w.version);
-            self.metrics
+            // The ack becomes ground truth for later reads: inline on the
+            // serial engine (same call order as the pre-sharding code),
+            // staged to the fold from a parallel window (the central
+            // oracle is frozen while windows run) with its true ack time,
+            // which retroactive classification queries filter by.
+            match self.ctrl.as_deref_mut() {
+                Some(ctrl) => ctrl.oracle.record_ack(w.key, w.version, now),
+                None => s.outbox.push(Staged::OracleAck {
+                    key: w.key,
+                    version: w.version,
+                    at: now,
+                }),
+            }
+            s.metrics
                 .record_completion(OpKind::Write, completed.latency(), false);
-            self.outputs.push_back(ClusterOutput::Completed(completed));
+            s.outputs.push(ClusterOutput::Completed(completed));
         }
-        // Keep the state until every targeted replica applied (for the
+        // Keep the state until every targeted replica acked (for the
         // propagation sample), then drop it.
         if w.completed && w.acks >= w.targeted {
-            self.ops.remove(op_id);
+            s.ops.remove(op_id);
         }
     }
 
@@ -2135,7 +3267,7 @@ impl Cluster {
         records: u32,
         segment: u16,
     ) {
-        let Some(OpState::Read(r)) = self.ops.get_mut(op_id) else {
+        let Some(OpState::Read(r)) = self.s.ops.get_mut(op_id) else {
             return;
         };
         // Validate the segment id before touching any state: a response
@@ -2162,13 +3294,14 @@ impl Cluster {
             // Move the state out of the slab (frees the slot, invalidates any
             // straggler events carrying this id) — no clone of the contacted
             // list needed for the repair pass below.
-            let Some(OpState::Read(r)) = self.ops.remove(op_id) else {
+            let Some(OpState::Read(r)) = self.s.ops.remove(op_id) else {
                 unreachable!("state was just borrowed");
             };
             let key = r.key;
             let expected = r.expected_version;
             let best = r.best_version;
             let issued_at = r.issued_at;
+            let attempt_at = r.attempt_at;
             let required = r.required;
             let contacted = r.contacted;
             let coordinator = r.coordinator;
@@ -2178,10 +3311,10 @@ impl Cluster {
             // byte weight, not one record's payload, so there is no single
             // mutation to push back (matching Cassandra, where range scans
             // do not trigger blocking read repair).
-            let needs_repair = self.config.read_repair && r.min_version < best && r.scan_len == 1;
+            let needs_repair =
+                self.shared.config.read_repair && r.min_version < best && r.scan_len == 1;
 
-            let class = self.oracle.classify_read(key, expected, best);
-            let completed = CompletedOp {
+            let mut completed = CompletedOp {
                 id: r.client_id,
                 kind: OpKind::Read,
                 key,
@@ -2190,45 +3323,79 @@ impl Cluster {
                 status: OpStatus::Ok,
                 replicas_involved: required,
                 returned_version: best,
-                stale: class.stale,
-                staleness_depth: class.depth,
+                stale: false,
+                staleness_depth: 0,
                 records_returned,
             };
-            self.metrics
-                .record_completion(OpKind::Read, completed.latency(), class.stale);
-            self.outputs.push_back(ClusterOutput::Completed(completed));
+            // Serial: classify against (and count in) the central oracle
+            // inline, byte-identical to the pre-sharding call. Parallel:
+            // the classification needs the serialized ack history, so the
+            // completion (classification, metric, client output) finishes
+            // at this window's fold — read repair below is
+            // oracle-independent and stays in-window.
+            match self.ctrl.as_deref_mut() {
+                Some(ctrl) => {
+                    let class = ctrl.oracle.classify_read(key, expected, best);
+                    completed.stale = class.stale;
+                    completed.staleness_depth = class.depth;
+                    self.s.metrics.record_completion(
+                        OpKind::Read,
+                        completed.latency(),
+                        class.stale,
+                    );
+                    self.s.outputs.push(ClusterOutput::Completed(completed));
+                }
+                None => {
+                    let shard = self.s.shard as u16;
+                    self.s.outbox.push(Staged::ReadDone {
+                        op: completed,
+                        issue_at: attempt_at,
+                        shard,
+                    });
+                }
+            }
 
             if needs_repair {
                 // Push the freshest version back to the contacted replicas
-                // (one interned payload for the whole repair fan-out).
-                let payload = self.intern_payload(WritePayload {
+                // (one interned payload for the whole local repair fan-out;
+                // foreign replicas get it by value at the fold).
+                let pl = WritePayload {
                     op_id,
                     key,
                     version: best,
                     size: best_size,
                     repair: true,
-                });
+                };
+                let payload = self.s.intern_payload(pl);
                 for &replica in contacted.iter() {
                     let delay = self.account_message(coordinator, replica, best_size);
-                    if self.nodes[replica.0 as usize].down {
+                    if self.shared.down[replica.0 as usize] {
                         continue;
                     }
-                    if !self.link_up(coordinator, replica) {
-                        self.metrics.messages_lost += 1;
+                    if !self.shared.link_up(coordinator, replica) {
+                        self.s.metrics.messages_lost += 1;
                         continue;
                     }
-                    self.retain_payload(payload);
-                    let shard = self.shard_of(replica);
-                    self.queue.schedule_at(
-                        shard,
-                        now + delay,
-                        Event::ReplicaArrive {
+                    let dest = self.shared.shard_of(replica);
+                    if dest as u32 == self.s.shard {
+                        self.s.retain_payload(payload);
+                        self.s.lane.schedule_at(
+                            now + delay,
+                            Event::ReplicaArrive {
+                                node: replica,
+                                task: ReplicaTask::Write { payload },
+                            },
+                        );
+                    } else {
+                        self.s.outbox.push(Staged::WriteTask {
+                            dest: dest as u16,
+                            at: now + delay,
                             node: replica,
-                            task: ReplicaTask::Write { payload },
-                        },
-                    );
+                            payload: pl,
+                        });
+                    }
                 }
-                self.discard_unreferenced_payload(payload);
+                self.s.discard_unreferenced_payload(payload);
             }
         }
     }
@@ -2239,7 +3406,7 @@ impl Cluster {
         // completing. `issued_at` is preserved, so the client-visible
         // latency spans every attempt, and each re-issue is accounted in
         // `metrics.retries`.
-        let retry = match self.ops.get(op_id) {
+        let retry = match self.s.ops.get(op_id) {
             Some(OpState::Write(w)) if !w.completed && w.retries_left > 0 => Some((
                 Submission {
                     kind: OpKind::Write,
@@ -2271,24 +3438,39 @@ impl Cluster {
             // straggler acks and responses miss on the generation check. The
             // retry runs under a fresh internal id but keeps reporting under
             // the id `submit_*` handed out.
-            self.ops.remove(op_id);
-            self.metrics.retries += 1;
-            let new_id = self.ops.insert(OpState::Pending(sub));
-            match sub.kind {
-                OpKind::Write => {
-                    self.start_write(now, new_id, sub, issued_at, retries_left, client_id)
+            self.s.ops.remove(op_id);
+            self.s.metrics.retries += 1;
+            let retry = RetryCtx {
+                issued_at,
+                retries_left,
+                client_id,
+            };
+            if self.ctrl.is_some() {
+                // Serial engine: re-issue inline with a fresh coordinator
+                // drawn at this instant — the pre-sharding behaviour.
+                let new_id = self.s.ops.insert(OpState::Pending(PendingOp {
+                    sub,
+                    coordinator: None,
+                    retry: None,
+                }));
+                match sub.kind {
+                    OpKind::Write => self.start_write(now, new_id, sub, None, retry),
+                    OpKind::Read => self.start_read(now, new_id, sub, None, retry),
                 }
-                OpKind::Read => {
-                    self.start_read(now, new_id, sub, issued_at, retries_left, client_id)
-                }
+            } else {
+                // Parallel engine: the fresh coordinator may live on any
+                // shard, so the attempt re-routes through the fold — drawn
+                // from the control stream and re-homed on the coordinator's
+                // shard, like a brand-new submission.
+                self.s.outbox.push(Staged::Resubmit { sub, retry });
             }
             return;
         }
-        match self.ops.get_mut(op_id) {
+        match self.s.ops.get_mut(op_id) {
             Some(OpState::Write(w)) => {
                 if !w.completed {
                     w.completed = true;
-                    self.metrics.timeouts += 1;
+                    self.s.metrics.timeouts += 1;
                     let completed = CompletedOp {
                         id: w.client_id,
                         kind: OpKind::Write,
@@ -2302,9 +3484,10 @@ impl Cluster {
                         staleness_depth: 0,
                         records_returned: 0,
                     };
-                    self.metrics
+                    self.s
+                        .metrics
                         .record_completion(OpKind::Write, completed.latency(), false);
-                    self.outputs.push_back(ClusterOutput::Completed(completed));
+                    self.s.outputs.push(ClusterOutput::Completed(completed));
                 }
                 // A write whose acks are all in (the common timeout case:
                 // targeted < required because a replica was down at submit)
@@ -2315,11 +3498,11 @@ impl Cluster {
                 // mid-flight never acks, so that rare slot is only
                 // reclaimed here if its acks completed first.)
                 if w.acks >= w.targeted {
-                    self.ops.remove(op_id);
+                    self.s.ops.remove(op_id);
                 }
             }
             Some(OpState::Read(r)) => {
-                self.metrics.timeouts += 1;
+                self.s.metrics.timeouts += 1;
                 let completed = CompletedOp {
                     id: r.client_id,
                     kind: OpKind::Read,
@@ -2333,10 +3516,11 @@ impl Cluster {
                     staleness_depth: 0,
                     records_returned: r.records,
                 };
-                self.metrics
+                self.s
+                    .metrics
                     .record_completion(OpKind::Read, completed.latency(), false);
-                self.outputs.push_back(ClusterOutput::Completed(completed));
-                self.ops.remove(op_id);
+                self.s.outputs.push(ClusterOutput::Completed(completed));
+                self.s.ops.remove(op_id);
             }
             _ => {}
         }
@@ -3137,7 +4321,8 @@ mod tests {
         }
         drain(&mut c);
         let qs = [0.5, 0.95, 0.99];
-        for stats in [&c.metrics().read_latency, &c.metrics().write_latency] {
+        let m = c.metrics();
+        for stats in [&m.read_latency, &m.write_latency] {
             assert!(stats.exact_enabled());
             // One sort serves all three quantiles.
             let exacts = stats.exact_quantiles_ms(&qs).expect("exact recorder is on");
@@ -3362,7 +4547,7 @@ mod tests {
         let n = 6u64;
         let mut seen = std::collections::HashSet::new();
         for idx in 0..n * (n - 1) / 2 {
-            let (i, j) = Cluster::unrank_pair(idx, n);
+            let (i, j) = unrank_pair(idx, n);
             assert!(i < j && j < n, "({i},{j}) out of range");
             assert!(seen.insert((i, j)), "({i},{j}) enumerated twice");
         }

@@ -211,13 +211,17 @@ pub struct ClusterConfig {
     pub exact_latency_percentiles: bool,
     /// Number of event-queue shards the engine partitions the cluster into
     /// (conservative-PDES sharding: nodes are grouped datacenter-contiguously
-    /// into `shards` groups, each with its own event lanes, advancing in
-    /// lookahead windows bounded by the minimum cross-shard link delay, with
-    /// cross-shard traffic staged at window barriers). **Output is
-    /// byte-identical at any shard count** — the golden-digest tests assert
-    /// it — so this is purely an engine knob. 1 (and, for backward
-    /// compatibility of serialized configs, an absent field deserializing to
-    /// 0) means unsharded; values above the node count are clamped to it.
+    /// into `shards` groups, each with its own event lanes and its own RNG
+    /// stream, advancing in lookahead windows bounded by the minimum
+    /// cross-shard link delay; window batches execute in parallel on the
+    /// worker pool and cross-shard traffic folds at window barriers in fixed
+    /// shard order). **Each shard count is its own deterministic universe,
+    /// byte-identical at any worker-thread count** — the golden-digest tests
+    /// pin one digest per shard count and the thread-matrix tests assert
+    /// thread invariance. 1 (and, for backward compatibility of serialized
+    /// configs, an absent field deserializing to 0) means the sequential
+    /// engine, byte-identical to the pre-sharding goldens; values above the
+    /// node count are clamped to it.
     #[serde(default)]
     pub shards: u32,
 }

@@ -59,7 +59,7 @@ pub use cluster::{BatchOp, Cluster, ClusterOutput, ReplicaSelection};
 pub use config::{ClusterConfig, RepairConfig, RepairMode};
 pub use consistency::ConsistencyLevel;
 pub use metrics::{ClusterMetrics, LatencyReservoir, LatencyStats, TrafficBytes};
-pub use oracle::StalenessOracle;
+pub use oracle::{OracleStats, StalenessOracle};
 pub use paged::PagedTable;
 pub use ring::{Partitioner, ReplicationStrategy, Ring, ORDERED_SLICE_KEYS};
 pub use slab::OpSlab;

@@ -123,6 +123,20 @@ impl LatencyStats {
     pub fn histogram(&self) -> &LatencyHistogram {
         &self.histogram
     }
+
+    /// Fold `other`'s samples into `self` — the parallel sharded engine's
+    /// barrier aggregation (per-shard stats folded in fixed shard order).
+    /// Histograms add bucket-wise; exact sample vectors concatenate in fold
+    /// order, so the merged order statistics are a pure function of the
+    /// shard count.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.histogram.merge(&other.histogram);
+        if let Some(theirs) = &other.exact {
+            self.exact
+                .get_or_insert_with(Vec::new)
+                .extend_from_slice(theirs);
+        }
+    }
 }
 
 /// Bytes transferred per network link class.
@@ -157,6 +171,14 @@ impl TrafficBytes {
     /// Total bytes over all link classes.
     pub fn total(&self) -> u64 {
         self.local + self.intra_dc + self.inter_dc + self.inter_region
+    }
+
+    /// Add `other`'s per-class byte counts into `self`.
+    pub fn merge(&mut self, other: &TrafficBytes) {
+        self.local += other.local;
+        self.intra_dc += other.intra_dc;
+        self.inter_dc += other.inter_dc;
+        self.inter_region += other.inter_region;
     }
 }
 
@@ -267,6 +289,36 @@ impl ClusterMetrics {
         } else {
             self.read_replicas_contacted as f64 / self.reads_completed as f64
         }
+    }
+
+    /// Fold `other` into `self`: counters add, latency statistics merge
+    /// (see [`LatencyStats::merge`]). The parallel sharded engine keeps one
+    /// `ClusterMetrics` per shard plus one for the control plane and folds
+    /// them in fixed order (shard 0..n, then control) whenever an aggregate
+    /// view is requested, so the merged report is bit-stable at any
+    /// worker-thread count.
+    pub fn merge(&mut self, other: &ClusterMetrics) {
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.timeouts += other.timeouts;
+        self.stale_reads += other.stale_reads;
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.propagation.merge(&other.propagation);
+        self.traffic.merge(&other.traffic);
+        self.storage_read_ops += other.storage_read_ops;
+        self.storage_write_ops += other.storage_write_ops;
+        self.messages += other.messages;
+        self.read_replicas_contacted += other.read_replicas_contacted;
+        self.write_acks_awaited += other.write_acks_awaited;
+        self.retries += other.retries;
+        self.messages_lost += other.messages_lost;
+        self.hints_queued += other.hints_queued;
+        self.hints_replayed += other.hints_replayed;
+        self.hints_dropped += other.hints_dropped;
+        self.repair_pages_compared += other.repair_pages_compared;
+        self.repair_records_streamed += other.repair_records_streamed;
+        self.repair_traffic.merge(&other.repair_traffic);
     }
 }
 

@@ -19,6 +19,7 @@
 
 use crate::paged::PagedTable;
 use crate::types::{Key, Version};
+use concord_sim::SimTime;
 use std::collections::VecDeque;
 
 /// How many recent acknowledged versions are kept per key for computing the
@@ -34,9 +35,14 @@ struct KeyHistory {
     latest_acked: Version,
     /// Number of acknowledged writes so far (used for staleness depth).
     acked_writes: u64,
-    /// Recent (version, ack index) pairs, newest at the back; bounded to
-    /// [`DEPTH_HISTORY`] entries.
-    version_order: VecDeque<(Version, u64)>,
+    /// Recent (version, ack index, ack time) triples, newest at the back;
+    /// bounded to [`DEPTH_HISTORY`] entries. The ack time lets
+    /// [`StalenessOracle::expected_version_at`] answer "what was the newest
+    /// acknowledged version at instant `t`" retroactively — the parallel
+    /// sharded engine records acks at window folds and classifies each read
+    /// against its own issue instant, so classification does not depend on
+    /// which fold recorded which ack.
+    version_order: VecDeque<(Version, u64, SimTime)>,
     /// Whether `version_order` is sorted by version. Acks almost always
     /// arrive in version order (the global version counter is assigned at
     /// write start and acknowledgements follow in simulation-time order), so
@@ -46,13 +52,13 @@ struct KeyHistory {
 }
 
 impl KeyHistory {
-    fn push_version(&mut self, version: Version, index: u64) {
-        if let Some(&(back, _)) = self.version_order.back() {
+    fn push_version(&mut self, version: Version, index: u64, at: SimTime) {
+        if let Some(&(back, _, _)) = self.version_order.back() {
             if back > version {
                 self.unsorted = true;
             }
         }
-        self.version_order.push_back((version, index));
+        self.version_order.push_back((version, index, at));
         if self.version_order.len() > DEPTH_HISTORY {
             self.version_order.pop_front();
         }
@@ -65,13 +71,13 @@ impl KeyHistory {
                 .version_order
                 .iter()
                 .rev()
-                .find(|(v, _)| *v == version)
-                .map(|(_, i)| *i);
+                .find(|(v, _, _)| *v == version)
+                .map(|(_, i, _)| *i);
         }
         // Versions are globally unique, so a sorted history has at most one
         // match: O(log n) instead of a linear reverse scan.
         self.version_order
-            .binary_search_by(|(v, _)| v.cmp(&version))
+            .binary_search_by(|(v, _, _)| v.cmp(&version))
             .ok()
             .map(|i| self.version_order[i].1)
     }
@@ -138,23 +144,28 @@ impl StalenessOracle {
     }
 
     /// Record that `version` of `key` was just preloaded (bulk load before
-    /// the measured run): it becomes the acknowledged baseline.
+    /// the measured run): it becomes the acknowledged baseline, timestamped
+    /// at time zero so every retroactive query sees it.
     pub fn preload(&mut self, key: Key, version: Version) {
         let h = self.slot_mut(key);
         h.latest_acked = h.latest_acked.max(version);
         h.acked_writes += 1;
         let idx = h.acked_writes;
-        h.push_version(version, idx);
+        h.push_version(version, idx, SimTime::ZERO);
     }
 
     /// Record that a write of `version` to `key` satisfied its consistency
-    /// level (i.e. was acknowledged to the client) at the current time.
-    /// Acknowledgements arrive in simulation-time order.
-    pub fn record_ack(&mut self, key: Key, version: Version) {
+    /// level (i.e. was acknowledged to the client) at `at`. The serial
+    /// engine calls this inline, in simulation-time order; the parallel
+    /// engine calls it at window folds, where acks from one window land in
+    /// fixed shard order carrying their true ack times (within one fold the
+    /// times may interleave across shards, which is why retroactive queries
+    /// go by the stored time, not the record order).
+    pub fn record_ack(&mut self, key: Key, version: Version, at: SimTime) {
         let h = self.slot_mut(key);
         h.acked_writes += 1;
         let idx = h.acked_writes;
-        h.push_version(version, idx);
+        h.push_version(version, idx, at);
         if version > h.latest_acked {
             h.latest_acked = version;
         }
@@ -168,14 +179,51 @@ impl StalenessOracle {
             .unwrap_or(Version::NONE)
     }
 
-    /// Classify a completed read: it was issued when `expected` was the
-    /// newest acknowledged version and returned `returned`.
-    pub fn classify_read(
-        &mut self,
-        key: Key,
-        expected: Version,
-        returned: Version,
-    ) -> ReadClassification {
+    /// The newest version of `key` acknowledged strictly before instant
+    /// `at` — [`StalenessOracle::expected_version`] evaluated retroactively
+    /// from the bounded history. The parallel engine records acks at window
+    /// folds, so by the fold that completes a read, every ack that precedes
+    /// the read's issue instant is in the history (an ack lands at the fold
+    /// of the window containing its ack time, and the issue instant is
+    /// never later than the completing window's end); acks recorded after
+    /// the issue instant are filtered out here by their stored times.
+    ///
+    /// Saturation: if every *retained* entry is newer than `at` but older
+    /// entries were dropped ([`DEPTH_HISTORY`] acks on one key while a read
+    /// was in flight), the true answer lies in the dropped prefix and the
+    /// oldest retained version stands in for it — erring toward counting
+    /// the read stale, like the depth saturation.
+    pub fn expected_version_at(&self, key: Key, at: SimTime) -> Version {
+        let Some(h) = self.slot(key) else {
+            return Version::NONE;
+        };
+        let mut best = Version::NONE;
+        let mut any_before = false;
+        for &(v, _, t) in &h.version_order {
+            if t < at {
+                any_before = true;
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        if any_before {
+            best
+        } else if h.acked_writes as usize > h.version_order.len() {
+            // Truncated history with no retained ack before `at`.
+            h.version_order
+                .front()
+                .map(|&(v, _, _)| v)
+                .unwrap_or(Version::NONE)
+        } else {
+            Version::NONE
+        }
+    }
+
+    /// Classify a read without touching any counter: a pure function of the
+    /// version history. [`StalenessOracle::classify_read`] layers the
+    /// stale/fresh accounting on top.
+    pub fn probe(&self, key: Key, expected: Version, returned: Version) -> ReadClassification {
         let stale = returned < expected;
         let depth = if !stale {
             0
@@ -189,13 +237,40 @@ impl StalenessOracle {
                 }
             }
         };
-        if stale {
+        ReadClassification { stale, depth }
+    }
+
+    /// Classify a completed read: it was issued when `expected` was the
+    /// newest acknowledged version and returned `returned`.
+    pub fn classify_read(
+        &mut self,
+        key: Key,
+        expected: Version,
+        returned: Version,
+    ) -> ReadClassification {
+        let c = self.probe(key, expected, returned);
+        if c.stale {
             self.stale_reads += 1;
-            self.stale_depth_sum += depth as u64;
+            self.stale_depth_sum += c.depth as u64;
         } else {
             self.fresh_reads += 1;
         }
-        ReadClassification { stale, depth }
+        c
+    }
+
+    /// Classify a read issued at `issued_at` that returned `returned`,
+    /// resolving the freshness expectation retroactively via
+    /// [`StalenessOracle::expected_version_at`]. The parallel engine's
+    /// fold-time completion path: it yields the same stale/fresh decision a
+    /// serial execution of the same event trace would make at issue time.
+    pub fn classify_read_at(
+        &mut self,
+        key: Key,
+        issued_at: SimTime,
+        returned: Version,
+    ) -> ReadClassification {
+        let expected = self.expected_version_at(key, issued_at);
+        self.classify_read(key, expected, returned)
     }
 
     /// Number of reads classified as stale.
@@ -231,6 +306,74 @@ impl StalenessOracle {
     pub fn key_count(&self) -> usize {
         self.keys
     }
+
+    /// Snapshot this oracle's aggregate counters. Both engines keep one
+    /// central oracle (the parallel engine mutates it only at barrier
+    /// folds), so this snapshot is the whole cross-shard view.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            stale_reads: self.stale_reads,
+            fresh_reads: self.fresh_reads,
+            stale_depth_sum: self.stale_depth_sum,
+            keys: self.keys,
+        }
+    }
+}
+
+/// A point-in-time copy of the oracle's aggregate counters — the detached
+/// view the cluster exposes. Mirrors the query surface of
+/// [`StalenessOracle`] so call sites work unchanged against the snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    stale_reads: u64,
+    fresh_reads: u64,
+    stale_depth_sum: u64,
+    keys: usize,
+}
+
+impl OracleStats {
+    /// Fold another snapshot into this one (for aggregating across runs).
+    pub fn absorb(&mut self, other: &OracleStats) {
+        self.stale_reads += other.stale_reads;
+        self.fresh_reads += other.fresh_reads;
+        self.stale_depth_sum += other.stale_depth_sum;
+        self.keys += other.keys;
+    }
+
+    /// Number of reads classified as stale.
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads
+    }
+
+    /// Number of reads classified as fresh.
+    pub fn fresh_reads(&self) -> u64 {
+        self.fresh_reads
+    }
+
+    /// Fraction of reads that were stale (0 if no reads were classified).
+    pub fn stale_rate(&self) -> f64 {
+        let total = self.stale_reads + self.fresh_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.stale_reads as f64 / total as f64
+        }
+    }
+
+    /// Mean number of acknowledged writes a stale read lagged behind.
+    pub fn mean_staleness_depth(&self) -> f64 {
+        if self.stale_reads == 0 {
+            0.0
+        } else {
+            self.stale_depth_sum as f64 / self.stale_reads as f64
+        }
+    }
+
+    /// Number of keys seen across all shards (homes are disjoint, so the
+    /// per-shard counts add exactly).
+    pub fn key_count(&self) -> usize {
+        self.keys
+    }
 }
 
 #[cfg(test)]
@@ -241,7 +384,7 @@ mod tests {
     #[test]
     fn fresh_reads_are_not_stale() {
         let mut o = StalenessOracle::new();
-        o.record_ack(Key(1), Version(5));
+        o.record_ack(Key(1), Version(5), SimTime::ZERO);
         let expected = o.expected_version(Key(1));
         let c = o.classify_read(Key(1), expected, Version(5));
         assert!(!c.stale);
@@ -252,8 +395,8 @@ mod tests {
     #[test]
     fn returning_an_old_version_is_stale() {
         let mut o = StalenessOracle::new();
-        o.record_ack(Key(1), Version(5));
-        o.record_ack(Key(1), Version(9));
+        o.record_ack(Key(1), Version(5), SimTime::ZERO);
+        o.record_ack(Key(1), Version(9), SimTime::ZERO);
         let expected = o.expected_version(Key(1));
         assert_eq!(expected, Version(9));
         let c = o.classify_read(Key(1), expected, Version(5));
@@ -267,7 +410,7 @@ mod tests {
     fn depth_counts_missed_writes() {
         let mut o = StalenessOracle::new();
         for v in 1..=5u64 {
-            o.record_ack(Key(1), Version(v));
+            o.record_ack(Key(1), Version(v), SimTime::ZERO);
         }
         let c = o.classify_read(Key(1), Version(5), Version(2));
         assert!(c.stale);
@@ -280,9 +423,9 @@ mod tests {
         // A read may see a write that was acknowledged *after* the read was
         // issued; that is not stale.
         let mut o = StalenessOracle::new();
-        o.record_ack(Key(1), Version(3));
+        o.record_ack(Key(1), Version(3), SimTime::ZERO);
         let expected = o.expected_version(Key(1));
-        o.record_ack(Key(1), Version(7));
+        o.record_ack(Key(1), Version(7), SimTime::ZERO);
         let c = o.classify_read(Key(1), expected, Version(7));
         assert!(!c.stale);
     }
@@ -313,9 +456,9 @@ mod tests {
         // binary-search fast path must detect the inversion and fall back to
         // the exact linear scan.
         let mut o = StalenessOracle::new();
-        o.record_ack(Key(1), Version(5));
-        o.record_ack(Key(1), Version(9));
-        o.record_ack(Key(1), Version(7));
+        o.record_ack(Key(1), Version(5), SimTime::ZERO);
+        o.record_ack(Key(1), Version(9), SimTime::ZERO);
+        o.record_ack(Key(1), Version(7), SimTime::ZERO);
         let c = o.classify_read(Key(1), Version(9), Version(5));
         assert!(c.stale);
         assert_eq!(c.depth, 1, "idx(9)=2 minus idx(5)=1");
@@ -328,7 +471,7 @@ mod tests {
     fn deep_histories_resolve_depths_by_binary_search() {
         let mut o = StalenessOracle::new();
         for v in 1..=64u64 {
-            o.record_ack(Key(1), Version(v));
+            o.record_ack(Key(1), Version(v), SimTime::ZERO);
         }
         let c = o.classify_read(Key(1), Version(64), Version(2));
         assert!(c.stale);
@@ -338,8 +481,8 @@ mod tests {
     #[test]
     fn rate_mixes_stale_and_fresh() {
         let mut o = StalenessOracle::new();
-        o.record_ack(Key(1), Version(1));
-        o.record_ack(Key(1), Version(2));
+        o.record_ack(Key(1), Version(1), SimTime::ZERO);
+        o.record_ack(Key(1), Version(2), SimTime::ZERO);
         for _ in 0..3 {
             o.classify_read(Key(1), Version(2), Version(2));
         }
@@ -351,15 +494,80 @@ mod tests {
     fn distinct_keys_keep_independent_histories_across_pages() {
         let mut o = StalenessOracle::new();
         let far = (PAGE_SLOTS as u64) * 7 + 3;
-        o.record_ack(Key(1), Version(5));
-        o.record_ack(Key(far), Version(9));
+        o.record_ack(Key(1), Version(5), SimTime::ZERO);
+        o.record_ack(Key(far), Version(9), SimTime::ZERO);
         assert_eq!(o.expected_version(Key(1)), Version(5));
         assert_eq!(o.expected_version(Key(far)), Version(9));
         assert_eq!(o.key_count(), 2);
         // Untouched keys on existing pages are still unknown.
         assert_eq!(o.expected_version(Key(2)), Version::NONE);
         // Repeated acks do not recount the key.
-        o.record_ack(Key(1), Version(11));
+        o.record_ack(Key(1), Version(11), SimTime::ZERO);
         assert_eq!(o.key_count(), 2);
+    }
+
+    #[test]
+    fn expected_version_at_sees_only_acks_strictly_before_the_instant() {
+        let mut o = StalenessOracle::new();
+        o.record_ack(Key(1), Version(3), SimTime::from_micros(100));
+        o.record_ack(Key(1), Version(7), SimTime::from_micros(200));
+        // Before any ack: no expectation.
+        assert_eq!(
+            o.expected_version_at(Key(1), SimTime::from_micros(50)),
+            Version::NONE
+        );
+        // Exactly at an ack time: the ack is NOT yet visible (strict <).
+        assert_eq!(
+            o.expected_version_at(Key(1), SimTime::from_micros(100)),
+            Version::NONE
+        );
+        assert_eq!(
+            o.expected_version_at(Key(1), SimTime::from_micros(150)),
+            Version(3)
+        );
+        assert_eq!(
+            o.expected_version_at(Key(1), SimTime::from_micros(200)),
+            Version(3)
+        );
+        assert_eq!(
+            o.expected_version_at(Key(1), SimTime::from_micros(300)),
+            Version(7)
+        );
+        // The untimed query sees the full history.
+        assert_eq!(o.expected_version(Key(1)), Version(7));
+    }
+
+    #[test]
+    fn classify_read_at_matches_the_serial_inline_classification() {
+        // A read issued between two acks is fresh against the first even
+        // though the second has landed by classification time — exactly
+        // what the serial engine concludes by snapshotting expected_version
+        // at issue time.
+        let mut o = StalenessOracle::new();
+        o.record_ack(Key(1), Version(3), SimTime::from_micros(100));
+        o.record_ack(Key(1), Version(7), SimTime::from_micros(200));
+        let c = o.classify_read_at(Key(1), SimTime::from_micros(150), Version(3));
+        assert!(!c.stale);
+        // The same returned version is stale for a read issued after the
+        // second ack.
+        let c = o.classify_read_at(Key(1), SimTime::from_micros(250), Version(3));
+        assert!(c.stale);
+        assert_eq!(c.depth, 1);
+    }
+
+    #[test]
+    fn truncated_histories_err_toward_stale_at_early_instants() {
+        // Push past DEPTH_HISTORY so the oldest entries are dropped, then
+        // query an instant older than everything retained: the fallback is
+        // the oldest retained version (non-NONE), so a read of anything
+        // older classifies stale rather than vacuously fresh.
+        let mut o = StalenessOracle::new();
+        for v in 1..=(DEPTH_HISTORY as u64 + 8) {
+            o.record_ack(Key(1), Version(v), SimTime::from_micros(1_000 + v));
+        }
+        let expected = o.expected_version_at(Key(1), SimTime::from_micros(500));
+        assert_ne!(expected, Version::NONE, "truncation falls back, not NONE");
+        let c = o.classify_read_at(Key(1), SimTime::from_micros(500), Version(1));
+        assert!(c.stale);
     }
 }

@@ -33,8 +33,8 @@ use crate::paged::PagedTable;
 use crate::types::Key;
 use concord_sim::{DcId, InlineVec, NodeId, Topology};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// How keys are mapped to owning nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -105,7 +105,7 @@ fn ring_hash(value: u64) -> u64 {
 
 /// The ordered partitioner's state: which nodes are in the ring, plus the
 /// per-slice range index memoizing computed placements.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct OrderedIndex {
     /// `alive[node_id]` — false for nodes withdrawn from the ring. Slices of
     /// a withdrawn node fall to the next alive node in id order, so
@@ -115,8 +115,23 @@ struct OrderedIndex {
     /// The per-slice range index: `slice → [node; RF]` with `u32::MAX` as
     /// the not-yet-computed sentinel, RF lanes per slot. A [`PagedTable`]
     /// like every other dense-key table; rebuilt rings start a fresh index.
-    /// Interior-mutable because placement lookups go through `&Ring`.
-    range_index: RefCell<PagedTable<u32>>,
+    /// Interior-mutable because placement lookups go through `&Ring`; a
+    /// `Mutex` (not `RefCell`) because the ring is shared read-only across
+    /// shard handlers inside a parallel window, and a first-touch lookup
+    /// fills the memo. The memoized entry is a pure function of the ring,
+    /// so fill order across threads never changes a lookup's result — the
+    /// lock only serializes the memo write, and steady-state lookups hit
+    /// the per-shard [`ReplicaCache`](crate::cluster) first anyway.
+    range_index: Mutex<PagedTable<u32>>,
+}
+
+impl Clone for OrderedIndex {
+    fn clone(&self) -> Self {
+        OrderedIndex {
+            alive: self.alive.clone(),
+            range_index: Mutex::new(self.range_index.lock().expect("range index lock").clone()),
+        }
+    }
 }
 
 /// The partitioner state plus placement configuration.
@@ -213,7 +228,7 @@ impl Ring {
             Partitioner::Hash => None,
             Partitioner::Ordered => Some(OrderedIndex {
                 alive: alive_flags,
-                range_index: RefCell::new(PagedTable::with_lanes(
+                range_index: Mutex::new(PagedTable::with_lanes(
                     u32::MAX,
                     (replication_factor as usize).max(1),
                 )),
@@ -313,7 +328,7 @@ impl Ring {
         // materializing page pointers up to that slice.
         let memoize = slice < MEMOIZED_SLICES;
         if memoize {
-            let memo = index.range_index.borrow();
+            let memo = index.range_index.lock().expect("range index lock");
             if let Some(entry) = memo.entry(slice) {
                 if entry[0] != u32::MAX {
                     replicas.extend(entry.iter().map(|&n| NodeId(n)));
@@ -329,7 +344,7 @@ impl Ring {
         self.fill_replicas(walk, rf, replicas);
         debug_assert_eq!(replicas.len(), rf, "placement yields exactly RF nodes");
         if memoize && replicas.len() == rf {
-            let mut memo = index.range_index.borrow_mut();
+            let mut memo = index.range_index.lock().expect("range index lock");
             let entry = memo.entry_mut(slice);
             for (slot, node) in entry.iter_mut().zip(replicas.iter()) {
                 *slot = node.0;

@@ -24,11 +24,21 @@ struct Slot<T> {
 }
 
 /// A slab of operation state addressed by generation-checked [`OpId`]s.
+///
+/// A slab can be **strided**: with `with_stride(n, k)` the encoded slot
+/// number of internal index `i` is `i·n + k`, so every id handed out
+/// satisfies `slot ≡ k (mod n)`. The parallel sharded cluster gives shard
+/// `k` of `n` the stride-`(n, k)` slab, which makes an operation's home
+/// shard recoverable from its id alone (`id mod n`) — no shared lookup
+/// table, no coordination. `new()` is the stride-`(1, 0)` slab, whose ids
+/// are bit-identical to the pre-strided encoding.
 #[derive(Debug, Clone)]
 pub struct OpSlab<T> {
     slots: Vec<Slot<T>>,
     free: Vec<u32>,
     live: usize,
+    stride: u32,
+    offset: u32,
 }
 
 impl<T> Default for OpSlab<T> {
@@ -40,10 +50,20 @@ impl<T> Default for OpSlab<T> {
 impl<T> OpSlab<T> {
     /// An empty slab.
     pub fn new() -> Self {
+        Self::with_stride(1, 0)
+    }
+
+    /// An empty slab whose encoded slot numbers are `index·stride + offset`
+    /// (see the type docs; `offset < stride` required).
+    pub fn with_stride(stride: u32, offset: u32) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        assert!(offset < stride, "offset must be below the stride");
         OpSlab {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            stride,
+            offset,
         }
     }
 
@@ -63,7 +83,8 @@ impl<T> OpSlab<T> {
     }
 
     #[inline]
-    fn encode(generation: u32, slot: u32) -> OpId {
+    fn encode(&self, generation: u32, index: u32) -> OpId {
+        let slot = index * self.stride + self.offset;
         OpId(((generation as u64) << 32) | slot as u64)
     }
 
@@ -75,27 +96,37 @@ impl<T> OpSlab<T> {
     /// Insert state, returning the id that addresses it.
     pub fn insert(&mut self, state: T) -> OpId {
         self.live += 1;
-        if let Some(slot) = self.free.pop() {
-            let s = &mut self.slots[slot as usize];
+        if let Some(index) = self.free.pop() {
+            let s = &mut self.slots[index as usize];
             debug_assert!(s.state.is_none(), "free-listed slot must be vacant");
             s.state = Some(state);
-            Self::encode(s.generation, slot)
+            let generation = s.generation;
+            self.encode(generation, index)
         } else {
-            let slot = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight ops");
+            let index = u32::try_from(self.slots.len()).expect("more than 2^32 in-flight ops");
             self.slots.push(Slot {
                 // Start at generation 1 so no valid OpId is ever 0.
                 generation: 1,
                 state: Some(state),
             });
-            Self::encode(1, slot)
+            self.encode(1, index)
         }
     }
 
     #[inline]
     fn slot_of(&self, id: OpId) -> Option<usize> {
         let (generation, slot) = Self::decode(id);
-        match self.slots.get(slot as usize) {
-            Some(s) if s.generation == generation && s.state.is_some() => Some(slot as usize),
+        // A foreign id (slot not congruent to this slab's offset) misses
+        // here: `slot - offset` underflows or leaves a non-multiple, and
+        // either way the divided index points at a slot whose generation
+        // cannot match — checked explicitly to keep the miss exact.
+        let rel = slot.wrapping_sub(self.offset);
+        if self.stride > 1 && rel % self.stride != 0 {
+            return None;
+        }
+        let index = rel / self.stride;
+        match self.slots.get(index as usize) {
+            Some(s) if s.generation == generation && s.state.is_some() => Some(index as usize),
             _ => None,
         }
     }
@@ -172,6 +203,45 @@ mod tests {
             let id = slab.insert(0);
             assert_ne!(id.0, 0);
             slab.remove(id);
+        }
+    }
+
+    #[test]
+    fn strided_slabs_partition_the_id_space() {
+        let shards = 4u32;
+        let mut slabs: Vec<OpSlab<u64>> = (0..shards)
+            .map(|k| OpSlab::with_stride(shards, k))
+            .collect();
+        let mut ids = Vec::new();
+        for round in 0..10u64 {
+            for (k, slab) in slabs.iter_mut().enumerate() {
+                let id = slab.insert(round * 10 + k as u64);
+                assert_eq!(
+                    (id.0 as u32) % shards,
+                    k as u32,
+                    "slot must encode the home shard"
+                );
+                ids.push((k, id));
+            }
+        }
+        for &(k, id) in &ids {
+            // The owner resolves the id; every other slab misses it.
+            for (other, slab) in slabs.iter().enumerate() {
+                assert_eq!(slab.get(id).is_some(), other == k);
+            }
+        }
+        for &(k, id) in &ids {
+            assert!(slabs[k].remove(id).is_some());
+            assert!(slabs[k].get(id).is_none());
+        }
+    }
+
+    #[test]
+    fn default_stride_matches_unstrided_encoding() {
+        let mut plain: OpSlab<u8> = OpSlab::new();
+        let mut strided: OpSlab<u8> = OpSlab::with_stride(1, 0);
+        for i in 0..50 {
+            assert_eq!(plain.insert(i), strided.insert(i));
         }
     }
 

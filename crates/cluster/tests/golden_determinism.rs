@@ -13,6 +13,32 @@
 //! To re-capture after an *intentional* semantic change, run with
 //! `GOLDEN_PRINT=1 cargo test -p concord-cluster --test golden_determinism -- --nocapture`
 //! and update the constants.
+//!
+//! # Determinism contract of the sharded engine
+//!
+//! Since the parallel execution PR, a run's output is a pure function of
+//! `(seed, shard count)` — **not** of the worker-thread count, the thread
+//! scheduler, or the machine. Concretely:
+//!
+//! * `shards = 1` executes the exact pre-sharding serial engine (same RNG
+//!   stream, same event order, same metering order) and must stay
+//!   byte-identical to every golden captured before the engine existed.
+//! * Each `shards > 1` count is its own deterministic universe: per-shard
+//!   RNG streams (`SimRng::shard_stream`), coordinator-homed routing drawn
+//!   from the control stream, timestamp-packed write versions and
+//!   barrier-fold ordering (outboxes applied in fixed shard order, read
+//!   classifications resolved against the central oracle's time-indexed ack
+//!   history) make its digests stable, but different from the serial ones —
+//!   so each shard count pins its **own** golden tuple below (captured with
+//!   `GOLDEN_PRINT=1` at the introduction of parallel execution). The
+//!   *physics* is shared: staleness rates, latency sums and traffic stay in
+//!   family across shard counts; only the sampled universe differs.
+//! * For a fixed shard count the digests must be byte-identical at *any*
+//!   worker-thread count (1, 2, 4, 8, …): shard batches only touch
+//!   shard-owned state, and everything cross-shard is folded serially in
+//!   fixed shard order at window barriers. The thread-count matrix is
+//!   asserted in `tests/sharded_determinism.rs`; these goldens pin the
+//!   per-shard-count values themselves.
 
 use concord_cluster::{
     Cluster, ClusterConfig, ConsistencyLevel, OpKind, OpStatus, Partitioner, ReplicationStrategy,
@@ -117,42 +143,37 @@ fn maybe_print(name: &str, d: &RunDigest, c: &Cluster) {
 }
 
 /// Weak-consistency geo run with read repair: the paper's staleness window.
-/// Pinned at 1, 2 and 4 event-queue shards: the sharded engine's barrier
-/// windows and mailbox staging must be invisible to the output.
+/// Pinned at 1, 2 and 4 event-queue shards. Each shard count owns one golden
+/// tuple (see the module docs): with one shard the pre-parallel digest must
+/// hold byte-for-byte; with more, the per-shard-count digest must be stable
+/// at any worker-thread count.
 #[test]
 fn golden_geo_weak_consistency_run() {
-    for shards in [1u32, 2, 4] {
+    for (i, shards) in [1u32, 2, 4].into_iter().enumerate() {
+        let golden = GOLDEN_WEAK[i];
         let mut c = geo_cluster_sharded(7, shards);
         c.load_records((0..20u64).map(|k| (k, 200)));
         c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
         churn(&mut c, 4_000, 20, SimDuration::from_micros(500));
         let d = digest(&mut c);
-        maybe_print("weak", &d, &c);
+        maybe_print(&format!("weak[shards={shards}]"), &d, &c);
 
         assert_eq!(c.shards() as u32, shards);
         assert_eq!(d.ops, 4_000);
         assert_eq!(d.reads, 2_000);
         assert_eq!(d.writes, 2_000);
-        assert_eq!(d.stale, GOLDEN_WEAK.0, "{shards} shards");
+        assert_eq!(d.stale, golden.0, "{shards} shards");
         assert_eq!(d.timeouts, 0);
-        assert_eq!(d.latency_sum_us, GOLDEN_WEAK.1, "{shards} shards");
-        assert_eq!(d.checksum, GOLDEN_WEAK.2, "{shards} shards");
-        assert_eq!(c.events_processed(), GOLDEN_WEAK.3, "{shards} shards");
-        assert_eq!(c.now().as_micros(), GOLDEN_WEAK.4, "{shards} shards");
-        assert_eq!(c.metrics().messages, GOLDEN_WEAK.5, "{shards} shards");
-        assert_eq!(
-            c.metrics().traffic.total(),
-            GOLDEN_WEAK.6,
-            "{shards} shards"
-        );
-        assert_eq!(
-            c.metrics().traffic.inter_dc,
-            GOLDEN_WEAK.7,
-            "{shards} shards"
-        );
+        assert_eq!(d.latency_sum_us, golden.1, "{shards} shards");
+        assert_eq!(d.checksum, golden.2, "{shards} shards");
+        assert_eq!(c.events_processed(), golden.3, "{shards} shards");
+        assert_eq!(c.now().as_micros(), golden.4, "{shards} shards");
+        assert_eq!(c.metrics().messages, golden.5, "{shards} shards");
+        assert_eq!(c.metrics().traffic.total(), golden.6, "{shards} shards");
+        assert_eq!(c.metrics().traffic.inter_dc, golden.7, "{shards} shards");
         assert_eq!(
             (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
-            GOLDEN_WEAK.8,
+            golden.8,
             "{shards} shards"
         );
         assert_eq!(c.oracle().stale_reads(), d.stale);
@@ -160,6 +181,7 @@ fn golden_geo_weak_consistency_run() {
             let m = c.shard_metrics();
             assert!(m.windows > 0, "the run must cross lookahead windows");
             assert!(m.staged > 0, "geo traffic must stage cross-shard events");
+            assert_eq!(m.windows, m.barrier_folds, "every window folds once");
         }
     }
 }
@@ -167,21 +189,22 @@ fn golden_geo_weak_consistency_run() {
 /// Quorum/quorum run: R+W>N, so zero staleness with non-trivial latencies.
 #[test]
 fn golden_geo_quorum_run() {
-    for shards in [1u32, 2, 4] {
+    for (i, shards) in [1u32, 2, 4].into_iter().enumerate() {
+        let golden = GOLDEN_QUORUM[i];
         let mut c = geo_cluster_sharded(13, shards);
         c.load_records((0..50u64).map(|k| (k, 200)));
         c.set_levels(ConsistencyLevel::Quorum, ConsistencyLevel::Quorum);
         churn(&mut c, 3_000, 50, SimDuration::from_micros(300));
         let d = digest(&mut c);
-        maybe_print("quorum", &d, &c);
+        maybe_print(&format!("quorum[shards={shards}]"), &d, &c);
 
         assert_eq!(d.ops, 3_000);
         assert_eq!(d.stale, 0, "R+W>N can never be stale");
         assert_eq!(d.timeouts, 0);
-        assert_eq!(d.latency_sum_us, GOLDEN_QUORUM.0, "{shards} shards");
-        assert_eq!(d.checksum, GOLDEN_QUORUM.1, "{shards} shards");
-        assert_eq!(c.events_processed(), GOLDEN_QUORUM.2, "{shards} shards");
-        assert_eq!(c.now().as_micros(), GOLDEN_QUORUM.3, "{shards} shards");
+        assert_eq!(d.latency_sum_us, golden.0, "{shards} shards");
+        assert_eq!(d.checksum, golden.1, "{shards} shards");
+        assert_eq!(c.events_processed(), golden.2, "{shards} shards");
+        assert_eq!(c.now().as_micros(), golden.3, "{shards} shards");
     }
 }
 
@@ -455,7 +478,8 @@ fn golden_partition_heal_run() {
 /// read only their anchor record, so there is no pre-refactor digest.)
 #[test]
 fn golden_ycsb_e_scan_run() {
-    for shards in [1u32, 2, 4] {
+    for (i, shards) in [1u32, 2, 4].into_iter().enumerate() {
+        let golden = GOLDEN_SCAN[i];
         let mut c = geo_cluster_sharded(43, shards);
         c.load_records((0..200u64).map(|k| (k, 200)));
         c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
@@ -475,24 +499,20 @@ fn golden_ycsb_e_scan_run() {
             }
         }
         let d = digest(&mut c);
-        maybe_print("ycsb_e_scan", &d, &c);
+        maybe_print(&format!("ycsb_e_scan[shards={shards}]"), &d, &c);
 
         assert_eq!(d.ops, 3_000);
         assert_eq!(d.timeouts, 0);
-        assert_eq!(d.stale, GOLDEN_SCAN.0, "{shards} shards");
-        assert_eq!(d.latency_sum_us, GOLDEN_SCAN.1, "{shards} shards");
-        assert_eq!(d.checksum, GOLDEN_SCAN.2, "{shards} shards");
-        assert_eq!(c.events_processed(), GOLDEN_SCAN.3, "{shards} shards");
+        assert_eq!(d.stale, golden.0, "{shards} shards");
+        assert_eq!(d.latency_sum_us, golden.1, "{shards} shards");
+        assert_eq!(d.checksum, golden.2, "{shards} shards");
+        assert_eq!(c.events_processed(), golden.3, "{shards} shards");
         assert_eq!(
             (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
-            GOLDEN_SCAN.4,
+            golden.4,
             "scans are metered one storage read per probed record"
         );
-        assert_eq!(
-            c.metrics().traffic.total(),
-            GOLDEN_SCAN.5,
-            "{shards} shards"
-        );
+        assert_eq!(c.metrics().traffic.total(), golden.5, "{shards} shards");
         // Sanity: the scan mix probes far more records than it completes reads
         // (mean scan length ~20 over 2250 scans).
         assert!(c.metrics().storage_read_ops > 40_000);
@@ -601,22 +621,54 @@ fn golden_ordered_scan_run() {
     assert_eq!(c.metrics().traffic.total(), GOLDEN_ORDERED.5);
 }
 
-// Captured values (pre-refactor implementation, seeds as above):
+// Captured values, one tuple per shard count [1, 2, 4] (see the module
+// docs: shards=1 is the pre-refactor serial digest and predates the
+// parallel engine; the shards>1 tuples were captured with GOLDEN_PRINT=1
+// when parallel execution landed and are thread-count-invariant):
 // (stale, latency_sum_us, checksum, events, now_us, messages, traffic_total,
 //  traffic_inter_dc, (storage_read_ops, storage_write_ops)).
-const GOLDEN_WEAK: (u64, u64, u64, u64, u64, u64, u64, u64, (u64, u64)) = (
-    827,
-    1_738_104,
-    9473355854552743838,
-    44_000,
-    12_000_000,
-    24_000,
-    4_320_000,
-    1_785_960,
-    (2_000, 10_000),
-);
-// (latency_sum_us, checksum, events, now_us).
-const GOLDEN_QUORUM: (u64, u64, u64, u64) = (45_593_949, 7203024975233682314, 45_738, 10_900_000);
+type WeakGolden = (u64, u64, u64, u64, u64, u64, u64, u64, (u64, u64));
+const GOLDEN_WEAK: [WeakGolden; 3] = [
+    (
+        827,
+        1_738_104,
+        9473355854552743838,
+        44_000,
+        12_000_000,
+        24_000,
+        4_320_000,
+        1_785_960,
+        (2_000, 10_000),
+    ),
+    (
+        819,
+        1_733_957,
+        2758624688570690002,
+        44_000,
+        12_000_000,
+        24_000,
+        4_320_000,
+        1_804_680,
+        (2_000, 10_000),
+    ),
+    (
+        800,
+        1_765_160,
+        2819320342648029230,
+        44_000,
+        12_000_000,
+        24_000,
+        4_320_000,
+        1_796_400,
+        (2_000, 10_000),
+    ),
+];
+// (latency_sum_us, checksum, events, now_us), per shard count [1, 2, 4].
+const GOLDEN_QUORUM: [(u64, u64, u64, u64); 3] = [
+    (45_593_949, 7203024975233682314, 45_738, 10_900_000),
+    (44_837_328, 15268482417863522377, 45_930, 10_900_000),
+    (45_393_151, 1300559037795849747, 45_588, 10_900_000),
+];
 // (timeouts, latency_sum_us, checksum, events).
 const GOLDEN_FAILURE: (u64, u64, u64, u64) = (107, 5_735_824, 5079826259043572358, 3_879);
 // Fault-scenario digests (captured at the introduction of fault injection;
@@ -643,18 +695,38 @@ const GOLDEN_REPAIR: (u64, u64, u64, u64, u64, HintCounters, u64, u64, u64) = (
 // (timeouts, messages_lost, latency_sum_us, checksum, events).
 const GOLDEN_PARTITION: (u64, u64, u64, u64, u64) =
     (649, 1_946, 6_516_290_287, 9876085233809652447, 38_442);
-// Scan-scenario digest (captured at the introduction of the range-read
-// path; re-capture with GOLDEN_PRINT=1 after intentional semantic changes):
-// (stale, latency_sum_us, checksum, events, (storage_read_ops,
+// Scan-scenario digest (shards=1 captured at the introduction of the
+// range-read path; shards>1 with GOLDEN_PRINT=1 when parallel execution
+// landed; re-capture after intentional semantic changes): per shard count
+// [1, 2, 4], (stale, latency_sum_us, checksum, events, (storage_read_ops,
 //  storage_write_ops), traffic_total).
-const GOLDEN_SCAN: (u64, u64, u64, u64, (u64, u64), u64) = (
-    993,
-    1_419_731,
-    306768600784371757,
-    24_000,
-    (47_250, 3_750),
-    9_266_200,
-);
+type ScanGolden = (u64, u64, u64, u64, (u64, u64), u64);
+const GOLDEN_SCAN: [ScanGolden; 3] = [
+    (
+        993,
+        1_419_731,
+        306768600784371757,
+        24_000,
+        (47_250, 3_750),
+        9_266_200,
+    ),
+    (
+        1_018,
+        1_409_434,
+        574160717100616832,
+        24_000,
+        (47_250, 3_750),
+        9_237_600,
+    ),
+    (
+        995,
+        1_403_576,
+        14150112805931838019,
+        24_000,
+        (47_250, 3_750),
+        9_200_200,
+    ),
+];
 // Ordered-partitioner scan digest (captured at the introduction of the
 // ordered partitioner; re-capture with GOLDEN_PRINT=1 after intentional
 // semantic changes): (stale, latency_sum_us, checksum, events,

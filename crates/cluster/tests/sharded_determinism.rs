@@ -1,14 +1,24 @@
-//! Shard-boundary edge cases of the conservative-PDES engine.
+//! Thread-invariance matrix of the conservative-PDES engine.
 //!
 //! `golden_determinism` pins fixed-seed scenarios against hardcoded digests
-//! at 1, 2 and 4 shards. This suite attacks the sharded engine where its
-//! window/mailbox machinery is under the most stress — a node crashing in
-//! the middle of a lookahead window, a datacenter partition severing the
-//! link between two shards, an ordered-partitioner scan straddling a shard
-//! boundary — and pins each scenario **byte-identical to its own 1-shard
-//! run** (full per-op digest plus every public meter), so any divergence in
-//! the barrier protocol shows up as a field-level diff rather than a bare
-//! checksum mismatch.
+//! at 1, 2 and 4 shards. This suite pins the other axis of the determinism
+//! contract: for a **fixed shard count**, the full observable fingerprint of
+//! a run must be byte-identical at *any* worker-thread count (1, 2, 4 and 8
+//! here), because shard batches only touch shard-owned state and everything
+//! cross-shard folds serially in fixed shard order at window barriers. The
+//! scenarios attack the engine where the window/mailbox machinery is under
+//! the most stress — a node crashing in the middle of a lookahead window, a
+//! datacenter partition severing the link between two shards, an
+//! ordered-partitioner scan straddling a shard boundary, bulk-submitted
+//! arrival streams — and each one also sanity-checks the physics across
+//! shard counts (same op totals; each shard count is otherwise its own
+//! deterministic universe, see the golden suite's module docs).
+//!
+//! The thread counts are driven through the work-stealing pool's
+//! `ThreadPool::install` scope, the same mechanism `--threads` uses in the
+//! bench binaries, so the matrix here exercises exactly the production
+//! dispatch path — including thread counts far above this container's core
+//! count (oversubscription must not change a byte either).
 
 use concord_cluster::{
     Cluster, ClusterConfig, ClusterOutput, ConsistencyLevel, Partitioner, ReplicationStrategy,
@@ -18,7 +28,7 @@ use concord_sim::{DcId, NetworkModel, NodeId, RegionId, SimDuration, SimTime, To
 
 /// Full observable fingerprint of a drained run: an FNV-1a digest over every
 /// completed operation plus the public counters a driver could read.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Fingerprint {
     ops: u64,
     timeouts: u64,
@@ -31,6 +41,10 @@ struct Fingerprint {
     messages_lost: u64,
     traffic_total: u64,
     storage_ops: (u64, u64),
+    windows: u64,
+    barrier_folds: u64,
+    parallel_batches: u64,
+    max_batch_len: u64,
 }
 
 /// Drain the cluster, applying `on_tick` to every tick id, and fingerprint
@@ -64,6 +78,7 @@ fn drain(c: &mut Cluster, mut on_tick: impl FnMut(&mut Cluster, u64)) -> Fingerp
             }
         }
     }
+    let m = c.shard_metrics();
     Fingerprint {
         ops,
         timeouts,
@@ -76,7 +91,53 @@ fn drain(c: &mut Cluster, mut on_tick: impl FnMut(&mut Cluster, u64)) -> Fingerp
         messages_lost: c.metrics().messages_lost,
         traffic_total: c.metrics().traffic.total(),
         storage_ops: (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
+        windows: m.windows,
+        barrier_folds: m.barrier_folds,
+        parallel_batches: m.parallel_batches,
+        max_batch_len: m.max_batch_len,
     }
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("the vendored builder cannot fail")
+}
+
+/// Run `scenario` over the shards × threads matrix. For every shard count,
+/// the fingerprint must be byte-identical at 1, 2, 4 and 8 worker threads;
+/// the per-shard-count fingerprints (at any thread count — they are all the
+/// same) are returned for scenario-level physics assertions.
+fn thread_matrix(scenario: impl Fn(u32) -> Fingerprint) -> Vec<Fingerprint> {
+    [1u32, 2, 4]
+        .into_iter()
+        .map(|shards| {
+            let base = pool(1).install(|| scenario(shards));
+            for threads in [2usize, 4, 8] {
+                let fp = pool(threads).install(|| scenario(shards));
+                assert_eq!(
+                    fp, base,
+                    "shards={shards}: {threads} worker threads diverged from 1"
+                );
+            }
+            if shards > 1 {
+                assert!(
+                    base.windows > 0,
+                    "shards={shards}: no lookahead windows ran"
+                );
+                assert_eq!(
+                    base.windows, base.barrier_folds,
+                    "every window folds exactly once"
+                );
+                assert!(
+                    base.parallel_batches > 0,
+                    "shards={shards}: no window ever had two busy shard batches"
+                );
+            }
+            base
+        })
+        .collect()
 }
 
 /// A two-site geo cluster whose datacenters land on different shards at
@@ -111,11 +172,10 @@ fn submit_churn(c: &mut Cluster, ops: u64, keys: u64, gap_us: u64) {
 /// A node crashes (ring reconfiguration + recovery migration) and later
 /// recovers, with the fault ticks landing *inside* lookahead windows —
 /// crash_node rebuilds the ring and broadcasts RepairSync arrivals while
-/// cross-shard mailboxes hold staged traffic. Byte-identical at 2 and 4
-/// shards to the 1-shard run.
+/// cross-shard mailboxes hold staged traffic.
 #[test]
-fn node_crash_mid_window_is_byte_identical_across_shard_counts() {
-    let run = |shards: u32| {
+fn node_crash_mid_window_is_thread_invariant() {
+    let fps = thread_matrix(|shards| {
         let mut c = two_site_cluster(51, shards, 3);
         c.load_records((0..40u64).map(|k| (k, 180)));
         submit_churn(&mut c, 1_600, 40, 400);
@@ -128,21 +188,19 @@ fn node_crash_mid_window_is_byte_identical_across_shard_counts() {
             2 => c.recover_node(NodeId(2)),
             _ => {}
         })
-    };
-    let sequential = run(1);
-    assert_eq!(sequential.ops, 1_600, "every op completes exactly once");
-    for shards in [2u32, 4] {
-        assert_eq!(run(shards), sequential, "{shards} shards vs sequential");
+    });
+    for fp in &fps {
+        assert_eq!(fp.ops, 1_600, "every op completes exactly once");
     }
 }
 
 /// The two datacenters — which are exactly the two shards at `shards = 2` —
 /// partition mid-run and heal later: every cross-shard message in between
 /// is lost in transit, so the mailbox plane carries only losses while the
-/// partition holds. Byte-identical at 2 and 4 shards to the 1-shard run.
+/// partition holds.
 #[test]
-fn partition_severing_two_shards_is_byte_identical_across_shard_counts() {
-    let run = |shards: u32| {
+fn partition_severing_two_shards_is_thread_invariant() {
+    let fps = thread_matrix(|shards| {
         let mut c = two_site_cluster(57, shards, 5);
         c.load_records((0..30u64).map(|k| (k, 180)));
         c.set_levels(ConsistencyLevel::Quorum, ConsistencyLevel::Quorum);
@@ -154,26 +212,23 @@ fn partition_severing_two_shards_is_byte_identical_across_shard_counts() {
             2 => c.heal_dcs(DcId(0), DcId(1)),
             _ => {}
         })
-    };
-    let sequential = run(1);
-    assert_eq!(sequential.ops, 2_000);
-    assert!(
-        sequential.messages_lost > 0,
-        "the partition must drop cross-site messages"
-    );
-    for shards in [2u32, 4] {
-        assert_eq!(run(shards), sequential, "{shards} shards vs sequential");
+    });
+    for fp in &fps {
+        assert_eq!(fp.ops, 2_000);
+        assert!(
+            fp.messages_lost > 0,
+            "the partition must drop cross-site messages"
+        );
     }
 }
 
 /// Ordered-partitioner range scans anchored just below an ownership-slice
 /// boundary, with the record space split so the two slices' owners live on
 /// different shards: the segment fan-out gathers one scan's responses from
-/// both sides of a shard boundary. Byte-identical at 2 and 4 shards to the
-/// 1-shard run.
+/// both sides of a shard boundary.
 #[test]
-fn ordered_scan_straddling_a_shard_boundary_is_byte_identical() {
-    let run = |shards: u32| {
+fn ordered_scan_straddling_a_shard_boundary_is_thread_invariant() {
+    let fps = thread_matrix(|shards| {
         let mut cfg = ClusterConfig::lan_test(6, 3);
         cfg.topology = Topology::spread(
             6,
@@ -201,18 +256,17 @@ fn ordered_scan_straddling_a_shard_boundary_is_byte_identical() {
             }
         }
         drain(&mut c, |_, _| {})
-    };
-    let sequential = run(1);
-    assert_eq!(sequential.ops, 2_000);
-    for shards in [2u32, 4] {
-        assert_eq!(run(shards), sequential, "{shards} shards vs sequential");
+    });
+    for fp in &fps {
+        assert_eq!(fp.ops, 2_000);
     }
 }
 
 /// Batch-submitted arrivals (the bulk FIFO lane) route per home shard; the
-/// fingerprint must match the sequential run and per-op submission exactly.
+/// fingerprint must match per-op submission exactly within every shard
+/// count, at every thread count.
 #[test]
-fn bulk_submitted_arrivals_stay_byte_identical_when_sharded() {
+fn bulk_submitted_arrivals_match_per_op_submission_at_any_thread_count() {
     use concord_cluster::BatchOp;
     let run = |shards: u32, batch: bool| {
         let mut c = two_site_cluster(67, shards, 3);
@@ -243,9 +297,73 @@ fn bulk_submitted_arrivals_stay_byte_identical_when_sharded() {
         }
         drain(&mut c, |_, _| {})
     };
-    let sequential = run(1, false);
-    for shards in [1u32, 2, 4] {
-        assert_eq!(run(shards, true), sequential, "{shards} shards, batched");
+    let batched = thread_matrix(|shards| run(shards, true));
+    for (i, shards) in [1u32, 2, 4].into_iter().enumerate() {
+        let per_op = run(shards, false);
+        assert_eq!(
+            batched[i], per_op,
+            "{shards} shards: batch vs per-op submission"
+        );
     }
-    assert_eq!(run(4, false), sequential, "4 shards, per-op submission");
+}
+
+/// The dispatch primitive really runs shard batches on more than one worker
+/// thread: under a 4-thread pool, `par_for_each_mut` over blocking items
+/// must be observed from at least two distinct OS threads. (The cluster
+/// tests above prove thread *invariance*; this proves the threads are
+/// actually there to be invariant against.)
+#[test]
+fn window_dispatch_uses_multiple_worker_threads() {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+    // Each item spins briefly so the scheduler has time to run another
+    // worker even on a single hardware core; retry to absorb scheduling
+    // flukes without ever flaking on a loaded machine.
+    for attempt in 0..20 {
+        seen.lock().unwrap().clear();
+        pool(4).install(|| {
+            let mut items = [0u64; 8];
+            rayon::par_for_each_mut(&mut items, |_, slot| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                let deadline = Instant::now() + Duration::from_millis(10);
+                while Instant::now() < deadline {
+                    *slot = slot.wrapping_add(1);
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        if seen.lock().unwrap().len() >= 2 {
+            return;
+        }
+        // Give the OS a chance to schedule the other workers next round.
+        std::thread::sleep(Duration::from_millis(5 * (attempt + 1)));
+    }
+    panic!(
+        "par_for_each_mut never ran on two distinct threads under a 4-thread pool \
+         (saw {:?})",
+        seen.lock().unwrap()
+    );
+}
+
+/// A sharded run inside a multi-thread pool really exercises the parallel
+/// window engine: batches from at least two shards execute within single
+/// windows (the `parallel_batches` counter the run reports are built from).
+#[test]
+fn sharded_run_reports_parallel_batches_under_a_thread_pool() {
+    pool(4).install(|| {
+        let mut c = two_site_cluster(51, 4, 3);
+        c.load_records((0..40u64).map(|k| (k, 180)));
+        submit_churn(&mut c, 1_200, 40, 400);
+        let fp = drain(&mut c, |_, _| {});
+        assert_eq!(fp.ops, 1_200);
+        assert!(fp.windows > 0);
+        assert!(
+            fp.parallel_batches > 0,
+            "geo churn over 4 shards must co-schedule shard batches"
+        );
+        assert!(fp.max_batch_len > 0);
+    });
 }

@@ -110,8 +110,9 @@ pub struct RunReport {
     #[serde(default)]
     pub repair_traffic: concord_cluster::TrafficBytes,
     /// Event-queue shards the run executed with (1 = unsharded engine).
-    /// Output is byte-identical at any shard count; these four counters
-    /// only describe the engine's synchronization behaviour.
+    /// Each shard count is its own deterministic universe whose output is
+    /// byte-identical at any worker-thread count; these counters only
+    /// describe the engine's synchronization behaviour.
     #[serde(default)]
     pub shards: u64,
     /// Lookahead windows the sharded engine crossed (barrier flushes).
@@ -125,6 +126,20 @@ pub struct RunReport {
     /// would have needed a smaller window).
     #[serde(default)]
     pub lookahead_violations: u64,
+    /// Lookahead windows in which at least two shards had events to run —
+    /// the windows whose batches actually execute concurrently on the
+    /// work-stealing pool (absent in reports from before the multi-core
+    /// engine; deserialized as 0).
+    #[serde(default)]
+    pub parallel_batches: u64,
+    /// Barrier folds performed (equals `shard_windows`: every window folds
+    /// exactly once).
+    #[serde(default)]
+    pub barrier_folds: u64,
+    /// Largest number of events any single shard ran within one window (an
+    /// upper bound on per-window work imbalance).
+    #[serde(default)]
+    pub max_batch_len: u64,
     /// Consistency-level changes over time.
     pub level_timeline: Vec<LevelChange>,
     /// Resources consumed (instances, storage, traffic).
@@ -235,6 +250,9 @@ mod tests {
             shard_windows: 0,
             cross_shard_staged: 0,
             lookahead_violations: 0,
+            parallel_batches: 0,
+            barrier_folds: 0,
+            max_batch_len: 0,
             level_timeline: vec![LevelChange {
                 at_secs: 0.0,
                 read_replicas: 1,
@@ -310,6 +328,25 @@ mod tests {
         let end = start + json[start..].find('}').unwrap() + 2; // past "},"
         json.replace_range(start..end, "");
         let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn reports_from_before_the_multicore_engine_still_deserialize() {
+        // Reports serialized before handler batches ran in parallel lack the
+        // pool counters; they must load with all three zeroed.
+        let r = report("quorum", 0.0, 2.0);
+        let mut json = r.to_json();
+        for field in ["parallel_batches", "barrier_folds", "max_batch_len"] {
+            let start = json.find(&format!("\"{field}\"")).expect("field present");
+            let end = start + json[start..].find(',').unwrap() + 1;
+            json.replace_range(start..end, "");
+        }
+        assert!(!json.contains("parallel_batches"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.parallel_batches, 0);
+        assert_eq!(back.barrier_folds, 0);
+        assert_eq!(back.max_batch_len, 0);
         assert_eq!(r, back);
     }
 }

@@ -319,6 +319,9 @@ impl AdaptiveRuntime {
             shard_windows: shard_metrics.windows,
             cross_shard_staged: shard_metrics.staged,
             lookahead_violations: shard_metrics.violations,
+            parallel_batches: shard_metrics.parallel_batches,
+            barrier_folds: shard_metrics.barrier_folds,
+            max_batch_len: shard_metrics.max_batch_len,
             level_timeline,
             usage,
             bill,

@@ -264,13 +264,18 @@ enum Lane {
     Bulk,
 }
 
+/// Pack a firing time and a sequence number into the queue's `u128` ordering
+/// key (`time(µs) << 64 | seq`). Public so window-driven engines (the
+/// parallel sharded cluster) can compute window-edge bounds for
+/// [`EventQueue::pop_before_key`].
 #[inline]
-pub(crate) const fn pack(time: SimTime, seq: u64) -> u128 {
+pub const fn pack(time: SimTime, seq: u64) -> u128 {
     ((time.as_micros() as u128) << 64) | seq as u128
 }
 
+/// The firing time encoded in a packed `time‖seq` key (see [`pack`]).
 #[inline]
-pub(crate) const fn unpack_time(key: u128) -> SimTime {
+pub const fn unpack_time(key: u128) -> SimTime {
     SimTime::from_micros((key >> 64) as u64)
 }
 
@@ -476,59 +481,12 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Insert an event under a caller-assigned packed `time‖seq` key on the
-    /// **heap lane**, bypassing this queue's own clock clamp and sequence
-    /// counter. This is the sharded facade's lane-insert primitive
-    /// ([`crate::shard::ShardedEventQueue`]): the facade owns the global
-    /// clock and the global sequence counter, so per-shard lanes must store
-    /// exactly the key the facade assigned — re-keying here would break the
-    /// byte-identical merge order. The caller guarantees the key's time does
-    /// not precede the *global* clock (which is ≥ this lane's local clock).
-    pub(crate) fn insert_prekeyed(&mut self, key: u128, event: E) {
-        debug_assert!(
-            unpack_time(key) >= self.now,
-            "prekeyed insert precedes the lane clock"
-        );
-        self.heap.push(Scheduled { key, event });
-    }
-
-    /// [`EventQueue::insert_prekeyed`] for the **timeout lane**: sorted
-    /// arrivals append to the FIFO fast path, out-of-order keys take the
-    /// wheel — same routing as [`EventQueue::schedule_timeout`], with the
-    /// facade's key instead of a locally assigned one.
-    pub(crate) fn insert_timeout_prekeyed(&mut self, key: u128, event: E) {
-        debug_assert!(
-            unpack_time(key) >= self.now,
-            "prekeyed timeout precedes the lane clock"
-        );
-        if self
-            .timeout_fifo
-            .back()
-            .is_none_or(|&(back, _)| key >= back)
-        {
-            self.timeout_fifo.push_back((key, event));
-        } else {
-            self.timers.insert(key, event);
-        }
-    }
-
-    /// [`EventQueue::insert_prekeyed`] for the **bulk lane**. A per-shard
-    /// subsequence of a globally sorted arrival stream is itself sorted, so
-    /// the lane-level ordering assertion still holds; the facade asserts
-    /// global sortedness before assigning keys.
-    pub(crate) fn insert_bulk_prekeyed(&mut self, key: u128, event: E) {
-        debug_assert!(
-            self.bulk.back().is_none_or(|&(back, _)| key >= back),
-            "prekeyed bulk insert regresses behind the lane tail"
-        );
-        self.bulk.push_back((key, event));
-    }
-
-    /// The packed key of the next pending event, if any (the sharded
-    /// facade's merge primitive: the global argmin over per-shard lane
-    /// minima is the exact key the sequential engine would pop next).
+    /// The packed `time‖seq` key of the next pending event, if any. This is
+    /// the sharded engine's window-anchor primitive: the minimum over the
+    /// per-shard lane minima anchors the next lookahead window, each an O(1)
+    /// cached key read.
     #[inline]
-    pub(crate) fn peek_key_packed(&self) -> Option<u128> {
+    pub fn peek_key_packed(&self) -> Option<u128> {
         self.peek_key()
     }
 
@@ -611,6 +569,18 @@ impl<E> EventQueue<E> {
     pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
         match self.min_lane() {
             Some((key, lane)) if unpack_time(key) <= deadline => Some(self.pop_lane(key, lane)),
+            _ => None,
+        }
+    }
+
+    /// Pop the next event only if its packed key is **strictly below**
+    /// `end_key`. This is the batch primitive of the parallel sharded
+    /// engine: a lookahead window `[W, W+L)` drains each shard's lane with
+    /// `pop_before_key(pack(W+L, 0))`, so every event below the window edge
+    /// fires and everything at or beyond it waits for the barrier.
+    pub fn pop_before_key(&mut self, end_key: u128) -> Option<(SimTime, E)> {
+        match self.min_lane() {
+            Some((key, lane)) if key < end_key => Some(self.pop_lane(key, lane)),
             _ => None,
         }
     }

@@ -8,11 +8,13 @@
 //!   resolution;
 //! * [`EventQueue`] — a deterministic calendar queue (priority queue +
 //!   monotonic sequence numbers for FIFO tie-breaking);
-//! * [`ShardedEventQueue`] — conservative-PDES sharding of the queue:
-//!   per-shard lanes advancing in lookahead windows bounded by the minimum
-//!   cross-shard link delay, cross-shard events staged in mailboxes and
-//!   flushed at window barriers, merged in exact global `time‖seq` order so
-//!   delivery is byte-identical to the sequential queue at any shard count;
+//! * [`ShardMetrics`] — synchronization counters of the conservative-PDES
+//!   sharded engine (`concord-cluster`): per-shard lanes advance in
+//!   lookahead windows bounded by the minimum cross-shard link delay,
+//!   handler batches execute in parallel on the work-stealing pool, and
+//!   cross-shard events are staged per shard and folded at window barriers
+//!   in fixed shard order, so output is a pure function of `(seed, shards)`
+//!   at any worker-thread count;
 //! * [`SimRng`] — a fast, splittable, seedable PRNG so every experiment is
 //!   exactly reproducible;
 //! * [`DelayDistribution`] — serializable latency models (constant, uniform,
@@ -63,7 +65,7 @@ pub use events::{run, Control, EventQueue, RunOutcome};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use inline::InlineVec;
 pub use rng::SimRng;
-pub use shard::{ShardMetrics, ShardedEventQueue};
+pub use shard::ShardMetrics;
 pub use stats::{mean, percentile, percentile_sorted, RunningStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Datacenter, DcId, LinkClass, NetworkModel, NodeId, RegionId, Topology};

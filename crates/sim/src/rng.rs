@@ -59,6 +59,25 @@ impl SimRng {
         SimRng::new(self.next_u64())
     }
 
+    /// The deterministic per-shard stream family of the parallel sharded
+    /// engine: `shard_stream(seed, shard)` mixes the shard index into the
+    /// master seed through SplitMix64, so each shard owns an independent
+    /// stream that is a pure function of `(seed, shard)` — reproducible at
+    /// any worker-thread count, and stable as long as the shard *count*
+    /// (and therefore the shard map) is stable.
+    ///
+    /// This family is deliberately distinct from [`SimRng::new`]: the serial
+    /// `shards=1` engine keeps consuming `new(seed)` unchanged (the stream
+    /// the golden digests pin), while `shards>1` runs draw from
+    /// `shard_stream(seed, 0..=shards)` — stream `shards` is the control
+    /// plane's (repair timers, fault ticks).
+    pub fn shard_stream(master_seed: u64, shard: u64) -> SimRng {
+        let mut sm = master_seed;
+        let base = splitmix64(&mut sm);
+        let mut mix = base ^ shard.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(splitmix64(&mut mix))
+    }
+
     /// Derive a child generator for a named component. The same
     /// `(seed, label)` pair always yields the same stream regardless of how
     /// many other splits were performed — useful to keep component streams

@@ -1,595 +1,75 @@
-//! Conservative-PDES sharding of the event queue.
+//! Synchronization metrics of the conservative-PDES sharded engine.
 //!
-//! [`ShardedEventQueue`] partitions the pending-event set into per-shard
-//! [`EventQueue`] lanes (one per node group of the simulated cluster) and
-//! advances them in **lookahead windows**: a window `[W, W + L)` is anchored
-//! at the earliest pending key `W` and extends by the lookahead bound `L`,
-//! the infimum of the cross-shard link delay
-//! ([`crate::DelayDistribution::min_ms`]). A handler executing on shard `s`
-//! that schedules an event for shard `d ≠ s` firing at or after the window
-//! edge does not touch `d`'s lane directly: the event is **staged in a
-//! cross-shard mailbox** and flushed into `d`'s lane when the engine crosses
-//! the barrier at `W + L` — the classic conservative synchronization
-//! protocol (null-message-free, barrier-window variant).
+//! Until PR 8 this module also held `ShardedEventQueue`, a serial facade
+//! that *simulated* sharded execution: per-shard lanes, mailboxes and
+//! lookahead windows, but with every handler running on the caller's
+//! thread and delivery merged back into exact global `time‖seq` order. The
+//! parallel engine in `concord-cluster` replaced it — each shard now owns
+//! a plain [`EventQueue`](crate::EventQueue) lane, and a lookahead
+//! window's shard batches execute concurrently on the work-stealing pool,
+//! with cross-shard effects staged per shard and folded at the serial
+//! window barrier in fixed shard order. What remains here is the counter
+//! block the engine reports, because it is substrate-level vocabulary:
+//! windows, staging, violations and (new in PR 8) how parallel the window
+//! dispatch actually was.
 //!
-//! ## Exact merge, byte-identical output
+//! ## Determinism contract
 //!
-//! The facade owns the **global clock and the global sequence counter**:
-//! every schedule call draws its packed `time‖seq` key from the facade in
-//! call order, exactly as the sequential [`EventQueue`] would, and every pop
-//! takes the global argmin over the per-shard lane minima (each an O(1)
-//! cached key read). Keys are assigned at *schedule* time and never
-//! reassigned at mailbox flush, so routing an event through a lane or a
-//! mailbox is invisible to delivery: the popped stream is byte-identical to
-//! the sequential engine's at **any shard count** — the property the
-//! cluster's golden digests pin.
-//!
-//! The flip side of that contract is honesty about what is parallel: the
-//! simulator's handlers consume one serial RNG stream in global pop order
-//! (coordinator picks, link-delay draws), so handler *execution* stays
-//! serialized on the merged order. The sharded engine parallelizes the
-//! queue's data structures (per-shard heaps, wheels and FIFOs stay small and
-//! cache-resident) and stages cross-shard traffic exactly as a parallel
-//! conservative engine would — windows, barriers and the lookahead bound are
-//! all real and all metered ([`ShardMetrics`]) — but it does not run
-//! handlers concurrently. See the "sharded execution model" section of the
-//! `concord-bench` crate docs for the full argument.
-//!
-//! ## Safety of the window rule
-//!
-//! Staging is unconditionally safe: an event staged for shard `d` carries a
-//! key at or after the current window edge, and the engine only crosses the
-//! edge after every lane minimum has moved past it — at which point the
-//! mailboxes flush *before* the next argmin is taken, so a staged event can
-//! never be skipped over. A cross-shard event scheduled *below* the window
-//! edge (a sampled delay under the lookahead bound: zero-infimum delay
-//! distributions, or a degraded link invalidating the precomputed bound) is
-//! inserted directly into the destination lane — still exact, since keys are
-//! global — and counted in [`ShardMetrics::violations`]: a nonzero count
-//! measures how far the topology is from supporting that lookahead in a
-//! truly concurrent run.
+//! * `shards = 1` bypasses window bookkeeping entirely — the single lane
+//!   is popped directly, so the serial engine's counters stay zero and its
+//!   output is byte-identical to the pre-sharding engine.
+//! * For a fixed shard count `> 1`, every counter (and the simulation
+//!   output it summarizes) is a pure function of the seed: handler batches
+//!   touch only shard-owned state, and barrier folds run serially in shard
+//!   order, so the worker-thread count never changes a value. Outputs may
+//!   differ *between* shard counts (per-shard RNG streams, window
+//!   clamping), which is why golden digests are captured per shard count.
 
-use crate::events::{pack, unpack_time, EventQueue};
-use crate::time::{SimDuration, SimTime};
-
-/// Which lane of the destination [`EventQueue`] a staged cross-shard event
-/// belongs to; recorded at schedule time so a mailbox flush replays the
-/// exact lane routing the sequential engine would have used.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MailLane {
-    Heap,
-    Timeout,
-}
-
-/// Counters of the sharded engine's synchronization behaviour.
+/// Counters describing how a sharded run synchronized, and how parallel it
+/// was. All zeros for a serial (`shards = 1`) run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardMetrics {
-    /// Lookahead windows opened (barrier crossings). Each crossing flushes
-    /// the cross-shard mailboxes and re-anchors the window at the earliest
-    /// pending key.
+    /// Lookahead windows executed (barrier crossings). Each window anchors
+    /// at the earliest pending key and extends by the lookahead bound.
     pub windows: u64,
-    /// Cross-shard events staged in a mailbox and delivered at a barrier.
+    /// Cross-shard events staged in a per-shard outbox and delivered at a
+    /// window barrier.
     pub staged: u64,
-    /// Cross-shard events that fired *below* the window edge and had to be
-    /// inserted directly into the destination lane: sampled delays under the
-    /// lookahead bound. Zero means the lookahead was sound for the whole
-    /// run; nonzero runs are still byte-exact (keys are global), but a truly
-    /// concurrent engine would have needed a smaller window.
+    /// Staged events whose timestamp fell *inside* the window being sealed
+    /// (a lookahead violation): delivery was clamped to the window
+    /// boundary. A nonzero count means the configured lookahead bound was
+    /// optimistic for the traffic actually observed (zero-infimum delay
+    /// distributions, or a degraded link invalidating the precomputed
+    /// bound).
     pub violations: u64,
-}
-
-/// A sharded [`EventQueue`]: per-shard lanes, cross-shard mailboxes flushed
-/// at lookahead-window barriers, and an exact global `time‖seq` merge — see
-/// the module docs for the synchronization protocol and the byte-identity
-/// argument.
-///
-/// With one shard the facade degenerates to a thin wrapper over a single
-/// [`EventQueue`]: no window bookkeeping, no mailbox, same complexity as the
-/// unsharded engine.
-#[derive(Debug, Clone)]
-pub struct ShardedEventQueue<E> {
-    lanes: Vec<EventQueue<E>>,
-    /// One staging mailbox per destination shard; entries keep the key
-    /// assigned at schedule time.
-    mailboxes: Vec<Vec<(u128, MailLane, E)>>,
-    /// Smallest key currently staged across all mailboxes (`u128::MAX` when
-    /// none), so peeks never scan the mailboxes.
-    mailbox_min: u128,
-    /// Entries currently staged (not cumulative — see
-    /// [`ShardMetrics::staged`] for the running total).
-    staged_now: usize,
-    /// Global virtual clock (max over popped keys).
-    now: SimTime,
-    /// Global sequence counter shared by every lane: the single source of
-    /// the FIFO-per-instant tie-break, and the reason the merged pop order
-    /// is byte-identical to the sequential engine.
-    next_seq: u64,
-    processed: u64,
-    /// End of the current lookahead window, in µs (0 before the first pop:
-    /// the first pop opens the first window).
-    window_end: u64,
-    /// Window length: the minimum cross-shard link delay, floored at 1 µs so
-    /// zero-infimum topologies degrade to per-event windows instead of
-    /// zero-width ones.
-    lookahead: SimDuration,
-    /// The shard whose event is currently being handled (the source of
-    /// subsequent schedule calls); updated by every pop.
-    current_shard: usize,
-    /// Tail of the global bulk arrival stream, for the cross-shard
-    /// sortedness assertion (per-lane asserts only see their subsequence).
-    bulk_tail_us: u64,
-    metrics: ShardMetrics,
-}
-
-impl<E> ShardedEventQueue<E> {
-    /// Create a queue with `shards` lanes and the given lookahead window
-    /// (clamped to at least 1 µs — the clock's resolution — so a zero bound
-    /// degrades to minimal windows rather than zero-width ones).
-    ///
-    /// # Panics
-    /// Panics if `shards` is 0.
-    pub fn new(shards: usize, lookahead: SimDuration) -> Self {
-        assert!(shards >= 1, "a sharded queue needs at least one shard");
-        ShardedEventQueue {
-            lanes: (0..shards).map(|_| EventQueue::new()).collect(),
-            mailboxes: (0..shards).map(|_| Vec::new()).collect(),
-            mailbox_min: u128::MAX,
-            staged_now: 0,
-            now: SimTime::ZERO,
-            next_seq: 0,
-            processed: 0,
-            window_end: 0,
-            lookahead: SimDuration::from_micros(lookahead.as_micros().max(1)),
-            current_shard: 0,
-            bulk_tail_us: 0,
-            metrics: ShardMetrics::default(),
-        }
-    }
-
-    /// Number of shards (lanes).
-    pub fn shards(&self) -> usize {
-        self.lanes.len()
-    }
-
-    /// Current lookahead window length.
-    pub fn lookahead(&self) -> SimDuration {
-        self.lookahead
-    }
-
-    /// Replace the lookahead bound (clamped to ≥ 1 µs). Called when a fault
-    /// rescales link delays (`DegradeLink`): the window must shrink with the
-    /// smallest cross-shard delay or staging decisions would be recorded
-    /// against a stale bound. Takes effect at the next barrier; the current
-    /// window's edge is already fixed.
-    pub fn set_lookahead(&mut self, lookahead: SimDuration) {
-        self.lookahead = SimDuration::from_micros(lookahead.as_micros().max(1));
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Total pending events, staged mailbox entries included.
-    pub fn len(&self) -> usize {
-        self.lanes.iter().map(|l| l.len()).sum::<usize>() + self.staged_now
-    }
-
-    /// True if no events are pending anywhere (lanes and mailboxes).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Total events popped so far.
-    pub fn processed(&self) -> u64 {
-        self.processed
-    }
-
-    /// Synchronization counters (windows, staged events, violations).
-    pub fn metrics(&self) -> ShardMetrics {
-        self.metrics
-    }
-
-    /// Assign the next global key for an event firing at `at` (clamped to
-    /// the clock, exactly like [`EventQueue::schedule_at`]).
-    #[inline]
-    fn next_key(&mut self, at: SimTime) -> u128 {
-        let time = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        pack(time, seq)
-    }
-
-    /// True when a handler-originated event for `shard` must be staged
-    /// (cross-shard, firing at or after the window edge); counts the
-    /// violation otherwise.
-    #[inline]
-    fn should_stage(&mut self, shard: usize, key: u128) -> bool {
-        if self.lanes.len() == 1 || shard == self.current_shard {
-            return false;
-        }
-        if (key >> 64) as u64 >= self.window_end {
-            return true;
-        }
-        self.metrics.violations += 1;
-        false
-    }
-
-    #[inline]
-    fn stage(&mut self, shard: usize, key: u128, lane: MailLane, event: E) {
-        self.mailboxes[shard].push((key, lane, event));
-        self.mailbox_min = self.mailbox_min.min(key);
-        self.staged_now += 1;
-        self.metrics.staged += 1;
-    }
-
-    /// Schedule a handler-originated message for `shard` at `at` on the heap
-    /// lane: staged in the cross-shard mailbox when the window rule allows,
-    /// inserted directly (and metered as a violation) when it does not.
-    pub fn schedule_at(&mut self, shard: usize, at: SimTime, event: E) {
-        let key = self.next_key(at);
-        if self.should_stage(shard, key) {
-            self.stage(shard, key, MailLane::Heap, event);
-        } else {
-            self.lanes[shard].insert_prekeyed(key, event);
-        }
-    }
-
-    /// Schedule a handler-originated timer for `shard` at `at` on the
-    /// timeout lane (sorted-FIFO fast path or timer wheel, decided by the
-    /// destination lane), with the same staging rule as
-    /// [`ShardedEventQueue::schedule_at`].
-    pub fn schedule_timeout(&mut self, shard: usize, at: SimTime, event: E) {
-        let key = self.next_key(at);
-        if self.should_stage(shard, key) {
-            self.stage(shard, key, MailLane::Timeout, event);
-        } else {
-            self.lanes[shard].insert_timeout_prekeyed(key, event);
-        }
-    }
-
-    /// Inject an event that does not model a cross-shard message: external
-    /// client arrivals (generated at their home shard by construction) and
-    /// barrier-edge control broadcasts (fault ticks, recovery syncs applied
-    /// under the global barrier). Inserted directly into `shard`'s lane —
-    /// never staged, never a violation.
-    pub fn schedule_arrival(&mut self, shard: usize, at: SimTime, event: E) {
-        let key = self.next_key(at);
-        self.lanes[shard].insert_prekeyed(key, event);
-    }
-
-    /// [`ShardedEventQueue::schedule_arrival`] at the current clock (after
-    /// everything already scheduled for this instant).
-    pub fn schedule_arrival_now(&mut self, shard: usize, event: E) {
-        self.schedule_arrival(shard, self.now, event);
-    }
-
-    /// Append a pre-sorted open-loop arrival for `shard` through its bulk
-    /// lane. Arrivals are external injections (see
-    /// [`ShardedEventQueue::schedule_arrival`]); the global stream must be
-    /// sorted — each lane only sees its own subsequence, so the facade
-    /// asserts global order here.
-    ///
-    /// # Panics
-    /// Panics if `at` precedes the current clock or the previously pushed
-    /// bulk arrival (matching [`EventQueue::bulk_push_sorted`]).
-    pub fn bulk_push_sorted(&mut self, shard: usize, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "bulk lane: arrival at {}us precedes the clock ({}us)",
-            at.as_micros(),
-            self.now.as_micros()
-        );
-        assert!(
-            at.as_micros() >= self.bulk_tail_us,
-            "bulk lane: arrival at {}us precedes the previous arrival ({}us); \
-             bulk loads require a sorted arrival stream",
-            at.as_micros(),
-            self.bulk_tail_us
-        );
-        self.bulk_tail_us = at.as_micros();
-        let key = self.next_key(at);
-        self.lanes[shard].insert_bulk_prekeyed(key, event);
-    }
-
-    /// The global argmin over the per-shard lane minima: the exact key the
-    /// sequential engine would pop next (mailboxes excluded — their entries
-    /// only become poppable after the barrier flush).
-    #[inline]
-    fn min_lane(&self) -> Option<(u128, usize)> {
-        let mut best: Option<(u128, usize)> = None;
-        for (i, lane) in self.lanes.iter().enumerate() {
-            if let Some(k) = lane.peek_key_packed() {
-                if best.is_none_or(|(b, _)| k < b) {
-                    best = Some((k, i));
-                }
-            }
-        }
-        best
-    }
-
-    /// Flush every mailbox into its destination lane, keys unchanged. Each
-    /// mailbox is drained in key order so the timeout FIFO fast path sees
-    /// sorted appends where possible; order of *delivery* is unaffected
-    /// either way (global argmin over exact keys).
-    fn flush_mailboxes(&mut self) {
-        for shard in 0..self.mailboxes.len() {
-            if self.mailboxes[shard].is_empty() {
-                continue;
-            }
-            let mut mail = std::mem::take(&mut self.mailboxes[shard]);
-            mail.sort_unstable_by_key(|&(key, _, _)| key);
-            for (key, lane, event) in mail.drain(..) {
-                match lane {
-                    MailLane::Heap => self.lanes[shard].insert_prekeyed(key, event),
-                    MailLane::Timeout => self.lanes[shard].insert_timeout_prekeyed(key, event),
-                }
-            }
-            // Hand the drained buffer back so mailboxes stay allocation-free
-            // across windows.
-            self.mailboxes[shard] = mail;
-        }
-        self.staged_now = 0;
-        self.mailbox_min = u128::MAX;
-    }
-
-    /// The key and shard of the next event to pop, crossing the window
-    /// barrier (mailbox flush + window re-anchor) if the current window is
-    /// exhausted.
-    fn next_poppable(&mut self) -> Option<(u128, usize)> {
-        let mut best = self.min_lane();
-        let cross = match best {
-            Some((key, _)) => (key >> 64) as u64 >= self.window_end,
-            None => self.staged_now > 0,
-        };
-        if cross {
-            self.flush_mailboxes();
-            self.metrics.windows += 1;
-            best = self.min_lane();
-            if let Some((key, _)) = best {
-                self.window_end = ((key >> 64) as u64).saturating_add(self.lookahead.as_micros());
-            }
-        }
-        best
-    }
-
-    #[inline]
-    fn pop_shard(&mut self, key: u128, shard: usize) -> (SimTime, E) {
-        let (t, e) = self.lanes[shard].pop().expect("argmin lane has an event");
-        debug_assert_eq!(t, unpack_time(key));
-        self.current_shard = shard;
-        self.now = t;
-        self.processed += 1;
-        (t, e)
-    }
-
-    /// Time of the next pending event (staged entries included), if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        let lane_min = self.min_lane().map(|(k, _)| k);
-        let min = match lane_min {
-            Some(k) if (k >> 64) as u64 >= self.window_end => k.min(self.mailbox_min),
-            Some(k) => k,
-            None if self.staged_now > 0 => self.mailbox_min,
-            None => return None,
-        };
-        Some(unpack_time(min))
-    }
-
-    /// Pop the next event in global `time‖seq` order, advancing the clock —
-    /// and crossing a window barrier first if the current window is
-    /// exhausted.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.lanes.len() == 1 {
-            let (t, e) = self.lanes[0].pop()?;
-            self.now = t;
-            self.processed += 1;
-            return Some((t, e));
-        }
-        let (key, shard) = self.next_poppable()?;
-        Some(self.pop_shard(key, shard))
-    }
-
-    /// Pop the next event only if it fires at or before `deadline` (the
-    /// fused peek-then-pop of the run loops). A barrier crossing triggered
-    /// by the peek is kept even when the event is beyond the deadline —
-    /// flushing early is always safe, the window simply re-anchors.
-    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        if self.lanes.len() == 1 {
-            let (t, e) = self.lanes[0].pop_before(deadline)?;
-            self.now = t;
-            self.processed += 1;
-            return Some((t, e));
-        }
-        let (key, shard) = self.next_poppable()?;
-        if unpack_time(key) > deadline {
-            return None;
-        }
-        Some(self.pop_shard(key, shard))
-    }
-
-    /// Drop all pending events, staged entries included (clock, counters and
-    /// metrics are left untouched).
-    pub fn clear(&mut self) {
-        for lane in &mut self.lanes {
-            lane.clear();
-        }
-        for mail in &mut self.mailboxes {
-            mail.clear();
-        }
-        self.staged_now = 0;
-        self.mailbox_min = u128::MAX;
-    }
+    /// Windows in which at least two shards had non-empty handler batches —
+    /// windows where the parallel dispatch had actual concurrency to
+    /// exploit. Depends only on the shard count, never the thread count.
+    pub parallel_batches: u64,
+    /// Serial barrier folds executed after window dispatch (one per window
+    /// in the parallel engine).
+    pub barrier_folds: u64,
+    /// Largest number of events any single shard handled inside one
+    /// window — the granularity knob for judging dispatch overhead against
+    /// useful work per batch.
+    pub max_batch_len: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::SimRng;
-
-    /// Drive the same randomized schedule through the sequential queue and a
-    /// sharded one; the popped streams must match exactly.
-    fn assert_matches_sequential(shards: usize, seed: u64) {
-        let mut rng = SimRng::new(seed);
-        let mut seq_q: EventQueue<u64> = EventQueue::new();
-        let mut shard_q: ShardedEventQueue<u64> =
-            ShardedEventQueue::new(shards, SimDuration::from_micros(700));
-        let mut seq_out = Vec::new();
-        let mut shard_out = Vec::new();
-        let mut id = 0u64;
-        for _round in 0..100 {
-            for i in 0..40u64 {
-                let delay = match i % 3 {
-                    0 => rng.next_bounded(500),
-                    1 => rng.next_bounded(5_000),
-                    _ => rng.next_bounded(2_000_000),
-                };
-                let at = SimTime::from_micros(seq_q.now().as_micros() + delay);
-                let dest = (rng.next_bounded(shards as u64)) as usize;
-                match i % 4 {
-                    3 => {
-                        seq_q.schedule_timeout(at, id);
-                        shard_q.schedule_timeout(dest, at, id);
-                    }
-                    _ => {
-                        seq_q.schedule_at(at, id);
-                        shard_q.schedule_at(dest, at, id);
-                    }
-                }
-                id += 1;
-            }
-            for _ in 0..30 {
-                seq_out.push(seq_q.pop().unwrap());
-                shard_out.push(shard_q.pop().unwrap());
-            }
-            assert_eq!(seq_q.now(), shard_q.now());
-        }
-        seq_out.extend(std::iter::from_fn(|| seq_q.pop()));
-        shard_out.extend(std::iter::from_fn(|| shard_q.pop()));
-        assert_eq!(seq_out, shard_out);
-        assert_eq!(shard_q.processed(), seq_out.len() as u64);
-        assert!(shard_q.is_empty());
-    }
 
     #[test]
-    fn sharded_pops_match_sequential_queue_exactly() {
-        for shards in [1, 2, 3, 4, 8] {
-            assert_matches_sequential(shards, 42 + shards as u64);
-        }
-    }
-
-    #[test]
-    fn mailbox_staging_preserves_delivery_order() {
-        // Lookahead larger than every delay: all cross-shard traffic stages.
-        let mut q: ShardedEventQueue<u32> =
-            ShardedEventQueue::new(2, SimDuration::from_millis(100));
-        // Pop an event on shard 0 so current_shard == 0, then schedule
-        // cross-shard events beyond the window edge.
-        q.schedule_arrival(0, SimTime::from_micros(1), 0);
-        assert_eq!(q.pop().unwrap().1, 0);
-        let w = q.metrics().windows;
-        for i in 0..10u32 {
-            q.schedule_at(
-                1,
-                SimTime::from_millis(200) + SimDuration::from_micros(i as u64),
-                i + 1,
-            );
-        }
-        assert_eq!(q.metrics().staged, 10);
-        assert_eq!(q.len(), 10);
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(200)));
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (1..=10).collect::<Vec<_>>());
-        assert!(
-            q.metrics().windows > w,
-            "draining staged events crosses a barrier"
+    fn default_is_all_zero() {
+        let m = ShardMetrics::default();
+        assert_eq!(
+            (m.windows, m.staged, m.violations),
+            (0, 0, 0),
+            "serial runs must report untouched sync metrics"
         );
-        assert_eq!(q.metrics().violations, 0);
-    }
-
-    #[test]
-    fn sub_lookahead_cross_shard_events_are_violations_but_exact() {
-        let mut q: ShardedEventQueue<&str> =
-            ShardedEventQueue::new(2, SimDuration::from_millis(50));
-        q.schedule_arrival(0, SimTime::from_millis(10), "anchor");
-        q.pop(); // opens a window [10ms, 60ms)
-        q.schedule_at(1, SimTime::from_millis(20), "early"); // below the edge
-        assert_eq!(q.metrics().violations, 1);
-        assert_eq!(q.metrics().staged, 0);
-        let (t, e) = q.pop().unwrap();
-        assert_eq!((t, e), (SimTime::from_millis(20), "early"));
-    }
-
-    #[test]
-    fn one_shard_degenerates_to_plain_queue() {
-        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(1, SimDuration::ZERO);
-        q.schedule_at(0, SimTime::from_millis(3), 3);
-        q.schedule_at(0, SimTime::from_millis(1), 1);
-        q.schedule_timeout(0, SimTime::from_millis(2), 2);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec![1, 2, 3]);
-        assert_eq!(q.metrics(), ShardMetrics::default());
-    }
-
-    #[test]
-    fn bulk_lane_routes_per_shard_and_asserts_global_order() {
-        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(2, SimDuration::from_micros(10));
-        q.bulk_push_sorted(0, SimTime::from_millis(1), 1);
-        q.bulk_push_sorted(1, SimTime::from_millis(2), 2);
-        q.bulk_push_sorted(0, SimTime::from_millis(3), 3);
-        q.schedule_arrival(1, SimTime::from_millis(2), 20);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        // Same instant (2ms): bulk push seq precedes the later arrival's.
-        assert_eq!(order, vec![1, 2, 20, 3]);
-    }
-
-    #[test]
-    #[should_panic(expected = "sorted arrival stream")]
-    fn bulk_lane_rejects_globally_unsorted_streams() {
-        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(2, SimDuration::from_micros(10));
-        // Each lane's subsequence would be sorted; the global stream is not.
-        q.bulk_push_sorted(0, SimTime::from_millis(5), 1);
-        q.bulk_push_sorted(1, SimTime::from_millis(1), 2);
-    }
-
-    #[test]
-    fn pop_before_respects_deadline_across_shards() {
-        let mut q: ShardedEventQueue<u32> = ShardedEventQueue::new(3, SimDuration::from_micros(10));
-        q.schedule_arrival(1, SimTime::from_secs(1), 1);
-        q.schedule_arrival(2, SimTime::from_secs(5), 2);
-        assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, 1);
-        assert!(q.pop_before(SimTime::from_secs(2)).is_none());
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop_before(SimTime::from_secs(5)).unwrap().1, 2);
-    }
-
-    #[test]
-    fn timeout_staging_keeps_wheel_and_fifo_routing_exact() {
-        // Cross-shard timeouts staged out of order must still deliver in
-        // key order after the flush (the destination lane falls back to its
-        // wheel when a flushed key regresses behind the FIFO tail).
-        let mut q: ShardedEventQueue<u32> =
-            ShardedEventQueue::new(2, SimDuration::from_millis(100));
-        q.schedule_arrival(0, SimTime::from_micros(1), 0);
-        q.pop();
-        // Direct same-shard timeout first (lands in shard 0's FIFO)…
-        q.schedule_timeout(0, SimTime::from_millis(300), 30);
-        // …then cross-shard timeouts for shard 1, deliberately out of order.
-        q.schedule_timeout(1, SimTime::from_millis(250), 25);
-        q.schedule_timeout(1, SimTime::from_millis(150), 15);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec![15, 25, 30]);
-    }
-
-    #[test]
-    fn clear_drops_staged_entries_too() {
-        let mut q: ShardedEventQueue<u32> =
-            ShardedEventQueue::new(2, SimDuration::from_millis(100));
-        q.schedule_arrival(0, SimTime::from_micros(1), 0);
-        q.pop();
-        q.schedule_at(1, SimTime::from_secs(1), 1);
-        assert_eq!(q.len(), 1);
-        q.clear();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
+        assert_eq!(
+            (m.parallel_batches, m.barrier_folds, m.max_batch_len),
+            (0, 0, 0)
+        );
     }
 }

@@ -346,3 +346,24 @@ where
         .map(|r| r.expect("every item produced exactly one result"))
         .collect()
 }
+
+/// Run `f(index, &mut item)` over a mutable slice on up to
+/// `current_num_threads()` OS threads — the scoped dispatch primitive of the
+/// sharded simulation engine, which hands each worker exclusive `&mut`
+/// access to one shard's state for the duration of a lookahead window.
+///
+/// This is [`run_indexed`] over the slice's `&mut` references: the borrow
+/// checker guarantees the items are disjoint, work stealing balances uneven
+/// batch sizes, and because each item is mutated by exactly one worker (and
+/// the scope joins every thread before returning) the slice contents
+/// afterwards are independent of the thread count and of scheduling — the
+/// property that lets a window's shard batches run concurrently without
+/// perturbing deterministic simulation output.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let refs: Vec<(usize, &mut T)> = items.iter_mut().enumerate().collect();
+    run_indexed(refs, |(idx, item)| f(idx, item));
+}
