@@ -292,6 +292,68 @@
 //! for the full design notes). `exp_throughput --shards <n> --threads <m>`
 //! measures the engine cost and prints greppable `SHARDED_DATAPOINT`
 //! lines for the nightly CI shards × threads matrix.
+//!
+//! ## The resilience layer: `--hedge <ms>`, `--selection dynamic`, `--backoff`
+//!
+//! Gray failures — a node serving 10× slow while still answering — never
+//! trip fault detection; only the tail latency shows them. The fault model
+//! covers them with `SlowNode(node, factor)`/`RestoreNode(node)` (plus
+//! whole-datacenter `DcDown`/`DcUp`), which multiply the node's *sampled*
+//! service and response delays post-draw — the RNG stream is untouched, so
+//! a slow window perturbs nothing downstream of itself. The tail-tolerant
+//! client machinery that answers them
+//! (`concord_cluster::ResilienceConfig`, `ClusterConfig::read_selection`)
+//! has three independent knobs, each off by default:
+//!
+//! * **Hedged reads** (`--hedge <ms>`): every point-read attempt arms one
+//!   speculative trigger on the coordinator's timer lane. If the read is
+//!   still pending when it fires, the coordinator duplicates the request to
+//!   the best *unused* replica (distance + health ranked; open-breaker
+//!   nodes rank last as hedge of last resort; scans and reads that already
+//!   contacted every replica have no target and hedge nothing). First
+//!   response wins; the loser's response misses the op slab's generation
+//!   check exactly like any straggler, so hedged ops can neither leak slab
+//!   slots nor double-count. Hedge duplicates are metered
+//!   (`hedged_requests`, `hedge_wins`, per-link-class `hedge_traffic` /
+//!   `hedge_bytes` in the `RunReport`) and their bytes flow into the
+//!   billable traffic totals — the bill prices the tail insurance.
+//! * **Backoff retries** (`--backoff`): `retry_on_timeout` re-issues wait
+//!   an exponentially growing, deterministically jittered delay
+//!   (`backoff_base·2^attempt` capped at `backoff_cap`, jitter drawn from
+//!   the owning shard's RNG stream — one draw per backed-off retry) instead
+//!   of re-issuing inline. The delays are heterogeneous by construction, so
+//!   they route through the event queue's timer wheel, which cannot reorder
+//!   delivery (property-tested in `concord-sim` with exactly this shape).
+//!   Counted in `backoff_retries` alongside the existing `retries`.
+//! * **Health-aware replica selection** (`--selection dynamic`, also
+//!   `closest|random`): the coordinator side keeps a per-node EWMA of the
+//!   observed response latency *excess* over the expected round trip
+//!   (distance-normalized, so a far coordinator's 26 ms observation does
+//!   not poison a node for its neighbors) plus a circuit breaker —
+//!   **closed** → `breaker_failures` consecutive read-timeout strikes open
+//!   it → **open** demotes the node behind every healthy candidate for
+//!   `breaker_cooldown` → **half-open** admits one probe, which either
+//!   closes it (any response resets the strike count) or re-opens it.
+//!   Breaker flips are counted in `breaker_opens`. Writes never strike: a
+//!   write timeout implicates the consistency level, not one replica.
+//!
+//! With all three off (the default) the layer adds **zero** events, zero
+//! RNG draws and zero meters — every pre-existing golden digest is
+//! byte-identical, which is the same contract the repair plane and the
+//! partitioner hold. Resilience-**on** runs are their own sampled
+//! universes (hedge draws shift the shard RNG stream), pinned exactly like
+//! everything else: `golden_resilience_run` captures one digest — hedge
+//! and breaker counters included — per shard count ∈ {1, 2, 4}, and the
+//! gray-failure scenario in `crates/cluster/tests/sharded_determinism.rs`
+//! asserts byte-identical fingerprints at 1/2/4/8 worker threads.
+//! `exp_faults` accepts all three flags, prints per-policy hedge/backoff/
+//! breaker columns when any is set, and always runs a self-calibrated
+//! gray-failure leg (one node 10× slow mid-run, hedging off vs on vs the
+//! full layer) emitting a greppable `HEDGE_DATAPOINT` line;
+//! `examples/fault_injection.rs` walks the same comparison with prose.
+//! Serde backcompat: pre-resilience `RunReport` JSON and fault scripts
+//! parse unchanged (`#[serde(default)]` on every new field; pinned by the
+//! backcompat tests in `concord-core`).
 
 pub mod sweep;
 

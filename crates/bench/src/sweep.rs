@@ -8,7 +8,7 @@
 //! * [`Harness`] — common CLI surface (`--scale`, `--cluster-scale`,
 //!   `--platform`, `--seeds`, `--seed-base`, `--threads`, plus the
 //!   `--arrival` / `--workload` / `--partitioner` / `--repair` /
-//!   `--shards` overrides)
+//!   `--shards` / `--hedge` / `--selection` / `--backoff` overrides)
 //!   and platform lookup; `--threads` configures the global rayon pool for
 //!   the process.
 //! * [`Sweep`] — a declarative `(policy × seed)` grid over one
@@ -84,6 +84,24 @@ pub struct Harness {
     /// Applied to every platform the harness constructs, like
     /// `--partitioner`. `None` keeps the platform's default (unsharded).
     pub shards: Option<u32>,
+    /// Hedged-read override (`--hedge <ms>`): after this delay a point
+    /// read's coordinator issues one speculative duplicate to the best
+    /// unused replica; first response wins. Fractional milliseconds are
+    /// accepted (`--hedge 0.5` = 500 µs). Applied to every platform the
+    /// harness constructs, like `--partitioner`. `None` keeps the
+    /// platform's default (hedging off).
+    pub hedge: Option<SimDuration>,
+    /// Read replica-selection override (`--selection
+    /// closest|random|dynamic`): how read coordinators rank candidate
+    /// replicas — `dynamic` is the health-aware EWMA + circuit-breaker
+    /// policy of the resilience layer. Applied to every platform the
+    /// harness constructs. `None` keeps the platform's default (closest).
+    pub selection: Option<ReplicaSelection>,
+    /// Retry-backoff override (`--backoff`, a bare flag): timed-out
+    /// operations wait out an exponential backoff with deterministic jitter
+    /// before re-issuing, instead of retrying immediately. Applied to every
+    /// platform the harness constructs. Off unless given.
+    pub backoff: bool,
 }
 
 impl Harness {
@@ -158,6 +176,28 @@ impl Harness {
             assert!(n >= 1, "--shards {n}: a run needs at least one shard");
             n
         });
+        let hedge = args.iter().position(|a| a == "--hedge").map(|i| {
+            let value = args
+                .get(i + 1)
+                .expect("--hedge needs a value (a delay in ms)");
+            let ms: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--hedge {value}: not a delay in ms"));
+            assert!(
+                ms.is_finite() && ms > 0.0,
+                "--hedge {value}: the hedge delay must be positive"
+            );
+            SimDuration::from_micros((ms * 1_000.0).round() as u64)
+        });
+        let selection = args.iter().position(|a| a == "--selection").map(|i| {
+            let name = args
+                .get(i + 1)
+                .expect("--selection needs a value (closest|random|dynamic)");
+            ReplicaSelection::from_name(name).unwrap_or_else(|| {
+                panic!("--selection {name}: unknown policy (closest|random|dynamic)")
+            })
+        });
+        let backoff = args.iter().any(|a| a == "--backoff");
         Harness {
             args,
             scale,
@@ -169,6 +209,9 @@ impl Harness {
             partitioner,
             repair,
             shards,
+            hedge,
+            selection,
+            backoff,
         }
     }
 
@@ -245,6 +288,36 @@ impl Harness {
         platform
     }
 
+    /// Apply the `--hedge` / `--selection` / `--backoff` overrides (if
+    /// given) to a platform the binary constructed itself, leaving the
+    /// platform's other resilience knobs (backoff pacing, EWMA smoothing,
+    /// breaker thresholds) at their configured values.
+    /// [`Harness::cost_platform`] and [`Harness::harmony_platform`]
+    /// already apply them.
+    pub fn apply_resilience(&self, mut platform: Platform) -> Platform {
+        if let Some(delay) = self.hedge {
+            platform.cluster.resilience.hedge_delay = delay;
+        }
+        if let Some(selection) = self.selection {
+            platform.cluster.read_selection = selection;
+        }
+        if self.backoff {
+            platform.cluster.resilience.backoff = true;
+        }
+        platform
+    }
+
+    /// Reject `--hedge` / `--selection` / `--backoff` for binaries that
+    /// never build a cluster (estimator-only grids): failing loudly beats
+    /// silently labelling the output with a resilience setup that was never
+    /// in effect.
+    pub fn forbid_resilience_override(&self, why: &str) {
+        assert!(
+            self.hedge.is_none() && self.selection.is_none() && !self.backoff,
+            "--hedge/--selection/--backoff are not supported by this experiment: {why}"
+        );
+    }
+
     /// Apply the `--workload` override (if given) to the binary's default
     /// workload: the named preset's mix, request distribution and scan
     /// bounds replace the default's, while the record/operation counts and
@@ -282,29 +355,29 @@ impl Harness {
     }
 
     /// The cost-experiment platform for `--platform` at `--cluster-scale`,
-    /// with the `--partitioner`, `--repair` and `--shards` overrides
-    /// applied.
+    /// with the `--partitioner`, `--repair`, `--shards` and resilience
+    /// (`--hedge` / `--selection` / `--backoff`) overrides applied.
     pub fn cost_platform(&self) -> Platform {
-        self.apply_shards(self.apply_repair(self.apply_partitioner(
+        self.apply_resilience(self.apply_shards(self.apply_repair(self.apply_partitioner(
             if self.platform.starts_with("ec2") {
                 concord::platforms::ec2_cost(self.scale.cluster)
             } else {
                 concord::platforms::grid5000_cost(self.scale.cluster)
             },
-        )))
+        ))))
     }
 
     /// The Harmony-experiment platform for `--platform` at `--cluster-scale`,
-    /// with the `--partitioner`, `--repair` and `--shards` overrides
-    /// applied.
+    /// with the `--partitioner`, `--repair`, `--shards` and resilience
+    /// (`--hedge` / `--selection` / `--backoff`) overrides applied.
     pub fn harmony_platform(&self) -> Platform {
-        self.apply_shards(self.apply_repair(self.apply_partitioner(
+        self.apply_resilience(self.apply_shards(self.apply_repair(self.apply_partitioner(
             if self.platform.starts_with("ec2") {
                 concord::platforms::ec2_harmony(self.scale.cluster)
             } else {
                 concord::platforms::grid5000_harmony(self.scale.cluster)
             },
-        )))
+        ))))
     }
 
     /// Print the standard experiment banner.
@@ -733,6 +806,69 @@ mod tests {
     #[should_panic(expected = "not a shard count")]
     fn non_numeric_shard_count_fails_loudly() {
         Harness::from_args(vec!["exp".into(), "--shards".into(), "many".into()]);
+    }
+
+    #[test]
+    fn harness_parses_the_resilience_overrides() {
+        let args: Vec<String> = [
+            "exp",
+            "--hedge",
+            "0.5",
+            "--selection",
+            "dynamic",
+            "--backoff",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let h = Harness::from_args(args);
+        assert_eq!(h.hedge, Some(SimDuration::from_micros(500)));
+        assert_eq!(h.selection, Some(ReplicaSelection::Dynamic));
+        assert!(h.backoff);
+        // Every harness-constructed platform runs under the overrides.
+        let cost = h.cost_platform();
+        assert_eq!(
+            cost.cluster.resilience.hedge_delay,
+            SimDuration::from_micros(500)
+        );
+        assert!(cost.cluster.resilience.hedging_enabled());
+        assert!(cost.cluster.resilience.backoff);
+        assert_eq!(cost.cluster.read_selection, ReplicaSelection::Dynamic);
+        let harmony = h.harmony_platform();
+        assert_eq!(harmony.cluster.read_selection, ReplicaSelection::Dynamic);
+        let custom = h.apply_resilience(concord::platforms::laptop());
+        assert!(custom.cluster.resilience.hedging_enabled());
+        // Integral milliseconds parse too (the CI smoke spelling).
+        let h = Harness::from_args(vec!["exp".into(), "--hedge".into(), "20".into()]);
+        assert_eq!(h.hedge, Some(SimDuration::from_millis(20)));
+        assert!(!h.backoff, "--backoff is a bare flag, off unless given");
+        // No override leaves the platform default (resilience off) intact.
+        let plain = Harness::from_args(vec!["exp".into()]);
+        assert!(plain.hedge.is_none() && plain.selection.is_none() && !plain.backoff);
+        let cost = plain.cost_platform();
+        assert!(!cost.cluster.resilience.hedging_enabled());
+        assert!(!cost.cluster.resilience.backoff);
+        assert_eq!(cost.cluster.read_selection, ReplicaSelection::Closest);
+        plain.forbid_resilience_override("n/a");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_selection_policy_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--selection".into(), "psychic".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_hedge_delay_fails_loudly() {
+        Harness::from_args(vec!["exp".into(), "--hedge".into(), "0".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn forbid_rejects_present_resilience_overrides() {
+        let h = Harness::from_args(vec!["exp".into(), "--backoff".into()]);
+        h.forbid_resilience_override("this experiment never builds a cluster");
     }
 
     #[test]

@@ -69,21 +69,52 @@ use crate::ring::{Partitioner, Ring, ORDERED_SLICE_BITS};
 use crate::slab::OpSlab;
 use crate::storage::ReplicaStore;
 use crate::types::{CompletedOp, Key, OpId, OpKind, OpStatus, Version};
+use concord_monitor::Ewma;
 use concord_sim::events::{pack, unpack_time};
 use concord_sim::{
     CompiledDelay, DcId, EventQueue, InlineVec, LinkClass, NetworkModel, NodeId, ShardMetrics,
     SimDuration, SimRng, SimTime, Topology,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// How a coordinator picks which replicas a read contacts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReplicaSelection {
     /// Contact the replicas with the lowest expected latency from the
     /// coordinator (Cassandra's snitch behaviour). Default.
+    #[default]
     Closest,
     /// Contact replicas chosen uniformly at random.
     Random,
+    /// Health-aware selection: rank replicas by their expected round trip
+    /// plus an EWMA of the observed latency **excess** over it (so near and
+    /// far coordinators feed one comparable per-node signal), with a
+    /// per-node circuit breaker (closed/open/half-open) steering reads away
+    /// from slow or flapping replicas. Tuned by
+    /// [`ResilienceConfig`](crate::config::ResilienceConfig).
+    Dynamic,
+}
+
+impl ReplicaSelection {
+    /// Parse a CLI name (`closest`, `random`, `dynamic`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "closest" => Some(ReplicaSelection::Closest),
+            "random" => Some(ReplicaSelection::Random),
+            "dynamic" => Some(ReplicaSelection::Dynamic),
+            _ => None,
+        }
+    }
+
+    /// Short label for banners and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplicaSelection::Closest => "closest",
+            ReplicaSelection::Random => "random",
+            ReplicaSelection::Dynamic => "dynamic",
+        }
+    }
 }
 
 /// Output of [`Cluster::advance`]: either a finished client operation or a
@@ -192,6 +223,15 @@ enum Event {
         segment: u16,
     },
     OpTimeout {
+        op_id: OpId,
+    },
+    /// Hedged-read trigger: if the read is still pending and has not hedged
+    /// yet, issue one speculative digest request to the best unused replica.
+    /// Scheduled only when [`ResilienceConfig::hedging_enabled`]
+    /// (crate::config::ResilienceConfig) — a stale trigger (the read already
+    /// completed or retried under a fresh id) misses the slab generation
+    /// check and is a no-op.
+    HedgeFire {
         op_id: OpId,
     },
     Tick {
@@ -367,6 +407,11 @@ struct ReadState {
     /// The id `submit_*` returned to the client (see
     /// [`WriteState::client_id`]).
     client_id: OpId,
+    /// The replica a speculative hedge request was sent to (`None` until the
+    /// hedge fires; at most one hedge per attempt). Used to attribute the
+    /// winning response (`hedge_wins`) and to fold the hedge target into
+    /// read repair like any contacted replica.
+    hedge: Option<NodeId>,
 }
 
 /// Retry context carried across attempts: the client-visible submission
@@ -544,6 +589,14 @@ struct ClusterShared {
     link_degradation: [f64; 4],
     /// True while any link class is degraded (fast-path guard).
     degradation_active: bool,
+    /// Per-node gray-failure slowdown (1.0 = healthy): multiplies the
+    /// node's storage service times and the delays of messages it sends,
+    /// applied after sampling so the compiled samplers and their RNG draws
+    /// are untouched (same contract as `link_degradation`). Factors are
+    /// ≥ 1.0, so the lookahead bound (a delay infimum) stays valid.
+    node_slow: Vec<f64>,
+    /// True while any node is slowed (fast-path guard).
+    slow_active: bool,
     read_level: ConsistencyLevel,
     write_level: ConsistencyLevel,
     selection: ReplicaSelection,
@@ -650,8 +703,61 @@ enum Staged {
     /// Re-route an attempt whose coordinator is unreachable (timeout retry,
     /// or the pre-routed coordinator went down before the arrival fired):
     /// the fold draws a fresh coordinator from the control stream, homes
-    /// the attempt on that shard and restarts it at the window boundary.
-    Resubmit { sub: Submission, retry: RetryCtx },
+    /// the attempt on that shard and restarts it at the window boundary —
+    /// or, with `backoff` set, after an exponential backoff (jitter drawn
+    /// from the control stream) measured from the staging time `at`,
+    /// whichever is later.
+    Resubmit {
+        sub: Submission,
+        retry: RetryCtx,
+        /// When the attempt was staged (the backoff baseline).
+        at: SimTime,
+        /// Whether this re-issue waits out the configured retry backoff.
+        backoff: bool,
+    },
+}
+
+/// Circuit-breaker state of one replica as seen by coordinators of one
+/// shard (part of [`NodeHealth`]; [`ReplicaSelection::Dynamic`] only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Breaker {
+    /// Healthy: the replica is ranked by its latency EWMA.
+    Closed,
+    /// Tripped after `breaker_failures` consecutive timeout strikes: the
+    /// replica is ranked last until the cooldown expires.
+    Open { until: SimTime },
+    /// Cooldown expired: one probe read is allowed through; a response
+    /// closes the breaker, another strike reopens it.
+    HalfOpen,
+}
+
+/// Coordinator-side health bookkeeping for one replica, maintained per
+/// shard (coordinator-homed: a shard only observes responses to reads it
+/// coordinates, so the state needs no cross-shard synchronization). Only
+/// read or written when the cluster's selection is
+/// [`ReplicaSelection::Dynamic`] — otherwise it stays untouched, adding
+/// zero RNG draws and zero events.
+#[derive(Debug, Clone, Copy)]
+struct NodeHealth {
+    /// EWMA of the observed latency **excess** over the expected round trip
+    /// to the replica, in microseconds. Subtracting the static distance
+    /// before averaging keeps observations from near and far coordinators
+    /// comparable — a node-global mean of raw response latencies would let
+    /// remote observers poison a replica's score for its neighbours.
+    ewma: Ewma,
+    /// Consecutive timeout strikes since the last response.
+    failures: u32,
+    breaker: Breaker,
+}
+
+impl NodeHealth {
+    fn new(alpha: f64) -> Self {
+        NodeHealth {
+            ewma: Ewma::new(alpha),
+            failures: 0,
+            breaker: Breaker::Closed,
+        }
+    }
 }
 
 /// Everything one shard owns exclusively: its event lane, RNG stream, op
@@ -702,6 +808,10 @@ struct ShardState {
     /// Events this shard popped in the current window (the fold derives
     /// `parallel_batches` / `max_batch_len` from these).
     window_popped: u64,
+    /// Per-replica health as observed by this shard's coordinators (EWMA +
+    /// circuit breaker; [`ReplicaSelection::Dynamic`] only, untouched
+    /// otherwise).
+    health: Vec<NodeHealth>,
 }
 
 /// Control-plane state: the repair plane (hint queues, sweep cursor), the
@@ -807,6 +917,22 @@ fn account_message(
     delay
 }
 
+/// Apply `node`'s gray-failure slow factor to a response delay it emits.
+/// Post-sampling like `degrade_link`, so the RNG stream is untouched; a
+/// factor of 1.0 (the default) returns the delay unchanged. Only *response*
+/// sends route through this — a slow node is late serving and answering,
+/// while requests fanned out *by* a slow coordinator travel at link speed
+/// (the gray failure is in the node's storage/service path, not the wire).
+fn slow_response(shared: &ClusterShared, node: NodeId, delay: SimDuration) -> SimDuration {
+    if shared.slow_active {
+        let factor = shared.node_slow[node.0 as usize];
+        if factor != 1.0 {
+            return SimDuration::from_micros((delay.as_micros() as f64 * factor).round() as u64);
+        }
+    }
+    delay
+}
+
 /// Meter repair bytes `from → to` that never become a scheduled event
 /// (page-summary exchanges): added to both the billable traffic meter
 /// and the repair breakdown, no delay sampled, so summary comparisons
@@ -841,6 +967,49 @@ fn account_repair_message(
         bytes as u64 + shared.config.message_overhead_bytes as u64,
     );
     account_message(shared, rng, metrics, from, to, bytes)
+}
+
+/// Account a speculative hedge request `from → to`: billable traffic + the
+/// hedge breakdown + a sampled link delay. Like repair traffic, hedge bytes
+/// also land in the plain `traffic` meter, so the bill prices tail-tolerance
+/// traffic like any other transfer while `hedge_traffic` breaks the share
+/// out.
+fn account_hedge_message(
+    shared: &ClusterShared,
+    rng: &mut SimRng,
+    metrics: &mut ClusterMetrics,
+    from: NodeId,
+    to: NodeId,
+    bytes: u32,
+) -> SimDuration {
+    let class = shared.link_class[from.0 as usize * shared.node_count + to.0 as usize];
+    metrics.hedge_traffic.add(
+        class,
+        bytes as u64 + shared.config.message_overhead_bytes as u64,
+    );
+    account_message(shared, rng, metrics, from, to, bytes)
+}
+
+/// Exponential retry backoff with deterministic RNG-drawn jitter: the
+/// nominal delay doubles per consumed retry (`base`, `2·base`, `4·base`, …)
+/// up to the configured cap, then a full-jitter-style multiplier in
+/// `[0.5, 1.5)` is drawn from the given stream (a shard's inside the serial
+/// path, the control plane's at a resubmission fold). The draw happens on
+/// every backoff retry and only then — backoff off means zero extra draws.
+fn backoff_delay(
+    res: &crate::config::ResilienceConfig,
+    retry_budget: u32,
+    retries_left: u32,
+    rng: &mut SimRng,
+) -> SimDuration {
+    let base = res.effective_backoff_base().as_micros();
+    let cap = res.effective_backoff_cap().as_micros();
+    // First re-issue has consumed 1 retry → exponent 0 → nominal = base.
+    let consumed = retry_budget.saturating_sub(retries_left).max(1);
+    let exp = (consumed - 1).min(20);
+    let nominal = base.saturating_mul(1u64 << exp).min(cap);
+    let jitter = 0.5 + rng.next_f64();
+    SimDuration::from_micros(((nominal as f64 * jitter).round() as u64).max(1))
 }
 
 /// A write ack that can no longer arrive (its replica died or the
@@ -1078,6 +1247,7 @@ impl Cluster {
                 propagation: Vec::new(),
                 outbox: Vec::new(),
                 window_popped: 0,
+                health: vec![NodeHealth::new(config.resilience.effective_alpha()); n],
             })
             .collect();
         let ctrl = ControlState {
@@ -1114,9 +1284,11 @@ impl Cluster {
                 partitioned_dcs: Vec::new(),
                 link_degradation: [1.0; 4],
                 degradation_active: false,
+                node_slow: vec![1.0; n],
+                slow_active: false,
                 read_level,
                 write_level,
-                selection: ReplicaSelection::Closest,
+                selection: config.read_selection,
                 config,
             },
             shard_states,
@@ -1565,6 +1737,60 @@ impl Cluster {
     /// Restore a degraded link class to its healthy latency.
     pub fn restore_link(&mut self, class: LinkClass) {
         self.degrade_link(class, 1.0);
+    }
+
+    /// Gray-fail a node: every subsequent storage service time on it and
+    /// every response delay it emits is multiplied by `factor` (10.0
+    /// models a node limping an order of magnitude slow; 1.0 restores).
+    /// Like [`Cluster::degrade_link`], the multiplier applies **after**
+    /// sampling, so the compiled samplers — and therefore the RNG draw
+    /// sequence — are untouched: gray-failing a node never perturbs
+    /// unrelated randomness. The node stays up: it answers everything,
+    /// just late — exactly the failure mode crash detection misses.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite or is below 1.0 (slowdowns only
+    /// lengthen delays; a sub-1 factor would undercut the conservative
+    /// lookahead bound).
+    pub fn slow_node(&mut self, node: NodeId, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slow-node factor must be finite and at least 1.0, got {factor}"
+        );
+        self.shared.node_slow[node.0 as usize] = factor;
+        self.shared.slow_active = self.shared.node_slow.iter().any(|&f| f != 1.0);
+    }
+
+    /// Restore a gray-failed node to its healthy speed.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.slow_node(node, 1.0);
+    }
+
+    /// Current gray-failure slowdown factor of a node (1.0 = healthy).
+    pub fn node_slow_factor(&self, node: NodeId) -> f64 {
+        self.shared.node_slow[node.0 as usize]
+    }
+
+    /// Correlated whole-datacenter outage: transiently take down every node
+    /// of `dc` (the ring keeps their tokens — this is a power/connectivity
+    /// event, not decommissioning). Idempotent per node; pair with
+    /// [`Cluster::dc_up`].
+    pub fn dc_down(&mut self, dc: DcId) {
+        for i in 0..self.shared.node_count {
+            if self.shared.node_dc[i] == dc {
+                self.set_node_down(NodeId(i as u32));
+            }
+        }
+    }
+
+    /// End a whole-datacenter outage: bring every non-crashed node of `dc`
+    /// back up (nodes crashed individually stay crashed).
+    pub fn dc_up(&mut self, dc: DcId) {
+        for i in 0..self.shared.node_count {
+            if self.shared.node_dc[i] == dc && !self.shared.crashed[i] {
+                self.set_node_up(NodeId(i as u32));
+            }
+        }
     }
 
     /// Bulk-load records before the measured run (no events, no I/O
@@ -2088,13 +2314,17 @@ impl Cluster {
                     Some(OpState::Write(w)) => w.coordinator,
                     _ => return,
                 };
-                let delay = account_message(
+                let delay = slow_response(
                     &self.shared,
-                    &mut self.ctrl.rng,
-                    &mut self.ctrl.metrics,
                     from,
-                    coordinator,
-                    self.shared.config.small_message_bytes,
+                    account_message(
+                        &self.shared,
+                        &mut self.ctrl.rng,
+                        &mut self.ctrl.metrics,
+                        from,
+                        coordinator,
+                        self.shared.config.small_message_bytes,
+                    ),
                 );
                 if !self.shared.link_up(from, coordinator) {
                     self.ctrl.metrics.messages_lost += 1;
@@ -2131,13 +2361,17 @@ impl Cluster {
                 } else {
                     self.shared.config.small_message_bytes
                 };
-                let delay = account_message(
+                let delay = slow_response(
                     &self.shared,
-                    &mut self.ctrl.rng,
-                    &mut self.ctrl.metrics,
                     from,
-                    coordinator,
-                    bytes,
+                    account_message(
+                        &self.shared,
+                        &mut self.ctrl.rng,
+                        &mut self.ctrl.metrics,
+                        from,
+                        coordinator,
+                        bytes,
+                    ),
                 );
                 if !self.shared.link_up(from, coordinator) {
                     self.ctrl.metrics.messages_lost += 1;
@@ -2203,21 +2437,47 @@ impl Cluster {
                 // this very fold are visible too (see `fold_window`).
                 self.fold_read_dones.push((op, issue_at, shard));
             }
-            Staged::Resubmit { sub, retry } => {
+            Staged::Resubmit {
+                sub,
+                retry,
+                at,
+                backoff,
+            } => {
                 // Fresh attempt routing at a serial point: draw a new
                 // coordinator among the currently-up nodes, home the
                 // attempt on its shard and restart it at the boundary (the
                 // next window's opening edge — a deliberate defer, not a
-                // lookahead violation).
+                // lookahead violation). With backoff, the restart instead
+                // waits out the exponential delay measured from the staging
+                // time, floored at the boundary; the jitter draw comes from
+                // the control stream, the same stream the coordinator draw
+                // uses, so the fold stays a pure function of (seed, shards).
                 let coordinator = self.draw_coordinator_ctrl();
                 let home = self.shared.shard_of(coordinator);
-                let s = &mut self.shard_states[home];
-                let op_id = s.ops.insert(OpState::Pending(PendingOp {
-                    sub,
-                    coordinator: Some(coordinator),
-                    retry: Some(retry),
-                }));
-                s.lane.schedule_at(boundary, Event::ClientArrive { op_id });
+                if backoff {
+                    let delay = backoff_delay(
+                        &self.shared.config.resilience,
+                        self.shared.config.retry_on_timeout,
+                        retry.retries_left,
+                        &mut self.ctrl.rng,
+                    );
+                    let when = (at + delay).max(boundary);
+                    let s = &mut self.shard_states[home];
+                    let op_id = s.ops.insert(OpState::Pending(PendingOp {
+                        sub,
+                        coordinator: Some(coordinator),
+                        retry: Some(retry),
+                    }));
+                    s.lane.schedule_timeout(when, Event::ClientArrive { op_id });
+                } else {
+                    let s = &mut self.shard_states[home];
+                    let op_id = s.ops.insert(OpState::Pending(PendingOp {
+                        sub,
+                        coordinator: Some(coordinator),
+                        retry: Some(retry),
+                    }));
+                    s.lane.schedule_at(boundary, Event::ClientArrive { op_id });
+                }
             }
         }
     }
@@ -2544,6 +2804,7 @@ impl ShardCtx<'_> {
                 segment,
             } => self.on_read_response(now, op_id, from, version, size, records, segment),
             Event::OpTimeout { op_id } => self.on_timeout(now, op_id),
+            Event::HedgeFire { op_id } => self.on_hedge_fire(now, op_id),
             // Ticks normally ride the control lane; tolerate one here for
             // totality (it folds into the output stream like a completion).
             Event::Tick { id } => self.s.outputs.push(ClusterOutput::Tick { id, at: now }),
@@ -2676,9 +2937,15 @@ impl ShardCtx<'_> {
                 // The pre-routed coordinator went down between routing and
                 // arrival: re-route through the fold (fresh draw among the
                 // up nodes). No retry budget is consumed — the client never
-                // reached a coordinator.
+                // reached a coordinator — and no backoff applies (this is
+                // re-routing, not a timed-out attempt).
                 self.s.ops.remove(op_id);
-                self.s.outbox.push(Staged::Resubmit { sub: p.sub, retry });
+                self.s.outbox.push(Staged::Resubmit {
+                    sub: p.sub,
+                    retry,
+                    at: now,
+                    backoff: false,
+                });
                 return;
             }
         }
@@ -2852,7 +3119,7 @@ impl ShardCtx<'_> {
             self.s
                 .replica_cache
                 .replicas_into(&self.shared.ring, Key(seg_start), &mut replicas);
-            self.select_read_replicas(coordinator, &mut replicas, required as usize);
+            self.select_read_replicas(now, coordinator, &mut replicas, required as usize);
             for (i, &replica) in replicas.iter().enumerate() {
                 let delay = self.account_message(
                     coordinator,
@@ -2912,6 +3179,7 @@ impl ShardCtx<'_> {
                 level: sub.level,
                 retries_left: retry.retries_left,
                 client_id: retry.client_id,
+                hedge: None,
             });
         }
         // Home-lane timer, same rationale as the write path.
@@ -2919,14 +3187,130 @@ impl ShardCtx<'_> {
             now + self.shared.config.op_timeout,
             Event::OpTimeout { op_id },
         );
+        // Hedged reads: arm one speculative trigger per point-read attempt
+        // (scans have no single best unused replica to duplicate to). The
+        // timer rides the home lane like the timeout — coordinator-homed
+        // state, no cross-shard traffic. Off (the default) schedules
+        // nothing, keeping resilience-off runs byte-identical.
+        if scan_len == 1 && self.shared.config.resilience.hedging_enabled() {
+            self.s.lane.schedule_timeout(
+                now + self.shared.config.resilience.hedge_delay,
+                Event::HedgeFire { op_id },
+            );
+        }
+    }
+
+    /// Fire a hedged read: if the attempt is still pending and has not
+    /// hedged, send one speculative **digest** request to the best replica
+    /// the read has not contacted yet (digest, so coverage and records are
+    /// never double-counted). Ranking is deterministic — health score under
+    /// [`ReplicaSelection::Dynamic`], the mean-latency table otherwise —
+    /// with node id breaking ties; no RNG is drawn for the choice. The
+    /// request's bytes land in `hedge_traffic` (and the billable `traffic`)
+    /// via [`account_hedge_message`]. A losing hedge response is reaped by
+    /// the slab generation check exactly like any straggler: the winning
+    /// response removes the op's slot, so there is no double completion and
+    /// no leak.
+    fn on_hedge_fire(&mut self, now: SimTime, op_id: OpId) {
+        let (coordinator, key, contacted) = match self.s.ops.get(op_id) {
+            Some(OpState::Read(r)) if r.hedge.is_none() && r.seg_pending > 0 && r.scan_len <= 1 => {
+                (r.coordinator, r.key, r.contacted.clone())
+            }
+            _ => return,
+        };
+        let mut replicas = std::mem::take(&mut self.s.replica_scratch);
+        self.s
+            .replica_cache
+            .replicas_into(&self.shared.ring, key, &mut replicas);
+        let dynamic = self.shared.selection == ReplicaSelection::Dynamic;
+        let row = &self.shared.mean_lat[coordinator.0 as usize * self.shared.node_count..]
+            [..self.shared.node_count];
+        let mut best: Option<(f64, NodeId)> = None;
+        for &replica in &replicas {
+            if contacted.iter().any(|&c| c == replica)
+                || self.shared.down[replica.0 as usize]
+                || !self.shared.link_up(coordinator, replica)
+            {
+                continue;
+            }
+            let mut score = if dynamic {
+                // Same ranking as `select_read_replicas`: distance prior
+                // plus observed excess.
+                let h = &self.s.health[replica.0 as usize];
+                2.0 * row[replica.0 as usize] * 1_000.0 + h.ewma.value_or(0.0)
+            } else {
+                row[replica.0 as usize]
+            };
+            if dynamic
+                && matches!(
+                    self.s.health[replica.0 as usize].breaker,
+                    Breaker::Open { .. }
+                )
+            {
+                // An open breaker ranks behind every healthy candidate but
+                // can still serve as the hedge of last resort.
+                score += 1e12;
+            }
+            let better = match best {
+                None => true,
+                Some((bs, bn)) => score < bs || (score == bs && replica.0 < bn.0),
+            };
+            if better {
+                best = Some((score, replica));
+            }
+        }
+        self.s.replica_scratch = replicas;
+        let Some((_, target)) = best else {
+            return; // every replica is contacted, down or unreachable
+        };
+        self.s.metrics.hedged_requests += 1;
+        let delay = account_hedge_message(
+            self.shared,
+            &mut self.s.rng,
+            &mut self.s.metrics,
+            coordinator,
+            target,
+            self.shared.config.small_message_bytes,
+        );
+        let dest = self.shared.shard_of(target);
+        self.send_event(
+            dest,
+            now + delay,
+            Event::ReplicaArrive {
+                node: target,
+                task: ReplicaTask::Read {
+                    op_id,
+                    key,
+                    data: false,
+                    len: 1,
+                    segment: 0,
+                },
+            },
+        );
+        if let Some(OpState::Read(r)) = self.s.ops.get_mut(op_id) {
+            r.hedge = Some(target);
+            // The hedge target is a contacted replica from here on: its
+            // response counts toward the quorum and read repair covers it.
+            r.contacted.push(target);
+            self.s.metrics.read_replicas_contacted += 1;
+        }
     }
 
     /// Pick which replicas a read contacts: shuffle (random tie-break), rank
     /// by the precomputed coordinator→replica mean latency, truncate. Works
     /// in place on the caller's buffer — no allocation, no distribution-mean
     /// recomputation per comparison.
+    ///
+    /// Under [`ReplicaSelection::Dynamic`] the rank key is the
+    /// coordinator-side EWMA of observed response latency instead of the
+    /// static table (the table seeds nodes that have not answered yet), and
+    /// a node whose circuit breaker is open is ranked behind every healthy
+    /// candidate. An open breaker whose cooldown has elapsed transitions to
+    /// half-open here — the next read that still picks it is the timed
+    /// probe: one success closes the breaker, one timeout re-opens it.
     fn select_read_replicas(
         &mut self,
+        now: SimTime,
         coordinator: NodeId,
         candidates: &mut Vec<NodeId>,
         count: usize,
@@ -2946,6 +3330,40 @@ impl ShardCtx<'_> {
                     let la = row[a.0 as usize];
                     let lb = row[b.0 as usize];
                     la.partial_cmp(&lb).expect("latencies are finite")
+                });
+            }
+            ReplicaSelection::Dynamic => {
+                // Same shuffle-then-rank shape as `Closest` (equal scores
+                // tie-break randomly, one RNG draw pattern per selection).
+                self.s.rng.shuffle(candidates);
+                let s = &mut *self.s;
+                for &n in candidates.iter() {
+                    let h = &mut s.health[n.0 as usize];
+                    if let Breaker::Open { until } = h.breaker {
+                        if until <= now {
+                            h.breaker = Breaker::HalfOpen;
+                        }
+                    }
+                }
+                let row = &self.shared.mean_lat[coordinator.0 as usize * self.shared.node_count..]
+                    [..self.shared.node_count];
+                let health = &s.health[..];
+                let score = |n: NodeId| -> f64 {
+                    let h = &health[n.0 as usize];
+                    // Distance prior (expected round trip, ms → µs) plus
+                    // the observed excess; unmeasured nodes rank purely by
+                    // distance, i.e. exactly like `Closest`.
+                    let base = 2.0 * row[n.0 as usize] * 1_000.0 + h.ewma.value_or(0.0);
+                    if matches!(h.breaker, Breaker::Open { .. }) {
+                        base + 1e12
+                    } else {
+                        base
+                    }
+                };
+                candidates.sort_by(|a, b| {
+                    score(*a)
+                        .partial_cmp(&score(*b))
+                        .expect("health scores are finite")
                 });
             }
         }
@@ -2985,10 +3403,21 @@ impl ShardCtx<'_> {
     }
 
     fn start_service(&mut self, now: SimTime, node: NodeId, task: ReplicaTask) {
-        let service = match task {
+        let mut service = match task {
             ReplicaTask::Write { .. } => self.shared.storage_write_sampler.sample(&mut self.s.rng),
             ReplicaTask::Read { .. } => self.shared.storage_read_sampler.sample(&mut self.s.rng),
         };
+        // Gray failure: a slowed node serves every task `factor`× slower.
+        // Applied post-sampling so the RNG stream is untouched — restoring
+        // the node replays the exact healthy timeline (same contract as
+        // `degrade_link`).
+        if self.shared.slow_active {
+            let factor = self.shared.node_slow[node.0 as usize];
+            if factor != 1.0 {
+                service =
+                    SimDuration::from_micros((service.as_micros() as f64 * factor).round() as u64);
+            }
+        }
         self.s
             .lane
             .schedule_at(now + service, Event::ReplicaServiceDone { node, task });
@@ -3045,10 +3474,14 @@ impl ShardCtx<'_> {
                         self.s.propagation.push(d);
                     }
                     // Send the ack back to the coordinator.
-                    let delay = self.account_message(
+                    let delay = slow_response(
+                        self.shared,
                         node,
-                        coordinator,
-                        self.shared.config.small_message_bytes,
+                        self.account_message(
+                            node,
+                            coordinator,
+                            self.shared.config.small_message_bytes,
+                        ),
                     );
                     if !self.shared.link_up(node, coordinator) {
                         // The ack is lost in the partition: the coordinator
@@ -3076,10 +3509,14 @@ impl ShardCtx<'_> {
                         Some(OpState::Write(w)) => w.coordinator,
                         _ => return,
                     };
-                    let delay = self.account_message(
+                    let delay = slow_response(
+                        self.shared,
                         node,
-                        coordinator,
-                        self.shared.config.small_message_bytes,
+                        self.account_message(
+                            node,
+                            coordinator,
+                            self.shared.config.small_message_bytes,
+                        ),
                     );
                     if !self.shared.link_up(node, coordinator) {
                         self.s.metrics.messages_lost += 1;
@@ -3151,7 +3588,11 @@ impl ShardCtx<'_> {
                     } else {
                         self.shared.config.small_message_bytes
                     };
-                    let delay = self.account_message(node, coordinator, payload);
+                    let delay = slow_response(
+                        self.shared,
+                        node,
+                        self.account_message(node, coordinator, payload),
+                    );
                     if !self.shared.link_up(node, coordinator) {
                         // Response lost in the partition; the read completes
                         // via other replicas or times out.
@@ -3261,12 +3702,42 @@ impl ShardCtx<'_> {
         &mut self,
         now: SimTime,
         op_id: OpId,
-        _from: NodeId,
+        from: NodeId,
         version: Version,
         size: u32,
         records: u32,
         segment: u16,
     ) {
+        // Health feed (Dynamic selection only, so Closest/Random runs touch
+        // no health state and stay byte-identical): every response that
+        // passes the generation check updates the responder's latency EWMA
+        // and closes its breaker — a response is proof the node serves again.
+        if self.shared.selection == ReplicaSelection::Dynamic {
+            if let Some(OpState::Read(r)) = self.s.ops.get(op_id) {
+                // A hedge response is timed from the hedge fire
+                // (`attempt_at + hedge_delay`), not the attempt start, so
+                // the hedge target is not charged for the wait on the
+                // primary replica.
+                let base = if r.hedge == Some(from) {
+                    r.attempt_at + self.shared.config.resilience.hedge_delay
+                } else {
+                    r.attempt_at
+                };
+                // Distance-normalize before averaging: subtract the
+                // expected round trip (ms → µs) so the EWMA measures excess
+                // (queueing, gray slowness) and observations from near and
+                // far coordinators feed one comparable per-node signal.
+                let expected = 2.0
+                    * self.shared.mean_lat
+                        [r.coordinator.0 as usize * self.shared.node_count + from.0 as usize]
+                    * 1_000.0;
+                let excess = ((now - base).as_micros() as f64 - expected).max(0.0);
+                let h = &mut self.s.health[from.0 as usize];
+                h.ewma.observe(excess);
+                h.failures = 0;
+                h.breaker = Breaker::Closed;
+            }
+        }
         let Some(OpState::Read(r)) = self.s.ops.get_mut(op_id) else {
             return;
         };
@@ -3307,6 +3778,11 @@ impl ShardCtx<'_> {
             let coordinator = r.coordinator;
             let best_size = r.best_size;
             let records_returned = r.records;
+            // The hedge "won" when the speculative duplicate's response is
+            // the one that completes the read — the tail-latency save.
+            if r.hedge == Some(from) {
+                self.s.metrics.hedge_wins += 1;
+            }
             // Scans skip read repair: their response size is the range's
             // byte weight, not one record's payload, so there is no single
             // mutation to push back (matching Cassandra, where range scans
@@ -3401,6 +3877,34 @@ impl ShardCtx<'_> {
     }
 
     fn on_timeout(&mut self, now: SimTime, op_id: OpId) {
+        // Breaker strikes (Dynamic selection only): a read attempt timing
+        // out is a failure strike against every replica it contacted —
+        // `threshold` consecutive strikes open a node's breaker for
+        // `cooldown`, steering subsequent reads away until the half-open
+        // probe succeeds. A node that does answer has its strike count
+        // reset on every response, so only persistently silent replicas
+        // accumulate to the threshold. Writes are excluded: a write timeout
+        // implicates the consistency level, not a single replica.
+        if self.shared.selection == ReplicaSelection::Dynamic {
+            let res = &self.shared.config.resilience;
+            let threshold = res.breaker_threshold();
+            let cooldown = res.cooldown();
+            let s = &mut *self.s;
+            if let Some(OpState::Read(r)) = s.ops.get(op_id) {
+                for &n in r.contacted.iter() {
+                    let h = &mut s.health[n.0 as usize];
+                    h.failures += 1;
+                    if h.failures >= threshold
+                        && matches!(h.breaker, Breaker::Closed | Breaker::HalfOpen)
+                    {
+                        h.breaker = Breaker::Open {
+                            until: now + cooldown,
+                        };
+                        s.metrics.breaker_opens += 1;
+                    }
+                }
+            }
+        }
         // Timeout-driven retries: an attempt with remaining budget is
         // re-issued (fresh coordinator, fresh replica fan-out) instead of
         // completing. `issued_at` is preserved, so the client-visible
@@ -3445,24 +3949,59 @@ impl ShardCtx<'_> {
                 retries_left,
                 client_id,
             };
+            let backoff = self.shared.config.resilience.backoff;
             if self.ctrl.is_some() {
-                // Serial engine: re-issue inline with a fresh coordinator
-                // drawn at this instant — the pre-sharding behaviour.
-                let new_id = self.s.ops.insert(OpState::Pending(PendingOp {
-                    sub,
-                    coordinator: None,
-                    retry: None,
-                }));
-                match sub.kind {
-                    OpKind::Write => self.start_write(now, new_id, sub, None, retry),
-                    OpKind::Read => self.start_read(now, new_id, sub, None, retry),
+                if backoff {
+                    // Backoff on: park the attempt as a Pending op and
+                    // re-arrive it after an exponentially growing, jittered
+                    // delay (drawn from this shard's stream — one draw per
+                    // backed-off retry, zero when the feature is off). The
+                    // delays are heterogeneous by construction, so they
+                    // route through the timer wheel, not the sorted FIFO.
+                    self.s.metrics.backoff_retries += 1;
+                    let delay = backoff_delay(
+                        &self.shared.config.resilience,
+                        self.shared.config.retry_on_timeout,
+                        retries_left,
+                        &mut self.s.rng,
+                    );
+                    let new_id = self.s.ops.insert(OpState::Pending(PendingOp {
+                        sub,
+                        coordinator: None,
+                        retry: Some(retry),
+                    }));
+                    self.s
+                        .lane
+                        .schedule_timeout(now + delay, Event::ClientArrive { op_id: new_id });
+                } else {
+                    // Serial engine: re-issue inline with a fresh coordinator
+                    // drawn at this instant — the pre-sharding behaviour.
+                    let new_id = self.s.ops.insert(OpState::Pending(PendingOp {
+                        sub,
+                        coordinator: None,
+                        retry: None,
+                    }));
+                    match sub.kind {
+                        OpKind::Write => self.start_write(now, new_id, sub, None, retry),
+                        OpKind::Read => self.start_read(now, new_id, sub, None, retry),
+                    }
                 }
             } else {
                 // Parallel engine: the fresh coordinator may live on any
                 // shard, so the attempt re-routes through the fold — drawn
                 // from the control stream and re-homed on the coordinator's
-                // shard, like a brand-new submission.
-                self.s.outbox.push(Staged::Resubmit { sub, retry });
+                // shard, like a brand-new submission. With backoff on, the
+                // fold delays the re-arrival past the window boundary by the
+                // jittered amount (control-stream draw).
+                if backoff {
+                    self.s.metrics.backoff_retries += 1;
+                }
+                self.s.outbox.push(Staged::Resubmit {
+                    sub,
+                    retry,
+                    at: now,
+                    backoff,
+                });
             }
             return;
         }
@@ -4221,6 +4760,313 @@ mod tests {
             drain(&mut c)
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn slow_node_inflates_latency_and_restore_heals() {
+        // Gray failure: a 10x-slowed replica drags ALL-level writes (every
+        // write waits for the slow ack); restoring mid-run heals the tail.
+        let run = |factor: f64| {
+            let mut c = cluster(5, 3);
+            c.load_records((0..10u64).map(|k| (k, 100)));
+            if factor != 1.0 {
+                c.slow_node(NodeId(1), factor);
+            }
+            for i in 0..100u64 {
+                c.submit_write_with(i % 10, 100, ConsistencyLevel::All, SimTime::from_millis(i));
+            }
+            drain(&mut c);
+            c.metrics().write_latency.mean_ms()
+        };
+        let healthy = run(1.0);
+        let slowed = run(10.0);
+        assert!(
+            slowed > healthy * 2.0,
+            "a 10x slow replica must drag ALL writes ({healthy} -> {slowed} ms)"
+        );
+    }
+
+    #[test]
+    fn slow_node_toggling_does_not_perturb_rng_draws() {
+        // The slow factor applies post-sampling: slowing a node and
+        // restoring it before any traffic leaves the run byte-identical —
+        // the RNG stream is untouched, exactly like `degrade_link`.
+        let run = |toggle: bool| {
+            let mut c = cluster(5, 3);
+            c.load_records((0..10u64).map(|k| (k, 100)));
+            if toggle {
+                c.slow_node(NodeId(2), 25.0);
+                c.restore_node(NodeId(2));
+                assert_eq!(c.node_slow_factor(NodeId(2)), 1.0);
+            }
+            for i in 0..200u64 {
+                c.submit_write_at(i % 10, 100, SimTime::from_millis(i));
+            }
+            drain(&mut c)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn resilience_off_runs_are_byte_identical_to_the_seed_path() {
+        // The whole resilience layer off (the default) must add zero events
+        // and zero RNG draws even under gray faults: only service/response
+        // delays of the slowed node change, nothing else in the stream.
+        let run = |resilience_off_twice: bool| {
+            let cfg = ClusterConfig::lan_test(5, 3);
+            assert!(!cfg.resilience.hedging_enabled());
+            assert!(!cfg.resilience.backoff);
+            // Construct-drop a second identical config to prove the literal
+            // has no hidden state; the run itself is what must be stable.
+            if resilience_off_twice {
+                let _ = ClusterConfig::lan_test(5, 3);
+            }
+            let mut c = Cluster::new(cfg, 11);
+            c.load_records((0..10u64).map(|k| (k, 100)));
+            c.slow_node(NodeId(0), 4.0);
+            for i in 0..100u64 {
+                c.submit_read_at(i % 10, SimTime::from_millis(i));
+            }
+            drain(&mut c)
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dc_down_takes_the_whole_dc_and_dc_up_restores_it() {
+        let mut cfg = ClusterConfig::lan_test(6, 3);
+        cfg.topology = concord_sim::Topology::spread(
+            6,
+            &[
+                ("dc-a", concord_sim::RegionId(0)),
+                ("dc-b", concord_sim::RegionId(0)),
+            ],
+        );
+        cfg.strategy = crate::ring::ReplicationStrategy::NetworkTopology;
+        let mut c = Cluster::new(cfg, 23);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        // `Topology::spread` deals nodes round-robin: dc-b owns 1, 3, 5.
+        let dc_b = concord_sim::DcId(1);
+        c.dc_down(dc_b);
+        for n in [1, 3, 5] {
+            assert!(c.is_node_down(NodeId(n)), "node {n} is in the downed DC");
+        }
+        for n in [0, 2, 4] {
+            assert!(!c.is_node_down(NodeId(n)));
+        }
+        // ALL-level writes cannot gather cross-DC acks while dc-b is out.
+        c.submit_write_with(3, 100, ConsistencyLevel::All, c.now());
+        let done = drain(&mut c);
+        assert!(done.iter().any(|o| o.status == OpStatus::Timeout));
+        c.dc_up(dc_b);
+        for n in [1, 3, 5] {
+            assert!(!c.is_node_down(NodeId(n)), "dc_up must restore node {n}");
+        }
+        c.submit_write_with(3, 100, ConsistencyLevel::All, c.now());
+        let done = drain(&mut c);
+        assert!(done.iter().all(|o| o.status == OpStatus::Ok));
+        assert_eq!(c.inflight_ops(), 0);
+    }
+
+    #[test]
+    fn dc_up_leaves_crashed_nodes_down() {
+        let mut cfg = ClusterConfig::lan_test(6, 3);
+        cfg.topology = concord_sim::Topology::spread(
+            6,
+            &[
+                ("dc-a", concord_sim::RegionId(0)),
+                ("dc-b", concord_sim::RegionId(0)),
+            ],
+        );
+        let mut c = Cluster::new(cfg, 23);
+        // Round-robin spread: dc-b owns nodes 1, 3, 5.
+        let dc_b = concord_sim::DcId(1);
+        c.crash_node(NodeId(3));
+        c.dc_down(dc_b);
+        c.dc_up(dc_b);
+        assert!(!c.is_node_down(NodeId(1)));
+        assert!(
+            c.is_node_down(NodeId(3)),
+            "a crashed node needs recovery, not a DC restore"
+        );
+        assert!(!c.is_node_down(NodeId(5)));
+    }
+
+    #[test]
+    fn hedged_reads_complete_once_and_do_not_leak() {
+        // Hedge aggressively (the timer fires long before any response can
+        // arrive): every point read sends one speculative duplicate, yet
+        // each op completes exactly once and the slab fully drains — the
+        // losing response is reaped by the generation check.
+        let mut cfg = ClusterConfig::lan_test(5, 3);
+        cfg.resilience.hedge_delay = SimDuration::from_micros(50);
+        let mut c = Cluster::new(cfg, 31);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let mut submitted = Vec::new();
+        for i in 0..200u64 {
+            submitted.push(c.submit_read_at(i % 10, SimTime::from_millis(i)));
+        }
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 200, "every read completes exactly once");
+        let mut completed: Vec<OpId> = done.iter().map(|o| o.id).collect();
+        completed.sort();
+        submitted.sort();
+        assert_eq!(completed, submitted);
+        let m = c.metrics();
+        assert!(
+            m.hedged_requests >= 150,
+            "an aggressive hedge_delay must hedge nearly every read, got {}",
+            m.hedged_requests
+        );
+        assert!(m.hedge_wins <= m.hedged_requests);
+        assert!(
+            m.hedge_traffic.total() > 0,
+            "hedge bytes must be metered separately"
+        );
+        assert!(
+            m.traffic.total() >= m.hedge_traffic.total(),
+            "hedge bytes are part of the billable total"
+        );
+        assert_eq!(c.inflight_ops(), 0, "hedged ops must not leak slab slots");
+        assert_eq!(c.inflight_write_payloads(), 0);
+    }
+
+    #[test]
+    fn hedging_survives_a_crash_during_the_hedge_window() {
+        // The hedge target (or the original replica) dies while both
+        // requests are in flight: completions stay exactly-once and nothing
+        // leaks. Exercises the straggler-reap path under faults.
+        let mut cfg = ClusterConfig::lan_test(5, 3);
+        cfg.resilience.hedge_delay = SimDuration::from_micros(50);
+        cfg.op_timeout = SimDuration::from_millis(50);
+        let mut c = Cluster::new(cfg, 37);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let mut submitted = Vec::new();
+        for i in 0..100u64 {
+            submitted.push(c.submit_read_at(i % 10, SimTime::from_micros(i * 20)));
+        }
+        // Take a replica down mid-flight, then bring it back.
+        c.schedule_tick(SimTime::from_micros(300), 1);
+        c.schedule_tick(SimTime::from_millis(5), 2);
+        let mut done = Vec::new();
+        while let Some(out) = c.advance() {
+            match out {
+                ClusterOutput::Tick { id: 1, .. } => c.set_node_down(NodeId(1)),
+                ClusterOutput::Tick { id: 2, .. } => c.set_node_up(NodeId(1)),
+                ClusterOutput::Completed(op) => done.push(op),
+                ClusterOutput::Tick { .. } => {}
+            }
+        }
+        assert_eq!(done.len(), 100, "every read completes exactly once");
+        let mut completed: Vec<OpId> = done.iter().map(|o| o.id).collect();
+        completed.sort();
+        submitted.sort();
+        assert_eq!(completed, submitted);
+        assert_eq!(c.inflight_ops(), 0, "crash-during-hedge must not leak");
+        assert_eq!(c.inflight_write_payloads(), 0);
+    }
+
+    #[test]
+    fn backoff_spaces_retries_and_accounts_them() {
+        // Same transient fault, backoff off vs on: both complete every op,
+        // but backoff stretches the retry schedule (latency of exhausted
+        // ops grows by the summed delays) and counts each backed-off
+        // re-issue.
+        let run = |backoff: bool| {
+            let mut cfg = ClusterConfig::lan_test(4, 3);
+            cfg.op_timeout = SimDuration::from_millis(50);
+            cfg.retry_on_timeout = 2;
+            cfg.resilience.backoff = backoff;
+            cfg.resilience.backoff_base = SimDuration::from_millis(20);
+            let mut c = Cluster::new(cfg, 5);
+            c.load_records((0..10u64).map(|k| (k, 100)));
+            c.set_node_down(NodeId(1));
+            for i in 0..30u64 {
+                c.submit_write_with(i % 10, 100, ConsistencyLevel::All, SimTime::from_millis(i));
+            }
+            let done = drain(&mut c);
+            assert_eq!(done.len(), 30, "every op completes exactly once");
+            assert_eq!(c.inflight_ops(), 0);
+            let max_latency = done.iter().map(|o| o.latency()).max().unwrap();
+            (
+                c.metrics().retries,
+                c.metrics().backoff_retries,
+                max_latency,
+            )
+        };
+        let (retries_off, backoff_off, latency_off) = run(false);
+        let (retries_on, backoff_on, latency_on) = run(true);
+        assert!(retries_off > 0 && retries_on > 0);
+        assert_eq!(backoff_off, 0, "backoff counter must stay 0 when off");
+        assert_eq!(
+            backoff_on, retries_on,
+            "with backoff on, every re-issue is a backed-off re-issue"
+        );
+        assert!(
+            latency_on > latency_off,
+            "backoff must stretch the retry schedule ({latency_off:?} -> {latency_on:?})"
+        );
+    }
+
+    #[test]
+    fn dynamic_selection_steers_reads_away_from_a_slow_replica() {
+        // One replica 50x slow. Closest (static table; LAN peers are
+        // equidistant, so the shuffle picks the slow node ~rf^-1 of the
+        // time) keeps paying the gray tax; Dynamic learns the slow node's
+        // observed latency and routes around it.
+        let run = |selection: ReplicaSelection| {
+            let mut cfg = ClusterConfig::lan_test(5, 3);
+            cfg.read_selection = selection;
+            let mut c = Cluster::new(cfg, 43);
+            c.load_records((0..4u64).map(|k| (k, 100)));
+            let victim = c.replicas_of(0)[0];
+            c.slow_node(victim, 50.0);
+            for i in 0..400u64 {
+                c.submit_read_at(0, SimTime::from_millis(i));
+            }
+            let done = drain(&mut c);
+            assert!(done.iter().all(|o| o.status == OpStatus::Ok));
+            c.metrics().read_latency.mean_ms()
+        };
+        let closest = run(ReplicaSelection::Closest);
+        let dynamic = run(ReplicaSelection::Dynamic);
+        assert!(
+            dynamic < closest * 0.5,
+            "dynamic selection must dodge the slow replica \
+             (closest {closest} ms vs dynamic {dynamic} ms)"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_on_silent_replicas_and_reads_recover() {
+        // A down replica never answers: every timed-out attempt strikes it,
+        // the breaker opens (and is counted), and subsequent reads rank the
+        // node last so they stop wasting attempts on it.
+        let mut cfg = ClusterConfig::lan_test(4, 3);
+        cfg.read_selection = ReplicaSelection::Dynamic;
+        cfg.op_timeout = SimDuration::from_millis(20);
+        cfg.retry_on_timeout = 3;
+        let mut c = Cluster::new(cfg, 47);
+        c.load_records((0..10u64).map(|k| (k, 100)));
+        let victim = c.replicas_of(0)[0];
+        c.set_node_down(victim);
+        for i in 0..60u64 {
+            c.submit_read_at(0, SimTime::from_millis(i * 30));
+        }
+        let done = drain(&mut c);
+        assert_eq!(done.len(), 60);
+        assert!(
+            c.metrics().breaker_opens >= 1,
+            "consecutive timeout strikes must trip the breaker"
+        );
+        let ok = done.iter().filter(|o| o.status == OpStatus::Ok).count();
+        assert!(
+            ok > 50,
+            "with the breaker open, reads route to live replicas ({ok}/60 ok)"
+        );
+        assert_eq!(c.inflight_ops(), 0);
     }
 
     #[test]

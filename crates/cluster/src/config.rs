@@ -1,5 +1,6 @@
 //! Cluster configuration.
 
+use crate::cluster::ReplicaSelection;
 use crate::consistency::ConsistencyLevel;
 use crate::ring::{Partitioner, ReplicationStrategy};
 use concord_sim::{DelayDistribution, NetworkModel, SimDuration, Topology};
@@ -147,6 +148,114 @@ impl RepairConfig {
     }
 }
 
+/// Configuration of the tail-tolerant resilience layer: hedged reads,
+/// exponential retry backoff and the health bookkeeping behind
+/// [`ReplicaSelection::Dynamic`].
+///
+/// Everything here is **off by default**: with a zero `hedge_delay` no hedge
+/// timers are scheduled, with `backoff` false timed-out retries re-issue
+/// immediately as before, and the breaker/EWMA knobs only matter once the
+/// cluster's read selection is switched to `Dynamic`. A default
+/// `ResilienceConfig` therefore adds zero events and zero RNG draws, keeping
+/// every pre-resilience golden digest byte-identical.
+///
+/// Like [`RepairConfig`], every tuning knob treats **0 as "use the built-in
+/// default"** (a zero backoff base or breaker threshold is never
+/// meaningful), so partially specified JSON blocks load with sensible
+/// values: absent fields deserialize to 0 via `serde(default)` and the
+/// accessors substitute the defaults at use time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// How long a point read's coordinator waits before issuing one
+    /// speculative duplicate (digest) request to the best unused replica.
+    /// [`SimDuration::ZERO`] (the default) disables hedging entirely.
+    #[serde(default)]
+    pub hedge_delay: SimDuration,
+    /// When true, `retry_on_timeout` re-issues wait out an exponential
+    /// backoff with deterministic RNG-drawn jitter instead of re-entering
+    /// the cluster immediately.
+    #[serde(default)]
+    pub backoff: bool,
+    /// Backoff delay before the first re-issue; doubles per consumed retry
+    /// up to [`ResilienceConfig::backoff_cap`]. 0 = default (1 ms).
+    #[serde(default)]
+    pub backoff_base: SimDuration,
+    /// Upper bound on the nominal (pre-jitter) backoff delay.
+    /// 0 = default (100 ms).
+    #[serde(default)]
+    pub backoff_cap: SimDuration,
+    /// Smoothing factor of the coordinator-side latency-excess EWMA
+    /// (observed response latency minus the expected round trip) used by
+    /// [`ReplicaSelection::Dynamic`]. 0.0 = default (0.2).
+    #[serde(default)]
+    pub health_alpha: f64,
+    /// Consecutive read-timeout strikes against a replica before its
+    /// circuit breaker opens. 0 = default (3).
+    #[serde(default)]
+    pub breaker_failures: u32,
+    /// How long an open breaker holds before transitioning to half-open
+    /// (one probe allowed). 0 = default (50 ms).
+    #[serde(default)]
+    pub breaker_cooldown: SimDuration,
+}
+
+impl ResilienceConfig {
+    /// A fully disabled resilience layer (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Whether hedged reads are active.
+    pub fn hedging_enabled(&self) -> bool {
+        self.hedge_delay > SimDuration::ZERO
+    }
+
+    /// Effective backoff delay before the first re-issue.
+    pub fn effective_backoff_base(&self) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO {
+            SimDuration::from_millis(1)
+        } else {
+            self.backoff_base
+        }
+    }
+
+    /// Effective upper bound on the nominal backoff delay.
+    pub fn effective_backoff_cap(&self) -> SimDuration {
+        if self.backoff_cap == SimDuration::ZERO {
+            SimDuration::from_millis(100)
+        } else {
+            self.backoff_cap
+        }
+    }
+
+    /// Effective EWMA smoothing factor for dynamic replica selection.
+    pub fn effective_alpha(&self) -> f64 {
+        if self.health_alpha == 0.0 {
+            0.2
+        } else {
+            self.health_alpha
+        }
+    }
+
+    /// Effective consecutive-failure threshold that opens a breaker.
+    pub fn breaker_threshold(&self) -> u32 {
+        if self.breaker_failures == 0 {
+            3
+        } else {
+            self.breaker_failures
+        }
+    }
+
+    /// Effective open-breaker cooldown before the half-open probe.
+    pub fn cooldown(&self) -> SimDuration {
+        if self.breaker_cooldown == SimDuration::ZERO {
+            SimDuration::from_millis(50)
+        } else {
+            self.breaker_cooldown
+        }
+    }
+}
+
 /// Complete configuration of a simulated storage cluster.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -195,6 +304,18 @@ pub struct ClusterConfig {
     /// (`serde(default)` keeps them loading).
     #[serde(default)]
     pub repair: RepairConfig,
+    /// Tail-tolerant resilience layer: hedged reads, retry backoff and the
+    /// health bookkeeping behind [`ReplicaSelection::Dynamic`]. Off by
+    /// default; absent in pre-resilience configs (`serde(default)` keeps
+    /// them loading).
+    #[serde(default)]
+    pub resilience: ResilienceConfig,
+    /// How read coordinators choose which replicas to contact. Defaults to
+    /// [`ReplicaSelection::Closest`] (the historical behaviour; absent in
+    /// pre-resilience configs via `serde(default)`); can be changed at
+    /// runtime through [`Cluster::set_replica_selection`](crate::Cluster::set_replica_selection).
+    #[serde(default)]
+    pub read_selection: ReplicaSelection,
     /// Protocol overhead added to every replica message, in bytes.
     pub message_overhead_bytes: u32,
     /// Size of a read request / ack message payload in bytes.
@@ -251,6 +372,8 @@ impl ClusterConfig {
             op_timeout: SimDuration::from_secs(10),
             read_repair: false,
             repair: RepairConfig::off(),
+            resilience: ResilienceConfig::off(),
+            read_selection: ReplicaSelection::Closest,
             message_overhead_bytes: 60,
             small_message_bytes: 40,
             retry_on_timeout: 0,
@@ -391,6 +514,60 @@ mod tests {
             RepairConfig::off().sweep_interval()
         );
         assert_eq!(partial.summary_bytes(), RepairConfig::off().summary_bytes());
+    }
+
+    #[test]
+    fn configs_without_resilience_fields_default_to_off() {
+        // Pre-PR-9 configs (serialized before the resilience layer) must
+        // keep deserializing, with hedging/backoff/dynamic selection fully
+        // disabled.
+        let cfg = ClusterConfig::lan_test(4, 3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let start = json.find(",\"resilience\":{").expect("field present");
+        let end = json[start + 1..].find('}').unwrap() + start + 2;
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        let stripped = stripped.replace(",\"read_selection\":\"Closest\"", "");
+        assert_ne!(json, stripped, "both fields must have been removed");
+        let back: ClusterConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.resilience, ResilienceConfig::off());
+        assert!(!back.resilience.hedging_enabled());
+        assert!(!back.resilience.backoff);
+        assert_eq!(back.read_selection, ReplicaSelection::Closest);
+        // Partial resilience blocks pick up the remaining knobs: absent
+        // fields deserialize to 0 and the accessors substitute defaults.
+        let partial: ResilienceConfig =
+            serde_json::from_str("{\"hedge_delay\":500,\"backoff\":true}").unwrap();
+        assert!(partial.hedging_enabled());
+        assert_eq!(partial.hedge_delay, SimDuration::from_micros(500));
+        assert!(partial.backoff);
+        assert_eq!(
+            partial.effective_backoff_base(),
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(
+            partial.effective_backoff_cap(),
+            SimDuration::from_millis(100)
+        );
+        assert!((partial.effective_alpha() - 0.2).abs() < 1e-12);
+        assert_eq!(partial.breaker_threshold(), 3);
+        assert_eq!(partial.cooldown(), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn replica_selection_names_round_trip() {
+        for (name, sel) in [
+            ("closest", ReplicaSelection::Closest),
+            ("random", ReplicaSelection::Random),
+            ("dynamic", ReplicaSelection::Dynamic),
+        ] {
+            assert_eq!(ReplicaSelection::from_name(name), Some(sel));
+            assert_eq!(ReplicaSelection::from_name(sel.label()), Some(sel));
+            let json = serde_json::to_string(&sel).unwrap();
+            let back: ReplicaSelection = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, sel);
+        }
+        assert_eq!(ReplicaSelection::from_name("nearest"), None);
+        assert_eq!(ReplicaSelection::default(), ReplicaSelection::Closest);
     }
 
     #[test]

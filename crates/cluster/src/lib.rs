@@ -56,7 +56,7 @@ pub mod storage;
 pub mod types;
 
 pub use cluster::{BatchOp, Cluster, ClusterOutput, ReplicaSelection};
-pub use config::{ClusterConfig, RepairConfig, RepairMode};
+pub use config::{ClusterConfig, RepairConfig, RepairMode, ResilienceConfig};
 pub use consistency::ConsistencyLevel;
 pub use metrics::{ClusterMetrics, LatencyReservoir, LatencyStats, TrafficBytes};
 pub use oracle::{OracleStats, StalenessOracle};

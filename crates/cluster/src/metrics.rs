@@ -233,6 +233,22 @@ pub struct ClusterMetrics {
     /// so the bill prices repair bytes like any other transfer; this meter
     /// breaks the repair share out.
     pub repair_traffic: TrafficBytes,
+    /// Speculative duplicate read requests issued after `hedge_delay`
+    /// (hedged reads; resilience layer).
+    pub hedged_requests: u64,
+    /// Reads whose completing response came from the hedge target — the
+    /// cases where the speculative request actually cut the tail.
+    pub hedge_wins: u64,
+    /// Timed-out attempts re-issued after an exponential backoff delay
+    /// (subset of `retries`; only counted when backoff is enabled).
+    pub backoff_retries: u64,
+    /// Per-node circuit breakers tripped open by consecutive timeout
+    /// strikes (`ReplicaSelection::Dynamic` only).
+    pub breaker_opens: u64,
+    /// Network bytes attributable to hedged read requests, by link class.
+    /// Also included in `traffic`, so the bill prices hedge bytes like any
+    /// other transfer; this meter breaks the tail-tolerance share out.
+    pub hedge_traffic: TrafficBytes,
 }
 
 impl ClusterMetrics {
@@ -319,6 +335,11 @@ impl ClusterMetrics {
         self.repair_pages_compared += other.repair_pages_compared;
         self.repair_records_streamed += other.repair_records_streamed;
         self.repair_traffic.merge(&other.repair_traffic);
+        self.hedged_requests += other.hedged_requests;
+        self.hedge_wins += other.hedge_wins;
+        self.backoff_retries += other.backoff_retries;
+        self.breaker_opens += other.breaker_opens;
+        self.hedge_traffic.merge(&other.hedge_traffic);
     }
 }
 

@@ -45,6 +45,14 @@ struct Fingerprint {
     barrier_folds: u64,
     parallel_batches: u64,
     max_batch_len: u64,
+    // Resilience-layer counters: pinned to zero by every resilience-off
+    // scenario (the layer must be inert when disabled) and thread-invariant
+    // like everything else when it is on.
+    hedged_requests: u64,
+    hedge_wins: u64,
+    backoff_retries: u64,
+    breaker_opens: u64,
+    hedge_traffic: u64,
 }
 
 /// Drain the cluster, applying `on_tick` to every tick id, and fingerprint
@@ -95,6 +103,11 @@ fn drain(c: &mut Cluster, mut on_tick: impl FnMut(&mut Cluster, u64)) -> Fingerp
         barrier_folds: m.barrier_folds,
         parallel_batches: m.parallel_batches,
         max_batch_len: m.max_batch_len,
+        hedged_requests: c.metrics().hedged_requests,
+        hedge_wins: c.metrics().hedge_wins,
+        backoff_retries: c.metrics().backoff_retries,
+        breaker_opens: c.metrics().breaker_opens,
+        hedge_traffic: c.metrics().hedge_traffic.total(),
     }
 }
 
@@ -259,6 +272,76 @@ fn ordered_scan_straddling_a_shard_boundary_is_thread_invariant() {
     });
     for fp in &fps {
         assert_eq!(fp.ops, 2_000);
+    }
+}
+
+/// The full resilience layer under a gray failure: one node serves 10×
+/// slow mid-run (hedged reads rescue the ONE-reads stuck behind it) while
+/// another goes down hard (ALL-reads that must contact it ride the
+/// timeout → backoff → breaker path — the jittered backoff delays route
+/// through the timer wheel, and the health EWMA/breaker state feeds every
+/// subsequent selection). All of it — hedge fires crossing shards, the
+/// backoff wheel, breaker flips — must be byte-identical at any worker
+/// thread count, and the resilience counters themselves are part of the
+/// fingerprint.
+#[test]
+fn gray_failure_resilience_layer_is_thread_invariant() {
+    use concord_cluster::ReplicaSelection;
+    let fps = thread_matrix(|shards| {
+        let mut cfg = ClusterConfig::lan_test(6, 3);
+        cfg.topology = Topology::spread(
+            6,
+            &[("site-east", RegionId(0)), ("site-south", RegionId(0))],
+        );
+        cfg.network = NetworkModel::grid5000_like();
+        cfg.strategy = ReplicationStrategy::NetworkTopology;
+        cfg.read_repair = true;
+        cfg.op_timeout = SimDuration::from_millis(60);
+        cfg.retry_on_timeout = 2;
+        cfg.resilience.hedge_delay = SimDuration::from_millis(2);
+        cfg.resilience.backoff = true;
+        cfg.read_selection = ReplicaSelection::Dynamic;
+        cfg.shards = shards;
+        let mut c = Cluster::new(cfg, 71);
+        c.load_records((0..20u64).map(|k| (k, 180)));
+        c.set_levels(ConsistencyLevel::One, ConsistencyLevel::One);
+        let mut at = SimTime::ZERO;
+        for i in 0..2_000u64 {
+            at += SimDuration::from_micros(500);
+            let k = (i / 2) % 20;
+            if i % 2 == 0 {
+                c.submit_write_at(k, 180, at);
+            } else if (i / 2) % 3 == 2 {
+                c.submit_read_with(k, ConsistencyLevel::All, at);
+            } else {
+                c.submit_read_at(k, at);
+            }
+        }
+        // Fault times off the link-delay grid so the ticks fire mid-window.
+        c.schedule_tick(SimTime::from_micros(150_137), 1);
+        c.schedule_tick(SimTime::from_micros(750_291), 2);
+        c.schedule_tick(SimTime::from_micros(225_433), 3);
+        c.schedule_tick(SimTime::from_micros(825_571), 4);
+        let fp = drain(&mut c, |c, id| match id {
+            1 => c.slow_node(NodeId(1), 10.0),
+            2 => c.restore_node(NodeId(1)),
+            3 => c.set_node_down(NodeId(4)),
+            4 => c.set_node_up(NodeId(4)),
+            _ => {}
+        });
+        assert_eq!(c.inflight_ops(), 0, "hedged ops must not leak slab slots");
+        fp
+    });
+    for fp in &fps {
+        assert_eq!(fp.ops, 2_000, "every op completes exactly once");
+        assert!(
+            fp.hedged_requests > 0,
+            "the gray window must trigger hedges"
+        );
+        assert!(fp.hedge_wins > 0 && fp.hedge_wins <= fp.hedged_requests);
+        assert!(fp.backoff_retries > 0, "the outage must exercise backoff");
+        assert!(fp.breaker_opens > 0, "timeouts must trip the breaker");
+        assert!(fp.hedge_traffic > 0 && fp.hedge_traffic <= fp.traffic_total);
     }
 }
 

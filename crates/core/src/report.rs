@@ -109,6 +109,26 @@ pub struct RunReport {
     /// `usage.traffic`, so the bill prices them; this is the breakdown).
     #[serde(default)]
     pub repair_traffic: concord_cluster::TrafficBytes,
+    /// Speculative duplicate read requests issued by the hedging layer
+    /// (0 unless `ClusterConfig::resilience` sets a hedge delay).
+    #[serde(default)]
+    pub hedged_requests: u64,
+    /// Reads completed by their hedge's response — the tail-latency saves.
+    #[serde(default)]
+    pub hedge_wins: u64,
+    /// Timed-out attempts re-issued after an exponential-backoff delay
+    /// (subset of `retries`).
+    #[serde(default)]
+    pub backoff_retries: u64,
+    /// Per-node circuit breakers tripped open by consecutive timeout
+    /// strikes (`ReplicaSelection::Dynamic` only).
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Total network bytes of hedged read requests (also included in
+    /// `usage.traffic`, so the bill prices tail tolerance like any other
+    /// transfer; this breaks the share out).
+    #[serde(default)]
+    pub hedge_bytes: u64,
     /// Event-queue shards the run executed with (1 = unsharded engine).
     /// Each shard count is its own deterministic universe whose output is
     /// byte-identical at any worker-thread count; these counters only
@@ -246,6 +266,11 @@ mod tests {
             repair_pages_compared: 0,
             repair_records_streamed: 0,
             repair_traffic: TrafficBytes::default(),
+            hedged_requests: 0,
+            hedge_wins: 0,
+            backoff_retries: 0,
+            breaker_opens: 0,
+            hedge_bytes: 0,
             shards: 1,
             shard_windows: 0,
             cross_shard_staged: 0,
@@ -347,6 +372,30 @@ mod tests {
         assert_eq!(back.parallel_batches, 0);
         assert_eq!(back.barrier_folds, 0);
         assert_eq!(back.max_batch_len, 0);
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn reports_from_before_the_resilience_layer_still_deserialize() {
+        // Reports serialized before the tail-tolerance layer lack its
+        // counters; they must load with everything zeroed.
+        let r = report("quorum", 0.0, 2.0);
+        let mut json = r.to_json();
+        for field in [
+            "hedged_requests",
+            "hedge_wins",
+            "backoff_retries",
+            "breaker_opens",
+            "hedge_bytes",
+        ] {
+            let start = json.find(&format!("\"{field}\"")).expect("field present");
+            let end = start + json[start..].find(',').unwrap() + 1;
+            json.replace_range(start..end, "");
+        }
+        assert!(!json.contains("hedged_requests"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.hedged_requests, 0);
+        assert_eq!(back.hedge_bytes, 0);
         assert_eq!(r, back);
     }
 }

@@ -315,6 +315,11 @@ impl AdaptiveRuntime {
             repair_pages_compared: metrics.repair_pages_compared,
             repair_records_streamed: metrics.repair_records_streamed,
             repair_traffic: metrics.repair_traffic,
+            hedged_requests: metrics.hedged_requests,
+            hedge_wins: metrics.hedge_wins,
+            backoff_retries: metrics.backoff_retries,
+            breaker_opens: metrics.breaker_opens,
+            hedge_bytes: metrics.hedge_traffic.total(),
             shards: cluster.shards() as u64,
             shard_windows: shard_metrics.windows,
             cross_shard_staged: shard_metrics.staged,
@@ -720,6 +725,81 @@ mod tests {
             "repair must not increase staleness ({} vs {})",
             full.stale_reads,
             off.stale_reads
+        );
+    }
+
+    #[test]
+    fn resilience_layer_surfaces_in_fault_reports_and_the_bill() {
+        // The same gray-failure run with and without the resilience layer:
+        // with it, the report carries the hedge/backoff/breaker counters and
+        // the hedge duplicates land in the billable traffic (higher network
+        // cost). With it off, every counter stays zero.
+        let run = |resilience_on: bool| {
+            let mut cfg = ClusterConfig::lan_test(8, 5);
+            cfg.topology = Topology::spread(8, &[("site-a", RegionId(0)), ("site-b", RegionId(0))]);
+            cfg.network = NetworkModel::grid5000_like();
+            cfg.strategy = ReplicationStrategy::NetworkTopology;
+            // Tight enough that reads stuck on the dead node time out and
+            // re-issue (exercising backoff and the breaker strikes).
+            cfg.op_timeout = SimDuration::from_millis(25);
+            cfg.retry_on_timeout = 3;
+            if resilience_on {
+                cfg.resilience.hedge_delay = SimDuration::from_micros(500);
+                cfg.resilience.backoff = true;
+                cfg.read_selection = concord_cluster::ReplicaSelection::Dynamic;
+            }
+            let mut cluster = Cluster::new(cfg, 53);
+            let mut wl_cfg = presets::paper_heavy_read_update(2_000, 6_000);
+            wl_cfg.field_count = 1;
+            wl_cfg.field_length = 256;
+            let mut workload = CoreWorkload::new(wl_cfg.clone());
+            cluster.load_records((0..wl_cfg.record_count).map(|k| (k, wl_cfg.record_size())));
+            // Quorum reads are the pressure lever: a hedge adds only ONE
+            // speculative replica, so a read whose contacted set holds both
+            // the dead node and the saturated slow node cannot be rescued —
+            // it genuinely times out, feeding backoff and breaker strikes,
+            // while ordinary reads still hedge past the slow node. (At CL
+            // ONE every read is hedge-rescuable and no counter past
+            // hedge_wins would ever move.)
+            let mut policy = StaticPolicy::quorum();
+            // A gray failure (one node 20x slow) plus a transient hard
+            // outage: the slow window feeds hedging, the outage feeds
+            // timeouts, backoff retries and breaker strikes.
+            let scenario = Scenario::open_uniform(10_000.0).with_faults(vec![
+                FaultEvent::at_secs(0.1, FaultAction::SlowNode(1, 20.0)),
+                FaultEvent::at_secs(0.2, FaultAction::NodeDown(2)),
+                FaultEvent::at_secs(0.35, FaultAction::RestoreNode(1)),
+                FaultEvent::at_secs(0.4, FaultAction::NodeUp(2)),
+            ]);
+            quick_runtime(53).run_scenario(&mut cluster, &mut workload, &mut policy, &scenario)
+        };
+        let off = run(false);
+        assert_eq!(off.hedged_requests, 0);
+        assert_eq!(off.hedge_wins, 0);
+        assert_eq!(off.backoff_retries, 0);
+        assert_eq!(off.breaker_opens, 0);
+        assert_eq!(off.hedge_bytes, 0);
+
+        let on = run(true);
+        assert!(
+            on.hedged_requests > 0,
+            "the slow window must trigger hedges"
+        );
+        assert!(on.hedge_wins > 0, "hedges past a 20x-slow node must win");
+        assert!(on.hedge_wins <= on.hedged_requests);
+        assert!(on.hedge_bytes > 0, "hedge duplicates must be metered");
+        assert!(on.backoff_retries > 0, "timed-out reads must back off");
+        assert!(on.breaker_opens > 0, "the silent node must trip a breaker");
+        assert!(
+            on.usage.traffic.total() > off.usage.traffic.total(),
+            "hedge bytes must flow into the billable traffic"
+        );
+        let (off_bill, on_bill) = (off.bill.unwrap(), on.bill.unwrap());
+        assert!(
+            on_bill.network_usd > off_bill.network_usd,
+            "hedge traffic must show up in the bill ({} vs {})",
+            on_bill.network_usd,
+            off_bill.network_usd
         );
     }
 

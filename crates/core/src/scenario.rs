@@ -72,6 +72,19 @@ pub enum FaultAction {
     DegradeLink(LinkClass, f64),
     /// Restore a degraded link class to healthy latency.
     RestoreLink(LinkClass),
+    /// Gray-fail a node: its storage service times and the responses it
+    /// emits are multiplied by the factor (`Cluster::slow_node`). The node
+    /// stays up and answers everything — just late, the failure mode crash
+    /// detection misses.
+    SlowNode(u32, f64),
+    /// Restore a gray-failed node to healthy speed.
+    RestoreNode(u32),
+    /// Correlated whole-datacenter outage: every node in the DC goes
+    /// transiently down at once (`Cluster::dc_down`).
+    DcDown(u16),
+    /// End of a whole-datacenter outage: every non-crashed node in the DC
+    /// comes back up.
+    DcUp(u16),
 }
 
 impl FaultAction {
@@ -86,6 +99,10 @@ impl FaultAction {
             FaultAction::HealDcs(a, b) => cluster.heal_dcs(DcId(a), DcId(b)),
             FaultAction::DegradeLink(class, factor) => cluster.degrade_link(class, factor),
             FaultAction::RestoreLink(class) => cluster.restore_link(class),
+            FaultAction::SlowNode(n, factor) => cluster.slow_node(NodeId(n), factor),
+            FaultAction::RestoreNode(n) => cluster.restore_node(NodeId(n)),
+            FaultAction::DcDown(dc) => cluster.dc_down(DcId(dc)),
+            FaultAction::DcUp(dc) => cluster.dc_up(DcId(dc)),
         }
     }
 
@@ -100,6 +117,10 @@ impl FaultAction {
             FaultAction::HealDcs(a, b) => format!("heal(dc{a}|dc{b})"),
             FaultAction::DegradeLink(class, f) => format!("degrade({class},{f}x)"),
             FaultAction::RestoreLink(class) => format!("restore({class})"),
+            FaultAction::SlowNode(n, f) => format!("slow(node{n},{f}x)"),
+            FaultAction::RestoreNode(n) => format!("restore(node{n})"),
+            FaultAction::DcDown(dc) => format!("dc-down(dc{dc})"),
+            FaultAction::DcUp(dc) => format!("dc-up(dc{dc})"),
         }
     }
 }
@@ -259,6 +280,15 @@ mod tests {
         assert!(!cluster.dcs_partitioned(DcId(0), DcId(0)));
         FaultAction::DegradeLink(LinkClass::IntraDc, 4.0).apply(&mut cluster);
         FaultAction::RestoreLink(LinkClass::IntraDc).apply(&mut cluster);
+        FaultAction::SlowNode(3, 10.0).apply(&mut cluster);
+        assert_eq!(cluster.node_slow_factor(NodeId(3)), 10.0);
+        FaultAction::RestoreNode(3).apply(&mut cluster);
+        assert_eq!(cluster.node_slow_factor(NodeId(3)), 1.0);
+        // Single-DC topology: the whole cluster is DC 0.
+        FaultAction::DcDown(0).apply(&mut cluster);
+        assert!(cluster.is_node_down(NodeId(0)));
+        FaultAction::DcUp(0).apply(&mut cluster);
+        assert!(!cluster.is_node_down(NodeId(0)));
     }
 
     #[test]
@@ -271,6 +301,33 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn gray_failure_actions_round_trip_in_the_script_format() {
+        // The PR 9 additions ride the same externally-tagged wire format as
+        // every older action, so scripts mixing old and new variants
+        // round-trip unchanged.
+        let s = Scenario::open_poisson(1_000.0).with_faults(vec![
+            FaultEvent::at_secs(1.0, FaultAction::SlowNode(2, 10.0)),
+            FaultEvent::at_secs(2.0, FaultAction::DcDown(1)),
+            FaultEvent::at_secs(3.0, FaultAction::DcUp(1)),
+            FaultEvent::at_secs(4.0, FaultAction::RestoreNode(2)),
+            FaultEvent::at_secs(5.0, FaultAction::CrashNode(0)),
+        ]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(s.faults[0].action.label(), "slow(node2,10x)");
+        assert_eq!(s.faults[1].action.label(), "dc-down(dc1)");
+        assert_eq!(s.faults[2].action.label(), "dc-up(dc1)");
+        assert_eq!(s.faults[3].action.label(), "restore(node2)");
+        // The explicit wire spelling of the new variants, pinned so future
+        // refactors cannot silently change the script format.
+        let wire: FaultAction = serde_json::from_str(r#"{"SlowNode": [2, 10.0]}"#).unwrap();
+        assert_eq!(wire, FaultAction::SlowNode(2, 10.0));
+        let wire: FaultAction = serde_json::from_str(r#"{"DcDown": 1}"#).unwrap();
+        assert_eq!(wire, FaultAction::DcDown(1));
     }
 
     #[test]

@@ -1016,11 +1016,23 @@ mod tests {
                 expected.push((t, seq));
                 seq += 1;
             }
-            // …and a timer.
+            // …a timer…
             let t = base + rng.next_bounded(5_000);
             q.schedule_timeout(SimTime::from_micros(t), seq);
             expected.push((t, seq));
             seq += 1;
+            // …and a burst of backoff-style retries: exponentially spread
+            // nominal delays (spanning several wheel levels) with random
+            // jitter on top, exactly the heterogeneous key pattern the
+            // resilience layer's `backoff_delay` feeds the wheel. These
+            // must interleave with everything above in pure time order.
+            for _ in 0..3 {
+                let backoff = (100u64 << rng.next_bounded(10)) + rng.next_bounded(1_000);
+                let t = base + backoff;
+                q.schedule_timeout(SimTime::from_micros(t), seq);
+                expected.push((t, seq));
+                seq += 1;
+            }
             for _ in 0..12 {
                 if let Some((t, v)) = q.pop() {
                     out.push((t.as_micros(), v));
@@ -1035,7 +1047,7 @@ mod tests {
         let expected_vals: Vec<u64> = expected.iter().map(|&(_, s)| s).collect();
         let out_vals: Vec<u64> = out.iter().map(|&(_, s)| s).collect();
         assert_eq!(out_vals, expected_vals);
-        assert_eq!(out.len(), 200 * 16);
+        assert_eq!(out.len(), 200 * 19);
     }
 
     #[test]

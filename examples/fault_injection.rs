@@ -28,6 +28,15 @@
 //! buys — fewer stale reads after the outage — and what it costs — the
 //! repair bytes show up in the bill's network line.
 //!
+//! A second, **gray-failure** scenario follows: one node serves 10× slow
+//! mid-run while answering normally — no crash, nothing for fault detection
+//! to see. The run repeats with hedged reads (after 2 ms the coordinator
+//! duplicates the read to the next-best replica, first response wins) and
+//! then with the full resilience layer (hedging + health-aware dynamic
+//! replica selection + retry backoff), printing what hedging buys — the
+//! read tail — and what it costs — the hedge duplicates' bytes, metered
+//! and priced like any other traffic.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example fault_injection
@@ -127,4 +136,69 @@ fn main() {
     let again = full.run_spec(&PolicySpec::Quorum);
     assert_eq!(again, full_reports[1], "fault scenarios are deterministic");
     println!("\nre-running the quorum point reproduced the report exactly.");
+
+    // --- Gray failure: what hedging buys, and for how much -------------
+    // Node 3 serves 10x slow from 30% to 70% of the run but keeps
+    // answering, so no fault detector fires — only the read tail shows it.
+    let gray_run = |hedge: bool, dynamic: bool| {
+        let mut platform = concord::platforms::grid5000_harmony(0.15);
+        platform.cluster.op_timeout = SimDuration::from_secs(1);
+        platform.cluster.retry_on_timeout = 1;
+        if hedge {
+            platform.cluster.resilience.hedge_delay = SimDuration::from_millis(2);
+        }
+        if dynamic {
+            platform.cluster.resilience.backoff = true;
+            platform.cluster.read_selection = ReplicaSelection::Dynamic;
+        }
+        let mut workload = presets::paper_heavy_read_update(2_000, 20_000);
+        workload.field_count = 1;
+        workload.field_length = 1_000;
+        let scenario = Scenario::open_poisson(2_000.0).with_faults(vec![
+            FaultEvent::at_secs(3.0, FaultAction::SlowNode(3, 10.0)),
+            FaultEvent::at_secs(7.0, FaultAction::RestoreNode(3)),
+        ]);
+        Experiment::new(platform, workload)
+            .with_adaptation_interval(SimDuration::from_millis(200))
+            .with_seed(7)
+            .with_scenario(scenario)
+            .run_spec(&PolicySpec::Eventual)
+    };
+    let plain = gray_run(false, false);
+    let hedged = gray_run(true, false);
+    let resilient = gray_run(true, true);
+    println!("\ngray failure: node 3 serves 10x slow mid-run (no crash, nothing to detect)");
+    println!(
+        "{:<26} {:>12} {:>12} {:>8} {:>11} {:>10} {:>11}",
+        "resilience", "r-p50 (ms)", "r-p99 (ms)", "hedged", "hedge-wins", "hedge-KB", "bill delta"
+    );
+    for (label, r) in [
+        ("off", &plain),
+        ("hedged reads (2 ms)", &hedged),
+        ("hedged+dynamic+backoff", &resilient),
+    ] {
+        println!(
+            "{:<26} {:>12.3} {:>12.3} {:>8} {:>11} {:>10.1} {:>+11.4}",
+            label,
+            r.read_latency_ms.p50,
+            r.read_latency_ms.p99,
+            r.hedged_requests,
+            r.hedge_wins,
+            r.hedge_bytes as f64 / 1024.0,
+            r.total_cost_usd() - plain.total_cost_usd(),
+        );
+    }
+    // Hedging rescues the reads stuck behind the gray node...
+    assert!(hedged.hedged_requests > 0 && hedged.hedge_wins > 0);
+    assert!(hedged.read_latency_ms.p99 < plain.read_latency_ms.p99 * 0.9);
+    assert!(resilient.read_latency_ms.p99 < plain.read_latency_ms.p99 * 0.9);
+    // ...and every speculative byte it spends is metered and billed.
+    assert!(hedged.hedge_bytes > 0);
+    assert!(hedged.hedge_bytes <= hedged.usage.traffic.total());
+    println!(
+        "\nhedging cut the read p99 from {:.3} ms to {:.3} ms for {:.1} KB of hedge traffic",
+        plain.read_latency_ms.p99,
+        hedged.read_latency_ms.p99,
+        hedged.hedge_bytes as f64 / 1024.0,
+    );
 }

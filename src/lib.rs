@@ -66,6 +66,7 @@ pub mod prelude {
     pub use crate::platforms::{self, Platform};
     pub use concord_cluster::{
         Cluster, ClusterConfig, ConsistencyLevel, Partitioner, RepairConfig, RepairMode,
+        ReplicaSelection, ResilienceConfig,
     };
     pub use concord_core::{
         render_table, AdaptiveRuntime, BehaviorDrivenPolicy, BehaviorModelBuilder, BismarPolicy,

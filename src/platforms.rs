@@ -14,7 +14,8 @@
 //! (two datacenters stay two datacenters) and the replication factor.
 
 use concord_cluster::{
-    ClusterConfig, ConsistencyLevel, Partitioner, RepairConfig, ReplicationStrategy,
+    ClusterConfig, ConsistencyLevel, Partitioner, RepairConfig, ReplicaSelection,
+    ReplicationStrategy, ResilienceConfig,
 };
 use concord_cost::PricingModel;
 use concord_sim::{DelayDistribution, NetworkModel, RegionId, SimDuration, Topology};
@@ -61,6 +62,8 @@ fn base_config(topology: Topology, network: NetworkModel, rf: u32) -> ClusterCon
         retry_on_timeout: 0,
         exact_latency_percentiles: false,
         repair: RepairConfig::off(),
+        resilience: ResilienceConfig::off(),
+        read_selection: ReplicaSelection::Closest,
         shards: 1,
     }
 }
