@@ -16,7 +16,14 @@
 //! * `cluster_bulk`: the same cluster driven **open-loop** — a sorted
 //!   arrival schedule from `CoreWorkload::timed_ops` bulk-loaded through
 //!   [`Cluster::submit_batch`], so client arrivals ride the event queue's
-//!   O(1) bulk FIFO lane instead of paying one heap push each.
+//!   O(1) bulk FIFO lane instead of paying one heap push each;
+//! * `sharded` (plain invocations only, i.e. without `--shards`): the
+//!   bulk workload re-run at shards 1, 2 and 4 **in one invocation** —
+//!   the pure engine-overhead curve — printing one greppable
+//!   `BARRIER_DATAPOINT {json}` line per shard count with the window /
+//!   fold / elision / fast-forward counters next to the throughput, so
+//!   nightly CI can chart how much synchronization each run actually
+//!   paid for.
 //!
 //! The measurement grid runs through the shared `run_timed_grid` harness
 //! (points run one at a time — wall-clock points must not compete with each
@@ -45,7 +52,7 @@ use concord_bench::{run_timed_grid, Harness};
 use concord_cluster::{
     BatchOp, Cluster, ClusterConfig, ConsistencyLevel, Partitioner, ReplicaStore,
 };
-use concord_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use concord_sim::{EventQueue, ShardMetrics, SimDuration, SimRng, SimTime};
 use concord_workload::{ArrivalProcess, CoreWorkload, OperationType, WorkloadConfig};
 use std::time::Instant;
 
@@ -208,6 +215,17 @@ fn bench_cluster(total_ops: u64, partitioner: Partitioner, shards: u32) -> Measu
 /// workload generator, bulk-loaded in windows through `Cluster::submit_batch`
 /// (the event queue's O(1) bulk lane carries every client arrival).
 fn bench_cluster_bulk(total_ops: u64, partitioner: Partitioner, shards: u32) -> Measurement {
+    bench_cluster_bulk_inner(total_ops, partitioner, shards).0
+}
+
+/// The bulk substrate plus the engine's synchronization counters — the
+/// `sharded` substrate reads the fold/elision accounting off the same
+/// measured run instead of re-simulating.
+fn bench_cluster_bulk_inner(
+    total_ops: u64,
+    partitioner: Partitioner,
+    shards: u32,
+) -> (Measurement, ShardMetrics) {
     let (mut cluster, keys) = micro_cluster(partitioner, shards);
     let mut workload = CoreWorkload::new(WorkloadConfig {
         record_count: keys,
@@ -251,12 +269,55 @@ fn bench_cluster_bulk(total_ops: u64, partitioner: Partitioner, shards: u32) -> 
     completed += cluster.run_to_completion(u64::MAX).len() as u64;
     let elapsed = t0.elapsed().as_secs_f64();
     std::hint::black_box(cluster.metrics().stale_read_rate());
-    Measurement {
+    let m = Measurement {
         name: "cluster_bulk",
         ops: completed,
         events: cluster.events_processed(),
         elapsed_secs: elapsed,
+    };
+    (m, cluster.shard_metrics())
+}
+
+/// Pure engine overhead in one invocation: the open-loop bulk workload at
+/// shards 1, 2 and 4, with one `BARRIER_DATAPOINT` line per shard count
+/// carrying the synchronization counters (windows crossed, folds run,
+/// folds elided, fast-forwards) next to the throughput. The grid's
+/// headline measurement is the 4-shard cell — the deepest engine
+/// configuration, and the one the elision work targets. Counters come
+/// from the best (fastest) run; they are identical across repeats anyway,
+/// because each shard count is a fixed deterministic universe.
+fn bench_sharded(
+    total_ops: u64,
+    partitioner: Partitioner,
+    repeat: u32,
+    threads: u64,
+) -> Measurement {
+    let mut headline = None;
+    for shards in [1u32, 2, 4] {
+        let (m, sync) = (0..repeat)
+            .map(|_| bench_cluster_bulk_inner(total_ops, partitioner, shards))
+            .min_by(|a, b| {
+                a.0.elapsed_secs
+                    .partial_cmp(&b.0.elapsed_secs)
+                    .expect("elapsed times are finite")
+            })
+            .expect("at least one run");
+        println!(
+            "BARRIER_DATAPOINT {{\"shards\":{shards},\"threads\":{threads},\
+             \"windows\":{},\"barrier_folds\":{},\"elided_barriers\":{},\
+             \"fast_forwards\":{},\"events_per_sec\":{:.0},\"ns_per_op\":{:.1}}}",
+            sync.windows,
+            sync.barrier_folds,
+            sync.elided_barriers,
+            sync.fast_forwards,
+            m.events_per_sec(),
+            m.ns_per_op()
+        );
+        headline = Some(m);
     }
+    let mut m = headline.expect("three shard counts ran");
+    m.name = "sharded";
+    m
 }
 
 /// Best (highest events/sec) of `repeat` runs — wall-clock benchmarks on a
@@ -280,6 +341,7 @@ enum Substrate {
     Store { ops: u64 },
     Cluster { ops: u64 },
     ClusterBulk { ops: u64 },
+    Sharded { ops: u64 },
 }
 
 fn main() {
@@ -324,7 +386,7 @@ fn main() {
     // The store substrate is cheap per op; run 4× the cluster count so its
     // wall-clock stays measurable at small scales.
     let store_ops = cluster_ops * 4;
-    let grid = vec![
+    let mut grid = vec![
         Substrate::Queue {
             rounds: queue_rounds,
         },
@@ -332,6 +394,13 @@ fn main() {
         Substrate::Cluster { ops: cluster_ops },
         Substrate::ClusterBulk { ops: cluster_ops },
     ];
+    // The engine-overhead curve only belongs to plain invocations: with an
+    // explicit `--shards N` the caller is already sweeping shard counts
+    // one cell at a time (the nightly SHARDED_DATAPOINT matrix), and
+    // re-running {1, 2, 4} inside each cell would triple its cost.
+    if harness.shards.is_none() {
+        grid.push(Substrate::Sharded { ops: cluster_ops });
+    }
     let measurements = run_timed_grid(grid, |point| {
         let m = match point {
             Substrate::Queue { rounds } => best_of(repeat, || bench_event_queue(rounds)),
@@ -342,6 +411,9 @@ fn main() {
             Substrate::ClusterBulk { ops } => {
                 best_of(repeat, || bench_cluster_bulk(ops, partitioner, shards))
             }
+            // best_of lives inside: each shard count picks its own best
+            // run, and the BARRIER_DATAPOINT lines print per shard count.
+            Substrate::Sharded { ops } => bench_sharded(ops, partitioner, repeat, threads),
         };
         eprintln!(
             "  {:<20} {:>12.0} events/s  {:>8.1} ns/op  ({} events for {} ops)",

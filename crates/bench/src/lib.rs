@@ -246,11 +246,18 @@
 //!   message is a real inter-DC link crossing whose delay clears the
 //!   lookahead bound.
 //! * **Lookahead windows.** Shards advance in windows bounded by the
-//!   *lookahead*: the minimum delay any cross-shard link class can produce
-//!   (infimum of the delay distribution × the current degradation factor,
-//!   recomputed when a fault script degrades or restores a link class). No
-//!   message sent inside a window can demand execution before the window
-//!   ends, which is the classic conservative-PDES safety argument.
+//!   *lookahead* — but per shard, not globally. The engine keeps an
+//!   `n × n` **lookahead matrix**: entry `(i, j)` is the minimum delay any
+//!   link class crossing from shard `i` to shard `j` can produce (infimum
+//!   of the delay distribution × the current degradation factor,
+//!   recomputed when a fault script degrades or restores a link class).
+//!   Each shard's bound is its row minimum over the *other* shards, so a
+//!   shard whose only cross-shard neighbours sit behind a WAN link earns a
+//!   WAN-sized window even when some other shard pair is LAN-close. With
+//!   no cross-shard link class at all, the bound falls back to the
+//!   configured `op_timeout` rather than a hard-coded constant. No message
+//!   sent inside a window can demand execution before the window ends,
+//!   which is the classic conservative-PDES safety argument.
 //! * **Parallel window execution.** Within a window, each shard's event
 //!   batch runs as a task on the vendored rayon work-stealing pool
 //!   (`--threads <n>` sizes it), with handler state partitioned per shard:
@@ -259,17 +266,33 @@
 //!   and streams metrics into its own sink. Versions are timestamp-packed
 //!   (`(µs+1)‖seq‖shard`) so last-write-wins follows simulated time, not
 //!   shard interleaving.
-//! * **Barrier fold.** At the window barrier the shards' outboxes are
-//!   folded serially in fixed shard order: cross-shard messages move to
-//!   their destination lanes, write acks land in the central staleness
-//!   oracle's time-indexed history (carrying their true ack times), and
-//!   completed reads are classified against that history *as of their own
-//!   issue instant* — exactly what a serial execution of the same event
-//!   trace would conclude. Sampled delays that undercut the lookahead
-//!   bound are clamped to the window edge and metered
-//!   (`lookahead_violations` in the `RunReport`, alongside `shards`,
-//!   `shard_windows`, `cross_shard_staged`, `parallel_batches`,
-//!   `barrier_folds` and `max_batch_len`; coordinator-homed routing keeps
+//! * **Barrier fold — elided when unused.** Closing a window has two
+//!   tiers. The cheap tier runs at *every* close: staged cross-shard
+//!   data-plane messages move from per-shard outbox arenas to their
+//!   destination lanes (the next window's floor depends on them). The
+//!   expensive serial tier — the **fold**: write acks landing in the
+//!   central staleness oracle's time-indexed history, completed reads
+//!   classified against that history *as of their own issue instant*,
+//!   control effects (abandons, hints, resubmits) applied, outputs
+//!   published — only runs when something demands it: a window that staged
+//!   control effects folds at its own barrier, and the deferred
+//!   ack/completion buffer flushes when it crosses a size threshold or the
+//!   run drains. Every other barrier is **elided**, and runs of windows
+//!   with nothing to deliver at all are crossed by a single cursor
+//!   **fast-forward** instead of barrier-by-barrier marching. Elision is
+//!   exact, not approximate: deferred work is order-preserving (per-window
+//!   output time ranges are disjoint and increasing), acks are always
+//!   applied before the reads they could affect are classified, and
+//!   anything that could perturb a later window forces a fold at its own
+//!   window — so a fold may be *deferred*, never *changed*
+//!   (`crates/cluster/tests/barrier_elision.rs` pins on/off
+//!   byte-identity under randomized fault scripts;
+//!   `ClusterConfig::eager_folds` turns elision off for debugging).
+//!   Sampled delays that undercut the lookahead bound are clamped to the
+//!   window edge and metered (`lookahead_violations` in the `RunReport`,
+//!   alongside `shards`, `shard_windows`, `cross_shard_staged`,
+//!   `parallel_batches`, `barrier_folds`, `elided_barriers`,
+//!   `fast_forwards` and `max_batch_len`; coordinator-homed routing keeps
 //!   violations at zero in practice).
 //!
 //! **The determinism contract.** `--shards 1` runs the sequential engine
@@ -291,7 +314,17 @@
 //! and ordered scans straddling a shard boundary (see `concord_sim::shard`
 //! for the full design notes). `exp_throughput --shards <n> --threads <m>`
 //! measures the engine cost and prints greppable `SHARDED_DATAPOINT`
-//! lines for the nightly CI shards × threads matrix.
+//! lines for the nightly CI shards × threads matrix; a *plain*
+//! `exp_throughput` invocation additionally runs the `sharded` substrate —
+//! the open-loop bulk workload at shards 1, 2 and 4 in one invocation —
+//! printing one `BARRIER_DATAPOINT` line per shard count with the
+//! window/fold/elision/fast-forward counters next to the throughput, so
+//! nightly CI charts how much synchronization each run actually paid for.
+//! One honesty note on the numbers: the PR containers are single-core, so
+//! every recorded shards > 1 figure measures pure engine *overhead*
+//! (windowing + barrier bookkeeping on one core), not parallel speedup —
+//! the nightly matrix on a multi-core runner is where the speedup curve
+//! comes from.
 //!
 //! ## The resilience layer: `--hedge <ms>`, `--selection dynamic`, `--backoff`
 //!

@@ -30,14 +30,30 @@
 //! drawn from the control stream and the op homes on the coordinator's
 //! shard, so every message it exchanges travels a real coordinator↔replica
 //! link — cross-shard exactly when it crosses the shard cut. The simulation
-//! advances in lookahead windows bounded by the minimum cross-shard link
-//! delay (with datacenter-aligned cuts, the inter-DC floor): within a window
-//! each shard drains its lane independently — the batches execute in
-//! parallel on the work-stealing pool — while cross-shard effects are pushed
-//! into a per-shard outbox. At the window barrier the outboxes are folded
-//! serially in fixed shard order (0, 1, …), drawing any fold-time randomness
-//! from a dedicated control-plane RNG stream, so the run's output is a pure
-//! function of `(seed, shard count)` at **any** worker-thread count.
+//! advances in lookahead windows bounded per shard by that shard's row of
+//! an S×S **lookahead matrix** of pairwise link-delay infima (with
+//! datacenter-aligned cuts, each pair's bound is the delay floor between
+//! *those* DCs, so wide-area pairs no longer drag every window down to the
+//! tightest LAN link): within a window each shard drains its lane
+//! independently — the batches execute in parallel on the work-stealing
+//! pool — while cross-shard effects are staged per destination shard.
+//!
+//! Closing a window has two tiers. **Delivery** happens at every close:
+//! staged data-plane messages (events, write tasks) are drained from
+//! per-destination arenas into the target lanes in fixed sender order —
+//! this cannot be deferred, because the next window's floor depends on
+//! them. The serial **fold** (oracle ack recording, deferred read
+//! classification, control-plane effects, output publication) is *elided*
+//! when nothing demands it: no staged control effects and the deferred
+//! completion buffer below its flush threshold. Folds that do run execute
+//! in fixed shard order (0, 1, …), drawing any fold-time randomness from a
+//! dedicated control-plane RNG stream, so the run's output is a pure
+//! function of `(seed, shard count)` at **any** worker-thread count —
+//! elision included, because deferred work is order-preserving (window
+//! output time ranges are disjoint) and control effects always force the
+//! fold at their own window. Runs of entirely quiet windows are
+//! fast-forwarded: the cursor jumps to the global next-event floor instead
+//! of marching barrier-by-barrier through empty simulated time.
 //!
 //! Two pieces of cross-op state are centralized rather than sharded. Write
 //! versions are timestamp-packed (`µs << 24 | seq << 8 | shard`) so
@@ -144,8 +160,9 @@ enum ReplicaTask {
     Write {
         /// Handle into [`ShardState::write_payloads`]; released on
         /// consumption. Payload handles never cross shards: a remote write
-        /// task travels as a [`Staged::WriteTask`] carrying the payload by
-        /// value and is re-interned at its destination shard at the fold.
+        /// task travels as an [`OutMsg::WriteTask`] carrying the payload by
+        /// value and is re-interned at its destination shard when the
+        /// window closes.
         payload: PayloadId,
     },
     Read {
@@ -155,12 +172,31 @@ enum ReplicaTask {
         data: bool,
         /// Number of consecutive records to read (1 for point reads; YCSB-E
         /// range scans read `len` adjacent slots of the dense store).
-        len: u32,
+        /// 16-bit on the wire — [`ClusterConfig::validate`] caps scan
+        /// lengths so the task stays within the 24-byte event budget.
+        len: u16,
         /// Which segment of a multi-segment scan this request serves (0 for
         /// point reads and hash-partitioned scans; ordered-partitioner scans
         /// split at ownership boundaries and gather per segment).
         segment: u16,
+        /// The coordinator awaiting the response, as a packed 16-bit node
+        /// index (see [`pack_node`]). Carried on the task so a replica on a
+        /// foreign shard can sample the response delay and meter the
+        /// message on *its own* stream at service time instead of deferring
+        /// the draw to the barrier fold (the fold then needs no RNG for
+        /// response traffic, which is what lets quiet windows elide it).
+        coordinator: u16,
     },
+}
+
+/// Compress a [`NodeId`] to 16 bits for event-payload packing. Node counts
+/// are capped at 65 536 by [`ClusterConfig::validate`], so the cast is
+/// lossless; the debug assert guards internal callers that bypass
+/// validation.
+#[inline]
+fn pack_node(node: NodeId) -> u16 {
+    debug_assert!(node.0 <= u16::MAX as u32, "node id exceeds 16-bit packing");
+    node.0 as u16
 }
 
 /// Index into a shard's interned write-payload slab.
@@ -177,6 +213,11 @@ struct WritePayload {
     size: u32,
     /// Background repair writes do not generate client-visible acks.
     repair: bool,
+    /// The coordinator awaiting the ack, as a packed 16-bit node index
+    /// (see [`pack_node`] and [`ReplicaTask::Read`]'s `coordinator` —
+    /// same sender-side-draw rationale; unused for `repair` payloads,
+    /// which ack nobody).
+    coordinator: u16,
 }
 
 /// One slot of the write-payload slab: the payload plus its reference count
@@ -570,9 +611,6 @@ struct ClusterShared {
     node_shard: Vec<u16>,
     /// Shard count (`node_shard` image size), denominator of op-home routing.
     nshards: u32,
-    /// Which link classes connect nodes of *different* shards: the classes
-    /// whose delay infimum bounds the lookahead window.
-    cross_shard_classes: [bool; 4],
     /// Per-node down flags (transient outages; a crashed node is also down).
     down: Vec<bool>,
     /// Number of nodes currently marked down (fast path: pick a coordinator
@@ -627,42 +665,41 @@ impl ClusterShared {
     }
 }
 
-/// A cross-shard effect recorded during a window and applied at the barrier
-/// fold, in fixed shard order. Everything is carried by value — staged
-/// entries reference no slab of the shard that produced them.
-enum Staged {
-    /// Deliver an event to another shard's lane verbatim.
-    Event { dest: u16, at: SimTime, ev: Event },
+/// A cross-shard *data-plane* message staged during a window into the
+/// sender's per-destination outbox arena and delivered — in sender-shard
+/// order, then per-destination staging order — when the window closes.
+/// Delivery is pure lane insertion (plus payload interning), needs no
+/// control-plane state, and therefore happens at **every** window close,
+/// fold or no fold: deferring it would change destination lanes' next-event
+/// floors and with them every subsequent window bound. Everything is
+/// carried by value — staged entries reference no slab of the shard that
+/// produced them.
+enum OutMsg {
+    /// Deliver an event to the destination shard's lane verbatim.
+    Event { at: SimTime, ev: Event },
     /// Deliver a replica write task: the payload travels by value and is
-    /// interned (refs = 1) in the destination shard's slab at the fold.
+    /// interned (refs = 1) in the destination shard's slab on delivery.
     WriteTask {
-        dest: u16,
         at: SimTime,
         node: NodeId,
         payload: WritePayload,
     },
-    /// A replica on this shard applied a write owned by another shard. The
-    /// fold reads the coordinator from the home shard's op state, meters the
-    /// ack on the control-plane RNG and schedules the
-    /// [`Event::CoordinatorWriteAck`] home.
-    WriteApplied {
-        op_id: OpId,
-        from: NodeId,
-        applied_at: SimTime,
-    },
-    /// A replica on this shard served a read owned by another shard; raw
-    /// response, completed at the fold (coordinator lookup + metering +
-    /// data/digest gating) exactly like [`Staged::WriteApplied`].
-    ReadResponse {
-        op_id: OpId,
-        from: NodeId,
-        at: SimTime,
-        version: Version,
-        size: u32,
-        records: u32,
-        segment: u16,
-        data: bool,
-    },
+}
+
+/// How many deferred fold items (pending oracle acks + deferred read
+/// completions + gathered outputs) a window close tolerates before it
+/// forces a fold anyway. Bounds the memory deferred publication can hold
+/// and keeps the final flush from ballooning; the value is a latency/
+/// amortization trade-off, not a correctness knob — elision is exact at
+/// any threshold (see [`Cluster::fold`]).
+const FOLD_FLUSH_THRESHOLD: usize = 4096;
+
+/// A cross-shard *control-plane* effect staged during a window. Unlike
+/// [`OutMsg`] these need serialized access to [`ControlState`] (hint
+/// queues, the control RNG, coordinator re-draws), so any window that
+/// stages one **forces a barrier fold** — elision only ever skips folds
+/// with no control work pending, which is what keeps it non-perturbing.
+enum CtrlStaged {
     /// An ack owned by another shard can never arrive (dead replica /
     /// partition-dropped task): decrement its targeted count at the fold.
     Abandon { op_id: OpId },
@@ -674,31 +711,6 @@ enum Staged {
         key: Key,
         version: Version,
         size: u32,
-    },
-    /// A write satisfied its consistency level this window: record the ack
-    /// in the central staleness oracle at the fold, carrying its true ack
-    /// time. The oracle is only ever touched at serial points; fold-time
-    /// classification queries go by these stored times
-    /// ([`StalenessOracle::expected_version_at`]), so the split between
-    /// windows and folds is invisible to the staleness ground truth.
-    OracleAck {
-        key: Key,
-        version: Version,
-        at: SimTime,
-    },
-    /// A read completed this window; its classification (stale or fresh,
-    /// and how deep) needs the oracle's serialized ack history, so the
-    /// completion finishes at the fold: classify against the ack set as of
-    /// `issue_at`, then record the metrics in shard `shard`'s sink and
-    /// emit the client output. This is *exact*, not an approximation — an
-    /// ack with time before `issue_at` is always recorded by this fold,
-    /// because acks land at the fold of the window containing their ack
-    /// time and `issue_at` precedes this window's end; acks recorded at
-    /// this fold with later times are filtered out by their timestamps.
-    ReadDone {
-        op: CompletedOp,
-        issue_at: SimTime,
-        shard: u16,
     },
     /// Re-route an attempt whose coordinator is unreachable (timeout retry,
     /// or the pre-routed coordinator went down before the arrival fired):
@@ -798,14 +810,36 @@ struct ShardState {
     replica_scratch: Vec<NodeId>,
     /// Scratch buffer for the up-node list when nodes are down.
     up_scratch: Vec<NodeId>,
-    /// Outputs produced this window, drained at the fold (serial mode:
-    /// drained after every event, preserving the pre-sharding order).
+    /// Outputs produced this window, drained at the window close (serial
+    /// mode: drained after every event, preserving the pre-sharding order).
     outputs: Vec<ClusterOutput>,
-    /// Full-propagation samples produced this window, drained at the fold.
+    /// Full-propagation samples produced this window, drained at the close.
     propagation: Vec<SimDuration>,
-    /// Cross-shard effects recorded this window, applied at the fold.
-    outbox: Vec<Staged>,
-    /// Events this shard popped in the current window (the fold derives
+    /// Data-plane outbox arenas, one per destination shard, drained (and
+    /// their allocations reused) at every window close.
+    outbox_dest: Vec<Vec<OutMsg>>,
+    /// Oracle acks produced this window `(key, version, ack_time)`: writes
+    /// that satisfied their consistency level. Gathered at the close,
+    /// recorded into the central oracle at the next fold — exact, because
+    /// classification filters acks by timestamp and every ack with time
+    /// before a read's issue time is gathered no later than that read's
+    /// window (see [`Cluster::fold`]).
+    outbox_acks: Vec<(Key, Version, SimTime)>,
+    /// Reads completed this window whose stale/fresh classification needs
+    /// the oracle's serialized ack history `(op, issue_at)`; classified at
+    /// the next fold.
+    outbox_dones: Vec<(CompletedOp, SimTime)>,
+    /// Control-plane effects recorded this window. Any entry forces the
+    /// window to fold (see [`CtrlStaged`]).
+    outbox_ctrl: Vec<CtrlStaged>,
+    /// Cross-shard messages staged this window (fold-independent counter
+    /// feed for [`ShardMetrics::staged`]); reset at the close.
+    window_staged: u64,
+    /// Staged messages whose timestamp undercut the window boundary and
+    /// were clamped to it ([`ShardMetrics::violations`]); reset at the
+    /// close.
+    window_violations: u64,
+    /// Events this shard popped in the current window (the close derives
     /// `parallel_batches` / `max_batch_len` from these).
     window_popped: u64,
     /// Per-replica health as observed by this shard's coordinators (EWMA +
@@ -867,8 +901,26 @@ pub struct Cluster {
     shared: ClusterShared,
     shard_states: Vec<ShardState>,
     ctrl: ControlState,
-    /// Current conservative lookahead window bound.
+    /// Current conservative lookahead window bound: the global minimum of
+    /// `shard_lookahead` (kept for reporting and the window-size floor).
     lookahead: SimDuration,
+    /// Per-shard-pair lookahead matrix, row-major `S×S`:
+    /// `lookahead_matrix[i * S + j]` is the infimum link delay between any
+    /// node of shard `i` and any node of shard `j` under the current
+    /// degradation factors. Diagonal entries are unused.
+    lookahead_matrix: Vec<SimDuration>,
+    /// Per-shard outgoing bound: `shard_lookahead[i] = min over j != i` of
+    /// the matrix row — the earliest a message *sent* by shard `i` at its
+    /// next-event floor can take effect on any other shard. The window end
+    /// is `min_i (floor_i + shard_lookahead[i])` over shards with pending
+    /// events, which is never smaller than the old global bound
+    /// (`global floor + global min`) and strictly wider whenever the shard
+    /// holding the global floor has only wide-area peers.
+    shard_lookahead: Vec<SimDuration>,
+    /// Which link classes connect each shard pair (row-major `S×S`, indexed
+    /// by [`LinkClass`]); the basis `refresh_lookahead` recomputes the
+    /// matrix from when degradation factors change.
+    pair_classes: Vec<[bool; 4]>,
     /// Time of the last processed event (serial) / high-water mark over the
     /// shard lanes (parallel).
     clock: SimTime,
@@ -880,12 +932,22 @@ pub struct Cluster {
     /// Synchronization counters of the sharded engine (all zero with one
     /// shard: the serial path never crosses a window barrier).
     sync: ShardMetrics,
-    /// Scratch for gathering window outputs at the fold.
+    /// Client outputs gathered at window closes, published (time-sorted) at
+    /// the next fold. Per-window output time ranges are disjoint and
+    /// increasing, so one deferred stable sort equals the concatenation of
+    /// per-window sorts — deferral reorders nothing.
     fold_outputs: Vec<ClusterOutput>,
-    /// Reads whose completion deferred to this fold ([`Staged::ReadDone`]),
-    /// classified after every outbox (and so every ack of the window) has
-    /// been applied.
-    fold_read_dones: Vec<(CompletedOp, SimTime, u16)>,
+    /// Oracle acks gathered at window closes (`(key, version, ack_time)`,
+    /// in shard order per window), recorded into the oracle at the next
+    /// fold before any classification.
+    pending_acks: Vec<(Key, Version, SimTime)>,
+    /// Reads whose completion deferred to the next fold, classified after
+    /// every pending ack has been recorded. `(op, issue_at, owning shard)`
+    /// — the shard index routes the metrics to the right sink.
+    pending_dones: Vec<(CompletedOp, SimTime, u16)>,
+    /// Boundary of the most recently closed window — the fold time used
+    /// when a flush is forced between windows.
+    last_boundary: SimTime,
     /// High-water mark of `submit_batch` arrival times across all shards
     /// (the per-lane FIFO asserts only per-lane order; the sorted-stream
     /// contract is global).
@@ -1184,15 +1246,24 @@ impl Cluster {
         // the allocating shard (see `ShardState::alloc_version_at`).
         assert!(shards <= 256, "at most 256 event-lane shards are supported");
         let node_shard = Self::build_shard_map(&config.topology, shards);
-        let mut cross_shard_classes = [false; 4];
+        let mut pair_classes = vec![[false; 4]; shards * shards];
         for from in 0..n {
             for to in 0..n {
-                if node_shard[from] != node_shard[to] {
-                    cross_shard_classes[class_index(link_class[from * n + to])] = true;
+                let (sf, st) = (node_shard[from] as usize, node_shard[to] as usize);
+                if sf != st {
+                    let c = class_index(link_class[from * n + to]);
+                    pair_classes[sf * shards + st][c] = true;
                 }
             }
         }
-        let lookahead = Self::lookahead_bound(&config.network, &cross_shard_classes, &[1.0; 4]);
+        let lookahead_fallback = config.op_timeout;
+        let (lookahead_matrix, shard_lookahead, lookahead) = Self::lookahead_tables(
+            &config.network,
+            &pair_classes,
+            shards,
+            &[1.0; 4],
+            lookahead_fallback,
+        );
         let fresh_metrics = |config: &ClusterConfig| {
             let mut metrics = ClusterMetrics::new();
             if config.exact_latency_percentiles {
@@ -1245,7 +1316,12 @@ impl Cluster {
                 up_scratch: Vec::with_capacity(n),
                 outputs: Vec::new(),
                 propagation: Vec::new(),
-                outbox: Vec::new(),
+                outbox_dest: (0..shards).map(|_| Vec::new()).collect(),
+                outbox_acks: Vec::new(),
+                outbox_dones: Vec::new(),
+                outbox_ctrl: Vec::new(),
+                window_staged: 0,
+                window_violations: 0,
                 window_popped: 0,
                 health: vec![NodeHealth::new(config.resilience.effective_alpha()); n],
             })
@@ -1277,7 +1353,6 @@ impl Cluster {
                 node_count: n,
                 node_shard,
                 nshards: shards as u32,
-                cross_shard_classes,
                 down: vec![false; n],
                 down_count: 0,
                 crashed: vec![false; n],
@@ -1294,13 +1369,18 @@ impl Cluster {
             shard_states,
             ctrl,
             lookahead,
+            lookahead_matrix,
+            shard_lookahead,
+            pair_classes,
             clock: SimTime::ZERO,
             outputs: VecDeque::new(),
             propagation_samples: Vec::new(),
             home_scratch: Vec::with_capacity(effective_rf.max(1)),
             sync: ShardMetrics::default(),
             fold_outputs: Vec::new(),
-            fold_read_dones: Vec::new(),
+            pending_acks: Vec::new(),
+            pending_dones: Vec::new(),
+            last_boundary: SimTime::ZERO,
             bulk_tail: SimTime::ZERO,
         }
     }
@@ -1321,16 +1401,22 @@ impl Cluster {
         map
     }
 
-    /// The conservative lookahead bound: the infimum of the link delay over
-    /// the classes that cross a shard boundary, scaled by the current
-    /// degradation factors (a factor below 1 shrinks delays, so the window
-    /// must shrink with it). A zero infimum (e.g. an exponential cross-shard
-    /// link) degrades to the engine's minimal 1 µs window rather than
-    /// disabling sharding.
+    /// The conservative lookahead bound for one set of link classes: the
+    /// infimum of the link delay over the classes present, scaled by the
+    /// current degradation factors (a factor below 1 shrinks delays, so the
+    /// window must shrink with it). A zero infimum (e.g. an exponential
+    /// cross-shard link) degrades to the engine's minimal 1 µs window
+    /// rather than disabling sharding. When *no* class is present — a
+    /// single shard, where no message ever crosses a boundary — any window
+    /// works, and the bound falls back to `fallback` (the configured
+    /// operation timeout: the coarsest horizon the simulation itself
+    /// schedules at, rather than the arbitrary 1 s constant used before
+    /// PR 10).
     fn lookahead_bound(
         network: &NetworkModel,
         cross: &[bool; 4],
         degradation: &[f64; 4],
+        fallback: SimDuration,
     ) -> SimDuration {
         let dists = [
             &network.local,
@@ -1345,20 +1431,58 @@ impl Cluster {
             }
         }
         if !min_ms.is_finite() {
-            // No cross-shard link exists (single shard): any window works.
-            min_ms = 1000.0;
+            return fallback;
         }
         SimDuration::from_micros((min_ms * 1_000.0).floor() as u64)
     }
 
-    /// Re-derive the lookahead bound from the current degradation factors
-    /// (takes effect at the next window).
+    /// Build the per-pair lookahead matrix, the per-shard outgoing bounds
+    /// and the global minimum from the pair link-class basis. Row `i` of
+    /// the matrix bounds how early a message sent by shard `i` can take
+    /// effect on shard `j`; `shard_lookahead[i]` is the row minimum over
+    /// `j != i`. With a uniform matrix this degenerates to exactly the old
+    /// single global bound.
+    fn lookahead_tables(
+        network: &NetworkModel,
+        pair_classes: &[[bool; 4]],
+        shards: usize,
+        degradation: &[f64; 4],
+        fallback: SimDuration,
+    ) -> (Vec<SimDuration>, Vec<SimDuration>, SimDuration) {
+        let mut matrix = vec![fallback; shards * shards];
+        let mut per_shard = vec![fallback; shards];
+        for i in 0..shards {
+            for j in 0..shards {
+                if i == j {
+                    continue;
+                }
+                let bound = Self::lookahead_bound(
+                    network,
+                    &pair_classes[i * shards + j],
+                    degradation,
+                    fallback,
+                );
+                matrix[i * shards + j] = bound;
+                per_shard[i] = per_shard[i].min(bound);
+            }
+        }
+        let global = per_shard.iter().copied().min().unwrap_or(fallback);
+        (matrix, per_shard, global)
+    }
+
+    /// Re-derive the lookahead matrix and bounds from the current
+    /// degradation factors (takes effect at the next window).
     fn refresh_lookahead(&mut self) {
-        self.lookahead = Self::lookahead_bound(
+        let (matrix, per_shard, global) = Self::lookahead_tables(
             &self.shared.config.network,
-            &self.shared.cross_shard_classes,
+            &self.pair_classes,
+            self.shard_states.len(),
             &self.shared.link_degradation,
+            self.shared.config.op_timeout,
         );
+        self.lookahead_matrix = matrix;
+        self.shard_lookahead = per_shard;
+        self.lookahead = global;
     }
 
     /// Whether this cluster runs the exact serial path (one shard).
@@ -1432,7 +1556,9 @@ impl Cluster {
         self.sync
     }
 
-    /// The current conservative lookahead window bound.
+    /// The current conservative lookahead window bound: the global minimum
+    /// over the per-pair lookahead matrix. Individual windows are bounded
+    /// per shard by the (possibly wider) per-shard row minima.
     pub fn lookahead(&self) -> SimDuration {
         self.lookahead
     }
@@ -1494,8 +1620,9 @@ impl Cluster {
 
     /// Ground-truth staleness totals. One central oracle serves both
     /// engines: the serial engine classifies inline, the parallel engine at
-    /// barrier folds ([`Staged::ReadDone`]), so its counters are the whole
-    /// view.
+    /// barrier folds (deferred read completions in `pending_dones`), so its
+    /// counters are the whole view once a run has drained (mid-run, elided
+    /// barriers may defer classification until the next fold).
     pub fn oracle(&self) -> OracleStats {
         self.ctrl.oracle.stats()
     }
@@ -1507,10 +1634,12 @@ impl Cluster {
     /// engine's.
     pub fn metrics(&self) -> ClusterMetrics {
         let mut merged = self.shard_states[0].metrics.clone();
-        for s in &self.shard_states[1..] {
-            merged.merge(&s.metrics);
-        }
-        merged.merge(&self.ctrl.metrics);
+        merged.merge_many(
+            self.shard_states[1..]
+                .iter()
+                .map(|s| &s.metrics)
+                .chain(std::iter::once(&self.ctrl.metrics)),
+        );
         merged
     }
 
@@ -1885,19 +2014,29 @@ impl Cluster {
         self.submit(OpKind::Write, key, size, 1, Some(level), at)
     }
 
-    /// Reject scans the ordered partitioner cannot segment: segment ids are
-    /// 16-bit, so a range may span at most 2^16 ownership slices. Checked at
+    /// Reject scans the engine cannot represent: segment ids are 16-bit, so
+    /// an ordered-partitioner range may span at most 2^16 ownership slices,
+    /// and a hash-partitioned scan travels as a *single* segment whose
+    /// record count rides the task's 16-bit `len` field. Checked at
     /// submission (fail fast, partitioner-dependent contract documented on
     /// [`Cluster::submit_scan_at`]) rather than panicking mid-simulation.
     #[inline]
     fn assert_scan_segmentable(&self, scan_len: u32) {
         const MAX_ORDERED_SCAN: u64 = (u16::MAX as u64) << ORDERED_SLICE_BITS;
-        assert!(
-            self.shared.config.partitioner != Partitioner::Ordered
-                || scan_len as u64 <= MAX_ORDERED_SCAN,
-            "ordered-partitioner scans span at most 2^16 ownership slices \
-             (scan_len {scan_len} > {MAX_ORDERED_SCAN})"
-        );
+        if self.shared.config.partitioner == Partitioner::Ordered {
+            assert!(
+                scan_len as u64 <= MAX_ORDERED_SCAN,
+                "ordered-partitioner scans span at most 2^16 ownership slices \
+                 (scan_len {scan_len} > {MAX_ORDERED_SCAN})"
+            );
+        } else {
+            assert!(
+                scan_len <= u16::MAX as u32,
+                "hash-partitioned scans read at most 2^16 records in one segment \
+                 (scan_len {scan_len} > {})",
+                u16::MAX
+            );
+        }
     }
 
     fn submit(
@@ -2060,6 +2199,8 @@ impl Cluster {
                     shared: &self.shared,
                     s: &mut self.shard_states[0],
                     ctrl: Some(&mut self.ctrl),
+                    // The serial path never stages, so it has no boundary.
+                    boundary: SimTime::ZERO,
                 };
                 ctx.handle(now, other);
                 // Preserve the pre-sharding output order: completions enter
@@ -2103,8 +2244,10 @@ impl Cluster {
 
     /// Advance the parallel engine by one step: either run one due control
     /// event at a barrier edge, or execute one lookahead window (parallel
-    /// shard batches + serial fold). Returns `false` when nothing is left
-    /// (or the next event lies beyond `deadline`).
+    /// shard batches + window close, folding only when control-plane work
+    /// demands it). Returns `false` when nothing is left (or the next event
+    /// lies beyond `deadline`) *and* no deferred fold work remained to
+    /// flush.
     fn step_window(&mut self, deadline: Option<SimTime>) -> bool {
         let shard_min = self
             .shard_states
@@ -2113,7 +2256,9 @@ impl Cluster {
             .min();
         let ctrl_min = self.ctrl.lane.peek_key_packed();
         let next_key = match (shard_min, ctrl_min) {
-            (None, None) => return false,
+            // Out of events: publish whatever elided folds deferred (the
+            // second pass through here finds nothing pending and stops).
+            (None, None) => return self.flush_pending(),
             (Some(a), None) => a,
             (None, Some(b)) => b,
             (Some(a), Some(b)) => a.min(b),
@@ -2121,7 +2266,9 @@ impl Cluster {
         let next_time = unpack_time(next_key);
         if let Some(d) = deadline {
             if next_time > d {
-                return false;
+                // Beyond the caller's horizon: flush so completions that
+                // already happened are observable at the deadline.
+                return self.flush_pending();
             }
         }
         // Control events run at barrier edges, serially, and win instant
@@ -2134,6 +2281,11 @@ impl Cluster {
             _ => false,
         };
         if ctrl_due {
+            // Deferred completions all precede the control event's instant
+            // (windows never cross it), so flush first: a tick output must
+            // follow every completion that happened before it, and control
+            // handlers must observe up-to-date control-plane state.
+            self.flush_pending();
             let (now, event) = self.ctrl.lane.pop().expect("control lane was just peeked");
             if now > self.clock {
                 self.clock = now;
@@ -2141,25 +2293,47 @@ impl Cluster {
             self.dispatch_ctrl(now, event);
             return true;
         }
-        // One lookahead window: [floor, end) in packed-key space. The
-        // window never reaches the next control event's instant and never
-        // crosses the caller's deadline; a zero lookahead bound (cross-shard
-        // link with a zero delay infimum) degrades to a minimal 1 µs window.
+        // One lookahead window: [floor, end) in packed-key space. The end
+        // is the min over shards with pending events of `shard floor +
+        // per-shard lookahead` — a message sent by shard `i` is sent at or
+        // after `i`'s own next-event floor and takes at least
+        // `shard_lookahead[i]` to take effect elsewhere, so no shard can
+        // affect another inside the window. With a uniform lookahead matrix
+        // this equals the old `global floor + global bound`; with a mixed
+        // topology, shards whose outgoing links are all wide-area stop
+        // dragging the window down to the tightest LAN bound. The window
+        // never reaches the next control event's instant and never crosses
+        // the caller's deadline; a zero bound (cross-shard link with a zero
+        // delay infimum) degrades to a minimal 1 µs window.
         let floor = next_time;
-        let lookahead = self.lookahead.max(SimDuration::from_micros(1));
-        let mut end_key = pack(floor + lookahead, 0);
+        if self.sync.windows > 0 && floor > self.last_boundary {
+            // The global floor jumped past quiet simulated time instead of
+            // marching barrier-by-barrier through it.
+            self.sync.fast_forwards += 1;
+        }
+        let min_window = SimDuration::from_micros(1);
+        let mut end_key = u128::MAX;
+        for (i, s) in self.shard_states.iter().enumerate() {
+            if let Some(k) = s.lane.peek_key_packed() {
+                let bound = unpack_time(k) + self.shard_lookahead[i].max(min_window);
+                end_key = end_key.min(pack(bound, 0));
+            }
+        }
+        debug_assert!(end_key != u128::MAX, "some shard lane has events here");
         if let Some(c) = ctrl_min {
             end_key = end_key.min(pack(unpack_time(c), 0));
         }
         if let Some(d) = deadline {
             end_key = end_key.min(pack(d + SimDuration::from_micros(1), 0));
         }
+        let boundary = unpack_time(end_key);
         let shared = &self.shared;
         rayon::par_for_each_mut(&mut self.shard_states, |_, s| {
             let mut ctx = ShardCtx {
                 shared,
                 s,
                 ctrl: None,
+                boundary,
             };
             let mut popped = 0u64;
             while let Some((t, event)) = ctx.s.lane.pop_before_key(end_key) {
@@ -2168,7 +2342,7 @@ impl Cluster {
             }
             ctx.s.window_popped = popped;
         });
-        self.fold_window(unpack_time(end_key));
+        self.close_window(boundary);
         true
     }
 
@@ -2182,13 +2356,20 @@ impl Cluster {
         }
     }
 
-    /// The serial barrier at the end of a window: advance the clock, update
-    /// the synchronization counters, apply every shard's outbox in fixed
-    /// shard order (control-plane RNG for fold-time sampling), then gather
-    /// outputs and propagation samples — also in shard order, with a stable
-    /// sort by simulated time — so everything downstream is a pure function
-    /// of `(seed, shards)` regardless of worker-thread count.
-    fn fold_window(&mut self, boundary: SimTime) {
+    /// The serial barrier at the end of every window: advance the clock,
+    /// update the synchronization counters, deliver every shard's
+    /// data-plane outbox arenas in fixed sender order (cross-shard events
+    /// and write tasks go straight into destination lanes — this cannot be
+    /// deferred, because the next window's bound is computed from those
+    /// lanes' floors), and gather outputs, oracle acks, deferred read
+    /// completions and propagation samples — also in shard order — into the
+    /// cluster-level pending buffers. Then decide whether to *fold*:
+    /// windows that staged control-plane effects must fold (they need the
+    /// serialized [`ControlState`]), as must windows that pushed the
+    /// pending buffers past the flush threshold; everything else elides the
+    /// fold entirely, which is what makes a barrier cost two lane peeks
+    /// instead of a serial walk over every shard.
+    fn close_window(&mut self, boundary: SimTime) {
         for s in &self.shard_states {
             let t = s.lane.now();
             if t > self.clock {
@@ -2196,7 +2377,6 @@ impl Cluster {
             }
         }
         self.sync.windows += 1;
-        self.sync.barrier_folds += 1;
         let batches = self
             .shard_states
             .iter()
@@ -2214,22 +2394,98 @@ impl Cluster {
         if longest > self.sync.max_batch_len {
             self.sync.max_batch_len = longest;
         }
+        let nshards = self.shard_states.len();
+        let mut ctrl_work = false;
+        for i in 0..nshards {
+            self.sync.staged += self.shard_states[i].window_staged;
+            self.sync.violations += self.shard_states[i].window_violations;
+            self.shard_states[i].window_staged = 0;
+            self.shard_states[i].window_violations = 0;
+            // Deliver this sender's arenas in destination order, one batch
+            // per destination shard; allocations are handed back for the
+            // next window. Staged times were already clamped to the window
+            // boundary at staging time, so delivery is pure insertion.
+            for dest in 0..nshards {
+                if dest == i {
+                    debug_assert!(self.shard_states[i].outbox_dest[dest].is_empty());
+                    continue;
+                }
+                let mut msgs = std::mem::take(&mut self.shard_states[i].outbox_dest[dest]);
+                for msg in msgs.drain(..) {
+                    match msg {
+                        OutMsg::Event { at, ev } => {
+                            self.shard_states[dest].lane.schedule_at(at, ev);
+                        }
+                        OutMsg::WriteTask { at, node, payload } => {
+                            let d = &mut self.shard_states[dest];
+                            let id = d.intern_payload(payload);
+                            d.retain_payload(id);
+                            d.lane.schedule_at(
+                                at,
+                                Event::ReplicaArrive {
+                                    node,
+                                    task: ReplicaTask::Write { payload: id },
+                                },
+                            );
+                        }
+                    }
+                }
+                self.shard_states[i].outbox_dest[dest] = msgs;
+            }
+        }
+        for k in 0..nshards {
+            let s = &mut self.shard_states[k];
+            ctrl_work |= !s.outbox_ctrl.is_empty();
+            self.pending_acks.append(&mut s.outbox_acks);
+            let shard = k as u16;
+            self.pending_dones
+                .extend(s.outbox_dones.drain(..).map(|(op, t)| (op, t, shard)));
+            self.fold_outputs.append(&mut s.outputs);
+            self.propagation_samples.append(&mut s.propagation);
+        }
+        self.last_boundary = boundary;
+        let pending = self.pending_acks.len() + self.pending_dones.len() + self.fold_outputs.len();
+        if self.shared.config.eager_folds || ctrl_work || pending >= FOLD_FLUSH_THRESHOLD {
+            self.fold(boundary);
+        } else {
+            self.sync.elided_barriers += 1;
+        }
+    }
+
+    /// The serial fold: record pending oracle acks, apply staged
+    /// control-plane effects in fixed shard order, classify deferred read
+    /// completions against the now-complete ack history, and publish the
+    /// gathered outputs time-sorted. Deferring this across elided windows
+    /// is exact: per-window output time ranges are disjoint and increasing
+    /// (a window's outputs all precede its boundary, and the next window's
+    /// floor is at or past it), so one stable sort of the accumulated
+    /// buffer equals the concatenation of per-window sorts; ack-before-read
+    /// classification stays exact because an ack timestamped before a
+    /// read's issue instant is gathered no later than that read's window
+    /// and therefore recorded by the fold that classifies it, while acks
+    /// recorded early are filtered out by their timestamps
+    /// ([`StalenessOracle::classify_read_at`]).
+    fn fold(&mut self, boundary: SimTime) {
+        self.sync.barrier_folds += 1;
+        // Acks first: control-plane arms never consult the oracle, but
+        // deferred read classification below needs every gathered ack.
+        for (key, version, at) in self.pending_acks.drain(..) {
+            self.ctrl.oracle.record_ack(key, version, at);
+        }
         for i in 0..self.shard_states.len() {
-            let mut staged = std::mem::take(&mut self.shard_states[i].outbox);
+            let mut staged = std::mem::take(&mut self.shard_states[i].outbox_ctrl);
             for entry in staged.drain(..) {
-                self.sync.staged += 1;
-                self.apply_staged(entry, boundary);
+                self.apply_ctrl_staged(entry, boundary);
             }
             // Hand the (empty) allocation back for the next window.
-            self.shard_states[i].outbox = staged;
+            self.shard_states[i].outbox_ctrl = staged;
         }
-        // Finish deferred read completions now that every ack of the window
-        // is in the oracle: classify each read against the ack set as of its
-        // own issue instant (exact — see [`Staged::ReadDone`]), count it in
-        // its shard's metric sink and emit the client output in time for
-        // this fold's gather below.
-        let mut read_dones = std::mem::take(&mut self.fold_read_dones);
-        for (mut op, issue_at, shard) in read_dones.drain(..) {
+        // Finish deferred read completions now that every gathered ack is
+        // in the oracle: classify each read against the ack set as of its
+        // own issue instant, count it in its shard's metric sink and emit
+        // the client output in time for this fold's publish below.
+        let mut dones = std::mem::take(&mut self.pending_dones);
+        for (mut op, issue_at, shard) in dones.drain(..) {
             let class = self
                 .ctrl
                 .oracle
@@ -2239,164 +2495,47 @@ impl Cluster {
             let s = &mut self.shard_states[shard as usize];
             s.metrics
                 .record_completion(OpKind::Read, op.latency(), class.stale);
-            s.outputs.push(ClusterOutput::Completed(op));
+            self.fold_outputs.push(ClusterOutput::Completed(op));
         }
-        self.fold_read_dones = read_dones;
+        self.pending_dones = dones;
         let mut gathered = std::mem::take(&mut self.fold_outputs);
-        for s in &mut self.shard_states {
-            gathered.append(&mut s.outputs);
-        }
-        // Stable by-time sort over the shard-ordered concatenation: outputs
-        // of one window interleave across shards by simulated time, with
-        // shard order breaking ties deterministically.
+        // Stable by-time sort over the (window, shard)-ordered
+        // concatenation: outputs interleave across shards by simulated
+        // time, with gathering order breaking ties deterministically.
         gathered.sort_by_key(|out| match out {
             ClusterOutput::Completed(op) => op.completed_at,
             ClusterOutput::Tick { at, .. } => *at,
         });
         self.outputs.extend(gathered.drain(..));
         self.fold_outputs = gathered;
-        let samples = &mut self.propagation_samples;
-        for s in &mut self.shard_states {
-            samples.append(&mut s.propagation);
-        }
     }
 
-    /// Clamp a staged delivery time into the next window. A violation means
-    /// a cross-shard effect would land inside the window that produced it —
-    /// the lookahead bound was too optimistic (degradation shrank a link
-    /// mid-window, or a zero-infimum distribution sampled below the bound).
-    /// The effect is deferred to the window boundary instead, deterministic
-    /// at any thread count, and counted so runs can audit how conservative
-    /// the bound really was.
-    fn clamp_staged(&mut self, at: SimTime, boundary: SimTime) -> SimTime {
-        if at < boundary {
-            self.sync.violations += 1;
-            boundary
-        } else {
-            at
+    /// Force a fold between windows if elided barriers left anything
+    /// pending; returns whether one ran. Called before control events (a
+    /// tick must observe and follow every completion that precedes it), at
+    /// the caller's deadline and when the queues drain. Control-plane
+    /// outboxes are always empty here — a window that stages control work
+    /// folds at its own close — so the fold boundary can only matter to
+    /// nothing and the last window's boundary is passed for form.
+    fn flush_pending(&mut self) -> bool {
+        if self.pending_acks.is_empty()
+            && self.pending_dones.is_empty()
+            && self.fold_outputs.is_empty()
+        {
+            return false;
         }
+        self.fold(self.last_boundary);
+        true
     }
 
-    /// Apply one staged cross-shard effect at the barrier (see [`Staged`]).
-    fn apply_staged(&mut self, staged: Staged, boundary: SimTime) {
+    /// Apply one staged control-plane effect at a fold (see [`CtrlStaged`]).
+    fn apply_ctrl_staged(&mut self, staged: CtrlStaged, boundary: SimTime) {
         match staged {
-            Staged::Event { dest, at, ev } => {
-                let at = self.clamp_staged(at, boundary);
-                self.shard_states[dest as usize].lane.schedule_at(at, ev);
-            }
-            Staged::WriteTask {
-                dest,
-                at,
-                node,
-                payload,
-            } => {
-                let at = self.clamp_staged(at, boundary);
-                let s = &mut self.shard_states[dest as usize];
-                let id = s.intern_payload(payload);
-                s.retain_payload(id);
-                s.lane.schedule_at(
-                    at,
-                    Event::ReplicaArrive {
-                        node,
-                        task: ReplicaTask::Write { payload: id },
-                    },
-                );
-            }
-            Staged::WriteApplied {
-                op_id,
-                from,
-                applied_at,
-            } => {
-                let home = (op_id.0 as u32 % self.shared.nshards) as usize;
-                // The op may be gone (timeout retry freed the slot): like
-                // the serial path, a dead op means no ack and no metering.
-                let coordinator = match self.shard_states[home].ops.get(op_id) {
-                    Some(OpState::Write(w)) => w.coordinator,
-                    _ => return,
-                };
-                let delay = slow_response(
-                    &self.shared,
-                    from,
-                    account_message(
-                        &self.shared,
-                        &mut self.ctrl.rng,
-                        &mut self.ctrl.metrics,
-                        from,
-                        coordinator,
-                        self.shared.config.small_message_bytes,
-                    ),
-                );
-                if !self.shared.link_up(from, coordinator) {
-                    self.ctrl.metrics.messages_lost += 1;
-                    abandon_in(&mut self.shard_states[home], op_id);
-                    return;
-                }
-                let at = self.clamp_staged(applied_at + delay, boundary);
-                self.shard_states[home].lane.schedule_at(
-                    at,
-                    Event::CoordinatorWriteAck {
-                        op_id,
-                        from,
-                        applied_at,
-                    },
-                );
-            }
-            Staged::ReadResponse {
-                op_id,
-                from,
-                at,
-                version,
-                size,
-                records,
-                segment,
-                data,
-            } => {
-                let home = (op_id.0 as u32 % self.shared.nshards) as usize;
-                let coordinator = match self.shard_states[home].ops.get(op_id) {
-                    Some(OpState::Read(r)) => r.coordinator,
-                    _ => return,
-                };
-                let bytes = if data {
-                    size
-                } else {
-                    self.shared.config.small_message_bytes
-                };
-                let delay = slow_response(
-                    &self.shared,
-                    from,
-                    account_message(
-                        &self.shared,
-                        &mut self.ctrl.rng,
-                        &mut self.ctrl.metrics,
-                        from,
-                        coordinator,
-                        bytes,
-                    ),
-                );
-                if !self.shared.link_up(from, coordinator) {
-                    self.ctrl.metrics.messages_lost += 1;
-                    return;
-                }
-                let at = self.clamp_staged(at + delay, boundary);
-                self.shard_states[home].lane.schedule_at(
-                    at,
-                    Event::CoordinatorReadResponse {
-                        op_id,
-                        from,
-                        version,
-                        size,
-                        // Digests answer with a checksum, not records: only
-                        // the data response contributes coverage.
-                        records: if data { records } else { 0 },
-                        segment,
-                    },
-                );
-            }
-            Staged::Abandon { op_id } => {
+            CtrlStaged::Abandon { op_id } => {
                 let home = (op_id.0 as u32 % self.shared.nshards) as usize;
                 abandon_in(&mut self.shard_states[home], op_id);
             }
-            Staged::Hint {
+            CtrlStaged::Hint {
                 from,
                 to,
                 key,
@@ -2420,24 +2559,7 @@ impl Cluster {
                     self.ctrl.metrics.hints_queued += 1;
                 }
             }
-            Staged::OracleAck { key, version, at } => {
-                // Fold-time oracle mutation: acks from one window land in
-                // fixed shard order (and outbox order within a shard), so
-                // the ack history — and with it every fold-time
-                // classification — is a pure function of `(seed, shards)`.
-                self.ctrl.oracle.record_ack(key, version, at);
-            }
-            Staged::ReadDone {
-                op,
-                issue_at,
-                shard,
-            } => {
-                // Deferred: classification runs after the whole fold's
-                // outboxes have applied, so acks staged by later shards in
-                // this very fold are visible too (see `fold_window`).
-                self.fold_read_dones.push((op, issue_at, shard));
-            }
-            Staged::Resubmit {
+            CtrlStaged::Resubmit {
                 sub,
                 retry,
                 at,
@@ -2567,6 +2689,7 @@ impl Cluster {
                 version: hint.version,
                 size: hint.size,
                 repair: true,
+                coordinator: pack_node(hint.from),
             });
             s.retain_payload(payload);
             s.lane.schedule_at(
@@ -2713,6 +2836,7 @@ impl Cluster {
                 version,
                 size,
                 repair: true,
+                coordinator: pack_node(from),
             });
             s.retain_payload(payload);
             s.lane.schedule_at(
@@ -2782,6 +2906,11 @@ struct ShardCtx<'a> {
     shared: &'a ClusterShared,
     s: &'a mut ShardState,
     ctrl: Option<&'a mut ControlState>,
+    /// End of the window being executed: staged cross-shard times are
+    /// clamped here *at staging time* (a clamp means the lookahead bound
+    /// was optimistic for the traffic observed — counted as a violation).
+    /// Unused in serial mode (the serial path never stages).
+    boundary: SimTime,
 }
 
 impl ShardCtx<'_> {
@@ -2834,17 +2963,32 @@ impl ShardCtx<'_> {
         )
     }
 
+    /// Clamp a staged delivery time into the next window and count the
+    /// staging. A violation means a cross-shard effect would land inside
+    /// the window that produced it — the lookahead bound was too optimistic
+    /// (degradation shrank a link mid-window, or a zero-infimum
+    /// distribution sampled below the bound). The effect is deferred to the
+    /// window boundary instead, deterministic at any thread count, and
+    /// counted so runs can audit how conservative the bound really was.
+    #[inline]
+    fn stage_time(&mut self, at: SimTime) -> SimTime {
+        self.s.window_staged += 1;
+        if at < self.boundary {
+            self.s.window_violations += 1;
+            self.boundary
+        } else {
+            at
+        }
+    }
+
     /// Schedule an event on `dest`'s lane: directly when it is this shard's
-    /// own lane, staged to the fold otherwise.
+    /// own lane, staged into the per-destination outbox arena otherwise.
     fn send_event(&mut self, dest: usize, at: SimTime, ev: Event) {
         if dest as u32 == self.s.shard {
             self.s.lane.schedule_at(at, ev);
         } else {
-            self.s.outbox.push(Staged::Event {
-                dest: dest as u16,
-                at,
-                ev,
-            });
+            let at = self.stage_time(at);
+            self.s.outbox_dest[dest].push(OutMsg::Event { at, ev });
         }
     }
 
@@ -2854,7 +2998,8 @@ impl ShardCtx<'_> {
         if self.op_home(op_id) == self.s.shard {
             abandon_in(self.s, op_id);
         } else {
-            self.s.outbox.push(Staged::Abandon { op_id });
+            self.s.window_staged += 1;
+            self.s.outbox_ctrl.push(CtrlStaged::Abandon { op_id });
         }
     }
 
@@ -2897,7 +3042,8 @@ impl ShardCtx<'_> {
         size: u32,
     ) {
         let Some(ctrl) = self.ctrl.as_deref_mut() else {
-            self.s.outbox.push(Staged::Hint {
+            self.s.window_staged += 1;
+            self.s.outbox_ctrl.push(CtrlStaged::Hint {
                 from,
                 to,
                 key,
@@ -2940,7 +3086,8 @@ impl ShardCtx<'_> {
                 // reached a coordinator — and no backoff applies (this is
                 // re-routing, not a timed-out attempt).
                 self.s.ops.remove(op_id);
-                self.s.outbox.push(Staged::Resubmit {
+                self.s.window_staged += 1;
+                self.s.outbox_ctrl.push(CtrlStaged::Resubmit {
                     sub: p.sub,
                     retry,
                     at: now,
@@ -2994,6 +3141,7 @@ impl ShardCtx<'_> {
             version,
             size: sub.size,
             repair: false,
+            coordinator: pack_node(coordinator),
         };
         let payload = self.s.intern_payload(pl);
         for &replica in &replicas {
@@ -3024,9 +3172,9 @@ impl ShardCtx<'_> {
                     },
                 );
             } else {
-                self.s.outbox.push(Staged::WriteTask {
-                    dest: dest as u16,
-                    at: now + delay,
+                let at = self.stage_time(now + delay);
+                self.s.outbox_dest[dest].push(OutMsg::WriteTask {
+                    at,
                     node: replica,
                     payload: pl,
                 });
@@ -3143,8 +3291,11 @@ impl ShardCtx<'_> {
                             op_id,
                             key: Key(seg_start),
                             data: i == 0,
-                            len: seg_len,
+                            len: seg_len
+                                .try_into()
+                                .expect("validate() caps scan segments at 2^16 records"),
                             segment,
+                            coordinator: pack_node(coordinator),
                         },
                     },
                 );
@@ -3284,6 +3435,7 @@ impl ShardCtx<'_> {
                     data: false,
                     len: 1,
                     segment: 0,
+                    coordinator: pack_node(coordinator),
                 },
             },
         );
@@ -3445,6 +3597,7 @@ impl ShardCtx<'_> {
                     version,
                     size,
                     repair,
+                    coordinator: coordinator_packed,
                 } = self.s.release_payload(payload);
                 self.s.stores[idx].apply_write(key, version, size, now);
                 self.s.metrics.storage_write_ops += 1;
@@ -3532,15 +3685,43 @@ impl ShardCtx<'_> {
                         },
                     );
                 } else {
-                    // Foreign op: the coordinator (and whether the op is
-                    // even still alive) is unreadable from this shard.
-                    // Stage the raw apply; the fold completes it against
-                    // the home shard's state.
-                    self.s.outbox.push(Staged::WriteApplied {
-                        op_id,
-                        from: node,
-                        applied_at: now,
-                    });
+                    let coordinator = NodeId(coordinator_packed as u32);
+                    // Foreign op: the home shard's op state is unreadable
+                    // from here, but the payload carries the coordinator,
+                    // so the ack's delay is sampled and its traffic metered
+                    // on *this* shard's stream at apply time — sender-side
+                    // draws leave the barrier fold with no RNG demand,
+                    // which is what lets quiet windows elide it. The op may
+                    // already be dead (a timeout retry freed the slot); the
+                    // generation-checked id makes the ack a no-op at the
+                    // coordinator, so drawing unconditionally is both safe
+                    // and deterministic.
+                    let delay = slow_response(
+                        self.shared,
+                        node,
+                        self.account_message(
+                            node,
+                            coordinator,
+                            self.shared.config.small_message_bytes,
+                        ),
+                    );
+                    if !self.shared.link_up(node, coordinator) {
+                        // The ack is lost in the partition: tell the home
+                        // shard to stop expecting it.
+                        self.s.metrics.messages_lost += 1;
+                        self.abandon(op_id);
+                        return;
+                    }
+                    let home = self.op_home(op_id) as usize;
+                    self.send_event(
+                        home,
+                        now + delay,
+                        Event::CoordinatorWriteAck {
+                            op_id,
+                            from: node,
+                            applied_at: now,
+                        },
+                    );
                 }
             }
             ReplicaTask::Read {
@@ -3549,7 +3730,9 @@ impl ShardCtx<'_> {
                 data,
                 len,
                 segment,
+                coordinator: coordinator_packed,
             } => {
+                let len = len as u32;
                 // Point reads probe one slot; range scans stream `len`
                 // adjacent slots of the dense store (each probed slot is one
                 // metered storage read) and respond with the range's byte
@@ -3613,19 +3796,44 @@ impl ShardCtx<'_> {
                         },
                     );
                 } else {
-                    // Foreign op: stage the raw response; the fold completes
-                    // it (coordinator lookup, metering, data/digest gating)
-                    // against the home shard's state.
-                    self.s.outbox.push(Staged::ReadResponse {
-                        op_id,
-                        from: node,
-                        at: now,
-                        version,
-                        size,
-                        records,
-                        segment,
-                        data,
-                    });
+                    let coordinator = NodeId(coordinator_packed as u32);
+                    // Foreign op: sender-side draw, same rationale as the
+                    // write-ack branch above — the task carries the
+                    // coordinator, so delay sampling, metering and the
+                    // data/digest payload gating all happen on this shard's
+                    // stream, and a dead op's response dies at the
+                    // coordinator's generation check.
+                    let payload = if data {
+                        size
+                    } else {
+                        self.shared.config.small_message_bytes
+                    };
+                    let delay = slow_response(
+                        self.shared,
+                        node,
+                        self.account_message(node, coordinator, payload),
+                    );
+                    if !self.shared.link_up(node, coordinator) {
+                        // Response lost in the partition; the read completes
+                        // via other replicas or times out.
+                        self.s.metrics.messages_lost += 1;
+                        return;
+                    }
+                    let home = self.op_home(op_id) as usize;
+                    self.send_event(
+                        home,
+                        now + delay,
+                        Event::CoordinatorReadResponse {
+                            op_id,
+                            from: node,
+                            version,
+                            size,
+                            // Digests answer with a checksum, not records:
+                            // only the data response contributes coverage.
+                            records: if data { records } else { 0 },
+                            segment,
+                        },
+                    );
                 }
             }
         }
@@ -3676,11 +3884,10 @@ impl ShardCtx<'_> {
             // which retroactive classification queries filter by.
             match self.ctrl.as_deref_mut() {
                 Some(ctrl) => ctrl.oracle.record_ack(w.key, w.version, now),
-                None => s.outbox.push(Staged::OracleAck {
-                    key: w.key,
-                    version: w.version,
-                    at: now,
-                }),
+                None => {
+                    s.window_staged += 1;
+                    s.outbox_acks.push((w.key, w.version, now));
+                }
             }
             s.metrics
                 .record_completion(OpKind::Write, completed.latency(), false);
@@ -3822,12 +4029,8 @@ impl ShardCtx<'_> {
                     self.s.outputs.push(ClusterOutput::Completed(completed));
                 }
                 None => {
-                    let shard = self.s.shard as u16;
-                    self.s.outbox.push(Staged::ReadDone {
-                        op: completed,
-                        issue_at: attempt_at,
-                        shard,
-                    });
+                    self.s.window_staged += 1;
+                    self.s.outbox_dones.push((completed, attempt_at));
                 }
             }
 
@@ -3841,6 +4044,8 @@ impl ShardCtx<'_> {
                     version: best,
                     size: best_size,
                     repair: true,
+                    // Repair writes ack nobody; carried for layout only.
+                    coordinator: pack_node(coordinator),
                 };
                 let payload = self.s.intern_payload(pl);
                 for &replica in contacted.iter() {
@@ -3863,9 +4068,9 @@ impl ShardCtx<'_> {
                             },
                         );
                     } else {
-                        self.s.outbox.push(Staged::WriteTask {
-                            dest: dest as u16,
-                            at: now + delay,
+                        let at = self.stage_time(now + delay);
+                        self.s.outbox_dest[dest].push(OutMsg::WriteTask {
+                            at,
                             node: replica,
                             payload: pl,
                         });
@@ -3996,7 +4201,8 @@ impl ShardCtx<'_> {
                 if backoff {
                     self.s.metrics.backoff_retries += 1;
                 }
-                self.s.outbox.push(Staged::Resubmit {
+                self.s.window_staged += 1;
+                self.s.outbox_ctrl.push(CtrlStaged::Resubmit {
                     sub,
                     retry,
                     at: now,
@@ -4077,6 +4283,37 @@ mod tests {
 
     fn drain(c: &mut Cluster) -> Vec<CompletedOp> {
         c.run_to_completion(10_000_000)
+    }
+
+    /// Satellite (PR 10): the lookahead fallback for shard cuts that no
+    /// message ever crosses derives from the configured operation timeout,
+    /// not the pre-PR-10 hard-coded 1 s constant.
+    #[test]
+    fn lookahead_fallback_derives_from_op_timeout() {
+        // Single shard: no cross-shard link class exists anywhere, so the
+        // bound is pure fallback.
+        let mut cfg = ClusterConfig::lan_test(5, 3);
+        cfg.shards = 1;
+        cfg.op_timeout = SimDuration::from_millis(250);
+        let c = Cluster::new(cfg, 42);
+        assert_eq!(
+            c.lookahead(),
+            SimDuration::from_millis(250),
+            "single-shard bound must fall back to the configured op timeout"
+        );
+
+        // Single DC, two shards: the cut crosses intra-DC links, so the
+        // bound is the intra-DC delay floor (300 µs for the LAN model) and
+        // the fallback must NOT leak in even though some classes are absent.
+        let mut cfg = ClusterConfig::lan_test(6, 3);
+        cfg.shards = 2;
+        cfg.op_timeout = SimDuration::from_millis(250);
+        let c = Cluster::new(cfg, 42);
+        assert_eq!(
+            c.lookahead(),
+            SimDuration::from_micros(300),
+            "single-DC cut must use the intra-DC delay floor, not the fallback"
+        );
     }
 
     #[test]

@@ -345,6 +345,16 @@ pub struct ClusterConfig {
     /// node count are clamped to it.
     #[serde(default)]
     pub shards: u32,
+    /// Force a serial barrier fold at *every* lookahead window instead of
+    /// letting the sharded engine elide folds that have no control-plane
+    /// work (PR 10 barrier elision). Elision is provably non-perturbing —
+    /// the `barrier_elision` property tests pin byte-identical output with
+    /// the knob on and off — so this exists for A/B measurement of fold
+    /// overhead and as a bisection aid, not as a correctness escape hatch.
+    /// Defaults to `false` (elision on); absent in pre-PR-10 serialized
+    /// configs via `serde(default)`. Ignored by the serial engine.
+    #[serde(default)]
+    pub eager_folds: bool,
 }
 
 impl ClusterConfig {
@@ -379,6 +389,7 @@ impl ClusterConfig {
             retry_on_timeout: 0,
             exact_latency_percentiles: false,
             shards: 1,
+            eager_folds: false,
         }
     }
 
@@ -402,6 +413,14 @@ impl ClusterConfig {
             return Err(format!(
                 "replication factor {} exceeds node count {}",
                 self.replication_factor,
+                self.topology.node_count()
+            ));
+        }
+        if self.topology.node_count() > (u16::MAX as usize) + 1 {
+            // Node ids are packed to 16 bits inside replica-task events to
+            // keep the event queue's payload entries at 32 bytes.
+            return Err(format!(
+                "node count {} exceeds the engine's 65536-node limit",
                 self.topology.node_count()
             ));
         }
@@ -589,6 +608,19 @@ mod tests {
         assert_eq!(wide.effective_shards(), 4);
         wide.shards = 2;
         assert_eq!(wide.effective_shards(), 2);
+    }
+
+    #[test]
+    fn configs_without_an_eager_folds_field_default_to_elision() {
+        // Pre-PR-10 configs serialized before barrier elision existed must
+        // keep deserializing, with the absent field meaning "elide".
+        let cfg = ClusterConfig::lan_test(4, 3);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let stripped = json.replace(",\"eager_folds\":false", "");
+        assert_ne!(json, stripped, "the field must have been present");
+        let back: ClusterConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(!back.eager_folds);
+        assert!(back.validate().is_ok());
     }
 
     #[test]

@@ -137,6 +137,23 @@ impl LatencyStats {
                 .extend_from_slice(theirs);
         }
     }
+
+    /// Number of raw samples held by the exact recorder (0 when disabled).
+    pub fn exact_len(&self) -> usize {
+        self.exact.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Reserve room for `additional` raw samples ahead of a chain of
+    /// [`LatencyStats::merge`] calls, so a multi-source fold grows the
+    /// exact vector once instead of reallocating per source. A no-op when
+    /// `additional` is zero (in particular it never materializes the
+    /// recorder for all-histogram merges).
+    pub fn reserve_exact_samples(&mut self, additional: usize) {
+        if additional == 0 {
+            return;
+        }
+        self.exact.get_or_insert_with(Vec::new).reserve(additional);
+    }
 }
 
 /// Bytes transferred per network link class.
@@ -341,6 +358,28 @@ impl ClusterMetrics {
         self.breaker_opens += other.breaker_opens;
         self.hedge_traffic.merge(&other.hedge_traffic);
     }
+
+    /// Merge a fixed-order chain of sinks with pre-sized sample buffers:
+    /// each exact-sample vector reserves the total incoming length up
+    /// front, so an S-shard fold does at most one allocation per latency
+    /// sink instead of one per `(sink, source)` pair. The merge order —
+    /// and therefore the merged order statistics — is exactly the order
+    /// of `others`, identical to calling [`ClusterMetrics::merge`] in a
+    /// loop.
+    pub fn merge_many<'a>(&mut self, others: impl Iterator<Item = &'a ClusterMetrics> + Clone) {
+        let (mut reads, mut writes, mut props) = (0usize, 0usize, 0usize);
+        for o in others.clone() {
+            reads += o.read_latency.exact_len();
+            writes += o.write_latency.exact_len();
+            props += o.propagation.exact_len();
+        }
+        self.read_latency.reserve_exact_samples(reads);
+        self.write_latency.reserve_exact_samples(writes);
+        self.propagation.reserve_exact_samples(props);
+        for o in others {
+            self.merge(o);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +446,62 @@ mod tests {
         late.record(SimDuration::from_millis(3));
         assert_eq!(late.exact_quantile_ms(1.0), Some(3.0));
         assert_eq!(late.count(), 2);
+    }
+
+    #[test]
+    fn merge_many_matches_sequential_merges() {
+        let sink = |seed: u64| {
+            let mut m = ClusterMetrics::new();
+            m.read_latency.enable_exact();
+            for i in 0..50u64 {
+                let stale = (seed + i).is_multiple_of(7);
+                m.record_completion(
+                    OpKind::Read,
+                    SimDuration::from_micros(seed * 100 + i),
+                    stale,
+                );
+                m.record_completion(
+                    OpKind::Write,
+                    SimDuration::from_micros(seed * 50 + i),
+                    false,
+                );
+            }
+            m.traffic.add(LinkClass::InterDc, seed * 10);
+            m
+        };
+        let shards = [sink(1), sink(2), sink(3), sink(4)];
+
+        let mut looped = shards[0].clone();
+        for s in &shards[1..] {
+            looped.merge(s);
+        }
+        let mut presized = shards[0].clone();
+        presized.merge_many(shards[1..].iter());
+
+        assert_eq!(presized.reads_completed, looped.reads_completed);
+        assert_eq!(presized.stale_reads, looped.stale_reads);
+        assert_eq!(presized.traffic, looped.traffic);
+        assert_eq!(
+            presized.read_latency.exact_len(),
+            looped.read_latency.exact_len()
+        );
+        // Same merge order ⇒ identical order statistics, exact and binned.
+        for q in [0.1, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                presized.read_latency.exact_quantile_ms(q),
+                looped.read_latency.exact_quantile_ms(q),
+                "q={q}"
+            );
+            assert_eq!(
+                presized.write_latency.quantile_ms(q),
+                looped.write_latency.quantile_ms(q),
+                "q={q}"
+            );
+        }
+        // Reserving zero samples must not materialize a disabled recorder.
+        let mut plain = LatencyStats::new();
+        plain.reserve_exact_samples(0);
+        assert!(!plain.exact_enabled());
     }
 
     #[test]

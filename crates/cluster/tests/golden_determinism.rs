@@ -121,8 +121,17 @@ fn churn(c: &mut Cluster, ops: u64, keys: u64, gap: SimDuration) {
     }
 }
 
+/// `GOLDEN_PRINT=1` turns the suite into capture mode: every scenario
+/// prints its fresh digest line and the per-shard-count loops skip their
+/// golden assertions, so one run prints all shard counts even when a
+/// recapture is in progress (a panic at shards=2 would otherwise hide the
+/// shards=4 tuple).
+fn capture_mode() -> bool {
+    std::env::var("GOLDEN_PRINT").is_ok()
+}
+
 fn maybe_print(name: &str, d: &RunDigest, c: &Cluster) {
-    if std::env::var("GOLDEN_PRINT").is_ok() {
+    if capture_mode() {
         println!(
             "{name}: {d:?} retries={} messages_lost={} events={} now_us={} messages={} \
              traffic_total={} traffic_inter_dc={} \
@@ -157,6 +166,9 @@ fn golden_geo_weak_consistency_run() {
         churn(&mut c, 4_000, 20, SimDuration::from_micros(500));
         let d = digest(&mut c);
         maybe_print(&format!("weak[shards={shards}]"), &d, &c);
+        if capture_mode() {
+            continue;
+        }
 
         assert_eq!(c.shards() as u32, shards);
         assert_eq!(d.ops, 4_000);
@@ -181,7 +193,18 @@ fn golden_geo_weak_consistency_run() {
             let m = c.shard_metrics();
             assert!(m.windows > 0, "the run must cross lookahead windows");
             assert!(m.staged > 0, "geo traffic must stage cross-shard events");
-            assert_eq!(m.windows, m.barrier_folds, "every window folds once");
+            // Since PR 10 a window's serial fold is elided when no staged
+            // control effect or deferred completion demands it; forced
+            // flushes between windows can also fold, so the counters bound
+            // the window count from both sides rather than matching it.
+            assert!(
+                m.barrier_folds + m.elided_barriers >= m.windows,
+                "every window either folds or is counted as elided"
+            );
+            assert!(
+                m.elided_barriers <= m.windows,
+                "cannot elide more barriers than windows ran"
+            );
         }
     }
 }
@@ -197,6 +220,9 @@ fn golden_geo_quorum_run() {
         churn(&mut c, 3_000, 50, SimDuration::from_micros(300));
         let d = digest(&mut c);
         maybe_print(&format!("quorum[shards={shards}]"), &d, &c);
+        if capture_mode() {
+            continue;
+        }
 
         assert_eq!(d.ops, 3_000);
         assert_eq!(d.stale, 0, "R+W>N can never be stale");
@@ -510,7 +536,7 @@ fn golden_resilience_run() {
         }
         d.checksum = h;
         maybe_print(&format!("resilience[shards={shards}]"), &d, &c);
-        if std::env::var("GOLDEN_PRINT").is_ok() {
+        if capture_mode() {
             let m = c.metrics();
             println!(
                 "resilience[shards={shards}]: hedged={} wins={} backoff={} \
@@ -521,6 +547,9 @@ fn golden_resilience_run() {
                 m.breaker_opens,
                 m.hedge_traffic.total(),
             );
+        }
+        if capture_mode() {
+            continue;
         }
 
         let m = c.metrics();
@@ -638,6 +667,9 @@ fn golden_ycsb_e_scan_run() {
         }
         let d = digest(&mut c);
         maybe_print(&format!("ycsb_e_scan[shards={shards}]"), &d, &c);
+        if capture_mode() {
+            continue;
+        }
 
         assert_eq!(d.ops, 3_000);
         assert_eq!(d.timeouts, 0);
@@ -779,9 +811,9 @@ const GOLDEN_WEAK: [WeakGolden; 3] = [
         (2_000, 10_000),
     ),
     (
-        819,
-        1_733_957,
-        2758624688570690002,
+        863,
+        1_744_239,
+        5111835488427010063,
         44_000,
         12_000_000,
         24_000,
@@ -790,9 +822,9 @@ const GOLDEN_WEAK: [WeakGolden; 3] = [
         (2_000, 10_000),
     ),
     (
-        800,
-        1_765_160,
-        2819320342648029230,
+        840,
+        1_754_506,
+        2730432402454974043,
         44_000,
         12_000_000,
         24_000,
@@ -804,8 +836,8 @@ const GOLDEN_WEAK: [WeakGolden; 3] = [
 // (latency_sum_us, checksum, events, now_us), per shard count [1, 2, 4].
 const GOLDEN_QUORUM: [(u64, u64, u64, u64); 3] = [
     (45_593_949, 7203024975233682314, 45_738, 10_900_000),
-    (44_837_328, 15268482417863522377, 45_930, 10_900_000),
-    (45_393_151, 1300559037795849747, 45_588, 10_900_000),
+    (44_868_937, 14999936417424129039, 45_846, 10_900_000),
+    (45_214_288, 1715814602399151384, 45_852, 10_900_000),
 ];
 // (timeouts, latency_sum_us, checksum, events).
 const GOLDEN_FAILURE: (u64, u64, u64, u64) = (107, 5_735_824, 5079826259043572358, 3_879);
@@ -847,22 +879,22 @@ const GOLDEN_RESILIENCE: [ResilienceGolden; 3] = [
         3_677_500,
     ),
     (
-        192,
-        67_400_948,
-        3743591952304034798,
-        42_965,
-        (123, 30, 469, 168),
-        12_300,
-        3_683_500,
+        190,
+        67_258_781,
+        2276998821231081281,
+        43_027,
+        (137, 44, 467, 161),
+        13_700,
+        3_693_100,
     ),
     (
-        196,
-        61_447_588,
-        2839470655181222393,
-        42_923,
-        (120, 31, 468, 159),
-        12_000,
-        3_684_580,
+        189,
+        60_936_675,
+        13268572294427135746,
+        42_904,
+        (134, 30, 460, 166),
+        13_400,
+        3_684_000,
     ),
 ];
 // (timeouts, messages_lost, latency_sum_us, checksum, events).
@@ -884,20 +916,20 @@ const GOLDEN_SCAN: [ScanGolden; 3] = [
         9_266_200,
     ),
     (
-        1_018,
-        1_409_434,
-        574160717100616832,
+        1_002,
+        1_422_401,
+        4008009353691089535,
         24_000,
         (47_250, 3_750),
-        9_237_600,
+        9_213_600,
     ),
     (
-        995,
-        1_403_576,
-        14150112805931838019,
+        1_001,
+        1_406_605,
+        17874967739256141859,
         24_000,
         (47_250, 3_750),
-        9_200_200,
+        9_200_600,
     ),
 ];
 // Ordered-partitioner scan digest (captured at the introduction of the

@@ -43,6 +43,8 @@ struct Fingerprint {
     storage_ops: (u64, u64),
     windows: u64,
     barrier_folds: u64,
+    elided_barriers: u64,
+    fast_forwards: u64,
     parallel_batches: u64,
     max_batch_len: u64,
     // Resilience-layer counters: pinned to zero by every resilience-off
@@ -101,6 +103,8 @@ fn drain(c: &mut Cluster, mut on_tick: impl FnMut(&mut Cluster, u64)) -> Fingerp
         storage_ops: (c.metrics().storage_read_ops, c.metrics().storage_write_ops),
         windows: m.windows,
         barrier_folds: m.barrier_folds,
+        elided_barriers: m.elided_barriers,
+        fast_forwards: m.fast_forwards,
         parallel_batches: m.parallel_batches,
         max_batch_len: m.max_batch_len,
         hedged_requests: c.metrics().hedged_requests,
@@ -139,9 +143,12 @@ fn thread_matrix(scenario: impl Fn(u32) -> Fingerprint) -> Vec<Fingerprint> {
                     base.windows > 0,
                     "shards={shards}: no lookahead windows ran"
                 );
-                assert_eq!(
-                    base.windows, base.barrier_folds,
-                    "every window folds exactly once"
+                // Since PR 10 folds are elided on quiet windows and forced
+                // flushes can add extra folds, so the relationship is an
+                // invariant rather than an equality.
+                assert!(
+                    base.barrier_folds + base.elided_barriers >= base.windows,
+                    "every window either folds or is counted as elided"
                 );
                 assert!(
                     base.parallel_batches > 0,

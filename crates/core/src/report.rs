@@ -152,14 +152,28 @@ pub struct RunReport {
     /// engine; deserialized as 0).
     #[serde(default)]
     pub parallel_batches: u64,
-    /// Barrier folds performed (equals `shard_windows`: every window folds
-    /// exactly once).
+    /// Serial barrier folds performed. Before barrier elision (PR 10) this
+    /// equalled `shard_windows` — every window folded exactly once. With
+    /// elision a fold runs only when deferred control-plane work demands
+    /// it, so the invariant is `barrier_folds + elided_barriers >=
+    /// shard_windows` (folds forced between windows count here too).
     #[serde(default)]
     pub barrier_folds: u64,
     /// Largest number of events any single shard ran within one window (an
     /// upper bound on per-window work imbalance).
     #[serde(default)]
     pub max_batch_len: u64,
+    /// Lookahead windows closed without a serial fold (barrier elision):
+    /// cross-shard deliveries still applied, but completion classification
+    /// and oracle updates were deferred. Always 0 for `shards = 1` and for
+    /// reports from before PR 10 (deserialized as 0).
+    #[serde(default)]
+    pub elided_barriers: u64,
+    /// Windows whose start cursor jumped over quiet simulated time instead
+    /// of marching barrier-by-barrier through it. Always 0 for `shards = 1`
+    /// and for pre-PR-10 reports (deserialized as 0).
+    #[serde(default)]
+    pub fast_forwards: u64,
     /// Consistency-level changes over time.
     pub level_timeline: Vec<LevelChange>,
     /// Resources consumed (instances, storage, traffic).
@@ -277,6 +291,8 @@ mod tests {
             lookahead_violations: 0,
             parallel_batches: 0,
             barrier_folds: 0,
+            elided_barriers: 0,
+            fast_forwards: 0,
             max_batch_len: 0,
             level_timeline: vec![LevelChange {
                 at_secs: 0.0,
@@ -372,6 +388,26 @@ mod tests {
         assert_eq!(back.parallel_batches, 0);
         assert_eq!(back.barrier_folds, 0);
         assert_eq!(back.max_batch_len, 0);
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn reports_from_before_barrier_elision_still_deserialize() {
+        // Reports serialized before PR 10 lack the elision counters; they
+        // must load with both zeroed (the pre-elision engine folded at
+        // every window, so zero elisions is also the semantically correct
+        // reading of such a report).
+        let r = report("quorum", 0.0, 2.0);
+        let mut json = r.to_json();
+        for field in ["elided_barriers", "fast_forwards"] {
+            let start = json.find(&format!("\"{field}\"")).expect("field present");
+            let end = start + json[start..].find(',').unwrap() + 1;
+            json.replace_range(start..end, "");
+        }
+        assert!(!json.contains("elided_barriers"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.elided_barriers, 0);
+        assert_eq!(back.fast_forwards, 0);
         assert_eq!(r, back);
     }
 

@@ -327,6 +327,8 @@ impl AdaptiveRuntime {
             parallel_batches: shard_metrics.parallel_batches,
             barrier_folds: shard_metrics.barrier_folds,
             max_batch_len: shard_metrics.max_batch_len,
+            elided_barriers: shard_metrics.elided_barriers,
+            fast_forwards: shard_metrics.fast_forwards,
             level_timeline,
             usage,
             bill,

@@ -8,10 +8,15 @@
 //! a plain [`EventQueue`](crate::EventQueue) lane, and a lookahead
 //! window's shard batches execute concurrently on the work-stealing pool,
 //! with cross-shard effects staged per shard and folded at the serial
-//! window barrier in fixed shard order. What remains here is the counter
-//! block the engine reports, because it is substrate-level vocabulary:
-//! windows, staging, violations and (new in PR 8) how parallel the window
-//! dispatch actually was.
+//! window barrier in fixed shard order. Since PR 10 the fold itself is
+//! *elidable*: cross-shard deliveries still happen at every window close,
+//! but the serial control-plane fold (oracle updates, deferred read
+//! classification, output publication) only runs when staged control
+//! effects or the deferred-completion buffer demand it. What remains here
+//! is the counter block the engine reports, because it is substrate-level
+//! vocabulary: windows, staging, violations, (PR 8) how parallel the
+//! window dispatch actually was, and (PR 10) how much synchronization the
+//! run actually paid for.
 //!
 //! ## Determinism contract
 //!
@@ -46,13 +51,27 @@ pub struct ShardMetrics {
     /// windows where the parallel dispatch had actual concurrency to
     /// exploit. Depends only on the shard count, never the thread count.
     pub parallel_batches: u64,
-    /// Serial barrier folds executed after window dispatch (one per window
-    /// in the parallel engine).
+    /// Serial barrier folds executed. Until PR 10 every window folded
+    /// exactly once; with barrier elision a fold only runs when deferred
+    /// control-plane work demands it (staged control effects, or the
+    /// deferred completion buffer reaching its flush threshold), so
+    /// `barrier_folds + elided_barriers >= windows` is the invariant —
+    /// flushes forced between windows (before a control event, at a
+    /// deadline, or when the queues drain) count here too.
     pub barrier_folds: u64,
     /// Largest number of events any single shard handled inside one
     /// window — the granularity knob for judging dispatch overhead against
     /// useful work per batch.
     pub max_batch_len: u64,
+    /// Windows closed *without* a serial fold: cross-shard deliveries were
+    /// applied, but completion classification / oracle updates were
+    /// deferred because nothing in the window demanded fold-time work.
+    pub elided_barriers: u64,
+    /// Windows whose start cursor jumped past quiet simulated time: the
+    /// global next-event floor was beyond the previous window's boundary,
+    /// so the engine fast-forwarded instead of marching barrier-by-barrier
+    /// through empty windows.
+    pub fast_forwards: u64,
 }
 
 #[cfg(test)]
@@ -70,6 +89,11 @@ mod tests {
         assert_eq!(
             (m.parallel_batches, m.barrier_folds, m.max_batch_len),
             (0, 0, 0)
+        );
+        assert_eq!(
+            (m.elided_barriers, m.fast_forwards),
+            (0, 0),
+            "barrier-elision counters must stay zero for serial runs"
         );
     }
 }

@@ -65,6 +65,7 @@ fn base_config(topology: Topology, network: NetworkModel, rf: u32) -> ClusterCon
         resilience: ResilienceConfig::off(),
         read_selection: ReplicaSelection::Closest,
         shards: 1,
+        eager_folds: false,
     }
 }
 
